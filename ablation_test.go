@@ -1,0 +1,187 @@
+// Ablation benchmarks for the design choices the paper (and DESIGN.md)
+// call out: lateral thermal coupling, repeater capacitance, non-adjacent
+// coupling depth, and the integrator choice. Each bench reports the
+// quantity the ablation changes as a custom metric, so
+// `go test -bench Ablation` doubles as the ablation table.
+package nanobus_test
+
+import (
+	"math"
+	"testing"
+
+	"nanobus/internal/core"
+	"nanobus/internal/itrs"
+	"nanobus/internal/ode"
+	"nanobus/internal/thermal"
+)
+
+// toggleDrive hammers a simulator with the alternating worst-case pattern
+// for the given cycles.
+func toggleDrive(b *testing.B, sim *core.Simulator, cycles int) {
+	b.Helper()
+	for i := 0; i < cycles; i++ {
+		if i%2 == 0 {
+			sim.StepWord(0x55555555)
+		} else {
+			sim.StepWord(0xAAAAAAAA)
+		}
+	}
+	sim.Finish()
+}
+
+// BenchmarkAblationLateralCoupling measures the hottest-wire temperature
+// with and without the paper's lateral inter-wire conduction (Sec. 4.1.1,
+// the feature prior models lacked). The metric is the max-temperature
+// difference: without lateral coupling a centre-heated bus runs hotter.
+func BenchmarkAblationLateralCoupling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := func(disable bool) float64 {
+			nw, err := thermal.NewFromNode(itrs.N130, 9, thermal.NodeOptions{
+				DisableLateral:    disable,
+				DisableInterLayer: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := make([]float64, 9)
+			p[4] = 20 // hot centre wire, W/m
+			ss, err := nw.SteadyState(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return ss[4]
+		}
+		with := run(false)
+		without := run(true)
+		if i == 0 {
+			b.ReportMetric(without-with, "lateral_cooling_K")
+		}
+	}
+}
+
+// BenchmarkAblationRepeaters measures the energy share contributed by the
+// repeater capacitance Crep (Sec. 3.1.1).
+func BenchmarkAblationRepeaters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := func(noRep bool) float64 {
+			sim, err := core.New(core.Config{
+				Node: itrs.N130, CouplingDepth: -1,
+				NoRepeaters: noRep, DropSamples: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			toggleDrive(b, sim, 2000)
+			return sim.TotalEnergy().Total()
+		}
+		with := run(false)
+		without := run(true)
+		if i == 0 {
+			b.ReportMetric(100*(with-without)/with, "repeater_share_pct")
+		}
+	}
+}
+
+// BenchmarkAblationCouplingDepth sweeps the coupling truncation distance
+// and reports the energy recovered at each depth relative to the full
+// model (the Fig. 3 "Self"/"NN"/"All" axis as an ablation).
+func BenchmarkAblationCouplingDepth(b *testing.B) {
+	depths := []int{0, 1, 2, 3, -1}
+	for i := 0; i < b.N; i++ {
+		energies := make([]float64, len(depths))
+		for k, d := range depths {
+			sim, err := core.New(core.Config{
+				Node: itrs.N130, CouplingDepth: d, DropSamples: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Random words exercise every pair distance (the alternating
+			// pattern has zero distance-2 coupling by symmetry).
+			w := uint32(0xC0FFEE)
+			for c := 0; c < 2000; c++ {
+				w = w*1664525 + 1013904223
+				sim.StepWord(w)
+			}
+			sim.Finish()
+			energies[k] = sim.TotalEnergy().Total()
+		}
+		if i == 0 {
+			full := energies[len(energies)-1]
+			b.ReportMetric(100*energies[0]/full, "self_only_pct")
+			b.ReportMetric(100*energies[1]/full, "nn_pct")
+			b.ReportMetric(100*energies[2]/full, "dist2_pct")
+		}
+	}
+}
+
+// BenchmarkAblationIntegrator compares the paper's fixed-step RK4 against
+// adaptive RK45 and explicit Euler on one thermal interval, reporting each
+// one's error against a tight-tolerance reference.
+func BenchmarkAblationIntegrator(b *testing.B) {
+	nw, err := thermal.NewFromNode(itrs.N130, 32, thermal.NodeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, 32)
+	for i := range p {
+		p[i] = 5
+	}
+	// Prime the network's power input, then integrate copies of the state
+	// with each method.
+	if err := nw.Advance(1e-9, p); err != nil {
+		b.Fatal(err)
+	}
+	dt := 100_000 / itrs.N130.ClockHz
+	start := nw.Temps(nil)
+
+	reference := append([]float64(nil), start...)
+	if _, err := ode.NewRK45(1e-12, 1e-14).Integrate(nw, 0, dt, reference); err != nil {
+		b.Fatal(err)
+	}
+	maxErr := func(y []float64) float64 {
+		m := 0.0
+		for i := range y {
+			if d := math.Abs(y[i] - reference[i]); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	for i := 0; i < b.N; i++ {
+		rk4 := append([]float64(nil), start...)
+		if _, err := ode.NewRK4(dt/16).Integrate(nw, 0, dt, rk4); err != nil {
+			b.Fatal(err)
+		}
+		euler := append([]float64(nil), start...)
+		if _, err := ode.NewEuler(dt/16).Integrate(nw, 0, dt, euler); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(maxErr(rk4)*1e9, "rk4_err_nK")
+			b.ReportMetric(maxErr(euler)*1e9, "euler_err_nK")
+		}
+	}
+}
+
+// BenchmarkAblationDielectricHeatMass contrasts the strict wire-only heat
+// capacity (the paper's literal Ci = Cs*t*w) against the calibrated
+// dielectric heat mass, reporting the thermal time constants. The paper's
+// own Figs. 4-5 imply the slower constant; see DESIGN.md §5.
+func BenchmarkAblationDielectricHeatMass(b *testing.B) {
+	g := thermal.NodeGeometry(itrs.N130)
+	rv, err := g.VerticalResistance()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		wireOnly := g.HeatCapacity(thermal.HeatCapacityOptions{})
+		withDiel := g.HeatCapacity(thermal.HeatCapacityOptions{
+			ExtraDielectricArea: thermal.DefaultExtraDielectricArea,
+		})
+		if i == 0 {
+			b.ReportMetric(rv*wireOnly*1e6, "tau_wire_only_us")
+			b.ReportMetric(rv*withDiel*1e3, "tau_with_diel_ms")
+		}
+	}
+}

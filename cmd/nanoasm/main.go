@@ -1,0 +1,179 @@
+// Command nanoasm is the NB32 toolchain driver: assemble, disassemble and
+// run the programs the workload package is built from — and any custom
+// workload a user writes:
+//
+//	nanoasm build prog.s -o prog.nbx
+//	nanoasm disasm prog.nbx
+//	nanoasm run prog.s [-max-steps N] [-regs]
+//	nanoasm bench eon            # dump a built-in benchmark's source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nanobus/internal/cpu"
+	"nanobus/internal/isa"
+	"nanobus/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "build":
+		err = cmdBuild(args)
+	case "disasm":
+		err = cmdDisasm(args)
+	case "run":
+		err = cmdRun(args)
+	case "bench":
+		err = cmdBench(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "nanoasm: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nanoasm %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: nanoasm <command> [flags]
+
+commands:
+  build   assemble NB32 source into a program binary
+  disasm  disassemble a program binary
+  run     assemble and execute a program, reporting instructions and state
+  bench   print a built-in benchmark's assembly source`)
+}
+
+func assembleFile(path string) (*isa.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return isa.Assemble(string(src))
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	out := fs.String("o", "prog.nbx", "output program binary")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: nanoasm build [-o OUT] SOURCE.s")
+	}
+	p, err := assembleFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := isa.WriteProgram(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	total := 0
+	for _, s := range p.Segments {
+		total += len(s.Data)
+	}
+	fmt.Printf("%s: entry %#x, %d segments, %d bytes\n", *out, p.Entry, len(p.Segments), total)
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: nanoasm disasm PROGRAM.nbx")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	p, err := isa.ReadProgram(f)
+	if err != nil {
+		return err
+	}
+	for i, seg := range p.Segments {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := isa.Disassemble(os.Stdout, seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	maxSteps := fs.Uint64("max-steps", 10_000_000, "instruction budget")
+	regs := fs.Bool("regs", false, "dump registers at exit")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: nanoasm run [-max-steps N] [-regs] SOURCE.s")
+	}
+	p, err := assembleFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c := cpu.LoadProgram(p)
+	var fetches, mems uint64
+	for c.Instret < *maxSteps && !c.Halted {
+		ev, err := c.Step()
+		if err != nil {
+			return fmt.Errorf("at pc=%#x after %d instructions: %w", ev.Fetch, c.Instret, err)
+		}
+		fetches++
+		if ev.Mem {
+			mems++
+		}
+	}
+	status := "halted"
+	if !c.Halted {
+		status = "budget exhausted"
+	}
+	fmt.Printf("%s after %d instructions (%d memory ops, %.1f%% duty)\n",
+		status, c.Instret, mems, 100*float64(mems)/float64(fetches))
+	k := c.Counters
+	fmt.Printf("mix: %d loads, %d stores, %d branches (%d taken), %d jumps, %d fp ops\n",
+		k.Loads, k.Stores, k.Branches, k.Taken, k.Jumps, k.FPOps)
+	if *regs {
+		for i := 0; i < isa.NumRegs; i++ {
+			fmt.Printf("  r%-2d = %#010x  f%-2d = %g\n", i, c.Regs[i], i, c.FRegs[i])
+		}
+		fmt.Printf("  pc  = %#010x\n", c.PC)
+	}
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: nanoasm bench NAME (one of %v)", workload.Names())
+	}
+	b, ok := workload.ByName(fs.Arg(0))
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (have %v)", fs.Arg(0), workload.Names())
+	}
+	fmt.Printf("# %s (%s): %s\n", b.Name, b.Class, b.Description)
+	fmt.Println(b.Source)
+	return nil
+}

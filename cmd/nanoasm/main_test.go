@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testProg = `
+	.org 0x1000
+start:
+	addi r1, r0, 10
+	addi r2, r0, 0
+loop:
+	add r2, r2, r1
+	addi r1, r1, -1
+	bne r1, r0, loop
+	sw r2, 0(r3)
+	halt
+`
+
+func writeTestSource(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.s")
+	if err := os.WriteFile(path, []byte(testProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildDisasmRun(t *testing.T) {
+	src := writeTestSource(t)
+	out := filepath.Join(t.TempDir(), "prog.nbx")
+	if err := cmdBuild([]string{"-o", out, src}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := cmdDisasm([]string{out}); err != nil {
+		t.Fatalf("disasm: %v", err)
+	}
+	if err := cmdRun([]string{"-regs", src}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	// An infinite loop exits via the step budget, not an error.
+	path := filepath.Join(t.TempDir(), "loop.s")
+	if err := os.WriteFile(path, []byte("spin:\n\tj spin\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-max-steps", "1000", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestBenchSubcommand(t *testing.T) {
+	if err := cmdBench([]string{"swim"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdBench([]string{"gcc"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := cmdBench(nil); err == nil {
+		t.Error("missing operand accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if err := cmdBuild([]string{"/nonexistent.s"}); err == nil {
+		t.Error("missing source accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.s")
+	if err := os.WriteFile(bad, []byte("bogus instruction"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdBuild([]string{"-o", filepath.Join(t.TempDir(), "x.nbx"), bad}); err == nil {
+		t.Error("unassemblable source accepted")
+	}
+}
+
+func TestDisasmErrors(t *testing.T) {
+	if err := cmdDisasm([]string{"/nonexistent.nbx"}); err == nil {
+		t.Error("missing binary accepted")
+	}
+	notProg := filepath.Join(t.TempDir(), "junk.nbx")
+	if err := os.WriteFile(notProg, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDisasm([]string{notProg}); err == nil {
+		t.Error("junk binary accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := cmdRun([]string{"/nonexistent.s"}); err == nil {
+		t.Error("missing source accepted")
+	}
+}

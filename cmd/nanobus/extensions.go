@@ -1,0 +1,277 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"math"
+
+	"nanobus"
+	"nanobus/internal/delay"
+	"nanobus/internal/expt"
+	"nanobus/internal/fdm"
+	"nanobus/internal/itrs"
+	"nanobus/internal/reliability"
+	"nanobus/internal/repeater"
+	"nanobus/internal/units"
+	"nanobus/internal/workload"
+)
+
+// cmdL2Bus runs the L1->L2 address-bus extension study.
+func cmdL2Bus(args []string) error {
+	fs := flag.NewFlagSet("l2bus", flag.ExitOnError)
+	cycles := fs.Uint64("cycles", 2_000_000, "measured cycles")
+	node := fs.String("node", "130nm", "technology node")
+	bench := fs.String("bench", "", "benchmark ('' = all eight)")
+	fs.Parse(args)
+	n, ok := itrs.ByName(*node)
+	if !ok {
+		return fmt.Errorf("unknown node %q", *node)
+	}
+	names := workload.Names()
+	if *bench != "" {
+		names = []string{*bench}
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tL2 duty\tDL1 miss\tIL1 miss\tE(L2 bus) J\tE(DA) J\tE(IA) J")
+	for _, name := range names {
+		res, err := expt.L2Bus(expt.L2BusOptions{Cycles: *cycles, Node: n, Benchmark: name})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.4g\t%.4g\t%.4g\n",
+			res.Benchmark, res.Duty, res.DL1MissRate, res.IL1MissRate,
+			res.L2BusEnergy, res.DABusEnergy, res.IABusEnergy)
+	}
+	return tw.Flush()
+}
+
+// cmdSubstrate runs the substrate-temperature-variation extension.
+func cmdSubstrate(args []string) error {
+	fs := flag.NewFlagSet("substrate", flag.ExitOnError)
+	cycles := fs.Uint64("cycles", 20_000_000, "simulated cycles")
+	period := fs.Uint64("period", 5_000_000, "substrate square-wave half period (cycles)")
+	swing := fs.Float64("swing", 10, "substrate swing half-amplitude (K)")
+	node := fs.String("node", "130nm", "technology node")
+	bench := fs.String("bench", "swim", "benchmark")
+	fs.Parse(args)
+	n, ok := itrs.ByName(*node)
+	if !ok {
+		return fmt.Errorf("unknown node %q", *node)
+	}
+	res, err := expt.Substrate(*bench, n, *cycles, *period, *swing)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchmark %s, substrate swing ±%.1f K every %d cycles:\n",
+		res.Benchmark, res.SwingK, *period)
+	fmt.Printf("  peak wire temp, fixed substrate:   %.3f K\n", res.MaxTempFixed)
+	fmt.Printf("  peak wire temp, varying substrate: %.3f K (+%.3f K)\n",
+		res.MaxTempVarying, res.MaxTempVarying-res.MaxTempFixed)
+	return nil
+}
+
+// cmdReliability grades electromigration lifetime from a workload's
+// steady-state wire temperatures and currents.
+func cmdReliability(args []string) error {
+	fs := flag.NewFlagSet("reliability", flag.ExitOnError)
+	node := fs.String("node", "130nm", "technology node")
+	power := fs.Float64("power", 1.0, "uniform dynamic power per wire (W/m)")
+	hotWire := fs.Int("hot-wire", 16, "index of a wire given 3x power (hot spot)")
+	wires := fs.Int("wires", 32, "bus width")
+	fs.Parse(args)
+	n, ok := itrs.ByName(*node)
+	if !ok {
+		return fmt.Errorf("unknown node %q", *node)
+	}
+	net, err := nanobus.NewThermalNetwork(n, *wires, nanobus.ThermalOptions{})
+	if err != nil {
+		return err
+	}
+	p := make([]float64, *wires)
+	for i := range p {
+		p[i] = *power
+	}
+	if *hotWire >= 0 && *hotWire < *wires {
+		p[*hotWire] = 3 * *power
+	}
+	temps, err := net.SteadyState(p)
+	if err != nil {
+		return err
+	}
+	currents := make([]float64, *wires)
+	for i := range currents {
+		currents[i], err = reliability.RMSCurrentDensity(p[i], units.RhoCopper, n.WireWidth, n.WireThickness)
+		if err != nil {
+			return err
+		}
+	}
+	refJ, err := reliability.RMSCurrentDensity(*power, units.RhoCopper, n.WireWidth, n.WireThickness)
+	if err != nil {
+		return err
+	}
+	a, err := reliability.AssessBus(reliability.Params{}, temps, currents, units.AmbientK, refJ)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("EM assessment, %s, %d wires, %.2f W/m (wire %d at 3x):\n",
+		n.Name, *wires, *power, *hotWire)
+	fmt.Printf("  worst wire: #%d at %.3f K, relative MTTF %.4f\n",
+		a.WorstWire, a.Wires[a.WorstWire].TempK, a.WorstRelMTTF)
+	fmt.Printf("  uniform-temperature model would predict %.4f (%.1fx more optimistic)\n",
+		a.UniformModelRelMTTF, a.UniformModelRelMTTF/a.WorstRelMTTF)
+	return nil
+}
+
+// cmdRepSweep reports the energy-delay tradeoff of scaling the repeater
+// count away from the delay-optimal point.
+func cmdRepSweep(args []string) error {
+	fs := flag.NewFlagSet("repsweep", flag.ExitOnError)
+	node := fs.String("node", "130nm", "technology node")
+	length := fs.Float64("length", 0.01, "line length (m)")
+	fs.Parse(args)
+	n, ok := itrs.ByName(*node)
+	if !ok {
+		return fmt.Errorf("unknown node %q", *node)
+	}
+	inv := repeater.DefaultInverter(n)
+	points, err := repeater.Sweep(n, *length, inv, []float64{0.25, 0.5, 0.75, 1, 1.5, 2})
+	if err != nil {
+		return err
+	}
+	// The self-energy share Crep adds per full transition of one wire:
+	// 0.5*(cline*L + Crep)*Vdd^2.
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "k scale\trepeaters\tCrep (pF)\tdelay (ns)\tself E/transition (pJ)")
+	for _, p := range points {
+		selfE := 0.5 * (n.CLine*(*length) + p.Crep) * n.Vdd * n.Vdd
+		fmt.Fprintf(tw, "%.2f\t%.1f\t%.2f\t%.3f\t%.3f\n",
+			p.Scale, p.CountK, p.Crep*1e12, p.WireDelay*1e9, selfE*1e12)
+	}
+	return tw.Flush()
+}
+
+// cmdValidate cross-checks the lumped thermal-RC network against the 2-D
+// finite-difference field solver on a hot-spot load.
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	node := fs.String("node", "130nm", "technology node")
+	wires := fs.Int("wires", 5, "bus width (field solve cost grows with width)")
+	power := fs.Float64("power", 20, "hot centre wire power (W/m)")
+	cells := fs.Int("cells", 5, "FDM cells per wire width")
+	fs.Parse(args)
+	n, ok := itrs.ByName(*node)
+	if !ok {
+		return fmt.Errorf("unknown node %q", *node)
+	}
+	p := make([]float64, *wires)
+	p[*wires/2] = *power
+	g, err := fdm.NewBusCrossSection(n, p, units.AmbientK, fdm.Options{CellsPerWidth: *cells})
+	if err != nil {
+		return err
+	}
+	sweeps, err := g.SolveSteadyState(1e-8, 100000)
+	if err != nil {
+		return err
+	}
+	field, err := g.WireTemps()
+	if err != nil {
+		return err
+	}
+	net, err := nanobus.NewThermalNetwork(n, *wires, nanobus.ThermalOptions{DisableInterLayer: true})
+	if err != nil {
+		return err
+	}
+	rc, err := net.SteadyState(p)
+	if err != nil {
+		return err
+	}
+	nx, ny := g.Cells()
+	fmt.Printf("field solve: %dx%d cells, %d SOR sweeps; hot wire %d at %.2f W/m\n",
+		nx, ny, sweeps, *wires/2, *power)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "wire\tfield rise (K)\tRC rise (K)\tratio")
+	for i := range field {
+		fRise := field[i] - units.AmbientK
+		rcRise := rc[i] - units.AmbientK
+		ratio := math.NaN()
+		if fRise != 0 {
+			ratio = rcRise / fRise
+		}
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.2f\n", i, fRise, rcRise, ratio)
+	}
+	return tw.Flush()
+}
+
+// cmdEncStats reports how often each BI-family scheme actually inverts on
+// a real address stream.
+func cmdEncStats(args []string) error {
+	fs := flag.NewFlagSet("encstats", flag.ExitOnError)
+	cycles := fs.Uint64("cycles", 1_000_000, "observed cycles")
+	bench := fs.String("bench", "eon", "benchmark")
+	bus := fs.String("bus", "DA", "bus: DA or IA")
+	fs.Parse(args)
+	rows, err := expt.EncStats(expt.EncStatsOptions{Cycles: *cycles, Benchmark: *bench, Bus: *bus})
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tdriven words\tinvert rate\tOEBI modes 00/01/10/11")
+	for _, r := range rows {
+		modeStr := "-"
+		if r.Scheme == "OEBI" {
+			modeStr = fmt.Sprintf("%.3f/%.3f/%.3f/%.3f",
+				r.OEBIModes[0], r.OEBIModes[1], r.OEBIModes[2], r.OEBIModes[3])
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.4f\t%s\n", r.Scheme, r.Cycles, r.InvertRate, modeStr)
+	}
+	return tw.Flush()
+}
+
+// cmdBaselines compares the paper's dynamic thermal model against the
+// worst-case and average-activity prior-art models it criticises.
+func cmdBaselines(args []string) error {
+	fs := flag.NewFlagSet("baselines", flag.ExitOnError)
+	cycles := fs.Uint64("cycles", 4_000_000, "simulated cycles")
+	node := fs.String("node", "130nm", "technology node")
+	bench := fs.String("bench", "swim", "benchmark")
+	fs.Parse(args)
+	n, ok := itrs.ByName(*node)
+	if !ok {
+		return fmt.Errorf("unknown node %q", *node)
+	}
+	res, err := expt.Baselines(*bench, n, *cycles)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("thermal model comparison, %s DA bus on %s (%d cycles, ambient %.2f K):\n",
+		res.Benchmark, res.Node, res.Cycles, units.AmbientK)
+	fmt.Printf("  paper's dynamic per-line model: max wire %.3f K, avg %.3f K, spread %.4f K\n",
+		res.DynamicMaxTemp, res.DynamicAvgTemp, res.DynamicSpread)
+	fmt.Printf("  average-activity baseline [8]:  %.3f K (uniform; no per-wire spread)\n",
+		res.AvgActivityTemp)
+	fmt.Printf("  worst-case jmax baseline [6]:   %.3f K (overestimates by %.1f K)\n",
+		res.WorstCaseTemp, res.WorstCaseTemp-res.DynamicMaxTemp)
+	return nil
+}
+
+// cmdDelayTemp reports the thermal delay degradation and damping check.
+func cmdDelayTemp(args []string) error {
+	fs := flag.NewFlagSet("delaytemp", flag.ExitOnError)
+	temp := fs.Float64("temp", 0, "wire temperature in K (0 = ambient+20)")
+	fs.Parse(args)
+	reports, err := delay.AnalyzeAll(*temp)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "node\tdelay@293K (ns)\tdelay@hot (ns)\tT hot (K)\tdegradation%\tdamping ζ (10mm)")
+	for _, r := range reports {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.2f\t%.2f\t%.1f\n",
+			r.Node.Name, r.RefDelay*1e9, r.HotDelay*1e9, r.HotTempK,
+			r.DegradationPct, r.Damping)
+	}
+	return tw.Flush()
+}

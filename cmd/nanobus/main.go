@@ -1,0 +1,394 @@
+// Command nanobus regenerates the paper's tables and figures from the
+// library. Each subcommand maps to one experiment of DESIGN.md's index:
+//
+//	nanobus table1                     # Table 1 + derived model parameters
+//	nanobus fig1b  [-wires N]          # capacitance distribution (BEM)
+//	nanobus sec33                      # non-adjacent coupling study
+//	nanobus fig3   [-cycles N] [...]   # encoding-effectiveness energies
+//	nanobus fig4   [-cycles N] [...]   # transient energy/temperature CSV
+//	nanobus fig5   [-cycles N] [...]   # idle-window cooling study
+//	nanobus dtheta                     # Eq. 7 inter-layer rise per node
+//	nanobus steady [-node X]           # analytic steady-state temperatures
+//	nanobus stats  [-bench X]          # address-stream statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nanobus"
+	"nanobus/internal/encoding"
+	"nanobus/internal/expt"
+	"nanobus/internal/extract3d"
+	"nanobus/internal/itrs"
+	"nanobus/internal/thermal"
+	"nanobus/internal/trace"
+	"nanobus/internal/units"
+	"nanobus/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = cmdTable1(args)
+	case "fig1b":
+		err = cmdFig1B(args)
+	case "sec33":
+		err = cmdSec33(args)
+	case "fig3":
+		err = cmdFig3(args)
+	case "fig4":
+		err = cmdFig4(args)
+	case "fig5":
+		err = cmdFig5(args)
+	case "dtheta":
+		err = cmdDTheta(args)
+	case "steady":
+		err = cmdSteady(args)
+	case "stats":
+		err = cmdStats(args)
+	case "l2bus":
+		err = cmdL2Bus(args)
+	case "substrate":
+		err = cmdSubstrate(args)
+	case "reliability":
+		err = cmdReliability(args)
+	case "delaytemp":
+		err = cmdDelayTemp(args)
+	case "baselines":
+		err = cmdBaselines(args)
+	case "encstats":
+		err = cmdEncStats(args)
+	case "validate":
+		err = cmdValidate(args)
+	case "repsweep":
+		err = cmdRepSweep(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "nanobus: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nanobus %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: nanobus <command> [flags]
+
+commands:
+  table1   reproduce Table 1 with derived repeater/thermal parameters
+  fig1b    capacitance distribution per node (BEM extraction, Fig. 1b)
+  sec33    non-adjacent coupling underestimation study (Sec. 3.3)
+  fig3     encoding-effectiveness energy study (Fig. 3)
+  fig4     transient energy/temperature series (Fig. 4; CSV with -csv)
+  fig5     intermittent-idling study (Fig. 5)
+  dtheta   Eq. 7 inter-layer temperature rise per node
+  steady   analytic steady-state wire temperatures for a uniform load
+  stats    address-stream statistics for a benchmark
+
+extension studies (beyond the paper's figures):
+  l2bus       L1->L2 address-bus energy via the cache hierarchy
+  substrate   combined substrate-temperature-variation effect
+  reliability per-wire electromigration lifetime (Black's equation)
+  delaytemp   temperature-dependent RC delay + RLC damping check
+  baselines   dynamic model vs worst-case [6] and avg-activity [8] models
+  encstats    invert-decision rates of the BI-family schemes on a trace
+  validate    lumped RC network vs 2-D finite-difference field solution
+  repsweep    repeater-count energy-delay tradeoff sweep
+
+run 'nanobus <command> -h' for per-command flags`)
+}
+
+func parseNodes(spec string) ([]itrs.Node, error) {
+	if spec == "" || spec == "all" {
+		return itrs.Nodes(), nil
+	}
+	var out []itrs.Node
+	for _, name := range strings.Split(spec, ",") {
+		n, ok := itrs.ByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown node %q (have %s)", name, strings.Join(itrs.Names(), ", "))
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	nodes := fs.String("nodes", "all", "comma-separated node list")
+	fs.Parse(args)
+	ns, err := parseNodes(*nodes)
+	if err != nil {
+		return err
+	}
+	rows, err := expt.Table1(ns...)
+	if err != nil {
+		return err
+	}
+	expt.PrintTable1(os.Stdout, rows)
+	return nil
+}
+
+func cmdFig1B(args []string) error {
+	fs := flag.NewFlagSet("fig1b", flag.ExitOnError)
+	wires := fs.Int("wires", 32, "bus width to extract")
+	panels := fs.Int("panels", 6, "BEM panels per conductor edge")
+	nodes := fs.String("nodes", "all", "comma-separated node list")
+	threeD := fs.Bool("3d", false, "use the 3-D extractor on a reduced bus (slow; 7 wires)")
+	fs.Parse(args)
+	ns, err := parseNodes(*nodes)
+	if err != nil {
+		return err
+	}
+	if *threeD {
+		return fig1b3D(ns)
+	}
+	rows, err := expt.Fig1B(expt.Fig1BOptions{Wires: *wires, PanelsPerEdge: *panels}, ns...)
+	if err != nil {
+		return err
+	}
+	expt.PrintFig1B(os.Stdout, rows)
+	return nil
+}
+
+// fig1b3D reports the capacitance distribution from the 3-D extractor on a
+// finite-length 7-wire bus (the dense solver bounds the problem size).
+func fig1b3D(nodes []itrs.Node) error {
+	fmt.Println("node    Cgnd%  CC1%  CC2%  CC3%  nonadj%  (3-D, 7 wires, 20 pitches long)")
+	for _, n := range nodes {
+		boxes := extract3d.BusBoxes(n, 7, 20*n.Pitch())
+		res, err := extract3d.Extract(boxes, n.EpsRel, extract3d.Options{TargetPanels: 220, GroundPlane: true})
+		if err != nil {
+			return err
+		}
+		const mid = 3
+		cg := res.SelfToGround(mid)
+		c1 := res.Coupling(mid, mid+1) + res.Coupling(mid, mid-1)
+		c2 := res.Coupling(mid, mid+2) + res.Coupling(mid, mid-2)
+		c3 := res.Coupling(mid, mid+3) + res.Coupling(mid, mid-3)
+		tot := cg + c1 + c2 + c3
+		fmt.Printf("%-7s %5.1f %5.1f %5.1f %5.1f %7.1f\n",
+			n.Name, 100*cg/tot, 100*c1/tot, 100*c2/tot, 100*c3/tot, 100*(c2+c3)/tot)
+	}
+	return nil
+}
+
+func cmdSec33(args []string) error {
+	fs := flag.NewFlagSet("sec33", flag.ExitOnError)
+	wires := fs.Int("wires", 32, "bus width")
+	nodes := fs.String("nodes", "all", "comma-separated node list")
+	fs.Parse(args)
+	ns, err := parseNodes(*nodes)
+	if err != nil {
+		return err
+	}
+	rows, err := expt.Sec33(expt.Sec33Options{Wires: *wires}, ns...)
+	if err != nil {
+		return err
+	}
+	expt.PrintSec33(os.Stdout, rows)
+	return nil
+}
+
+func cmdFig3(args []string) error {
+	fs := flag.NewFlagSet("fig3", flag.ExitOnError)
+	cycles := fs.Uint64("cycles", 2_000_000, "measured cycles per benchmark (paper: 20M)")
+	benches := fs.String("benchmarks", "", "comma-separated benchmark list (default all 8)")
+	nodes := fs.String("nodes", "all", "comma-separated node list")
+	schemes := fs.String("schemes", "", "comma-separated encoding list (default paper's 4; 'ext' adds Gray,T0)")
+	detail := fs.Bool("detail", false, "print per-benchmark rows, not just means")
+	fs.Parse(args)
+	ns, err := parseNodes(*nodes)
+	if err != nil {
+		return err
+	}
+	opts := expt.Fig3Options{Cycles: *cycles, Nodes: ns}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	switch *schemes {
+	case "":
+	case "ext":
+		opts.Schemes = []string{"Unencoded", "BI", "OEBI", "CBI", "Gray", "T0"}
+	default:
+		opts.Schemes = strings.Split(*schemes, ",")
+	}
+	cells, err := expt.Fig3(opts)
+	if err != nil {
+		return err
+	}
+	if !*detail {
+		cells = expt.MeanCells(cells)
+	}
+	expt.PrintFig3(os.Stdout, cells)
+	return nil
+}
+
+func cmdFig4(args []string) error {
+	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
+	cycles := fs.Uint64("cycles", 30_000_000, "simulated cycles (paper: 300M)")
+	interval := fs.Uint64("interval", 100_000, "sampling interval in cycles")
+	node := fs.String("node", "130nm", "technology node")
+	benches := fs.String("benchmarks", "eon,swim", "comma-separated benchmark list")
+	csv := fs.Bool("csv", false, "emit full CSV series instead of the summary")
+	timing := fs.Bool("timing", false, "insert cache-miss stall cycles (timing-aware extension)")
+	fs.Parse(args)
+	n, ok := itrs.ByName(*node)
+	if !ok {
+		return fmt.Errorf("unknown node %q", *node)
+	}
+	series, err := expt.Fig4(expt.Fig4Options{
+		Cycles:         *cycles,
+		IntervalCycles: *interval,
+		Node:           n,
+		Benchmarks:     strings.Split(*benches, ","),
+		Timing:         *timing,
+	})
+	if err != nil {
+		return err
+	}
+	if *csv {
+		for _, s := range series {
+			if err := expt.WriteFig4CSV(os.Stdout, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	expt.PrintFig4Summary(os.Stdout, series)
+	return nil
+}
+
+func cmdFig5(args []string) error {
+	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	cycles := fs.Uint64("cycles", 40_000_000, "simulated cycles")
+	idleStart := fs.Uint64("idle-start", 0, "idle window start cycle (0 = mid-run)")
+	idleLen := fs.Uint64("idle-length", 1_000_000, "idle window length in cycles")
+	node := fs.String("node", "130nm", "technology node")
+	bench := fs.String("benchmark", "swim", "benchmark")
+	csv := fs.Bool("csv", false, "emit the full CSV series too")
+	fs.Parse(args)
+	n, ok := itrs.ByName(*node)
+	if !ok {
+		return fmt.Errorf("unknown node %q", *node)
+	}
+	res, err := expt.Fig5(expt.Fig5Options{
+		Cycles:     *cycles,
+		IdleStart:  *idleStart,
+		IdleLength: *idleLen,
+		Node:       n,
+		Benchmark:  *bench,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("idle window: cycles [%d, %d)\n", res.IdleStart, res.IdleStart+res.IdleLength)
+	fmt.Printf("max temp before idle: %.4f K\n", res.TempBeforeIdle)
+	fmt.Printf("max temp after idle:  %.4f K\n", res.TempAfterIdle)
+	fmt.Printf("cooling across idle:  %.4f K (rise above ambient: %.4f K)\n",
+		res.DropK, res.TempBeforeIdle-units.AmbientK)
+	if *csv {
+		return expt.WriteFig4CSV(os.Stdout, res.Series)
+	}
+	return nil
+}
+
+func cmdDTheta(args []string) error {
+	fs := flag.NewFlagSet("dtheta", flag.ExitOnError)
+	nodes := fs.String("nodes", "all", "comma-separated node list")
+	fs.Parse(args)
+	ns, err := parseNodes(*nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Println("node    Δθ (K)   layers")
+	for _, n := range ns {
+		fmt.Printf("%-7s %7.2f   %d\n", n.Name, thermal.InterLayerRise(n), n.MetalLayers)
+	}
+	return nil
+}
+
+func cmdSteady(args []string) error {
+	fs := flag.NewFlagSet("steady", flag.ExitOnError)
+	node := fs.String("node", "130nm", "technology node")
+	wires := fs.Int("wires", 32, "bus width")
+	power := fs.Float64("power", 1.0, "uniform dynamic power per wire (W/m)")
+	fs.Parse(args)
+	n, ok := itrs.ByName(*node)
+	if !ok {
+		return fmt.Errorf("unknown node %q", *node)
+	}
+	net, err := nanobus.NewThermalNetwork(n, *wires, nanobus.ThermalOptions{})
+	if err != nil {
+		return err
+	}
+	p := make([]float64, *wires)
+	for i := range p {
+		p[i] = *power
+	}
+	ss, err := net.SteadyState(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("steady-state temperatures, %s, %d wires, %.2f W/m per wire (ambient %.2f K):\n",
+		n.Name, *wires, *power, units.AmbientK)
+	for i, temp := range ss {
+		fmt.Printf("  wire %2d: %.3f K (+%.3f)\n", i, temp, temp-units.AmbientK)
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	bench := fs.String("bench", "eon", "benchmark name")
+	cycles := fs.Uint64("cycles", 1_000_000, "cycles to observe after warm-up")
+	fs.Parse(args)
+	b, ok := workload.ByName(*bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (have %s)", *bench, strings.Join(workload.Names(), ", "))
+	}
+	src, err := b.NewWarmSource(b.WarmupCycles)
+	if err != nil {
+		return err
+	}
+	iaX := encoding.NewCrosstalkHistogram(32)
+	daX := encoding.NewCrosstalkHistogram(32)
+	var ia, da trace.StreamStats
+	var got uint64
+	for got < *cycles {
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		got++
+		ia.Observe(c.IAddr, c.IValid)
+		da.Observe(c.DAddr, c.DValid)
+		if c.IValid {
+			iaX.Observe(uint64(c.IAddr))
+		}
+		if c.DValid {
+			daX.Observe(uint64(c.DAddr))
+		}
+	}
+	fmt.Printf("%s (%s): %d cycles after %d warm-up\n", b.Name, b.Class, got, b.WarmupCycles)
+	fmt.Printf("  IA: duty %.3f, mean Hamming %.2f, frac>16 %.5f, mean crosstalk class %.3f\n",
+		ia.DutyFactor(), ia.MeanHamming(), ia.FracAboveHalf(), iaX.MeanClass())
+	fmt.Printf("  DA: duty %.3f, mean Hamming %.2f, frac>16 %.5f, mean crosstalk class %.3f\n",
+		da.DutyFactor(), da.MeanHamming(), da.FracAboveHalf(), daX.MeanClass())
+	fmt.Printf("  DA crosstalk classes 0C..4C: %.3f %.3f %.3f %.3f %.3f\n",
+		daX.Fraction(0), daX.Fraction(1), daX.Fraction(2), daX.Fraction(3), daX.Fraction(4))
+	return nil
+}

@@ -1,0 +1,177 @@
+// Command nanotrace generates, inspects, and summarises address traces in
+// the nanotrace binary format:
+//
+//	nanotrace gen  -bench swim -cycles 1000000 -o swim.nbt
+//	nanotrace info swim.nbt
+//	nanotrace dump -n 20 swim.nbt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nanobus/internal/trace"
+	"nanobus/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "gen":
+		err = cmdGen(args)
+	case "info":
+		err = cmdInfo(args)
+	case "dump":
+		err = cmdDump(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "nanotrace: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nanotrace %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: nanotrace <command> [flags]
+
+commands:
+  gen   run a benchmark (or the synthetic generator) and write a trace file
+  info  print stream statistics of a trace file
+  dump  print the first cycles of a trace file`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	bench := fs.String("bench", "eon", "benchmark name, or 'synth' for the statistical generator")
+	cycles := fs.Uint64("cycles", 1_000_000, "cycles to record after warm-up")
+	skip := fs.Uint64("skip", 0, "warm-up cycles to skip (0 = benchmark default)")
+	seed := fs.Int64("seed", 1, "seed for -bench synth")
+	out := fs.String("o", "trace.nbt", "output file")
+	fs.Parse(args)
+
+	var src trace.Source
+	if *bench == "synth" {
+		src = trace.NewSynth(trace.DefaultSynthConfig(*seed))
+		if *skip > 0 {
+			src = trace.Skip(src, *skip)
+		}
+	} else {
+		b, ok := workload.ByName(*bench)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", *bench)
+		}
+		warm := b.WarmupCycles
+		if *skip > 0 {
+			warm = *skip
+		}
+		warmed, err := b.NewWarmSource(warm)
+		if err != nil {
+			return err
+		}
+		src = warmed
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < *cycles; i++ {
+		c, ok := src.Next()
+		if !ok {
+			return fmt.Errorf("source ended after %d cycles", i)
+		}
+		if err := w.Write(c); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d cycles to %s\n", w.Cycles(), *out)
+	return f.Close()
+}
+
+func openTrace(path string) (*trace.Reader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: nanotrace info FILE")
+	}
+	r, f, err := openTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ia, da, cycles := trace.CollectStats(r, ^uint64(0))
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d cycles\n", fs.Arg(0), cycles)
+	fmt.Printf("  IA: duty %.3f, mean Hamming %.2f, frac>16 %.5f\n",
+		ia.DutyFactor(), ia.MeanHamming(), ia.FracAboveHalf())
+	fmt.Printf("  DA: duty %.3f, mean Hamming %.2f, frac>16 %.5f\n",
+		da.DutyFactor(), da.MeanHamming(), da.FracAboveHalf())
+	return nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	n := fs.Int("n", 20, "cycles to print")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: nanotrace dump [-n N] FILE")
+	}
+	r, f, err := openTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for i := 0; i < *n; i++ {
+		c, ok := r.Next()
+		if !ok {
+			break
+		}
+		line := fmt.Sprintf("%6d  IA=%#010x", i, c.IAddr)
+		if !c.IValid {
+			line = fmt.Sprintf("%6d  IA=(idle)    ", i)
+		}
+		if c.DValid {
+			op := "ld"
+			if c.DStore {
+				op = "st"
+			}
+			line += fmt.Sprintf("  DA=%#010x (%s)", c.DAddr, op)
+		}
+		fmt.Println(line)
+	}
+	return r.Err()
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenInfoDumpRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload run")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.nbt")
+	if err := cmdGen([]string{"-bench", "crafty", "-cycles", "20000", "-skip", "600000", "-o", out}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	fi, err := os.Stat(out)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file: %v, size %d", err, fi.Size())
+	}
+	if err := cmdInfo([]string{out}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if err := cmdDump([]string{"-n", "5", out}); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+}
+
+func TestGenSynth(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "s.nbt")
+	if err := cmdGen([]string{"-bench", "synth", "-cycles", "5000", "-o", out}); err != nil {
+		t.Fatalf("gen synth: %v", err)
+	}
+	if err := cmdInfo([]string{out}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+}
+
+func TestGenUnknownBenchmark(t *testing.T) {
+	if err := cmdGen([]string{"-bench", "gcc", "-o", filepath.Join(t.TempDir(), "x.nbt")}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestInfoErrors(t *testing.T) {
+	if err := cmdInfo(nil); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := cmdInfo([]string{"/nonexistent/file.nbt"}); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+	// A non-trace file is rejected by the magic check.
+	bad := filepath.Join(t.TempDir(), "bad.nbt")
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{bad}); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestDumpErrors(t *testing.T) {
+	if err := cmdDump([]string{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := cmdDump([]string{"/nonexistent/file.nbt"}); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package nanobus_test
+
+import (
+	"fmt"
+
+	"nanobus"
+)
+
+// Example shows the minimal bus-modeling flow: drive addresses, read the
+// energy split.
+func Example() {
+	sim, err := nanobus.NewBus(nanobus.BusConfig{
+		Node:          nanobus.Node130,
+		CouplingDepth: -1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sim.StepWord(0x0000_1000)
+	sim.StepWord(0x0000_1004) // sequential: one line switches
+	sim.StepWord(0x7FFE_0000) // far jump: many lines switch
+	sim.Finish()
+
+	tot := sim.TotalEnergy()
+	fmt.Printf("width %d wires, coupling share %.0f%%\n",
+		sim.Width(), 100*(tot.CoupAdj+tot.CoupNonAdj)/tot.Total())
+	// Output: width 32 wires, coupling share 18%
+}
+
+// ExampleNewEncoder demonstrates an encode/decode round trip.
+func ExampleNewEncoder() {
+	enc, _ := nanobus.NewEncoder("BI")
+	dec, _ := nanobus.NewDecoder("BI")
+	phys := enc.Encode(0xFFFF0000)
+	fmt.Printf("%#x -> %#x\n", 0xFFFF0000, dec.Decode(phys))
+	// Output: 0xffff0000 -> 0xffff0000
+}
+
+// ExamplePlanRepeaters shows the paper's Eq. 1-2 repeater plan for a 10 mm
+// 130 nm global line.
+func ExamplePlanRepeaters() {
+	plan, _ := nanobus.PlanRepeaters(nanobus.Node130, 0.01)
+	fmt.Printf("k=%.1f repeaters of size %.0fx, Crep/Cint=%.2f\n",
+		plan.CountK, plan.SizeH, plan.Crep/(nanobus.Node130.CTotal()*0.01))
+	// Output: k=8.2 repeaters of size 105x, Crep/Cint=0.76
+}
+
+// ExampleInterLayerRise evaluates Eq. 7 for the paper's nodes.
+func ExampleInterLayerRise() {
+	for _, n := range nanobus.Nodes()[:2] {
+		fmt.Printf("%s: %.1f K\n", n.Name, nanobus.InterLayerRise(n))
+	}
+	// Output:
+	// 130nm: 12.8 K
+	// 90nm: 64.2 K
+}
+
+// ExampleNewThermalNetwork solves a steady state analytically.
+func ExampleNewThermalNetwork() {
+	net, _ := nanobus.NewThermalNetwork(nanobus.Node130, 3, nanobus.ThermalOptions{
+		DisableInterLayer: true,
+	})
+	ss, _ := net.SteadyState([]float64{0, 10, 0})
+	fmt.Printf("hot wire rise: %.2f K, neighbour rise: %.2f K\n",
+		ss[1]-net.Ambient(), ss[0]-net.Ambient())
+	// Output: hot wire rise: 8.16 K, neighbour rise: 5.73 K
+}

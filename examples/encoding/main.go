@@ -1,0 +1,99 @@
+// Encoding study: compare every implemented low-power encoding scheme
+// (the paper's BI/OEBI/CBI plus the Gray and T0 extensions) on a
+// benchmark's data- and instruction-address streams, across technology
+// nodes — a compact version of the paper's Fig. 3 with the extension
+// schemes included.
+//
+// Usage: go run ./examples/encoding [-bench eon] [-cycles 500000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"nanobus"
+)
+
+func main() {
+	bench := flag.String("bench", "eon", "benchmark: eon, crafty, twolf, mcf, applu, swim, art, ammp")
+	cycles := flag.Uint64("cycles", 500_000, "measured cycles")
+	flag.Parse()
+
+	b, ok := nanobus.BenchmarkByName(*bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+
+	// Capture one trace window so every scheme sees identical traffic.
+	src, err := b.NewWarmSource(b.WarmupCycles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	window := make([]nanobus.TraceCycle, 0, *cycles)
+	for uint64(len(window)) < *cycles {
+		c, ok := src.Next()
+		if !ok {
+			log.Fatal("trace ended early")
+		}
+		window = append(window, c)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "node\tbus\tscheme\twires\tenergy (J)\tvs unencoded")
+	for _, node := range nanobus.Nodes() {
+		for _, bus := range []string{"IA", "DA"} {
+			baseline := 0.0
+			for _, scheme := range nanobus.EncodingSchemes() {
+				enc, err := nanobus.NewEncoder(scheme)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sim, err := nanobus.NewBus(nanobus.BusConfig{
+					Node:          node,
+					Encoder:       enc,
+					CouplingDepth: -1,
+					DropSamples:   true,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				kind := "da"
+				if bus == "IA" {
+					kind = "ia"
+				}
+				if _, err := nanobus.RunSingle(replay(window), sim, kind, *cycles); err != nil {
+					log.Fatal(err)
+				}
+				e := sim.TotalEnergy().Total()
+				if scheme == "Unencoded" {
+					baseline = e
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%.4g\t%+.2f%%\n",
+					node.Name, bus, scheme, sim.Width(), e, 100*(e-baseline)/baseline)
+			}
+		}
+	}
+	tw.Flush()
+}
+
+// replay wraps a captured window as a fresh TraceSource.
+func replay(window []nanobus.TraceCycle) nanobus.TraceSource {
+	return &sliceSource{cycles: window}
+}
+
+type sliceSource struct {
+	cycles []nanobus.TraceCycle
+	pos    int
+}
+
+func (s *sliceSource) Next() (nanobus.TraceCycle, bool) {
+	if s.pos >= len(s.cycles) {
+		return nanobus.TraceCycle{}, false
+	}
+	c := s.cycles[s.pos]
+	s.pos++
+	return c, true
+}

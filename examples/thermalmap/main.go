@@ -1,0 +1,96 @@
+// Thermal map: run a hot workload on both address buses and render the
+// per-wire temperature profile as an ASCII heat map, showing the
+// non-uniform cross-bus temperature distribution the paper's per-line
+// model exists to expose (Secs. 3.3, 4).
+//
+// Usage: go run ./examples/thermalmap [-bench swim] [-cycles 2000000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"nanobus"
+)
+
+func main() {
+	bench := flag.String("bench", "swim", "benchmark name")
+	cycles := flag.Uint64("cycles", 2_000_000, "cycles to simulate")
+	node := flag.String("node", "130nm", "technology node")
+	flag.Parse()
+
+	n, ok := nanobus.NodeByName(*node)
+	if !ok {
+		log.Fatalf("unknown node %q", *node)
+	}
+	b, ok := nanobus.BenchmarkByName(*bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+	src, err := b.NewWarmSource(b.WarmupCycles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mk := func() *nanobus.Bus {
+		sim, err := nanobus.NewBus(nanobus.BusConfig{
+			Node:          n,
+			CouplingDepth: -1,
+			DropSamples:   true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sim
+	}
+	ia, da := mk(), mk()
+	if _, err := nanobus.RunPair(src, ia, da, *cycles); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %s, %d cycles\n\n", b.Name, n.Name, *cycles)
+	render("IA bus", ia)
+	fmt.Println()
+	render("DA bus", da)
+}
+
+func render(label string, sim *nanobus.Bus) {
+	temps := sim.Temps()
+	lines := make([]nanobus.LineEnergy, sim.Width())
+	sim.LineEnergies(lines)
+
+	minT, maxT := temps[0], temps[0]
+	for _, t := range temps {
+		if t < minT {
+			minT = t
+		}
+		if t > maxT {
+			maxT = t
+		}
+	}
+	fmt.Printf("%s: avg %.4f K, span [%.4f, %.4f] K\n", label, mean(temps), minT, maxT)
+	const width = 50
+	shades := []byte(" .:-=+*#%@")
+	for i, t := range temps {
+		frac := 0.0
+		if maxT > minT {
+			frac = (t - minT) / (maxT - minT)
+		}
+		bar := int(frac*float64(width) + 0.5)
+		shade := shades[int(frac*float64(len(shades)-1)+0.5)]
+		fmt.Printf("  wire %2d %8.4f K |%s%s| E=%.3g J\n",
+			i, t,
+			strings.Repeat(string(shade), bar),
+			strings.Repeat(" ", width-bar),
+			lines[i].Total())
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

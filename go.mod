@@ -1,0 +1,3 @@
+module nanobus
+
+go 1.22

@@ -1,0 +1,188 @@
+// Integration tests exercising the full pipeline through the public API:
+// workload -> CPU -> trace -> encoder -> energy -> thermal -> samples.
+package nanobus_test
+
+import (
+	"math"
+	"testing"
+
+	"nanobus"
+)
+
+// TestDeterministicReproduction: two identical end-to-end runs must agree
+// bit-for-bit — the property that makes every EXPERIMENTS.md number
+// reproducible.
+func TestDeterministicReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run")
+	}
+	run := func() (float64, []float64) {
+		b, ok := nanobus.BenchmarkByName("crafty")
+		if !ok {
+			t.Fatal("crafty missing")
+		}
+		src, err := b.NewWarmSource(600_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := nanobus.NewEncoder("BI")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := nanobus.NewBus(nanobus.BusConfig{
+			Node:           nanobus.Node90,
+			Encoder:        enc,
+			CouplingDepth:  -1,
+			IntervalCycles: 50_000,
+			DropSamples:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nanobus.RunSingle(src, sim, "ia", 300_000); err != nil {
+			t.Fatal(err)
+		}
+		return sim.TotalEnergy().Total(), sim.Temps()
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 {
+		t.Errorf("energies differ across identical runs: %.17g vs %.17g", e1, e2)
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Errorf("wire %d temperature differs: %.17g vs %.17g", i, t1[i], t2[i])
+		}
+	}
+}
+
+// TestEncodedPipelinePreservesData: pushing a benchmark trace through an
+// encoder and decoding the physical words recovers the original address
+// stream exactly (end-to-end transparency of every scheme).
+func TestEncodedPipelinePreservesData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run")
+	}
+	b, _ := nanobus.BenchmarkByName("twolf")
+	src, err := b.NewWarmSource(b.WarmupCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []uint32
+	for len(addrs) < 20_000 {
+		c, ok := src.Next()
+		if !ok {
+			t.Fatal("trace ended")
+		}
+		if c.DValid {
+			addrs = append(addrs, c.DAddr)
+		}
+	}
+	for _, scheme := range nanobus.EncodingSchemes() {
+		enc, err := nanobus.NewEncoder(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := nanobus.NewDecoder(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range addrs {
+			if got := dec.Decode(enc.Encode(a)); got != a {
+				t.Fatalf("%s: address %d corrupted: %#x -> %#x", scheme, i, a, got)
+			}
+		}
+	}
+}
+
+// TestThermalEnergyBalance: at steady state, the power leaving through the
+// vertical paths equals the power injected — conservation across the
+// energy/thermal interface.
+func TestThermalEnergyBalance(t *testing.T) {
+	net, err := nanobus.NewThermalNetwork(nanobus.Node130, 8, nanobus.ThermalOptions{
+		DisableInterLayer: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{1, 2, 3, 4, 4, 3, 2, 1}
+	ss, err := net.SteadyState(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertical heat out per wire is (T - ambient)/Rvert; lateral flows
+	// are internal and cancel in the sum, so sum(ΔT)/Rvert must equal
+	// the total injected power. Rvert is recovered from a uniform-load
+	// run (where ΔT = P*Rvert exactly).
+	g := 0.0
+	total := 0.0
+	for i, temp := range ss {
+		g += temp - net.Ambient()
+		total += p[i]
+	}
+	uniform := make([]float64, 8)
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	us, err := net.SteadyState(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rUnit := us[0] - net.Ambient() // = 1 W/m * Rvert
+	if math.Abs(g/total-rUnit) > 1e-9*rUnit {
+		t.Errorf("aggregate balance violated: sum(ΔT)/sum(P) = %g, Rvert = %g", g/total, rUnit)
+	}
+}
+
+// TestFacadeFieldSolver drives the FDM validation through the facade.
+func TestFacadeFieldSolver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("field solve")
+	}
+	p := []float64{0, 10, 0}
+	grid, err := nanobus.NewFieldCrossSection(nanobus.Node130, p, 318.15, nanobus.FieldOptions{CellsPerWidth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grid.SolveSteadyState(1e-7, 40000); err != nil {
+		t.Fatal(err)
+	}
+	temps, err := grid.WireTemps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(temps[1] > temps[0] && temps[1] > temps[2]) {
+		t.Errorf("hot wire not hottest: %v", temps)
+	}
+}
+
+// TestFacade3DExtractor drives the 3-D extractor through the facade.
+func TestFacade3DExtractor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-D solve")
+	}
+	boxes := nanobus.BusBoxes3D(nanobus.Node130, 3, 10*nanobus.Node130.Pitch())
+	res, err := nanobus.Extract3D(boxes, nanobus.Node130.EpsRel, nanobus.Extraction3DOptions{
+		TargetPanels: 120, GroundPlane: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coupling(0, 1) <= res.Coupling(0, 2) {
+		t.Error("adjacent coupling not dominant in 3-D")
+	}
+}
+
+// TestCrosstalkFacade grades a stream through the facade.
+func TestCrosstalkFacade(t *testing.T) {
+	h := nanobus.NewCrosstalkHistogram(8)
+	h.Observe(0x00)
+	h.Observe(0x55)
+	h.Observe(0xAA)
+	if h.MeanClass() <= 0 {
+		t.Error("no crosstalk graded")
+	}
+	if nanobus.CrosstalkClass(0b01, 0b10, 0, 2) != 2 {
+		t.Error("facade CrosstalkClass wrong")
+	}
+}

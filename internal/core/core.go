@@ -1,0 +1,347 @@
+// Package core ties the paper's models together into the unified bus
+// simulator of Secs. 3-5: words (optionally passed through a low-power
+// encoder) drive the per-line energy model every cycle; every interval
+// (100K cycles by default, the paper's choice) the accumulated per-line
+// energies become piecewise-constant power inputs to the thermal-RC
+// network, which is advanced with RK4; samples of interval energy and
+// average/maximum wire temperature reproduce the traces of Figs. 4-5.
+package core
+
+import (
+	"fmt"
+
+	"nanobus/internal/capmodel"
+	"nanobus/internal/encoding"
+	"nanobus/internal/energy"
+	"nanobus/internal/itrs"
+	"nanobus/internal/repeater"
+	"nanobus/internal/thermal"
+	"nanobus/internal/trace"
+)
+
+// DefaultLength is the paper's global bus length regime ("length > 10 mm").
+const DefaultLength = 0.01
+
+// DefaultIntervalCycles is the paper's energy/temperature sampling interval.
+const DefaultIntervalCycles = 100_000
+
+// Config assembles a bus Simulator.
+type Config struct {
+	// Node is the technology node (required).
+	Node itrs.Node
+	// Length is the bus length in meters; zero means DefaultLength.
+	Length float64
+	// Encoder transforms data words to physical bus words; nil means
+	// unencoded.
+	Encoder encoding.Encoder
+	// CouplingDepth truncates the coupling matrix: 0 keeps self
+	// capacitance only, 1 nearest-neighbour, negative or large keeps all
+	// pairs. Use a negative value for the paper's full ("All") model.
+	CouplingDepth int
+	// IntervalCycles is the sampling interval; zero means
+	// DefaultIntervalCycles.
+	IntervalCycles uint64
+	// NoRepeaters drops the repeater capacitance (ablation; the paper's
+	// model includes delay-optimal repeaters).
+	NoRepeaters bool
+	// Thermal configures the thermal network.
+	Thermal thermal.NodeOptions
+	// OnSample, when non-nil, receives every interval sample as it
+	// closes (streaming consumers).
+	OnSample func(Sample)
+	// DropSamples disables in-memory sample retention; combine with
+	// OnSample for long runs that must not accumulate memory.
+	DropSamples bool
+	// TrackWireTemps copies the full per-wire temperature vector into
+	// every sample (Sample.WireTemps), enabling cross-bus thermal-profile
+	// animations at the cost of width*8 bytes per interval.
+	TrackWireTemps bool
+	// Decay overrides the non-adjacent coupling decay model; nil uses the
+	// node's calibrated default.
+	Decay *capmodel.DecayModel
+}
+
+// Sample is one interval's record.
+type Sample struct {
+	// EndCycle is the cycle count at the end of this interval.
+	EndCycle uint64
+	// Energy is the whole-bus energy dissipated during the interval (J),
+	// under the full (all-pairs) model.
+	Energy float64
+	// Self, CoupAdj, CoupNonAdj split Energy by component.
+	Self, CoupAdj, CoupNonAdj float64
+	// AvgTemp and MaxTemp are wire temperatures (K) at interval end.
+	AvgTemp, MaxTemp float64
+	// MaxWire is the hottest wire's index.
+	MaxWire int
+	// WireTemps is the full per-wire temperature vector at interval end;
+	// nil unless Config.TrackWireTemps is set.
+	WireTemps []float64
+}
+
+// Simulator drives one address bus.
+type Simulator struct {
+	cfg      Config
+	enc      encoding.Encoder
+	acc      *energy.Accumulator
+	net      *thermal.Network
+	interval uint64
+	dt       float64 // interval duration in seconds
+	length   float64
+
+	cycleInInterval uint64
+	samples         []Sample
+	lineBuf         []energy.LineEnergy
+	power           []float64
+
+	totalEnergy energy.LineEnergy
+	lineTotals  []energy.LineEnergy
+	cycles      uint64
+}
+
+// New builds a Simulator.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Node.Validate(); err != nil {
+		return nil, err
+	}
+	enc := cfg.Encoder
+	if enc == nil {
+		enc = encoding.NewUnencoded()
+	}
+	length := cfg.Length
+	if length == 0 {
+		length = DefaultLength
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("core: negative bus length %g", length)
+	}
+	interval := cfg.IntervalCycles
+	if interval == 0 {
+		interval = DefaultIntervalCycles
+	}
+	width := enc.Width()
+
+	decay := capmodel.DefaultDecay(cfg.Node)
+	if cfg.Decay != nil {
+		decay = *cfg.Decay
+	}
+	caps, err := capmodel.FromNode(cfg.Node, width, decay)
+	if err != nil {
+		return nil, err
+	}
+	depth := cfg.CouplingDepth
+	if depth >= 0 {
+		caps = caps.Truncate(depth)
+	}
+
+	crep := 0.0
+	if !cfg.NoRepeaters {
+		plan, err := repeater.InsertDefault(cfg.Node, length)
+		if err != nil {
+			return nil, err
+		}
+		crep = plan.Crep
+	}
+	model, err := energy.New(energy.Config{
+		Caps:   caps,
+		Length: length,
+		Vdd:    cfg.Node.Vdd,
+		Crep:   crep,
+	})
+	if err != nil {
+		return nil, err
+	}
+	net, err := thermal.NewFromNode(cfg.Node, width, cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		cfg:        cfg,
+		enc:        enc,
+		acc:        energy.NewAccumulator(model),
+		net:        net,
+		interval:   interval,
+		dt:         float64(interval) * cfg.Node.CyclePeriod(),
+		length:     length,
+		lineBuf:    make([]energy.LineEnergy, width),
+		power:      make([]float64, width),
+		lineTotals: make([]energy.LineEnergy, width),
+	}, nil
+}
+
+// Width returns the physical bus width (data + invert lines).
+func (s *Simulator) Width() int { return s.enc.Width() }
+
+// Encoder returns the encoder in use.
+func (s *Simulator) Encoder() encoding.Encoder { return s.enc }
+
+// Network exposes the thermal network (read-only use intended).
+func (s *Simulator) Network() *thermal.Network { return s.net }
+
+// StepWord drives one data word for one cycle.
+func (s *Simulator) StepWord(word uint32) {
+	s.acc.Step(s.enc.Encode(word))
+	s.tick()
+}
+
+// StepIdle advances one cycle with the bus holding its value.
+func (s *Simulator) StepIdle() {
+	s.acc.Idle()
+	s.tick()
+}
+
+func (s *Simulator) tick() {
+	s.cycles++
+	s.cycleInInterval++
+	if s.cycleInInterval >= s.interval {
+		s.flush(s.cycleInInterval)
+	}
+}
+
+// flush closes the current interval of n cycles: convert per-line energy to
+// power, advance the thermal network, emit a sample, reset the window.
+func (s *Simulator) flush(n uint64) {
+	if n == 0 {
+		return
+	}
+	s.acc.Lines(s.lineBuf)
+	dt := float64(n) * s.cfg.Node.CyclePeriod()
+	for i := range s.lineBuf {
+		le := s.lineBuf[i]
+		s.lineTotals[i].Self += le.Self
+		s.lineTotals[i].CoupAdj += le.CoupAdj
+		s.lineTotals[i].CoupNonAdj += le.CoupNonAdj
+		// W/m: interval line energy over interval time, per unit length.
+		s.power[i] = le.Total() / dt / s.length
+	}
+	tot := s.acc.Total()
+	s.totalEnergy.Self += tot.Self
+	s.totalEnergy.CoupAdj += tot.CoupAdj
+	s.totalEnergy.CoupNonAdj += tot.CoupNonAdj
+
+	if err := s.net.Advance(dt, s.power); err != nil {
+		// The network is sized to the bus and dt > 0; errors are
+		// programming bugs.
+		panic(err)
+	}
+	maxT, maxW := s.net.MaxTemp()
+	sample := Sample{
+		EndCycle:   s.cycles,
+		Energy:     tot.Total(),
+		Self:       tot.Self,
+		CoupAdj:    tot.CoupAdj,
+		CoupNonAdj: tot.CoupNonAdj,
+		AvgTemp:    s.net.AvgTemp(),
+		MaxTemp:    maxT,
+		MaxWire:    maxW,
+	}
+	if s.cfg.TrackWireTemps {
+		sample.WireTemps = s.net.Temps(nil)
+	}
+	if s.cfg.OnSample != nil {
+		s.cfg.OnSample(sample)
+	}
+	if !s.cfg.DropSamples {
+		s.samples = append(s.samples, sample)
+	}
+	s.acc.Reset()
+	s.cycleInInterval = 0
+}
+
+// Finish closes any partial interval; call once after the last cycle.
+func (s *Simulator) Finish() {
+	if s.cycleInInterval > 0 {
+		s.flush(s.cycleInInterval)
+	}
+}
+
+// Samples returns the retained interval samples.
+func (s *Simulator) Samples() []Sample { return s.samples }
+
+// Cycles returns the number of cycles simulated.
+func (s *Simulator) Cycles() uint64 { return s.cycles }
+
+// TotalEnergy returns the cumulative bus energy split by component,
+// including any flushed intervals only (call Finish first for exact
+// totals).
+func (s *Simulator) TotalEnergy() energy.LineEnergy { return s.totalEnergy }
+
+// LineEnergies copies cumulative per-line energies into dst (length
+// Width()).
+func (s *Simulator) LineEnergies(dst []energy.LineEnergy) {
+	copy(dst, s.lineTotals)
+}
+
+// Temps returns the current per-wire temperatures.
+func (s *Simulator) Temps() []float64 { return s.net.Temps(nil) }
+
+// PairResult bundles the IA and DA simulators after a run.
+type PairResult struct {
+	IA, DA *Simulator
+	Cycles uint64
+}
+
+// RunPair drives separate instruction- and data-address bus simulators
+// from a trace source for up to maxCycles cycles (the DA bus idles on
+// cycles without a data access, and both buses idle on injected idle
+// cycles). It finishes both simulators before returning.
+func RunPair(src trace.Source, ia, da *Simulator, maxCycles uint64) (PairResult, error) {
+	if ia == nil || da == nil {
+		return PairResult{}, fmt.Errorf("core: nil simulator")
+	}
+	var n uint64
+	for n < maxCycles {
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+		if c.IValid {
+			ia.StepWord(c.IAddr)
+		} else {
+			ia.StepIdle()
+		}
+		if c.DValid {
+			da.StepWord(c.DAddr)
+		} else {
+			da.StepIdle()
+		}
+	}
+	ia.Finish()
+	da.Finish()
+	return PairResult{IA: ia, DA: da, Cycles: n}, nil
+}
+
+// RunSingle drives one simulator from the source's instruction stream
+// (kind "ia") or data stream ("da") for up to maxCycles cycles.
+func RunSingle(src trace.Source, sim *Simulator, kind string, maxCycles uint64) (uint64, error) {
+	if sim == nil {
+		return 0, fmt.Errorf("core: nil simulator")
+	}
+	var n uint64
+	for n < maxCycles {
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+		switch kind {
+		case "ia":
+			if c.IValid {
+				sim.StepWord(c.IAddr)
+			} else {
+				sim.StepIdle()
+			}
+		case "da":
+			if c.DValid {
+				sim.StepWord(c.DAddr)
+			} else {
+				sim.StepIdle()
+			}
+		default:
+			return n, fmt.Errorf("core: unknown bus kind %q", kind)
+		}
+	}
+	sim.Finish()
+	return n, nil
+}

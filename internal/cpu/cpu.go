@@ -1,0 +1,349 @@
+// Package cpu implements the NB32 functional processor simulator that
+// generates the paper's address traces: every committed instruction yields
+// one fetch address (the IA bus) and, for loads/stores, one data address
+// (the DA bus), mirroring the SHADE/cachesim5 methodology of Sec. 5.1.
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"nanobus/internal/isa"
+	"nanobus/internal/trace"
+)
+
+// Counters classify committed instructions — the mix statistics used to
+// sanity-check that a synthetic workload behaves like the program class it
+// imitates.
+type Counters struct {
+	Loads, Stores uint64
+	// Branches counts conditional branches; Taken those that redirected.
+	Branches, Taken uint64
+	// Jumps counts jal/jalr.
+	Jumps uint64
+	// FPOps counts floating-point arithmetic/conversion instructions.
+	FPOps uint64
+}
+
+// CPU is the architectural state of one NB32 core.
+type CPU struct {
+	// Regs are the integer registers; Regs[0] reads as zero.
+	Regs [isa.NumRegs]uint32
+	// FRegs are the FP registers.
+	FRegs [isa.NumRegs]float32
+	// PC is the program counter.
+	PC uint32
+	// Mem is the memory.
+	Mem *Memory
+	// Halted is set by the halt instruction.
+	Halted bool
+	// Instret counts committed instructions.
+	Instret uint64
+	// Counters classify the committed instructions.
+	Counters Counters
+}
+
+// New builds a CPU over mem starting at entry.
+func New(mem *Memory, entry uint32) *CPU {
+	return &CPU{Mem: mem, PC: entry}
+}
+
+// LoadProgram assembles nothing — it loads an assembled program and points
+// the PC at its entry.
+func LoadProgram(p *isa.Program) *CPU {
+	mem := NewMemory()
+	mem.LoadProgram(p)
+	return New(mem, p.Entry)
+}
+
+// Event reports what one committed instruction put on the address buses.
+type Event struct {
+	// Fetch is the instruction's own address.
+	Fetch uint32
+	// Mem reports a data access with its address; Store distinguishes
+	// stores from loads.
+	Mem   bool
+	Addr  uint32
+	Store bool
+}
+
+// Step executes one instruction and reports its bus event. Executing while
+// halted is an error.
+func (c *CPU) Step() (Event, error) {
+	if c.Halted {
+		return Event{}, fmt.Errorf("cpu: step while halted at pc=%#x", c.PC)
+	}
+	ev := Event{Fetch: c.PC}
+	w, err := c.Mem.ReadWord(c.PC)
+	if err != nil {
+		return ev, fmt.Errorf("cpu: fetch: %w", err)
+	}
+	in := isa.Decode(w)
+	next := c.PC + 4
+
+	r := func(i uint8) uint32 {
+		if i == 0 {
+			return 0
+		}
+		return c.Regs[i]
+	}
+	setR := func(i uint8, v uint32) {
+		if i != 0 {
+			c.Regs[i] = v
+		}
+	}
+
+	switch in.Op {
+	case isa.OpAdd:
+		setR(in.Rd, r(in.Rs1)+r(in.Rs2))
+	case isa.OpSub:
+		setR(in.Rd, r(in.Rs1)-r(in.Rs2))
+	case isa.OpAnd:
+		setR(in.Rd, r(in.Rs1)&r(in.Rs2))
+	case isa.OpOr:
+		setR(in.Rd, r(in.Rs1)|r(in.Rs2))
+	case isa.OpXor:
+		setR(in.Rd, r(in.Rs1)^r(in.Rs2))
+	case isa.OpSll:
+		setR(in.Rd, r(in.Rs1)<<(r(in.Rs2)&31))
+	case isa.OpSrl:
+		setR(in.Rd, r(in.Rs1)>>(r(in.Rs2)&31))
+	case isa.OpSra:
+		setR(in.Rd, uint32(int32(r(in.Rs1))>>(r(in.Rs2)&31)))
+	case isa.OpSlt:
+		setR(in.Rd, b2u(int32(r(in.Rs1)) < int32(r(in.Rs2))))
+	case isa.OpSltu:
+		setR(in.Rd, b2u(r(in.Rs1) < r(in.Rs2)))
+	case isa.OpMul:
+		setR(in.Rd, r(in.Rs1)*r(in.Rs2))
+	case isa.OpDiv:
+		d := r(in.Rs2)
+		if d == 0 {
+			setR(in.Rd, ^uint32(0))
+		} else {
+			setR(in.Rd, uint32(int32(r(in.Rs1))/int32(d)))
+		}
+	case isa.OpRem:
+		d := r(in.Rs2)
+		if d == 0 {
+			setR(in.Rd, r(in.Rs1))
+		} else {
+			setR(in.Rd, uint32(int32(r(in.Rs1))%int32(d)))
+		}
+
+	case isa.OpAddi:
+		setR(in.Rd, r(in.Rs1)+uint32(in.Imm))
+	case isa.OpAndi:
+		setR(in.Rd, r(in.Rs1)&uint32(in.Imm))
+	case isa.OpOri:
+		setR(in.Rd, r(in.Rs1)|uint32(in.Imm))
+	case isa.OpXori:
+		setR(in.Rd, r(in.Rs1)^uint32(in.Imm))
+	case isa.OpSlti:
+		setR(in.Rd, b2u(int32(r(in.Rs1)) < in.Imm))
+	case isa.OpSlli:
+		setR(in.Rd, r(in.Rs1)<<(uint32(in.Imm)&31))
+	case isa.OpSrli:
+		setR(in.Rd, r(in.Rs1)>>(uint32(in.Imm)&31))
+	case isa.OpSrai:
+		setR(in.Rd, uint32(int32(r(in.Rs1))>>(uint32(in.Imm)&31)))
+
+	case isa.OpLui:
+		setR(in.Rd, uint32(in.Imm))
+
+	case isa.OpLw, isa.OpLh, isa.OpLhu, isa.OpLb, isa.OpLbu, isa.OpFlw:
+		addr := r(in.Rs1) + uint32(in.Imm)
+		ev.Mem, ev.Addr = true, addr
+		switch in.Op {
+		case isa.OpLw:
+			v, err := c.Mem.ReadWord(addr)
+			if err != nil {
+				return ev, err
+			}
+			setR(in.Rd, v)
+		case isa.OpLh:
+			v, err := c.Mem.ReadHalf(addr)
+			if err != nil {
+				return ev, err
+			}
+			setR(in.Rd, uint32(int32(int16(v))))
+		case isa.OpLhu:
+			v, err := c.Mem.ReadHalf(addr)
+			if err != nil {
+				return ev, err
+			}
+			setR(in.Rd, uint32(v))
+		case isa.OpLb:
+			setR(in.Rd, uint32(int32(int8(c.Mem.LoadByte(addr)))))
+		case isa.OpLbu:
+			setR(in.Rd, uint32(c.Mem.LoadByte(addr)))
+		case isa.OpFlw:
+			v, err := c.Mem.ReadWord(addr)
+			if err != nil {
+				return ev, err
+			}
+			c.FRegs[in.Rd] = math.Float32frombits(v)
+		}
+
+	case isa.OpSw, isa.OpSh, isa.OpSb, isa.OpFsw:
+		addr := r(in.Rs1) + uint32(in.Imm)
+		ev.Mem, ev.Addr, ev.Store = true, addr, true
+		switch in.Op {
+		case isa.OpSw:
+			if err := c.Mem.WriteWord(addr, r(in.Rs2)); err != nil {
+				return ev, err
+			}
+		case isa.OpSh:
+			if err := c.Mem.WriteHalf(addr, uint16(r(in.Rs2))); err != nil {
+				return ev, err
+			}
+		case isa.OpSb:
+			c.Mem.StoreByte(addr, byte(r(in.Rs2)))
+		case isa.OpFsw:
+			if err := c.Mem.WriteWord(addr, math.Float32bits(c.FRegs[in.Rs2])); err != nil {
+				return ev, err
+			}
+		}
+
+	case isa.OpBeq:
+		if r(in.Rs1) == r(in.Rs2) {
+			next = c.PC + uint32(in.Imm)
+		}
+	case isa.OpBne:
+		if r(in.Rs1) != r(in.Rs2) {
+			next = c.PC + uint32(in.Imm)
+		}
+	case isa.OpBlt:
+		if int32(r(in.Rs1)) < int32(r(in.Rs2)) {
+			next = c.PC + uint32(in.Imm)
+		}
+	case isa.OpBge:
+		if int32(r(in.Rs1)) >= int32(r(in.Rs2)) {
+			next = c.PC + uint32(in.Imm)
+		}
+	case isa.OpBltu:
+		if r(in.Rs1) < r(in.Rs2) {
+			next = c.PC + uint32(in.Imm)
+		}
+	case isa.OpBgeu:
+		if r(in.Rs1) >= r(in.Rs2) {
+			next = c.PC + uint32(in.Imm)
+		}
+
+	case isa.OpJal:
+		setR(in.Rd, c.PC+4)
+		next = c.PC + uint32(in.Imm)
+	case isa.OpJalr:
+		t := (r(in.Rs1) + uint32(in.Imm)) &^ 3
+		setR(in.Rd, c.PC+4)
+		next = t
+
+	case isa.OpFadd:
+		c.FRegs[in.Rd] = c.FRegs[in.Rs1] + c.FRegs[in.Rs2]
+	case isa.OpFsub:
+		c.FRegs[in.Rd] = c.FRegs[in.Rs1] - c.FRegs[in.Rs2]
+	case isa.OpFmul:
+		c.FRegs[in.Rd] = c.FRegs[in.Rs1] * c.FRegs[in.Rs2]
+	case isa.OpFdiv:
+		c.FRegs[in.Rd] = c.FRegs[in.Rs1] / c.FRegs[in.Rs2]
+	case isa.OpFmin:
+		c.FRegs[in.Rd] = float32(math.Min(float64(c.FRegs[in.Rs1]), float64(c.FRegs[in.Rs2])))
+	case isa.OpFmax:
+		c.FRegs[in.Rd] = float32(math.Max(float64(c.FRegs[in.Rs1]), float64(c.FRegs[in.Rs2])))
+	case isa.OpFeq:
+		setR(in.Rd, b2u(c.FRegs[in.Rs1] == c.FRegs[in.Rs2]))
+	case isa.OpFlt:
+		setR(in.Rd, b2u(c.FRegs[in.Rs1] < c.FRegs[in.Rs2]))
+	case isa.OpFcvtws:
+		setR(in.Rd, uint32(int32(c.FRegs[in.Rs1])))
+	case isa.OpFcvtsw:
+		c.FRegs[in.Rd] = float32(int32(r(in.Rs1)))
+	case isa.OpFmvxw:
+		setR(in.Rd, math.Float32bits(c.FRegs[in.Rs1]))
+	case isa.OpFmvwx:
+		c.FRegs[in.Rd] = math.Float32frombits(r(in.Rs1))
+
+	case isa.OpHalt:
+		c.Halted = true
+		next = c.PC
+
+	default:
+		return ev, fmt.Errorf("cpu: invalid instruction %#08x at pc=%#x", w, c.PC)
+	}
+
+	// Classify for the mix counters.
+	info := isa.InfoOf(in.Op)
+	switch {
+	case info.Load:
+		c.Counters.Loads++
+	case info.Store:
+		c.Counters.Stores++
+	case info.Fmt == isa.FmtB:
+		c.Counters.Branches++
+		if next != ev.Fetch+4 {
+			c.Counters.Taken++
+		}
+	case in.Op == isa.OpJal || in.Op == isa.OpJalr:
+		c.Counters.Jumps++
+	}
+	if info.FP && !info.Load && !info.Store {
+		c.Counters.FPOps++
+	}
+
+	c.PC = next
+	c.Instret++
+	return ev, nil
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TraceSource adapts a CPU to trace.Source: one Cycle per committed
+// instruction. When the program halts before the consumer stops pulling,
+// the CPU restarts from the configured entry point (SPEC-style programs
+// run far longer than any trace window; restarting keeps sources infinite
+// like the paper's 300M-cycle windows require). A Step error terminates
+// the stream and is retained in Err.
+type TraceSource struct {
+	CPU   *CPU
+	entry uint32
+	err   error
+	// Restarts counts how many times the program wrapped around.
+	Restarts int
+}
+
+// NewTraceSource wraps the CPU; entry is the restart address.
+func NewTraceSource(c *CPU, entry uint32) *TraceSource {
+	return &TraceSource{CPU: c, entry: entry}
+}
+
+// Next implements trace.Source.
+func (ts *TraceSource) Next() (trace.Cycle, bool) {
+	if ts.err != nil {
+		return trace.Cycle{}, false
+	}
+	if ts.CPU.Halted {
+		ts.CPU.Halted = false
+		ts.CPU.PC = ts.entry
+		ts.Restarts++
+	}
+	ev, err := ts.CPU.Step()
+	if err != nil {
+		ts.err = err
+		return trace.Cycle{}, false
+	}
+	return trace.Cycle{
+		IValid: true,
+		IAddr:  ev.Fetch,
+		DValid: ev.Mem,
+		DAddr:  ev.Addr,
+		DStore: ev.Store,
+	}, true
+}
+
+// Err returns the error that terminated the stream, if any.
+func (ts *TraceSource) Err() error { return ts.err }

@@ -1,0 +1,370 @@
+package cpu
+
+import (
+	"testing"
+
+	"nanobus/internal/isa"
+	"nanobus/internal/trace"
+)
+
+func run(t *testing.T, src string, maxSteps int) *CPU {
+	t.Helper()
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	c := LoadProgram(p)
+	for i := 0; i < maxSteps && !c.Halted; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatalf("Step %d: %v", i, err)
+		}
+	}
+	if !c.Halted {
+		t.Fatalf("program did not halt in %d steps", maxSteps)
+	}
+	return c
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	// Sum 1..10 into r2.
+	c := run(t, `
+		.org 0x1000
+		addi r1, r0, 10
+		addi r2, r0, 0
+	loop:
+		add r2, r2, r1
+		addi r1, r1, -1
+		bne r1, r0, loop
+		halt
+	`, 100)
+	if c.Regs[2] != 55 {
+		t.Errorf("sum = %d, want 55", c.Regs[2])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	c := run(t, `
+		.org 0x1000
+		la r1, data
+		lw r2, 0(r1)
+		lw r3, 4(r1)
+		add r4, r2, r3
+		sw r4, 8(r1)
+		lb r5, 0(r1)
+		lbu r6, 12(r1)
+		lh r7, 12(r1)
+		lhu r8, 12(r1)
+		halt
+		.align 4
+	data:
+		.word 40, 2, 0
+		.word 0xFFFF80FF
+	`, 100)
+	if c.Regs[4] != 42 {
+		t.Errorf("r4 = %d, want 42", c.Regs[4])
+	}
+	if c.Regs[5] != 40 { // lb of 40
+		t.Errorf("lb = %d, want 40", c.Regs[5])
+	}
+	if c.Regs[6] != 0xFF {
+		t.Errorf("lbu = %#x, want 0xFF", c.Regs[6])
+	}
+	if c.Regs[7] != 0xFFFF80FF {
+		t.Errorf("lh sign-extended = %#x, want 0xFFFF80FF", c.Regs[7])
+	}
+	if c.Regs[8] != 0x80FF {
+		t.Errorf("lhu = %#x, want 0x80FF", c.Regs[8])
+	}
+}
+
+func TestShiftAndCompare(t *testing.T) {
+	c := run(t, `
+		addi r1, r0, 1
+		slli r2, r1, 31     # 0x80000000
+		srai r3, r2, 31     # 0xFFFFFFFF (arithmetic)
+		srli r4, r2, 31     # 1 (logical)
+		slt  r5, r2, r1     # signed: 0x80000000 < 1 -> 1
+		sltu r6, r2, r1     # unsigned: -> 0
+		halt
+	`, 20)
+	if c.Regs[2] != 0x80000000 {
+		t.Errorf("slli = %#x", c.Regs[2])
+	}
+	if c.Regs[3] != 0xFFFFFFFF {
+		t.Errorf("srai = %#x", c.Regs[3])
+	}
+	if c.Regs[4] != 1 {
+		t.Errorf("srli = %#x", c.Regs[4])
+	}
+	if c.Regs[5] != 1 || c.Regs[6] != 0 {
+		t.Errorf("slt=%d sltu=%d", c.Regs[5], c.Regs[6])
+	}
+}
+
+func TestMulDivRem(t *testing.T) {
+	c := run(t, `
+		addi r1, r0, -7
+		addi r2, r0, 3
+		mul r3, r1, r2
+		div r4, r1, r2
+		rem r5, r1, r2
+		div r6, r1, r0     # div by zero -> all ones
+		rem r7, r1, r0     # rem by zero -> dividend
+		halt
+	`, 20)
+	if int32(c.Regs[3]) != -21 {
+		t.Errorf("mul = %d", int32(c.Regs[3]))
+	}
+	if int32(c.Regs[4]) != -2 {
+		t.Errorf("div = %d", int32(c.Regs[4]))
+	}
+	if int32(c.Regs[5]) != -1 {
+		t.Errorf("rem = %d", int32(c.Regs[5]))
+	}
+	if c.Regs[6] != 0xFFFFFFFF || int32(c.Regs[7]) != -7 {
+		t.Errorf("div0=%#x rem0=%d", c.Regs[6], int32(c.Regs[7]))
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	c := run(t, `
+		.org 0x1000
+		addi r1, r0, 5
+		call double
+		call double
+		halt
+	double:
+		add r1, r1, r1
+		ret
+	`, 50)
+	if c.Regs[1] != 20 {
+		t.Errorf("r1 = %d, want 20", c.Regs[1])
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	c := run(t, `
+		la r1, vals
+		flw f1, 0(r1)
+		flw f2, 4(r1)
+		fadd f3, f1, f2
+		fmul f4, f1, f2
+		fdiv f5, f2, f1
+		fsub f6, f2, f1
+		fmin f7, f1, f2
+		fmax f8, f1, f2
+		flt r2, f1, f2
+		feq r3, f1, f1
+		fcvtws r4, f4, f0
+		addi r5, r0, 9
+		fcvtsw f9, r5, r0
+		fsw f3, 8(r1)
+		halt
+		.align 4
+	vals:
+		.float 2.5, 10.0
+		.word 0
+	`, 50)
+	if c.FRegs[3] != 12.5 {
+		t.Errorf("fadd = %g, want 12.5", c.FRegs[3])
+	}
+	if c.FRegs[4] != 25 {
+		t.Errorf("fmul = %g, want 25", c.FRegs[4])
+	}
+	if c.FRegs[5] != 4 {
+		t.Errorf("fdiv = %g, want 4", c.FRegs[5])
+	}
+	if c.FRegs[6] != 7.5 {
+		t.Errorf("fsub = %g", c.FRegs[6])
+	}
+	if c.FRegs[7] != 2.5 || c.FRegs[8] != 10 {
+		t.Errorf("fmin/fmax = %g/%g", c.FRegs[7], c.FRegs[8])
+	}
+	if c.Regs[2] != 1 || c.Regs[3] != 1 {
+		t.Errorf("flt=%d feq=%d", c.Regs[2], c.Regs[3])
+	}
+	if c.Regs[4] != 25 {
+		t.Errorf("fcvtws = %d", c.Regs[4])
+	}
+	if c.FRegs[9] != 9 {
+		t.Errorf("fcvtsw = %g", c.FRegs[9])
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	c := run(t, `
+		addi r0, r0, 99
+		add r1, r0, r0
+		halt
+	`, 10)
+	if c.Regs[0] != 0 || c.Regs[1] != 0 {
+		t.Errorf("r0=%d r1=%d, want 0 0", c.Regs[0], c.Regs[1])
+	}
+}
+
+func TestEvents(t *testing.T) {
+	p, err := isa.Assemble(`
+		.org 0x1000
+		la r1, data
+		lw r2, 0(r1)
+		sw r2, 4(r1)
+		halt
+		.align 4
+	data:
+		.word 7, 0
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := LoadProgram(p)
+	var evs []Event
+	for !c.Halted {
+		ev, err := c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, ev)
+	}
+	// la(2) + lw + sw + halt = 5 events.
+	if len(evs) != 5 {
+		t.Fatalf("%d events, want 5", len(evs))
+	}
+	if evs[0].Fetch != 0x1000 || evs[1].Fetch != 0x1004 {
+		t.Errorf("fetch addresses wrong: %+v", evs[:2])
+	}
+	data := p.Symbols["data"]
+	if !evs[2].Mem || evs[2].Addr != data || evs[2].Store {
+		t.Errorf("load event wrong: %+v", evs[2])
+	}
+	if !evs[3].Mem || evs[3].Addr != data+4 || !evs[3].Store {
+		t.Errorf("store event wrong: %+v", evs[3])
+	}
+	if evs[4].Mem {
+		t.Errorf("halt generated a memory event")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := run(t, `
+		.org 0x1000
+		addi r1, r0, 3
+	loop:
+		lw r2, 0(r3)
+		sw r2, 4(r3)
+		fadd f1, f1, f2
+		addi r1, r1, -1
+		bne r1, r0, loop
+		call fn
+		halt
+	fn:
+		ret
+	`, 100)
+	k := c.Counters
+	if k.Loads != 3 || k.Stores != 3 {
+		t.Errorf("loads/stores = %d/%d, want 3/3", k.Loads, k.Stores)
+	}
+	if k.Branches != 3 || k.Taken != 2 {
+		t.Errorf("branches/taken = %d/%d, want 3/2", k.Branches, k.Taken)
+	}
+	if k.Jumps != 2 { // call + ret
+		t.Errorf("jumps = %d, want 2", k.Jumps)
+	}
+	if k.FPOps != 3 {
+		t.Errorf("fp ops = %d, want 3", k.FPOps)
+	}
+}
+
+func TestStepWhileHalted(t *testing.T) {
+	c := run(t, "halt", 5)
+	if _, err := c.Step(); err == nil {
+		t.Error("step while halted accepted")
+	}
+}
+
+func TestInvalidInstruction(t *testing.T) {
+	mem := NewMemory()
+	mem.WriteBytes(0, []byte{0xFF, 0xFF, 0xFF, 0xFF})
+	c := New(mem, 0)
+	if _, err := c.Step(); err == nil {
+		t.Error("invalid instruction executed")
+	}
+}
+
+func TestUnalignedAccess(t *testing.T) {
+	p, err := isa.Assemble(`
+		addi r1, r0, 2
+		lw r2, 0(r1)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := LoadProgram(p)
+	if _, err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(); err == nil {
+		t.Error("unaligned lw accepted")
+	}
+}
+
+func TestTraceSourceRestarts(t *testing.T) {
+	p, err := isa.Assemble(`
+		.org 0x1000
+		addi r1, r1, 1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := LoadProgram(p)
+	src := NewTraceSource(c, p.Entry)
+	var n int
+	for n = 0; n < 10; n++ {
+		cyc, ok := src.Next()
+		if !ok {
+			t.Fatalf("source ended at %d: %v", n, src.Err())
+		}
+		if !cyc.IValid {
+			t.Fatal("invalid fetch")
+		}
+	}
+	if src.Restarts < 3 {
+		t.Errorf("restarts = %d, want >= 3 for a 2-instruction program over 10 cycles", src.Restarts)
+	}
+	if c.Regs[1] < 4 {
+		t.Errorf("program state did not persist across restarts: r1=%d", c.Regs[1])
+	}
+}
+
+func TestMemorySparse(t *testing.T) {
+	m := NewMemory()
+	m.WriteWord(0x1000, 42)
+	m.WriteWord(0xFFFF0000, 43)
+	if m.PageCount() != 2 {
+		t.Errorf("pages = %d, want 2", m.PageCount())
+	}
+	v, err := m.ReadWord(0x1000)
+	if err != nil || v != 42 {
+		t.Errorf("ReadWord = %d, %v", v, err)
+	}
+	// Cross-page byte write.
+	m.WriteBytes(0x1FFE, []byte{1, 2, 3, 4})
+	if m.LoadByte(0x2001) != 4 {
+		t.Error("cross-page WriteBytes failed")
+	}
+	if _, err := m.ReadWord(0x1001); err == nil {
+		t.Error("unaligned ReadWord accepted")
+	}
+	if err := m.WriteWord(0x1002, 1); err == nil {
+		t.Error("unaligned WriteWord accepted")
+	}
+	if _, err := m.ReadHalf(0x1001); err == nil {
+		t.Error("unaligned ReadHalf accepted")
+	}
+	if err := m.WriteHalf(0x1001, 1); err == nil {
+		t.Error("unaligned WriteHalf accepted")
+	}
+}
+
+var _ trace.Source = (*TraceSource)(nil)

@@ -1,0 +1,107 @@
+package cpu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nanobus/internal/isa"
+)
+
+// pageBits selects a 4 KiB page granule for the sparse memory.
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Memory is a sparse, paged, little-endian 32-bit byte-addressable memory.
+// Pages materialise (zero-filled) on first touch, so multi-megabyte
+// workload footprints cost only what they touch.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32) *[pageSize]byte {
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// PageCount returns the number of materialised pages.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// LoadProgram copies a program's segments into memory.
+func (m *Memory) LoadProgram(p *isa.Program) {
+	for _, seg := range p.Segments {
+		m.WriteBytes(seg.Addr, seg.Data)
+	}
+}
+
+// WriteBytes copies b to addr, crossing pages as needed.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	for len(b) > 0 {
+		p := m.page(addr)
+		off := addr & (pageSize - 1)
+		n := copy(p[off:], b)
+		b = b[n:]
+		addr += uint32(n)
+	}
+}
+
+// ReadWord reads a 32-bit little-endian word; addr must be 4-aligned.
+func (m *Memory) ReadWord(addr uint32) (uint32, error) {
+	if addr&3 != 0 {
+		return 0, fmt.Errorf("cpu: unaligned word read at %#x", addr)
+	}
+	p := m.page(addr)
+	off := addr & (pageSize - 1)
+	return binary.LittleEndian.Uint32(p[off : off+4]), nil
+}
+
+// WriteWord writes a 32-bit word; addr must be 4-aligned.
+func (m *Memory) WriteWord(addr uint32, v uint32) error {
+	if addr&3 != 0 {
+		return fmt.Errorf("cpu: unaligned word write at %#x", addr)
+	}
+	p := m.page(addr)
+	off := addr & (pageSize - 1)
+	binary.LittleEndian.PutUint32(p[off:off+4], v)
+	return nil
+}
+
+// ReadHalf reads a 16-bit little-endian halfword; addr must be 2-aligned.
+func (m *Memory) ReadHalf(addr uint32) (uint16, error) {
+	if addr&1 != 0 {
+		return 0, fmt.Errorf("cpu: unaligned half read at %#x", addr)
+	}
+	p := m.page(addr)
+	off := addr & (pageSize - 1)
+	return binary.LittleEndian.Uint16(p[off : off+2]), nil
+}
+
+// WriteHalf writes a 16-bit halfword; addr must be 2-aligned.
+func (m *Memory) WriteHalf(addr uint32, v uint16) error {
+	if addr&1 != 0 {
+		return fmt.Errorf("cpu: unaligned half write at %#x", addr)
+	}
+	p := m.page(addr)
+	off := addr & (pageSize - 1)
+	binary.LittleEndian.PutUint16(p[off:off+2], v)
+	return nil
+}
+
+// LoadByte reads one byte.
+func (m *Memory) LoadByte(addr uint32) byte {
+	return m.page(addr)[addr&(pageSize-1)]
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint32, v byte) {
+	m.page(addr)[addr&(pageSize-1)] = v
+}

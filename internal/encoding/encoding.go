@@ -1,0 +1,454 @@
+// Package encoding implements the low-power bus encoding schemes the paper
+// evaluates (Sec. 5.2) — bus-invert (BI), odd/even bus-invert (OEBI) and
+// coupling-driven bus-invert (CBI) — plus an unencoded baseline and two
+// extension codes (Gray, T0) for the address-bus study the paper motivates.
+//
+// Encoders are stateful: every scheme's decision depends on the word
+// currently held on the physical bus. Width() reports the number of
+// physical wires including invert/control lines, which the energy model
+// charges like any other line (the paper's setup: BI and CBI add one
+// invert line as the MSB; OEBI adds two, odd-invert as the LSB and
+// even-invert as the MSB).
+package encoding
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Encoder maps 32-bit data words onto physical bus words.
+type Encoder interface {
+	// Name identifies the scheme ("BI", "OEBI", ...).
+	Name() string
+	// Width returns the physical bus width in wires (>= 32).
+	Width() int
+	// Encode returns the physical word to drive for data, updating the
+	// encoder's state.
+	Encode(data uint32) uint64
+	// Reset returns the encoder to its initial (bus undriven) state.
+	Reset()
+}
+
+// Decoder recovers data words from physical bus words.
+type Decoder interface {
+	// Decode recovers the data word from the physical word, updating any
+	// decoder state.
+	Decode(phys uint64) uint32
+	// Reset clears decoder state.
+	Reset()
+}
+
+// DataWidth is the address width of the paper's buses.
+const DataWidth = 32
+
+// couplingCost is the energy-proportional coupling metric used by the
+// OEBI/CBI mode decisions: for each adjacent wire pair the squared
+// difference of normalised transition directions (vi - vj)^2, which is 4
+// for a toggle (Miller case), 1 for a switch against a quiet line, and 0
+// otherwise — proportional to the pair's coupling energy.
+func couplingCost(prev, cur uint64, width int) int {
+	cost := 0
+	for i := 0; i < width-1; i++ {
+		vi := dir(prev, cur, i)
+		vj := dir(prev, cur, i+1)
+		d := vi - vj
+		cost += d * d
+	}
+	return cost
+}
+
+// dir returns the normalised transition direction of bit i: +1 rising,
+// -1 falling, 0 quiet.
+func dir(prev, cur uint64, i int) int {
+	p := int((prev >> uint(i)) & 1)
+	c := int((cur >> uint(i)) & 1)
+	return c - p
+}
+
+// selfCost returns the number of switching lines (self-transition count).
+func selfCost(prev, cur uint64, width int) int {
+	mask := uint64(1)<<uint(width) - 1
+	return bits.OnesCount64((prev ^ cur) & mask)
+}
+
+// --- Unencoded -----------------------------------------------------------
+
+// Unencoded is the pass-through baseline.
+type Unencoded struct{}
+
+// NewUnencoded returns the pass-through baseline encoder.
+func NewUnencoded() *Unencoded { return &Unencoded{} }
+
+// Name implements Encoder.
+func (*Unencoded) Name() string { return "Unencoded" }
+
+// Width implements Encoder.
+func (*Unencoded) Width() int { return DataWidth }
+
+// Encode implements Encoder.
+func (*Unencoded) Encode(data uint32) uint64 { return uint64(data) }
+
+// Reset implements Encoder.
+func (*Unencoded) Reset() {}
+
+// UnencodedDecoder decodes the pass-through scheme.
+type UnencodedDecoder struct{}
+
+// Decode implements Decoder.
+func (*UnencodedDecoder) Decode(phys uint64) uint32 { return uint32(phys) }
+
+// Reset implements Decoder.
+func (*UnencodedDecoder) Reset() {}
+
+// --- Bus-invert (Stan & Burleson) ---------------------------------------
+
+// BI is classic bus-invert coding: if the Hamming distance between the new
+// data and the word on the bus exceeds half the bus width, transmit the
+// complement and raise the invert line (wire 32, the MSB position).
+type BI struct {
+	prev  uint64
+	first bool
+}
+
+// NewBI returns a bus-invert encoder.
+func NewBI() *BI { return &BI{first: true} }
+
+// Name implements Encoder.
+func (*BI) Name() string { return "BI" }
+
+// Width implements Encoder.
+func (*BI) Width() int { return DataWidth + 1 }
+
+// Encode implements Encoder.
+func (b *BI) Encode(data uint32) uint64 {
+	if b.first {
+		b.first = false
+		b.prev = uint64(data)
+		return b.prev
+	}
+	prevData := uint32(b.prev)
+	h := bits.OnesCount32(prevData ^ data)
+	if h > DataWidth/2 {
+		b.prev = uint64(^data) | 1<<DataWidth
+	} else {
+		b.prev = uint64(data)
+	}
+	return b.prev
+}
+
+// Reset implements Encoder.
+func (b *BI) Reset() { b.prev = 0; b.first = true }
+
+// BIDecoder decodes bus-invert words.
+type BIDecoder struct{}
+
+// Decode implements Decoder.
+func (*BIDecoder) Decode(phys uint64) uint32 {
+	data := uint32(phys)
+	if phys&(1<<DataWidth) != 0 {
+		data = ^data
+	}
+	return data
+}
+
+// Reset implements Decoder.
+func (*BIDecoder) Reset() {}
+
+// --- Odd/even bus-invert (Zhang et al.) ----------------------------------
+
+// OEBI is odd/even bus-invert: even and odd bit positions are invertible
+// independently, choosing among the four modes (none / even / odd / all
+// inverted) the one with the lowest coupling cost on the physical bus. Per
+// the paper's setup the odd-invert line is the LSB wire (wire 0) and the
+// even-invert line the MSB wire (wire 33); data occupies wires 1..32.
+type OEBI struct {
+	prev  uint64
+	first bool
+}
+
+// NewOEBI returns an odd/even bus-invert encoder.
+func NewOEBI() *OEBI { return &OEBI{first: true} }
+
+// Name implements Encoder.
+func (*OEBI) Name() string { return "OEBI" }
+
+// Width implements Encoder.
+func (*OEBI) Width() int { return DataWidth + 2 }
+
+const (
+	oebiEvenMask = uint32(0x55555555) // data bits 0,2,4,... (even positions)
+	oebiOddMask  = uint32(0xAAAAAAAA)
+)
+
+// assemble builds the physical word from data and the two invert flags.
+func (o *OEBI) assemble(data uint32, invOdd, invEven bool) uint64 {
+	d := data
+	if invOdd {
+		d ^= oebiOddMask
+	}
+	if invEven {
+		d ^= oebiEvenMask
+	}
+	phys := uint64(d) << 1 // data on wires 1..32
+	if invOdd {
+		phys |= 1 // odd-invert line: LSB wire
+	}
+	if invEven {
+		phys |= 1 << (DataWidth + 1) // even-invert line: MSB wire
+	}
+	return phys
+}
+
+// Encode implements Encoder.
+func (o *OEBI) Encode(data uint32) uint64 {
+	if o.first {
+		o.first = false
+		o.prev = o.assemble(data, false, false)
+		return o.prev
+	}
+	best := o.assemble(data, false, false)
+	bestCost := couplingCost(o.prev, best, o.Width())
+	for _, mode := range [3][2]bool{{false, true}, {true, false}, {true, true}} {
+		cand := o.assemble(data, mode[0], mode[1])
+		if c := couplingCost(o.prev, cand, o.Width()); c < bestCost {
+			best, bestCost = cand, c
+		}
+	}
+	o.prev = best
+	return best
+}
+
+// Reset implements Encoder.
+func (o *OEBI) Reset() { o.prev = 0; o.first = true }
+
+// OEBIDecoder decodes odd/even bus-invert words.
+type OEBIDecoder struct{}
+
+// Decode implements Decoder.
+func (*OEBIDecoder) Decode(phys uint64) uint32 {
+	data := uint32(phys >> 1)
+	if phys&1 != 0 {
+		data ^= oebiOddMask
+	}
+	if phys&(1<<(DataWidth+1)) != 0 {
+		data ^= oebiEvenMask
+	}
+	return data
+}
+
+// Reset implements Decoder.
+func (*OEBIDecoder) Reset() {}
+
+// --- Coupling-driven bus-invert (Kim et al.) ------------------------------
+
+// CBI is coupling-driven bus-invert: transmit the data or its complement,
+// whichever has the lower coupling cost against the word on the bus
+// (including the invert line itself, placed at the MSB like BI).
+type CBI struct {
+	prev  uint64
+	first bool
+}
+
+// NewCBI returns a coupling-driven bus-invert encoder.
+func NewCBI() *CBI { return &CBI{first: true} }
+
+// Name implements Encoder.
+func (*CBI) Name() string { return "CBI" }
+
+// Width implements Encoder.
+func (*CBI) Width() int { return DataWidth + 1 }
+
+// Encode implements Encoder.
+func (c *CBI) Encode(data uint32) uint64 {
+	if c.first {
+		c.first = false
+		c.prev = uint64(data)
+		return c.prev
+	}
+	plain := uint64(data)
+	inverted := uint64(^data) | 1<<DataWidth
+	if couplingCost(c.prev, inverted, c.Width()) < couplingCost(c.prev, plain, c.Width()) {
+		c.prev = inverted
+	} else {
+		c.prev = plain
+	}
+	return c.prev
+}
+
+// Reset implements Encoder.
+func (c *CBI) Reset() { c.prev = 0; c.first = true }
+
+// CBIDecoder decodes coupling-driven bus-invert words (same layout as BI).
+type CBIDecoder = BIDecoder
+
+// --- Gray (extension) -----------------------------------------------------
+
+// Gray transmits the Gray code of the address, an extension scheme for
+// sequential address streams (single-bit transitions between consecutive
+// addresses).
+type Gray struct{}
+
+// NewGray returns a Gray-code encoder.
+func NewGray() *Gray { return &Gray{} }
+
+// Name implements Encoder.
+func (*Gray) Name() string { return "Gray" }
+
+// Width implements Encoder.
+func (*Gray) Width() int { return DataWidth }
+
+// Encode implements Encoder.
+func (*Gray) Encode(data uint32) uint64 { return uint64(data ^ (data >> 1)) }
+
+// Reset implements Encoder.
+func (*Gray) Reset() {}
+
+// GrayDecoder decodes Gray-coded words.
+type GrayDecoder struct{}
+
+// Decode implements Decoder.
+func (*GrayDecoder) Decode(phys uint64) uint32 {
+	g := uint32(phys)
+	g ^= g >> 16
+	g ^= g >> 8
+	g ^= g >> 4
+	g ^= g >> 2
+	g ^= g >> 1
+	return g
+}
+
+// Reset implements Decoder.
+func (*GrayDecoder) Reset() {}
+
+// --- T0 (extension) --------------------------------------------------------
+
+// T0 freezes the bus when the address follows the expected sequential
+// stride and raises an INC line instead (wire 32); otherwise the raw
+// address is transmitted with INC low. Stride is the instruction size.
+type T0 struct {
+	Stride uint32
+	prev   uint64
+	last   uint32
+	first  bool
+}
+
+// NewT0 returns a T0 encoder with the given sequential stride (e.g. 4 for
+// word-addressed instruction fetch).
+func NewT0(stride uint32) *T0 {
+	if stride == 0 {
+		stride = 4
+	}
+	return &T0{Stride: stride, first: true}
+}
+
+// Name implements Encoder.
+func (*T0) Name() string { return "T0" }
+
+// Width implements Encoder.
+func (*T0) Width() int { return DataWidth + 1 }
+
+// Encode implements Encoder.
+func (t *T0) Encode(data uint32) uint64 {
+	if t.first {
+		t.first = false
+		t.last = data
+		t.prev = uint64(data)
+		return t.prev
+	}
+	if data == t.last+t.Stride {
+		// Freeze data lines, raise INC.
+		t.prev = (t.prev & (1<<DataWidth - 1)) | 1<<DataWidth
+	} else {
+		t.prev = uint64(data)
+	}
+	t.last = data
+	return t.prev
+}
+
+// Reset implements Encoder.
+func (t *T0) Reset() { t.prev, t.last, t.first = 0, 0, true }
+
+// T0Decoder decodes T0 words.
+type T0Decoder struct {
+	Stride uint32
+	last   uint32
+	first  bool
+}
+
+// NewT0Decoder returns a decoder matching NewT0(stride).
+func NewT0Decoder(stride uint32) *T0Decoder {
+	if stride == 0 {
+		stride = 4
+	}
+	return &T0Decoder{Stride: stride, first: true}
+}
+
+// Decode implements Decoder.
+func (d *T0Decoder) Decode(phys uint64) uint32 {
+	if d.first {
+		d.first = false
+		d.last = uint32(phys)
+		return d.last
+	}
+	if phys&(1<<DataWidth) != 0 {
+		d.last += d.Stride
+	} else {
+		d.last = uint32(phys)
+	}
+	return d.last
+}
+
+// Reset implements Decoder.
+func (d *T0Decoder) Reset() { d.last, d.first = 0, true }
+
+// --- Registry ---------------------------------------------------------------
+
+// New returns a fresh encoder by name. Recognised names: "Unencoded", "BI",
+// "OEBI", "CBI", "Gray", "T0".
+func New(name string) (Encoder, error) {
+	switch name {
+	case "Unencoded", "unencoded", "none":
+		return NewUnencoded(), nil
+	case "BI", "bi":
+		return NewBI(), nil
+	case "OEBI", "oebi":
+		return NewOEBI(), nil
+	case "CBI", "cbi":
+		return NewCBI(), nil
+	case "Gray", "gray":
+		return NewGray(), nil
+	case "T0", "t0":
+		return NewT0(4), nil
+	default:
+		return nil, fmt.Errorf("encoding: unknown scheme %q", name)
+	}
+}
+
+// NewDecoder returns the decoder matching the named scheme.
+func NewDecoder(name string) (Decoder, error) {
+	switch name {
+	case "Unencoded", "unencoded", "none":
+		return &UnencodedDecoder{}, nil
+	case "BI", "bi":
+		return &BIDecoder{}, nil
+	case "OEBI", "oebi":
+		return &OEBIDecoder{}, nil
+	case "CBI", "cbi":
+		return &CBIDecoder{}, nil
+	case "Gray", "gray":
+		return &GrayDecoder{}, nil
+	case "T0", "t0":
+		return NewT0Decoder(4), nil
+	default:
+		return nil, fmt.Errorf("encoding: unknown scheme %q", name)
+	}
+}
+
+// PaperSchemes lists the schemes evaluated in the paper's Fig. 3, in its
+// presentation order.
+func PaperSchemes() []string { return []string{"BI", "OEBI", "CBI", "Unencoded"} }
+
+// AllSchemes lists every implemented scheme including extensions.
+func AllSchemes() []string {
+	return []string{"Unencoded", "BI", "OEBI", "CBI", "Gray", "T0"}
+}

@@ -1,0 +1,60 @@
+package energy
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// WholeBusTransition computes the transition energy of the whole bus with
+// the prior-art formulation the paper compares against (Sotiriadis &
+// Chandrakasan [16, 17]): total energy only, from self terms and pairwise
+// coupling terms 0.5*c(i,j)*(Vi-Vj)^2, with no attribution to individual
+// wires. The paper's per-line model must sum to exactly this value (the
+// package tests assert it); its added value is the attribution, which the
+// thermal model needs.
+func (m *Model) WholeBusTransition(prev, cur uint64) (float64, error) {
+	if m == nil {
+		return 0, fmt.Errorf("energy: nil model")
+	}
+	n := m.n
+	v := make([]float64, n)
+	diff := (prev ^ cur) & mask(n)
+	for d := diff; d != 0; d &= d - 1 {
+		i := bits.TrailingZeros64(d)
+		if cur&(1<<uint(i)) != 0 {
+			v[i] = m.vdd
+		} else {
+			v[i] = -m.vdd
+		}
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		if v[i] != 0 {
+			total += 0.5 * m.selfCap[i] * v[i] * v[i]
+		}
+		for j := i + 1; j < n; j++ {
+			d := v[i] - v[j]
+			if d != 0 {
+				total += 0.5 * m.coup[i][j] * d * d
+			}
+		}
+	}
+	return total, nil
+}
+
+// ActivityEnergy computes the pre-coupling-era estimate (Ye et al. [19],
+// as characterised in the paper's Sec. 2): self transitions only, i.e.
+// alpha * 0.5 * (Cline+Crep) * Vdd^2 per wire per cycle, with a single
+// average switching-activity factor alpha for the whole bus. It needs no
+// trace — only the activity factor — which is exactly why it cannot
+// capture per-wire or temporal behaviour.
+func (m *Model) ActivityEnergy(alpha float64, cycles uint64) (float64, error) {
+	if alpha < 0 || alpha > 1 {
+		return 0, fmt.Errorf("energy: activity factor %g outside [0,1]", alpha)
+	}
+	perCycle := 0.0
+	for i := 0; i < m.n; i++ {
+		perCycle += alpha * 0.5 * m.selfCap[i] * m.vdd2
+	}
+	return perCycle * float64(cycles), nil
+}

@@ -1,0 +1,44 @@
+package expt
+
+import (
+	"testing"
+
+	"nanobus/internal/itrs"
+	"nanobus/internal/units"
+)
+
+func TestBaselinesComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace-driven study")
+	}
+	res, err := Baselines("swim", itrs.N130, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worst-case (jmax everywhere) prediction must far exceed what
+	// the dynamic model observes — the paper's over-margining argument.
+	if res.WorstCaseTemp <= res.DynamicMaxTemp {
+		t.Errorf("worst-case %.2f K <= dynamic max %.2f K", res.WorstCaseTemp, res.DynamicMaxTemp)
+	}
+	if res.WorstCaseTemp < res.DynamicMaxTemp+5 {
+		t.Errorf("worst-case margin only %.2f K; expected gross overestimation",
+			res.WorstCaseTemp-res.DynamicMaxTemp)
+	}
+	// The dynamic model must expose a nonzero per-wire spread that the
+	// uniform average-activity model cannot represent.
+	if res.DynamicSpread <= 0 {
+		t.Error("no per-wire temperature spread")
+	}
+	if res.DynamicMaxTemp <= units.AmbientK {
+		t.Error("no heating observed")
+	}
+	if res.Cycles != 2_000_000 {
+		t.Errorf("cycles = %d", res.Cycles)
+	}
+}
+
+func TestBaselinesUnknownBenchmark(t *testing.T) {
+	if _, err := Baselines("gcc", itrs.N130, 1000); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package expt
+
+import (
+	"fmt"
+
+	"nanobus/internal/encoding"
+	"nanobus/internal/workload"
+)
+
+// EncoderStats reports how often each scheme actually exercised its invert
+// machinery on a real address stream — the measurement behind the paper's
+// Sec. 5.2.1 explanations ("the number of bit transitions between
+// consecutive cycles [is] very low to cause inversion", and for OEBI "the
+// [all-invert] mode occurred most of the time" when inversion does
+// trigger).
+type EncoderStats struct {
+	Benchmark string
+	Bus       string
+	Scheme    string
+	Cycles    uint64
+	// InvertRate is the fraction of driven cycles with any invert line
+	// raised.
+	InvertRate float64
+	// OEBIModes[m] is the fraction of cycles in OEBI mode m (00, 01, 10,
+	// 11); only populated for OEBI.
+	OEBIModes [4]float64
+}
+
+// EncStatsOptions configure the study.
+type EncStatsOptions struct {
+	// Cycles is the observed window; zero means 1,000,000.
+	Cycles uint64
+	// Benchmark defaults to eon.
+	Benchmark string
+	// Bus is "DA" or "IA"; empty means DA.
+	Bus string
+}
+
+// EncStats runs the trace through every BI-family encoder, observing the
+// invert lines on the physical words.
+func EncStats(opts EncStatsOptions) ([]EncoderStats, error) {
+	cycles := opts.Cycles
+	if cycles == 0 {
+		cycles = 1_000_000
+	}
+	benchName := opts.Benchmark
+	if benchName == "" {
+		benchName = "eon"
+	}
+	bus := opts.Bus
+	if bus == "" {
+		bus = "DA"
+	}
+	b, ok := workload.ByName(benchName)
+	if !ok {
+		return nil, fmt.Errorf("expt: unknown benchmark %q", benchName)
+	}
+	src, err := b.NewWarmSource(b.WarmupCycles)
+	if err != nil {
+		return nil, err
+	}
+	// Capture the bus's word stream.
+	words := make([]uint32, 0, cycles)
+	for uint64(len(words)) < cycles {
+		c, ok := src.Next()
+		if !ok {
+			return nil, fmt.Errorf("expt: %s trace ended after %d cycles", benchName, len(words))
+		}
+		switch bus {
+		case "IA":
+			if c.IValid {
+				words = append(words, c.IAddr)
+			}
+		case "DA":
+			if c.DValid {
+				words = append(words, c.DAddr)
+			}
+		default:
+			return nil, fmt.Errorf("expt: unknown bus %q", bus)
+		}
+	}
+
+	var out []EncoderStats
+	for _, scheme := range []string{"BI", "OEBI", "CBI"} {
+		enc, err := encoding.New(scheme)
+		if err != nil {
+			return nil, err
+		}
+		st := EncoderStats{Benchmark: benchName, Bus: bus, Scheme: scheme, Cycles: uint64(len(words))}
+		var inverted uint64
+		var modes [4]uint64
+		for _, w := range words {
+			phys := enc.Encode(w)
+			switch scheme {
+			case "BI", "CBI":
+				if phys&(1<<encoding.DataWidth) != 0 {
+					inverted++
+				}
+			case "OEBI":
+				odd := phys & 1
+				even := (phys >> (encoding.DataWidth + 1)) & 1
+				mode := odd | even<<1
+				modes[mode]++
+				if mode != 0 {
+					inverted++
+				}
+			}
+		}
+		n := float64(len(words))
+		st.InvertRate = float64(inverted) / n
+		for m := range modes {
+			st.OEBIModes[m] = float64(modes[m]) / n
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package expt
+
+import (
+	"nanobus/internal/extract"
+	"nanobus/internal/geometry"
+	"nanobus/internal/itrs"
+)
+
+// Fig1BRow is one technology node's capacitance distribution (the paper's
+// Fig. 1(b) stacked bar).
+type Fig1BRow struct {
+	Node itrs.Node
+	Dist extract.BusDistribution
+}
+
+// Fig1BOptions tune the extraction cost/accuracy.
+type Fig1BOptions struct {
+	// Wires is the bus width to extract; zero means the paper's 32.
+	Wires int
+	// PanelsPerEdge controls BEM accuracy; zero means 6.
+	PanelsPerEdge int
+}
+
+// Fig1B extracts the capacitance distribution for each node with the
+// module's own BEM extractor (the FastCap substitute).
+func Fig1B(opts Fig1BOptions, nodes ...itrs.Node) ([]Fig1BRow, error) {
+	if len(nodes) == 0 {
+		nodes = itrs.Nodes()
+	}
+	wires := opts.Wires
+	if wires == 0 {
+		wires = 32
+	}
+	panels := opts.PanelsPerEdge
+	if panels == 0 {
+		panels = 6
+	}
+	rows := make([]Fig1BRow, 0, len(nodes))
+	for _, n := range nodes {
+		layout := geometry.BusLayout{
+			Wires: wires,
+			W:     n.WireWidth, T: n.WireThickness,
+			S: n.Spacing(), H: n.ILDHeight,
+			EpsRel: n.EpsRel,
+		}
+		_, dist, err := extract.ExtractBus(layout, extract.Options{PanelsPerEdge: panels})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig1BRow{Node: n, Dist: dist})
+	}
+	return rows, nil
+}

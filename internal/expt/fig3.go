@@ -1,0 +1,222 @@
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nanobus/internal/core"
+	"nanobus/internal/encoding"
+	"nanobus/internal/itrs"
+	"nanobus/internal/trace"
+	"nanobus/internal/workload"
+)
+
+// Fig3Cell is one bar of the paper's Fig. 3: total energy dissipated in one
+// address bus, for one technology node and encoding scheme, under the
+// three capacitance-model variants.
+type Fig3Cell struct {
+	// Bus is "DA" or "IA".
+	Bus string
+	// Node is the technology node name.
+	Node string
+	// Scheme is the encoding name.
+	Scheme string
+	// Benchmark is the workload, or "mean" for the cross-benchmark
+	// average.
+	Benchmark string
+	// Self is the total energy with self capacitance only (J).
+	Self float64
+	// NN adds nearest-neighbour coupling.
+	NN float64
+	// All adds every coupling pair (the paper's full model).
+	All float64
+	// Cycles is the measured window length.
+	Cycles uint64
+}
+
+// Fig3Options configure the encoding-effectiveness study.
+type Fig3Options struct {
+	// Cycles is the measured trace window per benchmark; zero means
+	// 2,000,000. (The paper measures 20M instructions after a 500M-
+	// instruction warm-up; scale Cycles up to match.)
+	Cycles uint64
+	// Benchmarks to run; nil means all eight.
+	Benchmarks []string
+	// Nodes to evaluate; nil means all four ITRS nodes.
+	Nodes []itrs.Node
+	// Schemes to evaluate; nil means the paper's four (BI, OEBI, CBI,
+	// Unencoded).
+	Schemes []string
+	// Buses to evaluate; nil means both ("DA", "IA").
+	Buses []string
+}
+
+// Fig3 runs the study and returns per-benchmark cells followed by
+// cross-benchmark mean cells (Benchmark == "mean"). The same captured
+// trace window drives every (node, scheme) pair of a benchmark, exactly
+// like the paper replaying one SHADE trace through each configuration.
+func Fig3(opts Fig3Options) ([]Fig3Cell, error) {
+	cycles := opts.Cycles
+	if cycles == 0 {
+		cycles = 2_000_000
+	}
+	benchNames := opts.Benchmarks
+	if benchNames == nil {
+		benchNames = workload.Names()
+	}
+	nodes := opts.Nodes
+	if nodes == nil {
+		nodes = itrs.Nodes()
+	}
+	schemes := opts.Schemes
+	if schemes == nil {
+		schemes = encoding.PaperSchemes()
+	}
+	buses := opts.Buses
+	if buses == nil {
+		buses = []string{"DA", "IA"}
+	}
+
+	var cells []Fig3Cell
+	type key struct{ bus, node, scheme string }
+	sums := map[key]*Fig3Cell{}
+
+	type job struct {
+		node   itrs.Node
+		scheme string
+		bus    string
+	}
+	var jobs []job
+	for _, node := range nodes {
+		for _, scheme := range schemes {
+			for _, bus := range buses {
+				jobs = append(jobs, job{node, scheme, bus})
+			}
+		}
+	}
+
+	for _, name := range benchNames {
+		b, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("expt: unknown benchmark %q", name)
+		}
+		window, err := captureWindow(b, cycles)
+		if err != nil {
+			return nil, err
+		}
+		// Replay the shared read-only window through every configuration
+		// concurrently (one worker per CPU).
+		results := make([]Fig3Cell, len(jobs))
+		errs := make([]error, len(jobs))
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		var wg sync.WaitGroup
+		for ji, jb := range jobs {
+			wg.Add(1)
+			go func(ji int, jb job) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				enc, err := encoding.New(jb.scheme)
+				if err != nil {
+					errs[ji] = err
+					return
+				}
+				sim, err := core.New(core.Config{
+					Node:          jb.node,
+					Encoder:       enc,
+					CouplingDepth: -1,
+					DropSamples:   true,
+				})
+				if err != nil {
+					errs[ji] = err
+					return
+				}
+				kind := "da"
+				if jb.bus == "IA" {
+					kind = "ia"
+				}
+				src := trace.NewSliceSource(window)
+				if _, err := core.RunSingle(src, sim, kind, cycles); err != nil {
+					errs[ji] = err
+					return
+				}
+				tot := sim.TotalEnergy()
+				results[ji] = Fig3Cell{
+					Bus: jb.bus, Node: jb.node.Name, Scheme: jb.scheme,
+					Benchmark: name,
+					Self:      tot.Self,
+					NN:        tot.Self + tot.CoupAdj,
+					All:       tot.Total(),
+					Cycles:    sim.Cycles(),
+				}
+			}(ji, jb)
+		}
+		wg.Wait()
+		for ji, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("expt: fig3 %s/%s/%s: %w",
+					jobs[ji].bus, jobs[ji].node.Name, jobs[ji].scheme, err)
+			}
+		}
+		for _, cell := range results {
+			cells = append(cells, cell)
+			k := key{cell.Bus, cell.Node, cell.Scheme}
+			agg := sums[k]
+			if agg == nil {
+				agg = &Fig3Cell{Bus: cell.Bus, Node: cell.Node, Scheme: cell.Scheme, Benchmark: "mean"}
+				sums[k] = agg
+			}
+			agg.Self += cell.Self
+			agg.NN += cell.NN
+			agg.All += cell.All
+			agg.Cycles += cell.Cycles
+		}
+	}
+	nb := float64(len(benchNames))
+	for _, bus := range buses {
+		for _, node := range nodes {
+			for _, scheme := range schemes {
+				agg := sums[key{bus, node.Name, scheme}]
+				if agg == nil {
+					continue
+				}
+				agg.Self /= nb
+				agg.NN /= nb
+				agg.All /= nb
+				agg.Cycles = uint64(float64(agg.Cycles) / nb)
+				cells = append(cells, *agg)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// captureWindow replays a benchmark past its warm-up and records a fixed
+// cycle window so every configuration sees identical traffic.
+func captureWindow(b workload.Benchmark, cycles uint64) ([]trace.Cycle, error) {
+	src, err := b.NewWarmSource(b.WarmupCycles)
+	if err != nil {
+		return nil, err
+	}
+	window := make([]trace.Cycle, 0, cycles)
+	for uint64(len(window)) < cycles {
+		c, ok := src.Next()
+		if !ok {
+			return nil, fmt.Errorf("expt: %s trace ended after %d cycles", b.Name, len(window))
+		}
+		window = append(window, c)
+	}
+	return window, nil
+}
+
+// MeanCells filters the cross-benchmark mean rows.
+func MeanCells(cells []Fig3Cell) []Fig3Cell {
+	var out []Fig3Cell
+	for _, c := range cells {
+		if c.Benchmark == "mean" {
+			out = append(out, c)
+		}
+	}
+	return out
+}

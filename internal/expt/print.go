@@ -1,0 +1,125 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"nanobus/internal/units"
+)
+
+// PrintTable1 renders the Table 1 reproduction.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "parameter\t"+strings.Join(nodeNames(rows), "\t"))
+	p := func(label, format string, f func(Table1Row) interface{}) {
+		cells := make([]string, len(rows))
+		for i, r := range rows {
+			cells[i] = fmt.Sprintf(format, f(r))
+		}
+		fmt.Fprintln(tw, label+"\t"+strings.Join(cells, "\t"))
+	}
+	p("metal layers", "%d", func(r Table1Row) interface{} { return r.Node.MetalLayers })
+	p("wire width (nm)", "%.0f", func(r Table1Row) interface{} { return r.Node.WireWidth / units.Nano })
+	p("wire thickness (nm)", "%.0f", func(r Table1Row) interface{} { return r.Node.WireThickness / units.Nano })
+	p("ILD height (nm)", "%.0f", func(r Table1Row) interface{} { return r.Node.ILDHeight / units.Nano })
+	p("eps_r", "%.1f", func(r Table1Row) interface{} { return r.Node.EpsRel })
+	p("k_ild (W/mK)", "%.2f", func(r Table1Row) interface{} { return r.Node.KILD })
+	p("f_clk (GHz)", "%.2f", func(r Table1Row) interface{} { return r.Node.ClockHz / units.Giga })
+	p("Vdd (V)", "%.1f", func(r Table1Row) interface{} { return r.Node.Vdd })
+	p("j_max (MA/cm2)", "%.2f", func(r Table1Row) interface{} { return r.Node.JMax / 1e10 })
+	p("c_line (pF/m)", "%.2f", func(r Table1Row) interface{} { return r.Node.CLine / units.Pico })
+	p("c_inter (pF/m)", "%.2f", func(r Table1Row) interface{} { return r.Node.CInter / units.Pico })
+	p("r_wire (kΩ/m)", "%.2f", func(r Table1Row) interface{} { return r.Node.RWire / units.Kilo })
+	p("r_wire recomputed (kΩ/m)", "%.2f", func(r Table1Row) interface{} { return r.RecomputedRWire / units.Kilo })
+	fmt.Fprintln(tw, "derived (10 mm line)\t\t\t\t")
+	p("repeater size h", "%.1f", func(r Table1Row) interface{} { return r.Repeater.SizeH })
+	p("repeater count k", "%.1f", func(r Table1Row) interface{} { return r.Repeater.CountK })
+	p("Crep (pF)", "%.2f", func(r Table1Row) interface{} { return r.Repeater.Crep / units.Pico })
+	p("line delay (ns)", "%.2f", func(r Table1Row) interface{} { return r.Repeater.WireDelay * 1e9 })
+	p("R_vert (K·m/W)", "%.2f", func(r Table1Row) interface{} { return r.RVertical })
+	p("R_lat (K·m/W)", "%.2f", func(r Table1Row) interface{} { return r.RLateral })
+	p("C_th (mJ/K·m)", "%.2f", func(r Table1Row) interface{} { return r.HeatCapacity * 1e3 })
+	p("tau (ms)", "%.1f", func(r Table1Row) interface{} { return r.TimeConstantMS })
+	p("Δθ inter-layer (K)", "%.1f", func(r Table1Row) interface{} { return r.InterLayerRise })
+	tw.Flush()
+}
+
+func nodeNames(rows []Table1Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Node.Name
+	}
+	return out
+}
+
+// PrintFig1B renders the capacitance-distribution table.
+func PrintFig1B(w io.Writer, rows []Fig1BRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "node\tCgnd%\tCC1%\tCC2%\tCC3%\tCCrest%\tnon-adjacent%")
+	for _, r := range rows {
+		d := r.Dist
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			r.Node.Name, 100*d.CgndFrac, 100*d.CC[0], 100*d.CC[1],
+			100*d.CC[2], 100*d.CCRest, 100*d.NonAdjacentFrac())
+	}
+	tw.Flush()
+}
+
+// PrintSec33 renders the non-adjacent underestimation study.
+func PrintSec33(w io.Writer, rows []Sec33Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "node\tmiddle underestimate%\tE(centre-dip) J\tE(alternating) J\tmid share dip\tmid share alt")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.3g\t%.3g\t%.3f\t%.3f\n",
+			r.Node.Name, r.MiddleUnderestimatePct,
+			r.ThermalWorstTotal, r.EnergyWorstTotal,
+			r.MiddleShareThermalWorst, r.MiddleShareEnergyWorst)
+	}
+	tw.Flush()
+}
+
+// PrintFig3 renders the Fig. 3 energy bars (mean rows by default; pass all
+// cells to include per-benchmark detail).
+func PrintFig3(w io.Writer, cells []Fig3Cell) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bus\tnode\tscheme\tbenchmark\tSelf (J)\tNN (J)\tAll (J)\tcycles")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.4g\t%.4g\t%.4g\t%d\n",
+			c.Bus, c.Node, c.Scheme, c.Benchmark, c.Self, c.NN, c.All, c.Cycles)
+	}
+	tw.Flush()
+}
+
+// PrintFig4Summary renders the per-series summary lines.
+func PrintFig4Summary(w io.Writer, series []Fig4Series) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tbus\tnode\tintervals\tmean E/interval (J)\tE fluct (cv)\tavg T final (K)\tmax T final (K)")
+	for _, s := range series {
+		finalAvg, finalMax := 0.0, 0.0
+		if n := len(s.Samples); n > 0 {
+			finalAvg = s.Samples[n-1].AvgTemp
+			finalMax = s.Samples[n-1].MaxTemp
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%.4g\t%.4f\t%.2f\t%.2f\n",
+			s.Benchmark, s.Bus, s.Node, s.Energy.N,
+			s.Energy.Mean, s.Energy.CoefficientVar, finalAvg, finalMax)
+	}
+	tw.Flush()
+}
+
+// WriteFig4CSV streams one series as CSV (cycle, energy, avgK, maxK).
+func WriteFig4CSV(w io.Writer, s Fig4Series) error {
+	if _, err := fmt.Fprintf(w, "# %s %s bus, node %s\ncycle,interval_energy_j,avg_temp_k,max_temp_k\n",
+		s.Benchmark, s.Bus, s.Node); err != nil {
+		return err
+	}
+	for _, smp := range s.Samples {
+		if _, err := fmt.Fprintf(w, "%d,%.6g,%.4f,%.4f\n",
+			smp.EndCycle, smp.Energy, smp.AvgTemp, smp.MaxTemp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

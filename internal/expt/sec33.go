@@ -1,0 +1,123 @@
+package expt
+
+import (
+	"fmt"
+
+	"nanobus/internal/capmodel"
+	"nanobus/internal/energy"
+	"nanobus/internal/itrs"
+	"nanobus/internal/repeater"
+)
+
+// Sec33Row quantifies the Sec. 3.3 non-adjacent coupling study for one
+// node: how much the middle wire's energy is underestimated when
+// non-adjacent coupling capacitances are neglected, for the thermal
+// worst-case pattern, and the two worst-case pattern energies.
+type Sec33Row struct {
+	Node itrs.Node
+	// MiddleUnderestimatePct is the paper's headline number (~6.6% at
+	// 130 nm): 100*(E_all - E_nn)/E_all for the middle wire of a 32-bit
+	// bus under the thermal worst-case pattern (all lines rise, middle
+	// falls).
+	MiddleUnderestimatePct float64
+	// ThermalWorstTotal is the bus energy of the centre-dip pattern
+	// (up up down up up ... generalised to 32 bits), in joules.
+	ThermalWorstTotal float64
+	// EnergyWorstTotal is the bus energy of the alternating pattern
+	// (down up down up ...), in joules.
+	EnergyWorstTotal float64
+	// MiddleShareThermalWorst is the middle wire's share of the bus
+	// energy under the centre-dip pattern (non-uniform concentration).
+	MiddleShareThermalWorst float64
+	// MiddleShareEnergyWorst is the same under the alternating pattern
+	// (uniform).
+	MiddleShareEnergyWorst float64
+}
+
+// Sec33Options configure the study.
+type Sec33Options struct {
+	// Wires is the bus width; zero means 32.
+	Wires int
+	// Length is the bus length; zero means 10 mm.
+	Length float64
+}
+
+// Sec33 runs the non-adjacent coupling underestimation study.
+func Sec33(opts Sec33Options, nodes ...itrs.Node) ([]Sec33Row, error) {
+	if len(nodes) == 0 {
+		nodes = itrs.Nodes()
+	}
+	wires := opts.Wires
+	if wires == 0 {
+		wires = 32
+	}
+	if wires < 3 {
+		return nil, fmt.Errorf("expt: sec33 needs >= 3 wires, got %d", wires)
+	}
+	length := opts.Length
+	if length == 0 {
+		length = 0.01
+	}
+	mid := wires / 2
+
+	rows := make([]Sec33Row, 0, len(nodes))
+	for _, node := range nodes {
+		caps, err := capmodel.FromNode(node, wires, capmodel.DefaultDecay(node))
+		if err != nil {
+			return nil, err
+		}
+		plan, err := repeater.InsertDefault(node, length)
+		if err != nil {
+			return nil, err
+		}
+		mk := func(c *capmodel.Matrix) (*energy.Model, error) {
+			return energy.New(energy.Config{
+				Caps: c, Length: length, Vdd: node.Vdd, Crep: plan.Crep,
+			})
+		}
+		all, err := mk(caps)
+		if err != nil {
+			return nil, err
+		}
+		nn, err := mk(caps.Truncate(1))
+		if err != nil {
+			return nil, err
+		}
+
+		// Thermal worst case: every line rises except the middle, which
+		// falls (the 32-bit generalisation of up up down up up).
+		dip := ^uint64(0) >> uint(64-wires) &^ (1 << uint(mid))
+		prevDip := uint64(1) << uint(mid)
+		// Energy worst case: alternating toggle.
+		alt := uint64(0x5555555555555555) >> uint(64-wires)
+		prevAlt := ^alt & (^uint64(0) >> uint(64-wires))
+
+		out := make([]energy.LineEnergy, wires)
+		allTotDip, err := all.Transition(prevDip, dip, out)
+		if err != nil {
+			return nil, err
+		}
+		allMid := out[mid].Total()
+		nnOut := make([]energy.LineEnergy, wires)
+		if _, err := nn.Transition(prevDip, dip, nnOut); err != nil {
+			return nil, err
+		}
+		nnMid := nnOut[mid].Total()
+
+		allTotAlt, err := all.Transition(prevAlt, alt, out)
+		if err != nil {
+			return nil, err
+		}
+		altMid := out[mid].Total()
+
+		rows = append(rows, Sec33Row{
+			Node:                    node,
+			MiddleUnderestimatePct:  100 * (allMid - nnMid) / allMid,
+			ThermalWorstTotal:       allTotDip.Total(),
+			EnergyWorstTotal:        allTotAlt.Total(),
+			MiddleShareThermalWorst: allMid / allTotDip.Total(),
+			MiddleShareEnergyWorst:  altMid / allTotAlt.Total(),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,74 @@
+// Package expt contains one driver per table and figure of the paper's
+// evaluation, mapping each onto the library's modules (see DESIGN.md's
+// experiment index). Every driver returns plain data rows; rendering to
+// text/CSV lives in print.go so the CLI, benchmarks, and tests share the
+// same computations.
+package expt
+
+import (
+	"nanobus/internal/itrs"
+	"nanobus/internal/repeater"
+	"nanobus/internal/thermal"
+)
+
+// Table1Row reproduces one column of the paper's Table 1 plus the derived
+// quantities the models compute from it (repeater plan, thermal
+// resistances, inter-layer rise).
+type Table1Row struct {
+	Node itrs.Node
+	// Repeater plan for the default 10 mm line.
+	Repeater repeater.Plan
+	// RVertical and RLateral are the Eq. 6 / Sec. 4.1.1 thermal
+	// resistances (K*m/W).
+	RVertical, RLateral float64
+	// HeatCapacity is the per-wire thermal capacitance (J/(K*m)) with the
+	// default dielectric heat mass.
+	HeatCapacity float64
+	// TimeConstantMS is RVertical*HeatCapacity in milliseconds.
+	TimeConstantMS float64
+	// InterLayerRise is the Eq. 7 Δθ in kelvin.
+	InterLayerRise float64
+	// RecomputedRWire is rho*l/(w*t), which should agree with the table's
+	// rwire.
+	RecomputedRWire float64
+}
+
+// Table1 computes the rows for all (or the given) nodes.
+func Table1(nodes ...itrs.Node) ([]Table1Row, error) {
+	if len(nodes) == 0 {
+		nodes = itrs.Nodes()
+	}
+	rows := make([]Table1Row, 0, len(nodes))
+	for _, n := range nodes {
+		if err := n.Validate(); err != nil {
+			return nil, err
+		}
+		plan, err := repeater.InsertDefault(n, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		g := thermal.NodeGeometry(n)
+		rv, err := g.VerticalResistance()
+		if err != nil {
+			return nil, err
+		}
+		rl, err := g.LateralResistance()
+		if err != nil {
+			return nil, err
+		}
+		hc := g.HeatCapacity(thermal.HeatCapacityOptions{
+			ExtraDielectricArea: thermal.DefaultExtraDielectricArea,
+		})
+		rows = append(rows, Table1Row{
+			Node:            n,
+			Repeater:        plan,
+			RVertical:       rv,
+			RLateral:        rl,
+			HeatCapacity:    hc,
+			TimeConstantMS:  rv * hc * 1e3,
+			InterLayerRise:  thermal.InterLayerRise(n),
+			RecomputedRWire: n.ResistancePerMeter(),
+		})
+	}
+	return rows, nil
+}

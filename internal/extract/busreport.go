@@ -1,0 +1,125 @@
+package extract
+
+import (
+	"fmt"
+
+	"nanobus/internal/geometry"
+)
+
+// BusDistribution is the Fig. 1(b) breakdown for one extracted bus: the
+// share of a wire's total capacitance contributed by the ground (self)
+// capacitance and by coupling to neighbours at each distance.
+type BusDistribution struct {
+	// Wires is the bus width used for the extraction.
+	Wires int
+	// CgndFrac is the self (ground) capacitance share in [0, 1].
+	CgndFrac float64
+	// CC is the coupling share by neighbour distance: CC[0] is the
+	// adjacent-neighbour (CC1) share, CC[1] the one-wire-between (CC2)
+	// share, CC[2] the two-wires-between (CC3) share.
+	CC [3]float64
+	// CCRest is the share from neighbours three or more wires away.
+	CCRest float64
+	// CgndPerMeter, CC1PerMeter are the absolute values (F/m) for the
+	// reference (centre) wire.
+	CgndPerMeter, CC1PerMeter float64
+}
+
+// NonAdjacentFrac returns the total non-adjacent coupling share
+// (CC2 + CC3 + rest) — the quantity the paper reports as ~8-10%.
+func (d BusDistribution) NonAdjacentFrac() float64 {
+	return d.CC[1] + d.CC[2] + d.CCRest
+}
+
+// ExtractBus runs the extractor on a coplanar bus layout and returns both
+// the raw result and the Fig. 1(b) distribution, measured at the centre
+// wire (which has the most symmetric neighbourhood).
+func ExtractBus(layout geometry.BusLayout, opts Options) (*Result, BusDistribution, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, BusDistribution{}, err
+	}
+	res, err := Extract(layout.Conductors(), layout.EpsRel, opts)
+	if err != nil {
+		return nil, BusDistribution{}, err
+	}
+	dist, err := Distribution(res)
+	return res, dist, err
+}
+
+// Distribution computes the Fig. 1(b) capacitance breakdown from an
+// extraction result, using the centre conductor as the reference wire.
+func Distribution(res *Result) (BusDistribution, error) {
+	n := len(res.Names)
+	if n < 2 {
+		return BusDistribution{}, fmt.Errorf("extract: distribution needs >= 2 wires, got %d", n)
+	}
+	ref := n / 2
+	cgnd := res.SelfToGround(ref)
+	total := cgnd
+	byDist := map[int]float64{}
+	for j := 0; j < n; j++ {
+		if j == ref {
+			continue
+		}
+		d := j - ref
+		if d < 0 {
+			d = -d
+		}
+		c := res.Coupling(ref, j)
+		byDist[d] += c
+		total += c
+	}
+	if total <= 0 {
+		return BusDistribution{}, fmt.Errorf("extract: non-positive total capacitance %g", total)
+	}
+	dist := BusDistribution{
+		Wires:        n,
+		CgndFrac:     cgnd / total,
+		CgndPerMeter: cgnd,
+		CC1PerMeter:  byDist[1],
+	}
+	dist.CC[0] = byDist[1] / total
+	dist.CC[1] = byDist[2] / total
+	dist.CC[2] = byDist[3] / total
+	rest := 0.0
+	for d, c := range byDist {
+		if d >= 4 {
+			rest += c
+		}
+	}
+	dist.CCRest = rest / total
+	return dist, nil
+}
+
+// CouplingDecay returns, for the centre wire, the ratio of coupling at each
+// neighbour distance to the adjacent coupling: decay[0] = 1 (distance 1),
+// decay[1] = CC2/CC1, etc., up to maxDist. The capacitance model uses these
+// ratios to extend the paper's Table 1 adjacent coupling to non-adjacent
+// pairs.
+func CouplingDecay(res *Result, maxDist int) []float64 {
+	n := len(res.Names)
+	ref := n / 2
+	c1 := res.Coupling(ref, ref+1)
+	if ref > 0 {
+		c1 = 0.5 * (c1 + res.Coupling(ref, ref-1))
+	}
+	if maxDist > n-1 {
+		maxDist = n - 1
+	}
+	decay := make([]float64, maxDist)
+	for d := 1; d <= maxDist; d++ {
+		num, cnt := 0.0, 0
+		if ref+d < n {
+			num += res.Coupling(ref, ref+d)
+			cnt++
+		}
+		if ref-d >= 0 {
+			num += res.Coupling(ref, ref-d)
+			cnt++
+		}
+		if cnt > 0 && c1 > 0 {
+			decay[d-1] = (num / float64(cnt)) / c1
+		}
+	}
+	return decay
+}

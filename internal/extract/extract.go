@@ -1,0 +1,210 @@
+// Package extract implements a two-dimensional boundary-element-method
+// (method-of-moments) capacitance extractor — the from-scratch substitute
+// for the FastCap runs the paper uses to obtain the full coupling matrix of
+// a 32-bit coplanar bus (Sec. 3.2.1, Fig. 1).
+//
+// Model: conductor cross-sections above a grounded plane at y = 0, embedded
+// in a uniform dielectric of permittivity eps = epsRel*eps0. Each conductor
+// boundary is discretised into straight panels carrying uniform (per-panel)
+// line charge density. The ground plane is enforced exactly with image
+// charges, which also fixes the 2-D logarithmic potential's arbitrary
+// constant (the plane is the zero-potential reference). Collocating the
+// potential at panel midpoints yields a dense linear system P q = v that is
+// solved once per conductor (sharing one LU factorisation) to produce the
+// Maxwell capacitance matrix in F/m.
+package extract
+
+import (
+	"fmt"
+	"math"
+
+	"nanobus/internal/geometry"
+	"nanobus/internal/linalg"
+	"nanobus/internal/units"
+)
+
+// Options tune the extraction.
+type Options struct {
+	// PanelsPerEdge is the minimum number of panels per conductor edge.
+	// Higher is more accurate and slower. Zero means 8.
+	PanelsPerEdge int
+	// MaxPanelFraction caps panel length at this fraction of the
+	// conductor's shortest edge. Zero means 0.5 (i.e. no extra cap beyond
+	// PanelsPerEdge).
+	MaxPanelFraction float64
+}
+
+func (o Options) panelsPerEdge() int {
+	if o.PanelsPerEdge <= 0 {
+		return 8
+	}
+	return o.PanelsPerEdge
+}
+
+// Result holds the extracted Maxwell capacitance matrix and its mesh
+// metadata. Units are farads per meter of bus length (2-D extraction).
+type Result struct {
+	// Names are the conductor names in matrix order.
+	Names []string
+	// Maxwell is the short-circuit (Maxwell) capacitance matrix: the
+	// charge on conductor i with conductor j at 1 V and all others
+	// grounded. Diagonal entries are positive, off-diagonals negative.
+	Maxwell *linalg.Matrix
+	// Panels is the number of boundary elements used.
+	Panels int
+}
+
+// Coupling returns the (positive) coupling capacitance between conductors
+// i and j in F/m.
+func (r *Result) Coupling(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return -0.5 * (r.Maxwell.At(i, j) + r.Maxwell.At(j, i))
+}
+
+// SelfToGround returns conductor i's capacitance to the ground plane in
+// F/m: the row sum of the Maxwell matrix (total charge with every
+// conductor at 1 V).
+func (r *Result) SelfToGround(i int) float64 {
+	s := 0.0
+	for j := 0; j < r.Maxwell.Cols(); j++ {
+		s += r.Maxwell.At(i, j)
+	}
+	return s
+}
+
+// TotalCapacitance returns conductor i's total capacitance: self-to-ground
+// plus all couplings.
+func (r *Result) TotalCapacitance(i int) float64 {
+	t := r.SelfToGround(i)
+	for j := 0; j < r.Maxwell.Cols(); j++ {
+		if j != i {
+			t += r.Coupling(i, j)
+		}
+	}
+	return t
+}
+
+// Extract runs the boundary-element extraction for the given conductors in
+// a uniform dielectric of relative permittivity epsRel over the grounded
+// plane y = 0. All conductor boundaries must lie strictly above the plane.
+func Extract(conductors []geometry.Conductor, epsRel float64, opts Options) (*Result, error) {
+	if len(conductors) == 0 {
+		return nil, fmt.Errorf("extract: no conductors")
+	}
+	if epsRel < 1 {
+		return nil, fmt.Errorf("extract: relative permittivity %g < 1", epsRel)
+	}
+	// Panel length budget from the smallest edge.
+	shortest := math.Inf(1)
+	for _, c := range conductors {
+		if len(c.Boundary) == 0 {
+			return nil, fmt.Errorf("extract: conductor %q has empty boundary", c.Name)
+		}
+		for _, s := range c.Boundary {
+			if s.A.Y <= 0 || s.B.Y <= 0 {
+				return nil, fmt.Errorf("extract: conductor %q touches or crosses the ground plane", c.Name)
+			}
+			if l := s.Length(); l > 0 && l < shortest {
+				shortest = l
+			}
+		}
+	}
+	frac := opts.MaxPanelFraction
+	if frac <= 0 {
+		frac = 0.5
+	}
+	panels := geometry.Discretize(conductors, shortest*frac, opts.panelsPerEdge())
+	n := len(panels)
+
+	eps := epsRel * units.Eps0
+
+	// Potential coefficient matrix: P[i][j] = potential at panel i's
+	// midpoint due to unit line-charge density on panel j, including the
+	// negative image below the ground plane.
+	p := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		obs := panels[i].Midpoint()
+		row := p.Row(i)
+		for j := 0; j < n; j++ {
+			direct := segmentPotential(obs, panels[j].Segment, i == j)
+			mirrored := geometry.Segment{
+				A: geometry.Point{X: panels[j].A.X, Y: -panels[j].A.Y},
+				B: geometry.Point{X: panels[j].B.X, Y: -panels[j].B.Y},
+			}
+			image := segmentPotential(obs, mirrored, false)
+			row[j] = (direct - image) / (2 * math.Pi * eps)
+		}
+	}
+	lu, err := linalg.FactorLU(p)
+	if err != nil {
+		return nil, fmt.Errorf("extract: potential matrix factorisation: %w", err)
+	}
+
+	nc := len(conductors)
+	maxwell := linalg.NewMatrix(nc, nc)
+	names := make([]string, nc)
+	for ci, c := range conductors {
+		names[ci] = c.Name
+	}
+	rhs := make([]float64, n)
+	for k := 0; k < nc; k++ {
+		for i := range rhs {
+			if panels[i].Conductor == k {
+				rhs[i] = 1
+			} else {
+				rhs[i] = 0
+			}
+		}
+		q, err := lu.Solve(rhs)
+		if err != nil {
+			return nil, fmt.Errorf("extract: solve for conductor %d: %w", k, err)
+		}
+		for i, panel := range panels {
+			maxwell.Add(panel.Conductor, k, q[i]*panel.Length())
+		}
+	}
+	return &Result{Names: names, Maxwell: maxwell, Panels: n}, nil
+}
+
+// segmentPotential returns the integral of -ln(distance) along the segment
+// for a unit line-charge density (the 2-D free-space potential up to the
+// 1/(2*pi*eps) factor applied by the caller). self selects the exact
+// self-term formula (observation point on the panel itself), where the
+// logarithmic singularity is integrable.
+func segmentPotential(obs geometry.Point, seg geometry.Segment, self bool) float64 {
+	l := seg.Length()
+	if l == 0 {
+		return 0
+	}
+	if self {
+		// Observation at the panel's own midpoint:
+		// -Int_{-L/2}^{L/2} ln|u| du = -L*(ln(L/2) - 1).
+		return -l * (math.Log(l/2) - 1)
+	}
+	// Local frame: origin at segment midpoint, x along the segment.
+	ux := (seg.B.X - seg.A.X) / l
+	uy := (seg.B.Y - seg.A.Y) / l
+	mid := seg.Midpoint()
+	dx := obs.X - mid.X
+	dy := obs.Y - mid.Y
+	x := dx*ux + dy*uy  // along-segment coordinate
+	y := -dx*uy + dy*ux // perpendicular coordinate
+	h := l / 2
+	// -Int_{-h}^{h} (1/2) ln((x-t)^2 + y^2) dt, evaluated analytically.
+	return -(antiderivative(x+h, y) - antiderivative(x-h, y))
+}
+
+// antiderivative is F(u) with F'(u) = (1/2) ln(u^2 + y^2):
+// F(u) = (u/2) ln(u^2+y^2) - u + y*atan(u/y)  (y != 0)
+// F(u) = u ln|u| - u                           (y == 0)
+func antiderivative(u, y float64) float64 {
+	if y == 0 {
+		if u == 0 {
+			return 0
+		}
+		return u*math.Log(math.Abs(u)) - u
+	}
+	return u/2*math.Log(u*u+y*y) - u + y*math.Atan(u/y)
+}

@@ -1,0 +1,259 @@
+// Package fdm implements a two-dimensional steady-state heat-conduction
+// solver over the bus cross-section — an independent, first-principles
+// check on the paper's lumped thermal-RC network. The paper's Eq. 6
+// resistances come from the compact model of Chiang/Banerjee/Saraswat,
+// who validated against SPICE field solutions; this package plays that
+// validating role here: the RC network's steady-state wire temperatures
+// must agree with the field solution within the compact model's accuracy.
+//
+// The domain is the bus cross-section: a grounded isothermal plane at the
+// bottom (the layer below the ILD), dielectric everywhere else, copper
+// wire rectangles with uniform volumetric heat generation, and adiabatic
+// top/side boundaries (matching the RC model's heat paths: down through
+// the ILD and laterally between wires). The conduction equation
+// ∇·(k∇T) + q = 0 is discretised with a 5-point finite-volume stencil
+// (harmonic-mean interface conductivities) and solved with Gauss-Seidel
+// successive over-relaxation.
+package fdm
+
+import (
+	"fmt"
+	"math"
+
+	"nanobus/internal/itrs"
+	"nanobus/internal/units"
+)
+
+// Grid is the discretised cross-section.
+type Grid struct {
+	nx, ny int
+	dx, dy float64
+	// k is the cell thermal conductivity (W/mK), row-major, ny rows of
+	// nx cells, row 0 at the bottom.
+	k []float64
+	// q is the volumetric heat generation (W/m^3).
+	q []float64
+	// fixed marks Dirichlet cells (held at temp).
+	fixed []bool
+	// temp is the temperature field (K).
+	temp []float64
+	// wires records each wire's cell-index rectangle for averaging.
+	wires []wireRect
+}
+
+type wireRect struct {
+	x0, x1, y0, y1 int // half-open cell ranges
+}
+
+// Options configure the discretisation.
+type Options struct {
+	// CellsPerWidth is the number of grid cells across one wire width;
+	// zero means 4.
+	CellsPerWidth int
+	// MarginWires is the lateral margin on each side, in wire pitches;
+	// zero means 2.
+	MarginWires int
+	// TopMarginFactor is the dielectric height above the wires as a
+	// multiple of wire thickness; zero means 1.5.
+	TopMarginFactor float64
+}
+
+func (o Options) cellsPerWidth() int {
+	if o.CellsPerWidth <= 0 {
+		return 4
+	}
+	return o.CellsPerWidth
+}
+
+// NewBusCrossSection builds the grid for a wires-wide bus on the node with
+// the given per-wire line power (W/m). The bottom row is an isothermal
+// plane at ambient.
+func NewBusCrossSection(node itrs.Node, power []float64, ambient float64, opts Options) (*Grid, error) {
+	n := len(power)
+	if n < 1 {
+		return nil, fmt.Errorf("fdm: no wires")
+	}
+	if ambient <= 0 {
+		return nil, fmt.Errorf("fdm: non-positive ambient %g", ambient)
+	}
+	w := node.WireWidth
+	s := node.Spacing()
+	t := node.WireThickness
+	h := node.ILDHeight
+
+	cpw := opts.cellsPerWidth()
+	dx := w / float64(cpw)
+	dy := dx
+	margin := opts.MarginWires
+	if margin <= 0 {
+		margin = 2
+	}
+	topFactor := opts.TopMarginFactor
+	if topFactor <= 0 {
+		topFactor = 1.5
+	}
+
+	widthM := float64(margin) * (w + s)
+	totalW := widthM*2 + float64(n)*w + float64(n-1)*s
+	totalH := h + t + topFactor*t
+	nx := int(math.Ceil(totalW / dx))
+	ny := int(math.Ceil(totalH / dy))
+	if nx*ny > 4_000_000 {
+		return nil, fmt.Errorf("fdm: grid too large (%dx%d)", nx, ny)
+	}
+	g := &Grid{
+		nx: nx, ny: ny, dx: dx, dy: dy,
+		k:     make([]float64, nx*ny),
+		q:     make([]float64, nx*ny),
+		fixed: make([]bool, nx*ny),
+		temp:  make([]float64, nx*ny),
+	}
+	for i := range g.k {
+		g.k[i] = node.KILD
+		g.temp[i] = ambient
+	}
+	// Bottom row: isothermal plane.
+	for x := 0; x < nx; x++ {
+		g.fixed[x] = true
+	}
+	// Wires: copper cells with volumetric generation q = P/(w*t).
+	y0 := int(math.Round(h / dy))
+	y1 := int(math.Round((h + t) / dy))
+	if y1 <= y0 {
+		y1 = y0 + 1
+	}
+	for wi := 0; wi < n; wi++ {
+		xLeft := widthM + float64(wi)*(w+s)
+		x0 := int(math.Round(xLeft / dx))
+		x1 := int(math.Round((xLeft + w) / dx))
+		if x1 <= x0 {
+			x1 = x0 + 1
+		}
+		if x1 > nx {
+			x1 = nx
+		}
+		qv := power[wi] / (w * t)
+		for y := y0; y < y1 && y < ny; y++ {
+			for x := x0; x < x1; x++ {
+				idx := y*nx + x
+				g.k[idx] = units.KCopper
+				g.q[idx] = qv
+			}
+		}
+		g.wires = append(g.wires, wireRect{x0: x0, x1: x1, y0: y0, y1: min(y1, ny)})
+	}
+	return g, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// harmonic returns the interface conductivity between two cells.
+func harmonic(a, b float64) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return 2 * a * b / (a + b)
+}
+
+// SolveSteadyState iterates SOR until the maximum update falls below tol
+// kelvin or maxIter sweeps elapse; it returns the sweep count.
+func (g *Grid) SolveSteadyState(tol float64, maxIter int) (int, error) {
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	if maxIter <= 0 {
+		maxIter = 50_000
+	}
+	const omega = 1.85 // SOR relaxation
+	ax := g.dy / g.dx  // conductance scale for x-neighbours (unit depth)
+	ay := g.dx / g.dy
+	nx, ny := g.nx, g.ny
+	for sweep := 1; sweep <= maxIter; sweep++ {
+		maxDelta := 0.0
+		for y := 0; y < ny; y++ {
+			row := y * nx
+			for x := 0; x < nx; x++ {
+				idx := row + x
+				if g.fixed[idx] {
+					continue
+				}
+				kc := g.k[idx]
+				var cSum, rhs float64
+				if x > 0 {
+					c := harmonic(kc, g.k[idx-1]) * ax
+					cSum += c
+					rhs += c * g.temp[idx-1]
+				}
+				if x < nx-1 {
+					c := harmonic(kc, g.k[idx+1]) * ax
+					cSum += c
+					rhs += c * g.temp[idx+1]
+				}
+				if y > 0 {
+					c := harmonic(kc, g.k[idx-nx]) * ay
+					cSum += c
+					rhs += c * g.temp[idx-nx]
+				}
+				if y < ny-1 {
+					c := harmonic(kc, g.k[idx+nx]) * ay
+					cSum += c
+					rhs += c * g.temp[idx+nx]
+				}
+				if cSum == 0 {
+					continue
+				}
+				rhs += g.q[idx] * g.dx * g.dy
+				newT := rhs / cSum
+				delta := newT - g.temp[idx]
+				g.temp[idx] += omega * delta
+				if d := math.Abs(delta); d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		if maxDelta < tol {
+			return sweep, nil
+		}
+	}
+	return maxIter, fmt.Errorf("fdm: SOR did not converge in %d sweeps", maxIter)
+}
+
+// WireTemp returns wire i's average temperature.
+func (g *Grid) WireTemp(i int) (float64, error) {
+	if i < 0 || i >= len(g.wires) {
+		return 0, fmt.Errorf("fdm: wire %d out of range", i)
+	}
+	r := g.wires[i]
+	sum, n := 0.0, 0
+	for y := r.y0; y < r.y1; y++ {
+		for x := r.x0; x < r.x1; x++ {
+			sum += g.temp[y*g.nx+x]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("fdm: wire %d has no cells", i)
+	}
+	return sum / float64(n), nil
+}
+
+// WireTemps returns every wire's average temperature.
+func (g *Grid) WireTemps() ([]float64, error) {
+	out := make([]float64, len(g.wires))
+	for i := range out {
+		t, err := g.WireTemp(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Cells returns the grid dimensions.
+func (g *Grid) Cells() (nx, ny int) { return g.nx, g.ny }

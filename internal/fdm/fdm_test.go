@@ -1,0 +1,166 @@
+package fdm
+
+import (
+	"math"
+	"testing"
+
+	"nanobus/internal/itrs"
+	"nanobus/internal/thermal"
+	"nanobus/internal/units"
+)
+
+func TestNoPowerStaysAmbient(t *testing.T) {
+	g, err := NewBusCrossSection(itrs.N130, []float64{0, 0, 0}, units.AmbientK, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.SolveSteadyState(1e-9, 20000); err != nil {
+		t.Fatal(err)
+	}
+	temps, err := g.WireTemps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, temp := range temps {
+		if math.Abs(temp-units.AmbientK) > 1e-6 {
+			t.Errorf("wire %d at %g K with no power", i, temp)
+		}
+	}
+}
+
+func TestHeatingAndSymmetry(t *testing.T) {
+	g, err := NewBusCrossSection(itrs.N130, []float64{5, 5, 5, 5, 5}, units.AmbientK, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.SolveSteadyState(1e-8, 50000); err != nil {
+		t.Fatal(err)
+	}
+	temps, err := g.WireTemps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All wires warm.
+	for i, temp := range temps {
+		if temp <= units.AmbientK {
+			t.Errorf("wire %d did not warm (%.4f K)", i, temp)
+		}
+	}
+	// Mirror symmetry.
+	if math.Abs(temps[0]-temps[4]) > 0.02*(temps[0]-units.AmbientK) {
+		t.Errorf("edge wires asymmetric: %g vs %g", temps[0], temps[4])
+	}
+	// Centre runs hottest under uniform power (neighbours heat it).
+	if !(temps[2] >= temps[1] && temps[1] >= temps[0]) {
+		t.Errorf("profile not centre-peaked: %v", temps)
+	}
+}
+
+func TestHotCentreSpreads(t *testing.T) {
+	g, err := NewBusCrossSection(itrs.N130, []float64{0, 0, 20, 0, 0}, units.AmbientK, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.SolveSteadyState(1e-8, 50000); err != nil {
+		t.Fatal(err)
+	}
+	temps, err := g.WireTemps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(temps[2] > temps[1] && temps[1] > temps[0]) {
+		t.Errorf("no monotone spread from the hot wire: %v", temps)
+	}
+	if temps[1] <= units.AmbientK {
+		t.Error("lateral coupling absent: neighbour stayed at ambient")
+	}
+}
+
+// TestRCModelAgreesWithField is the headline validation: the paper's
+// lumped Eq. 6 network and the finite-difference field solution must agree
+// on the temperature rise within the compact model's accuracy (a few tens
+// of percent), for both uniform and hot-spot loads.
+func TestRCModelAgreesWithField(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		power []float64
+	}{
+		{"uniform", []float64{8, 8, 8, 8, 8}},
+		{"hotspot", []float64{0, 0, 25, 0, 0}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := NewBusCrossSection(itrs.N130, tc.power, units.AmbientK, Options{CellsPerWidth: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.SolveSteadyState(1e-8, 80000); err != nil {
+				t.Fatal(err)
+			}
+			field, err := g.WireTemps()
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw, err := thermal.NewFromNode(itrs.N130, len(tc.power), thermal.NodeOptions{
+				DisableInterLayer: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc, err := nw.SteadyState(tc.power)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range field {
+				fRise := field[i] - units.AmbientK
+				rcRise := rc[i] - units.AmbientK
+				if fRise < 1e-3 && rcRise < 1e-3 {
+					continue // both essentially ambient
+				}
+				ratio := rcRise / fRise
+				if ratio < 0.4 || ratio > 2.5 {
+					t.Errorf("wire %d: RC rise %.4f K vs field %.4f K (ratio %.2f)",
+						i, rcRise, fRise, ratio)
+				}
+			}
+			// For a distinguishable load the models must agree on the
+			// hottest wire. (Uniform power ties the RC temperatures
+			// exactly — lateral flow cancels — so argmax is ill-posed
+			// there.)
+			if tc.name == "hotspot" {
+				argmax := func(v []float64) int {
+					best := 0
+					for i := range v {
+						if v[i] > v[best] {
+							best = i
+						}
+					}
+					return best
+				}
+				if argmax(field) != argmax(rc) {
+					t.Errorf("hottest wire disagrees: field %d, RC %d", argmax(field), argmax(rc))
+				}
+			}
+		})
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewBusCrossSection(itrs.N130, nil, units.AmbientK, Options{}); err == nil {
+		t.Error("empty power accepted")
+	}
+	if _, err := NewBusCrossSection(itrs.N130, []float64{1}, 0, Options{}); err == nil {
+		t.Error("zero ambient accepted")
+	}
+	g, err := NewBusCrossSection(itrs.N130, []float64{1}, units.AmbientK, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WireTemp(5); err == nil {
+		t.Error("out-of-range wire accepted")
+	}
+	nx, ny := g.Cells()
+	if nx <= 0 || ny <= 0 {
+		t.Errorf("cells = %dx%d", nx, ny)
+	}
+}

@@ -1,0 +1,559 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment is a contiguous span of assembled bytes.
+type Segment struct {
+	Addr uint32
+	Data []byte
+}
+
+// Program is the output of the assembler: placed segments and an entry
+// point (the address of the first instruction assembled, or the `start`
+// label if defined).
+type Program struct {
+	Entry    uint32
+	Segments []Segment
+	// Symbols maps labels to addresses.
+	Symbols map[string]uint32
+}
+
+// Assemble translates NB32 assembly source into a Program. Supported
+// syntax: one instruction or directive per line; `label:` definitions
+// (optionally followed by an instruction); `#` or `;` comments; directives
+// .org ADDR, .word V..., .float F..., .space N, .align N; pseudo
+// instructions nop, mv, li, la, j, call, ret. Numeric literals accept
+// decimal, hex (0x...) and character quotes.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{symbols: map[string]uint32{}}
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: layout (compute sizes, record labels).
+	if err := a.run(lines, false); err != nil {
+		return nil, err
+	}
+	// Pass 2: emit.
+	a.resetCursor()
+	if err := a.run(lines, true); err != nil {
+		return nil, err
+	}
+	prog := &Program{Symbols: a.symbols, Segments: a.segments()}
+	if e, ok := a.symbols["start"]; ok {
+		prog.Entry = e
+	} else {
+		prog.Entry = a.firstInst
+	}
+	return prog, nil
+}
+
+type chunk struct {
+	addr uint32
+	data []byte
+}
+
+type assembler struct {
+	symbols   map[string]uint32
+	chunks    []chunk
+	addr      uint32
+	firstInst uint32
+	haveFirst bool
+	emitting  bool
+	lineNo    int
+}
+
+func (a *assembler) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("isa: line %d: %s", a.lineNo, fmt.Sprintf(format, args...))
+}
+
+func (a *assembler) resetCursor() {
+	a.addr = 0
+	a.chunks = nil
+	a.haveFirst = false
+}
+
+func (a *assembler) run(lines []string, emit bool) error {
+	a.emitting = emit
+	for i, raw := range lines {
+		a.lineNo = i + 1
+		line := raw
+		if j := strings.IndexAny(line, "#;"); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several) prefixing an instruction.
+		for {
+			j := strings.Index(line, ":")
+			if j < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:j])
+			if !isIdent(label) {
+				return a.errf("bad label %q", label)
+			}
+			if !emit {
+				if _, dup := a.symbols[label]; dup {
+					return a.errf("duplicate label %q", label)
+				}
+				a.symbols[label] = a.addr
+			}
+			line = strings.TrimSpace(line[j+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if err := a.directive(line); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := a.instruction(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *assembler) directive(line string) error {
+	fields := strings.Fields(line)
+	name := fields[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(line, name))
+	switch name {
+	case ".org":
+		v, err := a.number(rest)
+		if err != nil {
+			return err
+		}
+		a.addr = uint32(v)
+	case ".word":
+		for _, tok := range splitOperands(rest) {
+			v, err := a.numberOrLabel(tok)
+			if err != nil {
+				return err
+			}
+			a.emit32(uint32(v))
+		}
+	case ".float":
+		for _, tok := range splitOperands(rest) {
+			f, err := strconv.ParseFloat(tok, 32)
+			if err != nil {
+				return a.errf("bad float %q: %v", tok, err)
+			}
+			a.emit32(math.Float32bits(float32(f)))
+		}
+	case ".space":
+		v, err := a.number(rest)
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return a.errf(".space with negative size")
+		}
+		if a.emitting {
+			a.append(make([]byte, v))
+		} else {
+			a.addr += uint32(v)
+		}
+	case ".align":
+		v, err := a.number(rest)
+		if err != nil {
+			return err
+		}
+		if v <= 0 || v&(v-1) != 0 {
+			return a.errf(".align needs a power of two")
+		}
+		al := uint32(v)
+		pad := (al - a.addr%al) % al
+		if a.emitting {
+			a.append(make([]byte, pad))
+		} else {
+			a.addr += pad
+		}
+	default:
+		return a.errf("unknown directive %s", name)
+	}
+	return nil
+}
+
+func (a *assembler) instruction(line string) error {
+	if !a.haveFirst {
+		a.haveFirst = true
+		if a.firstInst == 0 || a.emitting {
+			a.firstInst = a.addr
+		}
+	}
+	sp := strings.IndexAny(line, " \t")
+	mn := line
+	rest := ""
+	if sp >= 0 {
+		mn = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	}
+	mn = strings.ToLower(mn)
+	ops := splitOperands(rest)
+
+	// Pseudo instructions expand to real ones.
+	switch mn {
+	case "nop":
+		return a.encode(Inst{Op: OpAddi})
+	case "mv":
+		if len(ops) != 2 {
+			return a.errf("mv needs 2 operands")
+		}
+		rd, err := a.reg(ops[0], false)
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[1], false)
+		if err != nil {
+			return err
+		}
+		return a.encode(Inst{Op: OpAddi, Rd: rd, Rs1: rs})
+	case "li", "la":
+		if len(ops) != 2 {
+			return a.errf("%s needs 2 operands", mn)
+		}
+		rd, err := a.reg(ops[0], false)
+		if err != nil {
+			return err
+		}
+		v, err := a.numberOrLabel(ops[1])
+		if err != nil {
+			return err
+		}
+		return a.loadConst(rd, uint32(v))
+	case "j":
+		if len(ops) != 1 {
+			return a.errf("j needs 1 operand")
+		}
+		return a.jump(OpJal, 0, ops[0])
+	case "call":
+		if len(ops) != 1 {
+			return a.errf("call needs 1 operand")
+		}
+		return a.jump(OpJal, 14, ops[0])
+	case "ret":
+		return a.encode(Inst{Op: OpJalr, Rd: 0, Rs1: 14})
+	}
+
+	op, ok := OpByName(mn)
+	if !ok {
+		return a.errf("unknown mnemonic %q", mn)
+	}
+	info := InfoOf(op)
+	switch {
+	case op == OpHalt:
+		return a.encode(Inst{Op: OpHalt})
+	case info.Load:
+		if len(ops) != 2 {
+			return a.errf("%s needs rd, off(base)", mn)
+		}
+		rd, err := a.reg(ops[0], info.FP)
+		if err != nil {
+			return err
+		}
+		off, base, err := a.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		return a.encode(Inst{Op: op, Rd: rd, Rs1: base, Imm: off})
+	case info.Store:
+		if len(ops) != 2 {
+			return a.errf("%s needs rs, off(base)", mn)
+		}
+		rs, err := a.reg(ops[0], info.FP)
+		if err != nil {
+			return err
+		}
+		off, base, err := a.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		return a.encode(Inst{Op: op, Rs1: base, Rs2: rs, Imm: off})
+	case info.Fmt == FmtB:
+		if len(ops) != 3 {
+			return a.errf("%s needs rs1, rs2, target", mn)
+		}
+		rs1, err := a.reg(ops[0], false)
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(ops[1], false)
+		if err != nil {
+			return err
+		}
+		off, err := a.branchOffset(ops[2])
+		if err != nil {
+			return err
+		}
+		return a.encode(Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: off})
+	case op == OpJal:
+		if len(ops) != 2 {
+			return a.errf("jal needs rd, target")
+		}
+		rd, err := a.reg(ops[0], false)
+		if err != nil {
+			return err
+		}
+		return a.jump(OpJal, rd, ops[1])
+	case op == OpJalr:
+		if len(ops) != 3 {
+			return a.errf("jalr needs rd, rs1, imm")
+		}
+		rd, err := a.reg(ops[0], false)
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(ops[1], false)
+		if err != nil {
+			return err
+		}
+		imm, err := a.numberOrLabel(ops[2])
+		if err != nil {
+			return err
+		}
+		return a.encode(Inst{Op: OpJalr, Rd: rd, Rs1: rs1, Imm: int32(imm)})
+	case op == OpLui:
+		if len(ops) != 2 {
+			return a.errf("lui needs rd, value")
+		}
+		rd, err := a.reg(ops[0], false)
+		if err != nil {
+			return err
+		}
+		v, err := a.numberOrLabel(ops[1])
+		if err != nil {
+			return err
+		}
+		return a.encode(Inst{Op: OpLui, Rd: rd, Imm: int32(v)})
+	case info.Fmt == FmtI:
+		if len(ops) != 3 {
+			return a.errf("%s needs rd, rs1, imm", mn)
+		}
+		rd, err := a.reg(ops[0], false)
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(ops[1], false)
+		if err != nil {
+			return err
+		}
+		imm, err := a.numberOrLabel(ops[2])
+		if err != nil {
+			return err
+		}
+		return a.encode(Inst{Op: op, Rd: rd, Rs1: rs1, Imm: int32(imm)})
+	case info.Fmt == FmtR:
+		if len(ops) != 3 {
+			return a.errf("%s needs 3 register operands", mn)
+		}
+		// FP source/destination register files per opcode.
+		dFP := info.FP && op != OpFcvtws && op != OpFmvxw && op != OpFeq && op != OpFlt
+		sFP := info.FP && op != OpFcvtsw && op != OpFmvwx
+		rd, err := a.reg(ops[0], dFP)
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(ops[1], sFP)
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(ops[2], sFP)
+		if err != nil {
+			return err
+		}
+		return a.encode(Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	}
+	return a.errf("cannot assemble %q", mn)
+}
+
+// loadConst emits li/la as a fixed-size lui+ori pair. The size must not
+// depend on the value: pass 1 may see unresolved (zero) forward labels, and
+// layout and emission have to agree.
+func (a *assembler) loadConst(rd uint8, v uint32) error {
+	hi := v &^ ((1 << LuiShift) - 1)
+	lo := v & ((1 << LuiShift) - 1)
+	if err := a.encode(Inst{Op: OpLui, Rd: rd, Imm: int32(hi)}); err != nil {
+		return err
+	}
+	return a.encode(Inst{Op: OpOri, Rd: rd, Rs1: rd, Imm: int32(lo)})
+}
+
+func (a *assembler) jump(op Op, rd uint8, target string) error {
+	v, err := a.numberOrLabel(target)
+	if err != nil {
+		return err
+	}
+	return a.encode(Inst{Op: op, Rd: rd, Imm: int32(uint32(v) - a.addr)})
+}
+
+func (a *assembler) branchOffset(target string) (int32, error) {
+	v, err := a.numberOrLabel(target)
+	if err != nil {
+		return 0, err
+	}
+	return int32(uint32(v) - a.addr), nil
+}
+
+func (a *assembler) encode(in Inst) error {
+	if !a.emitting {
+		// Pass 1 counts fixed-size pseudo-expansions exactly: loadConst
+		// already calls encode per emitted instruction, so layout and
+		// emission agree.
+		a.addr += 4
+		return nil
+	}
+	w, err := Encode(in)
+	if err != nil {
+		return a.errf("%v", err)
+	}
+	a.emit32(w)
+	return nil
+}
+
+func (a *assembler) emit32(w uint32) {
+	if !a.emitting {
+		a.addr += 4
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], w)
+	a.append(b[:])
+}
+
+func (a *assembler) append(b []byte) {
+	n := len(a.chunks)
+	if n > 0 && a.chunks[n-1].addr+uint32(len(a.chunks[n-1].data)) == a.addr {
+		a.chunks[n-1].data = append(a.chunks[n-1].data, b...)
+	} else {
+		a.chunks = append(a.chunks, chunk{addr: a.addr, data: append([]byte(nil), b...)})
+	}
+	a.addr += uint32(len(b))
+}
+
+func (a *assembler) segments() []Segment {
+	out := make([]Segment, len(a.chunks))
+	for i, c := range a.chunks {
+		out[i] = Segment{Addr: c.addr, Data: c.data}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// memOperand parses "off(base)" where off may be a number or label and may
+// be empty ("(r3)").
+func (a *assembler) memOperand(s string) (int32, uint8, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	base, err := a.reg(strings.TrimSpace(s[open+1:len(s)-1]), false)
+	if err != nil {
+		return 0, 0, err
+	}
+	var off int64
+	if offStr != "" {
+		off, err = a.numberOrLabel(offStr)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return int32(off), base, nil
+}
+
+func (a *assembler) reg(s string, fp bool) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "zero":
+		return 0, nil
+	case "ra":
+		return 14, nil
+	case "sp":
+		return 15, nil
+	}
+	want := byte('r')
+	if fp {
+		want = 'f'
+	}
+	if len(s) < 2 || s[0] != want {
+		return 0, a.errf("bad register %q (want %c0..%c15)", s, want, want)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, a.errf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func (a *assembler) number(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow unsigned 32-bit hex like 0xFFFFFFFF.
+		if u, uerr := strconv.ParseUint(s, 0, 32); uerr == nil {
+			return int64(u), nil
+		}
+		return 0, a.errf("bad number %q", s)
+	}
+	return v, nil
+}
+
+func (a *assembler) numberOrLabel(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if isIdent(s) {
+		if addr, ok := a.symbols[s]; ok {
+			return int64(addr), nil
+		}
+		if !a.emitting {
+			// Forward reference during layout: size-stable placeholder.
+			return 0, nil
+		}
+		return 0, a.errf("undefined label %q", s)
+	}
+	return a.number(s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	// Pure numbers are not identifiers; a leading dot is a directive.
+	return s[0] != '.'
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

@@ -1,0 +1,212 @@
+package isa
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+// words extracts the instruction words of the program's first segment.
+func words(t *testing.T, p *Program) []uint32 {
+	t.Helper()
+	if len(p.Segments) == 0 {
+		t.Fatal("no segments")
+	}
+	d := p.Segments[0].Data
+	out := make([]uint32, len(d)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(d[4*i:])
+	}
+	return out
+}
+
+func TestAssembleBasicBlock(t *testing.T) {
+	p := mustAssemble(t, `
+		.org 0x1000
+	start:
+		addi r1, r0, 10
+		addi r2, r0, 0
+	loop:
+		add r2, r2, r1
+		addi r1, r1, -1
+		bne r1, r0, loop
+		halt
+	`)
+	if p.Entry != 0x1000 {
+		t.Errorf("entry = %#x, want 0x1000", p.Entry)
+	}
+	if p.Symbols["loop"] != 0x1008 {
+		t.Errorf("loop = %#x, want 0x1008", p.Symbols["loop"])
+	}
+	ws := words(t, p)
+	if len(ws) != 6 {
+		t.Fatalf("%d instructions, want 6", len(ws))
+	}
+	// The branch at 0x1010 targets 0x1008: offset -8.
+	b := Decode(ws[4])
+	if b.Op != OpBne || b.Imm != -8 {
+		t.Errorf("branch decoded as %+v, want bne offset -8", b)
+	}
+}
+
+func TestAssembleMemoryAndPseudo(t *testing.T) {
+	p := mustAssemble(t, `
+		.org 0x2000
+		la r1, buf      ; 2 instructions
+		lw r2, 4(r1)
+		sw r2, 8(r1)
+		mv r3, r2
+		nop
+		j end
+	end:
+		ret
+		.align 16
+	buf:
+		.word 1, 2, 3
+		.float 1.5
+		.space 8
+	`)
+	buf := p.Symbols["buf"]
+	if buf%16 != 0 {
+		t.Errorf("buf = %#x not 16-aligned", buf)
+	}
+	ws := words(t, p)
+	// la expands to lui+ori targeting buf.
+	lui := Decode(ws[0])
+	ori := Decode(ws[1])
+	if lui.Op != OpLui || ori.Op != OpOri {
+		t.Fatalf("la expansion: %v, %v", lui, ori)
+	}
+	if uint32(lui.Imm)|uint32(ori.Imm) != buf {
+		t.Errorf("la materialises %#x, want %#x", uint32(lui.Imm)|uint32(ori.Imm), buf)
+	}
+}
+
+func TestAssembleForwardLabel(t *testing.T) {
+	p := mustAssemble(t, `
+		.org 0x100
+		beq r0, r0, fwd
+		nop
+		nop
+	fwd:
+		halt
+	`)
+	ws := words(t, p)
+	b := Decode(ws[0])
+	if b.Imm != 12 {
+		t.Errorf("forward branch offset = %d, want 12", b.Imm)
+	}
+}
+
+func TestAssembleRegisterAliases(t *testing.T) {
+	p := mustAssemble(t, `
+		addi sp, zero, 100
+		jal ra, 8
+	`)
+	ws := words(t, p)
+	a := Decode(ws[0])
+	if a.Rd != 15 || a.Rs1 != 0 {
+		t.Errorf("aliases wrong: %+v", a)
+	}
+	j := Decode(ws[1])
+	if j.Rd != 14 {
+		t.Errorf("ra alias wrong: %+v", j)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"bogus r1, r2",
+		"addi r1, r2",          // missing operand
+		"addi r99, r0, 1",      // bad register
+		"lw r1, nope",          // bad memory operand
+		"beq r1, r2, nowhere",  // undefined label
+		".org xyz",             // bad number
+		".align 3",             // not a power of two
+		".unknown 5",           // unknown directive
+		"dup: nop\ndup: nop",   // duplicate label
+		"addi r1, r0, 9999999", // immediate overflow
+		"fadd r1, f2, f3",      // int register in FP slot
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestTwoPassSizesAgree(t *testing.T) {
+	// Forward la references must produce identical layout in both passes;
+	// a mismatch would corrupt every later label.
+	p := mustAssemble(t, `
+		.org 0
+		la r1, late
+		la r2, early
+	marker:
+		halt
+		.org 0x100000
+	late:
+		.word 7
+	early:
+		.word 8
+	`)
+	if p.Symbols["marker"] != 16 {
+		t.Errorf("marker at %#x, want 0x10 (two 2-instruction la expansions)", p.Symbols["marker"])
+	}
+}
+
+func TestDisassembleReassemble(t *testing.T) {
+	src := `
+		.org 0x400
+		addi r1, r0, 5
+		slli r2, r1, 3
+		lw r3, 0(r2)
+		sw r3, 4(r2)
+		beq r3, r0, 8
+		halt
+	`
+	p1 := mustAssemble(t, src)
+	ws := words(t, p1)
+	// Render each instruction and re-assemble the rendering.
+	var sb strings.Builder
+	sb.WriteString(".org 0x400\n")
+	for _, w := range ws {
+		in := Decode(w)
+		line := in.String()
+		// Branch offsets render relative; convert to an absolute-target
+		// form the assembler accepts by keeping the numeric offset:
+		// "beq r3, r0, 8" reassembles as target 8 absolute, so skip
+		// branches in this round-trip.
+		if InfoOf(in.Op).Fmt == FmtB {
+			sb.WriteString("nop\n")
+			continue
+		}
+		sb.WriteString(line + "\n")
+	}
+	p2, err := Assemble(sb.String())
+	if err != nil {
+		t.Fatalf("reassemble: %v", err)
+	}
+	ws2 := words(t, p2)
+	if len(ws2) != len(ws) {
+		t.Fatalf("reassembled %d instructions, want %d", len(ws2), len(ws))
+	}
+	for i := range ws {
+		if Decode(ws[i]).Op == OpBeq {
+			continue
+		}
+		if ws[i] != ws2[i] {
+			t.Errorf("instruction %d: %#08x vs %#08x (%s vs %s)",
+				i, ws[i], ws2[i], Decode(ws[i]), Decode(ws2[i]))
+		}
+	}
+}

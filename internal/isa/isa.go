@@ -1,0 +1,387 @@
+// Package isa defines NB32, the small 32-bit RISC instruction set executed
+// by the trace-generating CPU simulator (the substitution for the paper's
+// SPARC-V9/SHADE setup — see DESIGN.md). NB32 has 16 integer registers
+// (r0 hardwired to zero), 16 single-precision FP registers, fixed 32-bit
+// instructions, and a flat 32-bit byte-addressed address space.
+//
+// Instruction formats (bit 31 is the MSB):
+//
+//	R-type: op[31:26] rd[25:22] rs1[21:18] rs2[17:14] unused[13:0]
+//	I-type: op[31:26] rd[25:22] rs1[21:18] imm18[17:0] (signed)
+//	S-type: op[31:26] imm[17:14]->[25:22] rs1[21:18] rs2[17:14] imm[13:0]
+//	        (stores and branches: an 18-bit signed immediate split across
+//	        the rd slot and the low field; branch immediates are byte
+//	        offsets divided by 4)
+//	J-type: op[31:26] rd[25:22] imm22[21:0] (JAL: signed word offset;
+//	        LUI: unsigned, register value = imm22 << 10)
+package isa
+
+import "fmt"
+
+// Op is an NB32 opcode.
+type Op uint8
+
+// Opcodes. The groupings matter to Format().
+const (
+	OpInvalid Op = iota
+
+	// R-type integer ALU.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt
+	OpSltu
+	OpMul
+	OpDiv
+	OpRem
+
+	// I-type integer ALU.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlti
+	OpSlli
+	OpSrli
+	OpSrai
+
+	// Upper immediate (J-type layout).
+	OpLui
+
+	// Loads (I-type).
+	OpLw
+	OpLh
+	OpLhu
+	OpLb
+	OpLbu
+	OpFlw
+
+	// Stores (S-type).
+	OpSw
+	OpSh
+	OpSb
+	OpFsw
+
+	// Branches (S-type, word offsets).
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+
+	// Jumps.
+	OpJal  // J-type
+	OpJalr // I-type
+
+	// FP R-type.
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFmin
+	OpFmax
+	OpFeq // rd(int) = f[rs1] == f[rs2]
+	OpFlt // rd(int) = f[rs1] < f[rs2]
+
+	// FP conversions/moves (R-type, rs2 unused).
+	OpFcvtws // rd(int) = int32(f[rs1])
+	OpFcvtsw // fd = float32(int32(r[rs1]))
+	OpFmvxw  // rd(int) = bits(f[rs1])
+	OpFmvwx  // fd = bits(r[rs1])
+
+	// System.
+	OpHalt
+
+	opCount
+)
+
+// Format classifies an opcode's encoding layout.
+type Format uint8
+
+// Encoding layouts.
+const (
+	FmtR Format = iota
+	FmtI
+	FmtS
+	FmtB
+	FmtJ
+	FmtNone
+)
+
+// Info describes one opcode.
+type Info struct {
+	Name string
+	Fmt  Format
+	// Load/Store mark memory operations; Size is the access width in
+	// bytes.
+	Load, Store bool
+	Size        uint32
+	// FP marks instructions reading/writing the FP register file.
+	FP bool
+}
+
+var infos = [opCount]Info{
+	OpInvalid: {Name: "invalid", Fmt: FmtNone},
+
+	OpAdd:  {Name: "add", Fmt: FmtR},
+	OpSub:  {Name: "sub", Fmt: FmtR},
+	OpAnd:  {Name: "and", Fmt: FmtR},
+	OpOr:   {Name: "or", Fmt: FmtR},
+	OpXor:  {Name: "xor", Fmt: FmtR},
+	OpSll:  {Name: "sll", Fmt: FmtR},
+	OpSrl:  {Name: "srl", Fmt: FmtR},
+	OpSra:  {Name: "sra", Fmt: FmtR},
+	OpSlt:  {Name: "slt", Fmt: FmtR},
+	OpSltu: {Name: "sltu", Fmt: FmtR},
+	OpMul:  {Name: "mul", Fmt: FmtR},
+	OpDiv:  {Name: "div", Fmt: FmtR},
+	OpRem:  {Name: "rem", Fmt: FmtR},
+
+	OpAddi: {Name: "addi", Fmt: FmtI},
+	OpAndi: {Name: "andi", Fmt: FmtI},
+	OpOri:  {Name: "ori", Fmt: FmtI},
+	OpXori: {Name: "xori", Fmt: FmtI},
+	OpSlti: {Name: "slti", Fmt: FmtI},
+	OpSlli: {Name: "slli", Fmt: FmtI},
+	OpSrli: {Name: "srli", Fmt: FmtI},
+	OpSrai: {Name: "srai", Fmt: FmtI},
+
+	OpLui: {Name: "lui", Fmt: FmtJ},
+
+	OpLw:  {Name: "lw", Fmt: FmtI, Load: true, Size: 4},
+	OpLh:  {Name: "lh", Fmt: FmtI, Load: true, Size: 2},
+	OpLhu: {Name: "lhu", Fmt: FmtI, Load: true, Size: 2},
+	OpLb:  {Name: "lb", Fmt: FmtI, Load: true, Size: 1},
+	OpLbu: {Name: "lbu", Fmt: FmtI, Load: true, Size: 1},
+	OpFlw: {Name: "flw", Fmt: FmtI, Load: true, Size: 4, FP: true},
+
+	OpSw:  {Name: "sw", Fmt: FmtS, Store: true, Size: 4},
+	OpSh:  {Name: "sh", Fmt: FmtS, Store: true, Size: 2},
+	OpSb:  {Name: "sb", Fmt: FmtS, Store: true, Size: 1},
+	OpFsw: {Name: "fsw", Fmt: FmtS, Store: true, Size: 4, FP: true},
+
+	OpBeq:  {Name: "beq", Fmt: FmtB},
+	OpBne:  {Name: "bne", Fmt: FmtB},
+	OpBlt:  {Name: "blt", Fmt: FmtB},
+	OpBge:  {Name: "bge", Fmt: FmtB},
+	OpBltu: {Name: "bltu", Fmt: FmtB},
+	OpBgeu: {Name: "bgeu", Fmt: FmtB},
+
+	OpJal:  {Name: "jal", Fmt: FmtJ},
+	OpJalr: {Name: "jalr", Fmt: FmtI},
+
+	OpFadd: {Name: "fadd", Fmt: FmtR, FP: true},
+	OpFsub: {Name: "fsub", Fmt: FmtR, FP: true},
+	OpFmul: {Name: "fmul", Fmt: FmtR, FP: true},
+	OpFdiv: {Name: "fdiv", Fmt: FmtR, FP: true},
+	OpFmin: {Name: "fmin", Fmt: FmtR, FP: true},
+	OpFmax: {Name: "fmax", Fmt: FmtR, FP: true},
+	OpFeq:  {Name: "feq", Fmt: FmtR, FP: true},
+	OpFlt:  {Name: "flt", Fmt: FmtR, FP: true},
+
+	OpFcvtws: {Name: "fcvtws", Fmt: FmtR, FP: true},
+	OpFcvtsw: {Name: "fcvtsw", Fmt: FmtR, FP: true},
+	OpFmvxw:  {Name: "fmvxw", Fmt: FmtR, FP: true},
+	OpFmvwx:  {Name: "fmvwx", Fmt: FmtR, FP: true},
+
+	OpHalt: {Name: "halt", Fmt: FmtNone},
+}
+
+// InfoOf returns the opcode's description.
+func InfoOf(op Op) Info {
+	if op >= opCount {
+		return infos[OpInvalid]
+	}
+	return infos[op]
+}
+
+// byName maps mnemonics to opcodes.
+var byName = func() map[string]Op {
+	m := make(map[string]Op, int(opCount))
+	for op := Op(1); op < opCount; op++ {
+		m[infos[op].Name] = op
+	}
+	return m
+}()
+
+// OpByName resolves a mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := byName[name]
+	return op, ok
+}
+
+// Instruction field limits.
+const (
+	// ImmBitsI is the width of the I/S/B-type immediate.
+	ImmBitsI = 18
+	// ImmBitsJ is the width of the J-type immediate.
+	ImmBitsJ = 22
+	// ImmMinI and ImmMaxI bound the signed 18-bit immediate.
+	ImmMinI = -(1 << (ImmBitsI - 1))
+	ImmMaxI = 1<<(ImmBitsI-1) - 1
+	// ImmMinJ and ImmMaxJ bound the signed 22-bit immediate.
+	ImmMinJ = -(1 << (ImmBitsJ - 1))
+	ImmMaxJ = 1<<(ImmBitsJ-1) - 1
+	// LuiShift is the left shift LUI applies to its immediate.
+	LuiShift = 10
+	// NumRegs is the number of integer (and FP) registers.
+	NumRegs = 16
+)
+
+// Inst is a decoded instruction.
+type Inst struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	// Imm is the sign-extended immediate. For branches and JAL it is the
+	// byte offset (already multiplied by 4); for LUI the final register
+	// value (imm22 << LuiShift).
+	Imm int32
+}
+
+// Encode packs an instruction into its 32-bit form.
+func Encode(in Inst) (uint32, error) {
+	info := InfoOf(in.Op)
+	if info.Name == "invalid" && in.Op != OpHalt {
+		return 0, fmt.Errorf("isa: cannot encode invalid opcode %d", in.Op)
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("isa: register out of range in %+v", in)
+	}
+	w := uint32(in.Op) << 26
+	switch info.Fmt {
+	case FmtR, FmtNone:
+		w |= uint32(in.Rd)<<22 | uint32(in.Rs1)<<18 | uint32(in.Rs2)<<14
+	case FmtI:
+		if in.Imm < ImmMinI || in.Imm > ImmMaxI {
+			return 0, fmt.Errorf("isa: %s immediate %d out of 18-bit range", info.Name, in.Imm)
+		}
+		w |= uint32(in.Rd)<<22 | uint32(in.Rs1)<<18 | uint32(in.Imm)&0x3FFFF
+	case FmtS, FmtB:
+		imm := in.Imm
+		if info.Fmt == FmtB {
+			if imm%4 != 0 {
+				return 0, fmt.Errorf("isa: %s offset %d not a multiple of 4", info.Name, imm)
+			}
+			imm /= 4
+		}
+		if imm < ImmMinI || imm > ImmMaxI {
+			return 0, fmt.Errorf("isa: %s immediate %d out of 18-bit range", info.Name, imm)
+		}
+		u := uint32(imm) & 0x3FFFF
+		w |= (u >> 14 << 22) | uint32(in.Rs1)<<18 | uint32(in.Rs2)<<14 | (u & 0x3FFF)
+	case FmtJ:
+		imm := in.Imm
+		if in.Op == OpLui {
+			if imm&((1<<LuiShift)-1) != 0 {
+				return 0, fmt.Errorf("isa: lui value %#x has low bits set", imm)
+			}
+			u := uint32(imm) >> LuiShift
+			if u >= 1<<ImmBitsJ {
+				return 0, fmt.Errorf("isa: lui immediate %#x out of 22-bit range", imm)
+			}
+			w |= uint32(in.Rd)<<22 | u
+			break
+		}
+		// JAL: signed word offset.
+		if imm%4 != 0 {
+			return 0, fmt.Errorf("isa: jal offset %d not a multiple of 4", imm)
+		}
+		wo := imm / 4
+		if wo < ImmMinJ || wo > ImmMaxJ {
+			return 0, fmt.Errorf("isa: jal offset %d out of range", imm)
+		}
+		w |= uint32(in.Rd)<<22 | uint32(wo)&0x3FFFFF
+	}
+	return w, nil
+}
+
+// Decode unpacks a 32-bit instruction word.
+func Decode(w uint32) Inst {
+	op := Op(w >> 26)
+	if op >= opCount {
+		return Inst{Op: OpInvalid}
+	}
+	info := infos[op]
+	in := Inst{Op: op}
+	switch info.Fmt {
+	case FmtR, FmtNone:
+		in.Rd = uint8(w >> 22 & 0xF)
+		in.Rs1 = uint8(w >> 18 & 0xF)
+		in.Rs2 = uint8(w >> 14 & 0xF)
+	case FmtI:
+		in.Rd = uint8(w >> 22 & 0xF)
+		in.Rs1 = uint8(w >> 18 & 0xF)
+		in.Imm = signExtend(w&0x3FFFF, ImmBitsI)
+	case FmtS, FmtB:
+		in.Rs1 = uint8(w >> 18 & 0xF)
+		in.Rs2 = uint8(w >> 14 & 0xF)
+		u := (w >> 22 & 0xF << 14) | (w & 0x3FFF)
+		in.Imm = signExtend(u, ImmBitsI)
+		if info.Fmt == FmtB {
+			in.Imm *= 4
+		}
+	case FmtJ:
+		in.Rd = uint8(w >> 22 & 0xF)
+		if op == OpLui {
+			in.Imm = int32(w & 0x3FFFFF << LuiShift)
+		} else {
+			in.Imm = signExtend(w&0x3FFFFF, ImmBitsJ) * 4
+		}
+	}
+	return in
+}
+
+func signExtend(u uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(u<<shift) >> shift
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	info := InfoOf(in.Op)
+	switch info.Fmt {
+	case FmtNone:
+		return info.Name
+	case FmtR:
+		rp := "r"
+		if info.FP && in.Op != OpFcvtws && in.Op != OpFmvxw && in.Op != OpFeq && in.Op != OpFlt {
+			rp = "f"
+		}
+		srcp := "r"
+		if info.FP && in.Op != OpFcvtsw && in.Op != OpFmvwx {
+			srcp = "f"
+		}
+		return fmt.Sprintf("%s %s%d, %s%d, %s%d", info.Name, rp, in.Rd, srcp, in.Rs1, srcp, in.Rs2)
+	case FmtI:
+		if info.Load {
+			dp := "r"
+			if info.FP {
+				dp = "f"
+			}
+			return fmt.Sprintf("%s %s%d, %d(r%d)", info.Name, dp, in.Rd, in.Imm, in.Rs1)
+		}
+		return fmt.Sprintf("%s r%d, r%d, %d", info.Name, in.Rd, in.Rs1, in.Imm)
+	case FmtS:
+		sp := "r"
+		if info.FP {
+			sp = "f"
+		}
+		return fmt.Sprintf("%s %s%d, %d(r%d)", info.Name, sp, in.Rs2, in.Imm, in.Rs1)
+	case FmtB:
+		return fmt.Sprintf("%s r%d, r%d, %d", info.Name, in.Rs1, in.Rs2, in.Imm)
+	case FmtJ:
+		if in.Op == OpLui {
+			return fmt.Sprintf("lui r%d, %#x", in.Rd, uint32(in.Imm))
+		}
+		return fmt.Sprintf("jal r%d, %d", in.Rd, in.Imm)
+	}
+	return info.Name
+}

@@ -1,0 +1,130 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSub, Rd: 15, Rs1: 14, Rs2: 13},
+		{Op: OpAddi, Rd: 5, Rs1: 0, Imm: -42},
+		{Op: OpAddi, Rd: 5, Rs1: 0, Imm: ImmMaxI},
+		{Op: OpAddi, Rd: 5, Rs1: 0, Imm: ImmMinI},
+		{Op: OpLw, Rd: 3, Rs1: 7, Imm: 1024},
+		{Op: OpSw, Rs1: 7, Rs2: 3, Imm: -8},
+		{Op: OpSb, Rs1: 1, Rs2: 2, Imm: 131071},
+		{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: -256},
+		{Op: OpBge, Rs1: 9, Rs2: 10, Imm: 4096},
+		{Op: OpJal, Rd: 14, Imm: -4096},
+		{Op: OpJalr, Rd: 0, Rs1: 14, Imm: 0},
+		{Op: OpLui, Rd: 4, Imm: int32(0xDEAD << LuiShift)},
+		{Op: OpFadd, Rd: 2, Rs1: 3, Rs2: 4},
+		{Op: OpFlw, Rd: 1, Rs1: 15, Imm: 16},
+		{Op: OpFsw, Rs1: 15, Rs2: 1, Imm: 20},
+		{Op: OpHalt},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		got := Decode(w)
+		if got != in {
+			t.Errorf("round trip %+v -> %#08x -> %+v", in, w, got)
+		}
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	bad := []Inst{
+		{Op: OpAddi, Rd: 1, Imm: ImmMaxI + 1},
+		{Op: OpAddi, Rd: 1, Imm: ImmMinI - 1},
+		{Op: OpAdd, Rd: 16},
+		{Op: OpBeq, Imm: 3},                 // not multiple of 4
+		{Op: OpJal, Imm: 2},                 // not multiple of 4
+		{Op: OpLui, Imm: 1},                 // low bits set
+		{Op: OpBeq, Imm: 4 * (ImmMaxI + 1)}, // branch out of range
+		{Op: OpJal, Imm: 4 * (ImmMaxJ + 1)}, // jump out of range
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) accepted", in)
+		}
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	if got := Decode(0xFFFFFFFF); got.Op != OpInvalid {
+		t.Errorf("Decode(all ones) = %+v, want invalid", got)
+	}
+}
+
+func TestRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 3000; trial++ {
+		op := Op(1 + rng.Intn(int(opCount)-1))
+		info := InfoOf(op)
+		in := Inst{Op: op}
+		switch info.Fmt {
+		case FmtR, FmtNone:
+			in.Rd = uint8(rng.Intn(16))
+			in.Rs1 = uint8(rng.Intn(16))
+			in.Rs2 = uint8(rng.Intn(16))
+		case FmtI:
+			in.Rd = uint8(rng.Intn(16))
+			in.Rs1 = uint8(rng.Intn(16))
+			in.Imm = int32(rng.Intn(ImmMaxI-ImmMinI+1)) + ImmMinI
+		case FmtS:
+			in.Rs1 = uint8(rng.Intn(16))
+			in.Rs2 = uint8(rng.Intn(16))
+			in.Imm = int32(rng.Intn(ImmMaxI-ImmMinI+1)) + ImmMinI
+		case FmtB:
+			in.Rs1 = uint8(rng.Intn(16))
+			in.Rs2 = uint8(rng.Intn(16))
+			in.Imm = (int32(rng.Intn(ImmMaxI-ImmMinI+1)) + ImmMinI) / 4 * 4
+		case FmtJ:
+			in.Rd = uint8(rng.Intn(16))
+			if op == OpLui {
+				in.Imm = int32(uint32(rng.Intn(1<<ImmBitsJ)) << LuiShift)
+			} else {
+				in.Imm = (int32(rng.Intn(ImmMaxJ-ImmMinJ+1)) + ImmMinJ) * 4
+			}
+		}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		if got := Decode(w); got != in {
+			t.Fatalf("round trip %+v -> %+v", in, got)
+		}
+	}
+}
+
+func TestOpByName(t *testing.T) {
+	op, ok := OpByName("add")
+	if !ok || op != OpAdd {
+		t.Errorf("OpByName(add) = %v %v", op, ok)
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("bogus mnemonic resolved")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := map[string]Inst{
+		"add r1, r2, r3":   {Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		"lw r3, 8(r7)":     {Op: OpLw, Rd: 3, Rs1: 7, Imm: 8},
+		"sw r3, -4(r7)":    {Op: OpSw, Rs1: 7, Rs2: 3, Imm: -4},
+		"fadd f2, f3, f4":  {Op: OpFadd, Rd: 2, Rs1: 3, Rs2: 4},
+		"halt":             {Op: OpHalt},
+		"flw f1, 16(r15)":  {Op: OpFlw, Rd: 1, Rs1: 15, Imm: 16},
+		"beq r1, r2, -256": {Op: OpBeq, Rs1: 1, Rs2: 2, Imm: -256},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String(%+v) = %q, want %q", in, got, want)
+		}
+	}
+}

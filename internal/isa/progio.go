@@ -1,0 +1,98 @@
+package isa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// progMagic identifies serialized NB32 programs ("NBX1" format): magic,
+// entry point, segment count, then (addr, length, bytes) per segment,
+// all little-endian.
+var progMagic = [4]byte{'N', 'B', 'X', '1'}
+
+// WriteProgram serializes a program.
+func WriteProgram(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(progMagic[:]); err != nil {
+		return fmt.Errorf("isa: writing magic: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], p.Entry)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(p.Segments)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("isa: writing header: %w", err)
+	}
+	for i, seg := range p.Segments {
+		binary.LittleEndian.PutUint32(hdr[0:4], seg.Addr)
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(seg.Data)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return fmt.Errorf("isa: writing segment %d header: %w", i, err)
+		}
+		if _, err := bw.Write(seg.Data); err != nil {
+			return fmt.Errorf("isa: writing segment %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadProgram deserializes a program. Symbols are not stored in the binary
+// format and come back empty.
+func ReadProgram(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("isa: reading magic: %w", err)
+	}
+	if magic != progMagic {
+		return nil, fmt.Errorf("isa: bad program magic %q", magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("isa: reading header: %w", err)
+	}
+	p := &Program{
+		Entry:   binary.LittleEndian.Uint32(hdr[0:4]),
+		Symbols: map[string]uint32{},
+	}
+	nseg := binary.LittleEndian.Uint32(hdr[4:8])
+	const maxSegments = 1 << 16
+	if nseg > maxSegments {
+		return nil, fmt.Errorf("isa: implausible segment count %d", nseg)
+	}
+	for i := uint32(0); i < nseg; i++ {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("isa: reading segment %d header: %w", i, err)
+		}
+		addr := binary.LittleEndian.Uint32(hdr[0:4])
+		size := binary.LittleEndian.Uint32(hdr[4:8])
+		const maxSegment = 1 << 28
+		if size > maxSegment {
+			return nil, fmt.Errorf("isa: implausible segment size %d", size)
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, fmt.Errorf("isa: reading segment %d body: %w", i, err)
+		}
+		p.Segments = append(p.Segments, Segment{Addr: addr, Data: data})
+	}
+	return p, nil
+}
+
+// Disassemble renders a segment's words as assembly, one instruction per
+// line with addresses.
+func Disassemble(w io.Writer, seg Segment) error {
+	for off := 0; off+4 <= len(seg.Data); off += 4 {
+		word := binary.LittleEndian.Uint32(seg.Data[off : off+4])
+		in := Decode(word)
+		text := in.String()
+		if in.Op == OpInvalid {
+			text = fmt.Sprintf(".word %#08x", word)
+		}
+		if _, err := fmt.Fprintf(w, "%08x:  %08x  %s\n", seg.Addr+uint32(off), word, text); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,365 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("dims = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %g, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatrixInvalidDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMatrix(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewMatrix(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestNewMatrixFromRowsRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged rows did not panic")
+		}
+	}()
+	NewMatrixFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2.5)
+	if got := m.At(0, 1); got != 7.5 {
+		t.Errorf("At(0,1) = %g, want 7.5", got)
+	}
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	m := Identity(4)
+	x := []float64{1, -2, 3, 4}
+	y := m.MulVec(x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Errorf("I*x[%d] = %g, want %g", i, y[i], x[i])
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("C[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := a.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims %dx%d, want 3x2", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != tr.At(j, i) {
+				t.Errorf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s := NewMatrixFromRows([][]float64{{2, 1}, {1, 3}})
+	if !s.IsSymmetric(1e-12) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	a := NewMatrixFromRows([][]float64{{2, 1}, {0, 3}})
+	if a.IsSymmetric(1e-12) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	r := NewMatrixFromRows([][]float64{{2, 1, 1}, {1, 3, 1}})
+	if r.IsSymmetric(1e-12) {
+		t.Error("non-square matrix reported symmetric")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := SolveLU(a, b)
+	if err != nil {
+		t.Fatalf("SolveLU: %v", err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-12) {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := FactorLU(a); err == nil {
+		t.Error("FactorLU of singular matrix returned nil error")
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := FactorLU(a); err == nil {
+		t.Error("FactorLU of non-square matrix returned nil error")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{4, 3}, {6, 3}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatalf("FactorLU: %v", err)
+	}
+	if !almostEqual(f.Det(), -6, 1e-12) {
+		t.Errorf("det = %g, want -6", f.Det())
+	}
+}
+
+func TestInvert(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Invert(a)
+	if err != nil {
+		t.Fatalf("Invert: %v", err)
+	}
+	prod := a.Mul(inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(prod.At(i, j), want, 1e-12) {
+				t.Errorf("A*A^-1[%d][%d] = %g, want %g", i, j, prod.At(i, j), want)
+			}
+		}
+	}
+}
+
+// Property: for random well-conditioned matrices, LU solve reproduces b.
+func TestLUSolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+			// Diagonal boost for conditioning.
+			a.Add(i, i, float64(n))
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = r.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		x, err := SolveLU(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEqual(x[i], xTrue[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTridiagonalKnown(t *testing.T) {
+	// System: [2 -1 0; -1 2 -1; 0 -1 2] x = [1 0 1] -> x = [1 1 1].
+	sub := []float64{0, -1, -1}
+	diag := []float64{2, 2, 2}
+	sup := []float64{-1, -1, 0}
+	rhs := []float64{1, 0, 1}
+	x, err := SolveTridiagonal(sub, diag, sup, rhs)
+	if err != nil {
+		t.Fatalf("SolveTridiagonal: %v", err)
+	}
+	for i, want := range []float64{1, 1, 1} {
+		if !almostEqual(x[i], want, 1e-12) {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want)
+		}
+	}
+}
+
+func TestTridiagonalMismatch(t *testing.T) {
+	if _, err := SolveTridiagonal([]float64{1}, []float64{1, 2}, []float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch not detected")
+	}
+	if _, err := SolveTridiagonal(nil, nil, nil, nil); err == nil {
+		t.Error("empty system not detected")
+	}
+}
+
+// Property: Thomas algorithm agrees with dense LU on random diagonally
+// dominant tridiagonal systems.
+func TestTridiagonalMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(20)
+		sub := make([]float64, n)
+		diag := make([]float64, n)
+		sup := make([]float64, n)
+		rhs := make([]float64, n)
+		dense := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sub[i] = rng.NormFloat64()
+				dense.Set(i, i-1, sub[i])
+			}
+			if i < n-1 {
+				sup[i] = rng.NormFloat64()
+				dense.Set(i, i+1, sup[i])
+			}
+			diag[i] = 4 + rng.Float64() // dominant
+			dense.Set(i, i, diag[i])
+			rhs[i] = rng.NormFloat64()
+		}
+		xt, err := SolveTridiagonal(sub, diag, sup, rhs)
+		if err != nil {
+			t.Fatalf("SolveTridiagonal: %v", err)
+		}
+		xl, err := SolveLU(dense, rhs)
+		if err != nil {
+			t.Fatalf("SolveLU: %v", err)
+		}
+		for i := range xt {
+			if !almostEqual(xt[i], xl[i], 1e-9) {
+				t.Fatalf("trial %d: x[%d]: thomas %g, lu %g", trial, i, xt[i], xl[i])
+			}
+		}
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %g, want 5", got)
+	}
+	if got := NormInf([]float64{1, -7, 3}); got != 7 {
+		t.Errorf("NormInf = %g, want 7", got)
+	}
+	y := []float64{1, 1, 1}
+	AXPY(2, a, y)
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("AXPY[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+	d := Sub(b, a)
+	for i := range d {
+		if d[i] != 3 {
+			t.Errorf("Sub[%d] = %g, want 3", i, d[i])
+		}
+	}
+	s := Scale(0.5, []float64{2, 4})
+	if s[0] != 1 || s[1] != 2 {
+		t.Errorf("Scale = %v, want [1 2]", s)
+	}
+}
+
+func TestConjugateGradientSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 20
+	// Build SPD matrix A = B'B + n*I.
+	b := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	a := b.Transpose().Mul(b)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	rhs := a.MulVec(xTrue)
+	x, iters, err := ConjugateGradient(a, rhs, 1e-12, 10*n)
+	if err != nil {
+		t.Fatalf("CG: %v", err)
+	}
+	if iters == 0 {
+		t.Error("CG converged in 0 iterations on nonzero rhs")
+	}
+	for i := range x {
+		if !almostEqual(x[i], xTrue[i], 1e-6) {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestConjugateGradientZeroRHS(t *testing.T) {
+	a := Identity(3)
+	x, iters, err := ConjugateGradient(a, []float64{0, 0, 0}, 1e-12, 10)
+	if err != nil || iters != 0 {
+		t.Fatalf("CG zero rhs: x=%v iters=%d err=%v", x, iters, err)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Error("CG zero rhs returned nonzero solution")
+		}
+	}
+}

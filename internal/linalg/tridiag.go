@@ -1,0 +1,41 @@
+package linalg
+
+import "fmt"
+
+// SolveTridiagonal solves a tridiagonal system using the Thomas algorithm.
+// sub is the subdiagonal (length n, sub[0] unused), diag the main diagonal
+// (length n), sup the superdiagonal (length n, sup[n-1] unused) and rhs the
+// right-hand side. The inputs are not modified. The Thomas algorithm is
+// stable for the diagonally dominant systems produced by the thermal
+// network's steady state.
+func SolveTridiagonal(sub, diag, sup, rhs []float64) ([]float64, error) {
+	n := len(diag)
+	if len(sub) != n || len(sup) != n || len(rhs) != n {
+		return nil, fmt.Errorf("linalg: tridiagonal length mismatch: sub=%d diag=%d sup=%d rhs=%d",
+			len(sub), len(diag), len(sup), len(rhs))
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("linalg: empty tridiagonal system")
+	}
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	if diag[0] == 0 {
+		return nil, ErrSingular
+	}
+	cp[0] = sup[0] / diag[0]
+	dp[0] = rhs[0] / diag[0]
+	for i := 1; i < n; i++ {
+		den := diag[i] - sub[i]*cp[i-1]
+		if den == 0 {
+			return nil, ErrSingular
+		}
+		cp[i] = sup[i] / den
+		dp[i] = (rhs[i] - sub[i]*dp[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return x, nil
+}

@@ -1,0 +1,110 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the dot product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// NormInf returns the max-abs norm of v.
+func NormInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// AXPY computes y += a*x in place and returns y.
+func AXPY(a float64, x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: AXPY length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range y {
+		y[i] += a * x[i]
+	}
+	return y
+}
+
+// Scale multiplies v by a in place and returns v.
+func Scale(a float64, v []float64) []float64 {
+	for i := range v {
+		v[i] *= a
+	}
+	return v
+}
+
+// Sub returns a new vector a - b.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Sub length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// ConjugateGradient solves A x = b for a symmetric positive-definite A,
+// starting from the zero vector, stopping when the residual norm drops
+// below tol*|b| or maxIter iterations elapse. It returns the solution and
+// the number of iterations performed.
+func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]float64, int, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, 0, fmt.Errorf("linalg: CG needs a square matrix, got %dx%d", n, a.Cols())
+	}
+	if len(b) != n {
+		return nil, 0, fmt.Errorf("linalg: CG rhs length %d, want %d", len(b), n)
+	}
+	x := make([]float64, n)
+	r := make([]float64, n)
+	copy(r, b)
+	p := make([]float64, n)
+	copy(p, b)
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		return x, 0, nil
+	}
+	rs := Dot(r, r)
+	for k := 0; k < maxIter; k++ {
+		if math.Sqrt(rs) <= tol*bnorm {
+			return x, k, nil
+		}
+		ap := a.MulVec(p)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return nil, k, fmt.Errorf("linalg: CG: matrix not positive definite (p'Ap=%g)", pap)
+		}
+		alpha := rs / pap
+		AXPY(alpha, p, x)
+		AXPY(-alpha, ap, r)
+		rsNew := Dot(r, r)
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	if math.Sqrt(rs) <= tol*bnorm {
+		return x, maxIter, nil
+	}
+	return x, maxIter, fmt.Errorf("linalg: CG did not converge in %d iterations (residual %g)", maxIter, math.Sqrt(rs)/bnorm)
+}

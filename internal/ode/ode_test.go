@@ -1,0 +1,173 @@
+package ode
+
+import (
+	"math"
+	"testing"
+)
+
+// expSys is dy/dt = -lambda*y with exact solution y0*exp(-lambda*t).
+type expSys struct{ lambda float64 }
+
+func (e expSys) Dim() int { return 1 }
+func (e expSys) Derivatives(t float64, y, dydt []float64) {
+	dydt[0] = -e.lambda * y[0]
+}
+
+// oscSys is the harmonic oscillator y” = -w^2 y as a 2-dim system.
+type oscSys struct{ w float64 }
+
+func (o oscSys) Dim() int { return 2 }
+func (o oscSys) Derivatives(t float64, y, dydt []float64) {
+	dydt[0] = y[1]
+	dydt[1] = -o.w * o.w * y[0]
+}
+
+func TestRK4ExponentialDecay(t *testing.T) {
+	s := expSys{lambda: 3}
+	y := []float64{2}
+	integ := NewRK4(1e-3)
+	if _, err := integ.Integrate(s, 0, 1, y); err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	want := 2 * math.Exp(-3)
+	if math.Abs(y[0]-want) > 1e-9 {
+		t.Errorf("y(1) = %.12g, want %.12g", y[0], want)
+	}
+}
+
+func TestRK4FourthOrderConvergence(t *testing.T) {
+	// Halving the step should reduce error by ~16x for a smooth problem.
+	s := expSys{lambda: 1}
+	exact := math.Exp(-1)
+	errAt := func(h float64) float64 {
+		y := []float64{1}
+		integ := NewRK4(h)
+		if _, err := integ.Integrate(s, 0, 1, y); err != nil {
+			t.Fatalf("Integrate: %v", err)
+		}
+		return math.Abs(y[0] - exact)
+	}
+	e1 := errAt(0.1)
+	e2 := errAt(0.05)
+	ratio := e1 / e2
+	if ratio < 10 || ratio > 25 {
+		t.Errorf("error ratio for halved step = %.2f, want ~16 (4th order)", ratio)
+	}
+}
+
+func TestRK4Oscillator(t *testing.T) {
+	s := oscSys{w: 2}
+	y := []float64{1, 0} // y(0)=1, y'(0)=0 -> y(t)=cos(2t)
+	integ := NewRK4(1e-3)
+	if _, err := integ.Integrate(s, 0, math.Pi, y); err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if math.Abs(y[0]-math.Cos(2*math.Pi)) > 1e-7 {
+		t.Errorf("y(pi) = %g, want %g", y[0], math.Cos(2*math.Pi))
+	}
+}
+
+func TestRK4BadSpan(t *testing.T) {
+	integ := NewRK4(0.1)
+	y := []float64{1}
+	if _, err := integ.Integrate(expSys{1}, 1, 1, y); err == nil {
+		t.Error("zero span accepted")
+	}
+	if _, err := integ.Integrate(expSys{1}, 1, 0, y); err == nil {
+		t.Error("negative span accepted")
+	}
+}
+
+func TestRK4DimMismatch(t *testing.T) {
+	integ := NewRK4(0.1)
+	if _, err := integ.Integrate(expSys{1}, 0, 1, []float64{1, 2}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestRK4SingleStepWhenNoMaxStep(t *testing.T) {
+	integ := NewRK4(0)
+	y := []float64{1}
+	evals, err := integ.Integrate(expSys{1}, 0, 1, y)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if evals != 4 {
+		t.Errorf("evals = %d, want 4 (single RK4 step)", evals)
+	}
+}
+
+func TestEulerFirstOrderConvergence(t *testing.T) {
+	s := expSys{lambda: 1}
+	exact := math.Exp(-1)
+	errAt := func(h float64) float64 {
+		y := []float64{1}
+		integ := NewEuler(h)
+		if _, err := integ.Integrate(s, 0, 1, y); err != nil {
+			t.Fatalf("Integrate: %v", err)
+		}
+		return math.Abs(y[0] - exact)
+	}
+	e1 := errAt(0.01)
+	e2 := errAt(0.005)
+	ratio := e1 / e2
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("Euler error ratio = %.2f, want ~2 (1st order)", ratio)
+	}
+}
+
+func TestRK45MatchesExact(t *testing.T) {
+	s := oscSys{w: 1}
+	y := []float64{0, 1} // y(t)=sin(t)
+	integ := NewRK45(1e-10, 1e-13)
+	evals, err := integ.Integrate(s, 0, 10, y)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if evals == 0 {
+		t.Error("no derivative evaluations performed")
+	}
+	if math.Abs(y[0]-math.Sin(10)) > 1e-8 {
+		t.Errorf("y(10) = %g, want %g", y[0], math.Sin(10))
+	}
+	if math.Abs(y[1]-math.Cos(10)) > 1e-8 {
+		t.Errorf("y'(10) = %g, want %g", y[1], math.Cos(10))
+	}
+}
+
+func TestRK45AgreesWithRK4(t *testing.T) {
+	// The integrators must agree on a stiff-ish linear decay like the
+	// thermal network's.
+	s := expSys{lambda: 50}
+	y4 := []float64{1}
+	y45 := []float64{1}
+	if _, err := NewRK4(1e-4).Integrate(s, 0, 0.5, y4); err != nil {
+		t.Fatalf("RK4: %v", err)
+	}
+	if _, err := NewRK45(1e-10, 1e-14).Integrate(s, 0, 0.5, y45); err != nil {
+		t.Fatalf("RK45: %v", err)
+	}
+	if math.Abs(y4[0]-y45[0]) > 1e-9 {
+		t.Errorf("RK4 %g vs RK45 %g differ", y4[0], y45[0])
+	}
+}
+
+func TestRK45BadSpan(t *testing.T) {
+	if _, err := NewRK45(0, 0).Integrate(expSys{1}, 2, 1, []float64{1}); err == nil {
+		t.Error("negative span accepted")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	f := Func{N: 1, F: func(t float64, y, dydt []float64) { dydt[0] = 1 }}
+	if f.Dim() != 1 {
+		t.Fatalf("Dim = %d, want 1", f.Dim())
+	}
+	y := []float64{0}
+	if _, err := NewRK4(0.1).Integrate(f, 0, 2, y); err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	if math.Abs(y[0]-2) > 1e-12 {
+		t.Errorf("y = %g, want 2", y[0])
+	}
+}

@@ -1,0 +1,136 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+)
+
+// RK45 is an adaptive Dormand-Prince 5(4) integrator with embedded error
+// control. It is used to cross-check the fixed-step RK4 results on the
+// thermal network (the two must agree within tolerance for the reproduced
+// figures to be trustworthy).
+type RK45 struct {
+	// RelTol and AbsTol control the local error estimate. Zero values
+	// default to 1e-8 and 1e-12.
+	RelTol, AbsTol float64
+	// MaxSteps bounds the number of accepted+rejected steps; zero means
+	// 1e6.
+	MaxSteps int
+}
+
+// NewRK45 returns an adaptive integrator with the given tolerances.
+func NewRK45(relTol, absTol float64) *RK45 {
+	return &RK45{RelTol: relTol, AbsTol: absTol}
+}
+
+// Dormand-Prince coefficients.
+var (
+	dpC = [7]float64{0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1, 1}
+	dpA = [7][6]float64{
+		{},
+		{1.0 / 5},
+		{3.0 / 40, 9.0 / 40},
+		{44.0 / 45, -56.0 / 15, 32.0 / 9},
+		{19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+		{9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
+		{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
+	}
+	// 5th-order solution weights.
+	dpB5 = [7]float64{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84, 0}
+	// 4th-order (embedded) solution weights.
+	dpB4 = [7]float64{5179.0 / 57600, 0, 7571.0 / 16695, 393.0 / 640, -92097.0 / 339200, 187.0 / 2100, 1.0 / 40}
+)
+
+// Integrate advances y from t0 to t1 adaptively.
+func (r *RK45) Integrate(s System, t0, t1 float64, y []float64) (int, error) {
+	span := t1 - t0
+	if span <= 0 {
+		return 0, ErrBadSpan
+	}
+	n := s.Dim()
+	if len(y) != n {
+		return 0, fmt.Errorf("ode: state length %d, want %d", len(y), n)
+	}
+	relTol := r.RelTol
+	if relTol <= 0 {
+		relTol = 1e-8
+	}
+	absTol := r.AbsTol
+	if absTol <= 0 {
+		absTol = 1e-12
+	}
+	maxSteps := r.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+
+	k := make([][]float64, 7)
+	for i := range k {
+		k[i] = make([]float64, n)
+	}
+	ytmp := make([]float64, n)
+	y5 := make([]float64, n)
+	y4 := make([]float64, n)
+
+	t := t0
+	h := span / 16
+	evals := 0
+	for step := 0; step < maxSteps; step++ {
+		if t >= t1 {
+			return evals, nil
+		}
+		if t+h > t1 {
+			h = t1 - t
+		}
+		// Stage evaluations.
+		s.Derivatives(t, y, k[0])
+		evals++
+		for stage := 1; stage < 7; stage++ {
+			copy(ytmp, y)
+			for prev := 0; prev < stage; prev++ {
+				a := dpA[stage][prev]
+				if a == 0 {
+					continue
+				}
+				for i := 0; i < n; i++ {
+					ytmp[i] += h * a * k[prev][i]
+				}
+			}
+			s.Derivatives(t+dpC[stage]*h, ytmp, k[stage])
+			evals++
+		}
+		// Candidate solutions and error estimate.
+		errNorm := 0.0
+		for i := 0; i < n; i++ {
+			s5, s4 := 0.0, 0.0
+			for stage := 0; stage < 7; stage++ {
+				s5 += dpB5[stage] * k[stage][i]
+				s4 += dpB4[stage] * k[stage][i]
+			}
+			y5[i] = y[i] + h*s5
+			y4[i] = y[i] + h*s4
+			sc := absTol + relTol*math.Max(math.Abs(y[i]), math.Abs(y5[i]))
+			e := (y5[i] - y4[i]) / sc
+			errNorm += e * e
+		}
+		errNorm = math.Sqrt(errNorm / float64(n))
+		if errNorm <= 1 {
+			// Accept.
+			t += h
+			copy(y, y5)
+		}
+		// Step-size update (standard PI-free controller).
+		factor := 0.9
+		if errNorm > 0 {
+			factor = 0.9 * math.Pow(1/errNorm, 0.2)
+		} else {
+			factor = 5
+		}
+		factor = math.Min(5, math.Max(0.2, factor))
+		h *= factor
+		if h <= 0 || math.IsNaN(h) || math.IsInf(h, 0) {
+			return evals, fmt.Errorf("ode: RK45 step size degenerated to %g at t=%g", h, t)
+		}
+	}
+	return evals, fmt.Errorf("ode: RK45 exceeded %d steps (t=%g of %g)", maxSteps, t, t1)
+}

@@ -1,0 +1,140 @@
+// Package repeater implements the delay-optimal repeater insertion model of
+// Sec. 3.1.1 of the paper (after Naeemi/Venkatesan/Meindl): the size h and
+// count k of repeaters that minimise delay on a long global line, and the
+// total repeater capacitance Crep they add to the line — which the energy
+// model charges on every self transition.
+package repeater
+
+import (
+	"fmt"
+	"math"
+
+	"nanobus/internal/itrs"
+	"nanobus/internal/units"
+)
+
+// Inverter describes the minimum-sized inverter of a technology: its output
+// resistance R0 (ohms) and input capacitance C0 (farads).
+type Inverter struct {
+	R0 float64
+	C0 float64
+}
+
+// DefaultInverter returns a representative minimum inverter for the node.
+// R0 is approximately constant across nodes (transistor width scales with
+// feature size while resistivity per square stays roughly fixed); C0
+// scales with feature size. Only the reported h and k depend on these; the
+// energy-relevant Crep = h*k*C0 cancels R0 and C0 entirely (see Insert).
+func DefaultInverter(node itrs.Node) Inverter {
+	return Inverter{
+		R0: 9.5 * units.Kilo,
+		C0: 2.0 * units.Femto * float64(node.FeatureNm) / 130.0,
+	}
+}
+
+// Plan is the result of repeater insertion on one wire.
+type Plan struct {
+	// SizeH is the repeater size h in multiples of the minimum inverter
+	// (Eq. 1).
+	SizeH float64
+	// CountK is the (real-valued) optimal number of repeaters (Eq. 2).
+	CountK float64
+	// Crep is the total repeater capacitance added to the line in farads
+	// (absolute, for the given length): Crep = h*k*C0 = sqrt(0.4/0.7)*Cint.
+	Crep float64
+	// WireDelay is the Elmore-style 50% delay estimate of the repeated
+	// line in seconds: k segments, each 0.7*(R0/h)*(Cseg + h*C0) +
+	// 0.4*Rseg*Cseg + 0.7*Rseg*h*C0.
+	WireDelay float64
+}
+
+// CrepFactor is Crep/Cint for delay-optimal insertion: sqrt(0.4/0.7). The
+// paper rounds this to 0.75 ("effectively, Crep = 0.75 x Cint").
+var CrepFactor = math.Sqrt(0.4 / 0.7)
+
+// Insert computes the delay-optimal repeater plan for a line of the given
+// length (meters) on the node, using the inverter inv.
+//
+// Cint is the total per-unit-length wire capacitance cline + 2*cinter
+// (Sec. 3.1.1) and Rint the total wire resistance; per Eqs. 1-2:
+//
+//	h = sqrt(R0*Cint / (C0*Rint))
+//	k = sqrt(0.4*Rint*Cint / (0.7*C0*R0))
+func Insert(node itrs.Node, length float64, inv Inverter) (Plan, error) {
+	if length <= 0 {
+		return Plan{}, fmt.Errorf("repeater: non-positive length %g", length)
+	}
+	if inv.R0 <= 0 || inv.C0 <= 0 {
+		return Plan{}, fmt.Errorf("repeater: non-positive inverter parameters R0=%g C0=%g", inv.R0, inv.C0)
+	}
+	cint := node.CTotal() * length
+	rint := node.RWire * length
+	h := math.Sqrt(inv.R0 * cint / (inv.C0 * rint))
+	k := math.Sqrt(0.4 * rint * cint / (0.7 * inv.C0 * inv.R0))
+	crep := h * k * inv.C0
+
+	// Per-segment Elmore delay for k equal segments driven by h-sized
+	// repeaters.
+	segs := math.Max(1, math.Round(k))
+	cseg := cint / segs
+	rseg := rint / segs
+	segDelay := 0.7*(inv.R0/h)*(cseg+h*inv.C0) + 0.4*rseg*cseg + 0.7*rseg*h*inv.C0
+	return Plan{
+		SizeH:     h,
+		CountK:    k,
+		Crep:      crep,
+		WireDelay: segs * segDelay,
+	}, nil
+}
+
+// InsertDefault runs Insert with the node's default minimum inverter.
+func InsertDefault(node itrs.Node, length float64) (Plan, error) {
+	return Insert(node, length, DefaultInverter(node))
+}
+
+// SweepPoint is one setting of the repeater-count sweep.
+type SweepPoint struct {
+	// Scale is the repeater count relative to the delay-optimal k.
+	Scale float64
+	// CountK is the (real-valued) repeater count used.
+	CountK float64
+	// Crep is the total repeater capacitance (F) — the energy cost the
+	// bus model charges on every self transition.
+	Crep float64
+	// WireDelay is the Elmore 50% delay (s).
+	WireDelay float64
+}
+
+// Sweep evaluates the energy-delay tradeoff of under- and over-repeating a
+// line: the paper inserts delay-optimal repeaters (Eqs. 1-2), which
+// maximise speed but carry the Crep energy cost its Sec. 1 lists among the
+// reasons global-bus energy is rising. Each point keeps the optimal size h
+// and scales the count k. Scales must be positive; a scale of 1 is the
+// paper's operating point.
+func Sweep(node itrs.Node, length float64, inv Inverter, scales []float64) ([]SweepPoint, error) {
+	opt, err := Insert(node, length, inv)
+	if err != nil {
+		return nil, err
+	}
+	cint := node.CTotal() * length
+	rint := node.RWire * length
+	out := make([]SweepPoint, 0, len(scales))
+	for _, sc := range scales {
+		if sc <= 0 {
+			return nil, fmt.Errorf("repeater: non-positive sweep scale %g", sc)
+		}
+		k := opt.CountK * sc
+		segs := math.Max(1, math.Round(k))
+		cseg := cint / segs
+		rseg := rint / segs
+		segDelay := 0.7*(inv.R0/opt.SizeH)*(cseg+opt.SizeH*inv.C0) +
+			0.4*rseg*cseg + 0.7*rseg*opt.SizeH*inv.C0
+		out = append(out, SweepPoint{
+			Scale:     sc,
+			CountK:    k,
+			Crep:      opt.SizeH * k * inv.C0,
+			WireDelay: segs * segDelay,
+		})
+	}
+	return out, nil
+}

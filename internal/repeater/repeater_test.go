@@ -1,0 +1,154 @@
+package repeater
+
+import (
+	"math"
+	"testing"
+
+	"nanobus/internal/itrs"
+)
+
+func TestCrepIsPointSevenFiveCint(t *testing.T) {
+	// The paper: "effectively, Crep = 0.75 x Cint". The exact factor is
+	// sqrt(0.4/0.7) ~ 0.756, independent of R0/C0 and length.
+	for _, node := range itrs.Nodes() {
+		for _, length := range []float64{0.005, 0.01, 0.02} {
+			plan, err := InsertDefault(node, length)
+			if err != nil {
+				t.Fatalf("%s: %v", node.Name, err)
+			}
+			cint := node.CTotal() * length
+			ratio := plan.Crep / cint
+			if math.Abs(ratio-math.Sqrt(0.4/0.7)) > 1e-12 {
+				t.Errorf("%s L=%g: Crep/Cint = %.6f, want %.6f", node.Name, length, ratio, math.Sqrt(0.4/0.7))
+			}
+			if math.Abs(ratio-0.75) > 0.01 {
+				t.Errorf("%s: Crep/Cint = %.4f, want ~0.75 per the paper", node.Name, ratio)
+			}
+		}
+	}
+}
+
+func TestRepeaterCountGrowsWithLength(t *testing.T) {
+	p1, err := InsertDefault(itrs.N130, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := InsertDefault(itrs.N130, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.CountK <= p1.CountK {
+		t.Errorf("k(20mm)=%g <= k(5mm)=%g", p2.CountK, p1.CountK)
+	}
+	// k scales linearly with length (both Rint and Cint are linear).
+	if math.Abs(p2.CountK/p1.CountK-4) > 1e-9 {
+		t.Errorf("k ratio = %g, want 4", p2.CountK/p1.CountK)
+	}
+	// h is length-independent.
+	if math.Abs(p2.SizeH-p1.SizeH) > 1e-9*p1.SizeH {
+		t.Errorf("h changed with length: %g vs %g", p1.SizeH, p2.SizeH)
+	}
+}
+
+func TestRepeaterCountGrowsWithScaling(t *testing.T) {
+	// Wire RC per length worsens with scaling, so a 10 mm line needs more
+	// repeaters at 45 nm than at 130 nm.
+	p130, err := InsertDefault(itrs.N130, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p45, err := InsertDefault(itrs.N45, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p45.CountK <= p130.CountK {
+		t.Errorf("k(45nm)=%g <= k(130nm)=%g", p45.CountK, p130.CountK)
+	}
+}
+
+func TestDelayPositiveAndOrdered(t *testing.T) {
+	for _, node := range itrs.Nodes() {
+		p, err := InsertDefault(node, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.WireDelay <= 0 {
+			t.Errorf("%s: delay %g <= 0", node.Name, p.WireDelay)
+		}
+		if p.SizeH <= 1 {
+			t.Errorf("%s: repeater size h = %g, want > 1 (larger than minimum inverter)", node.Name, p.SizeH)
+		}
+		if p.CountK < 1 {
+			t.Errorf("%s: repeater count k = %g, want >= 1 for a 10mm global line", node.Name, p.CountK)
+		}
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	if _, err := InsertDefault(itrs.N130, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := Insert(itrs.N130, 0.01, Inverter{R0: 0, C0: 1e-15}); err == nil {
+		t.Error("zero R0 accepted")
+	}
+	if _, err := Insert(itrs.N130, 0.01, Inverter{R0: 1e3, C0: 0}); err == nil {
+		t.Error("zero C0 accepted")
+	}
+}
+
+func TestSweepTradeoff(t *testing.T) {
+	node := itrs.N130
+	inv := DefaultInverter(node)
+	points, err := Sweep(node, 0.01, inv, []float64{0.25, 0.5, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("%d points", len(points))
+	}
+	// Crep grows linearly with the count scale.
+	if math.Abs(points[3].Crep/points[0].Crep-8) > 1e-9 {
+		t.Errorf("Crep ratio = %g, want 8", points[3].Crep/points[0].Crep)
+	}
+	// Scale 1 reproduces the delay-optimal plan.
+	opt, err := Insert(node, 0.01, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(points[2].WireDelay-opt.WireDelay) > 1e-15 {
+		t.Errorf("scale-1 delay %g != optimal %g", points[2].WireDelay, opt.WireDelay)
+	}
+	if math.Abs(points[2].Crep-opt.Crep) > 1e-9*opt.Crep {
+		t.Errorf("scale-1 Crep %g != optimal %g", points[2].Crep, opt.Crep)
+	}
+	// Under-repeating is slower than optimal (the RC term dominates);
+	// halving the repeaters must cost delay while saving half the Crep.
+	if points[1].WireDelay <= points[2].WireDelay {
+		t.Errorf("half-repeated delay %g not above optimal %g",
+			points[1].WireDelay, points[2].WireDelay)
+	}
+	if _, err := Sweep(node, 0.01, inv, []float64{0}); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestEquation1And2Explicit(t *testing.T) {
+	// Verify h and k against a hand-computed instance of Eqs. 1-2.
+	node := itrs.N130
+	inv := Inverter{R0: 10e3, C0: 2e-15}
+	length := 0.01
+	plan, err := Insert(node, length, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cint := node.CTotal() * length
+	rint := node.RWire * length
+	wantH := math.Sqrt(inv.R0 * cint / (inv.C0 * rint))
+	wantK := math.Sqrt(0.4 * rint * cint / (0.7 * inv.C0 * inv.R0))
+	if math.Abs(plan.SizeH-wantH) > 1e-9*wantH {
+		t.Errorf("h = %g, want %g", plan.SizeH, wantH)
+	}
+	if math.Abs(plan.CountK-wantK) > 1e-9*wantK {
+		t.Errorf("k = %g, want %g", plan.CountK, wantK)
+	}
+}

@@ -1,0 +1,46 @@
+package thermal
+
+import (
+	"nanobus/internal/itrs"
+	"nanobus/internal/units"
+)
+
+// InterLayerRise evaluates the paper's Eq. 7: the constant temperature
+// correction for a global wire due to heat conducted up from the lower
+// metal layers, which are assumed to carry current at the node's maximum
+// density jmax with coverage factor alpha = 0.5 (Sec. 4.1.2):
+//
+//	Δθ = Σ_{i=1}^{N} t_ild,i / (k_ild,i * s_i * α_i) *
+//	     Σ_{j=i}^{N-1} jmax^2 * ρ_j * α_j * t_j * w_j
+//
+// The inner sum is the per-unit-length Joule heat of the wires in layers
+// i..N-1 (everything under the global layer whose drop across ILD level i
+// we are accumulating); the outer factor is ILD level i's thermal
+// resistance per unit length over the coupled width s_i*α_i. As printed in
+// the paper the inner sum omits the w_j factor, which is dimensionally
+// inconsistent (it would yield K/m); restoring w_j gives the
+// Chiang/Banerjee/Saraswat-style form the paper cites. See DESIGN.md.
+func InterLayerRise(node itrs.Node) float64 {
+	stack := node.LayerStack()
+	n := len(stack)
+	if n == 0 {
+		return 0
+	}
+	j2rho := node.JMax * node.JMax * units.RhoCopper
+	// innerFrom[i] = sum over layers i..N-2 (0-based; excludes the top
+	// global layer) of jmax^2*rho*alpha_j*t_j*w_j.
+	inner := 0.0
+	innerFrom := make([]float64, n)
+	for j := n - 2; j >= 0; j-- {
+		l := stack[j]
+		inner += j2rho * l.Coverage * l.Thickness * l.Width
+		innerFrom[j] = inner
+	}
+	dTheta := 0.0
+	for i := 0; i < n; i++ {
+		l := stack[i]
+		r := l.ILDBelow / (node.KILD * l.Spacing * l.Coverage)
+		dTheta += r * innerFrom[i]
+	}
+	return dTheta
+}

@@ -1,0 +1,496 @@
+// Package thermal implements the paper's bus thermal model (Sec. 4): an
+// equivalent thermal-RC network with one node per bus wire, vertical
+// conduction to the (constant-temperature) layer below through the
+// inter-layer dielectric, lateral conduction between adjacent wires through
+// the inter-metal dielectric, and a constant inter-layer heating input from
+// the metal layers below (Eq. 7).
+//
+// The nodal heat-balance equations are the paper's Eqs. 3-4:
+//
+//	edge wires:   Pi = Ci*dθi/dt + (θi-θ0)/Ri + (θi-θnbr)/Rinter
+//	middle wires: Pi = Ci*dθi/dt + (θi-θ0)/Ri + (2θi-θi-1-θi+1)/Rinter
+//
+// with all quantities per unit length of the bus. They are integrated with
+// classical fourth-order Runge-Kutta (the paper's method, Sec. 5.3), with
+// automatic sub-stepping to stay inside RK4's stability region. An analytic
+// steady-state solver (tridiagonal Thomas algorithm) cross-validates the
+// transients.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"nanobus/internal/itrs"
+	"nanobus/internal/linalg"
+	"nanobus/internal/ode"
+	"nanobus/internal/units"
+)
+
+// Network is the thermal-RC network of one bus.
+type Network struct {
+	n       int
+	ambient float64
+	// rVert[i] is the vertical thermal resistance of wire i in K*m/W
+	// (per unit length).
+	rVert []float64
+	// rLat[i] is the lateral resistance between wires i and i+1 in K*m/W.
+	rLat []float64
+	// heatCap[i] is the thermal capacitance in J/(K*m).
+	heatCap []float64
+	// interPower[i] is the constant inter-layer heating input in W/m
+	// (Eq. 7 expressed as a power source; see NewFromNode).
+	interPower []float64
+
+	temps []float64
+	integ *ode.RK4
+	// dynPower is the dynamic (switching) power input during the current
+	// Advance call, W/m.
+	dynPower []float64
+}
+
+// Config assembles a Network directly from per-wire parameters. Most
+// callers should use NewFromNode instead.
+type Config struct {
+	// Wires is the number of bus lines.
+	Wires int
+	// Ambient is the constant substrate/reference temperature in kelvin.
+	Ambient float64
+	// RVertical is the per-wire vertical resistance (K*m/W). A single
+	// element is broadcast to all wires.
+	RVertical []float64
+	// RLateral is the wire-to-wire lateral resistance (K*m/W), length
+	// Wires-1 or a single broadcast element. Zero-length disables lateral
+	// coupling (the pre-paper models' assumption).
+	RLateral []float64
+	// HeatCapacity is the per-wire thermal capacitance (J/(K*m)), one
+	// element broadcast or per wire.
+	HeatCapacity []float64
+	// InterLayerPower is the constant heating input per wire (W/m);
+	// empty means none.
+	InterLayerPower []float64
+	// MaxStep bounds the RK4 internal step in seconds; zero picks half
+	// of the smallest wire time constant.
+	MaxStep float64
+}
+
+// New builds a Network from the configuration.
+func New(cfg Config) (*Network, error) {
+	n := cfg.Wires
+	if n < 1 {
+		return nil, fmt.Errorf("thermal: wires %d < 1", n)
+	}
+	if cfg.Ambient <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive ambient %g K", cfg.Ambient)
+	}
+	rv, err := broadcast("RVertical", cfg.RVertical, n)
+	if err != nil {
+		return nil, err
+	}
+	hc, err := broadcast("HeatCapacity", cfg.HeatCapacity, n)
+	if err != nil {
+		return nil, err
+	}
+	var rl []float64
+	if len(cfg.RLateral) > 0 && n > 1 {
+		rl, err = broadcast("RLateral", cfg.RLateral, n-1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, v := range rv {
+		if v <= 0 {
+			return nil, fmt.Errorf("thermal: RVertical[%d] = %g <= 0", i, v)
+		}
+	}
+	for i, v := range hc {
+		if v <= 0 {
+			return nil, fmt.Errorf("thermal: HeatCapacity[%d] = %g <= 0", i, v)
+		}
+	}
+	for i, v := range rl {
+		if v <= 0 {
+			return nil, fmt.Errorf("thermal: RLateral[%d] = %g <= 0", i, v)
+		}
+	}
+	ip := make([]float64, n)
+	if len(cfg.InterLayerPower) > 0 {
+		bip, err := broadcast("InterLayerPower", cfg.InterLayerPower, n)
+		if err != nil {
+			return nil, err
+		}
+		copy(ip, bip)
+	}
+	nw := &Network{
+		n:          n,
+		ambient:    cfg.Ambient,
+		rVert:      rv,
+		rLat:       rl,
+		heatCap:    hc,
+		interPower: ip,
+		temps:      make([]float64, n),
+		dynPower:   make([]float64, n),
+	}
+	for i := range nw.temps {
+		nw.temps[i] = cfg.Ambient
+	}
+	maxStep := cfg.MaxStep
+	if maxStep <= 0 {
+		maxStep = nw.minTimeConstant() / 2
+	}
+	nw.integ = ode.NewRK4(maxStep)
+	return nw, nil
+}
+
+func broadcast(name string, v []float64, n int) ([]float64, error) {
+	switch len(v) {
+	case n:
+		out := make([]float64, n)
+		copy(out, v)
+		return out, nil
+	case 1:
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = v[0]
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("thermal: %s has %d elements, want 1 or %d", name, len(v), n)
+	}
+}
+
+// minTimeConstant returns the smallest Ri*Ci product, which bounds the
+// fastest network mode (lateral coupling only speeds modes up, hence the
+// conservative /2 factor applied by New).
+func (nw *Network) minTimeConstant() float64 {
+	minTau := math.Inf(1)
+	for i := 0; i < nw.n; i++ {
+		reff := nw.rVert[i]
+		// Lateral paths reduce the effective resistance.
+		if len(nw.rLat) > 0 {
+			g := 1 / nw.rVert[i]
+			if i > 0 {
+				g += 1 / nw.rLat[i-1]
+			}
+			if i < nw.n-1 {
+				g += 1 / nw.rLat[i]
+			}
+			reff = 1 / g
+		}
+		if tau := reff * nw.heatCap[i]; tau < minTau {
+			minTau = tau
+		}
+	}
+	return minTau
+}
+
+// N returns the number of wires.
+func (nw *Network) N() int { return nw.n }
+
+// Ambient returns the reference temperature in kelvin.
+func (nw *Network) Ambient() float64 { return nw.ambient }
+
+// Temps copies the current wire temperatures (kelvin) into dst and returns
+// it; a nil dst allocates.
+func (nw *Network) Temps(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, nw.n)
+	}
+	copy(dst, nw.temps)
+	return dst
+}
+
+// Temp returns wire i's current temperature in kelvin.
+func (nw *Network) Temp(i int) float64 { return nw.temps[i] }
+
+// MaxTemp returns the hottest wire's temperature and index.
+func (nw *Network) MaxTemp() (float64, int) {
+	best, idx := nw.temps[0], 0
+	for i, t := range nw.temps {
+		if t > best {
+			best, idx = t, i
+		}
+	}
+	return best, idx
+}
+
+// AvgTemp returns the mean wire temperature.
+func (nw *Network) AvgTemp() float64 {
+	s := 0.0
+	for _, t := range nw.temps {
+		s += t
+	}
+	return s / float64(nw.n)
+}
+
+// SetAmbient changes the substrate/reference temperature mid-simulation.
+// The paper's model assumes a constant substrate, but notes (Sec. 6, citing
+// Skadron et al.) that substrate temperatures swing by ~10 K during
+// benchmark execution; stepping the ambient between intervals models that
+// combined effect.
+func (nw *Network) SetAmbient(k float64) error {
+	if k <= 0 {
+		return fmt.Errorf("thermal: non-positive ambient %g K", k)
+	}
+	nw.ambient = k
+	return nil
+}
+
+// SetTemps overwrites the wire temperatures (e.g. to restart from a saved
+// state); the slice length must be N.
+func (nw *Network) SetTemps(t []float64) error {
+	if len(t) != nw.n {
+		return fmt.Errorf("thermal: SetTemps length %d, want %d", len(t), nw.n)
+	}
+	copy(nw.temps, t)
+	return nil
+}
+
+// Dim implements ode.System.
+func (nw *Network) Dim() int { return nw.n }
+
+// Derivatives implements ode.System: the paper's Eqs. 3-4 rearranged for
+// dθ/dt, with the inter-layer heating added as a constant power source.
+func (nw *Network) Derivatives(t float64, y, dydt []float64) {
+	n := nw.n
+	for i := 0; i < n; i++ {
+		p := nw.dynPower[i] + nw.interPower[i]
+		q := p - (y[i]-nw.ambient)/nw.rVert[i]
+		if len(nw.rLat) > 0 {
+			if i > 0 {
+				q -= (y[i] - y[i-1]) / nw.rLat[i-1]
+			}
+			if i < n-1 {
+				q -= (y[i] - y[i+1]) / nw.rLat[i]
+			}
+		}
+		dydt[i] = q / nw.heatCap[i]
+	}
+}
+
+// Advance integrates the network over dt seconds with the given per-wire
+// dynamic power (W/m, piecewise constant over the interval — the paper's
+// 100K-cycle interval power). power may be nil for an idle interval.
+func (nw *Network) Advance(dt float64, power []float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("thermal: non-positive dt %g", dt)
+	}
+	if power == nil {
+		for i := range nw.dynPower {
+			nw.dynPower[i] = 0
+		}
+	} else {
+		if len(power) != nw.n {
+			return fmt.Errorf("thermal: power length %d, want %d", len(power), nw.n)
+		}
+		for i, p := range power {
+			if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+				return fmt.Errorf("thermal: invalid power %g on wire %d", p, i)
+			}
+		}
+		copy(nw.dynPower, power)
+	}
+	_, err := nw.integ.Integrate(nw, 0, dt, nw.temps)
+	return err
+}
+
+// SteadyState returns the equilibrium temperatures for a constant per-wire
+// dynamic power (W/m, nil meaning zero), solving the tridiagonal balance
+//
+//	(θi-θ0)/Ri + Σlat (θi-θnbr)/Rinter = Pi + Pinter,i
+//
+// with the Thomas algorithm. It does not modify the network state.
+func (nw *Network) SteadyState(power []float64) ([]float64, error) {
+	n := nw.n
+	if power != nil && len(power) != n {
+		return nil, fmt.Errorf("thermal: power length %d, want %d", len(power), n)
+	}
+	sub := make([]float64, n)
+	diag := make([]float64, n)
+	sup := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		gi := 1 / nw.rVert[i]
+		diag[i] = gi
+		rhs[i] = nw.interPower[i] + gi*nw.ambient
+		if power != nil {
+			rhs[i] += power[i]
+		}
+		if len(nw.rLat) > 0 {
+			if i > 0 {
+				g := 1 / nw.rLat[i-1]
+				diag[i] += g
+				sub[i] = -g
+			}
+			if i < n-1 {
+				g := 1 / nw.rLat[i]
+				diag[i] += g
+				sup[i] = -g
+			}
+		}
+	}
+	return linalg.SolveTridiagonal(sub, diag, sup, rhs)
+}
+
+// WireGeometry bundles the geometric and material inputs of Eqs. 5-6.
+type WireGeometry struct {
+	// Width and Thickness are the wire cross-section in meters.
+	Width, Thickness float64
+	// Spacing is the inter-wire spacing in meters.
+	Spacing float64
+	// ILDHeight is the dielectric thickness below the wire in meters.
+	ILDHeight float64
+	// KDielectric is the dielectric thermal conductivity in W/(m*K),
+	// used for both the ILD (vertical) and IMD (lateral) paths as in the
+	// paper's Table 1.
+	KDielectric float64
+}
+
+// VerticalResistance evaluates Eq. 6: the spreading term plus the
+// rectangular-flow term, per unit length (K*m/W).
+func (g WireGeometry) VerticalResistance() (float64, error) {
+	if g.Width <= 0 || g.Thickness <= 0 || g.Spacing < 0 || g.ILDHeight <= 0 || g.KDielectric <= 0 {
+		return 0, fmt.Errorf("thermal: invalid wire geometry %+v", g)
+	}
+	rspr := math.Log((g.Width+g.Spacing)/g.Width) / (2 * g.KDielectric)
+	rect := (g.ILDHeight - 0.5*g.Spacing) / (g.KDielectric * (g.Width + g.Spacing))
+	if rect < 0 {
+		// Very thin ILD relative to spacing: the trapezoidal spreading
+		// consumes the full height; clamp the rectangular term.
+		rect = 0
+	}
+	return rspr + rect, nil
+}
+
+// VerticalResistanceWithVias augments Eq. 6 with a parallel conduction
+// path through vias. The paper's Sec. 1 notes that "long via separations
+// in upper metal layers contribute to higher average wire temperatures
+// (vias are normally better thermal conductors than surrounding low-K
+// dielectrics)": copper vias short-circuit part of the ILD. viaFraction
+// is the fraction of the wire's footprint area occupied by via metal
+// (0 = no vias, the plain Eq. 6 value; realistic sparse global vias are
+// 1e-3..1e-2).
+func (g WireGeometry) VerticalResistanceWithVias(viaFraction float64) (float64, error) {
+	if viaFraction < 0 || viaFraction >= 1 {
+		return 0, fmt.Errorf("thermal: via fraction %g outside [0,1)", viaFraction)
+	}
+	base, err := g.VerticalResistance()
+	if err != nil {
+		return 0, err
+	}
+	if viaFraction == 0 {
+		return base, nil
+	}
+	// Parallel via path per unit length: kCu * (footprint width * f) / t_ild.
+	gVia := units.KCopper * (g.Width + g.Spacing) * viaFraction / g.ILDHeight
+	return 1 / (1/base + gVia), nil
+}
+
+// LateralResistance evaluates the paper's Sec. 4.1.1 inter-wire resistance
+// Rinter = s/(kimd*t), per unit length (K*m/W).
+func (g WireGeometry) LateralResistance() (float64, error) {
+	if g.Spacing <= 0 || g.Thickness <= 0 || g.KDielectric <= 0 {
+		return 0, fmt.Errorf("thermal: invalid lateral geometry %+v", g)
+	}
+	return g.Spacing / (g.KDielectric * g.Thickness), nil
+}
+
+// HeatCapacityOptions control the per-wire thermal capacitance.
+type HeatCapacityOptions struct {
+	// ExtraDielectricArea is the effective cross-sectional area (m^2) of
+	// surrounding dielectric whose heat mass is lumped with the wire.
+	// The paper's lumped Ci = Cs*t*w alone yields microsecond time
+	// constants, inconsistent with the multi-millisecond transients its
+	// own Figs. 4-5 show; physically, the slow component comes from heat
+	// diffusing into the dielectric (diffusion length ~50 um over the
+	// plotted intervals). DefaultExtraDielectricArea reproduces the
+	// paper's time scales; set to 0 for the strict wire-only reading.
+	ExtraDielectricArea float64
+}
+
+// DefaultExtraDielectricArea is the calibrated effective dielectric area:
+// a ~50 um thermal diffusion cloud around the wire, giving the bus the
+// ~10 ms time constant implied by the paper's Figs. 4-5.
+const DefaultExtraDielectricArea = 2.5e-9 // m^2
+
+// CvDielectric is the volumetric heat capacity of SiO2-class dielectrics
+// in J/(m^3*K) (2200 kg/m^3 * 730 J/(kg*K)).
+const CvDielectric = 2200.0 * 730.0
+
+// HeatCapacity returns Ci = Cs*t*w (Sec. 4.1) plus the configured
+// dielectric heat mass, in J/(K*m).
+func (g WireGeometry) HeatCapacity(opts HeatCapacityOptions) float64 {
+	return units.CvCopper*g.Thickness*g.Width + CvDielectric*opts.ExtraDielectricArea
+}
+
+// NodeGeometry extracts the WireGeometry of a technology node's global
+// layer.
+func NodeGeometry(node itrs.Node) WireGeometry {
+	return WireGeometry{
+		Width:       node.WireWidth,
+		Thickness:   node.WireThickness,
+		Spacing:     node.Spacing(),
+		ILDHeight:   node.ILDHeight,
+		KDielectric: node.KILD,
+	}
+}
+
+// NodeOptions configure NewFromNode.
+type NodeOptions struct {
+	// Ambient overrides the paper's 318.15 K when positive.
+	Ambient float64
+	// HeatCapacity options; the zero value uses
+	// DefaultExtraDielectricArea.
+	HeatCapacity *HeatCapacityOptions
+	// DisableLateral removes inter-wire conduction (the ablation the
+	// paper runs against prior models).
+	DisableLateral bool
+	// DisableInterLayer removes the Eq. 7 heating input.
+	DisableInterLayer bool
+	// ViaAreaFraction adds a parallel copper-via conduction path through
+	// the ILD (see VerticalResistanceWithVias). Zero means no vias — the
+	// paper's pessimistic upper-layer assumption.
+	ViaAreaFraction float64
+	// MaxStep bounds the RK4 internal step; zero auto-selects.
+	MaxStep float64
+}
+
+// NewFromNode builds the thermal network of a wires-wide global bus on the
+// given technology node, with Eq. 6 vertical resistances, Sec. 4.1.1
+// lateral resistances, and the Eq. 7 inter-layer heating expressed as the
+// equivalent constant power Δθ/Ri into each wire (so the network warms from
+// ambient toward ambient+Δθ with its natural time constant, as in the
+// paper's Fig. 4 transients).
+func NewFromNode(node itrs.Node, wires int, opts NodeOptions) (*Network, error) {
+	g := NodeGeometry(node)
+	rv, err := g.VerticalResistanceWithVias(opts.ViaAreaFraction)
+	if err != nil {
+		return nil, err
+	}
+	hcOpts := HeatCapacityOptions{ExtraDielectricArea: DefaultExtraDielectricArea}
+	if opts.HeatCapacity != nil {
+		hcOpts = *opts.HeatCapacity
+	}
+	cfg := Config{
+		Wires:        wires,
+		Ambient:      units.AmbientK,
+		RVertical:    []float64{rv},
+		HeatCapacity: []float64{g.HeatCapacity(hcOpts)},
+		MaxStep:      opts.MaxStep,
+	}
+	if opts.Ambient > 0 {
+		cfg.Ambient = opts.Ambient
+	}
+	if !opts.DisableLateral {
+		rl, err := g.LateralResistance()
+		if err != nil {
+			return nil, err
+		}
+		cfg.RLateral = []float64{rl}
+	}
+	if !opts.DisableInterLayer {
+		dTheta := InterLayerRise(node)
+		cfg.InterLayerPower = []float64{dTheta / rv}
+	}
+	return New(cfg)
+}

@@ -1,0 +1,91 @@
+package trace
+
+import "math/bits"
+
+// StreamStats accumulates the address-stream statistics the paper's
+// analysis discusses (Sec. 5.2.1): per-cycle Hamming distances between
+// consecutive bus words, duty factors, and transition counts.
+type StreamStats struct {
+	// Cycles is the number of cycles observed.
+	Cycles uint64
+	// Driven is the number of cycles with a valid word.
+	Driven uint64
+	// Transitions is the total number of bit transitions between
+	// consecutive driven words.
+	Transitions uint64
+	// HammingHist[h] counts consecutive-word pairs with Hamming distance
+	// h.
+	HammingHist [33]uint64
+
+	prev    uint32
+	started bool
+}
+
+// Observe feeds one cycle's word (or an idle cycle when valid is false).
+func (s *StreamStats) Observe(word uint32, valid bool) {
+	s.Cycles++
+	if !valid {
+		return
+	}
+	s.Driven++
+	if s.started {
+		h := bits.OnesCount32(s.prev ^ word)
+		s.Transitions += uint64(h)
+		s.HammingHist[h]++
+	}
+	s.started = true
+	s.prev = word
+}
+
+// MeanHamming returns the average Hamming distance between consecutive
+// driven words.
+func (s *StreamStats) MeanHamming() float64 {
+	pairs := uint64(0)
+	for _, c := range s.HammingHist {
+		pairs += c
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(s.Transitions) / float64(pairs)
+}
+
+// DutyFactor returns the fraction of cycles with a driven word.
+func (s *StreamStats) DutyFactor() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Driven) / float64(s.Cycles)
+}
+
+// FracAboveHalf returns the fraction of consecutive pairs whose Hamming
+// distance exceeds half the bus width — the fraction on which BI would
+// invert.
+func (s *StreamStats) FracAboveHalf() float64 {
+	pairs, above := uint64(0), uint64(0)
+	for h, c := range s.HammingHist {
+		pairs += c
+		if h > 16 {
+			above += c
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(above) / float64(pairs)
+}
+
+// CollectStats drains up to n cycles from src, returning IA- and DA-bus
+// statistics and the cycles consumed.
+func CollectStats(src Source, n uint64) (ia, da StreamStats, cycles uint64) {
+	for cycles < n {
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		cycles++
+		ia.Observe(c.IAddr, c.IValid)
+		da.Observe(c.DAddr, c.DValid)
+	}
+	return ia, da, cycles
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"math/rand"
+)
+
+// SynthConfig parameterises the statistical address-stream generator — a
+// lightweight alternative to the full CPU simulator for quick studies and
+// benchmarks. The model mirrors the structural features that drive bus
+// energy: mostly-sequential instruction fetch broken by branches, and data
+// accesses that mix sequential, strided, and region-jumping behaviour with
+// idle cycles in between.
+type SynthConfig struct {
+	// Seed for the generator.
+	Seed int64
+	// BranchProb is the per-cycle probability that the fetch stream jumps
+	// (taken branch/call); otherwise the PC advances by 4.
+	BranchProb float64
+	// BranchSpan is the maximum jump distance in bytes.
+	BranchSpan uint32
+	// CallProb is the probability that a jump targets a different code
+	// region (changing high-order bits).
+	CallProb float64
+	// CodeRegions are base addresses of code regions.
+	CodeRegions []uint32
+	// MemProb is the per-cycle probability of a data access (the DA bus's
+	// duty factor).
+	MemProb float64
+	// StoreFrac is the fraction of data accesses that are stores.
+	StoreFrac float64
+	// SeqFrac, StrideFrac of data accesses continue the previous address
+	// +4 or +Stride; the rest jump within or between data regions.
+	SeqFrac, StrideFrac float64
+	// Stride is the stride in bytes for strided accesses.
+	Stride uint32
+	// DataRegions are base addresses of data regions (heap, stack, ...).
+	DataRegions []uint32
+	// RegionSpan is the extent of each data region in bytes.
+	RegionSpan uint32
+	// RegionSwitchProb is the probability a random access changes region.
+	RegionSwitchProb float64
+}
+
+// DefaultSynthConfig returns a configuration resembling an integer SPEC
+// program's address behaviour.
+func DefaultSynthConfig(seed int64) SynthConfig {
+	return SynthConfig{
+		Seed:             seed,
+		BranchProb:       0.15,
+		BranchSpan:       1 << 12,
+		CallProb:         0.1,
+		CodeRegions:      []uint32{0x0001_0000, 0x0008_0000, 0x0010_0000},
+		MemProb:          0.35,
+		StoreFrac:        0.3,
+		SeqFrac:          0.35,
+		StrideFrac:       0.25,
+		Stride:           64,
+		DataRegions:      []uint32{0x1000_0000, 0x2000_0000, 0x7FFE_0000},
+		RegionSpan:       1 << 20,
+		RegionSwitchProb: 0.05,
+	}
+}
+
+// Synth is the statistical trace source.
+type Synth struct {
+	cfg    SynthConfig
+	rng    *rand.Rand
+	pc     uint32
+	daddr  uint32
+	region int
+}
+
+// NewSynth builds a statistical source from the configuration.
+func NewSynth(cfg SynthConfig) *Synth {
+	if len(cfg.CodeRegions) == 0 {
+		cfg.CodeRegions = []uint32{0x0001_0000}
+	}
+	if len(cfg.DataRegions) == 0 {
+		cfg.DataRegions = []uint32{0x1000_0000}
+	}
+	if cfg.RegionSpan == 0 {
+		cfg.RegionSpan = 1 << 20
+	}
+	if cfg.Stride == 0 {
+		cfg.Stride = 64
+	}
+	s := &Synth{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s.pc = cfg.CodeRegions[0]
+	s.daddr = cfg.DataRegions[0]
+	return s
+}
+
+// Next implements Source. Synthetic sources never end; wrap with Limit.
+func (s *Synth) Next() (Cycle, bool) {
+	c := Cycle{IValid: true, IAddr: s.pc}
+	// Advance fetch stream.
+	if s.rng.Float64() < s.cfg.BranchProb {
+		if s.rng.Float64() < s.cfg.CallProb {
+			base := s.cfg.CodeRegions[s.rng.Intn(len(s.cfg.CodeRegions))]
+			s.pc = base + uint32(s.rng.Intn(int(s.cfg.BranchSpan)))&^3
+		} else {
+			span := int32(s.cfg.BranchSpan)
+			off := int32(s.rng.Intn(int(2*span))) - span
+			s.pc = uint32(int64(s.pc)+int64(off)) &^ 3
+		}
+	} else {
+		s.pc += 4
+	}
+	// Data access?
+	if s.rng.Float64() < s.cfg.MemProb {
+		r := s.rng.Float64()
+		switch {
+		case r < s.cfg.SeqFrac:
+			s.daddr += 4
+		case r < s.cfg.SeqFrac+s.cfg.StrideFrac:
+			s.daddr += s.cfg.Stride
+		default:
+			if s.rng.Float64() < s.cfg.RegionSwitchProb {
+				s.region = s.rng.Intn(len(s.cfg.DataRegions))
+			}
+			base := s.cfg.DataRegions[s.region]
+			s.daddr = base + uint32(s.rng.Intn(int(s.cfg.RegionSpan)))&^3
+		}
+		c.DValid = true
+		c.DAddr = s.daddr
+		c.DStore = s.rng.Float64() < s.cfg.StoreFrac
+	}
+	return c, true
+}

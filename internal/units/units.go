@@ -1,0 +1,80 @@
+// Package units collects the physical constants and unit helpers used by
+// the bus energy and thermal models. All model code works in SI units:
+// meters, seconds, volts, joules, watts, kelvin, farads, ohms.
+package units
+
+import "fmt"
+
+// Physical constants.
+const (
+	// Eps0 is the permittivity of free space in F/m.
+	Eps0 = 8.8541878128e-12
+
+	// RhoCopper is the effective resistivity of copper interconnect in
+	// ohm-meters. Nanoscale copper lines have higher resistivity than
+	// bulk (1.68e-8) due to surface and grain-boundary scattering; 2.2e-8
+	// is the value commonly used for ITRS-2001-era global wires and is
+	// consistent with Table 1 of the paper (rwire = rho*l/(w*t)).
+	RhoCopper = 2.2e-8
+
+	// CvCopper is the volumetric heat capacity of copper in J/(m^3*K):
+	// density 8960 kg/m^3 times specific heat 385 J/(kg*K).
+	CvCopper = 8960.0 * 385.0
+
+	// KCopper is the thermal conductivity of copper in W/(m*K).
+	KCopper = 400.0
+
+	// AmbientK is the paper's ambient (substrate) temperature: 45 C.
+	AmbientK = 318.15
+)
+
+// Scale prefixes for readability at call sites.
+const (
+	Nano  = 1e-9
+	Micro = 1e-6
+	Milli = 1e-3
+	Kilo  = 1e3
+	Mega  = 1e6
+	Giga  = 1e9
+	Pico  = 1e-12
+	Femto = 1e-15
+)
+
+// CelsiusToKelvin converts a Celsius temperature to kelvin.
+func CelsiusToKelvin(c float64) float64 { return c + 273.15 }
+
+// KelvinToCelsius converts a kelvin temperature to Celsius.
+func KelvinToCelsius(k float64) float64 { return k - 273.15 }
+
+// FormatEnergy renders an energy in J with an engineering prefix.
+func FormatEnergy(j float64) string { return formatEng(j, "J") }
+
+// FormatPower renders a power in W with an engineering prefix.
+func FormatPower(w float64) string { return formatEng(w, "W") }
+
+// FormatCapacitance renders a capacitance in F with an engineering prefix.
+func FormatCapacitance(f float64) string { return formatEng(f, "F") }
+
+func formatEng(v float64, unit string) string {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	type pref struct {
+		scale float64
+		name  string
+	}
+	prefixes := []pref{
+		{1, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},
+		{1e-12, "p"}, {1e-15, "f"}, {1e-18, "a"},
+	}
+	if abs == 0 {
+		return "0 " + unit
+	}
+	for _, p := range prefixes {
+		if abs >= p.scale {
+			return fmt.Sprintf("%.4g %s%s", v/p.scale, p.name, unit)
+		}
+	}
+	return fmt.Sprintf("%.4g %s", v, unit)
+}

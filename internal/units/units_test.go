@@ -1,0 +1,64 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTemperatureConversions(t *testing.T) {
+	if CelsiusToKelvin(45) != 318.15 {
+		t.Errorf("45C = %g K", CelsiusToKelvin(45))
+	}
+	if KelvinToCelsius(318.15) != 45 {
+		t.Errorf("318.15K = %g C", KelvinToCelsius(318.15))
+	}
+	if AmbientK != CelsiusToKelvin(45) {
+		t.Error("ambient constant inconsistent with 45 C")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	for _, c := range []float64{-273.15, 0, 25, 45, 125} {
+		if got := KelvinToCelsius(CelsiusToKelvin(c)); math.Abs(got-c) > 1e-12 {
+			t.Errorf("round trip %g -> %g", c, got)
+		}
+	}
+}
+
+func TestConstantsPlausible(t *testing.T) {
+	// Copper volumetric heat capacity ~3.45 MJ/(m^3 K).
+	if CvCopper < 3.3e6 || CvCopper > 3.6e6 {
+		t.Errorf("CvCopper = %g", CvCopper)
+	}
+	if Eps0 < 8.8e-12 || Eps0 > 8.9e-12 {
+		t.Errorf("Eps0 = %g", Eps0)
+	}
+	if RhoCopper < 1.6e-8 || RhoCopper > 3e-8 {
+		t.Errorf("RhoCopper = %g", RhoCopper)
+	}
+}
+
+func TestFormatEngineering(t *testing.T) {
+	cases := map[string]string{
+		FormatEnergy(1.5e-12):      "1.5 pJ",
+		FormatEnergy(0):            "0 J",
+		FormatPower(2.5e-3):        "2.5 mW",
+		FormatCapacitance(44e-12):  "44 pF",
+		FormatCapacitance(1.7e-15): "1.7 fF",
+		FormatEnergy(3.0):          "3 J",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("formatted %q, want %q", got, want)
+		}
+	}
+	// Negative values keep their sign.
+	if s := FormatEnergy(-2e-9); !strings.HasPrefix(s, "-2") || !strings.HasSuffix(s, "nJ") {
+		t.Errorf("negative format = %q", s)
+	}
+	// Very small values fall through to the raw format.
+	if s := FormatEnergy(1e-21); !strings.Contains(s, "1e-21") {
+		t.Errorf("tiny format = %q", s)
+	}
+}

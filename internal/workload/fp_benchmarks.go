@@ -1,0 +1,255 @@
+package workload
+
+import "fmt"
+
+// Swim imitates SPEC swim (shallow-water 2D stencil): long sequential
+// sweeps over three 1 MB arrays with a 9-instruction inner loop. The DA
+// bus is busy and strongly sequential; the IA bus loops tightly.
+var Swim = register(Benchmark{
+	Name:         "swim",
+	WarmupCycles: 4_000_000,
+	Class:        FP,
+	Description:  "shallow-water-like: sequential 2D stencil sweeps over three 1MB arrays",
+	Source: fmt.Sprintf(`
+	# swim-like workload: u, v, p arrays of 2^18 words
+	.org %#x
+start:
+	li r10, %#x         # u
+	li r11, %#x         # v
+	li r12, %#x         # p
+	li r9, 0x100000     # 2^18 words * 4 bytes
+	# init u and v with floats in [1,2)
+	li r1, 0
+	li r2, %d
+	li r3, %d
+	li r4, 31415
+	li r5, 0x3F800000
+	li r6, 0x007FFC00
+	ori r6, r6, 0x3FF
+finit:
+	mul r4, r4, r2
+	add r4, r4, r3
+	and r7, r4, r6
+	or r7, r7, r5
+	add r8, r10, r1
+	sw r7, 0(r8)
+	mul r4, r4, r2
+	add r4, r4, r3
+	and r7, r4, r6
+	or r7, r7, r5
+	add r8, r11, r1
+	sw r7, 0(r8)
+	addi r1, r1, 4
+	blt r1, r9, finit
+
+sweep:
+	li r1, 0            # i byte offset
+	addi r2, r9, -8     # stop two words early for the i+1 access
+step:
+	add r3, r10, r1
+	flw f1, 0(r3)       # u[i]
+	flw f2, 4(r3)       # u[i+1]
+	add r4, r11, r1
+	flw f3, 0(r4)       # v[i]
+	fadd f4, f1, f2
+	fmul f5, f4, f3
+	add r5, r12, r1
+	fsw f5, 0(r5)       # p[i]
+	addi r1, r1, 4
+	blt r1, r2, step
+	j sweep
+`, codeBase, heapBase, heapBase+0x20_0000, heapBase+0x40_0000, lcgA, lcgC),
+})
+
+// Applu imitates SPEC applu (implicit 3D CFD): a blocked loop whose reads
+// hit three planes of a 4 MB grid at large fixed strides, so the DA stream
+// interleaves three strided sequences.
+var Applu = register(Benchmark{
+	Name:         "applu",
+	WarmupCycles: 10_000_000,
+	Class:        FP,
+	Description:  "CFD-like: 3D stencil with plane/row strides over a 4MB grid",
+	Source: fmt.Sprintf(`
+	# applu-like workload: 2^20-word grid, row 2^8 words, plane 2^16 words
+	.org %#x
+start:
+	li r10, %#x         # grid base
+	li r9, 0x400000     # grid bytes (2^22)
+	# init grid
+	li r1, 0
+	li r2, %d
+	li r3, %d
+	li r4, 8191
+	li r5, 0x3F800000
+	li r6, 0x007FFC00
+	ori r6, r6, 0x3FF
+ginit:
+	mul r4, r4, r2
+	add r4, r4, r3
+	and r7, r4, r6
+	or r7, r7, r5
+	add r8, r10, r1
+	sw r7, 0(r8)
+	addi r1, r1, 4
+	blt r1, r9, ginit
+
+	li r12, 0x40000     # plane stride in bytes (2^16 words)
+	li r13, 0x400       # row stride in bytes (2^8 words)
+outer:
+	li r1, 0
+	li r2, 0x3BF000     # iterate the interior: grid bytes - plane - row - slack
+relax:
+	add r3, r10, r1
+	flw f1, 0(r3)       # grid[i]
+	add r4, r3, r13
+	flw f2, 0(r4)       # grid[i+row]
+	add r5, r3, r12
+	flw f3, 0(r5)       # grid[i+plane]
+	fadd f4, f1, f2
+	fadd f4, f4, f3
+	fmul f5, f4, f4
+	fsw f5, 0(r3)       # update in place
+	addi r1, r1, 16     # blocked: every 4th word
+	blt r1, r2, relax
+	j outer
+`, codeBase, heapBase, lcgA, lcgC),
+})
+
+// Art imitates SPEC art (neural-net image recognition): repeated dot
+// products of a streamed 1 MB weight matrix against a hot 16 KB input
+// vector, with a tiny per-neuron reduction store.
+var Art = register(Benchmark{
+	Name:         "art",
+	WarmupCycles: 3_000_000,
+	Class:        FP,
+	Description:  "neural-net-like: streaming 1MB weight matrix against a hot 16KB input vector",
+	Source: fmt.Sprintf(`
+	# art-like workload: 64 neurons x 4096 weights, 4096-word input
+	.org %#x
+start:
+	li r10, %#x         # weights (64*4096 words = 1MB)
+	li r11, %#x         # input vector (16KB)
+	li r12, %#x         # outputs (64 words)
+	# init input and weights
+	li r1, 0
+	li r2, %d
+	li r3, %d
+	li r4, 271828
+	li r5, 0x3F800000
+	li r6, 0x007FFC00
+	ori r6, r6, 0x3FF
+	li r9, 0x100000     # weight bytes
+winit:
+	mul r4, r4, r2
+	add r4, r4, r3
+	and r7, r4, r6
+	or r7, r7, r5
+	add r8, r10, r1
+	sw r7, 0(r8)
+	addi r1, r1, 4
+	blt r1, r9, winit
+	li r1, 0
+	li r9, 0x4000       # input bytes
+iinit:
+	mul r4, r4, r2
+	add r4, r4, r3
+	and r7, r4, r6
+	or r7, r7, r5
+	add r8, r11, r1
+	sw r7, 0(r8)
+	addi r1, r1, 4
+	blt r1, r9, iinit
+
+pass:
+	li r1, 0            # neuron index j
+	li r2, 64
+	add r5, r10, r0     # weight cursor
+neuron:
+	fsub f1, f1, f1     # acc = 0
+	li r3, 0            # i byte offset
+	li r4, 0x4000
+dot:
+	flw f2, 0(r5)       # w[j][i] (streaming)
+	add r6, r11, r3
+	flw f3, 0(r6)       # x[i] (hot)
+	fmul f4, f2, f3
+	fadd f1, f1, f4
+	addi r5, r5, 4
+	addi r3, r3, 4
+	blt r3, r4, dot
+	slli r6, r1, 2
+	add r6, r12, r6
+	fsw f1, 0(r6)       # out[j]
+	addi r1, r1, 1
+	blt r1, r2, neuron
+	j pass
+`, codeBase, heapBase, heap2Base, heap2Base+0x1_0000, lcgA, lcgC),
+})
+
+// Ammp imitates SPEC ammp (molecular dynamics): gather loads through a
+// pseudo-random neighbour index array into a coordinate array, FP force
+// arithmetic, and scattered coordinate updates.
+var Ammp = register(Benchmark{
+	Name:         "ammp",
+	WarmupCycles: 4_500_000,
+	Class:        FP,
+	Description:  "molecular-dynamics-like: neighbour-list gather/scatter with FP force math",
+	Source: fmt.Sprintf(`
+	# ammp-like workload: 2^16 neighbour indices, 2^16 coordinate pairs
+	.org %#x
+start:
+	li r10, %#x         # index array (2^16 words)
+	li r11, %#x         # coordinates (2^17 words: x,y interleaved)
+	li r9, 0xFFFF       # index mask
+	li r2, %d
+	li r3, %d
+	li r4, 16180
+	# init: random neighbour indices; coordinates in [1,2)
+	li r1, 0
+	li r5, 0x40000      # index array bytes
+nli:
+	mul r4, r4, r2
+	add r4, r4, r3
+	srli r6, r4, 8
+	and r6, r6, r9
+	add r7, r10, r1
+	sw r6, 0(r7)
+	addi r1, r1, 4
+	blt r1, r5, nli
+	li r1, 0
+	li r5, 0x80000      # coordinate bytes
+	li r7, 0x3F800000
+	li r8, 0x007FFC00
+	ori r8, r8, 0x3FF
+cli:
+	mul r4, r4, r2
+	add r4, r4, r3
+	and r6, r4, r8
+	or r6, r6, r7
+	add r13, r11, r1
+	sw r6, 0(r13)
+	addi r1, r1, 4
+	blt r1, r5, cli
+
+force:
+	li r1, 0            # particle byte offset in index array
+	li r5, 0x40000
+pair:
+	add r6, r10, r1
+	lw r7, 0(r6)        # j = idx[i]
+	slli r7, r7, 3      # coordinate pair offset
+	add r7, r11, r7
+	flw f1, 0(r7)       # x[j]
+	flw f2, 4(r7)       # y[j]
+	fmul f3, f1, f2
+	fadd f4, f4, f3     # accumulate energy
+	# scatter an update every 4th pair
+	andi r8, r1, 12
+	bne r8, r0, noscat
+	fsw f4, 0(r7)
+noscat:
+	addi r1, r1, 4
+	blt r1, r5, pair
+	j force
+`, codeBase, heapBase, heap2Base, lcgA, lcgC),
+})

@@ -1,0 +1,331 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// eonTextureKernel emits the unrolled straight-line body of eon's texture
+// phase: each copy performs three hot scene loads, a framebuffer store,
+// and the filter arithmetic, and advances the pseudo-cycle counter that
+// drives the phase selector (13 instructions per body).
+func eonTextureKernel(bodies int) string {
+	var sb strings.Builder
+	for i := 0; i < bodies; i++ {
+		sb.WriteString(`	mul r13, r13, r11
+	add r13, r13, r12
+	srli r1, r13, 8
+	andi r1, r1, 16380
+	add r1, r10, r1
+	flw f1, 0(r1)
+	flw f2, 4(r1)
+	flw f3, 8(r1)
+	fmul f4, f1, f2
+	fadd f4, f4, f3
+	fadd f10, f10, f4
+	fsw f4, 0(r9)
+	addi r9, r9, 4
+	addi r8, r8, 14
+`)
+	}
+	return sb.String()
+}
+
+// lcgA and lcgC are full-period (mod 2^32) linear-congruential constants:
+// a ≡ 1 (mod 4), c odd. The mod-2^k LCG i -> a*i+c is a bijection whose
+// iteration visits every value, which mcf exploits to build a single
+// pointer-chasing cycle without a separate permutation pass.
+const (
+	lcgA = 1664525
+	lcgC = 1013904223
+)
+
+// Eon imitates SPEC eon (OO ray tracer): call chains three deep with stack
+// traffic, lookups into a 64 KB scene table at pseudo-random indices, and
+// FP arithmetic between the loads. Its DA stream mixes the heap and stack
+// regions, flipping high-order address bits on nearly every call boundary.
+var Eon = register(Benchmark{
+	Name:         "eon",
+	WarmupCycles: 1_000_000,
+	Class:        Int,
+	Description:  "ray-tracer-like: deep call chains, stack traffic, random scene lookups, FP math",
+	Source: fmt.Sprintf(`
+	# eon-like workload
+	.org %#x
+start:
+	li sp, %#x          # stack top
+	li r10, %#x         # scene base
+	li r11, %d          # lcg a
+	li r12, %d          # lcg c
+	li r13, 12345       # lcg state
+	# init: fill the 16K-word scene with floats in [1,2):
+	# (bits & 0x7FFFFF) | 0x3F800000
+	li r1, 0            # i (byte offset)
+	li r2, 65536        # 16K words * 4
+	li r3, 0x3F800000
+	li r4, 0x007FFC00   # mantissa mask (low bits via ori)
+	ori r4, r4, 0x3FF
+init:
+	mul r13, r13, r11
+	add r13, r13, r12
+	and r5, r13, r4
+	or r5, r5, r3
+	add r6, r10, r1
+	sw r5, 0(r6)
+	addi r1, r1, 4
+	blt r1, r2, init
+
+main:
+	# Phase select on a pseudo-cycle counter (r8): ~260K cycles of
+	# ray-tracing alternate with ~260K cycles of texture filtering — the
+	# program phases real eon exhibits, which make the IA-bus energy
+	# profile fluctuate between sampling intervals (Sec. 5.3.1).
+	srli r1, r8, 18
+	andi r1, r1, 1
+	bne r1, r0, texture
+	call trace_ray
+	fadd f10, f10, f1   # accumulate radiance
+	call trace_ray
+	fadd f10, f10, f1
+	# write a framebuffer pixel (scene tail doubles as framebuffer)
+	srli r1, r13, 12
+	andi r1, r1, 8188
+	add r1, r10, r1
+	fsw f10, 32768(r1)
+	j main
+
+	# texture phase: an unrolled, straight-line filtering kernel over a
+	# hot 16KB window. The DA duty matches the ray phase, but the fetch
+	# stream is purely sequential — so the IA-bus energy differs between
+	# phases while the DA-bus energy stays level.
+texture:
+	li r9, %#x          # framebuffer tile base
+`+eonTextureKernel(32)+`
+	j main
+
+	# trace_ray: two intersections plus shading arithmetic.
+trace_ray:
+	addi sp, sp, -16
+	sw ra, 0(sp)
+	fsw f10, 4(sp)      # spill accumulated radiance
+	sw r8, 8(sp)        # spill ray depth counter
+	call intersect
+	fadd f9, f1, f1
+	call intersect
+	fadd f1, f1, f9
+	lw r8, 8(sp)
+	addi r8, r8, 74     # pseudo-cycle cost of one ray
+	flw f10, 4(sp)
+	lw ra, 0(sp)
+	addi sp, sp, 16
+	ret
+
+	# intersect: pick a scene cell (origin, normal, material), combine
+	# with a dot product.
+intersect:
+	addi sp, sp, -8
+	sw ra, 0(sp)
+	mul r13, r13, r11
+	add r13, r13, r12
+	srli r1, r13, 8
+	andi r1, r1, 16380  # 16K words, room for the 3-word record
+	slli r1, r1, 2
+	add r1, r10, r1
+	flw f1, 0(r1)       # origin
+	flw f4, 4(r1)       # normal
+	flw f5, 8(r1)       # material
+	fmul f1, f1, f4
+	fadd f1, f1, f5
+	call dot
+	fmul f1, f1, f2
+	lw ra, 0(sp)
+	addi sp, sp, 8
+	ret
+
+	# dot: leaf; two adjacent scene loads and a multiply-add. Placed 1 MB
+	# away in the text segment (real eon's math library sits far from the
+	# tracer's hot loop), so every ray makes long-distance call/return
+	# fetch transitions that the texture phase never does.
+	.org 0x110000
+dot:
+	mul r13, r13, r11
+	add r13, r13, r12
+	srli r2, r13, 10
+	andi r2, r2, 16380  # word-aligned offset within 16K words
+	add r2, r10, r2
+	flw f2, 0(r2)
+	flw f3, 4(r2)
+	fmul f2, f2, f3
+	fadd f2, f2, f3
+	ret
+`, codeBase, stackTop, heapBase, lcgA, lcgC, heap2Base),
+})
+
+// Crafty imitates SPEC crafty (chess): bitboard-style shift/mask/xor
+// arithmetic, lookups into a small attack table that stays cache-resident,
+// a branchy popcount loop, and sparse stores into a tiny history table.
+// Data traffic is light; the IA bus dominates.
+var Crafty = register(Benchmark{
+	Name:         "crafty",
+	WarmupCycles: 500_000,
+	Class:        Int,
+	Description:  "chess-like: bitboard shift/mask arithmetic, hot small tables, branchy popcount",
+	Source: fmt.Sprintf(`
+	# crafty-like workload
+	.org %#x
+start:
+	li r10, %#x         # attack table base (1024 words)
+	li r9, %#x          # history table base (64 words)
+	li r11, %d          # lcg a
+	li r12, %d          # lcg c
+	li r13, 99991       # lcg state / hash
+	# init attack table
+	li r1, 0
+	li r2, 4096
+tinit:
+	mul r13, r13, r11
+	add r13, r13, r12
+	add r3, r10, r1
+	sw r13, 0(r3)
+	addi r1, r1, 4
+	blt r1, r2, tinit
+
+	li r8, 0            # move counter
+search:
+	# hash step
+	mul r13, r13, r11
+	add r13, r13, r12
+	# attack lookup
+	srli r1, r13, 6
+	andi r1, r1, 1023
+	slli r1, r1, 2
+	add r1, r10, r1
+	lw r2, 0(r1)
+	# bitboard update: rotate-ish mix of the two halves
+	slli r3, r2, 7
+	srli r4, r2, 25
+	or r3, r3, r4
+	xor r5, r5, r3
+	and r6, r5, r2
+	# popcount of the low 16 bits, 4 bits at a time (branchy)
+	li r7, 0
+	li r4, 4
+pcloop:
+	andi r3, r6, 15
+	add r7, r7, r3
+	srli r6, r6, 4
+	addi r4, r4, -1
+	bne r4, r0, pcloop
+	# occasional history store (every 16th move)
+	andi r3, r8, 15
+	bne r3, r0, nohist
+	srli r3, r13, 10
+	andi r3, r3, 63
+	slli r3, r3, 2
+	add r3, r9, r3
+	sw r7, 0(r3)
+nohist:
+	addi r8, r8, 1
+	j search
+`, codeBase, heapBase, heap2Base, lcgA, lcgC),
+})
+
+// Twolf imitates SPEC twolf (standard-cell placement): pseudo-random
+// read-modify-write pairs over a medium array with data-dependent branches
+// (conditional swaps), the classic annealing inner loop.
+var Twolf = register(Benchmark{
+	Name:         "twolf",
+	WarmupCycles: 1_000_000,
+	Class:        Int,
+	Description:  "placement-like: random paired reads, conditional swap stores, data-dependent branches",
+	Source: fmt.Sprintf(`
+	# twolf-like workload
+	.org %#x
+start:
+	li r10, %#x         # cell array base (64K words)
+	li r11, %d
+	li r12, %d
+	li r13, 777
+	li r9, 0x3FFFC      # byte-offset mask for 64K words (word aligned)
+	# init cells with their index
+	li r1, 0
+	li r2, 0x40000
+cinit:
+	add r3, r10, r1
+	sw r1, 0(r3)
+	addi r1, r1, 4
+	blt r1, r2, cinit
+
+anneal:
+	# pick two cells
+	mul r13, r13, r11
+	add r13, r13, r12
+	srli r1, r13, 4
+	and r1, r1, r9
+	add r1, r10, r1     # &cell[i1]
+	mul r13, r13, r11
+	add r13, r13, r12
+	srli r2, r13, 4
+	and r2, r2, r9
+	add r2, r10, r2     # &cell[i2]
+	lw r3, 0(r1)
+	lw r4, 0(r2)
+	# accept the swap only if it lowers "cost" (here: v1 > v2)
+	bge r4, r3, reject
+	sw r4, 0(r1)
+	sw r3, 0(r2)
+	addi r8, r8, 1      # accepted moves
+reject:
+	addi r7, r7, 1      # attempted moves
+	j anneal
+`, codeBase, heapBase, lcgA, lcgC),
+})
+
+// Mcf imitates SPEC mcf (network simplex): dependent pointer chasing
+// around a 4 MB ring of 16-byte nodes — far beyond L2 — with a high load
+// fraction and occasional flow updates. The DA stream is the most random
+// of the integer set.
+var Mcf = register(Benchmark{
+	Name:         "mcf",
+	WarmupCycles: 3_500_000,
+	Class:        Int,
+	Description:  "network-simplex-like: pointer chasing over a 4MB node ring, load-dominated",
+	Source: fmt.Sprintf(`
+	# mcf-like workload: 2^18 nodes x 16 bytes
+	.org %#x
+start:
+	li r10, %#x         # node base
+	li r11, %d
+	li r12, %d
+	li r9, 0x3FFFF      # index mask (2^18 - 1)
+	# init: node[i].next = &node[(a*i+c) & mask]; node[i].key = i
+	li r1, 0            # i
+	li r2, 0x40000      # 2^18
+ninit:
+	mul r3, r1, r11
+	add r3, r3, r12
+	and r3, r3, r9      # next index
+	slli r3, r3, 4
+	add r3, r10, r3     # next address
+	slli r4, r1, 4
+	add r4, r10, r4     # this node
+	sw r3, 0(r4)        # .next
+	sw r1, 4(r4)        # .key
+	addi r1, r1, 1
+	blt r1, r2, ninit
+
+	add r5, r10, r0     # p = &node[0]
+	li r8, 0
+chase:
+	lw r5, 0(r5)        # p = p->next (dependent load)
+	lw r6, 4(r5)        # read key
+	add r7, r7, r6      # accumulate cost
+	# every 8th visit, update the node's flow field
+	andi r6, r8, 7
+	bne r6, r0, noupd
+	sw r7, 8(r5)
+noupd:
+	addi r8, r8, 1
+	j chase
+`, codeBase, heapBase, lcgA, lcgC),
+})

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestInstructionMixCharacter checks each benchmark's committed-instruction
+// mix against the character of the SPEC program it imitates, using the
+// CPU's classification counters: FP programs must actually execute FP
+// arithmetic, pointer/placement codes must be branchy, compression must be
+// load-heavy, and so on. This pins the substitution argument of DESIGN.md
+// to measurable properties.
+func TestInstructionMixCharacter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle characterisation")
+	}
+	type expect struct {
+		fpMin     float64 // min FP-op fraction
+		fpMax     float64 // max FP-op fraction
+		branchMin float64 // min conditional-branch fraction
+		loadMin   float64 // min load fraction
+	}
+	cases := map[string]expect{
+		"eon":    {fpMin: 0.05, fpMax: 0.5, branchMin: 0.0, loadMin: 0.05},
+		"crafty": {fpMin: 0, fpMax: 0.01, branchMin: 0.1, loadMin: 0.01},
+		"twolf":  {fpMin: 0, fpMax: 0.01, branchMin: 0.05, loadMin: 0.1},
+		"mcf":    {fpMin: 0, fpMax: 0.01, branchMin: 0.1, loadMin: 0.2},
+		"swim":   {fpMin: 0.15, fpMax: 0.6, branchMin: 0.05, loadMin: 0.2},
+		"applu":  {fpMin: 0.15, fpMax: 0.6, branchMin: 0.05, loadMin: 0.15},
+		"art":    {fpMin: 0.15, fpMax: 0.6, branchMin: 0.05, loadMin: 0.2},
+		"ammp":   {fpMin: 0.1, fpMax: 0.6, branchMin: 0.05, loadMin: 0.15},
+		"gzip":   {fpMin: 0, fpMax: 0.01, branchMin: 0.05, loadMin: 0.15},
+		"equake": {fpMin: 0.1, fpMax: 0.6, branchMin: 0.05, loadMin: 0.15},
+	}
+	for _, b := range AllWithExtras() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			exp, ok := cases[b.Name]
+			if !ok {
+				t.Fatalf("no mix expectation for %s", b.Name)
+			}
+			src, err := b.NewSource()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Skip init, then measure a steady window with the CPU's own
+			// counters.
+			for i := uint64(0); i < b.WarmupCycles; i++ {
+				if _, ok := src.Next(); !ok {
+					t.Fatal(src.Err())
+				}
+			}
+			before := src.CPU.Counters
+			const window = 200_000
+			for i := 0; i < window; i++ {
+				if _, ok := src.Next(); !ok {
+					t.Fatal(src.Err())
+				}
+			}
+			k := src.CPU.Counters
+			frac := func(a, b uint64) float64 { return float64(a-b) / window }
+			fp := frac(k.FPOps, before.FPOps)
+			br := frac(k.Branches, before.Branches)
+			ld := frac(k.Loads, before.Loads)
+			if fp < exp.fpMin || fp > exp.fpMax {
+				t.Errorf("FP fraction %.3f outside [%.2f, %.2f]", fp, exp.fpMin, exp.fpMax)
+			}
+			if br < exp.branchMin {
+				t.Errorf("branch fraction %.3f below %.2f", br, exp.branchMin)
+			}
+			if ld < exp.loadMin {
+				t.Errorf("load fraction %.3f below %.2f", ld, exp.loadMin)
+			}
+			// Integer programs execute no FP at all; FP programs do.
+			if b.Class == FP && fp == 0 {
+				t.Error("FP benchmark executed no FP ops")
+			}
+			if b.Class == Int && b.Name != "eon" && fp > 0.01 {
+				t.Errorf("integer benchmark executed %.3f FP ops", fp)
+			}
+		})
+	}
+}
