@@ -68,7 +68,9 @@ func assembleFile(path string) (*isa.Program, error) {
 func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	out := fs.String("o", "prog.nbx", "output program binary")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: nanoasm build [-o OUT] SOURCE.s")
 	}
@@ -80,12 +82,12 @@ func cmdBuild(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := isa.WriteProgram(f, p); err != nil {
-		f.Close()
-		return err
+	werr := isa.WriteProgram(f, p)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
 	}
-	if err := f.Close(); err != nil {
-		return err
+	if werr != nil {
+		return werr
 	}
 	total := 0
 	for _, s := range p.Segments {
@@ -97,7 +99,9 @@ func cmdBuild(args []string) error {
 
 func cmdDisasm(args []string) error {
 	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: nanoasm disasm PROGRAM.nbx")
 	}
@@ -125,7 +129,9 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	maxSteps := fs.Uint64("max-steps", 10_000_000, "instruction budget")
 	regs := fs.Bool("regs", false, "dump registers at exit")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: nanoasm run [-max-steps N] [-regs] SOURCE.s")
 	}
@@ -165,7 +171,9 @@ func cmdRun(args []string) error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: nanoasm bench NAME (one of %v)", workload.Names())
 	}

@@ -25,7 +25,9 @@ func cmdL2Bus(args []string) error {
 	cycles := fs.Uint64("cycles", 2_000_000, "measured cycles")
 	node := fs.String("node", "130nm", "technology node")
 	bench := fs.String("bench", "", "benchmark ('' = all eight)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	n, ok := itrs.ByName(*node)
 	if !ok {
 		return fmt.Errorf("unknown node %q", *node)
@@ -56,7 +58,9 @@ func cmdSubstrate(args []string) error {
 	swing := fs.Float64("swing", 10, "substrate swing half-amplitude (K)")
 	node := fs.String("node", "130nm", "technology node")
 	bench := fs.String("bench", "swim", "benchmark")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	n, ok := itrs.ByName(*node)
 	if !ok {
 		return fmt.Errorf("unknown node %q", *node)
@@ -81,7 +85,9 @@ func cmdReliability(args []string) error {
 	power := fs.Float64("power", 1.0, "uniform dynamic power per wire (W/m)")
 	hotWire := fs.Int("hot-wire", 16, "index of a wire given 3x power (hot spot)")
 	wires := fs.Int("wires", 32, "bus width")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	n, ok := itrs.ByName(*node)
 	if !ok {
 		return fmt.Errorf("unknown node %q", *node)
@@ -131,7 +137,9 @@ func cmdRepSweep(args []string) error {
 	fs := flag.NewFlagSet("repsweep", flag.ExitOnError)
 	node := fs.String("node", "130nm", "technology node")
 	length := fs.Float64("length", 0.01, "line length (m)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	n, ok := itrs.ByName(*node)
 	if !ok {
 		return fmt.Errorf("unknown node %q", *node)
@@ -161,7 +169,9 @@ func cmdValidate(args []string) error {
 	wires := fs.Int("wires", 5, "bus width (field solve cost grows with width)")
 	power := fs.Float64("power", 20, "hot centre wire power (W/m)")
 	cells := fs.Int("cells", 5, "FDM cells per wire width")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	n, ok := itrs.ByName(*node)
 	if !ok {
 		return fmt.Errorf("unknown node %q", *node)
@@ -197,7 +207,7 @@ func cmdValidate(args []string) error {
 		fRise := field[i] - units.AmbientK
 		rcRise := rc[i] - units.AmbientK
 		ratio := math.NaN()
-		if fRise != 0 {
+		if fRise != 0 { //nanolint:ignore floateq exact-zero guard before division; a zero rise leaves the ratio undefined
 			ratio = rcRise / fRise
 		}
 		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.2f\n", i, fRise, rcRise, ratio)
@@ -212,7 +222,9 @@ func cmdEncStats(args []string) error {
 	cycles := fs.Uint64("cycles", 1_000_000, "observed cycles")
 	bench := fs.String("bench", "eon", "benchmark")
 	bus := fs.String("bus", "DA", "bus: DA or IA")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	rows, err := expt.EncStats(expt.EncStatsOptions{Cycles: *cycles, Benchmark: *bench, Bus: *bus})
 	if err != nil {
 		return err
@@ -237,7 +249,9 @@ func cmdBaselines(args []string) error {
 	cycles := fs.Uint64("cycles", 4_000_000, "simulated cycles")
 	node := fs.String("node", "130nm", "technology node")
 	bench := fs.String("bench", "swim", "benchmark")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	n, ok := itrs.ByName(*node)
 	if !ok {
 		return fmt.Errorf("unknown node %q", *node)
@@ -261,7 +275,9 @@ func cmdBaselines(args []string) error {
 func cmdDelayTemp(args []string) error {
 	fs := flag.NewFlagSet("delaytemp", flag.ExitOnError)
 	temp := fs.Float64("temp", 0, "wire temperature in K (0 = ambient+20)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	reports, err := delay.AnalyzeAll(*temp)
 	if err != nil {
 		return err

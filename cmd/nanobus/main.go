@@ -129,7 +129,9 @@ func parseNodes(spec string) ([]itrs.Node, error) {
 func cmdTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	nodes := fs.String("nodes", "all", "comma-separated node list")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	ns, err := parseNodes(*nodes)
 	if err != nil {
 		return err
@@ -138,8 +140,7 @@ func cmdTable1(args []string) error {
 	if err != nil {
 		return err
 	}
-	expt.PrintTable1(os.Stdout, rows)
-	return nil
+	return expt.PrintTable1(os.Stdout, rows)
 }
 
 func cmdFig1B(args []string) error {
@@ -148,7 +149,9 @@ func cmdFig1B(args []string) error {
 	panels := fs.Int("panels", 6, "BEM panels per conductor edge")
 	nodes := fs.String("nodes", "all", "comma-separated node list")
 	threeD := fs.Bool("3d", false, "use the 3-D extractor on a reduced bus (slow; 7 wires)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	ns, err := parseNodes(*nodes)
 	if err != nil {
 		return err
@@ -160,8 +163,7 @@ func cmdFig1B(args []string) error {
 	if err != nil {
 		return err
 	}
-	expt.PrintFig1B(os.Stdout, rows)
-	return nil
+	return expt.PrintFig1B(os.Stdout, rows)
 }
 
 // fig1b3D reports the capacitance distribution from the 3-D extractor on a
@@ -190,7 +192,9 @@ func cmdSec33(args []string) error {
 	fs := flag.NewFlagSet("sec33", flag.ExitOnError)
 	wires := fs.Int("wires", 32, "bus width")
 	nodes := fs.String("nodes", "all", "comma-separated node list")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	ns, err := parseNodes(*nodes)
 	if err != nil {
 		return err
@@ -199,8 +203,7 @@ func cmdSec33(args []string) error {
 	if err != nil {
 		return err
 	}
-	expt.PrintSec33(os.Stdout, rows)
-	return nil
+	return expt.PrintSec33(os.Stdout, rows)
 }
 
 func cmdFig3(args []string) error {
@@ -210,7 +213,9 @@ func cmdFig3(args []string) error {
 	nodes := fs.String("nodes", "all", "comma-separated node list")
 	schemes := fs.String("schemes", "", "comma-separated encoding list (default paper's 4; 'ext' adds Gray,T0)")
 	detail := fs.Bool("detail", false, "print per-benchmark rows, not just means")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	ns, err := parseNodes(*nodes)
 	if err != nil {
 		return err
@@ -233,8 +238,7 @@ func cmdFig3(args []string) error {
 	if !*detail {
 		cells = expt.MeanCells(cells)
 	}
-	expt.PrintFig3(os.Stdout, cells)
-	return nil
+	return expt.PrintFig3(os.Stdout, cells)
 }
 
 func cmdFig4(args []string) error {
@@ -245,7 +249,9 @@ func cmdFig4(args []string) error {
 	benches := fs.String("benchmarks", "eon,swim", "comma-separated benchmark list")
 	csv := fs.Bool("csv", false, "emit full CSV series instead of the summary")
 	timing := fs.Bool("timing", false, "insert cache-miss stall cycles (timing-aware extension)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	n, ok := itrs.ByName(*node)
 	if !ok {
 		return fmt.Errorf("unknown node %q", *node)
@@ -268,8 +274,7 @@ func cmdFig4(args []string) error {
 		}
 		return nil
 	}
-	expt.PrintFig4Summary(os.Stdout, series)
-	return nil
+	return expt.PrintFig4Summary(os.Stdout, series)
 }
 
 func cmdFig5(args []string) error {
@@ -280,7 +285,9 @@ func cmdFig5(args []string) error {
 	node := fs.String("node", "130nm", "technology node")
 	bench := fs.String("benchmark", "swim", "benchmark")
 	csv := fs.Bool("csv", false, "emit the full CSV series too")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	n, ok := itrs.ByName(*node)
 	if !ok {
 		return fmt.Errorf("unknown node %q", *node)
@@ -309,7 +316,9 @@ func cmdFig5(args []string) error {
 func cmdDTheta(args []string) error {
 	fs := flag.NewFlagSet("dtheta", flag.ExitOnError)
 	nodes := fs.String("nodes", "all", "comma-separated node list")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	ns, err := parseNodes(*nodes)
 	if err != nil {
 		return err
@@ -326,7 +335,9 @@ func cmdSteady(args []string) error {
 	node := fs.String("node", "130nm", "technology node")
 	wires := fs.Int("wires", 32, "bus width")
 	power := fs.Float64("power", 1.0, "uniform dynamic power per wire (W/m)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	n, ok := itrs.ByName(*node)
 	if !ok {
 		return fmt.Errorf("unknown node %q", *node)
@@ -355,7 +366,9 @@ func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	bench := fs.String("bench", "eon", "benchmark name")
 	cycles := fs.Uint64("cycles", 1_000_000, "cycles to observe after warm-up")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	b, ok := workload.ByName(*bench)
 	if !ok {
 		return fmt.Errorf("unknown benchmark %q (have %s)", *bench, strings.Join(workload.Names(), ", "))

@@ -1,0 +1,129 @@
+// Command nanolint runs the physics-aware static-analysis rules of
+// internal/analysis over packages of this module:
+//
+//	go run ./cmd/nanolint ./...
+//	go run ./cmd/nanolint -rules magicconst,floateq ./internal/thermal
+//
+// Patterns follow the go tool: "dir/..." walks recursively (skipping
+// testdata), a plain pattern names one package directory. Findings print as
+// "file:line:col: [rule] message"; the process exits 1 if any unsuppressed
+// finding remains, 2 on usage or load errors.
+//
+// A finding is suppressed by the directive
+//
+//	//nanolint:ignore <rule> <reason>
+//
+// at the end of the offending line or on its own line directly above it.
+// The reason is mandatory; directives without one are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nanobus/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("nanolint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	rules := fs.String("rules", "", "comma-separated rule subset to run (default: all rules)")
+	showSuppressed := fs.Bool("show-suppressed", false, "also print suppressed findings with their justification")
+	list := fs.Bool("list", false, "list the available rules and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nanolint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, az := range analysis.All() {
+			fmt.Fprintf(os.Stdout, "%-12s %s\n", az.Name, az.Doc)
+		}
+		return 0
+	}
+
+	azs := analysis.All()
+	if *rules != "" {
+		var err error
+		azs, err = analysis.ByName(strings.Split(*rules, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	dirs, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pkgs := make([]*analysis.Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	findings, err := analysis.Run(pkgs, azs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	bad := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			if *showSuppressed {
+				fmt.Fprintf(os.Stdout, "%s (suppressed: %s)\n", finding(root, f), f.SuppressReason)
+			}
+			continue
+		}
+		bad++
+		fmt.Fprintln(os.Stdout, finding(root, f))
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stdout, "nanolint: %d finding(s) in %d package(s)\n", bad, len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// finding renders one finding with a module-relative path.
+func finding(root string, f analysis.Finding) string {
+	name := f.Pos.Filename
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", name, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}

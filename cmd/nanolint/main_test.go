@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		// Patterns resolve relative to the module root (see
+		// Loader.ExpandPatterns), so these work no matter where the test
+		// binary's working directory sits inside the module.
+		{"fixture findings", []string{"internal/analysis/testdata/src/droppederr"}, 1},
+		{"fixture magicconst", []string{"-rules", "magicconst", "internal/analysis/testdata/src/energy"}, 1},
+		{"clean package", []string{"internal/units"}, 0},
+		{"list rules", []string{"-list"}, 0},
+		{"unknown rule", []string{"-rules", "nosuchrule", "internal/units"}, 2},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(tc.args); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

@@ -58,7 +58,9 @@ func cmdGen(args []string) error {
 	skip := fs.Uint64("skip", 0, "warm-up cycles to skip (0 = benchmark default)")
 	seed := fs.Int64("seed", 1, "seed for -bench synth")
 	out := fs.String("o", "trace.nbt", "output file")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var src trace.Source
 	if *bench == "synth" {
@@ -114,7 +116,7 @@ func openTrace(path string) (*trace.Reader, *os.File, error) {
 	}
 	r, err := trace.NewReader(f)
 	if err != nil {
-		f.Close()
+		f.Close() //nanolint:ignore droppederr the read error is returned; a close failure on this abandoned handle adds nothing
 		return nil, nil, err
 	}
 	return r, f, nil
@@ -122,7 +124,9 @@ func openTrace(path string) (*trace.Reader, *os.File, error) {
 
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: nanotrace info FILE")
 	}
@@ -146,7 +150,9 @@ func cmdInfo(args []string) error {
 func cmdDump(args []string) error {
 	fs := flag.NewFlagSet("dump", flag.ExitOnError)
 	n := fs.Int("n", 20, "cycles to print")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: nanotrace dump [-n N] FILE")
 	}

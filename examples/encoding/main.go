@@ -76,7 +76,9 @@ func main() {
 			}
 		}
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // replay wraps a captured window as a fresh TraceSource.

@@ -30,7 +30,9 @@ func main() {
 	for i := 0; i < 63; i++ {
 		sim.StepIdle() // bus holds its value: no dissipation
 	}
-	sim.Finish()
+	if err := sim.Finish(); err != nil {
+		log.Fatal(err)
+	}
 
 	tot := sim.TotalEnergy()
 	fmt.Printf("bus width:              %d wires\n", sim.Width())

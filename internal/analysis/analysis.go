@@ -1,0 +1,147 @@
+// Package analysis is nanolint's physics-aware static-analysis framework.
+// It is built only on the standard library (go/parser, go/ast, go/types) so
+// the repository stays dependency-free and buildable offline.
+//
+// The framework loads and type-checks packages of this module (Loader),
+// runs a set of rules (Analyzer) over each package (Pass), and applies
+// `//nanolint:ignore <rule> <reason>` suppression directives to the
+// resulting findings. The shipped rules guard the conventions the model's
+// fidelity to the paper rests on:
+//
+//   - magicconst: float literals in the model packages that duplicate a
+//     named constant exported from internal/units or internal/itrs.
+//   - droppederr: error results discarded via `_` or bare call statements.
+//   - floateq: direct ==/!= between floating-point expressions.
+//   - libpanic: panic(...) reachable from exported library APIs in
+//     internal/ packages, which should return errors instead.
+//
+// See cmd/nanolint for the command-line driver.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	// Pos is the violation's resolved file position.
+	Pos token.Position
+	// Rule names the analyzer that produced the finding.
+	Rule string
+	// Message describes the violation and how to fix it.
+	Message string
+	// Suppressed marks findings covered by a //nanolint:ignore directive.
+	Suppressed bool
+	// SuppressReason is the justification given in the directive.
+	SuppressReason string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}
+
+// Pass hands one type-checked package to an analyzer's Run function.
+type Pass struct {
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// rule is the running analyzer's name, stamped on reports.
+	rule   string
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one nanolint rule.
+type Analyzer struct {
+	// Name is the rule name used in reports and suppression directives.
+	Name string
+	// Doc is a one-paragraph description of what the rule enforces.
+	Doc string
+	// Run analyzes one package, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// All returns the full nanolint rule set.
+func All() []*Analyzer {
+	return []*Analyzer{MagicConst(), DroppedErr(), FloatEq(), LibPanic()}
+}
+
+// ByName selects analyzers from All by name.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, az := range All() {
+		byName[az.Name] = az
+	}
+	out := make([]*Analyzer, 0, len(names))
+	for _, name := range names {
+		az, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown rule %q", name)
+		}
+		out = append(out, az)
+	}
+	return out, nil
+}
+
+// Run runs the analyzers over the packages, applies suppression directives,
+// and returns the findings (suppressed ones included, marked) sorted by
+// position. Malformed directives are themselves reported under the
+// "nanolint" rule.
+func Run(pkgs []*Package, azs []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		findings = append(findings, sup.malformed...)
+		for _, az := range azs {
+			pass := &Pass{
+				Pkg:  pkg,
+				rule: az.Name,
+				report: func(f Finding) {
+					if reason, ok := sup.match(f); ok {
+						f.Suppressed = true
+						f.SuppressReason = reason
+					}
+					findings = append(findings, f)
+				},
+			}
+			if err := az.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", az.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return findings, nil
+}
+
+// Unsuppressed filters findings down to the ones not covered by a
+// directive.
+func Unsuppressed(findings []Finding) []Finding {
+	out := make([]Finding, 0, len(findings))
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

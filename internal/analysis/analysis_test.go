@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one package under testdata/src.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// parseWantMarkers scans a fixture directory for trailing "// want <rules>"
+// markers and returns the expected set of "file:line:rule" keys.
+func parseWantMarkers(t *testing.T, name string) map[string]bool {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ruleNames := map[string]bool{}
+		for _, az := range All() {
+			ruleNames[az.Name] = true
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, marker, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			// Prose in doc comments may quote the marker syntax; a real
+			// marker lists only rule names.
+			fields := strings.Fields(marker)
+			real := len(fields) > 0
+			for _, f := range fields {
+				if !ruleNames[f] {
+					real = false
+				}
+			}
+			if !real {
+				continue
+			}
+			for _, rule := range fields {
+				want[fmt.Sprintf("%s:%d:%s", e.Name(), i+1, rule)] = true
+			}
+		}
+	}
+	return want
+}
+
+// findingKeys renders findings in the marker key format.
+func findingKeys(findings []Finding) map[string]bool {
+	keys := map[string]bool{}
+	for _, f := range findings {
+		keys[fmt.Sprintf("%s:%d:%s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule)] = true
+	}
+	return keys
+}
+
+func diffKeys(t *testing.T, got, want map[string]bool) {
+	t.Helper()
+	var missing, extra []string
+	for k := range want {
+		if !got[k] {
+			missing = append(missing, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	for _, k := range missing {
+		t.Errorf("expected finding not reported: %s", k)
+	}
+	for _, k := range extra {
+		t.Errorf("unexpected finding: %s", k)
+	}
+}
+
+// TestAnalyzersOnFixtures runs every analyzer over each golden fixture
+// package and compares the unsuppressed findings against the fixture's
+// "// want" markers.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	for _, name := range []string{"energy", "droppederr", "floateq", "libpanic"} {
+		t.Run(name, func(t *testing.T) {
+			pkg := loadFixture(t, name)
+			findings, err := Run([]*Package{pkg}, All())
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffKeys(t, findingKeys(Unsuppressed(findings)), parseWantMarkers(t, name))
+		})
+	}
+}
+
+// TestSuppressionDirectives exercises the directive fixture: same-line and
+// line-above placement suppress with their reason; malformed directives are
+// findings themselves and suppress nothing; a directive naming the wrong
+// rule suppresses nothing.
+func TestSuppressionDirectives(t *testing.T) {
+	pkg := loadFixture(t, "suppress")
+	findings, err := Run([]*Package{pkg}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suppressedReasons []string
+	var unsuppressedDropped, malformed int
+	for _, f := range findings {
+		switch {
+		case f.Rule == "droppederr" && f.Suppressed:
+			suppressedReasons = append(suppressedReasons, f.SuppressReason)
+		case f.Rule == "droppederr":
+			unsuppressedDropped++
+		case f.Rule == "nanolint":
+			malformed++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	sort.Strings(suppressedReasons)
+	wantReasons := []string{"line-above fixture justification", "same-line fixture justification"}
+	if len(suppressedReasons) != len(wantReasons) {
+		t.Fatalf("suppressed reasons = %q, want %q", suppressedReasons, wantReasons)
+	}
+	for i, want := range wantReasons {
+		if suppressedReasons[i] != want {
+			t.Errorf("suppressed reason %d = %q, want %q", i, suppressedReasons[i], want)
+		}
+	}
+	// MissingReason, WrongVerb, and WrongRule all leave their droppederr
+	// finding standing.
+	if unsuppressedDropped != 3 {
+		t.Errorf("unsuppressed droppederr findings = %d, want 3", unsuppressedDropped)
+	}
+	// The missing-reason and wrong-verb directives are malformed.
+	if malformed != 2 {
+		t.Errorf("malformed directive findings = %d, want 2", malformed)
+	}
+}
+
+// TestByName checks rule-subset resolution.
+func TestByName(t *testing.T) {
+	azs, err := ByName([]string{"floateq", "libpanic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(azs) != 2 || azs[0].Name != "floateq" || azs[1].Name != "libpanic" {
+		t.Errorf("ByName returned %v", azs)
+	}
+	if _, err := ByName([]string{"nosuchrule"}); err == nil {
+		t.Error("ByName(nosuchrule) returned nil error")
+	}
+}
+
+// TestRepoClean is the self-gate: the module's own packages must carry zero
+// unsuppressed findings. If this fails, fix the offending code or add a
+// justified //nanolint:ignore directive.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Unsuppressed(findings) {
+		t.Errorf("%s", f)
+	}
+}

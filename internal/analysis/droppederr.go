@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// droppedErrExcluded lists callees (by types.Func.FullName) whose error
+// results may be discarded: terminal writes to stdout, and the in-memory
+// writers documented to never fail.
+var droppedErrExcluded = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteString": true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteString":    true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+}
+
+// droppedErrExcludedWriters are fmt.Fprint* first-argument types whose
+// writes cannot fail (in-memory buffers), or that buffer until Flush — for
+// the tabwriter, errors surface at Flush, which stays checked.
+var droppedErrExcludedWriters = map[string]bool{
+	"*strings.Builder":       true,
+	"*bytes.Buffer":          true,
+	"*text/tabwriter.Writer": true,
+}
+
+// isStdStream reports whether the expression is exactly the os.Stdout or
+// os.Stderr variable. Like fmt.Print*, a failed terminal write has no
+// recovery path, so fmt.Fprint*(os.Stderr, ...) may discard its error.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return false
+	}
+	return v.Name() == "Stdout" || v.Name() == "Stderr"
+}
+
+// DroppedErr returns the droppederr analyzer: error-returning calls whose
+// result is discarded via `_` or a bare call statement.
+func DroppedErr() *Analyzer {
+	return &Analyzer{
+		Name: "droppederr",
+		Doc: "flags calls whose error result is discarded via _ or a bare " +
+			"call statement in non-test code",
+		Run: runDroppedErr,
+	}
+}
+
+func runDroppedErr(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok || !callReturnsError(info, call) || excludedCallee(info, call) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"result of %s contains an error that is silently discarded; handle it or assign it",
+					calleeName(info, call))
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankErrAssign flags `_ = f()` / `x, _ := g()` where the blanked
+// value is an error produced by a call.
+func checkBlankErrAssign(pass *Pass, stmt *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	// Multi-value form: x, _ := g().
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok || excludedCallee(info, call) {
+			return
+		}
+		tuple, ok := info.Types[call].Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range stmt.Lhs {
+			if isBlank(lhs) && i < tuple.Len() && types.Identical(tuple.At(i).Type(), errorType) {
+				pass.Reportf(lhs.Pos(),
+					"error result of %s is discarded with _; handle it",
+					calleeName(info, call))
+			}
+		}
+		return
+	}
+	// Parallel form: _ = f(), a, _ = f(), g().
+	if len(stmt.Rhs) != len(stmt.Lhs) {
+		return
+	}
+	for i, lhs := range stmt.Lhs {
+		if !isBlank(lhs) {
+			continue
+		}
+		call, ok := ast.Unparen(stmt.Rhs[i]).(*ast.CallExpr)
+		if !ok || excludedCallee(info, call) {
+			continue
+		}
+		if tv, ok := info.Types[call]; ok && tv.Type != nil && types.Identical(tv.Type, errorType) {
+			pass.Reportf(lhs.Pos(),
+				"error result of %s is discarded with _; handle it",
+				calleeName(info, call))
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callReturnsError reports whether any result of the call is exactly the
+// error type.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// calleeFunc resolves the called function, if it is a statically known
+// function or method.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if f := calleeFunc(info, call); f != nil {
+		return f.FullName()
+	}
+	return "call"
+}
+
+func excludedCallee(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	name := f.FullName()
+	if droppedErrExcluded[name] {
+		return true
+	}
+	switch name {
+	case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+		if len(call.Args) > 0 {
+			if isStdStream(info, call.Args[0]) {
+				return true
+			}
+			if tv, ok := info.Types[call.Args[0]]; ok && tv.Type != nil &&
+				droppedErrExcludedWriters[tv.Type.String()] {
+				return true
+			}
+		}
+	}
+	return false
+}

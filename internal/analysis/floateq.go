@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// floatEqApproved matches names of tolerance helpers inside which direct
+// float comparison is the point (they implement the approximation).
+var floatEqApproved = regexp.MustCompile(`(?i)approx|almost|near|within|toler|close`)
+
+// FloatEq returns the floateq analyzer: direct ==/!= between
+// floating-point expressions outside approved tolerance helpers. Exact
+// comparison is only sound for sentinel checks (unchanged value, exact
+// zero guard), which must be suppressed with a justification.
+func FloatEq() *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc: "flags direct ==/!= between floating-point expressions outside " +
+			"approved tolerance helpers",
+		Run: runFloatEq,
+	}
+}
+
+func runFloatEq(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		funcs := fileFuncRanges(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := info.Types[cmp.X], info.Types[cmp.Y]
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant-folded: evaluated at compile time
+			}
+			if name := enclosingFunc(funcs, cmp.Pos()); floatEqApproved.MatchString(name) {
+				return true
+			}
+			pass.Reportf(cmp.Pos(),
+				"direct floating-point %s comparison; use a tolerance helper, or suppress with a justification if an exact sentinel is intended",
+				cmp.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// funcRange locates one function declaration's extent, for attributing
+// expressions to their enclosing function by position.
+type funcRange struct {
+	name     string
+	pos, end token.Pos
+}
+
+func fileFuncRanges(file *ast.File) []funcRange {
+	var out []funcRange
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, funcRange{fd.Name.Name, fd.Pos(), fd.End()})
+		}
+	}
+	return out
+}
+
+func enclosingFunc(funcs []funcRange, pos token.Pos) string {
+	for _, f := range funcs {
+		if f.pos <= pos && pos < f.end {
+			return f.name
+		}
+	}
+	return ""
+}

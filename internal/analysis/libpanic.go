@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LibPanic returns the libpanic analyzer: panic(...) sites in internal/
+// library packages that are reachable from an exported API. Library code
+// should return errors; panics are acceptable only in cmd/ main packages,
+// test helpers, and Must*-style helpers whose documented contract is to
+// panic.
+func LibPanic() *Analyzer {
+	return &Analyzer{
+		Name: "libpanic",
+		Doc: "flags panic(...) reachable from exported library APIs in " +
+			"internal/ packages; library code should return errors",
+		Run: runLibPanic,
+	}
+}
+
+func runLibPanic(pass *Pass) error {
+	if !strings.Contains(pass.Pkg.ImportPath, "/internal/") {
+		return nil
+	}
+	info := pass.Pkg.Info
+
+	// Collect function declarations, panic sites, and a conservative
+	// intra-package call graph: any use of a package function inside
+	// another's body (call or function value) is an edge.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	panics := map[*types.Func][]ast.Node{}
+	edges := map[*types.Func][]*types.Func{}
+	for fn, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch obj := info.Uses[id].(type) {
+			case *types.Builtin:
+				if obj.Name() == "panic" {
+					panics[fn] = append(panics[fn], id)
+				}
+			case *types.Func:
+				if _, local := decls[obj]; local {
+					edges[fn] = append(edges[fn], obj)
+				}
+			}
+			return true
+		})
+	}
+
+	// Entry points: exported functions and methods, init functions, and
+	// functions referenced from package-level variable initializers (those
+	// run on import, before any caller can recover).
+	type entry struct {
+		fn    *types.Func
+		label string
+	}
+	var entries []entry
+	for fn, fd := range decls {
+		if fd.Name.IsExported() {
+			entries = append(entries, entry{fn, "exported " + fn.Name()})
+		} else if fd.Name.Name == "init" && fd.Recv == nil {
+			entries = append(entries, entry{fn, "package init"})
+		}
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					ast.Inspect(val, func(n ast.Node) bool {
+						id, ok := n.(*ast.Ident)
+						if !ok {
+							return true
+						}
+						if fn, ok := info.Uses[id].(*types.Func); ok {
+							if _, local := decls[fn]; local {
+								entries = append(entries, entry{fn, "package variable initialisation"})
+							}
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+
+	// BFS, remembering which entry first reaches each function.
+	reachedVia := map[*types.Func]string{}
+	var queue []*types.Func
+	for _, e := range entries {
+		if _, ok := reachedVia[e.fn]; !ok {
+			reachedVia[e.fn] = e.label
+			queue = append(queue, e.fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range edges[fn] {
+			if _, ok := reachedVia[callee]; !ok {
+				reachedVia[callee] = reachedVia[fn]
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for fn, sites := range panics {
+		label, reachable := reachedVia[fn]
+		if !reachable || isMustHelper(fn.Name()) {
+			continue
+		}
+		for _, site := range sites {
+			pass.Reportf(site.Pos(),
+				"panic in %s is reachable from %s; library code should return an error",
+				fn.Name(), label)
+		}
+	}
+	return nil
+}
+
+// isMustHelper reports whether the function follows the Must* convention,
+// whose documented contract is to panic on error.
+func isMustHelper(name string) bool {
+	return strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must")
+}

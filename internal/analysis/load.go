@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, the unit handed to
+// analyzers. Test files (*_test.go) are excluded: the rules target library
+// and command code, and test expectations legitimately re-type constants
+// and compare exact floats.
+type Package struct {
+	// ImportPath is the full import path, e.g. "nanobus/internal/energy".
+	ImportPath string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Fset positions all files of this package.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's resolution results.
+	Info *types.Info
+}
+
+// PathTail returns the last element of the package's import path.
+func (p *Package) PathTail() string {
+	if i := strings.LastIndexByte(p.ImportPath, '/'); i >= 0 {
+		return p.ImportPath[i+1:]
+	}
+	return p.ImportPath
+}
+
+// Loader parses and type-checks packages of a single module using only the
+// standard library: module-local imports are resolved from source under the
+// module root, and standard-library imports are type-checked from GOROOT
+// source (importer.ForCompiler "source"), so no export data or network
+// access is needed.
+type Loader struct {
+	fset       *token.FileSet
+	modulePath string
+	moduleDir  string
+	std        types.Importer
+	pkgs       map[string]*Package
+	loading    map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module directory containing
+// go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePathOf(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		modulePath: modPath,
+		moduleDir:  abs,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// ModuleDir returns the loader's module root directory.
+func (l *Loader) ModuleDir() string { return l.moduleDir }
+
+// ModulePath returns the module path declared in go.mod.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+func modulePathOf(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", dir)
+}
+
+// LoadDir loads the package rooted at dir, which may be absolute or
+// relative to the module directory.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs := dir
+	if !filepath.IsAbs(abs) {
+		abs = filepath.Join(l.moduleDir, dir)
+	}
+	abs = filepath.Clean(abs)
+	rel, err := filepath.Rel(l.moduleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.moduleDir)
+	}
+	path := l.modulePath
+	if rel != "." {
+		path += "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path, abs)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	p := &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Import implements types.Importer: module-local paths load from source
+// under the module root, everything else falls back to the GOROOT source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+		dir := l.moduleDir
+		if rel != "" {
+			dir = filepath.Join(l.moduleDir, filepath.FromSlash(rel))
+		}
+		p, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// goFilesIn lists the non-test Go files of dir, sorted.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ExpandPatterns resolves go-style package patterns relative to the module
+// directory: "dir/..." walks dir recursively collecting every directory
+// that contains non-test Go files (skipping testdata, results, and hidden
+// directories, like the go tool), while a plain pattern names one package
+// directory — so testdata fixture packages can still be named explicitly.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" || root == "." {
+			root = l.moduleDir
+		} else if !filepath.IsAbs(root) {
+			root = filepath.Join(l.moduleDir, root)
+		}
+		if !recursive {
+			add(filepath.Clean(root))
+			continue
+		}
+		err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "results" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			files, err := goFilesIn(p)
+			if err != nil {
+				return err
+			}
+			if len(files) > 0 {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: expanding %q: %w", pat, err)
+		}
+	}
+	return dirs, nil
+}

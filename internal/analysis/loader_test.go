@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// sharedLoader memoizes one loader (and hence one type-checked view of the
+// module and the standard library) across all tests in this package.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	return NewLoader(root)
+})
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return l
+}
+
+func TestLoaderLoadsModulePackage(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.LoadDir("internal/units")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg.ImportPath != "nanobus/internal/units" {
+		t.Errorf("import path = %q", pkg.ImportPath)
+	}
+	if pkg.Types.Scope().Lookup("Eps0") == nil {
+		t.Errorf("units.Eps0 not found in type-checked package")
+	}
+	if pkg.PathTail() != "units" {
+		t.Errorf("PathTail = %q", pkg.PathTail())
+	}
+}
+
+func TestLoaderResolvesInternalImports(t *testing.T) {
+	l := testLoader(t)
+	// itrs imports nanobus/internal/units and the stdlib (fmt, math, sort).
+	pkg, err := l.LoadDir("internal/itrs")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg.Types.Scope().Lookup("N130") == nil {
+		t.Errorf("itrs.N130 not found")
+	}
+}
+
+func TestExpandPatterns(t *testing.T) {
+	l := testLoader(t)
+	dirs, err := l.ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	want := map[string]bool{
+		l.ModuleDir(): true, // root package
+		filepath.Join(l.ModuleDir(), "internal", "energy"): true,
+		filepath.Join(l.ModuleDir(), "cmd", "nanobus"):     true,
+	}
+	got := map[string]bool{}
+	for _, d := range dirs {
+		got[d] = true
+		if filepath.Base(filepath.Dir(d)) == "testdata" || filepath.Base(d) == "testdata" {
+			t.Errorf("ExpandPatterns(./...) included testdata dir %s", d)
+		}
+	}
+	for d := range want {
+		if !got[d] {
+			t.Errorf("ExpandPatterns(./...) missing %s", d)
+		}
+	}
+	// Explicit non-recursive patterns may name testdata packages.
+	dirs, err = l.ExpandPatterns([]string{"internal/units"})
+	if err != nil || len(dirs) != 1 {
+		t.Fatalf("ExpandPatterns(internal/units) = %v, %v", dirs, err)
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"math"
+	"strconv"
+	"strings"
+
+	"nanobus/internal/itrs"
+	"nanobus/internal/units"
+)
+
+// magicTol is the relative tolerance within which a literal counts as a
+// re-typed copy of a named constant.
+const magicTol = 1e-9
+
+// magicTargets are the model packages (by final import-path element) whose
+// arithmetic must reference the named constants in internal/units and
+// internal/itrs instead of re-typed literals.
+var magicTargets = map[string]bool{
+	"energy":   true,
+	"thermal":  true,
+	"capmodel": true,
+	"delay":    true,
+	"repeater": true,
+	"fdm":      true,
+}
+
+// namedConst is one entry of the known-constant table.
+type namedConst struct {
+	// ref is how call sites should spell the constant.
+	ref string
+	val float64
+}
+
+// magicTable lists the named constants a literal may illegally duplicate.
+// Curated units entries are always included; ITRS Table-1 values are
+// filtered to "distinctive" magnitudes so that common coefficients (0.5,
+// 1.0, a bare 2) never match.
+func magicTable() []namedConst {
+	consts := []namedConst{
+		{"units.Eps0", units.Eps0},
+		{"units.RhoCopper", units.RhoCopper},
+		{"units.CvCopper", units.CvCopper},
+		{"units.KCopper", units.KCopper},
+		{"units.AmbientK", units.AmbientK},
+		{"units.ZeroCelsiusK", units.ZeroCelsiusK},
+		{"units.CrepPerCint", units.CrepPerCint},
+		{"units.ElmoreDistributed", units.ElmoreDistributed},
+		{"units.ElmoreLumped", units.ElmoreLumped},
+	}
+	for _, n := range itrs.Nodes() {
+		name := "itrs.N" + strconv.Itoa(n.FeatureNm)
+		for _, field := range []struct {
+			name string
+			val  float64
+		}{
+			{"WireWidth", n.WireWidth},
+			{"WireThickness", n.WireThickness},
+			{"ILDHeight", n.ILDHeight},
+			{"ClockHz", n.ClockHz},
+			{"JMax", n.JMax},
+			{"CLine", n.CLine},
+			{"CInter", n.CInter},
+			{"RWire", n.RWire},
+		} {
+			if distinctive(field.val) {
+				consts = append(consts, namedConst{name + "." + field.name, field.val})
+			}
+		}
+	}
+	return consts
+}
+
+// distinctive reports whether a value is unusual enough that an exact match
+// is overwhelmingly likely to be a re-typed copy rather than coincidence:
+// at least three significant decimal digits, or a magnitude outside
+// [1e-2, 1e2] that is not an exact power of ten.
+func distinctive(v float64) bool {
+	a := math.Abs(v)
+	if a == 0 { //nanolint:ignore floateq exact-zero guard before Log10; a zero literal has no magnitude
+		return false
+	}
+	digits := strings.TrimLeft(strconv.FormatFloat(a, 'e', -1, 64), "0.")
+	if i := strings.IndexByte(digits, 'e'); i >= 0 {
+		digits = digits[:i]
+	}
+	digits = strings.ReplaceAll(digits, ".", "")
+	digits = strings.TrimRight(digits, "0")
+	if len(digits) >= 3 {
+		return true
+	}
+	if a >= 1e-2 && a <= 1e2 {
+		return false
+	}
+	exp := math.Log10(a)
+	// Powers of ten are generic scale factors, not paper values.
+	//nanolint:ignore floateq integer-valued Log10 exactly identifies powers of ten
+	return exp != math.Trunc(exp)
+}
+
+// MagicConst returns the magicconst analyzer: float literals in the model
+// packages that duplicate (within 1e-9 relative tolerance) a named constant
+// exported from internal/units or internal/itrs.
+func MagicConst() *Analyzer {
+	return &Analyzer{
+		Name: "magicconst",
+		Doc: "flags float literals in internal/{energy,thermal,capmodel,delay,repeater,fdm} " +
+			"that re-type a named constant from internal/units or internal/itrs",
+		Run: runMagicConst,
+	}
+}
+
+func runMagicConst(pass *Pass) error {
+	if !magicTargets[pass.Pkg.PathTail()] {
+		return nil
+	}
+	table := magicTable()
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.FLOAT {
+				return true
+			}
+			v, err := strconv.ParseFloat(strings.ReplaceAll(lit.Value, "_", ""), 64)
+			if err != nil {
+				return true
+			}
+			for _, c := range table {
+				if math.Abs(v-c.val) <= magicTol*math.Abs(c.val) {
+					pass.Reportf(lit.Pos(),
+						"float literal %s duplicates %s = %g; use the named constant",
+						lit.Value, c.ref, c.val)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. The full form is
+//
+//	//nanolint:ignore <rule> <reason...>
+//
+// placed either at the end of the offending line or on its own line
+// directly above it. The reason is mandatory: a suppression without a
+// justification is itself reported.
+const directivePrefix = "//nanolint:"
+
+// suppressionSet indexes a package's directives by file and line.
+type suppressionSet struct {
+	// byLine maps filename -> line -> rule -> reason. A directive on line
+	// L covers findings on L (trailing comment) and L+1 (comment above).
+	byLine    map[string]map[int]map[string]string
+	malformed []Finding
+}
+
+func collectSuppressions(pkg *Package) *suppressionSet {
+	s := &suppressionSet{byLine: map[string]map[int]map[string]string{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				s.add(pos, rest)
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressionSet) add(pos token.Position, rest string) {
+	fields := strings.Fields(rest)
+	bad := func(msg string) {
+		s.malformed = append(s.malformed, Finding{
+			Pos:     pos,
+			Rule:    "nanolint",
+			Message: msg,
+		})
+	}
+	if len(fields) == 0 || fields[0] != "ignore" {
+		bad("malformed nanolint directive: expected //nanolint:ignore <rule> <reason>")
+		return
+	}
+	if len(fields) < 2 {
+		bad("nanolint:ignore directive is missing the rule name")
+		return
+	}
+	if len(fields) < 3 {
+		bad("nanolint:ignore directive needs a justification: //nanolint:ignore " + fields[1] + " <reason>")
+		return
+	}
+	rule := fields[1]
+	reason := strings.Join(fields[2:], " ")
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		lines = map[int]map[string]string{}
+		s.byLine[pos.Filename] = lines
+	}
+	rules := lines[pos.Line]
+	if rules == nil {
+		rules = map[string]string{}
+		lines[pos.Line] = rules
+	}
+	rules[rule] = reason
+}
+
+// match reports whether a directive covers the finding, returning its
+// reason.
+func (s *suppressionSet) match(f Finding) (string, bool) {
+	lines := s.byLine[f.Pos.Filename]
+	if lines == nil {
+		return "", false
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		if reason, ok := lines[line][f.Rule]; ok {
+			return reason, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,42 @@
+// Package droppederr is a nanolint test fixture for the droppederr rule.
+// Trailing "// want <rule>" markers are the expected unsuppressed findings.
+package droppederr
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func value() (int, error) { return 0, errors.New("boom") }
+
+// Bad discards errors every way the rule knows about.
+func Bad() {
+	fail()          // want droppederr
+	_ = fail()      // want droppederr
+	n, _ := value() // want droppederr
+	_ = n
+}
+
+// Handled shows the accepted forms.
+func Handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	n, err := value()
+	_ = n
+	return err
+}
+
+// Excluded calls may drop their error results: terminal writes have no
+// recovery path and in-memory writers never fail.
+func Excluded() {
+	fmt.Println("ok")
+	fmt.Fprintln(os.Stderr, "terminal")
+	var b strings.Builder
+	fmt.Fprintf(&b, "buffered")
+	b.WriteString("never fails")
+}

@@ -1,0 +1,28 @@
+// Package energy is a nanolint test fixture for the magicconst rule: its
+// import-path tail matches a model package, and it re-types physics
+// constants that have canonical names in internal/units and internal/itrs.
+// Trailing "// want <rule>" markers are the expected unsuppressed findings.
+package energy
+
+// Eps0 re-types the permittivity of free space.
+const Eps0 = 8.8541878128e-12 // want magicconst
+
+// Table1 re-types an ITRS Table-1 value (130 nm line capacitance, F/m).
+const Table1 = 4.406e-11 // want magicconst
+
+// Scaled mixes a re-typed resistivity and ambient temperature into
+// otherwise innocent arithmetic.
+func Scaled(x float64) float64 {
+	rho := 2.2e-8     // want magicconst
+	ambient := 318.15 // want magicconst
+	return rho*x + ambient
+}
+
+// Generic coefficients must not match: too few significant digits, ordinary
+// magnitude, or an exact power of ten.
+func Generic(x float64) float64 {
+	return 0.5*x + 2.0*x + 1e-12*x + 42.0
+}
+
+// NearMiss is outside the 1e-9 relative tolerance of units.AmbientK.
+const NearMiss = 318.151

@@ -1,0 +1,42 @@
+// Package floateq is a nanolint test fixture for the floateq rule.
+// Trailing "// want <rule>" markers are the expected unsuppressed findings.
+package floateq
+
+// Equal compares floats directly outside any tolerance helper.
+func Equal(a, b float64) bool {
+	return a == b // want floateq
+}
+
+// ZeroSentinel is the ==0 form; exact sentinels must be suppressed, not
+// silently allowed.
+func ZeroSentinel(a float64) bool {
+	return a != 0 // want floateq
+}
+
+// Mixed flags float32 too.
+func Mixed(a, b float32) bool {
+	return a == b // want floateq
+}
+
+// almostEqual is an approved tolerance helper: direct comparison inside it
+// is the point.
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// ConstFolded comparisons evaluate at compile time; no finding.
+func ConstFolded() bool {
+	const x = 0.1
+	const y = 0.2
+	return x+x == y
+}
+
+// Ints are not floats.
+func Ints(a, b int) bool { return a == b }

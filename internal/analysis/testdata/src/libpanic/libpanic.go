@@ -1,0 +1,47 @@
+// Package libpanic is a nanolint test fixture for the libpanic rule; its
+// import path sits under internal/, so panics reachable from exported APIs
+// are findings. Trailing "// want <rule>" markers are the expected
+// unsuppressed findings.
+package libpanic
+
+// Exported panics directly.
+func Exported(x int) int {
+	if x < 0 {
+		panic("negative input") // want libpanic
+	}
+	return x
+}
+
+// Public reaches a panic through an unexported helper.
+func Public() { helper() }
+
+func helper() {
+	panic("reached via Public") // want libpanic
+}
+
+// table's initializer runs on import, before any caller could recover.
+var table = buildTable()
+
+func buildTable() []int {
+	if len(defaults) == 0 {
+		panic("empty defaults") // want libpanic
+	}
+	return defaults
+}
+
+var defaults = []int{1, 2, 3}
+
+// orphan is referenced by nothing exported; its panic is unreachable from
+// the package API and not reported.
+func orphan() {
+	panic("unreachable")
+}
+
+// MustPositive follows the Must* convention whose documented contract is to
+// panic; exempt.
+func MustPositive(x int) int {
+	if x <= 0 {
+		panic("not positive")
+	}
+	return x
+}

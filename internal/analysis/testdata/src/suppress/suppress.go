@@ -1,0 +1,37 @@
+// Package suppress is a nanolint test fixture for the suppression
+// directive: same-line and line-above placement, and the malformed forms
+// that are themselves reported. TestSuppressionDirectives asserts against
+// this file by line number, so keep edits appends.
+package suppress
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+// SameLine carries the directive at the end of the offending line.
+func SameLine() {
+	fail() //nanolint:ignore droppederr same-line fixture justification
+}
+
+// LineAbove carries the directive on its own line directly above.
+func LineAbove() {
+	//nanolint:ignore droppederr line-above fixture justification
+	fail()
+}
+
+// MissingReason omits the mandatory justification: the directive is
+// malformed and the finding stays unsuppressed.
+func MissingReason() {
+	fail() //nanolint:ignore droppederr
+}
+
+// WrongVerb uses an unknown directive verb.
+func WrongVerb() {
+	fail() //nanolint:fixme droppederr some reason
+}
+
+// WrongRule suppresses a rule that did not fire here; the droppederr
+// finding stays unsuppressed.
+func WrongRule() {
+	fail() //nanolint:ignore floateq misdirected justification
+}

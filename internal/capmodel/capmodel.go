@@ -102,7 +102,7 @@ func (d DecayModel) Validate() error {
 	if len(d.Ratios) == 0 {
 		return fmt.Errorf("capmodel: empty decay model")
 	}
-	if d.Ratios[0] != 1 {
+	if d.Ratios[0] != 1 { //nanolint:ignore floateq the decay table's distance-1 entry is defined to be exactly 1
 		return fmt.Errorf("capmodel: decay at distance 1 is %g, want 1", d.Ratios[0])
 	}
 	for i := 1; i < len(d.Ratios); i++ {

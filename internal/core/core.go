@@ -97,6 +97,10 @@ type Simulator struct {
 	totalEnergy energy.LineEnergy
 	lineTotals  []energy.LineEnergy
 	cycles      uint64
+
+	// err is the first error hit while flushing an interval; sticky, and
+	// surfaced by Finish and Err.
+	err error
 }
 
 // New builds a Simulator.
@@ -109,7 +113,7 @@ func New(cfg Config) (*Simulator, error) {
 		enc = encoding.NewUnencoded()
 	}
 	length := cfg.Length
-	if length == 0 {
+	if length == 0 { //nanolint:ignore floateq zero means the option was left unset; configured lengths are nonzero
 		length = DefaultLength
 	}
 	if length < 0 {
@@ -220,9 +224,15 @@ func (s *Simulator) flush(n uint64) {
 	s.totalEnergy.CoupNonAdj += tot.CoupNonAdj
 
 	if err := s.net.Advance(dt, s.power); err != nil {
-		// The network is sized to the bus and dt > 0; errors are
-		// programming bugs.
-		panic(err)
+		// The network is sized to the bus and dt > 0, so this indicates a
+		// programming bug; record it sticky and stop sampling rather than
+		// take the library down.
+		if s.err == nil {
+			s.err = fmt.Errorf("core: thermal advance: %w", err)
+		}
+		s.acc.Reset()
+		s.cycleInInterval = 0
+		return
 	}
 	maxT, maxW := s.net.MaxTemp()
 	sample := Sample{
@@ -248,12 +258,19 @@ func (s *Simulator) flush(n uint64) {
 	s.cycleInInterval = 0
 }
 
-// Finish closes any partial interval; call once after the last cycle.
-func (s *Simulator) Finish() {
+// Finish closes any partial interval; call once after the last cycle. It
+// returns the first error the simulator hit while flushing intervals, if
+// any (also available via Err).
+func (s *Simulator) Finish() error {
 	if s.cycleInInterval > 0 {
 		s.flush(s.cycleInInterval)
 	}
+	return s.err
 }
+
+// Err returns the first error recorded during stepping, or nil. Once an
+// error is recorded the simulator stops emitting samples.
+func (s *Simulator) Err() error { return s.err }
 
 // Samples returns the retained interval samples.
 func (s *Simulator) Samples() []Sample { return s.samples }
@@ -307,8 +324,12 @@ func RunPair(src trace.Source, ia, da *Simulator, maxCycles uint64) (PairResult,
 			da.StepIdle()
 		}
 	}
-	ia.Finish()
-	da.Finish()
+	if err := ia.Finish(); err != nil {
+		return PairResult{}, err
+	}
+	if err := da.Finish(); err != nil {
+		return PairResult{}, err
+	}
 	return PairResult{IA: ia, DA: da, Cycles: n}, nil
 }
 
@@ -342,6 +363,8 @@ func RunSingle(src trace.Source, sim *Simulator, kind string, maxCycles uint64) 
 			return n, fmt.Errorf("core: unknown bus kind %q", kind)
 		}
 	}
-	sim.Finish()
+	if err := sim.Finish(); err != nil {
+		return n, err
+	}
 	return n, nil
 }

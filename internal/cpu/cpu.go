@@ -251,7 +251,7 @@ func (c *CPU) Step() (Event, error) {
 	case isa.OpFmax:
 		c.FRegs[in.Rd] = float32(math.Max(float64(c.FRegs[in.Rs1]), float64(c.FRegs[in.Rs2])))
 	case isa.OpFeq:
-		setR(in.Rd, b2u(c.FRegs[in.Rs1] == c.FRegs[in.Rs2]))
+		setR(in.Rd, b2u(c.FRegs[in.Rs1] == c.FRegs[in.Rs2])) //nanolint:ignore floateq Feq implements the ISA's IEEE-754 equality semantics
 	case isa.OpFlt:
 		setR(in.Rd, b2u(c.FRegs[in.Rs1] < c.FRegs[in.Rs2]))
 	case isa.OpFcvtws:

@@ -48,8 +48,8 @@ func DelayAt(node itrs.Node, length, tempK float64) (hot, ref float64, err error
 	segs := math.Max(1, math.Round(plan.CountK))
 	cseg := node.CTotal() * length / segs
 	rseg := node.RWire * scale * length / segs
-	segDelay := 0.7*(inv.R0/plan.SizeH)*(cseg+plan.SizeH*inv.C0) +
-		0.4*rseg*cseg + 0.7*rseg*plan.SizeH*inv.C0
+	segDelay := units.ElmoreLumped*(inv.R0/plan.SizeH)*(cseg+plan.SizeH*inv.C0) +
+		units.ElmoreDistributed*rseg*cseg + units.ElmoreLumped*rseg*plan.SizeH*inv.C0
 	return segs * segDelay, ref, nil
 }
 

@@ -29,12 +29,12 @@ func (m *Model) WholeBusTransition(prev, cur uint64) (float64, error) {
 	}
 	total := 0.0
 	for i := 0; i < n; i++ {
-		if v[i] != 0 {
+		if v[i] != 0 { //nanolint:ignore floateq sparsity skip: an exactly zero swing dissipates nothing
 			total += 0.5 * m.selfCap[i] * v[i] * v[i]
 		}
 		for j := i + 1; j < n; j++ {
 			d := v[i] - v[j]
-			if d != 0 {
+			if d != 0 { //nanolint:ignore floateq sparsity skip: an exactly zero differential swing dissipates nothing
 				total += 0.5 * m.coup[i][j] * d * d
 			}
 		}

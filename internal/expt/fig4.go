@@ -223,7 +223,7 @@ func Fig5(opts Fig5Options) (*Fig5Result, error) {
 		if s.EndCycle <= idleStart {
 			res.TempBeforeIdle = s.MaxTemp
 		}
-		if res.TempAfterIdle == 0 && s.EndCycle >= idleStart+idleLen {
+		if res.TempAfterIdle == 0 && s.EndCycle >= idleStart+idleLen { //nanolint:ignore floateq zero kelvin is the not-yet-recorded sentinel; physical temperatures are positive
 			res.TempAfterIdle = s.MaxTemp
 		}
 	}

@@ -124,9 +124,11 @@ func L2Bus(opts L2BusOptions) (*L2BusResult, error) {
 			l2.StepIdle()
 		}
 	}
-	ia.Finish()
-	da.Finish()
-	l2.Finish()
+	for _, sim := range []*core.Simulator{ia, da, l2} {
+		if err := sim.Finish(); err != nil {
+			return nil, err
+		}
+	}
 
 	return &L2BusResult{
 		Benchmark:   benchName,
@@ -215,7 +217,9 @@ func Substrate(benchName string, node itrs.Node, cycles, periodCycles uint64, sw
 				}
 			}
 		}
-		sim.Finish()
+		if err := sim.Finish(); err != nil {
+			return 0, err
+		}
 		if t, _ := sim.Network().MaxTemp(); t > peak {
 			peak = t
 		}

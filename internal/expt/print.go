@@ -10,7 +10,7 @@ import (
 )
 
 // PrintTable1 renders the Table 1 reproduction.
-func PrintTable1(w io.Writer, rows []Table1Row) {
+func PrintTable1(w io.Writer, rows []Table1Row) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "parameter\t"+strings.Join(nodeNames(rows), "\t"))
 	p := func(label, format string, f func(Table1Row) interface{}) {
@@ -43,7 +43,7 @@ func PrintTable1(w io.Writer, rows []Table1Row) {
 	p("C_th (mJ/K·m)", "%.2f", func(r Table1Row) interface{} { return r.HeatCapacity * 1e3 })
 	p("tau (ms)", "%.1f", func(r Table1Row) interface{} { return r.TimeConstantMS })
 	p("Δθ inter-layer (K)", "%.1f", func(r Table1Row) interface{} { return r.InterLayerRise })
-	tw.Flush()
+	return tw.Flush()
 }
 
 func nodeNames(rows []Table1Row) []string {
@@ -55,7 +55,7 @@ func nodeNames(rows []Table1Row) []string {
 }
 
 // PrintFig1B renders the capacitance-distribution table.
-func PrintFig1B(w io.Writer, rows []Fig1BRow) {
+func PrintFig1B(w io.Writer, rows []Fig1BRow) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "node\tCgnd%\tCC1%\tCC2%\tCC3%\tCCrest%\tnon-adjacent%")
 	for _, r := range rows {
@@ -64,11 +64,11 @@ func PrintFig1B(w io.Writer, rows []Fig1BRow) {
 			r.Node.Name, 100*d.CgndFrac, 100*d.CC[0], 100*d.CC[1],
 			100*d.CC[2], 100*d.CCRest, 100*d.NonAdjacentFrac())
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // PrintSec33 renders the non-adjacent underestimation study.
-func PrintSec33(w io.Writer, rows []Sec33Row) {
+func PrintSec33(w io.Writer, rows []Sec33Row) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "node\tmiddle underestimate%\tE(centre-dip) J\tE(alternating) J\tmid share dip\tmid share alt")
 	for _, r := range rows {
@@ -77,23 +77,23 @@ func PrintSec33(w io.Writer, rows []Sec33Row) {
 			r.ThermalWorstTotal, r.EnergyWorstTotal,
 			r.MiddleShareThermalWorst, r.MiddleShareEnergyWorst)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // PrintFig3 renders the Fig. 3 energy bars (mean rows by default; pass all
 // cells to include per-benchmark detail).
-func PrintFig3(w io.Writer, cells []Fig3Cell) {
+func PrintFig3(w io.Writer, cells []Fig3Cell) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "bus\tnode\tscheme\tbenchmark\tSelf (J)\tNN (J)\tAll (J)\tcycles")
 	for _, c := range cells {
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.4g\t%.4g\t%.4g\t%d\n",
 			c.Bus, c.Node, c.Scheme, c.Benchmark, c.Self, c.NN, c.All, c.Cycles)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // PrintFig4Summary renders the per-series summary lines.
-func PrintFig4Summary(w io.Writer, series []Fig4Series) {
+func PrintFig4Summary(w io.Writer, series []Fig4Series) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\tbus\tnode\tintervals\tmean E/interval (J)\tE fluct (cv)\tavg T final (K)\tmax T final (K)")
 	for _, s := range series {
@@ -106,7 +106,7 @@ func PrintFig4Summary(w io.Writer, series []Fig4Series) {
 			s.Benchmark, s.Bus, s.Node, s.Energy.N,
 			s.Energy.Mean, s.Energy.CoefficientVar, finalAvg, finalMax)
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
 // WriteFig4CSV streams one series as CSV (cycle, energy, avgK, maxK).

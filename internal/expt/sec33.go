@@ -55,7 +55,7 @@ func Sec33(opts Sec33Options, nodes ...itrs.Node) ([]Sec33Row, error) {
 		return nil, fmt.Errorf("expt: sec33 needs >= 3 wires, got %d", wires)
 	}
 	length := opts.Length
-	if length == 0 {
+	if length == 0 { //nanolint:ignore floateq zero means the option was left unset
 		length = 0.01
 	}
 	mid := wires / 2

@@ -123,7 +123,10 @@ func Extract(conductors []geometry.Conductor, epsRel float64, opts Options) (*Re
 	// Potential coefficient matrix: P[i][j] = potential at panel i's
 	// midpoint due to unit line-charge density on panel j, including the
 	// negative image below the ground plane.
-	p := linalg.NewMatrix(n, n)
+	p, err := linalg.NewMatrix(n, n)
+	if err != nil {
+		return nil, fmt.Errorf("extract: potential matrix: %w", err)
+	}
 	for i := 0; i < n; i++ {
 		obs := panels[i].Midpoint()
 		row := p.Row(i)
@@ -143,7 +146,10 @@ func Extract(conductors []geometry.Conductor, epsRel float64, opts Options) (*Re
 	}
 
 	nc := len(conductors)
-	maxwell := linalg.NewMatrix(nc, nc)
+	maxwell, err := linalg.NewMatrix(nc, nc)
+	if err != nil {
+		return nil, fmt.Errorf("extract: maxwell matrix: %w", err)
+	}
 	names := make([]string, nc)
 	for ci, c := range conductors {
 		names[ci] = c.Name
@@ -175,7 +181,7 @@ func Extract(conductors []geometry.Conductor, epsRel float64, opts Options) (*Re
 // logarithmic singularity is integrable.
 func segmentPotential(obs geometry.Point, seg geometry.Segment, self bool) float64 {
 	l := seg.Length()
-	if l == 0 {
+	if l == 0 { //nanolint:ignore floateq a degenerate zero-length panel contributes no potential
 		return 0
 	}
 	if self {
@@ -200,8 +206,8 @@ func segmentPotential(obs geometry.Point, seg geometry.Segment, self bool) float
 // F(u) = (u/2) ln(u^2+y^2) - u + y*atan(u/y)  (y != 0)
 // F(u) = u ln|u| - u                           (y == 0)
 func antiderivative(u, y float64) float64 {
-	if y == 0 {
-		if u == 0 {
+	if y == 0 { //nanolint:ignore floateq selects the exact y = 0 analytic branch of the antiderivative
+		if u == 0 { //nanolint:ignore floateq the u = 0 limit of u*ln|u| is exactly 0
 			return 0
 		}
 		return u*math.Log(math.Abs(u)) - u

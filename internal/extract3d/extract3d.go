@@ -124,7 +124,10 @@ func Extract(boxes []Box, epsRel float64, opts Options) (*Result, error) {
 	}
 	eps := epsRel * units.Eps0
 
-	p := linalg.NewMatrix(n, n)
+	p, err := linalg.NewMatrix(n, n)
+	if err != nil {
+		return nil, fmt.Errorf("extract3d: potential matrix: %w", err)
+	}
 	for i := 0; i < n; i++ {
 		oi := panels[i]
 		row := p.Row(i)
@@ -144,7 +147,10 @@ func Extract(boxes []Box, epsRel float64, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("extract3d: factorisation: %w", err)
 	}
 	nc := len(boxes)
-	maxwell := linalg.NewMatrix(nc, nc)
+	maxwell, err := linalg.NewMatrix(nc, nc)
+	if err != nil {
+		return nil, fmt.Errorf("extract3d: maxwell matrix: %w", err)
+	}
 	rhs := make([]float64, n)
 	for k := 0; k < nc; k++ {
 		for i := range rhs {
@@ -259,7 +265,7 @@ func rectF(u, v, w float64) float64 {
 	t1 := 0.0
 	if a := v + r; a > tiny {
 		t1 = u * math.Log(a)
-	} else if u != 0 {
+	} else if u != 0 { //nanolint:ignore floateq an exactly zero u makes the u*ln term vanish in the limit
 		// v+r ~ 0 only when w=0 and v<0 and u->0; the limit of u*ln is 0
 		// unless u stays finite, where the principal value uses |...|.
 		t1 = u * math.Log(tiny)
@@ -267,11 +273,11 @@ func rectF(u, v, w float64) float64 {
 	t2 := 0.0
 	if a := u + r; a > tiny {
 		t2 = v * math.Log(a)
-	} else if v != 0 {
+	} else if v != 0 { //nanolint:ignore floateq an exactly zero v makes the v*ln term vanish in the limit
 		t2 = v * math.Log(tiny)
 	}
 	t3 := 0.0
-	if w != 0 {
+	if w != 0 { //nanolint:ignore floateq the w = 0 limit of the atan term is exactly 0
 		// The term w*atan(uv/(w*r)) is even in w; using |w| keeps atan2's
 		// second argument positive so it coincides with atan.
 		aw := math.Abs(w)

@@ -154,7 +154,7 @@ func min(a, b int) int {
 
 // harmonic returns the interface conductivity between two cells.
 func harmonic(a, b float64) float64 {
-	if a+b == 0 {
+	if a+b == 0 { //nanolint:ignore floateq exact-zero guard before division; two insulating cells share no conductance
 		return 0
 	}
 	return 2 * a * b / (a + b)
@@ -204,7 +204,7 @@ func (g *Grid) SolveSteadyState(tol float64, maxIter int) (int, error) {
 					cSum += c
 					rhs += c * g.temp[idx+nx]
 				}
-				if cSum == 0 {
+				if cSum == 0 { //nanolint:ignore floateq a cell with no conducting neighbours is skipped exactly
 					continue
 				}
 				rhs += g.q[idx] * g.dx * g.dy

@@ -110,6 +110,7 @@ func CircleConductor(name string, cx, cy, r float64, n int) Conductor {
 		a := 2 * math.Pi * float64(i) / float64(n)
 		pts[i] = Point{cx + r*math.Cos(a), cy + r*math.Sin(a)}
 	}
+	//nanolint:ignore droppederr a regular n-gon with n >= 8 distinct vertices always passes polygon validation
 	c, _ := PolygonConductor(name, pts)
 	return c
 }

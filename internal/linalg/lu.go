@@ -40,7 +40,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 				p = i
 			}
 		}
-		if maxAbs == 0 {
+		if maxAbs == 0 { //nanolint:ignore floateq an exactly zero pivot column is structural singularity
 			return nil, ErrSingular
 		}
 		if p != k {
@@ -55,7 +55,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			m := lu.At(i, k) / pivot
 			lu.Set(i, k, m)
-			if m == 0 {
+			if m == 0 { //nanolint:ignore floateq sparsity skip: a zero multiplier eliminates the row update
 				continue
 			}
 			rowI, rowK := lu.Row(i), lu.Row(k)
@@ -95,7 +95,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 			s -= row[j] * x[j]
 		}
 		d := row[i]
-		if d == 0 {
+		if d == 0 { //nanolint:ignore floateq an exactly zero diagonal after elimination is singular
 			return nil, ErrSingular
 		}
 		x[i] = s / d
@@ -109,7 +109,7 @@ func (f *LU) SolveMatrix(b *Matrix) (*Matrix, error) {
 	if b.Rows() != n {
 		return nil, fmt.Errorf("linalg: LU solve rhs has %d rows, want %d", b.Rows(), n)
 	}
-	out := NewMatrix(n, b.Cols())
+	out := newMatrix(n, b.Cols())
 	col := make([]float64, n)
 	for j := 0; j < b.Cols(); j++ {
 		for i := 0; i < n; i++ {
@@ -150,5 +150,9 @@ func Invert(a *Matrix) (*Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f.SolveMatrix(Identity(a.Rows()))
+	id, err := Identity(a.Rows())
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMatrix(id)
 }

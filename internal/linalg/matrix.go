@@ -17,35 +17,45 @@ type Matrix struct {
 }
 
 // NewMatrix returns a zeroed rows x cols matrix.
-func NewMatrix(rows, cols int) *Matrix {
+func NewMatrix(rows, cols int) (*Matrix, error) {
 	if rows <= 0 || cols <= 0 {
-		panic(fmt.Sprintf("linalg: invalid matrix dimensions %dx%d", rows, cols))
+		return nil, fmt.Errorf("linalg: invalid matrix dimensions %dx%d", rows, cols)
 	}
+	return newMatrix(rows, cols), nil
+}
+
+// newMatrix is the no-check constructor behind NewMatrix, for callers whose
+// dimensions are positive by construction (e.g. taken from an existing
+// matrix).
+func newMatrix(rows, cols int) *Matrix {
 	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
 }
 
 // NewMatrixFromRows builds a matrix from row slices, which must be equal length.
-func NewMatrixFromRows(rows [][]float64) *Matrix {
+func NewMatrixFromRows(rows [][]float64) (*Matrix, error) {
 	if len(rows) == 0 || len(rows[0]) == 0 {
-		panic("linalg: empty rows")
+		return nil, fmt.Errorf("linalg: NewMatrixFromRows of empty rows")
 	}
-	m := NewMatrix(len(rows), len(rows[0]))
+	m := newMatrix(len(rows), len(rows[0]))
 	for i, r := range rows {
 		if len(r) != m.cols {
-			panic(fmt.Sprintf("linalg: ragged rows: row %d has %d cols, want %d", i, len(r), m.cols))
+			return nil, fmt.Errorf("linalg: ragged rows: row %d has %d cols, want %d", i, len(r), m.cols)
 		}
 		copy(m.data[i*m.cols:(i+1)*m.cols], r)
 	}
-	return m
+	return m, nil
 }
 
 // Identity returns the n x n identity matrix.
-func Identity(n int) *Matrix {
-	m := NewMatrix(n, n)
+func Identity(n int) (*Matrix, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("linalg: invalid identity dimension %d", n)
+	}
+	m := newMatrix(n, n)
 	for i := 0; i < n; i++ {
 		m.Set(i, i, 1)
 	}
-	return m
+	return m, nil
 }
 
 // Rows returns the number of rows.
@@ -68,14 +78,14 @@ func (m *Matrix) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
 
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
-	c := NewMatrix(m.rows, m.cols)
+	c := newMatrix(m.rows, m.cols)
 	copy(c.data, m.data)
 	return c
 }
 
 // Transpose returns a new transposed matrix.
 func (m *Matrix) Transpose() *Matrix {
-	t := NewMatrix(m.cols, m.rows)
+	t := newMatrix(m.cols, m.rows)
 	for i := 0; i < m.rows; i++ {
 		for j := 0; j < m.cols; j++ {
 			t.Set(j, i, m.At(i, j))
@@ -85,10 +95,15 @@ func (m *Matrix) Transpose() *Matrix {
 }
 
 // MulVec computes y = M x. x must have length Cols.
-func (m *Matrix) MulVec(x []float64) []float64 {
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 	if len(x) != m.cols {
-		panic(fmt.Sprintf("linalg: MulVec dimension mismatch: %d vs %d", len(x), m.cols))
+		return nil, fmt.Errorf("linalg: MulVec dimension mismatch: %d vs %d", len(x), m.cols)
 	}
+	return m.mulVec(x), nil
+}
+
+// mulVec is the no-check kernel behind MulVec.
+func (m *Matrix) mulVec(x []float64) []float64 {
 	y := make([]float64, m.rows)
 	for i := 0; i < m.rows; i++ {
 		row := m.Row(i)
@@ -102,16 +117,16 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 }
 
 // Mul computes the matrix product M*B.
-func (m *Matrix) Mul(b *Matrix) *Matrix {
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 	if m.cols != b.rows {
-		panic(fmt.Sprintf("linalg: Mul dimension mismatch: %dx%d * %dx%d", m.rows, m.cols, b.rows, b.cols))
+		return nil, fmt.Errorf("linalg: Mul dimension mismatch: %dx%d * %dx%d", m.rows, m.cols, b.rows, b.cols)
 	}
-	out := NewMatrix(m.rows, b.cols)
+	out := newMatrix(m.rows, b.cols)
 	for i := 0; i < m.rows; i++ {
 		arow := m.Row(i)
 		orow := out.Row(i)
 		for k, aik := range arow {
-			if aik == 0 {
+			if aik == 0 { //nanolint:ignore floateq sparsity skip: zero entries contribute nothing to the product
 				continue
 			}
 			brow := b.Row(k)
@@ -120,7 +135,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // IsSymmetric reports whether the matrix is square and symmetric within tol
@@ -135,7 +150,7 @@ func (m *Matrix) IsSymmetric(tol float64) bool {
 			maxAbs = a
 		}
 	}
-	if maxAbs == 0 {
+	if maxAbs == 0 { //nanolint:ignore floateq an exactly zero matrix has no scale for the relative tolerance and is trivially symmetric
 		return true
 	}
 	for i := 0; i < m.rows; i++ {

@@ -11,8 +11,33 @@ func almostEqual(a, b, tol float64) bool {
 	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
 }
 
+// mustM unwraps a (Matrix, error) constructor result for test fixtures
+// whose inputs are valid by construction.
+func mustM(m *Matrix, err error) *Matrix {
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// mustV0 unwraps a (float64, error) result the same way.
+func mustV0(v float64, err error) float64 {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// mustV unwraps a (vector, error) result the same way.
+func mustV(v []float64, err error) []float64 {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func TestNewMatrixZeroed(t *testing.T) {
-	m := NewMatrix(3, 4)
+	m := mustM(NewMatrix(3, 4))
 	if m.Rows() != 3 || m.Cols() != 4 {
 		t.Fatalf("dims = %dx%d, want 3x4", m.Rows(), m.Cols())
 	}
@@ -27,28 +52,23 @@ func TestNewMatrixZeroed(t *testing.T) {
 
 func TestNewMatrixInvalidDims(t *testing.T) {
 	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("NewMatrix(%d,%d) did not panic", dims[0], dims[1])
-				}
-			}()
-			NewMatrix(dims[0], dims[1])
-		}()
+		if _, err := NewMatrix(dims[0], dims[1]); err == nil {
+			t.Errorf("NewMatrix(%d,%d) returned nil error", dims[0], dims[1])
+		}
 	}
 }
 
 func TestNewMatrixFromRowsRagged(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("ragged rows did not panic")
-		}
-	}()
-	NewMatrixFromRows([][]float64{{1, 2}, {3}})
+	if _, err := NewMatrixFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows returned nil error")
+	}
+	if _, err := NewMatrixFromRows(nil); err == nil {
+		t.Error("empty rows returned nil error")
+	}
 }
 
 func TestSetAtAdd(t *testing.T) {
-	m := NewMatrix(2, 2)
+	m := mustM(NewMatrix(2, 2))
 	m.Set(0, 1, 5)
 	m.Add(0, 1, 2.5)
 	if got := m.At(0, 1); got != 7.5 {
@@ -57,9 +77,9 @@ func TestSetAtAdd(t *testing.T) {
 }
 
 func TestIdentityMulVec(t *testing.T) {
-	m := Identity(4)
+	m := mustM(Identity(4))
 	x := []float64{1, -2, 3, 4}
-	y := m.MulVec(x)
+	y := mustV(m.MulVec(x))
 	for i := range x {
 		if y[i] != x[i] {
 			t.Errorf("I*x[%d] = %g, want %g", i, y[i], x[i])
@@ -68,9 +88,9 @@ func TestIdentityMulVec(t *testing.T) {
 }
 
 func TestMulKnown(t *testing.T) {
-	a := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
-	b := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
-	c := a.Mul(b)
+	a := mustM(NewMatrixFromRows([][]float64{{1, 2}, {3, 4}}))
+	b := mustM(NewMatrixFromRows([][]float64{{5, 6}, {7, 8}}))
+	c := mustM(a.Mul(b))
 	want := [][]float64{{19, 22}, {43, 50}}
 	for i := range want {
 		for j := range want[i] {
@@ -82,7 +102,7 @@ func TestMulKnown(t *testing.T) {
 }
 
 func TestTranspose(t *testing.T) {
-	a := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	a := mustM(NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}}))
 	tr := a.Transpose()
 	if tr.Rows() != 3 || tr.Cols() != 2 {
 		t.Fatalf("transpose dims %dx%d, want 3x2", tr.Rows(), tr.Cols())
@@ -97,22 +117,22 @@ func TestTranspose(t *testing.T) {
 }
 
 func TestIsSymmetric(t *testing.T) {
-	s := NewMatrixFromRows([][]float64{{2, 1}, {1, 3}})
+	s := mustM(NewMatrixFromRows([][]float64{{2, 1}, {1, 3}}))
 	if !s.IsSymmetric(1e-12) {
 		t.Error("symmetric matrix reported asymmetric")
 	}
-	a := NewMatrixFromRows([][]float64{{2, 1}, {0, 3}})
+	a := mustM(NewMatrixFromRows([][]float64{{2, 1}, {0, 3}}))
 	if a.IsSymmetric(1e-12) {
 		t.Error("asymmetric matrix reported symmetric")
 	}
-	r := NewMatrixFromRows([][]float64{{2, 1, 1}, {1, 3, 1}})
+	r := mustM(NewMatrixFromRows([][]float64{{2, 1, 1}, {1, 3, 1}}))
 	if r.IsSymmetric(1e-12) {
 		t.Error("non-square matrix reported symmetric")
 	}
 }
 
 func TestCloneIndependent(t *testing.T) {
-	a := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	a := mustM(NewMatrixFromRows([][]float64{{1, 2}, {3, 4}}))
 	c := a.Clone()
 	c.Set(0, 0, 99)
 	if a.At(0, 0) != 1 {
@@ -121,11 +141,11 @@ func TestCloneIndependent(t *testing.T) {
 }
 
 func TestLUSolveKnown(t *testing.T) {
-	a := NewMatrixFromRows([][]float64{
+	a := mustM(NewMatrixFromRows([][]float64{
 		{2, 1, -1},
 		{-3, -1, 2},
 		{-2, 1, 2},
-	})
+	}))
 	b := []float64{8, -11, -3}
 	x, err := SolveLU(a, b)
 	if err != nil {
@@ -140,21 +160,21 @@ func TestLUSolveKnown(t *testing.T) {
 }
 
 func TestLUSingular(t *testing.T) {
-	a := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	a := mustM(NewMatrixFromRows([][]float64{{1, 2}, {2, 4}}))
 	if _, err := FactorLU(a); err == nil {
 		t.Error("FactorLU of singular matrix returned nil error")
 	}
 }
 
 func TestLUNonSquare(t *testing.T) {
-	a := NewMatrix(2, 3)
+	a := mustM(NewMatrix(2, 3))
 	if _, err := FactorLU(a); err == nil {
 		t.Error("FactorLU of non-square matrix returned nil error")
 	}
 }
 
 func TestLUDet(t *testing.T) {
-	a := NewMatrixFromRows([][]float64{{4, 3}, {6, 3}})
+	a := mustM(NewMatrixFromRows([][]float64{{4, 3}, {6, 3}}))
 	f, err := FactorLU(a)
 	if err != nil {
 		t.Fatalf("FactorLU: %v", err)
@@ -165,12 +185,12 @@ func TestLUDet(t *testing.T) {
 }
 
 func TestInvert(t *testing.T) {
-	a := NewMatrixFromRows([][]float64{{4, 7}, {2, 6}})
+	a := mustM(NewMatrixFromRows([][]float64{{4, 7}, {2, 6}}))
 	inv, err := Invert(a)
 	if err != nil {
 		t.Fatalf("Invert: %v", err)
 	}
-	prod := a.Mul(inv)
+	prod := mustM(a.Mul(inv))
 	for i := 0; i < 2; i++ {
 		for j := 0; j < 2; j++ {
 			want := 0.0
@@ -190,7 +210,7 @@ func TestLUSolveProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		n := 2 + r.Intn(12)
-		a := NewMatrix(n, n)
+		a := mustM(NewMatrix(n, n))
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				a.Set(i, j, r.NormFloat64())
@@ -202,7 +222,7 @@ func TestLUSolveProperty(t *testing.T) {
 		for i := range xTrue {
 			xTrue[i] = r.NormFloat64()
 		}
-		b := a.MulVec(xTrue)
+		b := mustV(a.MulVec(xTrue))
 		x, err := SolveLU(a, b)
 		if err != nil {
 			return false
@@ -256,7 +276,7 @@ func TestTridiagonalMatchesLU(t *testing.T) {
 		diag := make([]float64, n)
 		sup := make([]float64, n)
 		rhs := make([]float64, n)
-		dense := NewMatrix(n, n)
+		dense := mustM(NewMatrix(n, n))
 		for i := 0; i < n; i++ {
 			if i > 0 {
 				sub[i] = rng.NormFloat64()
@@ -289,8 +309,11 @@ func TestTridiagonalMatchesLU(t *testing.T) {
 func TestVectorOps(t *testing.T) {
 	a := []float64{1, 2, 3}
 	b := []float64{4, 5, 6}
-	if got := Dot(a, b); got != 32 {
+	if got := mustV0(Dot(a, b)); got != 32 {
 		t.Errorf("Dot = %g, want 32", got)
+	}
+	if _, err := Dot(a, []float64{1}); err == nil {
+		t.Error("Dot length mismatch returned nil error")
 	}
 	if got := Norm2([]float64{3, 4}); got != 5 {
 		t.Errorf("Norm2 = %g, want 5", got)
@@ -299,14 +322,20 @@ func TestVectorOps(t *testing.T) {
 		t.Errorf("NormInf = %g, want 7", got)
 	}
 	y := []float64{1, 1, 1}
-	AXPY(2, a, y)
+	mustV(AXPY(2, a, y))
+	if _, err := AXPY(2, a, []float64{1}); err == nil {
+		t.Error("AXPY length mismatch returned nil error")
+	}
 	want := []float64{3, 5, 7}
 	for i := range want {
 		if y[i] != want[i] {
 			t.Errorf("AXPY[%d] = %g, want %g", i, y[i], want[i])
 		}
 	}
-	d := Sub(b, a)
+	d := mustV(Sub(b, a))
+	if _, err := Sub(b, []float64{1}); err == nil {
+		t.Error("Sub length mismatch returned nil error")
+	}
 	for i := range d {
 		if d[i] != 3 {
 			t.Errorf("Sub[%d] = %g, want 3", i, d[i])
@@ -322,13 +351,13 @@ func TestConjugateGradientSPD(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	n := 20
 	// Build SPD matrix A = B'B + n*I.
-	b := NewMatrix(n, n)
+	b := mustM(NewMatrix(n, n))
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			b.Set(i, j, rng.NormFloat64())
 		}
 	}
-	a := b.Transpose().Mul(b)
+	a := mustM(b.Transpose().Mul(b))
 	for i := 0; i < n; i++ {
 		a.Add(i, i, float64(n))
 	}
@@ -336,7 +365,7 @@ func TestConjugateGradientSPD(t *testing.T) {
 	for i := range xTrue {
 		xTrue[i] = rng.NormFloat64()
 	}
-	rhs := a.MulVec(xTrue)
+	rhs := mustV(a.MulVec(xTrue))
 	x, iters, err := ConjugateGradient(a, rhs, 1e-12, 10*n)
 	if err != nil {
 		t.Fatalf("CG: %v", err)
@@ -352,7 +381,7 @@ func TestConjugateGradientSPD(t *testing.T) {
 }
 
 func TestConjugateGradientZeroRHS(t *testing.T) {
-	a := Identity(3)
+	a := mustM(Identity(3))
 	x, iters, err := ConjugateGradient(a, []float64{0, 0, 0}, 1e-12, 10)
 	if err != nil || iters != 0 {
 		t.Fatalf("CG zero rhs: x=%v iters=%d err=%v", x, iters, err)

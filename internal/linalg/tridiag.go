@@ -19,14 +19,14 @@ func SolveTridiagonal(sub, diag, sup, rhs []float64) ([]float64, error) {
 	}
 	cp := make([]float64, n)
 	dp := make([]float64, n)
-	if diag[0] == 0 {
+	if diag[0] == 0 { //nanolint:ignore floateq an exactly zero leading diagonal entry is structural singularity
 		return nil, ErrSingular
 	}
 	cp[0] = sup[0] / diag[0]
 	dp[0] = rhs[0] / diag[0]
 	for i := 1; i < n; i++ {
 		den := diag[i] - sub[i]*cp[i-1]
-		if den == 0 {
+		if den == 0 { //nanolint:ignore floateq an exactly zero eliminated diagonal is singular
 			return nil, ErrSingular
 		}
 		cp[i] = sup[i] / den

@@ -6,10 +6,16 @@ import (
 )
 
 // Dot returns the dot product of two equal-length vectors.
-func Dot(a, b []float64) float64 {
+func Dot(a, b []float64) (float64, error) {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+		return 0, fmt.Errorf("linalg: Dot length mismatch %d vs %d", len(a), len(b))
 	}
+	return dot(a, b), nil
+}
+
+// dot is the no-check kernel behind Dot, for callers that have already
+// validated the operand lengths.
+func dot(a, b []float64) float64 {
 	s := 0.0
 	for i, v := range a {
 		s += v * b[i]
@@ -18,7 +24,7 @@ func Dot(a, b []float64) float64 {
 }
 
 // Norm2 returns the Euclidean norm of v.
-func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+func Norm2(v []float64) float64 { return math.Sqrt(dot(v, v)) }
 
 // NormInf returns the max-abs norm of v.
 func NormInf(v []float64) float64 {
@@ -32,14 +38,19 @@ func NormInf(v []float64) float64 {
 }
 
 // AXPY computes y += a*x in place and returns y.
-func AXPY(a float64, x, y []float64) []float64 {
+func AXPY(a float64, x, y []float64) ([]float64, error) {
 	if len(x) != len(y) {
-		panic(fmt.Sprintf("linalg: AXPY length mismatch %d vs %d", len(x), len(y)))
+		return nil, fmt.Errorf("linalg: AXPY length mismatch %d vs %d", len(x), len(y))
 	}
+	axpy(a, x, y)
+	return y, nil
+}
+
+// axpy is the no-check kernel behind AXPY.
+func axpy(a float64, x, y []float64) {
 	for i := range y {
 		y[i] += a * x[i]
 	}
-	return y
 }
 
 // Scale multiplies v by a in place and returns v.
@@ -51,15 +62,15 @@ func Scale(a float64, v []float64) []float64 {
 }
 
 // Sub returns a new vector a - b.
-func Sub(a, b []float64) []float64 {
+func Sub(a, b []float64) ([]float64, error) {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("linalg: Sub length mismatch %d vs %d", len(a), len(b)))
+		return nil, fmt.Errorf("linalg: Sub length mismatch %d vs %d", len(a), len(b))
 	}
 	out := make([]float64, len(a))
 	for i := range a {
 		out[i] = a[i] - b[i]
 	}
-	return out
+	return out, nil
 }
 
 // ConjugateGradient solves A x = b for a symmetric positive-definite A,
@@ -80,23 +91,23 @@ func ConjugateGradient(a *Matrix, b []float64, tol float64, maxIter int) ([]floa
 	p := make([]float64, n)
 	copy(p, b)
 	bnorm := Norm2(b)
-	if bnorm == 0 {
+	if bnorm == 0 { //nanolint:ignore floateq an exactly zero rhs has the exact solution x = 0; any nonzero rhs takes the iterative path
 		return x, 0, nil
 	}
-	rs := Dot(r, r)
+	rs := dot(r, r)
 	for k := 0; k < maxIter; k++ {
 		if math.Sqrt(rs) <= tol*bnorm {
 			return x, k, nil
 		}
-		ap := a.MulVec(p)
-		pap := Dot(p, ap)
+		ap := a.mulVec(p)
+		pap := dot(p, ap)
 		if pap <= 0 {
 			return nil, k, fmt.Errorf("linalg: CG: matrix not positive definite (p'Ap=%g)", pap)
 		}
 		alpha := rs / pap
-		AXPY(alpha, p, x)
-		AXPY(-alpha, ap, r)
-		rsNew := Dot(r, r)
+		axpy(alpha, p, x)
+		axpy(-alpha, ap, r)
+		rsNew := dot(r, r)
 		beta := rsNew / rs
 		for i := range p {
 			p[i] = r[i] + beta*p[i]

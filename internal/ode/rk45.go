@@ -89,7 +89,7 @@ func (r *RK45) Integrate(s System, t0, t1 float64, y []float64) (int, error) {
 			copy(ytmp, y)
 			for prev := 0; prev < stage; prev++ {
 				a := dpA[stage][prev]
-				if a == 0 {
+				if a == 0 { //nanolint:ignore floateq Butcher tableau entries are exact constants; zeros encode stage sparsity
 					continue
 				}
 				for i := 0; i < n; i++ {

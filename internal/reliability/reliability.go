@@ -34,14 +34,14 @@ type Params struct {
 }
 
 func (p Params) activation() float64 {
-	if p.ActivationEV == 0 {
+	if p.ActivationEV == 0 { //nanolint:ignore floateq zero means the parameter was left unset
 		return 0.9
 	}
 	return p.ActivationEV
 }
 
 func (p Params) exponent() float64 {
-	if p.CurrentExponent == 0 {
+	if p.CurrentExponent == 0 { //nanolint:ignore floateq zero means the parameter was left unset
 		return 2
 	}
 	return p.CurrentExponent

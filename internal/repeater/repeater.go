@@ -50,7 +50,7 @@ type Plan struct {
 
 // CrepFactor is Crep/Cint for delay-optimal insertion: sqrt(0.4/0.7). The
 // paper rounds this to 0.75 ("effectively, Crep = 0.75 x Cint").
-var CrepFactor = math.Sqrt(0.4 / 0.7)
+var CrepFactor = math.Sqrt(units.ElmoreDistributed / units.ElmoreLumped)
 
 // Insert computes the delay-optimal repeater plan for a line of the given
 // length (meters) on the node, using the inverter inv.
@@ -70,7 +70,7 @@ func Insert(node itrs.Node, length float64, inv Inverter) (Plan, error) {
 	cint := node.CTotal() * length
 	rint := node.RWire * length
 	h := math.Sqrt(inv.R0 * cint / (inv.C0 * rint))
-	k := math.Sqrt(0.4 * rint * cint / (0.7 * inv.C0 * inv.R0))
+	k := math.Sqrt(units.ElmoreDistributed * rint * cint / (units.ElmoreLumped * inv.C0 * inv.R0))
 	crep := h * k * inv.C0
 
 	// Per-segment Elmore delay for k equal segments driven by h-sized
@@ -78,7 +78,7 @@ func Insert(node itrs.Node, length float64, inv Inverter) (Plan, error) {
 	segs := math.Max(1, math.Round(k))
 	cseg := cint / segs
 	rseg := rint / segs
-	segDelay := 0.7*(inv.R0/h)*(cseg+h*inv.C0) + 0.4*rseg*cseg + 0.7*rseg*h*inv.C0
+	segDelay := units.ElmoreLumped*(inv.R0/h)*(cseg+h*inv.C0) + units.ElmoreDistributed*rseg*cseg + units.ElmoreLumped*rseg*h*inv.C0
 	return Plan{
 		SizeH:     h,
 		CountK:    k,
@@ -127,8 +127,8 @@ func Sweep(node itrs.Node, length float64, inv Inverter, scales []float64) ([]Sw
 		segs := math.Max(1, math.Round(k))
 		cseg := cint / segs
 		rseg := rint / segs
-		segDelay := 0.7*(inv.R0/opt.SizeH)*(cseg+opt.SizeH*inv.C0) +
-			0.4*rseg*cseg + 0.7*rseg*opt.SizeH*inv.C0
+		segDelay := units.ElmoreLumped*(inv.R0/opt.SizeH)*(cseg+opt.SizeH*inv.C0) +
+			units.ElmoreDistributed*rseg*cseg + units.ElmoreLumped*rseg*opt.SizeH*inv.C0
 		out = append(out, SweepPoint{
 			Scale:     sc,
 			CountK:    k,

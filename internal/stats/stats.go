@@ -50,7 +50,7 @@ func (s *Stream) Std() float64 { return math.Sqrt(s.Var()) }
 // CoeffVar returns Std/Mean, the scale-free fluctuation measure used to
 // compare IA vs DA energy variability (0 when the mean is 0).
 func (s *Stream) CoeffVar() float64 {
-	if s.mean == 0 {
+	if s.mean == 0 { //nanolint:ignore floateq exact-zero guard before division by the mean
 		return 0
 	}
 	return s.Std() / math.Abs(s.mean)

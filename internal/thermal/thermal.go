@@ -378,7 +378,7 @@ func (g WireGeometry) VerticalResistanceWithVias(viaFraction float64) (float64, 
 	if err != nil {
 		return 0, err
 	}
-	if viaFraction == 0 {
+	if viaFraction == 0 { //nanolint:ignore floateq zero means no via path is configured
 		return base, nil
 	}
 	// Parallel via path per unit length: kCu * (footprint width * f) / t_ild.

@@ -26,6 +26,26 @@ const (
 
 	// AmbientK is the paper's ambient (substrate) temperature: 45 C.
 	AmbientK = 318.15
+
+	// ZeroCelsiusK is 0 C expressed in kelvin, the offset used by the
+	// Celsius conversions and by AmbientK (= 45 C) above.
+	ZeroCelsiusK = 273.15
+
+	// CrepPerCint is the paper's rounded repeater-capacitance ratio: after
+	// Eqs. 1-2 delay-optimal insertion gives Crep = sqrt(0.4/0.7)*Cint,
+	// which the paper rounds to "effectively, Crep = 0.75 x Cint"
+	// (Sec. 3.1.1). Exact sizing uses repeater.CrepFactor; this constant
+	// exists so the rounded paper value is never re-typed as a literal.
+	CrepPerCint = 0.75
+
+	// ElmoreDistributed is the distributed-RC coefficient of the Elmore
+	// 50% delay estimate used by the paper's repeater Eqs. 1-2
+	// (0.4*Rint*Cint term, after Bakoglu).
+	ElmoreDistributed = 0.4
+
+	// ElmoreLumped is the lumped (step-response) RC coefficient of the
+	// same delay estimate (0.7*R*C terms, ln 2 rounded up).
+	ElmoreLumped = 0.7
 )
 
 // Scale prefixes for readability at call sites.
@@ -41,10 +61,10 @@ const (
 )
 
 // CelsiusToKelvin converts a Celsius temperature to kelvin.
-func CelsiusToKelvin(c float64) float64 { return c + 273.15 }
+func CelsiusToKelvin(c float64) float64 { return c + ZeroCelsiusK }
 
 // KelvinToCelsius converts a kelvin temperature to Celsius.
-func KelvinToCelsius(k float64) float64 { return k - 273.15 }
+func KelvinToCelsius(k float64) float64 { return k - ZeroCelsiusK }
 
 // FormatEnergy renders an energy in J with an engineering prefix.
 func FormatEnergy(j float64) string { return formatEng(j, "J") }
@@ -68,7 +88,7 @@ func formatEng(v float64, unit string) string {
 		{1, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},
 		{1e-12, "p"}, {1e-15, "f"}, {1e-18, "a"},
 	}
-	if abs == 0 {
+	if abs == 0 { //nanolint:ignore floateq only an exactly zero value prints without a prefix
 		return "0 " + unit
 	}
 	for _, p := range prefixes {

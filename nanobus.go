@@ -18,7 +18,7 @@
 //	if err != nil { ... }
 //	sim.StepWord(0x1000)
 //	sim.StepWord(0x1004)
-//	sim.Finish()
+//	if err := sim.Finish(); err != nil { ... }
 //	fmt.Println(sim.TotalEnergy().Total(), sim.Temps())
 //
 // See examples/ for complete programs and DESIGN.md for the system map.
