@@ -1,0 +1,209 @@
+// Hot-path micro-benchmarks for the perf-critical kernels: the memoized
+// transition-energy lookup, the exact thermal propagator, the end-to-end
+// RunPair pipeline, and sweep scaling across worker counts. scripts/bench.sh
+// runs these with -benchmem and records the results in BENCH_hotpath.json.
+package nanobus_test
+
+import (
+	"testing"
+
+	"nanobus/internal/capmodel"
+	"nanobus/internal/core"
+	"nanobus/internal/energy"
+	"nanobus/internal/expt"
+	"nanobus/internal/itrs"
+	"nanobus/internal/thermal"
+	"nanobus/internal/trace"
+	"nanobus/internal/workload"
+)
+
+// addressWords is a deterministic address-bus-like word stream: mostly
+// sequential, with jumps and holds (the regime the memo targets).
+func addressWords(n int) []uint64 {
+	words := make([]uint64, n)
+	w, rng := uint64(0x4000_1000), uint32(12345)
+	for i := range words {
+		rng = rng*1664525 + 1013904223
+		switch rng % 10 {
+		case 0:
+			w = uint64(rng) * 2654435761 % (1 << 32) // far jump
+		case 1:
+			// hold
+		default:
+			w += 4
+		}
+		words[i] = w
+	}
+	return words
+}
+
+func benchModel(b *testing.B) *energy.Model {
+	b.Helper()
+	caps, err := capmodel.FromNode(itrs.N130, 32, capmodel.DefaultDecay(itrs.N130))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := energy.New(energy.Config{Caps: caps, Length: 0.01, Vdd: itrs.N130.Vdd, Crep: 1e-12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkTransition compares the direct O(s^2) transition kernel against
+// the memoized lookup on the same address stream.
+func BenchmarkTransition(b *testing.B) {
+	m := benchModel(b)
+	words := addressWords(1 << 14)
+	out := make([]energy.LineEnergy, 32)
+
+	b.Run("direct", func(b *testing.B) {
+		prev := uint64(0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cur := words[i&(len(words)-1)]
+			if _, err := m.Transition(prev, cur, out); err != nil {
+				b.Fatal(err)
+			}
+			prev = cur
+		}
+	})
+	b.Run("memo", func(b *testing.B) {
+		memo, err := energy.NewMemo(m, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev := uint64(0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cur := words[i&(len(words)-1)]
+			if _, err := memo.Transition(prev, cur, out); err != nil {
+				b.Fatal(err)
+			}
+			prev = cur
+		}
+		b.ReportMetric(100*memo.Stats().HitRate(), "hit_pct")
+	})
+}
+
+// BenchmarkThermalAdvance compares one interval step under the exact
+// propagator against the paper's sub-stepped RK4.
+func BenchmarkThermalAdvance(b *testing.B) {
+	p := make([]float64, 32)
+	for i := range p {
+		p[i] = 1
+	}
+	dt := 100_000 / itrs.N130.ClockHz
+	for _, mode := range []struct {
+		name string
+		rk4  bool
+	}{{"exact", false}, {"rk4", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			net, err := thermal.NewFromNode(itrs.N130, 32, thermal.NodeOptions{UseRK4: mode.rk4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Prime outside the timer: the propagator factorises lazily.
+			if err := net.Advance(dt, p); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := net.Advance(dt, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// loopSource replays a captured window forever, so RunPair benchmarks
+// measure simulation cost, not trace generation.
+type loopSource struct {
+	cycles []trace.Cycle
+	pos    int
+}
+
+func (s *loopSource) Next() (trace.Cycle, bool) {
+	c := s.cycles[s.pos]
+	s.pos++
+	if s.pos == len(s.cycles) {
+		s.pos = 0
+	}
+	return c, true
+}
+
+func captureBenchWindow(b *testing.B, n uint64) []trace.Cycle {
+	b.Helper()
+	bench, _ := workload.ByName("swim")
+	src, err := bench.NewWarmSource(bench.WarmupCycles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := make([]trace.Cycle, 0, n)
+	for uint64(len(window)) < n {
+		c, ok := src.Next()
+		if !ok {
+			b.Fatal("trace ended during capture")
+		}
+		window = append(window, c)
+	}
+	return window
+}
+
+// BenchmarkRunPair measures end-to-end ns/cycle of the dual-bus pipeline:
+// "optimized" is the default configuration (transition memo + exact
+// propagator), "unoptimized" disables both (direct kernel + sub-stepped
+// RK4) — the pre-overhaul hot path.
+func BenchmarkRunPair(b *testing.B) {
+	window := captureBenchWindow(b, 1<<16)
+	for _, mode := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"optimized", core.Config{Node: itrs.N130, CouplingDepth: -1, DropSamples: true}},
+		{"unoptimized", core.Config{Node: itrs.N130, CouplingDepth: -1, DropSamples: true,
+			MemoSizeLog2: -1, Thermal: thermal.NodeOptions{UseRK4: true}}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			mk := func() *core.Simulator {
+				sim, err := core.New(mode.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return sim
+			}
+			ia, da := mk(), mk()
+			src := &loopSource{cycles: window}
+			b.ReportAllocs()
+			b.ResetTimer()
+			res, err := core.RunPair(src, ia, da, uint64(b.N))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Cycles != uint64(b.N) {
+				b.Fatalf("ran %d of %d cycles", res.Cycles, b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkSweepWorkers measures Fig. 3 sweep scaling across pool sizes
+// (fixed workload: 2 benchmarks x 1 node x 4 schemes x 2 buses = 16 jobs).
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := expt.Fig3(expt.Fig3Options{
+					Cycles:     200_000,
+					Benchmarks: []string{"eon", "swim"},
+					Nodes:      []itrs.Node{itrs.N130},
+					Workers:    workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -3,10 +3,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
-	"text/tabwriter"
-
 	"math"
+	"os"
+	"strings"
+	"text/tabwriter"
 
 	"nanobus"
 	"nanobus/internal/delay"
@@ -16,15 +16,16 @@ import (
 	"nanobus/internal/reliability"
 	"nanobus/internal/repeater"
 	"nanobus/internal/units"
-	"nanobus/internal/workload"
 )
 
-// cmdL2Bus runs the L1->L2 address-bus extension study.
+// cmdL2Bus runs the L1->L2 address-bus extension study across benchmarks on
+// the shared sweep pool.
 func cmdL2Bus(args []string) error {
 	fs := flag.NewFlagSet("l2bus", flag.ExitOnError)
 	cycles := fs.Uint64("cycles", 2_000_000, "measured cycles")
 	node := fs.String("node", "130nm", "technology node")
-	bench := fs.String("bench", "", "benchmark ('' = all eight)")
+	bench := fs.String("bench", "", "comma-separated benchmark list ('' = all eight)")
+	workers := fs.Int("workers", 0, "sweep-pool workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -32,22 +33,32 @@ func cmdL2Bus(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown node %q", *node)
 	}
-	names := workload.Names()
-	if *bench != "" {
-		names = []string{*bench}
+	results, err := expt.L2BusSweep(benchList(*bench),
+		expt.L2BusOptions{Cycles: *cycles, Node: n}, *workers)
+	if err != nil {
+		return err
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\tL2 duty\tDL1 miss\tIL1 miss\tE(L2 bus) J\tE(DA) J\tE(IA) J")
-	for _, name := range names {
-		res, err := expt.L2Bus(expt.L2BusOptions{Cycles: *cycles, Node: n, Benchmark: name})
-		if err != nil {
-			return err
-		}
+	for _, res := range results {
 		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.4g\t%.4g\t%.4g\n",
 			res.Benchmark, res.Duty, res.DL1MissRate, res.IL1MissRate,
 			res.L2BusEnergy, res.DABusEnergy, res.IABusEnergy)
 	}
 	return tw.Flush()
+}
+
+// benchList turns a comma-separated -bench value into the sweep argument:
+// nil (empty string) means every benchmark.
+func benchList(spec string) []string {
+	if spec == "" {
+		return nil
+	}
+	var out []string
+	for _, s := range strings.Split(spec, ",") {
+		out = append(out, strings.TrimSpace(s))
+	}
+	return out
 }
 
 // cmdSubstrate runs the substrate-temperature-variation extension.
@@ -220,24 +231,26 @@ func cmdValidate(args []string) error {
 func cmdEncStats(args []string) error {
 	fs := flag.NewFlagSet("encstats", flag.ExitOnError)
 	cycles := fs.Uint64("cycles", 1_000_000, "observed cycles")
-	bench := fs.String("bench", "eon", "benchmark")
+	bench := fs.String("bench", "eon", "comma-separated benchmark list ('' = all eight)")
 	bus := fs.String("bus", "DA", "bus: DA or IA")
+	workers := fs.Int("workers", 0, "sweep-pool workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := expt.EncStats(expt.EncStatsOptions{Cycles: *cycles, Benchmark: *bench, Bus: *bus})
+	rows, err := expt.EncStatsSweep(benchList(*bench),
+		expt.EncStatsOptions{Cycles: *cycles, Bus: *bus}, *workers)
 	if err != nil {
 		return err
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scheme\tdriven words\tinvert rate\tOEBI modes 00/01/10/11")
+	fmt.Fprintln(tw, "benchmark\tscheme\tdriven words\tinvert rate\tOEBI modes 00/01/10/11")
 	for _, r := range rows {
 		modeStr := "-"
 		if r.Scheme == "OEBI" {
 			modeStr = fmt.Sprintf("%.3f/%.3f/%.3f/%.3f",
 				r.OEBIModes[0], r.OEBIModes[1], r.OEBIModes[2], r.OEBIModes[3])
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%.4f\t%s\n", r.Scheme, r.Cycles, r.InvertRate, modeStr)
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.4f\t%s\n", r.Benchmark, r.Scheme, r.Cycles, r.InvertRate, modeStr)
 	}
 	return tw.Flush()
 }
@@ -248,7 +261,8 @@ func cmdBaselines(args []string) error {
 	fs := flag.NewFlagSet("baselines", flag.ExitOnError)
 	cycles := fs.Uint64("cycles", 4_000_000, "simulated cycles")
 	node := fs.String("node", "130nm", "technology node")
-	bench := fs.String("bench", "swim", "benchmark")
+	bench := fs.String("bench", "swim", "comma-separated benchmark list ('' = all eight)")
+	workers := fs.Int("workers", 0, "sweep-pool workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -256,19 +270,20 @@ func cmdBaselines(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown node %q", *node)
 	}
-	res, err := expt.Baselines(*bench, n, *cycles)
+	results, err := expt.BaselinesSweep(benchList(*bench), n, *cycles, *workers)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("thermal model comparison, %s DA bus on %s (%d cycles, ambient %.2f K):\n",
-		res.Benchmark, res.Node, res.Cycles, units.AmbientK)
-	fmt.Printf("  paper's dynamic per-line model: max wire %.3f K, avg %.3f K, spread %.4f K\n",
-		res.DynamicMaxTemp, res.DynamicAvgTemp, res.DynamicSpread)
-	fmt.Printf("  average-activity baseline [8]:  %.3f K (uniform; no per-wire spread)\n",
-		res.AvgActivityTemp)
-	fmt.Printf("  worst-case jmax baseline [6]:   %.3f K (overestimates by %.1f K)\n",
-		res.WorstCaseTemp, res.WorstCaseTemp-res.DynamicMaxTemp)
-	return nil
+	fmt.Printf("thermal model comparison, DA bus on %s (%d cycles, ambient %.2f K):\n",
+		n.Name, *cycles, units.AmbientK)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tdyn max K\tdyn avg K\tspread K\tavg-activity [8] K\tworst-case [6] K\toverest. K")
+	for _, res := range results {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.4f\t%.3f\t%.3f\t%.1f\n",
+			res.Benchmark, res.DynamicMaxTemp, res.DynamicAvgTemp, res.DynamicSpread,
+			res.AvgActivityTemp, res.WorstCaseTemp, res.WorstCaseTemp-res.DynamicMaxTemp)
+	}
+	return tw.Flush()
 }
 
 // cmdDelayTemp reports the thermal delay degradation and damping check.

@@ -10,12 +10,19 @@
 //	nanobus dtheta                     # Eq. 7 inter-layer rise per node
 //	nanobus steady [-node X]           # analytic steady-state temperatures
 //	nanobus stats  [-bench X]          # address-stream statistics
+//
+// Global flags (before the subcommand) profile the run:
+//
+//	nanobus -cpuprofile cpu.pprof fig3 ...
+//	nanobus -memprofile mem.pprof fig4 ...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"nanobus"
@@ -30,11 +37,52 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(realMain())
+}
+
+// realMain carries the exit code back to main so the profiling defers run
+// before the process exits (os.Exit skips deferred calls).
+func realMain() int {
+	global := flag.NewFlagSet("nanobus", flag.ExitOnError)
+	global.Usage = usage
+	cpuProfile := global.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := global.String("memprofile", "", "write a heap profile at exit to this file")
+	// Parse stops at the first non-flag argument: the subcommand.
+	if err := global.Parse(os.Args[1:]); err != nil {
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	if global.NArg() < 1 {
+		usage()
+		return 2
+	}
+	cmd, args := global.Arg(0), global.Args()[1:]
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nanobus: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nanobus: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nanobus: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "nanobus: -memprofile: %v\n", err)
+			}
+		}()
+	}
 	var err error
 	switch cmd {
 	case "table1":
@@ -76,16 +124,17 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "nanobus: unknown command %q\n", cmd)
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nanobus %s: %v\n", cmd, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: nanobus <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: nanobus [-cpuprofile f] [-memprofile f] <command> [flags]
 
 commands:
   table1   reproduce Table 1 with derived repeater/thermal parameters
@@ -213,6 +262,7 @@ func cmdFig3(args []string) error {
 	nodes := fs.String("nodes", "all", "comma-separated node list")
 	schemes := fs.String("schemes", "", "comma-separated encoding list (default paper's 4; 'ext' adds Gray,T0)")
 	detail := fs.Bool("detail", false, "print per-benchmark rows, not just means")
+	workers := fs.Int("workers", 0, "sweep-pool workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -220,7 +270,7 @@ func cmdFig3(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := expt.Fig3Options{Cycles: *cycles, Nodes: ns}
+	opts := expt.Fig3Options{Cycles: *cycles, Nodes: ns, Workers: *workers}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -249,6 +299,7 @@ func cmdFig4(args []string) error {
 	benches := fs.String("benchmarks", "eon,swim", "comma-separated benchmark list")
 	csv := fs.Bool("csv", false, "emit full CSV series instead of the summary")
 	timing := fs.Bool("timing", false, "insert cache-miss stall cycles (timing-aware extension)")
+	workers := fs.Int("workers", 0, "sweep-pool workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -262,6 +313,7 @@ func cmdFig4(args []string) error {
 		Node:           n,
 		Benchmarks:     strings.Split(*benches, ","),
 		Timing:         *timing,
+		Workers:        *workers,
 	})
 	if err != nil {
 		return err

@@ -3,8 +3,11 @@
 // encoder) drive the per-line energy model every cycle; every interval
 // (100K cycles by default, the paper's choice) the accumulated per-line
 // energies become piecewise-constant power inputs to the thermal-RC
-// network, which is advanced with RK4; samples of interval energy and
+// network, which is advanced with the exact interval propagator (or the
+// paper's RK4 when requested); samples of interval energy and
 // average/maximum wire temperature reproduce the traces of Figs. 4-5.
+// Per-cycle transition energies are memoized by default (bit-identical to
+// the direct kernel; Config.MemoSizeLog2 tunes or disables the cache).
 package core
 
 import (
@@ -59,6 +62,11 @@ type Config struct {
 	// Decay overrides the non-adjacent coupling decay model; nil uses the
 	// node's calibrated default.
 	Decay *capmodel.DecayModel
+	// MemoSizeLog2 sizes the transition-energy memo (2^k entries): zero
+	// selects energy.DefaultMemoSizeLog2, a negative value disables
+	// memoization entirely (the direct kernel runs every cycle). Memoized
+	// and direct runs are bit-identical; see energy.Memo.
+	MemoSizeLog2 int
 }
 
 // Sample is one interval's record.
@@ -159,10 +167,16 @@ func New(cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	acc := energy.NewAccumulator(model)
+	if cfg.MemoSizeLog2 >= 0 {
+		if err := acc.EnableMemo(cfg.MemoSizeLog2); err != nil {
+			return nil, err
+		}
+	}
 	return &Simulator{
 		cfg:        cfg,
 		enc:        enc,
-		acc:        energy.NewAccumulator(model),
+		acc:        acc,
 		net:        net,
 		interval:   interval,
 		dt:         float64(interval) * cfg.Node.CyclePeriod(),
@@ -271,6 +285,35 @@ func (s *Simulator) Finish() error {
 // Err returns the first error recorded during stepping, or nil. Once an
 // error is recorded the simulator stops emitting samples.
 func (s *Simulator) Err() error { return s.err }
+
+// MemoStats returns the transition-memo hit/miss counters, or the zero
+// value when memoization is disabled (Config.MemoSizeLog2 < 0).
+func (s *Simulator) MemoStats() energy.MemoStats {
+	if m := s.acc.Memo(); m != nil {
+		return m.Stats()
+	}
+	return energy.MemoStats{}
+}
+
+// Reset returns the simulator to its post-New state so sweep drivers can
+// reuse one simulator (and its capacitance extraction, thermal
+// factorisation and warm transition memo) across runs: bus state, encoder
+// state, wire temperatures, samples, totals and the sticky error are all
+// cleared; the memo's cached transition energies are kept — they depend
+// only on the model, so a reused simulator replays runs bit-identically.
+func (s *Simulator) Reset() {
+	s.acc.ResetAll()
+	s.net.Reset()
+	s.enc.Reset()
+	s.cycleInInterval = 0
+	s.cycles = 0
+	s.samples = nil
+	s.totalEnergy = energy.LineEnergy{}
+	for i := range s.lineTotals {
+		s.lineTotals[i] = energy.LineEnergy{}
+	}
+	s.err = nil
+}
 
 // Samples returns the retained interval samples.
 func (s *Simulator) Samples() []Sample { return s.samples }

@@ -146,15 +146,33 @@ func (m *Model) transition(prev, cur uint64, out []LineEnergy) LineEnergy {
 	if diff == 0 {
 		return LineEnergy{}
 	}
+	var idx [64]int
+	var les [64]LineEnergy
+	s := bits.OnesCount64(diff)
+	total := m.transitionSparse(diff, cur&diff, idx[:s], les[:s])
+	for a := 0; a < s; a++ {
+		out[idx[a]] = les[a]
+	}
+	return total
+}
+
+// transitionSparse computes the energies of the s switching lines of a
+// transition. The transition is described by its memoizable key: diff is
+// the switching mask (already width-masked, non-zero) and rising = cur&diff
+// is the subset of switching lines that rise — the per-line energies depend
+// on nothing else, because quiet lines contribute their coupling
+// capacitance independent of their logic value (Sec. 3.2). idx and les must
+// have length s = popcount(diff); idx receives the switching wire indices
+// in ascending order, les their energies. The bus-wide total is returned.
+func (m *Model) transitionSparse(diff, rising uint64, idx []int, les []LineEnergy) LineEnergy {
 	// Switching lines and their normalised transition direction
 	// vi = Vi/Vdd in {-1, +1}.
-	var idx [64]int
 	var dir [64]float64
 	s := 0
 	for d := diff; d != 0; d &= d - 1 {
 		i := bits.TrailingZeros64(d)
 		idx[s] = i
-		if cur&(1<<uint(i)) != 0 {
+		if rising&(1<<uint(i)) != 0 {
 			dir[s] = 1 // rising
 		} else {
 			dir[s] = -1 // falling
@@ -209,7 +227,7 @@ func (m *Model) transition(prev, cur uint64, out []LineEnergy) LineEnergy {
 			CoupAdj:    half * coupAdj[a],
 			CoupNonAdj: half * coupNon[a],
 		}
-		out[i] = le
+		les[a] = le
 		total.add(le)
 	}
 	return total
@@ -233,6 +251,9 @@ type Accumulator struct {
 	lines []LineEnergy
 	total LineEnergy
 	step  []LineEnergy
+	// memo, when non-nil, caches per-transition results and switches Step
+	// to the sparse accumulate path (identical numerics, see Memo).
+	memo *Memo
 }
 
 // NewAccumulator returns an accumulator over the model, starting from an
@@ -249,6 +270,22 @@ func NewAccumulator(m *Model) *Accumulator {
 // Model returns the underlying energy model.
 func (a *Accumulator) Model() *Model { return a.model }
 
+// EnableMemo attaches a fresh transition memo of 2^sizeLog2 entries
+// (0 = DefaultMemoSizeLog2) to the accumulator. Memoized stepping is
+// bit-identical to the direct kernel; only the cost changes.
+func (a *Accumulator) EnableMemo(sizeLog2 int) error {
+	m, err := NewMemo(a.model, sizeLog2)
+	if err != nil {
+		return err
+	}
+	a.memo = m
+	return nil
+}
+
+// Memo returns the attached transition memo, or nil when memoization is
+// disabled.
+func (a *Accumulator) Memo() *Memo { return a.memo }
+
 // Step transmits word on the bus for one cycle and accrues the transition
 // energy against the previously transmitted word.
 func (a *Accumulator) Step(word uint64) {
@@ -260,6 +297,18 @@ func (a *Accumulator) Step(word uint64) {
 	}
 	word &= mask(a.model.n)
 	if word == a.prev {
+		return
+	}
+	if a.memo != nil {
+		diff := a.prev ^ word
+		e := a.memo.lookup(diff, word&diff)
+		k := 0
+		for d := diff; d != 0; d &= d - 1 {
+			a.lines[bits.TrailingZeros64(d)].add(e.lines[k])
+			k++
+		}
+		a.total.add(e.total)
+		a.prev = word
 		return
 	}
 	tot := a.model.transition(a.prev, word, a.step)
@@ -306,6 +355,16 @@ func (a *Accumulator) Reset() {
 	a.total = LineEnergy{}
 	a.cycles = 0
 	a.idleCycles = 0
+}
+
+// ResetAll returns the accumulator to its initial undriven state: energies,
+// cycle counts, and the held word are all cleared. The memo cache and its
+// counters are deliberately kept — a sweep driver replaying new traffic
+// through the same model wants the cache warm.
+func (a *Accumulator) ResetAll() {
+	a.Reset()
+	a.first = true
+	a.prev = 0
 }
 
 func mask(n int) uint64 {

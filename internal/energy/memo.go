@@ -1,0 +1,151 @@
+// Transition-energy memoization. The per-line energies of a bus transition
+// depend only on the pair (diff, rising): the switching mask and the subset
+// of switching lines that rise (see transitionSparse). Address streams are
+// extremely repetitive — an IA bus mostly increments, a DA bus cycles
+// through a working set — so a small direct-mapped cache over that key
+// converts the O(s^2) pairwise kernel into an O(s) sparse accumulate for
+// the overwhelming majority of cycles.
+package energy
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// DefaultMemoSizeLog2 sizes the transition memo at 2^14 = 16384 entries —
+// large enough that SPEC-style address windows hit in the high 90s percent,
+// small enough (a few MB with typical switching densities) to stay resident
+// per simulator.
+const DefaultMemoSizeLog2 = 14
+
+// maxMemoSizeLog2 caps the table at 2^22 entries so a typo'd size cannot
+// silently allocate gigabytes.
+const maxMemoSizeLog2 = 22
+
+// memoEntry is one direct-mapped slot: the key pair plus the sparse
+// per-switching-line energies (ascending wire order, one per set bit of
+// diff) and their bus-wide total. diff == 0 marks an unused slot, because a
+// no-op transition is filtered out before lookup.
+type memoEntry struct {
+	diff, rising uint64
+	total        LineEnergy
+	lines        []LineEnergy
+}
+
+// Memo is a direct-mapped transition-energy cache over one Model. It is not
+// safe for concurrent use; give each goroutine's Accumulator its own Memo
+// (the sweep runner does).
+type Memo struct {
+	model *Model
+	mask  uint64
+	table []memoEntry
+
+	hits, misses uint64
+	used         uint64
+
+	idx [64]int // scratch for miss-path index decoding
+}
+
+// MemoStats are the cache observability counters.
+type MemoStats struct {
+	// Hits and Misses count Lookup outcomes; a miss computes the kernel
+	// and installs (or replaces) an entry.
+	Hits, Misses uint64
+	// Entries is the number of occupied slots, Capacity the table size.
+	Entries, Capacity uint64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s MemoStats) HitRate() float64 {
+	n := s.Hits + s.Misses
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(n)
+}
+
+// NewMemo builds a transition memo of 2^sizeLog2 entries over the model.
+// sizeLog2 == 0 selects DefaultMemoSizeLog2.
+func NewMemo(m *Model, sizeLog2 int) (*Memo, error) {
+	if m == nil {
+		return nil, fmt.Errorf("energy: NewMemo over nil model")
+	}
+	if sizeLog2 == 0 {
+		sizeLog2 = DefaultMemoSizeLog2
+	}
+	if sizeLog2 < 1 || sizeLog2 > maxMemoSizeLog2 {
+		return nil, fmt.Errorf("energy: memo size 2^%d outside [2^1, 2^%d]", sizeLog2, maxMemoSizeLog2)
+	}
+	size := uint64(1) << uint(sizeLog2)
+	return &Memo{
+		model: m,
+		mask:  size - 1,
+		table: make([]memoEntry, size),
+	}, nil
+}
+
+// Model returns the model the memo caches for.
+func (c *Memo) Model() *Model { return c.model }
+
+// Stats returns the hit/miss/occupancy counters.
+func (c *Memo) Stats() MemoStats {
+	return MemoStats{Hits: c.hits, Misses: c.misses, Entries: c.used, Capacity: uint64(len(c.table))}
+}
+
+// memoHash mixes the (diff, rising) key into a table index. rising is a
+// subset of diff, so the pair is highly correlated; a multiply-xorshift of
+// each half keeps sequential address patterns from clustering in one way.
+func memoHash(diff, rising uint64) uint64 {
+	h := diff*0x9e3779b97f4a7c15 ^ rising*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	h *= 0x94d049bb133111eb
+	h ^= h >> 32
+	return h
+}
+
+// lookup returns the cache entry for a non-zero switching mask diff and its
+// rising subset, computing and installing it on a miss (direct-mapped:
+// a colliding key evicts the previous occupant). The returned entry is
+// valid until the next lookup.
+func (c *Memo) lookup(diff, rising uint64) *memoEntry {
+	e := &c.table[memoHash(diff, rising)&c.mask]
+	if e.diff == diff && e.rising == rising {
+		c.hits++
+		return e
+	}
+	c.misses++
+	if e.diff == 0 {
+		c.used++
+	}
+	s := bits.OnesCount64(diff)
+	if cap(e.lines) < s {
+		e.lines = make([]LineEnergy, s)
+	}
+	e.lines = e.lines[:s]
+	e.total = c.model.transitionSparse(diff, rising, c.idx[:s], e.lines)
+	e.diff, e.rising = diff, rising
+	return e
+}
+
+// Transition is the memoized equivalent of Model.Transition: identical
+// contract, bit-identical results (the miss path runs the same sparse
+// kernel the model does, and hits replay its stored output).
+func (c *Memo) Transition(prev, cur uint64, out []LineEnergy) (LineEnergy, error) {
+	if len(out) != c.model.n {
+		return LineEnergy{}, fmt.Errorf("energy: out length %d, want %d", len(out), c.model.n)
+	}
+	for i := range out {
+		out[i] = LineEnergy{}
+	}
+	diff := (prev ^ cur) & mask(c.model.n)
+	if diff == 0 {
+		return LineEnergy{}, nil
+	}
+	e := c.lookup(diff, cur&diff)
+	k := 0
+	for d := diff; d != 0; d &= d - 1 {
+		out[bits.TrailingZeros64(d)] = e.lines[k]
+		k++
+	}
+	return e.total, nil
+}

@@ -2,12 +2,11 @@ package expt
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"nanobus/internal/core"
 	"nanobus/internal/encoding"
 	"nanobus/internal/itrs"
+	"nanobus/internal/parallel"
 	"nanobus/internal/trace"
 	"nanobus/internal/workload"
 )
@@ -50,12 +49,19 @@ type Fig3Options struct {
 	Schemes []string
 	// Buses to evaluate; nil means both ("DA", "IA").
 	Buses []string
+	// Workers bounds the sweep-pool concurrency; zero means GOMAXPROCS.
+	Workers int
 }
 
 // Fig3 runs the study and returns per-benchmark cells followed by
 // cross-benchmark mean cells (Benchmark == "mean"). The same captured
 // trace window drives every (node, scheme) pair of a benchmark, exactly
 // like the paper replaying one SHADE trace through each configuration.
+//
+// One simulator is built per (node, scheme, bus) configuration and reused
+// (via Reset) across every benchmark, so the capacitance extraction,
+// thermal factorisation and transition memo are paid once; the benchmarks
+// then replay through the shared parallel sweep pool.
 func Fig3(opts Fig3Options) ([]Fig3Cell, error) {
 	cycles := opts.Cycles
 	if cycles == 0 {
@@ -78,10 +84,6 @@ func Fig3(opts Fig3Options) ([]Fig3Cell, error) {
 		buses = []string{"DA", "IA"}
 	}
 
-	var cells []Fig3Cell
-	type key struct{ bus, node, scheme string }
-	sums := map[key]*Fig3Cell{}
-
 	type job struct {
 		node   itrs.Node
 		scheme string
@@ -96,6 +98,29 @@ func Fig3(opts Fig3Options) ([]Fig3Cell, error) {
 		}
 	}
 
+	// Build every configuration's simulator once, in parallel (extraction
+	// and the thermal eigendecomposition dominate construction time).
+	sims, err := parallel.Map(opts.Workers, len(jobs), func(ji int) (*core.Simulator, error) {
+		jb := jobs[ji]
+		enc, err := encoding.New(jb.scheme)
+		if err != nil {
+			return nil, err
+		}
+		return core.New(core.Config{
+			Node:          jb.node,
+			Encoder:       enc,
+			CouplingDepth: -1,
+			DropSamples:   true,
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("expt: fig3 setup: %w", err)
+	}
+
+	var cells []Fig3Cell
+	type key struct{ bus, node, scheme string }
+	sums := map[key]*Fig3Cell{}
+
 	for _, name := range benchNames {
 		b, ok := workload.ByName(name)
 		if !ok {
@@ -105,59 +130,32 @@ func Fig3(opts Fig3Options) ([]Fig3Cell, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Replay the shared read-only window through every configuration
-		// concurrently (one worker per CPU).
-		results := make([]Fig3Cell, len(jobs))
-		errs := make([]error, len(jobs))
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		var wg sync.WaitGroup
-		for ji, jb := range jobs {
-			wg.Add(1)
-			go func(ji int, jb job) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				enc, err := encoding.New(jb.scheme)
-				if err != nil {
-					errs[ji] = err
-					return
-				}
-				sim, err := core.New(core.Config{
-					Node:          jb.node,
-					Encoder:       enc,
-					CouplingDepth: -1,
-					DropSamples:   true,
-				})
-				if err != nil {
-					errs[ji] = err
-					return
-				}
-				kind := "da"
-				if jb.bus == "IA" {
-					kind = "ia"
-				}
-				src := trace.NewSliceSource(window)
-				if _, err := core.RunSingle(src, sim, kind, cycles); err != nil {
-					errs[ji] = err
-					return
-				}
-				tot := sim.TotalEnergy()
-				results[ji] = Fig3Cell{
-					Bus: jb.bus, Node: jb.node.Name, Scheme: jb.scheme,
-					Benchmark: name,
-					Self:      tot.Self,
-					NN:        tot.Self + tot.CoupAdj,
-					All:       tot.Total(),
-					Cycles:    sim.Cycles(),
-				}
-			}(ji, jb)
-		}
-		wg.Wait()
-		for ji, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("expt: fig3 %s/%s/%s: %w",
-					jobs[ji].bus, jobs[ji].node.Name, jobs[ji].scheme, err)
+		// Replay the shared read-only window through every configuration on
+		// the sweep pool; each job owns its simulator, so reuse is safe.
+		results, err := parallel.Map(opts.Workers, len(jobs), func(ji int) (Fig3Cell, error) {
+			jb := jobs[ji]
+			sim := sims[ji]
+			sim.Reset()
+			kind := "da"
+			if jb.bus == "IA" {
+				kind = "ia"
 			}
+			src := trace.NewSliceSource(window)
+			if _, err := core.RunSingle(src, sim, kind, cycles); err != nil {
+				return Fig3Cell{}, fmt.Errorf("%s/%s/%s: %w", jb.bus, jb.node.Name, jb.scheme, err)
+			}
+			tot := sim.TotalEnergy()
+			return Fig3Cell{
+				Bus: jb.bus, Node: jb.node.Name, Scheme: jb.scheme,
+				Benchmark: name,
+				Self:      tot.Self,
+				NN:        tot.Self + tot.CoupAdj,
+				All:       tot.Total(),
+				Cycles:    sim.Cycles(),
+			}, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("expt: fig3: %w", err)
 		}
 		for _, cell := range results {
 			cells = append(cells, cell)

@@ -5,6 +5,7 @@ import (
 
 	"nanobus/internal/core"
 	"nanobus/internal/itrs"
+	"nanobus/internal/parallel"
 	"nanobus/internal/stats"
 	"nanobus/internal/trace"
 	"nanobus/internal/workload"
@@ -52,11 +53,16 @@ type Fig4Options struct {
 	// inserts miss-stall idle cycles (the timing-aware extension; the
 	// paper's SHADE traces are functional, one instruction per cycle).
 	Timing bool
+	// Workers bounds the per-benchmark sweep concurrency; zero means
+	// GOMAXPROCS.
+	Workers int
 }
 
 // Fig4 reproduces the paper's transient energy/temperature plots: for each
 // benchmark, both address buses are driven from one trace while their
-// thermal networks integrate interval power with RK4.
+// thermal networks advance interval power through the exact propagator.
+// Benchmarks run concurrently on the shared sweep pool; the output order
+// (DA then IA per benchmark, benchmarks in input order) is deterministic.
 func Fig4(opts Fig4Options) ([]Fig4Series, error) {
 	cycles := opts.Cycles
 	if cycles == 0 {
@@ -70,34 +76,41 @@ func Fig4(opts Fig4Options) ([]Fig4Series, error) {
 	if benchNames == nil {
 		benchNames = []string{"eon", "swim"}
 	}
-	var out []Fig4Series
-	for _, name := range benchNames {
+	pairs, err := parallel.Map(opts.Workers, len(benchNames), func(bi int) ([2]Fig4Series, error) {
+		name := benchNames[bi]
 		b, ok := workload.ByName(name)
 		if !ok {
-			return nil, fmt.Errorf("expt: unknown benchmark %q", name)
+			return [2]Fig4Series{}, fmt.Errorf("expt: unknown benchmark %q", name)
 		}
 		src, err := b.NewWarmSource(b.WarmupCycles)
 		if err != nil {
-			return nil, err
+			return [2]Fig4Series{}, err
 		}
 		if opts.Timing {
 			ta, err := trace.NewTimingAdapter(src, trace.DefaultLatencies())
 			if err != nil {
-				return nil, err
+				return [2]Fig4Series{}, err
 			}
 			src = ta
 		}
 		ia, da, err := newPair(node, opts.IntervalCycles)
 		if err != nil {
-			return nil, err
+			return [2]Fig4Series{}, err
 		}
 		if _, err := core.RunPair(src, ia, da, cycles); err != nil {
-			return nil, err
+			return [2]Fig4Series{}, err
 		}
-		out = append(out,
+		return [2]Fig4Series{
 			summarise(name, "DA", node.Name, da.Samples()),
 			summarise(name, "IA", node.Name, ia.Samples()),
-		)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig4Series, 0, 2*len(pairs))
+	for _, p := range pairs {
+		out = append(out, p[0], p[1])
 	}
 	return out, nil
 }

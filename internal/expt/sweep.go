@@ -1,0 +1,78 @@
+package expt
+
+import (
+	"fmt"
+
+	"nanobus/internal/itrs"
+	"nanobus/internal/parallel"
+	"nanobus/internal/workload"
+)
+
+// This file hosts the multi-benchmark sweep variants of the single-shot
+// studies. They all share the same shape — independent per-benchmark jobs
+// on the bounded parallel pool, results in benchmark order, lowest-index
+// first error — so the drivers in cmd/nanobus can run whole tables with
+// one call instead of looping serially.
+
+// resolveBenchmarks expands nil to the full benchmark set and validates
+// explicit names early, before any worker spins up.
+func resolveBenchmarks(names []string) ([]string, error) {
+	if names == nil {
+		return workload.Names(), nil
+	}
+	for _, n := range names {
+		if _, ok := workload.ByName(n); !ok {
+			return nil, fmt.Errorf("expt: unknown benchmark %q", n)
+		}
+	}
+	return names, nil
+}
+
+// BaselinesSweep runs the prior-art comparison for every benchmark (nil
+// means all) concurrently, returning results in benchmark order.
+func BaselinesSweep(benchmarks []string, node itrs.Node, cycles uint64, workers int) ([]*BaselineComparison, error) {
+	names, err := resolveBenchmarks(benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Map(workers, len(names), func(i int) (*BaselineComparison, error) {
+		return Baselines(names[i], node, cycles)
+	})
+}
+
+// EncStatsSweep runs the encoder-statistics study for every benchmark (nil
+// means all) concurrently; the result is one flattened slice, benchmarks in
+// order, the per-benchmark scheme order preserved.
+func EncStatsSweep(benchmarks []string, opts EncStatsOptions, workers int) ([]EncoderStats, error) {
+	names, err := resolveBenchmarks(benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := parallel.Map(workers, len(names), func(i int) ([]EncoderStats, error) {
+		o := opts
+		o.Benchmark = names[i]
+		return EncStats(o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []EncoderStats
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+// L2BusSweep runs the L2-bus extension for every benchmark (nil means all)
+// concurrently, returning results in benchmark order.
+func L2BusSweep(benchmarks []string, opts L2BusOptions, workers int) ([]*L2BusResult, error) {
+	names, err := resolveBenchmarks(benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Map(workers, len(names), func(i int) (*L2BusResult, error) {
+		o := opts
+		o.Benchmark = names[i]
+		return L2Bus(o)
+	})
+}

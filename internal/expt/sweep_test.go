@@ -1,0 +1,103 @@
+package expt
+
+import (
+	"testing"
+
+	"nanobus/internal/itrs"
+)
+
+// TestFig3DeterministicAcrossWorkers requires the pooled sweep to return
+// exactly the same cells no matter the worker count — the determinism
+// contract of the shared runner (and of simulator reuse via Reset).
+func TestFig3DeterministicAcrossWorkers(t *testing.T) {
+	base := Fig3Options{
+		Cycles:     20_000,
+		Benchmarks: []string{"eon", "swim"},
+		Nodes:      []itrs.Node{itrs.N130},
+		Schemes:    []string{"BI", "Unencoded"},
+		Buses:      []string{"DA"},
+	}
+	var ref []Fig3Cell
+	for _, workers := range []int{1, 2, 4} {
+		opts := base
+		opts.Workers = workers
+		cells, err := Fig3(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = cells
+			continue
+		}
+		if len(cells) != len(ref) {
+			t.Fatalf("workers=%d: %d cells, want %d", workers, len(cells), len(ref))
+		}
+		for i := range ref {
+			if cells[i] != ref[i] {
+				t.Fatalf("workers=%d cell %d: %+v != serial %+v", workers, i, cells[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestBaselinesSweepMatchesSerial checks ordering and value agreement with
+// the single-shot driver.
+func TestBaselinesSweepMatchesSerial(t *testing.T) {
+	names := []string{"swim", "mcf"}
+	got, err := BaselinesSweep(names, itrs.N130, 200_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d results, want 2", len(got))
+	}
+	for i, name := range names {
+		want, err := Baselines(name, itrs.N130, 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Benchmark != name {
+			t.Errorf("result %d is %q, want %q (ordering)", i, got[i].Benchmark, name)
+		}
+		if *got[i] != *want {
+			t.Errorf("%s: sweep %+v != serial %+v", name, got[i], want)
+		}
+	}
+	if _, err := BaselinesSweep([]string{"nope"}, itrs.N130, 1000, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestEncStatsSweepFlattening checks the flattened benchmark-major order.
+func TestEncStatsSweepFlattening(t *testing.T) {
+	names := []string{"eon", "gzip"}
+	got, err := EncStatsSweep(names, EncStatsOptions{Cycles: 50_000}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 { // 2 benchmarks x 3 schemes
+		t.Fatalf("%d rows, want 6", len(got))
+	}
+	wantOrder := []string{"eon", "eon", "eon", "gzip", "gzip", "gzip"}
+	for i, row := range got {
+		if row.Benchmark != wantOrder[i] {
+			t.Errorf("row %d benchmark %q, want %q", i, row.Benchmark, wantOrder[i])
+		}
+	}
+}
+
+// TestL2BusSweep checks ordering and agreement with the single-shot driver.
+func TestL2BusSweep(t *testing.T) {
+	names := []string{"mcf"}
+	got, err := L2BusSweep(names, L2BusOptions{Cycles: 100_000}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := L2Bus(L2BusOptions{Cycles: 100_000, Benchmark: "mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || *got[0] != *want {
+		t.Fatalf("sweep %+v != serial %+v", got[0], want)
+	}
+}

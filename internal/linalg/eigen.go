@@ -1,0 +1,132 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// eigenEps is the relative deflation threshold of the QL iteration: an
+// off-diagonal element is treated as zero once it is below machine epsilon
+// times the magnitude of its diagonal neighbours.
+const eigenEps = 2.220446049250313e-16
+
+// eigenMaxIter bounds the implicit-shift sweeps per eigenvalue; symmetric
+// tridiagonal QL converges in a handful of sweeps, so hitting this limit
+// indicates non-finite input.
+const eigenMaxIter = 64
+
+// SymTridiagEigen computes the full eigendecomposition of the symmetric
+// tridiagonal matrix T with main diagonal d (length n) and off-diagonal e
+// (length n-1, e[i] coupling rows i and i+1). It returns the eigenvalues in
+// ascending order and an orthonormal matrix Q whose columns are the
+// matching eigenvectors, so that T = Q * diag(w) * Q^T.
+//
+// The implementation is the classical QL iteration with implicit Wilkinson
+// shifts (Golub & Van Loan, Sec. 8.3): O(n^2) for the eigenvalues plus
+// O(n^3) for accumulating the rotations into Q. It is the factorisation
+// behind the thermal model's exact interval propagator, where T is the
+// symmetrized conductance-over-capacitance system of the bus.
+func SymTridiagEigen(d, e []float64) ([]float64, *Matrix, error) {
+	n := len(d)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("linalg: SymTridiagEigen of empty matrix")
+	}
+	if len(e) != n-1 {
+		return nil, nil, fmt.Errorf("linalg: SymTridiagEigen off-diagonal length %d, want %d", len(e), n-1)
+	}
+	for i, v := range d {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, nil, fmt.Errorf("linalg: SymTridiagEigen non-finite diagonal d[%d] = %g", i, v)
+		}
+	}
+	for i, v := range e {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, nil, fmt.Errorf("linalg: SymTridiagEigen non-finite off-diagonal e[%d] = %g", i, v)
+		}
+	}
+	// Working copies: dd becomes the eigenvalues, ee is consumed. ee is
+	// padded to length n so index m+1 reads below never go out of range.
+	dd := make([]float64, n)
+	copy(dd, d)
+	ee := make([]float64, n)
+	copy(ee, e)
+	z := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		z.Set(i, i, 1)
+	}
+
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find the first negligible off-diagonal at or after l.
+			var m int
+			for m = l; m < n-1; m++ {
+				t := math.Abs(dd[m]) + math.Abs(dd[m+1])
+				if math.Abs(ee[m]) <= eigenEps*t {
+					break
+				}
+			}
+			if m == l {
+				break // dd[l] has converged to an eigenvalue
+			}
+			if iter == eigenMaxIter {
+				return nil, nil, fmt.Errorf("linalg: SymTridiagEigen did not converge at row %d", l)
+			}
+			// Wilkinson-style implicit shift from the leading 2x2.
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := math.Hypot(g, 1)
+			g = dd[m] - dd[l] + ee[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			underflow := false
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = math.Hypot(f, g)
+				ee[i+1] = r
+				if r == 0 { //nanolint:ignore floateq exact underflow of the rotation radius; the sweep restarts cleanly
+					dd[i+1] -= p
+					ee[m] = 0
+					underflow = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+				// Accumulate the Givens rotation into the eigenvector
+				// matrix (columns i and i+1).
+				for k := 0; k < n; k++ {
+					f := z.At(k, i+1)
+					z.Set(k, i+1, s*z.At(k, i)+c*f)
+					z.Set(k, i, c*z.At(k, i)-s*f)
+				}
+			}
+			if underflow {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+
+	// Sort eigenvalues ascending, permuting eigenvector columns to match.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return dd[perm[a]] < dd[perm[b]] })
+	w := make([]float64, n)
+	q := newMatrix(n, n)
+	for j, pj := range perm {
+		w[j] = dd[pj]
+		for i := 0; i < n; i++ {
+			q.Set(i, j, z.At(i, pj))
+		}
+	}
+	return w, q, nil
+}

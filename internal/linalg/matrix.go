@@ -116,6 +116,23 @@ func (m *Matrix) mulVec(x []float64) []float64 {
 	return y
 }
 
+// MulVecInto computes y = M x without allocating. x must have length Cols
+// and y length Rows; y must not alias x.
+func (m *Matrix) MulVecInto(x, y []float64) error {
+	if len(x) != m.cols || len(y) != m.rows {
+		return fmt.Errorf("linalg: MulVecInto dimension mismatch: x=%d y=%d for %dx%d", len(x), len(y), m.rows, m.cols)
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return nil
+}
+
 // Mul computes the matrix product M*B.
 func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 	if m.cols != b.rows {

@@ -8,6 +8,7 @@ package ode
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // System is the right-hand side of an ODE system: dydt receives the
@@ -78,7 +79,9 @@ func (r *RK4) Integrate(s System, t0, t1 float64, y []float64) (int, error) {
 	}
 	steps := 1
 	if r.MaxStep > 0 && span > r.MaxStep {
-		steps = int(span/r.MaxStep) + 1
+		// Ceil, not trunc+1: an exact multiple of MaxStep should not pay
+		// an extra (and smaller) step.
+		steps = int(math.Ceil(span / r.MaxStep))
 	}
 	h := span / float64(steps)
 	r.ensure(n)
@@ -136,7 +139,7 @@ func (e *Euler) Integrate(s System, t0, t1 float64, y []float64) (int, error) {
 	}
 	steps := 1
 	if e.MaxStep > 0 && span > e.MaxStep {
-		steps = int(span/e.MaxStep) + 1
+		steps = int(math.Ceil(span / e.MaxStep))
 	}
 	h := span / float64(steps)
 	if len(e.dydt) < n {

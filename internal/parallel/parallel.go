@@ -1,0 +1,136 @@
+// Package parallel is the shared sweep runner for the experiment drivers.
+// Every figure/table driver fans the same shape of work out — an independent
+// job per (node, scheme, benchmark) tuple — so they share one bounded worker
+// pool instead of five hand-rolled goroutine fan-outs.
+//
+// Semantics:
+//
+//   - Concurrency is bounded by Workers (default GOMAXPROCS).
+//   - Results land at the index of their job: output ordering is
+//     deterministic regardless of scheduling.
+//   - On failure the pool stops dispatching new jobs and returns the error
+//     of the lowest-indexed failed job — also deterministic, because jobs
+//     are dispatched in index order from a monotonic counter, so every job
+//     below the first recorded failure has been dispatched and awaited.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the effective worker count: n when positive, otherwise
+// GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for i in [0, n) on at most Workers(workers)
+// goroutines. It waits for all started jobs, then returns the error of the
+// lowest-indexed failed job, or nil. After the first failure no new jobs are
+// dispatched (in-flight jobs still finish).
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n < 0 {
+		return fmt.Errorf("parallel: negative job count %d", n)
+	}
+	if fn == nil {
+		return fmt.Errorf("parallel: nil job function")
+	}
+	if n == 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		// Serial fast path: no goroutines, exact first-error semantics.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return fmt.Errorf("parallel: job %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64 // dispatch counter
+		failed   atomic.Int64 // lowest failed index + 1, 0 = none
+		errs     = make([]error, n)
+		wg       sync.WaitGroup
+		errsLock sync.Mutex
+	)
+	failed.Store(0)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Stop dispatching past a known failure; jobs below it
+				// must still run so "lowest failed index" is exact.
+				if f := failed.Load(); f != 0 && i >= int(f-1) {
+					return
+				}
+				if err := fn(i); err != nil {
+					errsLock.Lock()
+					errs[i] = err
+					errsLock.Unlock()
+					// Record the minimum failed index.
+					for {
+						f := failed.Load()
+						if f != 0 && int(f-1) <= i {
+							break
+						}
+						if failed.CompareAndSwap(f, int64(i+1)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if f := failed.Load(); f != 0 {
+		// The recorded index is the minimum among jobs that ran; jobs with
+		// a lower index all completed (dispatch is monotonic), and any that
+		// failed would have lowered the record. Scan for exactness anyway —
+		// it is O(n) once, and makes the guarantee independent of memory-
+		// ordering subtleties.
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("parallel: job %d: %w", i, err)
+			}
+		}
+		return fmt.Errorf("parallel: job %d: %w", int(f-1), errs[f-1])
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) with ForEach semantics and collects the results
+// in job order. On error the partial results are discarded.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("parallel: nil map function")
+	}
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("explicit worker count not honoured")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Error("defaulted worker count < 1")
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		got, err := Map(workers, 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers %d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	err := ForEach(workers, 50, func(i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent jobs with %d workers", p, workers)
+	}
+}
+
+func TestForEachRunsAllJobs(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	if err := ForEach(4, 1000, func(i int) error {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("%d distinct jobs ran, want 1000", len(seen))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		// Jobs 30 and 60 fail; the returned error must always be job 30's.
+		err := ForEach(workers, 100, func(i int) error {
+			if i == 30 || i == 60 {
+				return fmt.Errorf("job-%d: %w", i, sentinel)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers %d: error swallowed", workers)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers %d: wrapped cause lost: %v", workers, err)
+		}
+		if want := "job 30"; !containsSub(err.Error(), want) {
+			t.Errorf("workers %d: got %q, want the lowest-index failure (%s)", workers, err, want)
+		}
+	}
+}
+
+func TestForEachStopsDispatchAfterError(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(2, 10000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if n := ran.Load(); n > 1000 {
+		t.Errorf("%d jobs ran after an index-0 failure; dispatch did not stop", n)
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	if err := ForEach(4, -1, func(int) error { return nil }); err == nil {
+		t.Error("negative n accepted")
+	}
+	if err := ForEach(4, 5, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+	if _, err := Map[int](4, 5, nil); err == nil {
+		t.Error("nil map fn accepted")
+	}
+	// More workers than jobs must not deadlock or duplicate work.
+	got, err := Map(64, 2, func(i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("workers>jobs: got %v, %v", got, err)
+	}
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

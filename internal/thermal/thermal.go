@@ -10,11 +10,14 @@
 //	edge wires:   Pi = Ci*dθi/dt + (θi-θ0)/Ri + (θi-θnbr)/Rinter
 //	middle wires: Pi = Ci*dθi/dt + (θi-θ0)/Ri + (2θi-θi-1-θi+1)/Rinter
 //
-// with all quantities per unit length of the bus. They are integrated with
-// classical fourth-order Runge-Kutta (the paper's method, Sec. 5.3), with
-// automatic sub-stepping to stay inside RK4's stability region. An analytic
-// steady-state solver (tridiagonal Thomas algorithm) cross-validates the
-// transients.
+// with all quantities per unit length of the bus. Within an interval the
+// system is linear and time-invariant, so Advance applies the exact affine
+// propagator built from the eigendecomposition of the symmetrized
+// conductance system (see propagator.go) — machine-precision for any dt.
+// The paper's own method, classical fourth-order Runge-Kutta with automatic
+// sub-stepping (Sec. 5.3), is kept as a validation fallback behind
+// NodeOptions.UseRK4 / Config.ForceRK4. An analytic steady-state solver
+// (tridiagonal Thomas algorithm) cross-validates the transients.
 package thermal
 
 import (
@@ -47,6 +50,18 @@ type Network struct {
 	// dynPower is the dynamic (switching) power input during the current
 	// Advance call, W/m.
 	dynPower []float64
+
+	// Precomputed conduction structure: gVert[i] = 1/rVert[i], gLat[i] =
+	// 1/rLat[i] (nil without lateral coupling), and the tridiagonal
+	// conductance matrix G used by the steady-state solver and the exact
+	// propagator (ssSub/ssDiag/ssSup, Thomas-algorithm layout).
+	gVert, gLat          []float64
+	ssSub, ssDiag, ssSup []float64
+
+	// useRK4 selects the paper's sub-stepped RK4 integration instead of
+	// the exact propagator; prop is built lazily on first exact Advance.
+	useRK4 bool
+	prop   *propagator
 }
 
 // Config assembles a Network directly from per-wire parameters. Most
@@ -72,6 +87,11 @@ type Config struct {
 	// MaxStep bounds the RK4 internal step in seconds; zero picks half
 	// of the smallest wire time constant.
 	MaxStep float64
+	// ForceRK4 integrates Advance with the paper's sub-stepped RK4
+	// instead of the exact interval propagator (validation fallback; the
+	// two agree to integration tolerance, the propagator to machine
+	// precision).
+	ForceRK4 bool
 }
 
 // New builds a Network from the configuration.
@@ -130,9 +150,38 @@ func New(cfg Config) (*Network, error) {
 		interPower: ip,
 		temps:      make([]float64, n),
 		dynPower:   make([]float64, n),
+		useRK4:     cfg.ForceRK4,
 	}
 	for i := range nw.temps {
 		nw.temps[i] = cfg.Ambient
+	}
+	// Precompute the conductance structure shared by the steady-state
+	// solver, the RK4 right-hand side and the exact propagator.
+	nw.gVert = make([]float64, n)
+	for i, r := range rv {
+		nw.gVert[i] = 1 / r
+	}
+	if len(rl) > 0 {
+		nw.gLat = make([]float64, n-1)
+		for i, r := range rl {
+			nw.gLat[i] = 1 / r
+		}
+	}
+	nw.ssSub = make([]float64, n)
+	nw.ssDiag = make([]float64, n)
+	nw.ssSup = make([]float64, n)
+	for i := 0; i < n; i++ {
+		nw.ssDiag[i] = nw.gVert[i]
+		if nw.gLat != nil {
+			if i > 0 {
+				nw.ssDiag[i] += nw.gLat[i-1]
+				nw.ssSub[i] = -nw.gLat[i-1]
+			}
+			if i < n-1 {
+				nw.ssDiag[i] += nw.gLat[i]
+				nw.ssSup[i] = -nw.gLat[i]
+			}
+		}
 	}
 	maxStep := cfg.MaxStep
 	if maxStep <= 0 {
@@ -251,26 +300,33 @@ func (nw *Network) Dim() int { return nw.n }
 
 // Derivatives implements ode.System: the paper's Eqs. 3-4 rearranged for
 // dθ/dt, with the inter-layer heating added as a constant power source.
+// Resistances enter as the precomputed conductances, so the inner loop is
+// division-free.
 func (nw *Network) Derivatives(t float64, y, dydt []float64) {
 	n := nw.n
 	for i := 0; i < n; i++ {
 		p := nw.dynPower[i] + nw.interPower[i]
-		q := p - (y[i]-nw.ambient)/nw.rVert[i]
-		if len(nw.rLat) > 0 {
+		q := p - (y[i]-nw.ambient)*nw.gVert[i]
+		if nw.gLat != nil {
 			if i > 0 {
-				q -= (y[i] - y[i-1]) / nw.rLat[i-1]
+				q -= (y[i] - y[i-1]) * nw.gLat[i-1]
 			}
 			if i < n-1 {
-				q -= (y[i] - y[i+1]) / nw.rLat[i]
+				q -= (y[i] - y[i+1]) * nw.gLat[i]
 			}
 		}
 		dydt[i] = q / nw.heatCap[i]
 	}
 }
 
-// Advance integrates the network over dt seconds with the given per-wire
+// Advance moves the network over dt seconds with the given per-wire
 // dynamic power (W/m, piecewise constant over the interval — the paper's
 // 100K-cycle interval power). power may be nil for an idle interval.
+//
+// By default the step is the exact affine propagator (see propagator.go):
+// one tridiagonal steady-state solve plus a matvec-scale-matvec through the
+// precomputed eigenbasis, exact to machine precision for any dt. With
+// UseRK4/ForceRK4 set the paper's sub-stepped RK4 integration runs instead.
 func (nw *Network) Advance(dt float64, power []float64) error {
 	if dt <= 0 {
 		return fmt.Errorf("thermal: non-positive dt %g", dt)
@@ -290,8 +346,27 @@ func (nw *Network) Advance(dt float64, power []float64) error {
 		}
 		copy(nw.dynPower, power)
 	}
-	_, err := nw.integ.Integrate(nw, 0, dt, nw.temps)
-	return err
+	if nw.useRK4 {
+		_, err := nw.integ.Integrate(nw, 0, dt, nw.temps)
+		return err
+	}
+	if nw.prop == nil {
+		p, err := newPropagator(nw)
+		if err != nil {
+			return err
+		}
+		nw.prop = p
+	}
+	return nw.prop.advance(nw, dt)
+}
+
+// Reset returns every wire to the current ambient temperature. The network
+// structure, the precomputed conductances and the spectral propagator are
+// kept, so sweep drivers can reuse one network across runs for free.
+func (nw *Network) Reset() {
+	for i := range nw.temps {
+		nw.temps[i] = nw.ambient
+	}
 }
 
 // SteadyState returns the equilibrium temperatures for a constant per-wire
@@ -305,31 +380,26 @@ func (nw *Network) SteadyState(power []float64) ([]float64, error) {
 	if power != nil && len(power) != n {
 		return nil, fmt.Errorf("thermal: power length %d, want %d", len(power), n)
 	}
-	sub := make([]float64, n)
-	diag := make([]float64, n)
-	sup := make([]float64, n)
-	rhs := make([]float64, n)
-	for i := 0; i < n; i++ {
-		gi := 1 / nw.rVert[i]
-		diag[i] = gi
-		rhs[i] = nw.interPower[i] + gi*nw.ambient
-		if power != nil {
-			rhs[i] += power[i]
-		}
-		if len(nw.rLat) > 0 {
-			if i > 0 {
-				g := 1 / nw.rLat[i-1]
-				diag[i] += g
-				sub[i] = -g
-			}
-			if i < n-1 {
-				g := 1 / nw.rLat[i]
-				diag[i] += g
-				sup[i] = -g
-			}
-		}
+	out := make([]float64, n)
+	err := nw.steadyInto(power, make([]float64, n), make([]float64, n), make([]float64, n), out)
+	if err != nil {
+		return nil, err
 	}
-	return linalg.SolveTridiagonal(sub, diag, sup, rhs)
+	return out, nil
+}
+
+// steadyInto is the allocation-free steady-state solve over the
+// precomputed conductance matrix: rhs, cp and dp are scratch, out receives
+// the temperatures. The propagator calls this once per Advance.
+func (nw *Network) steadyInto(power, rhs, cp, dp, out []float64) error {
+	for i := 0; i < nw.n; i++ {
+		r := nw.interPower[i] + nw.gVert[i]*nw.ambient
+		if power != nil {
+			r += power[i]
+		}
+		rhs[i] = r
+	}
+	return linalg.SolveTridiagonalInto(nw.ssSub, nw.ssDiag, nw.ssSup, rhs, cp, dp, out)
 }
 
 // WireGeometry bundles the geometric and material inputs of Eqs. 5-6.
@@ -453,6 +523,9 @@ type NodeOptions struct {
 	ViaAreaFraction float64
 	// MaxStep bounds the RK4 internal step; zero auto-selects.
 	MaxStep float64
+	// UseRK4 selects the paper's sub-stepped RK4 integration instead of
+	// the exact interval propagator (validation fallback).
+	UseRK4 bool
 }
 
 // NewFromNode builds the thermal network of a wires-wide global bus on the
@@ -477,6 +550,7 @@ func NewFromNode(node itrs.Node, wires int, opts NodeOptions) (*Network, error) 
 		RVertical:    []float64{rv},
 		HeatCapacity: []float64{g.HeatCapacity(hcOpts)},
 		MaxStep:      opts.MaxStep,
+		ForceRK4:     opts.UseRK4,
 	}
 	if opts.Ambient > 0 {
 		cfg.Ambient = opts.Ambient
