@@ -1,0 +1,99 @@
+// Command nanobusd serves the unified bus energy/thermal model as a
+// long-running streaming HTTP service (the v1 API of internal/server).
+//
+//	nanobusd -addr :8080
+//
+// Sessions wrap reusable simulators recycled through a keyed pool; trace
+// words stream in as NDJSON or binary batches; per-interval samples
+// stream back. SIGINT/SIGTERM drains gracefully: new sessions are
+// refused, in-flight requests finish (bounded by -drain-timeout), then
+// the process exits 0.
+//
+//	nanobusd -addr 127.0.0.1:0 -shards 8 -max-sessions 1024 \
+//	         -max-batch 65536 -request-timeout 2m -drain-timeout 30s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nanobus/internal/server"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	fs := flag.NewFlagSet("nanobusd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	shards := fs.Int("shards", 0, "session-table shards (0 = default 8)")
+	maxSessions := fs.Int("max-sessions", 0, "max concurrently open sessions (0 = default 1024)")
+	maxBatch := fs.Int("max-batch", 0, "max words per batch (0 = default 65536)")
+	maxPool := fs.Int("max-pool", 0, "max recycled simulators kept per configuration (0 = default 32)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request timeout for step/result (0 = none)")
+	acqTimeout := fs.Duration("acquire-timeout", 0, "max wait for a busy session before 409 (0 = default 1s)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		Shards:         *shards,
+		MaxSessions:    *maxSessions,
+		MaxBatchWords:  *maxBatch,
+		MaxPoolPerKey:  *maxPool,
+		RequestTimeout: *reqTimeout,
+		AcquireTimeout: *acqTimeout,
+	})
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nanobusd: listen: %v\n", err)
+		return 1
+	}
+	// The smoke harness and operators parse this line for the bound port.
+	fmt.Printf("nanobusd: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "nanobusd: serve: %v\n", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+	}
+
+	fmt.Printf("nanobusd: signal received, draining (%d sessions active)\n", srv.SessionsActive())
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "nanobusd: drain timed out: %v\n", err)
+		if err := hs.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "nanobusd: close: %v\n", err)
+		}
+		return 1
+	}
+	fmt.Println("nanobusd: drained cleanly")
+	return 0
+}

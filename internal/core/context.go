@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"nanobus/internal/trace"
+)
+
+// Context-aware run loops. Cancellation granularity is one sampling
+// interval: the loops poll ctx.Err() when an interval closes (and once on
+// entry), never per cycle, so a cancelled context stops a run within at
+// most IntervalCycles cycles of simulated work while the hot path stays
+// free of per-cycle synchronization.
+
+// StepBatch drives one data word per cycle for every word in words,
+// checking ctx each time a sampling interval closes. It returns the number
+// of words consumed and the first error hit: ctx's error on cancellation,
+// or the simulator's sticky error if an interval flush poisoned it (see
+// Err). Like StepWord, StepBatch can poison the simulator.
+func (s *Simulator) StepBatch(ctx context.Context, words []uint32) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	for i, w := range words {
+		s.acc.Step(s.enc.Encode(w))
+		s.tick()
+		if s.cycleInInterval == 0 { // an interval just closed
+			if s.err != nil {
+				return i + 1, s.err
+			}
+			if err := ctx.Err(); err != nil {
+				return i + 1, err
+			}
+		}
+	}
+	return len(words), nil
+}
+
+// StepIdleBatch advances n idle cycles (the bus holds its value), checking
+// ctx each time a sampling interval closes. It returns the number of
+// cycles consumed and the first error hit, with the same semantics as
+// StepBatch.
+func (s *Simulator) StepIdleBatch(ctx context.Context, n uint64) (uint64, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	for i := uint64(0); i < n; i++ {
+		s.acc.Idle()
+		s.tick()
+		if s.cycleInInterval == 0 {
+			if s.err != nil {
+				return i + 1, s.err
+			}
+			if err := ctx.Err(); err != nil {
+				return i + 1, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// SetOnSample replaces the per-sample callback (Config.OnSample) for
+// subsequent intervals. Streaming consumers attach a callback for the
+// duration of one request and detach it with SetOnSample(nil); the
+// simulator must not be stepped concurrently.
+func (s *Simulator) SetOnSample(fn func(Sample)) { s.cfg.OnSample = fn }
+
+// RunPairContext drives separate instruction- and data-address bus
+// simulators from a trace source for up to maxCycles cycles, like RunPair,
+// but polls ctx once per sampling interval (the smaller of the two
+// simulators' intervals). On cancellation it returns ctx's error without
+// finishing the simulators; the partial state remains inspectable through
+// ia and da.
+func RunPairContext(ctx context.Context, src trace.Source, ia, da *Simulator, maxCycles uint64) (PairResult, error) {
+	if ia == nil || da == nil {
+		return PairResult{}, fmt.Errorf("core: nil simulator")
+	}
+	check := ia.interval
+	if da.interval < check {
+		check = da.interval
+	}
+	var n uint64
+	for n < maxCycles {
+		if n%check == 0 {
+			if err := ctx.Err(); err != nil {
+				return PairResult{}, err
+			}
+		}
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+		if c.IValid {
+			ia.StepWord(c.IAddr)
+		} else {
+			ia.StepIdle()
+		}
+		if c.DValid {
+			da.StepWord(c.DAddr)
+		} else {
+			da.StepIdle()
+		}
+	}
+	if err := ia.Finish(); err != nil {
+		return PairResult{}, err
+	}
+	if err := da.Finish(); err != nil {
+		return PairResult{}, err
+	}
+	return PairResult{IA: ia, DA: da, Cycles: n}, nil
+}
+
+// RunSingleContext drives one simulator from the source's instruction
+// stream (kind "ia") or data stream ("da") for up to maxCycles cycles,
+// polling ctx once per sampling interval. On cancellation it returns the
+// cycles consumed and ctx's error without finishing the simulator.
+func RunSingleContext(ctx context.Context, src trace.Source, sim *Simulator, kind string, maxCycles uint64) (uint64, error) {
+	if sim == nil {
+		return 0, fmt.Errorf("core: nil simulator")
+	}
+	if kind != "ia" && kind != "da" {
+		return 0, fmt.Errorf("core: unknown bus kind %q", kind)
+	}
+	var n uint64
+	for n < maxCycles {
+		if n%sim.interval == 0 {
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
+		}
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+		valid, addr := c.IValid, c.IAddr
+		if kind == "da" {
+			valid, addr = c.DValid, c.DAddr
+		}
+		if valid {
+			sim.StepWord(addr)
+		} else {
+			sim.StepIdle()
+		}
+	}
+	if err := sim.Finish(); err != nil {
+		return n, err
+	}
+	return n, nil
+}

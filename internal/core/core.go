@@ -11,6 +11,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"nanobus/internal/capmodel"
@@ -27,6 +29,17 @@ const DefaultLength = 0.01
 
 // DefaultIntervalCycles is the paper's energy/temperature sampling interval.
 const DefaultIntervalCycles = 100_000
+
+// ErrPoisoned marks a simulator whose interval flush failed: the sticky
+// error returned by Err, Finish, StepBatch and StepIdleBatch wraps it, so
+// callers can test errors.Is(err, ErrPoisoned). A poisoned simulator stops
+// emitting samples; Reset clears the condition.
+//
+// Every method that can close a sampling interval can poison the
+// simulator: StepWord, StepIdle, StepBatch, StepIdleBatch, and Finish
+// (which flushes the final partial interval). Read-only accessors
+// (Samples, Temps, TotalEnergy, ...) never do.
+var ErrPoisoned = errors.New("core: simulator poisoned")
 
 // Config assembles a bus Simulator.
 type Config struct {
@@ -196,13 +209,16 @@ func (s *Simulator) Encoder() encoding.Encoder { return s.enc }
 // Network exposes the thermal network (read-only use intended).
 func (s *Simulator) Network() *thermal.Network { return s.net }
 
-// StepWord drives one data word for one cycle.
+// StepWord drives one data word for one cycle. If the cycle closes a
+// sampling interval whose flush fails, the simulator is poisoned (see
+// ErrPoisoned); check Err or Finish.
 func (s *Simulator) StepWord(word uint32) {
 	s.acc.Step(s.enc.Encode(word))
 	s.tick()
 }
 
-// StepIdle advances one cycle with the bus holding its value.
+// StepIdle advances one cycle with the bus holding its value. Like
+// StepWord it can poison the simulator when an interval flush fails.
 func (s *Simulator) StepIdle() {
 	s.acc.Idle()
 	s.tick()
@@ -242,7 +258,7 @@ func (s *Simulator) flush(n uint64) {
 		// programming bug; record it sticky and stop sampling rather than
 		// take the library down.
 		if s.err == nil {
-			s.err = fmt.Errorf("core: thermal advance: %w", err)
+			s.err = fmt.Errorf("%w: thermal advance: %w", ErrPoisoned, err)
 		}
 		s.acc.Reset()
 		s.cycleInInterval = 0
@@ -283,7 +299,8 @@ func (s *Simulator) Finish() error {
 }
 
 // Err returns the first error recorded during stepping, or nil. Once an
-// error is recorded the simulator stops emitting samples.
+// error is recorded the simulator is poisoned (the error wraps
+// ErrPoisoned) and stops emitting samples; Reset clears it.
 func (s *Simulator) Err() error { return s.err }
 
 // MemoStats returns the transition-memo hit/miss counters, or the zero
@@ -344,70 +361,15 @@ type PairResult struct {
 // RunPair drives separate instruction- and data-address bus simulators
 // from a trace source for up to maxCycles cycles (the DA bus idles on
 // cycles without a data access, and both buses idle on injected idle
-// cycles). It finishes both simulators before returning.
+// cycles). It finishes both simulators before returning. RunPair is
+// RunPairContext with a background context.
 func RunPair(src trace.Source, ia, da *Simulator, maxCycles uint64) (PairResult, error) {
-	if ia == nil || da == nil {
-		return PairResult{}, fmt.Errorf("core: nil simulator")
-	}
-	var n uint64
-	for n < maxCycles {
-		c, ok := src.Next()
-		if !ok {
-			break
-		}
-		n++
-		if c.IValid {
-			ia.StepWord(c.IAddr)
-		} else {
-			ia.StepIdle()
-		}
-		if c.DValid {
-			da.StepWord(c.DAddr)
-		} else {
-			da.StepIdle()
-		}
-	}
-	if err := ia.Finish(); err != nil {
-		return PairResult{}, err
-	}
-	if err := da.Finish(); err != nil {
-		return PairResult{}, err
-	}
-	return PairResult{IA: ia, DA: da, Cycles: n}, nil
+	return RunPairContext(context.Background(), src, ia, da, maxCycles)
 }
 
 // RunSingle drives one simulator from the source's instruction stream
-// (kind "ia") or data stream ("da") for up to maxCycles cycles.
+// (kind "ia") or data stream ("da") for up to maxCycles cycles. RunSingle
+// is RunSingleContext with a background context.
 func RunSingle(src trace.Source, sim *Simulator, kind string, maxCycles uint64) (uint64, error) {
-	if sim == nil {
-		return 0, fmt.Errorf("core: nil simulator")
-	}
-	var n uint64
-	for n < maxCycles {
-		c, ok := src.Next()
-		if !ok {
-			break
-		}
-		n++
-		switch kind {
-		case "ia":
-			if c.IValid {
-				sim.StepWord(c.IAddr)
-			} else {
-				sim.StepIdle()
-			}
-		case "da":
-			if c.DValid {
-				sim.StepWord(c.DAddr)
-			} else {
-				sim.StepIdle()
-			}
-		default:
-			return n, fmt.Errorf("core: unknown bus kind %q", kind)
-		}
-	}
-	if err := sim.Finish(); err != nil {
-		return n, err
-	}
-	return n, nil
+	return RunSingleContext(context.Background(), src, sim, kind, maxCycles)
 }

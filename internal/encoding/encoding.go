@@ -12,6 +12,7 @@
 package encoding
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 )
@@ -403,6 +404,10 @@ func (d *T0Decoder) Reset() { d.last, d.first = 0, true }
 
 // --- Registry ---------------------------------------------------------------
 
+// ErrUnknownScheme is wrapped by the errors New and NewDecoder return for
+// unrecognised scheme names; test with errors.Is.
+var ErrUnknownScheme = errors.New("encoding: unknown scheme")
+
 // New returns a fresh encoder by name. Recognised names: "Unencoded", "BI",
 // "OEBI", "CBI", "Gray", "T0".
 func New(name string) (Encoder, error) {
@@ -420,7 +425,7 @@ func New(name string) (Encoder, error) {
 	case "T0", "t0":
 		return NewT0(4), nil
 	default:
-		return nil, fmt.Errorf("encoding: unknown scheme %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownScheme, name)
 	}
 }
 
@@ -440,7 +445,7 @@ func NewDecoder(name string) (Decoder, error) {
 	case "T0", "t0":
 		return NewT0Decoder(4), nil
 	default:
-		return nil, fmt.Errorf("encoding: unknown scheme %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownScheme, name)
 	}
 }
 

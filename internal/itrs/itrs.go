@@ -7,6 +7,7 @@
 package itrs
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -178,6 +179,19 @@ func ByName(name string) (Node, bool) {
 		}
 	}
 	return Node{}, false
+}
+
+// ErrUnknownNode is wrapped by the error Resolve returns for unrecognised
+// node labels; test with errors.Is.
+var ErrUnknownNode = errors.New("itrs: unknown node")
+
+// Resolve is ByName with a typed error: it returns the node with the given
+// label, or an error wrapping ErrUnknownNode listing the valid labels.
+func Resolve(name string) (Node, error) {
+	if n, ok := ByName(name); ok {
+		return n, nil
+	}
+	return Node{}, fmt.Errorf("%w %q (have %v)", ErrUnknownNode, name, Names())
 }
 
 // Names returns the available node labels, oldest first.

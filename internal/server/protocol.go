@@ -1,0 +1,184 @@
+// Package server is nanobusd: a long-running HTTP service exposing the
+// unified energy/thermal bus model as streaming sessions. A session wraps
+// one core.Simulator; trace words arrive as NDJSON or binary batches on
+// POST /v1/sessions/{id}/step and per-interval samples flow back either
+// incrementally (?stream=samples) or on GET /v1/sessions/{id}/result.
+// Sessions are partitioned across shards for lock locality and recycled
+// through a keyed pool via Simulator.Reset(), so a hot service pays the
+// capacitance extraction, thermal eigendecomposition and memo warm-up once
+// per distinct configuration, not once per session.
+//
+// v1 API compatibility promise: the /v1 wire surface is append-only.
+// Fields and endpoints may be added; existing JSON field names, endpoint
+// paths, error codes, and the binary word format (little-endian uint32)
+// are never renamed, removed, or re-typed. Server results are
+// bit-identical to an in-process library run of the same trace and
+// configuration (JSON float64 round-trips exactly).
+package server
+
+import "nanobus/internal/core"
+
+// CreateSessionRequest opens a session (POST /v1/sessions). Zero-valued
+// fields take the service defaults noted on each field; unlike the
+// library's zero-magic core.Config, an absent coupling_depth selects the
+// paper's full model.
+type CreateSessionRequest struct {
+	// Node is the technology node label: "130nm", "90nm", "65nm", "45nm".
+	Node string `json:"node"`
+	// Encoding names the low-power scheme; empty means "Unencoded".
+	Encoding string `json:"encoding,omitempty"`
+	// LengthM is the bus length in meters; zero means the paper's 10 mm.
+	LengthM float64 `json:"length_m,omitempty"`
+	// IntervalCycles is the sampling interval; zero means the paper's 100K.
+	IntervalCycles uint64 `json:"interval_cycles,omitempty"`
+	// CouplingDepth truncates the coupling matrix (0 self-only, 1
+	// nearest-neighbour, negative all pairs); absent means all pairs.
+	CouplingDepth *int `json:"coupling_depth,omitempty"`
+	// TrackWireTemps copies per-wire temperatures into every sample.
+	TrackWireTemps bool `json:"track_wire_temps,omitempty"`
+	// MemoSizeLog2 sizes the transition memo (2^k entries); zero selects
+	// the default, negative disables memoization.
+	MemoSizeLog2 int `json:"memo_size_log2,omitempty"`
+	// DropSamples disables in-memory sample retention; combine with
+	// ?stream=samples step requests for unbounded sessions.
+	DropSamples bool `json:"drop_samples,omitempty"`
+}
+
+// SessionInfo describes a session (201 of POST /v1/sessions, and GET
+// /v1/sessions/{id}).
+type SessionInfo struct {
+	ID             string  `json:"id"`
+	Node           string  `json:"node"`
+	Encoding       string  `json:"encoding"`
+	Width          int     `json:"width"`
+	LengthM        float64 `json:"length_m"`
+	IntervalCycles uint64  `json:"interval_cycles"`
+	CouplingDepth  int     `json:"coupling_depth"`
+	Shard          int     `json:"shard"`
+	// Recycled reports whether the session reuses a pooled simulator
+	// (bit-identical to a fresh one; see Simulator.Reset).
+	Recycled bool `json:"recycled"`
+	// Words and IdleCycles are live cumulative counters.
+	Words      uint64 `json:"words"`
+	IdleCycles uint64 `json:"idle_cycles"`
+}
+
+// StepLine is one NDJSON line of a step request body: a batch of data
+// words, a count of idle cycles, or both (words first).
+type StepLine struct {
+	Words []uint32 `json:"words,omitempty"`
+	Idle  uint64   `json:"idle,omitempty"`
+}
+
+// StepSummary reports what one step request consumed (response of POST
+// /v1/sessions/{id}/step).
+type StepSummary struct {
+	// Words and Idle are the cycles consumed by this request.
+	Words uint64 `json:"words"`
+	Idle  uint64 `json:"idle"`
+	// Cycles is the session's cumulative cycle count afterwards.
+	Cycles uint64 `json:"cycles"`
+	// Samples is the number of sampling intervals closed by this request.
+	Samples uint64 `json:"samples"`
+}
+
+// Sample is the wire form of one sampling interval's record.
+type Sample struct {
+	EndCycle    uint64    `json:"end_cycle"`
+	EnergyJ     float64   `json:"energy_j"`
+	SelfJ       float64   `json:"self_j"`
+	CoupAdjJ    float64   `json:"coup_adj_j"`
+	CoupNonAdjJ float64   `json:"coup_non_adj_j"`
+	AvgTempK    float64   `json:"avg_temp_k"`
+	MaxTempK    float64   `json:"max_temp_k"`
+	MaxWire     int       `json:"max_wire"`
+	WireTempsK  []float64 `json:"wire_temps_k,omitempty"`
+}
+
+func fromCoreSample(s core.Sample) Sample {
+	return Sample{
+		EndCycle:    s.EndCycle,
+		EnergyJ:     s.Energy,
+		SelfJ:       s.Self,
+		CoupAdjJ:    s.CoupAdj,
+		CoupNonAdjJ: s.CoupNonAdj,
+		AvgTempK:    s.AvgTemp,
+		MaxTempK:    s.MaxTemp,
+		MaxWire:     s.MaxWire,
+		WireTempsK:  s.WireTemps,
+	}
+}
+
+// StreamLine is one NDJSON line of a ?stream=samples step response:
+// exactly one field is set per line — samples as they close, then a final
+// summary, or a terminal error.
+type StreamLine struct {
+	Sample  *Sample        `json:"sample,omitempty"`
+	Summary *StepSummary   `json:"summary,omitempty"`
+	Error   *ErrorResponse `json:"error,omitempty"`
+}
+
+// EnergySplit is a whole-bus energy total split by component.
+type EnergySplit struct {
+	TotalJ      float64 `json:"total_j"`
+	SelfJ       float64 `json:"self_j"`
+	CoupAdjJ    float64 `json:"coup_adj_j"`
+	CoupNonAdjJ float64 `json:"coup_non_adj_j"`
+}
+
+// MemoStats is the session's transition-memo effectiveness.
+type MemoStats struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Result is the session outcome (GET /v1/sessions/{id}/result). Unless
+// ?finish=0, the server first closes the session's partial sampling
+// interval, exactly like Bus.Finish.
+type Result struct {
+	ID       string      `json:"id"`
+	Cycles   uint64      `json:"cycles"`
+	Width    int         `json:"width"`
+	Total    EnergySplit `json:"total"`
+	AvgTempK float64     `json:"avg_temp_k"`
+	MaxTempK float64     `json:"max_temp_k"`
+	MaxWire  int         `json:"max_wire"`
+	TempsK   []float64   `json:"temps_k"`
+	Samples  []Sample    `json:"samples"`
+	Memo     MemoStats   `json:"memo"`
+}
+
+// CloseResponse acknowledges DELETE /v1/sessions/{id}.
+type CloseResponse struct {
+	ID     string `json:"id"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	Sessions int64  `json:"sessions"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Machine-readable error codes of the v1 API.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeUnknownNode     = "unknown_node"
+	CodeUnknownEncoding = "unknown_encoding"
+	CodeNotFound        = "not_found"
+	CodeSessionBusy     = "session_busy"
+	CodeBatchTooLarge   = "batch_too_large"
+	CodeServerFull      = "server_full"
+	CodeDraining        = "draining"
+	CodePoisoned        = "poisoned"
+	CodeCanceled        = "canceled"
+	CodeInternal        = "internal"
+)

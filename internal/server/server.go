@@ -1,0 +1,626 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"nanobus/internal/core"
+	"nanobus/internal/encoding"
+	"nanobus/internal/itrs"
+)
+
+// Config tunes a Server. Zero values take the defaults noted per field.
+type Config struct {
+	// Shards is the number of session-table lock domains (default 8).
+	Shards int
+	// MaxSessions bounds concurrently open sessions; creates beyond it
+	// get 503/server_full (default 1024).
+	MaxSessions int
+	// MaxBatchWords bounds one NDJSON words batch and sizes the binary
+	// read chunk; larger NDJSON batches get 413 (default 65536).
+	MaxBatchWords int
+	// MaxPoolPerKey bounds recycled simulators kept per configuration
+	// (default 32).
+	MaxPoolPerKey int
+	// RequestTimeout bounds each step/result/delete request; zero means
+	// no server-side timeout (the client context still applies).
+	RequestTimeout time.Duration
+	// AcquireTimeout bounds how long a request waits for a session that
+	// is busy serving another request before giving up with
+	// 409/session_busy (default 1s). The bound is server-side on purpose:
+	// an HTTP/1 server cannot see a client disconnect until the request
+	// body has been read, so waiting on the client context alone could
+	// park the request forever.
+	AcquireTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.MaxBatchWords <= 0 {
+		c.MaxBatchWords = 65536
+	}
+	if c.MaxPoolPerKey <= 0 {
+		c.MaxPoolPerKey = 32
+	}
+	if c.AcquireTimeout <= 0 {
+		c.AcquireTimeout = time.Second
+	}
+	return c
+}
+
+// Server owns the shard pool of sessions and serves the v1 API. Create
+// with New, mount Handler, and call Drain before http.Server.Shutdown for
+// a graceful stop.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	pool   *pool
+	mux    *http.ServeMux
+
+	draining atomic.Bool
+	active   atomic.Int64
+
+	createdTotal  atomic.Uint64
+	recycledTotal atomic.Uint64
+	closedTotal   atomic.Uint64
+	wordsTotal    atomic.Uint64
+	idleTotal     atomic.Uint64
+	samplesTotal  atomic.Uint64
+	memoHits      atomic.Uint64
+	memoMisses    atomic.Uint64
+
+	start time.Time
+	rate  rateWindow
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		pool:   newPool(cfg.MaxPoolPerKey),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{sessions: make(map[string]*session)}
+	}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSession)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops session creation (new creates get 503/draining) while
+// existing sessions keep serving; pair it with http.Server.Shutdown,
+// which waits for in-flight requests.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// SessionsActive returns the number of open sessions.
+func (s *Server) SessionsActive() int64 { return s.active.Load() }
+
+// --- Response plumbing ------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	//nanolint:ignore droppederr a failed response write means the client is gone; no recovery path
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+}
+
+// httpErr carries an error with its v1 status and code through the body
+// consumers.
+type httpErr struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *httpErr) Error() string { return e.msg }
+
+// asHTTPErr maps simulator/context errors onto wire errors.
+func asHTTPErr(err error) *httpErr {
+	var he *httpErr
+	switch {
+	case errors.As(err, &he):
+		return he
+	case errors.Is(err, core.ErrPoisoned):
+		return &httpErr{http.StatusInternalServerError, CodePoisoned, err.Error()}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return &httpErr{http.StatusRequestTimeout, CodeCanceled, err.Error()}
+	default:
+		return &httpErr{http.StatusInternalServerError, CodeInternal, err.Error()}
+	}
+}
+
+// --- Session lookup ---------------------------------------------------------
+
+func (s *Server) find(id string) (*session, *shard, bool) {
+	sh := s.shards[shardOf(id, len(s.shards))]
+	sess, ok := sh.lookup(id)
+	return sess, sh, ok
+}
+
+// harvestMemo folds the session's memo counters since the last harvest
+// into the server totals; the caller must hold the session.
+func (s *Server) harvestMemo(sess *session) {
+	st := sess.sim.MemoStats()
+	s.memoHits.Add(st.Hits - sess.lastMemo.Hits)
+	s.memoMisses.Add(st.Misses - sess.lastMemo.Misses)
+	sess.lastMemo = st
+}
+
+// --- POST /v1/sessions ------------------------------------------------------
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	if s.active.Add(1) > int64(s.cfg.MaxSessions) {
+		s.active.Add(-1)
+		writeError(w, http.StatusServiceUnavailable, CodeServerFull,
+			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions))
+		return
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			s.active.Add(-1)
+		}
+	}()
+
+	var req CreateSessionRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decode request: "+err.Error())
+		return
+	}
+	node, err := itrs.Resolve(req.Node)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeUnknownNode, err.Error())
+		return
+	}
+	encName := req.Encoding
+	if encName == "" {
+		encName = "Unencoded"
+	}
+	enc, err := encoding.New(encName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeUnknownEncoding, err.Error())
+		return
+	}
+	if req.LengthM < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("negative bus length %g", req.LengthM))
+		return
+	}
+
+	// Normalise to the effective configuration so pool keys and
+	// SessionInfo reflect what actually runs.
+	length := req.LengthM
+	if length == 0 { //nanolint:ignore floateq zero means the field was absent
+		length = core.DefaultLength
+	}
+	interval := req.IntervalCycles
+	if interval == 0 {
+		interval = core.DefaultIntervalCycles
+	}
+	depth := -1
+	if req.CouplingDepth != nil {
+		depth = *req.CouplingDepth
+	}
+	key := poolKey{
+		node:     node.Name,
+		encoding: encName,
+		lengthM:  length,
+		interval: interval,
+		depth:    depth,
+		memoLog2: req.MemoSizeLog2,
+		track:    req.TrackWireTemps,
+		drop:     req.DropSamples,
+	}
+	sim, recycled := s.pool.get(key)
+	if !recycled {
+		sim, err = core.New(core.Config{
+			Node:           node,
+			Length:         length,
+			Encoder:        enc,
+			CouplingDepth:  depth,
+			IntervalCycles: interval,
+			TrackWireTemps: req.TrackWireTemps,
+			MemoSizeLog2:   req.MemoSizeLog2,
+			DropSamples:    req.DropSamples,
+		})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			return
+		}
+	} else {
+		s.recycledTotal.Add(1)
+	}
+
+	sess := &session{
+		key:      key,
+		sim:      sim,
+		sem:      make(chan struct{}, 1),
+		lastMemo: sim.MemoStats(),
+	}
+	for {
+		id, err := newSessionID()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+			return
+		}
+		idx := shardOf(id, len(s.shards))
+		sh := s.shards[idx]
+		sh.mu.Lock()
+		if _, exists := sh.sessions[id]; exists {
+			sh.mu.Unlock()
+			continue
+		}
+		sess.id = id
+		sess.info = SessionInfo{
+			ID:             id,
+			Node:           node.Name,
+			Encoding:       encName,
+			Width:          sim.Width(),
+			LengthM:        length,
+			IntervalCycles: interval,
+			CouplingDepth:  depth,
+			Shard:          idx,
+			Recycled:       recycled,
+		}
+		sh.sessions[id] = sess
+		sh.mu.Unlock()
+		break
+	}
+	ok = true
+	s.createdTotal.Add(1)
+	writeJSON(w, http.StatusCreated, sess.info)
+}
+
+// --- GET /v1/sessions/{id} --------------------------------------------------
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	sess, _, ok := s.find(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		return
+	}
+	info := sess.info
+	info.Words = sess.words.Load()
+	info.IdleCycles = sess.idle.Load()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// acquireSession takes the session's simulator under the server-side
+// AcquireTimeout bound. The bound must not come from the client context:
+// HTTP/1 servers only notice a client disconnect once the request body
+// has been read, and step/result/delete acquire before touching the
+// body, so an unbounded wait on a busy session could strand the
+// connection past the client's own deadline.
+func (s *Server) acquireSession(ctx context.Context, sess *session) error {
+	if s.cfg.AcquireTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.AcquireTimeout)
+		defer cancel()
+	}
+	return sess.acquire(ctx)
+}
+
+// --- POST /v1/sessions/{id}/step --------------------------------------------
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	sess, sh, ok := s.find(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	sh.queue.Add(1)
+	defer sh.queue.Add(-1)
+	if err := s.acquireSession(ctx, sess); err != nil {
+		writeError(w, http.StatusConflict, CodeSessionBusy, "session busy: "+err.Error())
+		return
+	}
+	defer sess.release()
+	if sess.closed {
+		writeError(w, http.StatusNotFound, CodeNotFound, "session closed")
+		return
+	}
+	defer s.harvestMemo(sess)
+
+	streaming := r.URL.Query().Get("stream") == "samples"
+	var (
+		sum       StepSummary
+		jsonOut   = json.NewEncoder(w)
+		flusher   http.Flusher
+		streamErr error
+	)
+	if streaming {
+		// Samples flow back while the body is still being read; HTTP/1
+		// needs explicit full-duplex (a no-op elsewhere, so the error is
+		// advisory).
+		if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
+			//nanolint:ignore droppederr HTTP/2 and h2c are full-duplex already; nothing to enable
+			_ = err
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ = w.(http.Flusher)
+		w.WriteHeader(http.StatusOK)
+	}
+	sess.sim.SetOnSample(func(cs core.Sample) {
+		sum.Samples++
+		s.samplesTotal.Add(1)
+		if streaming && streamErr == nil {
+			ws := fromCoreSample(cs)
+			streamErr = jsonOut.Encode(StreamLine{Sample: &ws})
+			if streamErr == nil && flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
+	defer sess.sim.SetOnSample(nil)
+
+	stepErr := s.consumeBody(ctx, r, sess, &sum)
+	sum.Cycles = sess.words.Load() + sess.idle.Load()
+
+	if stepErr != nil {
+		he := asHTTPErr(stepErr)
+		if streaming {
+			// Headers are out; report the failure as a terminal line.
+			//nanolint:ignore droppederr the stream is already broken; nowhere left to report
+			_ = jsonOut.Encode(StreamLine{Error: &ErrorResponse{Error: he.msg, Code: he.code}})
+			return
+		}
+		writeError(w, he.status, he.code, he.msg)
+		return
+	}
+	if streaming {
+		//nanolint:ignore droppederr a failed final write means the client is gone; no recovery path
+		_ = jsonOut.Encode(StreamLine{Summary: &sum})
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+// consumeBody feeds the request body into the session's simulator:
+// little-endian uint32 words for application/octet-stream, NDJSON
+// StepLine batches otherwise. Work is bounded per read (MaxBatchWords)
+// and the simulator checks ctx once per sampling interval, so a
+// cancelled request stops within one interval.
+func (s *Server) consumeBody(ctx context.Context, r *http.Request, sess *session, sum *StepSummary) error {
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		return s.consumeBinary(ctx, r.Body, sess, sum)
+	}
+	return s.consumeNDJSON(ctx, r.Body, sess, sum)
+}
+
+func (s *Server) stepWords(ctx context.Context, sess *session, words []uint32, sum *StepSummary) error {
+	n, err := sess.sim.StepBatch(ctx, words)
+	sum.Words += uint64(n)
+	sess.words.Add(uint64(n))
+	s.wordsTotal.Add(uint64(n))
+	return err
+}
+
+func (s *Server) stepIdle(ctx context.Context, sess *session, idle uint64, sum *StepSummary) error {
+	n, err := sess.sim.StepIdleBatch(ctx, idle)
+	sum.Idle += n
+	sess.idle.Add(n)
+	s.idleTotal.Add(n)
+	return err
+}
+
+func (s *Server) consumeBinary(ctx context.Context, body io.Reader, sess *session, sum *StepSummary) error {
+	buf := make([]byte, s.cfg.MaxBatchWords*4)
+	words := make([]uint32, s.cfg.MaxBatchWords)
+	for {
+		n, err := io.ReadFull(body, buf)
+		if n > 0 {
+			if n%4 != 0 {
+				return &httpErr{http.StatusBadRequest, CodeBadRequest,
+					fmt.Sprintf("binary body length is not a multiple of 4 (%d trailing bytes)", n%4)}
+			}
+			for i := 0; i < n/4; i++ {
+				words[i] = binary.LittleEndian.Uint32(buf[4*i:])
+			}
+			if err := s.stepWords(ctx, sess, words[:n/4], sum); err != nil {
+				return err
+			}
+		}
+		switch {
+		case err == nil:
+			continue
+		case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+			return nil
+		default:
+			// The client went away mid-body.
+			return fmt.Errorf("read body: %w: %w", context.Canceled, err)
+		}
+	}
+}
+
+func (s *Server) consumeNDJSON(ctx context.Context, body io.Reader, sess *session, sum *StepSummary) error {
+	sc := bufio.NewScanner(body)
+	// A words batch serialises to at most ~11 bytes per word.
+	maxLine := 16*s.cfg.MaxBatchWords + 4096
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var sl StepLine
+		if err := json.Unmarshal(line, &sl); err != nil {
+			return &httpErr{http.StatusBadRequest, CodeBadRequest, "decode step line: " + err.Error()}
+		}
+		if len(sl.Words) > s.cfg.MaxBatchWords {
+			return &httpErr{http.StatusRequestEntityTooLarge, CodeBatchTooLarge,
+				fmt.Sprintf("batch of %d words exceeds the %d-word limit", len(sl.Words), s.cfg.MaxBatchWords)}
+		}
+		if len(sl.Words) > 0 {
+			if err := s.stepWords(ctx, sess, sl.Words, sum); err != nil {
+				return err
+			}
+		}
+		if sl.Idle > 0 {
+			if err := s.stepIdle(ctx, sess, sl.Idle, sum); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return &httpErr{http.StatusRequestEntityTooLarge, CodeBatchTooLarge,
+				fmt.Sprintf("step line exceeds %d bytes", maxLine)}
+		}
+		return fmt.Errorf("read body: %w: %w", context.Canceled, err)
+	}
+	return nil
+}
+
+// --- GET /v1/sessions/{id}/result -------------------------------------------
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	sess, sh, ok := s.find(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	sh.queue.Add(1)
+	defer sh.queue.Add(-1)
+	if err := s.acquireSession(ctx, sess); err != nil {
+		writeError(w, http.StatusConflict, CodeSessionBusy, "session busy: "+err.Error())
+		return
+	}
+	defer sess.release()
+	if sess.closed {
+		writeError(w, http.StatusNotFound, CodeNotFound, "session closed")
+		return
+	}
+	defer s.harvestMemo(sess)
+
+	if r.URL.Query().Get("finish") != "0" {
+		if err := sess.sim.Finish(); err != nil {
+			he := asHTTPErr(err)
+			writeError(w, he.status, he.code, he.msg)
+			return
+		}
+	} else if err := sess.sim.Err(); err != nil {
+		he := asHTTPErr(err)
+		writeError(w, he.status, he.code, he.msg)
+		return
+	}
+
+	sim := sess.sim
+	tot := sim.TotalEnergy()
+	maxT, maxW := sim.Network().MaxTemp()
+	coreSamples := sim.Samples()
+	samples := make([]Sample, len(coreSamples))
+	for i, cs := range coreSamples {
+		samples[i] = fromCoreSample(cs)
+	}
+	st := sim.MemoStats()
+	writeJSON(w, http.StatusOK, Result{
+		ID:     sess.id,
+		Cycles: sim.Cycles(),
+		Width:  sim.Width(),
+		Total: EnergySplit{
+			TotalJ:      tot.Total(),
+			SelfJ:       tot.Self,
+			CoupAdjJ:    tot.CoupAdj,
+			CoupNonAdjJ: tot.CoupNonAdj,
+		},
+		AvgTempK: sim.Network().AvgTemp(),
+		MaxTempK: maxT,
+		MaxWire:  maxW,
+		TempsK:   sim.Temps(),
+		Samples:  samples,
+		Memo:     MemoStats{Hits: st.Hits, Misses: st.Misses, HitRate: st.HitRate()},
+	})
+}
+
+// --- DELETE /v1/sessions/{id} -----------------------------------------------
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess, sh, ok := s.find(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		return
+	}
+	sh.queue.Add(1)
+	defer sh.queue.Add(-1)
+	if err := s.acquireSession(r.Context(), sess); err != nil {
+		writeError(w, http.StatusConflict, CodeSessionBusy, "session busy: "+err.Error())
+		return
+	}
+	defer sess.release()
+	if sess.closed {
+		writeError(w, http.StatusNotFound, CodeNotFound, "session closed")
+		return
+	}
+	sess.closed = true
+	s.harvestMemo(sess)
+	cycles := sess.words.Load() + sess.idle.Load()
+
+	sh.mu.Lock()
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	s.pool.put(sess.key, sess.sim)
+	s.active.Add(-1)
+	s.closedTotal.Add(1)
+	writeJSON(w, http.StatusOK, CloseResponse{ID: id, Cycles: cycles})
+}
+
+// --- GET /healthz -----------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Draining: s.draining.Load(),
+		Sessions: s.active.Load(),
+	})
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"nanobus/internal/core"
+	"nanobus/internal/energy"
+)
+
+// poolKey identifies a simulator configuration. Two sessions with equal
+// keys are interchangeable after Simulator.Reset(), which is what makes
+// pooling bit-exact: every field that reaches core.Config is part of the
+// key (nodes and encoders are identified by name — both registries return
+// fixed configurations per name).
+type poolKey struct {
+	node     string
+	encoding string
+	lengthM  float64
+	interval uint64
+	depth    int
+	memoLog2 int
+	track    bool
+	drop     bool
+}
+
+// pool recycles idle simulators by configuration. A Get hit skips the
+// capacitance model build and thermal eigendecomposition and keeps the
+// warm transition memo.
+type pool struct {
+	mu     sync.Mutex
+	free   map[poolKey][]*core.Simulator
+	maxPer int
+}
+
+func newPool(maxPer int) *pool {
+	return &pool{free: make(map[poolKey][]*core.Simulator), maxPer: maxPer}
+}
+
+// get pops a recycled simulator for the key, or reports a miss.
+func (p *pool) get(k poolKey) (*core.Simulator, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sims := p.free[k]
+	if len(sims) == 0 {
+		return nil, false
+	}
+	sim := sims[len(sims)-1]
+	p.free[k] = sims[:len(sims)-1]
+	return sim, true
+}
+
+// put resets sim and shelves it for reuse; full shelves and poisoned
+// simulators are dropped.
+func (p *pool) put(k poolKey, sim *core.Simulator) {
+	if sim.Err() != nil {
+		return
+	}
+	sim.SetOnSample(nil)
+	sim.Reset()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free[k]) >= p.maxPer {
+		return
+	}
+	p.free[k] = append(p.free[k], sim)
+}
+
+// session is one client-visible simulation stream. The simulator is
+// guarded by sem (capacity 1): step, result and delete requests serialize
+// on it, so the core never sees concurrent access. words/idle are atomics
+// so status and metrics reads never touch the simulator.
+type session struct {
+	id    string
+	key   poolKey
+	info  SessionInfo // static fields; live counters come from the atomics
+	sim   *core.Simulator
+	sem   chan struct{}
+	words atomic.Uint64
+	idle  atomic.Uint64
+	// closed is set (under sem) by delete; requests that were already
+	// waiting on sem must re-check it after acquiring.
+	closed bool
+	// lastMemo is the memo snapshot at the last harvest (guarded by sem).
+	lastMemo energy.MemoStats
+}
+
+// acquire takes the session's simulator, failing when ctx ends first.
+func (s *session) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *session) release() { <-s.sem }
+
+// shard is one lock domain of the session table.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	// queue counts step/result/delete requests waiting for or holding a
+	// session of this shard (the per-shard queue depth metric).
+	queue atomic.Int64
+}
+
+func (sh *shard) lookup(id string) (*session, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sess, ok := sh.sessions[id]
+	return sess, ok
+}
+
+// newSessionID returns a fresh 16-hex-char id.
+func newSessionID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// shardOf maps a session id onto a shard index.
+func shardOf(id string, n int) int {
+	h := fnv.New32a()
+	//nanolint:ignore droppederr hash.Hash.Write is documented to never return an error
+	_, _ = h.Write([]byte(id))
+	return int(h.Sum32() % uint32(n))
+}

@@ -62,6 +62,29 @@ func Nodes() []Node { return itrs.Nodes() }
 // NodeByName resolves "130nm", "90nm", "65nm" or "45nm".
 func NodeByName(name string) (Node, bool) { return itrs.ByName(name) }
 
+// ResolveNode is NodeByName with a typed error: unknown labels return an
+// error satisfying errors.Is(err, ErrUnknownNode).
+func ResolveNode(name string) (Node, error) { return itrs.Resolve(name) }
+
+// --- Typed errors -----------------------------------------------------------
+//
+// The facade's fallible constructors return errors wrapping these
+// sentinels, testable with errors.Is. Bus methods that can close a
+// sampling interval — StepWord, StepIdle, StepBatch, StepIdleBatch, and
+// Finish — can poison the simulator's sticky Err(); the sticky error wraps
+// ErrSimulatorPoisoned, and Bus.Reset clears it.
+var (
+	// ErrUnknownEncoding is returned (wrapped) by NewEncoder, NewDecoder
+	// and WithEncoding for unrecognised scheme names.
+	ErrUnknownEncoding = encoding.ErrUnknownScheme
+	// ErrUnknownNode is returned (wrapped) by ResolveNode for
+	// unrecognised node labels.
+	ErrUnknownNode = itrs.ErrUnknownNode
+	// ErrSimulatorPoisoned marks a Bus whose interval flush failed; see
+	// Bus.Err.
+	ErrSimulatorPoisoned = core.ErrPoisoned
+)
+
 // --- Bus simulation (the paper's unified model) ----------------------------
 
 // BusConfig configures a bus simulator; see the field docs on core.Config.
@@ -78,14 +101,28 @@ type Sample = core.Sample
 // non-adjacent-coupling components.
 type LineEnergy = energy.LineEnergy
 
-// NewBus builds a bus simulator.
+// NewBus builds a bus simulator from an explicit config. BusConfig is the
+// zero-magic escape hatch: its zero values mean exactly what core.Config
+// documents (self-only coupling, default length/interval). Prefer New for
+// the option-based constructor with the paper's full model as default.
 func NewBus(cfg BusConfig) (*Bus, error) { return core.New(cfg) }
+
+// PairResult bundles the IA and DA simulators after a RunPair run.
+type PairResult = core.PairResult
 
 // RunPair drives separate IA and DA bus simulators from one trace source.
 var RunPair = core.RunPair
 
+// RunPairContext is RunPair with cancellation: the context is checked once
+// per sampling interval, so cancellation stops the run loop within one
+// interval's worth of cycles.
+var RunPairContext = core.RunPairContext
+
 // RunSingle drives one simulator from a trace's "ia" or "da" stream.
 var RunSingle = core.RunSingle
+
+// RunSingleContext is RunSingle with per-sampling-interval cancellation.
+var RunSingleContext = core.RunSingleContext
 
 // DefaultLength is the paper's 10 mm global bus length.
 const DefaultLength = core.DefaultLength

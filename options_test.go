@@ -1,0 +1,100 @@
+package nanobus_test
+
+import (
+	"math"
+	"testing"
+
+	"nanobus"
+)
+
+// TestNewMatchesExplicitConfig pins the option constructor to the
+// equivalent explicit BusConfig, bit for bit.
+func TestNewMatchesExplicitConfig(t *testing.T) {
+	run := func(sim *nanobus.Bus) float64 {
+		t.Helper()
+		for addr := uint32(0); addr < 4096; addr += 4 {
+			sim.StepWord(addr * 2718)
+		}
+		if err := sim.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return sim.TotalEnergy().Total()
+	}
+
+	enc, err := nanobus.NewEncoder("BI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := nanobus.NewBus(nanobus.BusConfig{
+		Node:           nanobus.Node65,
+		Encoder:        enc,
+		Length:         0.004,
+		IntervalCycles: 1000,
+		CouplingDepth:  nanobus.FullCoupling,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optioned, err := nanobus.New(nanobus.Node65,
+		nanobus.WithEncoding("BI"),
+		nanobus.WithLength(0.004),
+		nanobus.WithInterval(1000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := run(explicit), run(optioned)
+	if math.Float64bits(e1) != math.Float64bits(e2) {
+		t.Fatalf("option constructor drifted: %g != %g", e1, e2)
+	}
+	if len(explicit.Samples()) != len(optioned.Samples()) {
+		t.Fatal("sample counts differ")
+	}
+}
+
+// TestNewDefaultsToFullCoupling: New without options uses the paper's
+// full model, which dissipates strictly more energy than the self-only
+// zero BusConfig on a coupling-heavy pattern.
+func TestNewDefaultsToFullCoupling(t *testing.T) {
+	full, err := nanobus.New(nanobus.Node90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfOnly, err := nanobus.NewBus(nanobus.BusConfig{Node: nanobus.Node90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		w := uint32(0x5555_5555)
+		if i%2 == 1 {
+			w = 0xAAAA_AAAA
+		}
+		full.StepWord(w)
+		selfOnly.StepWord(w)
+	}
+	if err := full.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := selfOnly.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if full.TotalEnergy().Total() <= selfOnly.TotalEnergy().Total() {
+		t.Fatalf("full model %g <= self-only %g: New is not defaulting to full coupling",
+			full.TotalEnergy().Total(), selfOnly.TotalEnergy().Total())
+	}
+	if full.TotalEnergy().CoupAdj <= 0 {
+		t.Fatal("no adjacent-coupling energy under the full model")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := nanobus.New(nanobus.Node90, nanobus.WithLength(-1)); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := nanobus.New(nanobus.Node90, nanobus.WithInterval(0)); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := nanobus.New(nanobus.Node90, nil); err == nil {
+		t.Error("nil option accepted")
+	}
+}

@@ -1,0 +1,105 @@
+// Command loadgen drives a running nanobusd with concurrent streaming
+// sessions and reports aggregate throughput. It is a tuning/soak tool,
+// not a correctness gate (scripts/nanobusd_smoke is the gate).
+//
+//	nanobusd -addr 127.0.0.1:8080 &
+//	go run ./scripts/loadgen -addr http://127.0.0.1:8080 -sessions 64 -batches 32 -batch-words 4096
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nanobus/client"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "nanobusd base URL")
+	sessions := flag.Int("sessions", 16, "concurrent sessions")
+	batches := flag.Int("batches", 16, "binary batches per session")
+	batchWords := flag.Int("batch-words", 4096, "words per batch")
+	node := flag.String("node", "90nm", "technology node")
+	scheme := flag.String("encoding", "Unencoded", "encoding scheme")
+	interval := flag.Uint64("interval", 1024, "sampling interval in cycles")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := client.New(*addr)
+	if err := c.Healthz(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: service not healthy at %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+
+	var (
+		wg         sync.WaitGroup
+		totalWords atomic.Uint64
+		samples    atomic.Uint64
+		failures   atomic.Uint64
+	)
+	start := time.Now()
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			if err := drive(ctx, c, seed, *node, *scheme, *interval, *batches, *batchWords,
+				&totalWords, &samples); err != nil {
+				failures.Add(1)
+				fmt.Fprintf(os.Stderr, "loadgen: session %d: %v\n", seed, err)
+			}
+		}(uint32(i + 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	words := totalWords.Load()
+	fmt.Printf("loadgen: %d sessions x %d batches x %d words in %v\n",
+		*sessions, *batches, *batchWords, elapsed.Round(time.Millisecond))
+	fmt.Printf("loadgen: %d words total, %.0f words/sec, %d samples, %d failed sessions\n",
+		words, float64(words)/elapsed.Seconds(), samples.Load(), failures.Load())
+	if failures.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+func drive(ctx context.Context, c *client.Client, seed uint32, node, scheme string,
+	interval uint64, batches, batchWords int, totalWords, samples *atomic.Uint64) error {
+	sess, err := c.CreateSession(ctx, client.SessionConfig{
+		Node:           node,
+		Encoding:       scheme,
+		IntervalCycles: interval,
+		DropSamples:    true, // soak sessions retain nothing server-side
+	})
+	if err != nil {
+		return fmt.Errorf("create: %w", err)
+	}
+	defer func() {
+		//nanolint:ignore droppederr best-effort cleanup; the run already reported its outcome
+		_ = sess.Close(context.WithoutCancel(ctx))
+	}()
+
+	words := make([]uint32, batchWords)
+	x := seed
+	for b := 0; b < batches; b++ {
+		for i := range words {
+			x = x*1664525 + 1013904223
+			words[i] = x
+		}
+		sum, err := sess.StepBinary(ctx, words)
+		if err != nil {
+			return fmt.Errorf("batch %d: %w", b, err)
+		}
+		totalWords.Add(sum.Words)
+		samples.Add(sum.Samples)
+	}
+	if _, err := sess.Result(ctx, true); err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+// Command nanobusd_smoke is the end-to-end gate for the service: it execs
+// a built nanobusd binary on an ephemeral port, drives one session through
+// the Go client, requires the result to be bit-for-bit identical to an
+// in-process library run of the same schedule, then SIGTERMs the daemon
+// and requires a clean drain (exit 0, "drained cleanly" on stdout).
+//
+//	go build -o /tmp/nanobusd ./cmd/nanobusd
+//	go run ./scripts/nanobusd_smoke -bin /tmp/nanobusd
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"nanobus"
+	"nanobus/client"
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to the built nanobusd binary")
+	timeout := flag.Duration("timeout", 60*time.Second, "overall smoke deadline")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "nanobusd_smoke: -bin is required")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := run(ctx, *bin); err != nil {
+		fmt.Fprintf(os.Stderr, "nanobusd_smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("nanobusd_smoke: PASS")
+}
+
+func run(ctx context.Context, bin string) error {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", bin, err)
+	}
+	// On any failure path, make sure the daemon does not outlive us.
+	defer func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill() //nanolint:ignore droppederr best-effort cleanup of a failed run
+			_ = cmd.Wait()         //nanolint:ignore droppederr best-effort cleanup of a failed run
+		}
+	}()
+
+	// The first stdout line announces the bound address; later lines are
+	// collected so the drain message can be checked after shutdown.
+	sc := bufio.NewScanner(stdout)
+	addr, err := awaitListening(sc)
+	if err != nil {
+		return err
+	}
+	rest := make(chan string, 1)
+	go func() {
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		rest <- strings.Join(lines, "\n")
+	}()
+
+	if err := driveSession(ctx, "http://"+addr); err != nil {
+		return err
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("SIGTERM: %w", err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			return fmt.Errorf("nanobusd exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-ctx.Done():
+		return fmt.Errorf("nanobusd did not exit after SIGTERM: %w", ctx.Err())
+	}
+	tail := <-rest
+	if !strings.Contains(tail, "drained cleanly") {
+		return fmt.Errorf("missing drain message in output:\n%s", tail)
+	}
+	return nil
+}
+
+func awaitListening(sc *bufio.Scanner) (string, error) {
+	const prefix = "nanobusd: listening on "
+	if !sc.Scan() {
+		return "", fmt.Errorf("nanobusd produced no output: %v", sc.Err())
+	}
+	line := sc.Text()
+	if !strings.HasPrefix(line, prefix) {
+		return "", fmt.Errorf("unexpected first line %q", line)
+	}
+	return strings.TrimPrefix(line, prefix), nil
+}
+
+// driveSession runs one schedule through the service and the in-process
+// library and compares bit for bit.
+func driveSession(ctx context.Context, baseURL string) error {
+	const (
+		nodeName = "90nm"
+		scheme   = "BI"
+		interval = 256
+		nWords   = 1000
+		nIdle    = 500
+	)
+	data := make([]uint32, nWords)
+	x := uint32(42)
+	for i := range data {
+		x = x*1664525 + 1013904223
+		data[i] = x
+	}
+
+	c := client.New(baseURL)
+	if err := c.Healthz(ctx); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	sess, err := c.CreateSession(ctx, client.SessionConfig{
+		Node: nodeName, Encoding: scheme, IntervalCycles: interval,
+	})
+	if err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	if _, err := sess.StepBinary(ctx, data); err != nil {
+		return fmt.Errorf("step: %w", err)
+	}
+	if _, err := sess.StepIdle(ctx, nIdle); err != nil {
+		return fmt.Errorf("idle: %w", err)
+	}
+	res, err := sess.Result(ctx, true)
+	if err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	if err := sess.Close(ctx); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+
+	node, err := nanobus.ResolveNode(nodeName)
+	if err != nil {
+		return err
+	}
+	bus, err := nanobus.New(node, nanobus.WithEncoding(scheme), nanobus.WithInterval(interval))
+	if err != nil {
+		return err
+	}
+	if _, err := bus.StepBatch(ctx, data); err != nil {
+		return err
+	}
+	if _, err := bus.StepIdleBatch(ctx, nIdle); err != nil {
+		return err
+	}
+	if err := bus.Finish(); err != nil {
+		return err
+	}
+
+	tot := bus.TotalEnergy()
+	checks := []struct {
+		name     string
+		svc, lib float64
+	}{
+		{"total energy", res.Total.TotalJ, tot.Total()},
+		{"self energy", res.Total.SelfJ, tot.Self},
+		{"adjacent coupling", res.Total.CoupAdjJ, tot.CoupAdj},
+		{"non-adjacent coupling", res.Total.CoupNonAdjJ, tot.CoupNonAdj},
+		{"avg temp", res.AvgTempK, bus.Network().AvgTemp()},
+		{"max temp", res.MaxTempK, func() float64 { t, _ := bus.Network().MaxTemp(); return t }()},
+	}
+	for _, ck := range checks {
+		if math.Float64bits(ck.svc) != math.Float64bits(ck.lib) {
+			return fmt.Errorf("%s differs: service %.17g, library %.17g", ck.name, ck.svc, ck.lib)
+		}
+	}
+	if res.Cycles != bus.Cycles() {
+		return fmt.Errorf("cycles differ: service %d, library %d", res.Cycles, bus.Cycles())
+	}
+	if len(res.Samples) != len(bus.Samples()) {
+		return fmt.Errorf("sample count differs: service %d, library %d",
+			len(res.Samples), len(bus.Samples()))
+	}
+	for i, ls := range bus.Samples() {
+		ss := res.Samples[i]
+		if ss.EndCycle != ls.EndCycle ||
+			math.Float64bits(ss.EnergyJ) != math.Float64bits(ls.Energy) ||
+			math.Float64bits(ss.MaxTempK) != math.Float64bits(ls.MaxTemp) {
+			return fmt.Errorf("sample %d differs: service %+v, library %+v", i, ss, ls)
+		}
+	}
+	fmt.Printf("nanobusd_smoke: %d words + %d idle cycles bit-identical across %d samples (total %.4g J)\n",
+		nWords, nIdle, len(res.Samples), tot.Total())
+	return nil
+}

@@ -10,3 +10,11 @@ go vet ./...
 go run ./cmd/nanolint ./...
 go test -race ./...
 go test -run NONE -bench 'BenchmarkTransition|BenchmarkThermalAdvance|BenchmarkRunPair|BenchmarkSweepWorkers' -benchtime 1x .
+
+# nanobusd end-to-end smoke: exec the real daemon on an ephemeral port,
+# drive one session through the client, require bit-identical results vs
+# the in-process library, then SIGTERM and require a clean drain.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/nanobusd" ./cmd/nanobusd
+go run ./scripts/nanobusd_smoke -bin "$tmp/nanobusd"

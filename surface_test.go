@@ -1,0 +1,205 @@
+package nanobus_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"nanobus"
+)
+
+// TestFacadeSurface references every exported nanobus.* name, so a facade
+// alias drifting from its internal package (renamed, retyped, or dropped)
+// fails this file's compile, and executes the cheap constructors and
+// helpers. Expensive experiment drivers are referenced as values only;
+// integration_test.go runs them.
+func TestFacadeSurface(t *testing.T) {
+	// Constants.
+	if nanobus.DefaultLength <= 0 || nanobus.DefaultIntervalCycles <= 0 {
+		t.Error("default constants not positive")
+	}
+	if nanobus.FullCoupling >= 0 {
+		t.Error("FullCoupling must be negative")
+	}
+
+	// Nodes.
+	var _ nanobus.Node = nanobus.Node130
+	var _ nanobus.Node = nanobus.Node90
+	var _ nanobus.Node = nanobus.Node65
+	var _ nanobus.Node = nanobus.Node45
+	if len(nanobus.Nodes()) != 4 {
+		t.Error("Nodes() != 4")
+	}
+	if _, ok := nanobus.NodeByName("65nm"); !ok {
+		t.Error("NodeByName(65nm)")
+	}
+	if _, err := nanobus.ResolveNode("65nm"); err != nil {
+		t.Error(err)
+	}
+	if _, err := nanobus.ResolveNode("14nm"); !errors.Is(err, nanobus.ErrUnknownNode) {
+		t.Errorf("ResolveNode(14nm) = %v, want ErrUnknownNode", err)
+	}
+
+	// Bus construction: zero-magic config and functional options.
+	var cfg nanobus.BusConfig
+	cfg.Node = nanobus.Node90
+	bus, err := nanobus.NewBus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *nanobus.Bus = bus
+	bus2, err := nanobus.New(nanobus.Node90,
+		nanobus.WithEncoding("BI"),
+		nanobus.WithLength(0.005),
+		nanobus.WithInterval(1024),
+		nanobus.WithMemoSize(10),
+		nanobus.WithCouplingDepth(nanobus.FullCoupling),
+		nanobus.WithThermal(nanobus.ThermalOptions{}),
+		nanobus.WithWireTemps(),
+		nanobus.WithOnSample(func(nanobus.Sample) {}),
+		nanobus.WithoutSampleRetention(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := nanobus.NewEncoder("Gray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nanobus.New(nanobus.Node90, nanobus.WithEncoder(enc)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nanobus.New(nanobus.Node90, nanobus.WithEncoding("nope")); !errors.Is(err, nanobus.ErrUnknownEncoding) {
+		t.Errorf("WithEncoding(nope) = %v, want ErrUnknownEncoding", err)
+	}
+
+	// Stepping, batches, samples, errors.
+	bus2.StepWord(0xFEED)
+	bus2.StepIdle()
+	if _, err := bus2.StepBatch(context.Background(), []uint32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus2.StepIdleBatch(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if bus2.Err() != nil || errors.Is(bus2.Err(), nanobus.ErrSimulatorPoisoned) {
+		t.Error("healthy bus reports poisoned")
+	}
+	var _ []nanobus.Sample = bus2.Samples()
+	var le nanobus.LineEnergy = bus2.TotalEnergy()
+	_ = le.Total()
+	bus2.Reset()
+
+	// Run loops.
+	var _ = nanobus.RunPair
+	var _ = nanobus.RunSingle
+	src := nanobus.NewSyntheticTrace(nanobus.DefaultSynthConfig(2))
+	var _ nanobus.TraceSource = src
+	var pr nanobus.PairResult
+	pr, err = nanobus.RunPairContext(context.Background(), src, bus, bus2, 2048)
+	if err != nil || pr.Cycles == 0 {
+		t.Fatalf("RunPairContext: %v", err)
+	}
+	bus2.Reset()
+	if _, err := nanobus.RunSingleContext(context.Background(),
+		nanobus.NewSyntheticTrace(nanobus.DefaultSynthConfig(3)), bus2, "da", 1024); err != nil {
+		t.Fatal(err)
+	}
+
+	// Encodings and crosstalk.
+	if _, err := nanobus.NewDecoder("BI"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nanobus.NewEncoder("nope"); !errors.Is(err, nanobus.ErrUnknownEncoding) {
+		t.Error("NewEncoder(nope) not ErrUnknownEncoding")
+	}
+	var _ nanobus.Encoder
+	var _ nanobus.Decoder
+	if len(nanobus.EncodingSchemes()) == 0 {
+		t.Error("no encoding schemes")
+	}
+	h := nanobus.NewCrosstalkHistogram(8)
+	var _ *nanobus.CrosstalkHistogram = h
+	_ = nanobus.CrosstalkClass(0, 1, 0, 8)
+
+	// Traces and workloads.
+	var _ nanobus.TraceCycle
+	var _ []nanobus.Benchmark = nanobus.Benchmarks()
+	if len(nanobus.BenchmarksWithExtras()) <= len(nanobus.Benchmarks()) {
+		t.Error("extras missing")
+	}
+	if _, ok := nanobus.BenchmarkByName("art"); !ok {
+		t.Error("BenchmarkByName(art)")
+	}
+
+	// Capacitance extraction aliases (cheap paths only).
+	var _ nanobus.BusLayout
+	var _ nanobus.ExtractionOptions
+	var _ *nanobus.ExtractionResult
+	var _ nanobus.CapacitanceDistribution
+	var _ = nanobus.ExtractBus
+	var _ nanobus.Box
+	var _ nanobus.Extraction3DOptions
+	var _ *nanobus.Extraction3DResult
+	var _ = nanobus.Extract3D
+	var _ = nanobus.BusBoxes3D
+	caps, err := nanobus.NewCapacitanceMatrix(nanobus.Node65, 8)
+	if err != nil || caps.N() != 8 {
+		t.Fatalf("NewCapacitanceMatrix: %v", err)
+	}
+	var _ *nanobus.CapacitanceMatrix = caps
+
+	// Repeaters, thermal, field solver.
+	plan, err := nanobus.PlanRepeaters(nanobus.Node90, nanobus.DefaultLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ nanobus.RepeaterPlan = plan
+	net, err := nanobus.NewThermalNetwork(nanobus.Node90, 4, nanobus.ThermalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *nanobus.ThermalNetwork = net
+	if nanobus.InterLayerRise(nanobus.Node90) <= 0 {
+		t.Error("InterLayerRise")
+	}
+	var _ nanobus.FieldOptions
+	var _ *nanobus.FieldGrid
+	var _ = nanobus.NewFieldCrossSection
+
+	// Experiment drivers and their option/result types: reference only.
+	var _ nanobus.Table1Row
+	var _ nanobus.Fig1BRow
+	var _ nanobus.Fig1BOptions
+	var _ nanobus.Sec33Row
+	var _ nanobus.Sec33Options
+	var _ nanobus.Fig3Cell
+	var _ nanobus.Fig3Options
+	var _ nanobus.Fig4Series
+	var _ nanobus.Fig4Options
+	var _ nanobus.Fig5Result
+	var _ nanobus.Fig5Options
+	var _ = nanobus.Table1
+	var _ = nanobus.Fig1B
+	var _ = nanobus.Sec33
+	var _ = nanobus.Fig3
+	var _ = nanobus.Fig4
+	var _ = nanobus.Fig5
+
+	// Extension analyses.
+	var _ nanobus.L2BusResult
+	var _ nanobus.L2BusOptions
+	var _ nanobus.SubstrateResult
+	var _ nanobus.ReliabilityParams
+	var _ nanobus.BusReliability
+	var _ nanobus.DelayReport
+	var _ = nanobus.L2Bus
+	var _ = nanobus.Substrate
+	var _ = nanobus.AssessReliability
+	var _ = nanobus.RelativeMTTF
+	var _ = nanobus.AnalyzeDelay
+	var _ = nanobus.DampingFactor
+}
