@@ -5,6 +5,7 @@
 package nanobus_test
 
 import (
+	"context"
 	"testing"
 
 	"nanobus/internal/capmodel"
@@ -189,18 +190,85 @@ func BenchmarkRunPair(b *testing.B) {
 	}
 }
 
+// BenchmarkStepBatch compares the per-word context loop against the
+// chunked batch fast path (one encoder dispatch per chunk, accumulator
+// StepBatch) on the same address stream; both are bit-identical paths.
+func BenchmarkStepBatch(b *testing.B) {
+	words := make([]uint32, 1<<14)
+	for i, w := range addressWords(len(words)) {
+		words[i] = uint32(w)
+	}
+	mk := func() *core.Simulator {
+		sim, err := core.New(core.Config{Node: itrs.N130, CouplingDepth: -1, DropSamples: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sim
+	}
+	ctx := context.Background()
+	b.Run("perword", func(b *testing.B) {
+		sim := mk()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim.StepWord(words[i&(len(words)-1)])
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		sim := mk()
+		if _, err := sim.StepBatch(ctx, words); err != nil { // warm the memo
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		done := 0
+		for done < b.N {
+			n := len(words)
+			if left := b.N - done; n > left {
+				n = left
+			}
+			if _, err := sim.StepBatch(ctx, words[:n]); err != nil {
+				b.Fatal(err)
+			}
+			done += n
+		}
+	})
+}
+
 // BenchmarkSweepWorkers measures Fig. 3 sweep scaling across pool sizes
 // (fixed workload: 2 benchmarks x 1 node x 4 schemes x 2 buses = 16 jobs).
+// "cold" builds every simulator and captures every trace window per call
+// (the one-shot CLI cost); "warm" shares a SweepCache across calls (the
+// steady state of a long-lived analysis process), replaying compiled
+// tapes through pooled simulators.
 func BenchmarkSweepWorkers(b *testing.B) {
+	opts := expt.Fig3Options{
+		Cycles:     200_000,
+		Benchmarks: []string{"eon", "swim"},
+		Nodes:      []itrs.Node{itrs.N130},
+	}
 	for _, workers := range []int{1, 2, 4} {
-		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4"}[workers], func(b *testing.B) {
+		name := map[int]string{1: "w1", 2: "w2", 4: "w4"}[workers]
+		b.Run(name+"/cold", func(b *testing.B) {
+			o := opts
+			o.Workers = workers
 			for i := 0; i < b.N; i++ {
-				if _, err := expt.Fig3(expt.Fig3Options{
-					Cycles:     200_000,
-					Benchmarks: []string{"eon", "swim"},
-					Nodes:      []itrs.Node{itrs.N130},
-					Workers:    workers,
-				}); err != nil {
+				if _, err := expt.Fig3(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/warm", func(b *testing.B) {
+			o := opts
+			o.Workers = workers
+			o.Cache = expt.NewSweepCache()
+			if _, err := expt.Fig3(o); err != nil { // fill the cache
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := expt.Fig3(o); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"nanobus/internal/core"
 	"nanobus/internal/encoding"
@@ -215,10 +216,24 @@ func (s *Session) StepLines(ctx context.Context, lines []StepLine) (StepSummary,
 	return sum, nil
 }
 
+// binBufPool recycles StepBinary encode buffers; a session streaming many
+// batches reuses one buffer instead of allocating 4×len(words) per call.
+var binBufPool sync.Pool
+
 // StepBinary streams words in the binary format (little-endian uint32),
 // the lowest-overhead path for bulk traces.
 func (s *Session) StepBinary(ctx context.Context, words []uint32) (StepSummary, error) {
-	buf := make([]byte, 4*len(words))
+	bp, _ := binBufPool.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	// The request body is fully sent before do returns, so the buffer can
+	// go back to the pool on exit.
+	defer binBufPool.Put(bp)
+	if cap(*bp) < 4*len(words) {
+		*bp = make([]byte, 4*len(words))
+	}
+	buf := (*bp)[:4*len(words)]
 	for i, w := range words {
 		binary.LittleEndian.PutUint32(buf[4*i:], w)
 	}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on the default mux, served only with -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,8 +43,25 @@ func realMain() int {
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request timeout for step/result (0 = none)")
 	acqTimeout := fs.Duration("acquire-timeout", 0, "max wait for a busy session before 409 (0 = default 1s)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
+	}
+
+	if *pprofAddr != "" {
+		// Profiling stays off the service handler: it binds its own
+		// listener (keep it loopback-only) and is disabled by default.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nanobusd: pprof listen: %v\n", err)
+			return 1
+		}
+		fmt.Printf("nanobusd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			// net/http/pprof registers on the default mux.
+			//nanolint:ignore droppederr the profiler dying must not take the service down
+			_ = http.Serve(pln, nil)
+		}()
 	}
 
 	srv := server.New(server.Config{

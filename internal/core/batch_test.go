@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"nanobus/internal/encoding"
+	"nanobus/internal/itrs"
+	"nanobus/internal/trace"
+)
+
+// batchWords is an address-like data-word stream.
+func batchWords(n int) []uint32 {
+	words := make([]uint32, n)
+	w, rng := uint32(0x4000_1000), uint32(7)
+	for i := range words {
+		rng = rng*1664525 + 1013904223
+		switch rng % 8 {
+		case 0:
+			w = rng
+		case 1: // hold
+		default:
+			w += 4
+		}
+		words[i] = w
+	}
+	return words
+}
+
+// TestStepBatchMatchesStepWordAllEncoders requires the chunked batch path
+// to be bit-identical to per-word stepping — samples included — for every
+// encoder (batch-encoded and per-word encoded alike) and across interval
+// boundaries that do not divide the batch size.
+func TestStepBatchMatchesStepWordAllEncoders(t *testing.T) {
+	words := batchWords(10_000)
+	for _, scheme := range encoding.AllSchemes() {
+		mk := func() *Simulator {
+			enc, err := encoding.New(scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := New(Config{
+				Node:           itrs.N130,
+				Encoder:        enc,
+				CouplingDepth:  -1,
+				IntervalCycles: 997, // prime, so chunks straddle intervals
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sim
+		}
+		ref, got := mk(), mk()
+		for _, w := range words {
+			ref.StepWord(w)
+		}
+		ref.StepIdle()
+		for i := 0; i < 2500; i++ {
+			ref.StepIdle()
+		}
+		ctx := context.Background()
+		if _, err := got.StepBatch(ctx, words); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := got.StepIdleBatch(ctx, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := got.StepIdleBatch(ctx, 2500); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if ref.Cycles() != got.Cycles() {
+			t.Fatalf("%s: cycles %d != %d", scheme, ref.Cycles(), got.Cycles())
+		}
+		if ref.TotalEnergy() != got.TotalEnergy() {
+			t.Fatalf("%s: total %+v != %+v", scheme, ref.TotalEnergy(), got.TotalEnergy())
+		}
+		rs, gs := ref.Samples(), got.Samples()
+		if len(rs) != len(gs) {
+			t.Fatalf("%s: %d samples != %d", scheme, len(rs), len(gs))
+		}
+		for i := range rs {
+			if rs[i].EndCycle != gs[i].EndCycle || rs[i].Energy != gs[i].Energy ||
+				rs[i].AvgTemp != gs[i].AvgTemp || rs[i].MaxTemp != gs[i].MaxTemp {
+				t.Fatalf("%s: sample %d differs: %+v != %+v", scheme, i, rs[i], gs[i])
+			}
+		}
+		rt, gt := ref.Temps(), got.Temps()
+		for i := range rt {
+			if rt[i] != gt[i] {
+				t.Fatalf("%s: wire %d temp %v != %v", scheme, i, rt[i], gt[i])
+			}
+		}
+	}
+}
+
+// TestPlayTapeMatchesRunSingle requires a compiled tape replay to be
+// bit-identical to the per-cycle run loop over the same source.
+func TestPlayTapeMatchesRunSingle(t *testing.T) {
+	const cycles = 50_000
+	for _, kind := range []string{"ia", "da"} {
+		mk := func() *Simulator {
+			sim, err := New(Config{Node: itrs.N90, CouplingDepth: -1, IntervalCycles: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sim
+		}
+		ref, got := mk(), mk()
+		src := trace.NewSynth(trace.DefaultSynthConfig(42))
+		n, err := RunSingle(src, ref, kind, cycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != cycles {
+			t.Fatalf("ran %d of %d cycles", n, cycles)
+		}
+		tape, err := CompileTape(trace.NewSynth(trace.DefaultSynthConfig(42)), kind, cycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tape.Cycles() != cycles {
+			t.Fatalf("tape has %d cycles, want %d", tape.Cycles(), cycles)
+		}
+		if err := got.PlayTape(context.Background(), tape); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if ref.TotalEnergy() != got.TotalEnergy() {
+			t.Fatalf("%s: total %+v != %+v", kind, ref.TotalEnergy(), got.TotalEnergy())
+		}
+		if ref.Cycles() != got.Cycles() {
+			t.Fatalf("%s: cycles %d != %d", kind, ref.Cycles(), got.Cycles())
+		}
+		rs, gs := ref.Samples(), got.Samples()
+		if len(rs) != len(gs) {
+			t.Fatalf("%s: %d samples != %d", kind, len(rs), len(gs))
+		}
+		for i := range rs {
+			if rs[i].EndCycle != gs[i].EndCycle || rs[i].Energy != gs[i].Energy ||
+				rs[i].Self != gs[i].Self || rs[i].CoupAdj != gs[i].CoupAdj ||
+				rs[i].CoupNonAdj != gs[i].CoupNonAdj ||
+				rs[i].AvgTemp != gs[i].AvgTemp || rs[i].MaxTemp != gs[i].MaxTemp {
+				t.Fatalf("%s: sample %d differs: %+v != %+v", kind, i, rs[i], gs[i])
+			}
+		}
+	}
+}
+
+// TestCompileTapeErrors pins the tape compiler's validation.
+func TestCompileTapeErrors(t *testing.T) {
+	if _, err := CompileTape(trace.NewSliceSource(nil), "xa", 10); err == nil {
+		t.Fatal("want error for unknown bus kind")
+	}
+}
+
+// TestStepBatchAllocs is the alloc regression gate for the core batch
+// pipeline: once the memo is warm, StepBatch and StepIdleBatch must not
+// allocate — including the interval flushes and thermal advances inside.
+func TestStepBatchAllocs(t *testing.T) {
+	words := batchWords(8192)
+	sim, err := New(Config{
+		Node:           itrs.N130,
+		CouplingDepth:  -1,
+		IntervalCycles: 1000, // several flushes per measured run
+		DropSamples:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sim.StepBatch(ctx, words); err != nil { // warm memo and dt cache
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := sim.StepBatch(ctx, words); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.StepIdleBatch(ctx, 3000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("StepBatch+StepIdleBatch allocate %v/op in steady state, want 0", allocs)
+	}
+}

@@ -114,6 +114,10 @@ type Simulator struct {
 	samples         []Sample
 	lineBuf         []energy.LineEnergy
 	power           []float64
+	// encBuf is the batch pipeline's encode scratch: StepBatch encodes up
+	// to one chunk of data words into physical words here before handing
+	// them to the accumulator, so the steady state allocates nothing.
+	encBuf []uint64
 
 	totalEnergy energy.LineEnergy
 	lineTotals  []energy.LineEnergy
@@ -197,6 +201,7 @@ func New(cfg Config) (*Simulator, error) {
 		lineBuf:    make([]energy.LineEnergy, width),
 		power:      make([]float64, width),
 		lineTotals: make([]energy.LineEnergy, width),
+		encBuf:     make([]uint64, batchChunk),
 	}, nil
 }
 

@@ -1,0 +1,104 @@
+// Compiled trace tapes. The sweep drivers replay one captured trace
+// window through many simulator configurations; pulling the window
+// cycle-by-cycle through trace.Source costs an interface dispatch and a
+// branch pair per cycle per replay. A Tape compiles the window once into
+// its run-length form — alternating batches of driven words and idle runs
+// for one bus — so every replay is a handful of StepBatch/StepIdleBatch
+// calls over shared read-only slices: zero allocations, no per-cycle
+// dispatch, and bit-identical results (the same words and idles reach the
+// accumulator in the same order as the per-cycle loop).
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"nanobus/internal/trace"
+)
+
+// tapeRun is one alternation of a tape: words driven words followed by
+// idle held cycles.
+type tapeRun struct {
+	words uint32
+	idle  uint64
+}
+
+// Tape is a run-length compiled single-bus trace: the exact word/idle
+// cycle sequence one bus sees over a captured window. Tapes are immutable
+// after compilation and safe to replay concurrently from many goroutines.
+type Tape struct {
+	words  []uint32
+	runs   []tapeRun
+	cycles uint64
+}
+
+// CompileTape consumes up to maxCycles cycles from src and compiles the
+// stream of the given bus kind ("ia" or "da") into a tape. It returns the
+// tape and the number of cycles consumed (less than maxCycles only if the
+// source ended first).
+func CompileTape(src trace.Source, kind string, maxCycles uint64) (*Tape, error) {
+	if kind != "ia" && kind != "da" {
+		return nil, fmt.Errorf("core: unknown bus kind %q", kind)
+	}
+	t := &Tape{}
+	var run tapeRun
+	flush := func() {
+		if run.words > 0 || run.idle > 0 {
+			t.runs = append(t.runs, run)
+			run = tapeRun{}
+		}
+	}
+	for t.cycles < maxCycles {
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		t.cycles++
+		valid, addr := c.IValid, c.IAddr
+		if kind == "da" {
+			valid, addr = c.DValid, c.DAddr
+		}
+		if valid {
+			// A word after an idle run starts a new alternation.
+			if run.idle > 0 {
+				flush()
+			}
+			t.words = append(t.words, addr)
+			run.words++
+		} else {
+			run.idle++
+		}
+	}
+	flush()
+	return t, nil
+}
+
+// Cycles returns the tape's length in bus cycles.
+func (t *Tape) Cycles() uint64 { return t.cycles }
+
+// Words returns how many cycles drive a word (the rest are idle).
+func (t *Tape) Words() uint64 { return uint64(len(t.words)) }
+
+// PlayTape replays the tape through the simulator — exactly equivalent to
+// driving StepWord/StepIdle per cycle, with the batch pipeline's cost
+// profile (ctx is polled once per closed sampling interval). It does not
+// call Finish; like the run loops' cancellation contract, a ctx or
+// poisoning error returns immediately with the partial state inspectable.
+func (s *Simulator) PlayTape(ctx context.Context, t *Tape) error {
+	w := 0
+	for _, run := range t.runs {
+		if run.words > 0 {
+			n := int(run.words)
+			if _, err := s.StepBatch(ctx, t.words[w:w+n]); err != nil {
+				return err
+			}
+			w += n
+		}
+		if run.idle > 0 {
+			if _, err := s.StepIdleBatch(ctx, run.idle); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Batch stepping. The per-cycle cost of Accumulator.Step on an address
+// stream is dominated not by the transition kernel (the memo reduces it to
+// a sparse accumulate) but by the per-word call overhead around it: one
+// exported-function call per cycle, a memo-pointer load, a width-mask
+// recompute, and the prev-word store. StepBatch hoists all of that out of
+// the loop and processes a whole word slice per call — the same operations
+// in the same order as per-word Step, so results are bit-identical — and
+// IdleN collapses runs of idle cycles into two counter additions.
+package energy
+
+import "math/bits"
+
+// StepBatch transmits every word in words, one per cycle, exactly like
+// calling Step(word) for each: same state updates, same accumulation
+// order, bit-identical energies. It allocates nothing.
+func (a *Accumulator) StepBatch(words []uint64) {
+	a.cycles += uint64(len(words))
+	if len(words) == 0 {
+		return
+	}
+	m := mask(a.model.n)
+	i := 0
+	if a.first {
+		a.first = false
+		a.prev = words[0] & m
+		i = 1
+	}
+	prev := a.prev
+	if a.memo != nil {
+		memo := a.memo
+		lines := a.lines
+		for ; i < len(words); i++ {
+			word := words[i] & m
+			if word == prev {
+				continue
+			}
+			diff := prev ^ word
+			e := memo.lookup(diff, word&diff)
+			k := 0
+			for d := diff; d != 0; d &= d - 1 {
+				lines[bits.TrailingZeros64(d)].add(e.lines[k])
+				k++
+			}
+			a.total.add(e.total)
+			prev = word
+		}
+		a.prev = prev
+		return
+	}
+	for ; i < len(words); i++ {
+		word := words[i] & m
+		if word == prev {
+			continue
+		}
+		tot := a.model.transition(prev, word, a.step)
+		for j := range a.step {
+			a.lines[j].add(a.step[j])
+		}
+		a.total.add(tot)
+		prev = word
+	}
+	a.prev = prev
+}
+
+// IdleN advances n cycles with the bus holding its value — equivalent to n
+// Idle calls (idle cycles dissipate nothing, so only the counters move).
+func (a *Accumulator) IdleN(n uint64) {
+	a.cycles += n
+	a.idleCycles += n
+}

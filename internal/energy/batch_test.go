@@ -1,0 +1,145 @@
+package energy
+
+import (
+	"testing"
+
+	"nanobus/internal/capmodel"
+	"nanobus/internal/itrs"
+)
+
+func batchTestModel(t *testing.T) *Model {
+	t.Helper()
+	caps, err := capmodel.FromNode(itrs.N130, 32, capmodel.DefaultDecay(itrs.N130))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{Caps: caps, Length: 0.01, Vdd: itrs.N130.Vdd, Crep: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// batchTestWords is an address-like stream with jumps, holds and repeats.
+func batchTestWords(n int) []uint64 {
+	words := make([]uint64, n)
+	w, rng := uint64(0x4000_1000), uint32(99)
+	for i := range words {
+		rng = rng*1664525 + 1013904223
+		switch rng % 8 {
+		case 0:
+			w = uint64(rng)
+		case 1: // hold
+		default:
+			w += 4
+		}
+		words[i] = w
+	}
+	return words
+}
+
+// TestStepBatchMatchesStep requires StepBatch to be bit-identical to the
+// per-word loop, with and without the memo, across batch split points.
+func TestStepBatchMatchesStep(t *testing.T) {
+	m := batchTestModel(t)
+	words := batchTestWords(4096)
+	for _, memo := range []bool{false, true} {
+		ref := NewAccumulator(m)
+		got := NewAccumulator(m)
+		if memo {
+			if err := ref.EnableMemo(4); err != nil {
+				t.Fatal(err)
+			}
+			if err := got.EnableMemo(4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, w := range words {
+			ref.Step(w)
+		}
+		// Uneven split points exercise the first-word and mid-stream paths.
+		got.StepBatch(words[:1])
+		got.StepBatch(words[1:7])
+		got.StepBatch(words[7:7]) // empty batch is a no-op
+		got.StepBatch(words[7:1033])
+		got.StepBatch(words[1033:])
+		if ref.Cycles() != got.Cycles() {
+			t.Fatalf("memo=%v: cycles %d != %d", memo, ref.Cycles(), got.Cycles())
+		}
+		if ref.Total() != got.Total() {
+			t.Fatalf("memo=%v: total %+v != %+v", memo, ref.Total(), got.Total())
+		}
+		if ref.Last() != got.Last() {
+			t.Fatalf("memo=%v: last %x != %x", memo, ref.Last(), got.Last())
+		}
+		for i := 0; i < m.N(); i++ {
+			if ref.Line(i) != got.Line(i) {
+				t.Fatalf("memo=%v: line %d: %+v != %+v", memo, i, ref.Line(i), got.Line(i))
+			}
+		}
+	}
+}
+
+// TestIdleNMatchesIdle checks the bulk idle counters.
+func TestIdleNMatchesIdle(t *testing.T) {
+	m := batchTestModel(t)
+	ref, got := NewAccumulator(m), NewAccumulator(m)
+	for i := 0; i < 137; i++ {
+		ref.Idle()
+	}
+	got.IdleN(100)
+	got.IdleN(0)
+	got.IdleN(37)
+	if ref.Cycles() != got.Cycles() || ref.IdleCycles() != got.IdleCycles() {
+		t.Fatalf("cycles %d/%d != %d/%d", ref.Cycles(), ref.IdleCycles(), got.Cycles(), got.IdleCycles())
+	}
+}
+
+// TestStepAllocs is the alloc regression gate for the per-word hot path:
+// steady-state Step must not allocate, memoized or direct. (The memo's
+// miss path may allocate entry storage while warming; the gate measures
+// the warmed state.)
+func TestStepAllocs(t *testing.T) {
+	m := batchTestModel(t)
+	words := batchTestWords(1 << 10)
+	for _, memo := range []bool{false, true} {
+		acc := NewAccumulator(m)
+		if memo {
+			if err := acc.EnableMemo(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		acc.StepBatch(words) // warm the memo
+		i := 0
+		allocs := testing.AllocsPerRun(1000, func() {
+			acc.Step(words[i&(len(words)-1)])
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("memo=%v: Step allocates %v/op in steady state, want 0", memo, allocs)
+		}
+	}
+}
+
+// TestStepBatchAllocs is the alloc regression gate for the batch path:
+// steady-state StepBatch and IdleN must not allocate at all.
+func TestStepBatchAllocs(t *testing.T) {
+	m := batchTestModel(t)
+	words := batchTestWords(1 << 10)
+	for _, memo := range []bool{false, true} {
+		acc := NewAccumulator(m)
+		if memo {
+			if err := acc.EnableMemo(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		acc.StepBatch(words) // warm the memo
+		allocs := testing.AllocsPerRun(100, func() {
+			acc.StepBatch(words)
+			acc.IdleN(64)
+		})
+		if allocs != 0 {
+			t.Errorf("memo=%v: StepBatch allocates %v/op in steady state, want 0", memo, allocs)
+		}
+	}
+}

@@ -104,16 +104,29 @@ func memoHash(diff, rising uint64) uint64 {
 }
 
 // lookup returns the cache entry for a non-zero switching mask diff and its
-// rising subset, computing and installing it on a miss (direct-mapped:
-// a colliding key evicts the previous occupant). The returned entry is
-// valid until the next lookup.
+// rising subset, computing and installing it on a miss. The table is
+// two-way pseudo-associative: a key probes a primary slot (low hash bits)
+// and an alternate slot (high hash bits), so two keys colliding on one
+// index no longer evict each other every round trip through a working
+// set. The returned entry is valid until the next lookup.
 func (c *Memo) lookup(diff, rising uint64) *memoEntry {
-	e := &c.table[memoHash(diff, rising)&c.mask]
+	h := memoHash(diff, rising)
+	e := &c.table[h&c.mask]
 	if e.diff == diff && e.rising == rising {
 		c.hits++
 		return e
 	}
+	alt := &c.table[(h>>32)&c.mask]
+	if alt.diff == diff && alt.rising == rising {
+		c.hits++
+		return alt
+	}
 	c.misses++
+	// Install into an empty slot when one exists; otherwise evict the
+	// primary occupant.
+	if e.diff != 0 && alt.diff == 0 {
+		e = alt
+	}
 	if e.diff == 0 {
 		c.used++
 	}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"nanobus/internal/core"
@@ -51,6 +52,10 @@ type Fig3Options struct {
 	Buses []string
 	// Workers bounds the sweep-pool concurrency; zero means GOMAXPROCS.
 	Workers int
+	// Cache retains simulators and compiled trace tapes across calls;
+	// nil means a private per-call cache. Results are bit-identical
+	// either way (Reset reuse and tape replay are exact).
+	Cache *SweepCache
 }
 
 // Fig3 runs the study and returns per-benchmark cells followed by
@@ -58,10 +63,16 @@ type Fig3Options struct {
 // trace window drives every (node, scheme) pair of a benchmark, exactly
 // like the paper replaying one SHADE trace through each configuration.
 //
-// One simulator is built per (node, scheme, bus) configuration and reused
-// (via Reset) across every benchmark, so the capacitance extraction,
-// thermal factorisation and transition memo are paid once; the benchmarks
-// then replay through the shared parallel sweep pool.
+// The sweep runs in two phases. First each benchmark's window is captured
+// once and compiled into run-length tapes (in parallel, one reusable
+// capture buffer per worker). Then one job per (node, scheme, bus)
+// configuration takes a simulator from the cache and replays every
+// benchmark's tape through it on the batch pipeline — the capacitance
+// extraction, thermal factorisation and transition memo are paid once per
+// configuration (once per cache lifetime with a shared Cache), and the
+// replay itself allocates nothing. Cells are folded in the fixed
+// benchmark-major order, so results are bit-identical across worker
+// counts and cache reuse.
 func Fig3(opts Fig3Options) ([]Fig3Cell, error) {
 	cycles := opts.Cycles
 	if cycles == 0 {
@@ -83,6 +94,19 @@ func Fig3(opts Fig3Options) ([]Fig3Cell, error) {
 	if buses == nil {
 		buses = []string{"DA", "IA"}
 	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewSweepCache()
+	}
+
+	benches := make([]workload.Benchmark, len(benchNames))
+	for i, name := range benchNames {
+		b, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("expt: unknown benchmark %q", name)
+		}
+		benches[i] = b
+	}
 
 	type job struct {
 		node   itrs.Node
@@ -98,66 +122,73 @@ func Fig3(opts Fig3Options) ([]Fig3Cell, error) {
 		}
 	}
 
-	// Build every configuration's simulator once, in parallel (extraction
-	// and the thermal eigendecomposition dominate construction time).
-	sims, err := parallel.Map(opts.Workers, len(jobs), func(ji int) (*core.Simulator, error) {
-		jb := jobs[ji]
-		enc, err := encoding.New(jb.scheme)
+	// Phase 1: capture and compile every benchmark's tapes. The capture
+	// window (12 bytes/cycle) lives only inside this phase, one buffer
+	// per worker, reused across that worker's benchmarks.
+	type tapes struct{ ia, da *core.Tape }
+	benchTapes := make([]tapes, len(benches))
+	windows := make([][]trace.Cycle, parallel.Workers(opts.Workers))
+	if err := parallel.ForEachWorker(opts.Workers, len(benches), func(worker, bi int) error {
+		ia, da, buf, err := cache.tapePair(benches[bi], cycles, windows[worker])
+		windows[worker] = buf
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("%s: %w", benches[bi].Name, err)
 		}
-		return core.New(core.Config{
-			Node:          jb.node,
-			Encoder:       enc,
-			CouplingDepth: -1,
-			DropSamples:   true,
-		})
-	})
-	if err != nil {
-		return nil, fmt.Errorf("expt: fig3 setup: %w", err)
+		benchTapes[bi] = tapes{ia, da}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("expt: fig3 capture: %w", err)
 	}
 
-	var cells []Fig3Cell
-	type key struct{ bus, node, scheme string }
-	sums := map[key]*Fig3Cell{}
-
-	for _, name := range benchNames {
-		b, ok := workload.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("expt: unknown benchmark %q", name)
-		}
-		window, err := captureWindow(b, cycles)
+	// Phase 2: config-major replay. Each job writes its benchmark row of
+	// the flat result slab; disjoint regions, no synchronisation.
+	flat := make([]Fig3Cell, len(jobs)*len(benches))
+	ctx := context.Background()
+	err := parallel.ForEach(opts.Workers, len(jobs), func(ji int) error {
+		jb := jobs[ji]
+		k := simKey{node: jb.node.Name, scheme: jb.scheme, depth: -1, drop: true}
+		sim, err := cache.sim(k)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		// Replay the shared read-only window through every configuration on
-		// the sweep pool; each job owns its simulator, so reuse is safe.
-		results, err := parallel.Map(opts.Workers, len(jobs), func(ji int) (Fig3Cell, error) {
-			jb := jobs[ji]
-			sim := sims[ji]
+		defer cache.release(k, sim)
+		for bi := range benches {
 			sim.Reset()
-			kind := "da"
+			tp := benchTapes[bi].da
 			if jb.bus == "IA" {
-				kind = "ia"
+				tp = benchTapes[bi].ia
 			}
-			src := trace.NewSliceSource(window)
-			if _, err := core.RunSingle(src, sim, kind, cycles); err != nil {
-				return Fig3Cell{}, fmt.Errorf("%s/%s/%s: %w", jb.bus, jb.node.Name, jb.scheme, err)
+			err := sim.PlayTape(ctx, tp)
+			if err == nil {
+				err = sim.Finish()
+			}
+			if err != nil {
+				return fmt.Errorf("%s/%s/%s/%s: %w", jb.bus, jb.node.Name, jb.scheme, benches[bi].Name, err)
 			}
 			tot := sim.TotalEnergy()
-			return Fig3Cell{
+			flat[ji*len(benches)+bi] = Fig3Cell{
 				Bus: jb.bus, Node: jb.node.Name, Scheme: jb.scheme,
-				Benchmark: name,
+				Benchmark: benches[bi].Name,
 				Self:      tot.Self,
 				NN:        tot.Self + tot.CoupAdj,
 				All:       tot.Total(),
 				Cycles:    sim.Cycles(),
-			}, nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("expt: fig3: %w", err)
+			}
 		}
-		for _, cell := range results {
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("expt: fig3: %w", err)
+	}
+
+	// Fold benchmark-major — the same cell order and float-addition order
+	// as a serial benchmark-by-benchmark sweep.
+	var cells []Fig3Cell
+	type key struct{ bus, node, scheme string }
+	sums := map[key]*Fig3Cell{}
+	for bi := range benches {
+		for ji := range jobs {
+			cell := flat[ji*len(benches)+bi]
 			cells = append(cells, cell)
 			k := key{cell.Bus, cell.Node, cell.Scheme}
 			agg := sums[k]
@@ -193,15 +224,25 @@ func Fig3(opts Fig3Options) ([]Fig3Cell, error) {
 // captureWindow replays a benchmark past its warm-up and records a fixed
 // cycle window so every configuration sees identical traffic.
 func captureWindow(b workload.Benchmark, cycles uint64) ([]trace.Cycle, error) {
+	return captureWindowInto(b, cycles, nil)
+}
+
+// captureWindowInto is captureWindow reusing buf's capacity; sweep
+// workers pass their per-worker buffer so repeated captures allocate the
+// window once per worker, not once per benchmark.
+func captureWindowInto(b workload.Benchmark, cycles uint64, buf []trace.Cycle) ([]trace.Cycle, error) {
 	src, err := b.NewWarmSource(b.WarmupCycles)
 	if err != nil {
-		return nil, err
+		return buf, err
 	}
-	window := make([]trace.Cycle, 0, cycles)
+	if uint64(cap(buf)) < cycles {
+		buf = make([]trace.Cycle, 0, cycles)
+	}
+	window := buf[:0]
 	for uint64(len(window)) < cycles {
 		c, ok := src.Next()
 		if !ok {
-			return nil, fmt.Errorf("expt: %s trace ended after %d cycles", b.Name, len(window))
+			return window, fmt.Errorf("expt: %s trace ended after %d cycles", b.Name, len(window))
 		}
 		window = append(window, c)
 	}

@@ -35,6 +35,19 @@ func Workers(n int) int {
 // lowest-indexed failed job, or nil. After the first failure no new jobs are
 // dispatched (in-flight jobs still finish).
 func ForEach(workers, n int, fn func(i int) error) error {
+	if fn == nil {
+		return fmt.Errorf("parallel: nil job function")
+	}
+	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the running goroutine's identity exposed:
+// fn(worker, i) receives a worker index in [0, Workers(workers)) that is
+// stable for the lifetime of the call and never used by two goroutines at
+// once. Jobs that need reusable scratch — capture buffers, result slabs,
+// accumulators — index a per-worker slab with it instead of allocating
+// per job or synchronising on shared state.
+func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 	if n < 0 {
 		return fmt.Errorf("parallel: negative job count %d", n)
 	}
@@ -51,7 +64,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if w == 1 {
 		// Serial fast path: no goroutines, exact first-error semantics.
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return fmt.Errorf("parallel: job %d: %w", i, err)
 			}
 		}
@@ -67,7 +80,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	failed.Store(0)
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -79,7 +92,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if f := failed.Load(); f != 0 && i >= int(f-1) {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					errsLock.Lock()
 					errs[i] = err
 					errsLock.Unlock()
@@ -95,7 +108,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 					}
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	if f := failed.Load(); f != 0 {

@@ -146,3 +146,42 @@ func containsSub(s, sub string) bool {
 	}
 	return false
 }
+
+// TestForEachWorkerIdentity checks the per-worker slab contract: worker
+// indices stay in [0, Workers(n)), every job sees exactly one worker, and
+// no two concurrent jobs share a worker index.
+func TestForEachWorkerIdentity(t *testing.T) {
+	const workers, jobs = 4, 200
+	var inUse [workers]atomic.Bool
+	var ran atomic.Int64
+	err := ForEachWorker(workers, jobs, func(worker, i int) error {
+		if worker < 0 || worker >= workers {
+			return fmt.Errorf("worker %d out of range", worker)
+		}
+		if inUse[worker].Swap(true) {
+			return fmt.Errorf("worker %d used concurrently", worker)
+		}
+		time.Sleep(100 * time.Microsecond)
+		inUse[worker].Store(false)
+		ran.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != jobs {
+		t.Fatalf("ran %d jobs, want %d", ran.Load(), jobs)
+	}
+	// Serial fast path pins worker 0.
+	if err := ForEachWorker(1, 10, func(worker, _ int) error {
+		if worker != 0 {
+			return fmt.Errorf("serial path got worker %d", worker)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEachWorker(2, 3, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+}

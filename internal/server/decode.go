@@ -1,0 +1,76 @@
+package server
+
+import (
+	"encoding/binary"
+	"sync"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether the host's native byte order matches
+// the wire format (little-endian uint32 words), decided once at init.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// decodeWords views or decodes the little-endian uint32 words in src
+// (len(src) must be a multiple of 4). On little-endian hosts with an
+// aligned buffer the returned slice aliases src — a zero-copy
+// reinterpretation; callers must be done with the words before reusing
+// src. Elsewhere it decodes into dst and returns dst[:len(src)/4].
+func decodeWords(dst []uint32, src []byte) []uint32 {
+	n := len(src) / 4
+	if n == 0 {
+		return dst[:0]
+	}
+	p := unsafe.SliceData(src)
+	if hostLittleEndian && uintptr(unsafe.Pointer(p))%unsafe.Alignof(uint32(0)) == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(p)), n)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = binary.LittleEndian.Uint32(src[4*i:])
+	}
+	return dst[:n]
+}
+
+// frame is one pooled ingest buffer set: the raw read chunk and the
+// decode fallback, both sized to Config.MaxBatchWords.
+type frame struct {
+	buf   []byte
+	words []uint32
+}
+
+// framePool recycles ingest frames so the binary hot path costs zero
+// steady-state allocations per request instead of ~5×MaxBatchWords bytes.
+type framePool struct {
+	p sync.Pool
+}
+
+func newFramePool(maxWords int) *framePool {
+	return &framePool{p: sync.Pool{New: func() any {
+		return &frame{
+			buf:   make([]byte, maxWords*4),
+			words: make([]uint32, maxWords),
+		}
+	}}}
+}
+
+func (fp *framePool) get() *frame  { return fp.p.Get().(*frame) }
+func (fp *framePool) put(f *frame) { fp.p.Put(f) }
+
+// scanBufPool recycles the NDJSON scanner's initial buffer. The scanner
+// may grow past it (up to the request's maxLine); the original stays
+// reusable either way, so put always returns what get handed out.
+type scanBufPool struct {
+	p sync.Pool
+}
+
+func newScanBufPool(size int) *scanBufPool {
+	return &scanBufPool{p: sync.Pool{New: func() any {
+		b := make([]byte, size)
+		return &b
+	}}}
+}
+
+func (sp *scanBufPool) get() *[]byte  { return sp.p.Get().(*[]byte) }
+func (sp *scanBufPool) put(b *[]byte) { sp.p.Put(b) }

@@ -1,0 +1,9 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Alloc-count gates skip under it: race-mode sync.Pool drops
+// items at random (by design, to surface lifetime bugs), so pooled
+// frames miss and the steady-state allocation count is not meaningful.
+const raceEnabled = true

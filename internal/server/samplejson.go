@@ -1,0 +1,67 @@
+// Append-based NDJSON sample encoding. The ?stream=samples step path
+// emits one StreamLine per closed sampling interval; encoding each line
+// with encoding/json allocates an encoder state and scratch per sample.
+// The hot loop instead appends into one per-session buffer with these
+// helpers, byte-identical to json.Encoder.Encode(StreamLine{Sample: &s})
+// (the parity test pins that), so clients cannot tell the paths apart.
+package server
+
+import (
+	"math"
+	"strconv"
+)
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64:
+// shortest round-trip form, 'f' format except for magnitudes below 1e-6
+// or at least 1e21, which use 'e' with any zero-padded exponent stripped
+// (1e-07 → 1e-7). f must be finite — encoding/json rejects NaN and ±Inf,
+// and the sampler never produces them.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	//nanolint:ignore floateq exact-zero sentinel mirrors encoding/json's own format selection
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// appendStreamSample appends one complete ?stream=samples NDJSON line —
+// {"sample":{...}} plus the trailing newline — for ws.
+func appendStreamSample(b []byte, ws Sample) []byte {
+	b = append(b, `{"sample":{"end_cycle":`...)
+	b = strconv.AppendUint(b, ws.EndCycle, 10)
+	b = append(b, `,"energy_j":`...)
+	b = appendJSONFloat(b, ws.EnergyJ)
+	b = append(b, `,"self_j":`...)
+	b = appendJSONFloat(b, ws.SelfJ)
+	b = append(b, `,"coup_adj_j":`...)
+	b = appendJSONFloat(b, ws.CoupAdjJ)
+	b = append(b, `,"coup_non_adj_j":`...)
+	b = appendJSONFloat(b, ws.CoupNonAdjJ)
+	b = append(b, `,"avg_temp_k":`...)
+	b = appendJSONFloat(b, ws.AvgTempK)
+	b = append(b, `,"max_temp_k":`...)
+	b = appendJSONFloat(b, ws.MaxTempK)
+	b = append(b, `,"max_wire":`...)
+	b = strconv.AppendInt(b, int64(ws.MaxWire), 10)
+	if len(ws.WireTempsK) > 0 {
+		b = append(b, `,"wire_temps_k":[`...)
+		for i, t := range ws.WireTempsK {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONFloat(b, t)
+		}
+		b = append(b, ']')
+	}
+	b = append(b, '}', '}', '\n')
+	return b
+}

@@ -3,7 +3,6 @@ package server
 import (
 	"bufio"
 	"context"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -68,6 +67,8 @@ type Server struct {
 	cfg    Config
 	shards []*shard
 	pool   *pool
+	frames *framePool
+	scans  *scanBufPool
 	mux    *http.ServeMux
 
 	draining atomic.Bool
@@ -93,6 +94,8 @@ func New(cfg Config) *Server {
 		cfg:    cfg,
 		shards: make([]*shard, cfg.Shards),
 		pool:   newPool(cfg.MaxPoolPerKey),
+		frames: newFramePool(cfg.MaxBatchWords),
+		scans:  newScanBufPool(64 * 1024),
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
 	}
@@ -388,8 +391,10 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		sum.Samples++
 		s.samplesTotal.Add(1)
 		if streaming && streamErr == nil {
-			ws := fromCoreSample(cs)
-			streamErr = jsonOut.Encode(StreamLine{Sample: &ws})
+			// Append-encoded into the session's reused buffer;
+			// byte-identical to jsonOut.Encode(StreamLine{Sample: &ws}).
+			sess.encBuf = appendStreamSample(sess.encBuf[:0], fromCoreSample(cs))
+			_, streamErr = w.Write(sess.encBuf)
 			if streamErr == nil && flusher != nil {
 				flusher.Flush()
 			}
@@ -448,19 +453,16 @@ func (s *Server) stepIdle(ctx context.Context, sess *session, idle uint64, sum *
 }
 
 func (s *Server) consumeBinary(ctx context.Context, body io.Reader, sess *session, sum *StepSummary) error {
-	buf := make([]byte, s.cfg.MaxBatchWords*4)
-	words := make([]uint32, s.cfg.MaxBatchWords)
+	f := s.frames.get()
+	defer s.frames.put(f)
 	for {
-		n, err := io.ReadFull(body, buf)
+		n, err := io.ReadFull(body, f.buf)
 		if n > 0 {
 			if n%4 != 0 {
 				return &httpErr{http.StatusBadRequest, CodeBadRequest,
 					fmt.Sprintf("binary body length is not a multiple of 4 (%d trailing bytes)", n%4)}
 			}
-			for i := 0; i < n/4; i++ {
-				words[i] = binary.LittleEndian.Uint32(buf[4*i:])
-			}
-			if err := s.stepWords(ctx, sess, words[:n/4], sum); err != nil {
+			if err := s.stepWords(ctx, sess, decodeWords(f.words, f.buf[:n]), sum); err != nil {
 				return err
 			}
 		}
@@ -480,7 +482,9 @@ func (s *Server) consumeNDJSON(ctx context.Context, body io.Reader, sess *sessio
 	sc := bufio.NewScanner(body)
 	// A words batch serialises to at most ~11 bytes per word.
 	maxLine := 16*s.cfg.MaxBatchWords + 4096
-	sc.Buffer(make([]byte, 64*1024), maxLine)
+	scanBuf := s.scans.get()
+	defer s.scans.put(scanBuf)
+	sc.Buffer(*scanBuf, maxLine)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {

@@ -88,6 +88,10 @@ type session struct {
 	closed bool
 	// lastMemo is the memo snapshot at the last harvest (guarded by sem).
 	lastMemo energy.MemoStats
+	// encBuf is the reused ?stream=samples NDJSON line buffer (guarded
+	// by sem): one buffer per session instead of an allocation per
+	// streamed sample.
+	encBuf []byte
 }
 
 // acquire takes the session's simulator, failing when ctx ends first.

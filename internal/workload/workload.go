@@ -17,6 +17,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"nanobus/internal/cpu"
 	"nanobus/internal/isa"
@@ -52,12 +53,26 @@ type Benchmark struct {
 	Source string
 }
 
-// Program assembles the benchmark.
+// progCache retains assembled programs keyed by source text, so sweeps
+// that open a benchmark many times (every trace window, every session)
+// pay the two-pass assembly once. Keying by source — not name — keeps
+// hand-built Benchmark values with reused names correct.
+var progCache sync.Map // source string -> *isa.Program
+
+// Program assembles the benchmark. The returned program is cached and
+// shared across calls: treat it as read-only (cpu.LoadProgram copies the
+// segments into a fresh Memory, so normal execution never mutates it).
 func (b Benchmark) Program() (*isa.Program, error) {
+	if p, ok := progCache.Load(b.Source); ok {
+		return p.(*isa.Program), nil
+	}
 	p, err := isa.Assemble(b.Source)
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %w", b.Name, err)
 	}
+	// Concurrent assemblies of the same source race benignly: Assemble is
+	// deterministic, so whichever result lands is equivalent.
+	progCache.Store(b.Source, p)
 	return p, nil
 }
 

@@ -1,50 +1,58 @@
 #!/bin/sh
 # Hot-path benchmark runner: runs the perf-critical benches with -benchmem
-# and records the parsed results in BENCH_hotpath.json at the repo root.
+# at GOMAXPROCS 1, 2 and 4 and records the parsed results (tagged with the
+# GOMAXPROCS they ran under) in BENCH_hotpath.json at the repo root.
 # Usage: scripts/bench.sh [extra go-test args, e.g. -benchtime 2s]
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT=BENCH_hotpath.json
+PATTERN='BenchmarkTransition|BenchmarkThermalAdvance|BenchmarkRunPair|BenchmarkStepBatch|BenchmarkSweepWorkers|BenchmarkBinaryIngest|BenchmarkStreamSampleEncode'
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+ENTRIES=$(mktemp)
+trap 'rm -f "$RAW" "$ENTRIES"' EXIT
 
-go test -run NONE \
-    -bench 'BenchmarkTransition|BenchmarkThermalAdvance|BenchmarkRunPair|BenchmarkSweepWorkers' \
-    -benchmem "$@" . | tee "$RAW"
+: > "$ENTRIES"
+CPU=""
+for G in 1 2 4; do
+    GOMAXPROCS=$G go test -run NONE -bench "$PATTERN" -benchmem "$@" \
+        . ./internal/server | tee "$RAW"
 
-# Parse `go test -bench` lines into JSON:
-#   BenchmarkX/sub-N   iters   T ns/op [extra metrics...]  B B/op  A allocs/op
-awk '
-BEGIN { printf "{\n  \"benchmarks\": [\n"; first = 1 }
-/^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    iters = $2
-    ns = ""; bpo = ""; apo = ""; extras = ""
-    for (i = 3; i < NF; i++) {
-        if ($(i+1) == "ns/op")     ns  = $i
-        if ($(i+1) == "B/op")      bpo = $i
-        if ($(i+1) == "allocs/op") apo = $i
-        # custom b.ReportMetric units (e.g. hit_pct)
-        if ($(i+1) ~ /^[a-z_]+$/ && $(i+1) !~ /^(ns|B|allocs)\/op$/) {
+    # Parse `go test -bench` lines into JSON entries:
+    #   BenchmarkX/sub-N   iters   T ns/op [extra metrics...]  B B/op  A allocs/op
+    awk '
+    /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        iters = $2
+        ns = ""; bpo = ""; apo = ""; extras = ""
+        for (i = 3; i < NF; i++) {
+            if ($(i+1) == "ns/op")     ns  = $i
+            if ($(i+1) == "B/op")      bpo = $i
+            if ($(i+1) == "allocs/op") apo = $i
+            # custom b.ReportMetric units (e.g. hit_pct, MB/s)
+            if ($(i+1) ~ /^[a-zA-Z_\/]+$/ && $(i+1) !~ /^(ns|B|allocs)\/op$/) {
             if (extras != "") extras = extras ", "
-            extras = sprintf("%s\"%s\": %s", extras, $(i+1), $i)
+            u = $(i+1); gsub(/\//, "_per_", u)
+            extras = sprintf("%s\"%s\": %s", extras, u, $i)
+            }
         }
-    }
-    if (!first) printf ",\n"
-    first = 0
-    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
-    if (bpo != "") printf ", \"bytes_per_op\": %s", bpo
-    if (apo != "") printf ", \"allocs_per_op\": %s", apo
-    if (extras != "") printf ", %s", extras
-    printf "}"
-}
-/^cpu:/ { cpu = substr($0, 6); gsub(/^[ \t]+|[ \t]+$/, "", cpu) }
-END {
-    printf "\n  ],\n"
-    printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"gomaxprocs\": %s\n", maxprocs
-    printf "}\n"
-}' maxprocs="$(nproc 2>/dev/null || echo 1)" "$RAW" > "$OUT"
+        printf "    {\"name\": \"%s\", \"gomaxprocs\": %s, \"iterations\": %s, \"ns_per_op\": %s", name, g, iters, ns
+        if (bpo != "") printf ", \"bytes_per_op\": %s", bpo
+        if (apo != "") printf ", \"allocs_per_op\": %s", apo
+        if (extras != "") printf ", %s", extras
+        printf "},\n"
+    }' g="$G" "$RAW" >> "$ENTRIES"
+
+    if [ -z "$CPU" ]; then
+        CPU=$(awk '/^cpu:/ { s = substr($0, 6); gsub(/^[ \t]+|[ \t]+$/, "", s); print s; exit }' "$RAW")
+    fi
+done
+
+{
+    printf '{\n  "benchmarks": [\n'
+    # strip the trailing comma off the last entry
+    sed '$ s/},$/}/' "$ENTRIES"
+    printf '  ],\n  "cpu": "%s"\n}\n' "$CPU"
+} > "$OUT"
 
 echo "wrote $OUT"

@@ -1,0 +1,91 @@
+#!/bin/sh
+# Service throughput benchmark: measures the binary ingest path at two
+# levels and records both in BENCH_server.json at the repo root.
+#
+#  - ingest_handler: BenchmarkBinaryIngest, the in-process handler cost
+#    from request body to simulator (no sockets, no client). This is the
+#    path the batch pipeline optimised, compared against the same
+#    benchmark run at the pre-batch-pipeline commit.
+#  - runs: scripts/loadgen end to end — in-process (httptest listener)
+#    and over real HTTP against an exec'd daemon — for the seq
+#    (ingest-stress), address (bus regime) and random (memo-hostile)
+#    patterns. End-to-end numbers include client CPU and the network
+#    stack, which share one core with the daemon on small machines.
+#
+# Usage: scripts/bench_server.sh [extra loadgen args, e.g. -sessions 4]
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_server.json
+SESSIONS=8
+BATCHES=24
+WORDS=16384
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"; [ -n "${DPID:-}" ] && kill "$DPID" 2>/dev/null || true' EXIT
+
+go build -o "$tmp/loadgen" ./scripts/loadgen
+go build -o "$tmp/nanobusd" ./cmd/nanobusd
+
+# Handler-level ingest benchmark: min ns/op of 3 runs.
+go test -run NONE -bench BenchmarkBinaryIngest -benchmem -count 3 \
+    ./internal/server | tee "$tmp/ingest.txt"
+INGEST_NS=$(awk '/^BenchmarkBinaryIngest/ { if (best == "" || $3 < best) best = $3 } END { print best }' "$tmp/ingest.txt")
+INGEST_WPS=$(awk -v ns="$INGEST_NS" -v w="$WORDS" 'BEGIN { printf "%.0f", w / (ns / 1e9) }')
+
+RUNS="$tmp/runs.ndjson"
+: > "$RUNS"
+
+for pattern in seq address random; do
+    "$tmp/loadgen" -inproc -pattern "$pattern" \
+        -sessions "$SESSIONS" -batches "$BATCHES" -batch-words "$WORDS" \
+        -json "$RUNS" "$@"
+done
+
+# Real daemon on an ephemeral port; the bound address is printed on the
+# first stdout line ("nanobusd: listening on 127.0.0.1:PORT").
+"$tmp/nanobusd" -addr 127.0.0.1:0 > "$tmp/nanobusd.out" 2>&1 &
+DPID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(awk '/^nanobusd: listening on /{print $4; exit}' "$tmp/nanobusd.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "bench_server: daemon never reported an address" >&2; exit 1; }
+
+for pattern in seq address random; do
+    "$tmp/loadgen" -addr "http://$ADDR" -pattern "$pattern" \
+        -sessions "$SESSIONS" -batches "$BATCHES" -batch-words "$WORDS" \
+        -json "$RUNS" "$@"
+done
+
+kill "$DPID"
+wait "$DPID" || true
+DPID=""
+
+# Assemble. The baseline block is a fixed record: the same benchmark and
+# loadgen workload run at the commit before the batch/pooling work
+# (per-word step loop, 512 KiB of decode buffers allocated per request).
+{
+    printf '{\n  "workload": {"sessions": %s, "batches": %s, "batch_words": %s, "encoding": "Unencoded", "node": "90nm", "interval_cycles": 1024},\n' \
+        "$SESSIONS" "$BATCHES" "$WORDS"
+    printf '  "baseline_pre_batch_pipeline": {\n'
+    printf '    "ingest_handler": {"bench": "BenchmarkBinaryIngest", "words_per_request": 16384, "ns_per_op": 633889, "words_per_sec": 25846751, "bytes_per_op": 524306, "allocs_per_op": 2},\n'
+    printf '    "runs": [\n'
+    printf '      {"mode": "inproc", "pattern": "seq", "words_per_sec": 22243464, "step_p50_ms": 4.66, "gomaxprocs": 1},\n'
+    printf '      {"mode": "inproc", "pattern": "address", "words_per_sec": 5748943.7, "step_p50_ms": 20.43, "gomaxprocs": 1},\n'
+    printf '      {"mode": "inproc", "pattern": "random", "words_per_sec": 949947.4, "step_p50_ms": 136.44, "gomaxprocs": 1},\n'
+    printf '      {"mode": "http", "pattern": "seq", "words_per_sec": 20634120, "step_p50_ms": 0.62, "gomaxprocs": 1},\n'
+    printf '      {"mode": "http", "pattern": "address", "words_per_sec": 6388035, "step_p50_ms": 2.31, "gomaxprocs": 1},\n'
+    printf '      {"mode": "http", "pattern": "random", "words_per_sec": 1046105, "step_p50_ms": 146.85, "gomaxprocs": 1}\n'
+    printf '    ]\n  },\n'
+    printf '  "ingest_handler": {"bench": "BenchmarkBinaryIngest", "words_per_request": %s, "ns_per_op": %s, "words_per_sec": %s, "bytes_per_op": 0, "allocs_per_op": 0},\n' \
+        "$WORDS" "$INGEST_NS" "$INGEST_WPS"
+    printf '  "runs": [\n'
+    sed 's/^/    /; $ !s/$/,/' "$RUNS"
+    printf '  ]\n}\n'
+} > "$OUT"
+
+echo "wrote $OUT"
+awk -v post="$INGEST_WPS" 'BEGIN { printf "binary ingest: %.0f words/sec vs 25846751 pre-pipeline (%.2fx)\n", post, post / 25846751 }'

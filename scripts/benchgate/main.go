@@ -1,0 +1,139 @@
+// Command benchgate compares `go test -bench` output (read from stdin)
+// against the recorded baseline in BENCH_hotpath.json and exits non-zero
+// when any benchmark has regressed beyond the allowed ratio.
+//
+//	go test -run NONE -bench X -benchmem -benchtime 100x -count 3 . |
+//	    go run ./scripts/benchgate -baseline BENCH_hotpath.json
+//
+// Multiple runs of the same benchmark (from -count N) are folded by
+// taking the minimum ns/op — the least-noisy estimate on a shared
+// machine. Benchmarks absent from the baseline are reported and skipped,
+// so adding a benchmark never breaks the gate before the baseline is
+// regenerated (scripts/bench.sh).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+)
+
+type baselineFile struct {
+	Benchmarks []baselineEntry `json:"benchmarks"`
+	CPU        string          `json:"cpu"`
+}
+
+type baselineEntry struct {
+	Name       string  `json:"name"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// benchLine matches e.g. "BenchmarkRunPair/optimized-4  1000  43.17 ns/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
+	baselinePath := fs.String("baseline", "BENCH_hotpath.json", "baseline JSON written by scripts/bench.sh")
+	maxRatio := fs.Float64("max-ratio", 2.0, "fail when measured ns/op exceeds baseline by this factor")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parse %s: %v\n", *baselinePath, err)
+		return 2
+	}
+	// Baseline lookup is (name, gomaxprocs): the same kernel legitimately
+	// differs across parallelism levels, so entries never cross-match.
+	baseline := make(map[string]map[int]float64)
+	for _, e := range base.Benchmarks {
+		if baseline[e.Name] == nil {
+			baseline[e.Name] = make(map[int]float64)
+		}
+		baseline[e.Name][e.GoMaxProcs] = e.NsPerOp
+	}
+
+	// Fold stdin's bench lines to min ns/op per (name, gomaxprocs).
+	type key struct {
+		name  string
+		procs int
+	}
+	measured := make(map[key]float64)
+	var order []key
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		procs := runtime.GOMAXPROCS(0)
+		if m[2] != "" {
+			if p, err := strconv.Atoi(m[2]); err == nil {
+				procs = p
+			}
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		k := key{m[1], procs}
+		if old, ok := measured[k]; !ok {
+			measured[k] = ns
+			order = append(order, k)
+		} else if ns < old {
+			measured[k] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: read stdin: %v\n", err)
+		return 2
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines on stdin")
+		return 2
+	}
+
+	failed, gated := 0, 0
+	for _, k := range order {
+		ns := measured[k]
+		want, ok := baseline[k.name][k.procs]
+		if !ok || want <= 0 {
+			fmt.Printf("benchgate: SKIP %s (gomaxprocs %d): no baseline entry\n", k.name, k.procs)
+			continue
+		}
+		gated++
+		ratio := ns / want
+		status := "ok"
+		if ratio > *maxRatio {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("benchgate: %-4s %s (gomaxprocs %d): %.4g ns/op vs baseline %.4g (%.2fx, limit %.2fx)\n",
+			status, k.name, k.procs, ns, want, ratio, *maxRatio)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed beyond %.2fx\n", failed, *maxRatio)
+		return 1
+	}
+	fmt.Printf("benchgate: all %d gated benchmark(s) within %.2fx of baseline\n", gated, *maxRatio)
+	return 0
+}

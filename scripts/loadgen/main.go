@@ -1,25 +1,61 @@
-// Command loadgen drives a running nanobusd with concurrent streaming
-// sessions and reports aggregate throughput. It is a tuning/soak tool,
-// not a correctness gate (scripts/nanobusd_smoke is the gate).
+// Command loadgen drives a nanobusd with concurrent streaming sessions and
+// reports aggregate throughput and per-request latency percentiles. It is
+// the tuning/soak tool and the BENCH_server.json driver
+// (scripts/bench_server.sh); scripts/nanobusd_smoke remains the
+// correctness gate.
 //
 //	nanobusd -addr 127.0.0.1:8080 &
 //	go run ./scripts/loadgen -addr http://127.0.0.1:8080 -sessions 64 -batches 32 -batch-words 4096
+//
+// With -inproc the service runs inside the loadgen process on an
+// httptest listener (no network stack between driver and handler), which
+// isolates the ingest-path cost from kernel socket overhead. With -json
+// the run's summary is appended as one JSON object to the given file.
+// Any failed request makes the process exit non-zero.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nanobus/client"
+	"nanobus/internal/server"
 )
+
+// result is the machine-readable summary written by -json.
+type result struct {
+	Mode        string  `json:"mode"` // "http" or "inproc"
+	Pattern     string  `json:"pattern"`
+	Sessions    int     `json:"sessions"`
+	Batches     int     `json:"batches"`
+	BatchWords  int     `json:"batch_words"`
+	Node        string  `json:"node"`
+	Encoding    string  `json:"encoding"`
+	Interval    uint64  `json:"interval_cycles"`
+	Words       uint64  `json:"words_total"`
+	Samples     uint64  `json:"samples_total"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	WordsPerSec float64 `json:"words_per_sec"`
+	P50Ms       float64 `json:"step_p50_ms"`
+	P95Ms       float64 `json:"step_p95_ms"`
+	P99Ms       float64 `json:"step_p99_ms"`
+	Failures    uint64  `json:"failures"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+}
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "nanobusd base URL")
+	inproc := flag.Bool("inproc", false, "serve in-process on an httptest listener instead of dialing -addr")
 	sessions := flag.Int("sessions", 16, "concurrent sessions")
 	batches := flag.Int("batches", 16, "binary batches per session")
 	batchWords := flag.Int("batch-words", 4096, "words per batch")
@@ -27,13 +63,41 @@ func main() {
 	scheme := flag.String("encoding", "Unencoded", "encoding scheme")
 	interval := flag.Uint64("interval", 1024, "sampling interval in cycles")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	pattern := flag.String("pattern", "address", "word pattern: address (sequential runs with jumps and holds, the bus regime), seq (pure sequential, ingest-path stress) or random")
+	jsonOut := flag.String("json", "", "append the run summary as one JSON object to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
+	if *pattern != "address" && *pattern != "seq" && *pattern != "random" {
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -pattern %q (want address, seq or random)\n", *pattern)
+		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	c := client.New(*addr)
+
+	mode := "http"
+	base := *addr
+	if *inproc {
+		mode = "inproc"
+		ts := httptest.NewServer(server.New(server.Config{}).Handler())
+		defer ts.Close()
+		base = ts.URL
+	}
+	c := client.New(base)
 	if err := c.Healthz(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "loadgen: service not healthy at %s: %v\n", *addr, err)
+		fmt.Fprintf(os.Stderr, "loadgen: service not healthy at %s: %v\n", base, err)
 		os.Exit(1)
 	}
 
@@ -43,33 +107,129 @@ func main() {
 		samples    atomic.Uint64
 		failures   atomic.Uint64
 	)
+	// Per-session step latencies, merged after the run (each slice is
+	// owned by one goroutine, so no locking on the hot path).
+	perSession := make([][]time.Duration, *sessions)
 	start := time.Now()
 	for i := 0; i < *sessions; i++ {
 		wg.Add(1)
-		go func(seed uint32) {
+		go func(idx int) {
 			defer wg.Done()
-			if err := drive(ctx, c, seed, *node, *scheme, *interval, *batches, *batchWords,
-				&totalWords, &samples); err != nil {
+			lat, err := drive(ctx, c, uint32(idx+1), *node, *scheme, *pattern, *interval, *batches, *batchWords,
+				&totalWords, &samples)
+			perSession[idx] = lat
+			if err != nil {
 				failures.Add(1)
-				fmt.Fprintf(os.Stderr, "loadgen: session %d: %v\n", seed, err)
+				fmt.Fprintf(os.Stderr, "loadgen: session %d: %v\n", idx+1, err)
 			}
-		}(uint32(i + 1))
+		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	var all []time.Duration
+	for _, lat := range perSession {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
 	words := totalWords.Load()
-	fmt.Printf("loadgen: %d sessions x %d batches x %d words in %v\n",
-		*sessions, *batches, *batchWords, elapsed.Round(time.Millisecond))
+	res := result{
+		Mode: mode, Pattern: *pattern,
+		Sessions: *sessions, Batches: *batches, BatchWords: *batchWords,
+		Node: *node, Encoding: *scheme, Interval: *interval,
+		Words: words, Samples: samples.Load(),
+		ElapsedSec:  elapsed.Seconds(),
+		WordsPerSec: float64(words) / elapsed.Seconds(),
+		P50Ms:       percentileMs(all, 0.50),
+		P95Ms:       percentileMs(all, 0.95),
+		P99Ms:       percentileMs(all, 0.99),
+		Failures:    failures.Load(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("loadgen: %s: %d sessions x %d batches x %d words in %v\n",
+		mode, *sessions, *batches, *batchWords, elapsed.Round(time.Millisecond))
 	fmt.Printf("loadgen: %d words total, %.0f words/sec, %d samples, %d failed sessions\n",
-		words, float64(words)/elapsed.Seconds(), samples.Load(), failures.Load())
-	if failures.Load() > 0 {
+		words, res.WordsPerSec, res.Samples, res.Failures)
+	fmt.Printf("loadgen: step latency p50 %.3fms p95 %.3fms p99 %.3fms over %d requests\n",
+		res.P50Ms, res.P95Ms, res.P99Ms, len(all))
+	if *jsonOut != "" {
+		if err := appendJSON(*jsonOut, res); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+	}
+	if res.Failures > 0 {
 		os.Exit(1)
 	}
 }
 
-func drive(ctx context.Context, c *client.Client, seed uint32, node, scheme string,
-	interval uint64, batches, batchWords int, totalWords, samples *atomic.Uint64) error {
+// percentileMs returns the p-quantile of the sorted durations in
+// milliseconds (nearest-rank; 0 for an empty set).
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// appendJSON appends one compact JSON line to path (NDJSON, so repeated
+// runs accumulate and bench_server.sh can slurp them).
+func appendJSON(path string, v any) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//nanolint:ignore droppederr close after successful sync-less append; the write error below is the signal
+		_ = f.Close()
+	}()
+	return json.NewEncoder(f).Encode(v)
+}
+
+// fillWords writes the next batch of words for the pattern, advancing the
+// LCG state x. The address pattern mirrors the hot-path benchmark's
+// regime: mostly sequential word-addresses with occasional far jumps and
+// holds, which is what an address bus actually carries; random is the
+// memo-hostile worst case.
+func fillWords(words []uint32, pattern string, x, addr uint32) (uint32, uint32) {
+	if pattern == "random" {
+		for i := range words {
+			x = x*1664525 + 1013904223
+			words[i] = x
+		}
+		return x, addr
+	}
+	if pattern == "seq" {
+		// Pure sequential word-addresses: near-total memo hits, so the
+		// simulation kernel is cheap and the run measures the ingest
+		// path (decode, session plumbing, response encode) instead.
+		for i := range words {
+			addr += 4
+			words[i] = addr
+		}
+		return x, addr
+	}
+	for i := range words {
+		x = x*1664525 + 1013904223
+		switch x % 10 {
+		case 0:
+			addr = x * 2654435761 // far jump
+		case 1:
+			// hold
+		default:
+			addr += 4
+		}
+		words[i] = addr
+	}
+	return x, addr
+}
+
+// drive runs one session: create, stream binary batches, fetch the result,
+// close. It returns the per-request step latencies (one per batch).
+func drive(ctx context.Context, c *client.Client, seed uint32, node, scheme, pattern string,
+	interval uint64, batches, batchWords int, totalWords, samples *atomic.Uint64) ([]time.Duration, error) {
 	sess, err := c.CreateSession(ctx, client.SessionConfig{
 		Node:           node,
 		Encoding:       scheme,
@@ -77,29 +237,29 @@ func drive(ctx context.Context, c *client.Client, seed uint32, node, scheme stri
 		DropSamples:    true, // soak sessions retain nothing server-side
 	})
 	if err != nil {
-		return fmt.Errorf("create: %w", err)
+		return nil, fmt.Errorf("create: %w", err)
 	}
 	defer func() {
 		//nanolint:ignore droppederr best-effort cleanup; the run already reported its outcome
 		_ = sess.Close(context.WithoutCancel(ctx))
 	}()
 
+	lat := make([]time.Duration, 0, batches)
 	words := make([]uint32, batchWords)
-	x := seed
+	x, addr := seed, uint32(0x4000_1000)
 	for b := 0; b < batches; b++ {
-		for i := range words {
-			x = x*1664525 + 1013904223
-			words[i] = x
-		}
+		x, addr = fillWords(words, pattern, x, addr)
+		t0 := time.Now()
 		sum, err := sess.StepBinary(ctx, words)
+		lat = append(lat, time.Since(t0))
 		if err != nil {
-			return fmt.Errorf("batch %d: %w", b, err)
+			return lat, fmt.Errorf("batch %d: %w", b, err)
 		}
 		totalWords.Add(sum.Words)
 		samples.Add(sum.Samples)
 	}
 	if _, err := sess.Result(ctx, true); err != nil {
-		return fmt.Errorf("result: %w", err)
+		return lat, fmt.Errorf("result: %w", err)
 	}
-	return nil
+	return lat, nil
 }

@@ -1,6 +1,8 @@
 #!/bin/sh
-# Full local gate: build, vet, nanolint, race-enabled tests, and a one-shot
-# smoke of the hot-path benchmarks (catches bitrot in bench-only code).
+# Full local gate: build, vet, nanolint, race-enabled tests (which include
+# the AllocsPerRun zero-alloc gates in core, energy, server and expt), and
+# a benchmark smoke gated against the recorded baseline: benchgate fails
+# the run when any kernel is more than 2x slower than BENCH_hotpath.json.
 # Usage: scripts/verify.sh  (from anywhere inside the repo)
 set -eux
 cd "$(dirname "$0")/.."
@@ -9,7 +11,21 @@ go build ./...
 go vet ./...
 go run ./cmd/nanolint ./...
 go test -race ./...
-go test -run NONE -bench 'BenchmarkTransition|BenchmarkThermalAdvance|BenchmarkRunPair|BenchmarkSweepWorkers' -benchtime 1x .
+
+# Fast kernels: 100 iterations, min of 3 runs to damp scheduler noise.
+go test -run NONE \
+    -bench 'BenchmarkThermalAdvance|BenchmarkBinaryIngest|BenchmarkStreamSampleEncode' \
+    -benchmem -benchtime 100x -count 3 . ./internal/server |
+    go run ./scripts/benchgate -baseline BENCH_hotpath.json
+# Memo-warmed kernels need enough iterations to reach their steady-state
+# hit rate (the baseline regime); 100x would gate against a cold cache.
+go test -run NONE \
+    -bench 'BenchmarkTransition|BenchmarkRunPair|BenchmarkStepBatch' \
+    -benchmem -benchtime 100000x -count 3 . |
+    go run ./scripts/benchgate -baseline BENCH_hotpath.json
+# Whole-sweep benchmarks run ~0.5 s/op, so one iteration is already stable.
+go test -run NONE -bench 'BenchmarkSweepWorkers' -benchmem -benchtime 1x . |
+    go run ./scripts/benchgate -baseline BENCH_hotpath.json
 
 # nanobusd end-to-end smoke: exec the real daemon on an ephemeral port,
 # drive one session through the client, require bit-identical results vs
