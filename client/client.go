@@ -60,6 +60,10 @@ func (e *APIError) Unwrap() error {
 		return encoding.ErrUnknownScheme
 	case server.CodePoisoned:
 		return core.ErrPoisoned
+	case server.CodeCheckpointCorrupt:
+		return core.ErrCheckpointCorrupt
+	case server.CodeCheckpointMismatch:
+		return core.ErrCheckpointMismatch
 	case server.CodeCanceled:
 		return context.Canceled
 	default:
@@ -69,8 +73,9 @@ func (e *APIError) Unwrap() error {
 
 // Client talks to one nanobusd instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *RetryPolicy
 }
 
 // Option configures a Client.
@@ -195,16 +200,25 @@ func (s *Session) StepIdle(ctx context.Context, n uint64) (StepSummary, error) {
 	return s.StepLines(ctx, []StepLine{{Idle: n}})
 }
 
-// StepLines streams a sequence of word/idle batches as one NDJSON request.
-func (s *Session) StepLines(ctx context.Context, lines []StepLine) (StepSummary, error) {
+// encodeLines serialises step lines into one NDJSON body.
+func encodeLines(lines []StepLine) ([]byte, error) {
 	var body bytes.Buffer
 	enc := json.NewEncoder(&body)
 	for _, line := range lines {
 		if err := enc.Encode(line); err != nil {
-			return StepSummary{}, err
+			return nil, err
 		}
 	}
-	req, err := s.c.newRequest(ctx, http.MethodPost, s.path("/step"), &body)
+	return body.Bytes(), nil
+}
+
+// StepLines streams a sequence of word/idle batches as one NDJSON request.
+func (s *Session) StepLines(ctx context.Context, lines []StepLine) (StepSummary, error) {
+	body, err := encodeLines(lines)
+	if err != nil {
+		return StepSummary{}, err
+	}
+	req, err := s.c.newRequest(ctx, http.MethodPost, s.path("/step"), bytes.NewReader(body))
 	if err != nil {
 		return StepSummary{}, err
 	}
@@ -308,14 +322,14 @@ func BodyFromLines(lines []StepLine) (io.Reader, error) {
 	return &body, nil
 }
 
-// Status fetches the session's live counters.
+// Status fetches the session's live counters (retried under WithRetry:
+// a status read is always idempotent).
 func (s *Session) Status(ctx context.Context) (SessionInfo, error) {
-	req, err := s.c.newRequest(ctx, http.MethodGet, s.path(""), nil)
-	if err != nil {
-		return SessionInfo{}, err
+	build := func() (*http.Request, error) {
+		return s.c.newRequest(ctx, http.MethodGet, s.path(""), nil)
 	}
 	var info SessionInfo
-	if err := s.c.do(req, &info); err != nil {
+	if err := s.c.doRetriable(ctx, build, &info); err != nil {
 		return SessionInfo{}, err
 	}
 	return info, nil

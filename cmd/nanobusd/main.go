@@ -44,6 +44,8 @@ func realMain() int {
 	acqTimeout := fs.Duration("acquire-timeout", 0, "max wait for a busy session before 409 (0 = default 1s)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
+	ckptDir := fs.String("checkpoint-dir", "", "directory for durable session checkpoints (empty = no store; checkpoint?download=1 still works)")
+	ckptEvery := fs.Uint64("checkpoint-every", 0, "auto-checkpoint each session every N simulated cycles (0 = manual only; requires -checkpoint-dir)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
 	}
@@ -64,13 +66,28 @@ func realMain() int {
 		}()
 	}
 
+	var store server.CheckpointStore
+	if *ckptDir != "" {
+		st, err := server.NewFSStore(*ckptDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nanobusd: checkpoint store: %v\n", err)
+			return 1
+		}
+		store = st
+	} else if *ckptEvery > 0 {
+		fmt.Fprintln(os.Stderr, "nanobusd: -checkpoint-every requires -checkpoint-dir")
+		return 2
+	}
+
 	srv := server.New(server.Config{
-		Shards:         *shards,
-		MaxSessions:    *maxSessions,
-		MaxBatchWords:  *maxBatch,
-		MaxPoolPerKey:  *maxPool,
-		RequestTimeout: *reqTimeout,
-		AcquireTimeout: *acqTimeout,
+		Shards:               *shards,
+		MaxSessions:          *maxSessions,
+		MaxBatchWords:        *maxBatch,
+		MaxPoolPerKey:        *maxPool,
+		RequestTimeout:       *reqTimeout,
+		AcquireTimeout:       *acqTimeout,
+		Store:                store,
+		AutoCheckpointCycles: *ckptEvery,
 	})
 	hs := &http.Server{
 		Handler:           srv.Handler(),

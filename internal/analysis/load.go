@@ -1,14 +1,18 @@
 package analysis
 
 import (
+	"bufio"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"regexp"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -205,7 +209,12 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.std.Import(path)
 }
 
-// goFilesIn lists the non-test Go files of dir, sorted.
+// goFilesIn lists the non-test Go files of dir that are included under
+// the default build configuration, sorted. Files excluded by a
+// //go:build constraint (e.g. the nanobus_nofault no-op variant of
+// faultinject) must be skipped exactly as `go build ./...` skips them:
+// type-checking both variants of a gated package at once would report
+// phantom redeclaration errors.
 func goFilesIn(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -219,10 +228,70 @@ func goFilesIn(dir string) ([]string, error) {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
-		names = append(names, name)
+		ok, err := buildTagOK(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		if ok {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// releaseTagRE matches go1.N release tags, which the go tool satisfies
+// for every N up to the toolchain's own minor version. The linter always
+// runs under the module's own toolchain, so accepting them all matches
+// what it compiles.
+var releaseTagRE = regexp.MustCompile(`^go1\.[0-9]+$`)
+
+// defaultTag evaluates one build tag under the default configuration:
+// the host GOOS/GOARCH, the gc compiler, the unix meta-tag, and release
+// tags. Custom tags (nanobus_nofault, race, integration, ...) are unset.
+func defaultTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris", "aix", "dragonfly":
+			return true
+		}
+	}
+	return releaseTagRE.MatchString(tag)
+}
+
+// buildTagOK reports whether the file's //go:build constraint (if any)
+// is satisfied under defaultTag. Constraints must precede the package
+// clause, so scanning stops at the first non-comment line.
+func buildTagOK(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer func() {
+		//nanolint:ignore droppederr the file was only read; nothing to recover from a close failure
+		_ = f.Close()
+	}()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if constraint.IsGoBuild(line) {
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				// Malformed constraint: include the file and let the
+				// type-checker report it with position information.
+				return true, nil
+			}
+			return expr.Eval(defaultTag), nil
+		}
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "/*") {
+			continue
+		}
+		break
+	}
+	return true, sc.Err()
 }
 
 // ExpandPatterns resolves go-style package patterns relative to the module

@@ -83,3 +83,23 @@ func TestExpandPatterns(t *testing.T) {
 		t.Fatalf("ExpandPatterns(internal/units) = %v, %v", dirs, err)
 	}
 }
+
+func TestLoaderHonorsBuildConstraints(t *testing.T) {
+	l := testLoader(t)
+	// faultinject ships two mutually-exclusive build-tag variants; loading
+	// both at once would report phantom redeclarations. Only the default
+	// (armed) variant may be included.
+	pkg, err := l.LoadDir("internal/faultinject")
+	if err != nil {
+		t.Fatalf("LoadDir(internal/faultinject): %v", err)
+	}
+	for _, f := range pkg.Files {
+		name := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+		if name == "faultinject_off.go" {
+			t.Fatalf("loader included the nanobus_nofault variant %s", name)
+		}
+	}
+	if pkg.Types.Scope().Lookup("Hit") == nil {
+		t.Fatal("armed variant missing: no Hit in package scope")
+	}
+}

@@ -1,0 +1,386 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"nanobus/internal/encoding"
+	"nanobus/internal/energy"
+)
+
+// Checkpoint format (version 1). A snapshot is a self-describing binary
+// blob, deterministic down to the byte for a given simulator state:
+//
+//	magic "NBCP" | version u16 | flags u16
+//	config fingerprint: node name, encoder name, width, interval cycles,
+//	    length bits, coupling depth, repeater flag
+//	state: cycle count, interval phase, cumulative energy totals,
+//	    per-line totals, accumulator window (held word, first flag,
+//	    counters, window energies), encoder state, thermal ambient and
+//	    per-wire temperatures, retained samples
+//	crc32 (IEEE) over everything above
+//
+// All integers and float bit patterns are little-endian. The transition
+// memo is never serialized: its contents are a pure function of the model,
+// so a restored simulator re-warms bit-identically (the "dropped and
+// rewarmed" policy). Restore validates magic, version, checksum and the
+// config fingerprint before mutating anything, so a failed Restore leaves
+// the simulator exactly as it was.
+
+// ErrCheckpointCorrupt marks a checkpoint Restore rejected before touching
+// any state: short blob, bad magic, unsupported version, or checksum
+// mismatch. Test with errors.Is.
+var ErrCheckpointCorrupt = errors.New("core: corrupt checkpoint")
+
+// ErrCheckpointMismatch marks a structurally valid checkpoint taken from a
+// simulator whose configuration differs from the restore target (node,
+// encoder, width, length, interval, coupling depth or repeater setting).
+// Test with errors.Is.
+var ErrCheckpointMismatch = errors.New("core: checkpoint configuration mismatch")
+
+const (
+	checkpointMagic   = "NBCP"
+	checkpointVersion = 1
+)
+
+// Snapshot serializes the simulator's full in-flight state into a
+// versioned, checksummed, deterministic binary checkpoint. Snapshotting a
+// poisoned simulator fails (its state is not trustworthy); everything else
+// — including a partially filled sampling interval — round-trips exactly:
+// a simulator restored from the snapshot emits bit-identical samples,
+// totals and temperatures from that point on.
+func (s *Simulator) Snapshot() ([]byte, error) {
+	if s.err != nil {
+		return nil, fmt.Errorf("snapshot: %w", s.err)
+	}
+	w := ckptWriter{}
+	w.raw([]byte(checkpointMagic))
+	w.u16(checkpointVersion)
+	w.u16(0) // flags, reserved
+
+	// Config fingerprint.
+	w.str(s.cfg.Node.Name)
+	w.str(s.enc.Name())
+	w.u32(uint32(s.enc.Width()))
+	w.u64(s.interval)
+	w.f64(s.length)
+	w.i64(int64(normalizedDepth(s.cfg.CouplingDepth)))
+	w.bool(s.cfg.NoRepeaters)
+
+	// Simulator counters and cumulative totals.
+	w.u64(s.cycles)
+	w.u64(s.cycleInInterval)
+	w.lineEnergy(s.totalEnergy)
+	for _, le := range s.lineTotals {
+		w.lineEnergy(le)
+	}
+
+	// Accumulator window.
+	ast := s.acc.State()
+	w.u64(ast.Prev)
+	w.bool(ast.First)
+	w.u64(ast.Cycles)
+	w.u64(ast.IdleCycles)
+	w.lineEnergy(ast.Total)
+	for _, le := range ast.Lines {
+		w.lineEnergy(le)
+	}
+
+	// Encoder state (zeros for stateless schemes).
+	var est encoding.State
+	if se, ok := s.enc.(encoding.Stateful); ok {
+		est = se.State()
+	}
+	w.u64(est.Prev)
+	w.u32(est.Last)
+	w.bool(est.First)
+
+	// Thermal state.
+	w.f64(s.net.Ambient())
+	for _, t := range s.net.Temps(nil) {
+		w.f64(t)
+	}
+
+	// Retained samples.
+	w.u32(uint32(len(s.samples)))
+	for _, sm := range s.samples {
+		w.u64(sm.EndCycle)
+		w.f64(sm.Energy)
+		w.f64(sm.Self)
+		w.f64(sm.CoupAdj)
+		w.f64(sm.CoupNonAdj)
+		w.f64(sm.AvgTemp)
+		w.f64(sm.MaxTemp)
+		w.i64(int64(sm.MaxWire))
+		w.u32(uint32(len(sm.WireTemps)))
+		for _, t := range sm.WireTemps {
+			w.f64(t)
+		}
+	}
+
+	w.u32(crc32.ChecksumIEEE(w.buf))
+	return w.buf, nil
+}
+
+// normalizedDepth folds every "keep all pairs" spelling of CouplingDepth
+// into -1, so fingerprints compare by effect rather than literal value.
+func normalizedDepth(depth int) int {
+	if depth < 0 {
+		return -1
+	}
+	return depth
+}
+
+// Restore overwrites the simulator's state from a Snapshot blob. The
+// target must have been built with an equivalent configuration: same node,
+// encoder, width, length, interval, coupling depth and repeater setting —
+// anything else is rejected with ErrCheckpointMismatch. Structural damage
+// (truncation, bit rot, wrong magic or version) is rejected with
+// ErrCheckpointCorrupt. Both rejections leave the simulator untouched.
+//
+// Restore clears any sticky error, so it also resurrects a poisoned
+// simulator back to its last known-good checkpoint. The transition memo is
+// kept as-is (warm or cold makes no numerical difference), and the
+// OnSample callback is unchanged.
+func (s *Simulator) Restore(data []byte) error {
+	r := &ckptReader{buf: data}
+	const trailerLen = 4
+	if len(data) < len(checkpointMagic)+2+2+trailerLen {
+		return fmt.Errorf("%w: %d bytes is shorter than any checkpoint", ErrCheckpointCorrupt, len(data))
+	}
+	if string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrCheckpointCorrupt, data[:len(checkpointMagic)])
+	}
+	body, tail := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCheckpointCorrupt, want, got)
+	}
+	r.buf = body
+	r.off = len(checkpointMagic)
+	if v := r.u16(); v != checkpointVersion {
+		return fmt.Errorf("%w: unsupported version %d (want %d)", ErrCheckpointCorrupt, v, checkpointVersion)
+	}
+	r.u16() // flags, reserved
+
+	// Config fingerprint: every field must match the target simulator.
+	nodeName := r.str()
+	encName := r.str()
+	width := int(r.u32())
+	interval := r.u64()
+	length := r.f64()
+	depth := int(r.i64())
+	noRep := r.bool()
+	if r.err != nil {
+		return r.wrapErr()
+	}
+	mismatch := func(field string, got, want any) error {
+		return fmt.Errorf("%w: %s is %v in the checkpoint, %v in the target", ErrCheckpointMismatch, field, got, want)
+	}
+	switch {
+	case nodeName != s.cfg.Node.Name:
+		return mismatch("node", nodeName, s.cfg.Node.Name)
+	case encName != s.enc.Name():
+		return mismatch("encoding", encName, s.enc.Name())
+	case width != s.enc.Width():
+		return mismatch("width", width, s.enc.Width())
+	case interval != s.interval:
+		return mismatch("interval_cycles", interval, s.interval)
+	case math.Float64bits(length) != math.Float64bits(s.length):
+		return mismatch("length_m", length, s.length)
+	case depth != normalizedDepth(s.cfg.CouplingDepth):
+		return mismatch("coupling_depth", depth, normalizedDepth(s.cfg.CouplingDepth))
+	case noRep != s.cfg.NoRepeaters:
+		return mismatch("no_repeaters", noRep, s.cfg.NoRepeaters)
+	}
+
+	// Decode the full state into temporaries before mutating the
+	// simulator, so a truncated blob cannot leave it half-restored.
+	cycles := r.u64()
+	cycleInInterval := r.u64()
+	totalEnergy := r.lineEnergy()
+	lineTotals := make([]energy.LineEnergy, width)
+	for i := range lineTotals {
+		lineTotals[i] = r.lineEnergy()
+	}
+	ast := energy.AccumulatorState{Lines: make([]energy.LineEnergy, width)}
+	ast.Prev = r.u64()
+	ast.First = r.bool()
+	ast.Cycles = r.u64()
+	ast.IdleCycles = r.u64()
+	ast.Total = r.lineEnergy()
+	for i := range ast.Lines {
+		ast.Lines[i] = r.lineEnergy()
+	}
+	var est encoding.State
+	est.Prev = r.u64()
+	est.Last = r.u32()
+	est.First = r.bool()
+	ambient := r.f64()
+	temps := make([]float64, width)
+	for i := range temps {
+		temps[i] = r.f64()
+	}
+	nSamples := int(r.u32())
+	if r.err == nil && nSamples > r.remaining()/sampleMinBytes {
+		r.err = fmt.Errorf("sample count %d exceeds the remaining payload", nSamples)
+	}
+	var samples []Sample
+	if r.err == nil && nSamples > 0 {
+		samples = make([]Sample, nSamples)
+		for i := range samples {
+			sm := &samples[i]
+			sm.EndCycle = r.u64()
+			sm.Energy = r.f64()
+			sm.Self = r.f64()
+			sm.CoupAdj = r.f64()
+			sm.CoupNonAdj = r.f64()
+			sm.AvgTemp = r.f64()
+			sm.MaxTemp = r.f64()
+			sm.MaxWire = int(r.i64())
+			if nwt := int(r.u32()); r.err == nil && nwt > 0 {
+				if nwt > r.remaining()/8 {
+					r.err = fmt.Errorf("wire-temp count %d exceeds the remaining payload", nwt)
+					break
+				}
+				sm.WireTemps = make([]float64, nwt)
+				for j := range sm.WireTemps {
+					sm.WireTemps[j] = r.f64()
+				}
+			}
+		}
+	}
+	if r.err != nil {
+		return r.wrapErr()
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes after the payload", ErrCheckpointCorrupt, len(r.buf)-r.off)
+	}
+
+	// Everything validated; apply.
+	if err := s.acc.SetState(ast); err != nil {
+		return err
+	}
+	if se, ok := s.enc.(encoding.Stateful); ok {
+		se.SetState(est)
+	}
+	if err := s.net.SetAmbient(ambient); err != nil {
+		return err
+	}
+	if err := s.net.SetTemps(temps); err != nil {
+		return err
+	}
+	s.cycles = cycles
+	s.cycleInInterval = cycleInInterval
+	s.totalEnergy = totalEnergy
+	copy(s.lineTotals, lineTotals)
+	s.samples = samples
+	s.err = nil
+	return nil
+}
+
+// sampleMinBytes is the encoded size of a sample with no wire temps, used
+// to sanity-bound decoded counts before allocating.
+const sampleMinBytes = 8 + 6*8 + 8 + 4
+
+// --- Binary plumbing --------------------------------------------------------
+
+// ckptWriter appends fixed-width little-endian fields to a growing buffer.
+type ckptWriter struct{ buf []byte }
+
+func (w *ckptWriter) raw(b []byte) { w.buf = append(w.buf, b...) }
+func (w *ckptWriter) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *ckptWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *ckptWriter) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *ckptWriter) i64(v int64)  { w.u64(uint64(v)) }
+func (w *ckptWriter) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+func (w *ckptWriter) bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+func (w *ckptWriter) str(s string) {
+	w.u16(uint16(len(s)))
+	w.raw([]byte(s))
+}
+func (w *ckptWriter) lineEnergy(le energy.LineEnergy) {
+	w.f64(le.Self)
+	w.f64(le.CoupAdj)
+	w.f64(le.CoupNonAdj)
+}
+
+// ckptReader consumes fixed-width little-endian fields with a sticky
+// error, so decode sequences read linearly and check once.
+type ckptReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *ckptReader) remaining() int { return len(r.buf) - r.off }
+
+func (r *ckptReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.remaining() < n {
+		r.err = fmt.Errorf("truncated at offset %d (want %d more bytes, have %d)", r.off, n, r.remaining())
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *ckptReader) u16() uint16 {
+	if b := r.take(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (r *ckptReader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *ckptReader) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *ckptReader) i64() int64   { return int64(r.u64()) }
+func (r *ckptReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *ckptReader) bool() bool {
+	if b := r.take(1); b != nil {
+		return b[0] != 0
+	}
+	return false
+}
+
+func (r *ckptReader) str() string {
+	n := int(r.u16())
+	if b := r.take(n); b != nil {
+		return string(b)
+	}
+	return ""
+}
+
+func (r *ckptReader) wrapErr() error {
+	return fmt.Errorf("%w: %w", ErrCheckpointCorrupt, r.err)
+}
+
+func (r *ckptReader) lineEnergy() energy.LineEnergy {
+	return energy.LineEnergy{Self: r.f64(), CoupAdj: r.f64(), CoupNonAdj: r.f64()}
+}

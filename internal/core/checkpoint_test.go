@@ -1,0 +1,312 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"nanobus/internal/encoding"
+	"nanobus/internal/faultinject"
+	"nanobus/internal/itrs"
+)
+
+// ckptWords returns a deterministic pseudo-random word stream.
+func ckptWords(seed int64, n int) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = rng.Uint32()
+	}
+	return out
+}
+
+// sameSamples requires bit-identical sample records.
+func sameSamples(t *testing.T, label string, a, b []Sample) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: sample counts differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		same := x.EndCycle == y.EndCycle && x.MaxWire == y.MaxWire &&
+			math.Float64bits(x.Energy) == math.Float64bits(y.Energy) &&
+			math.Float64bits(x.Self) == math.Float64bits(y.Self) &&
+			math.Float64bits(x.CoupAdj) == math.Float64bits(y.CoupAdj) &&
+			math.Float64bits(x.CoupNonAdj) == math.Float64bits(y.CoupNonAdj) &&
+			math.Float64bits(x.AvgTemp) == math.Float64bits(y.AvgTemp) &&
+			math.Float64bits(x.MaxTemp) == math.Float64bits(y.MaxTemp) &&
+			len(x.WireTemps) == len(y.WireTemps)
+		if same {
+			for j := range x.WireTemps {
+				if math.Float64bits(x.WireTemps[j]) != math.Float64bits(y.WireTemps[j]) {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			t.Fatalf("%s: sample %d differs:\n  %+v\n  %+v", label, i, x, y)
+		}
+	}
+}
+
+// TestSnapshotRestoreBitIdentical is the durability contract: snapshot a
+// simulator mid-run (mid-interval, with a stateful encoder), restore into
+// a fresh simulator, drive both with the same remaining stream, and
+// require every subsequent sample, total, temperature and cycle count to
+// be bit-identical to the uninterrupted run.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	cfg := Config{
+		CouplingDepth:  -1,
+		IntervalCycles: 300,
+		Encoder:        encoding.NewBI(),
+		TrackWireTemps: true,
+	}
+	words := ckptWords(7, 5000)
+	cut := 1111 // mid-interval: 1111 % 300 != 0
+
+	uninterrupted := newSim(t, Config{CouplingDepth: -1, IntervalCycles: 300, Encoder: encoding.NewBI(), TrackWireTemps: true})
+	ctx := context.Background()
+	if _, err := uninterrupted.StepBatch(ctx, words); err != nil {
+		t.Fatal(err)
+	}
+	if err := uninterrupted.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	primary := newSim(t, cfg)
+	if _, err := primary.StepBatch(ctx, words[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := primary.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	blob2, err := primary.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("two snapshots of the same state are not byte-identical")
+	}
+
+	restored := newSim(t, Config{CouplingDepth: -1, IntervalCycles: 300, Encoder: encoding.NewBI(), TrackWireTemps: true})
+	if err := restored.Restore(blob); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.Cycles() != uint64(cut) {
+		t.Fatalf("restored cycle count %d, want %d", restored.Cycles(), cut)
+	}
+	if _, err := restored.StepBatch(ctx, words[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	sameSamples(t, "restored vs uninterrupted", restored.Samples(), uninterrupted.Samples())
+	rt, lt := restored.TotalEnergy(), uninterrupted.TotalEnergy()
+	if math.Float64bits(rt.Total()) != math.Float64bits(lt.Total()) ||
+		math.Float64bits(rt.Self) != math.Float64bits(lt.Self) ||
+		math.Float64bits(rt.CoupAdj) != math.Float64bits(lt.CoupAdj) ||
+		math.Float64bits(rt.CoupNonAdj) != math.Float64bits(lt.CoupNonAdj) {
+		t.Fatalf("totals differ: %+v vs %+v", rt, lt)
+	}
+	a, b := restored.Temps(), uninterrupted.Temps()
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("wire %d temp differs: %.17g vs %.17g", i, a[i], b[i])
+		}
+	}
+	if restored.Cycles() != uninterrupted.Cycles() {
+		t.Fatalf("cycles differ: %d vs %d", restored.Cycles(), uninterrupted.Cycles())
+	}
+}
+
+// TestSnapshotOnIntervalBoundary checkpoints at exactly a sampling-interval
+// boundary (cycleInInterval == 0, the just-flushed state) and requires the
+// resumed run to match the uninterrupted one.
+func TestSnapshotOnIntervalBoundary(t *testing.T) {
+	const interval = 250
+	words := ckptWords(13, 2000)
+	ctx := context.Background()
+
+	uninterrupted := newSim(t, Config{IntervalCycles: interval})
+	if _, err := uninterrupted.StepBatch(ctx, words); err != nil {
+		t.Fatal(err)
+	}
+	if err := uninterrupted.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	primary := newSim(t, Config{IntervalCycles: interval})
+	if _, err := primary.StepBatch(ctx, words[:3*interval]); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := primary.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := newSim(t, Config{IntervalCycles: interval})
+	if err := restored.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Samples()) != 3 {
+		t.Fatalf("restored %d samples, want 3", len(restored.Samples()))
+	}
+	if _, err := restored.StepBatch(ctx, words[3*interval:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	sameSamples(t, "boundary restore", restored.Samples(), uninterrupted.Samples())
+	if math.Float64bits(restored.TotalEnergy().Total()) != math.Float64bits(uninterrupted.TotalEnergy().Total()) {
+		t.Fatal("totals differ after boundary restore")
+	}
+}
+
+// TestRestoreRejectsMismatchedConfig feeds a checkpoint into simulators
+// built under different configurations and requires the typed mismatch
+// error, with the target left untouched.
+func TestRestoreRejectsMismatchedConfig(t *testing.T) {
+	src := newSim(t, Config{IntervalCycles: 500, Encoder: encoding.NewBI()})
+	if _, err := src.StepBatch(context.Background(), ckptWords(3, 700)); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	targets := map[string]Config{
+		"different interval": {IntervalCycles: 400, Encoder: encoding.NewBI()},
+		"different encoder":  {IntervalCycles: 500, Encoder: encoding.NewCBI()},
+		"different width":    {IntervalCycles: 500},
+		"different node":     {IntervalCycles: 500, Encoder: encoding.NewBI(), Node: itrs.N45},
+		"different length":   {IntervalCycles: 500, Encoder: encoding.NewBI(), Length: 0.002},
+		"different depth":    {IntervalCycles: 500, Encoder: encoding.NewBI(), CouplingDepth: 1},
+		"no repeaters":       {IntervalCycles: 500, Encoder: encoding.NewBI(), NoRepeaters: true},
+	}
+	for label, cfg := range targets {
+		tgt := newSim(t, cfg)
+		err := tgt.Restore(blob)
+		if !errors.Is(err, ErrCheckpointMismatch) {
+			t.Errorf("%s: Restore = %v, want ErrCheckpointMismatch", label, err)
+		}
+		if tgt.Cycles() != 0 || tgt.Err() != nil {
+			t.Errorf("%s: failed Restore mutated the target", label)
+		}
+	}
+
+	// The compatible config restores fine.
+	ok := newSim(t, Config{IntervalCycles: 500, Encoder: encoding.NewBI()})
+	if err := ok.Restore(blob); err != nil {
+		t.Fatalf("compatible Restore: %v", err)
+	}
+}
+
+// TestRestoreRejectsCorruptCheckpoints requires the typed corrupt error
+// for truncation, bit flips, bad magic and unsupported versions — and an
+// untouched target in every case.
+func TestRestoreRejectsCorruptCheckpoints(t *testing.T) {
+	src := newSim(t, Config{IntervalCycles: 200})
+	if _, err := src.StepBatch(context.Background(), ckptWords(5, 450)); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"empty":            {},
+		"short":            blob[:8],
+		"truncated body":   blob[:len(blob)/2],
+		"truncated tail":   blob[:len(blob)-1],
+		"bad magic":        append([]byte("XXXX"), blob[4:]...),
+		"flipped bit":      flipBit(blob, len(blob)/3),
+		"flipped checksum": flipBit(blob, len(blob)-2),
+		"bad version":      flipBit(blob, 4),
+		"trailing bytes":   append(append([]byte{}, blob...), 0xAA),
+	}
+	for label, bad := range cases {
+		tgt := newSim(t, Config{IntervalCycles: 200})
+		err := tgt.Restore(bad)
+		if !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("%s: Restore = %v, want ErrCheckpointCorrupt", label, err)
+		}
+		if tgt.Cycles() != 0 {
+			t.Errorf("%s: failed Restore mutated the target", label)
+		}
+	}
+}
+
+func flipBit(b []byte, i int) []byte {
+	out := append([]byte{}, b...)
+	out[i] ^= 0x40
+	return out
+}
+
+// TestSnapshotPoisonedFails arms the flush failpoint to poison the
+// simulator and requires Snapshot to refuse, then Restore to resurrect it
+// from the pre-poison checkpoint.
+func TestSnapshotPoisonedFails(t *testing.T) {
+	defer faultinject.Reset()
+	sim := newSim(t, Config{IntervalCycles: 100})
+	ctx := context.Background()
+	if _, err := sim.StepBatch(ctx, ckptWords(9, 150)); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := sim.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := faultinject.Set("core.interval.flush", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.StepBatch(ctx, ckptWords(10, 200)); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("StepBatch under injected flush failure = %v, want ErrPoisoned", err)
+	}
+	if !errors.Is(sim.Err(), faultinject.ErrInjected) {
+		t.Fatalf("sticky error %v does not wrap faultinject.ErrInjected", sim.Err())
+	}
+	if _, err := sim.Snapshot(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Snapshot on poisoned simulator = %v, want ErrPoisoned", err)
+	}
+	faultinject.Reset()
+
+	if err := sim.Restore(blob); err != nil {
+		t.Fatalf("Restore after poison: %v", err)
+	}
+	if sim.Err() != nil {
+		t.Fatalf("Restore left sticky error %v", sim.Err())
+	}
+	if sim.Cycles() != 150 {
+		t.Fatalf("resurrected cycle count %d, want 150", sim.Cycles())
+	}
+}
+
+// TestFlushPanicFailpoint proves the scripted panic failpoint fires where
+// armed — the chaos harness relies on it to model mid-interval crashes.
+func TestFlushPanicFailpoint(t *testing.T) {
+	defer faultinject.Reset()
+	if err := faultinject.Set("core.interval.flush", "panic,nth=2"); err != nil {
+		t.Fatal(err)
+	}
+	sim := newSim(t, Config{IntervalCycles: 50})
+	ctx := context.Background()
+	if _, err := sim.StepBatch(ctx, ckptWords(1, 50)); err != nil {
+		t.Fatalf("first interval (trigger not yet due): %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second interval flush did not panic")
+		}
+	}()
+	_, _ = sim.StepBatch(ctx, ckptWords(2, 50))
+}

@@ -18,6 +18,7 @@ import (
 	"nanobus/internal/capmodel"
 	"nanobus/internal/encoding"
 	"nanobus/internal/energy"
+	"nanobus/internal/faultinject"
 	"nanobus/internal/itrs"
 	"nanobus/internal/repeater"
 	"nanobus/internal/thermal"
@@ -241,6 +242,16 @@ func (s *Simulator) tick() {
 // power, advance the thermal network, emit a sample, reset the window.
 func (s *Simulator) flush(n uint64) {
 	if n == 0 {
+		return
+	}
+	// Chaos harnesses arm this failpoint to fail (or panic) an interval
+	// close mid-run; disarmed it is one atomic load per interval.
+	if err := faultinject.Hit("core.interval.flush"); err != nil {
+		if s.err == nil {
+			s.err = fmt.Errorf("%w: interval flush: %w", ErrPoisoned, err)
+		}
+		s.acc.Reset()
+		s.cycleInInterval = 0
 		return
 	}
 	s.acc.Lines(s.lineBuf)

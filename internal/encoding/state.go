@@ -1,0 +1,50 @@
+package encoding
+
+// State is the serializable snapshot of a stateful encoder: the word it
+// holds on the physical bus plus the scheme-specific history its next
+// Encode decision depends on. The fields are a superset across schemes —
+// BI/OEBI/CBI use Prev/First only, T0 additionally uses Last.
+type State struct {
+	// Prev is the physical word currently driven on the bus.
+	Prev uint64
+	// Last is scheme-private history (T0: the last data word seen).
+	Last uint32
+	// First marks that no word has been transmitted yet.
+	First bool
+}
+
+// Stateful is implemented by encoders whose Encode decisions depend on
+// bus history. Checkpointing captures State and replays it with SetState
+// so a restored encoder continues the stream bit-identically. Stateless
+// schemes (Unencoded, Gray) deliberately do not implement it.
+type Stateful interface {
+	Encoder
+	// State returns the encoder's current serializable state.
+	State() State
+	// SetState overwrites the encoder's state (checkpoint restore).
+	SetState(State)
+}
+
+// State implements Stateful.
+func (b *BI) State() State { return State{Prev: b.prev, First: b.first} }
+
+// SetState implements Stateful.
+func (b *BI) SetState(st State) { b.prev, b.first = st.Prev, st.First }
+
+// State implements Stateful.
+func (o *OEBI) State() State { return State{Prev: o.prev, First: o.first} }
+
+// SetState implements Stateful.
+func (o *OEBI) SetState(st State) { o.prev, o.first = st.Prev, st.First }
+
+// State implements Stateful.
+func (c *CBI) State() State { return State{Prev: c.prev, First: c.first} }
+
+// SetState implements Stateful.
+func (c *CBI) SetState(st State) { c.prev, c.first = st.Prev, st.First }
+
+// State implements Stateful.
+func (t *T0) State() State { return State{Prev: t.prev, Last: t.last, First: t.first} }
+
+// SetState implements Stateful.
+func (t *T0) SetState(st State) { t.prev, t.last, t.first = st.Prev, st.Last, st.First }

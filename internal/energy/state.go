@@ -1,0 +1,52 @@
+package energy
+
+import "fmt"
+
+// AccumulatorState is the serializable snapshot of an Accumulator: the bus
+// word it holds, the first-word flag, cycle counters, and the per-line and
+// bus-wide energies accumulated in the current window. The transition memo
+// is deliberately excluded — its contents are a pure function of the model,
+// so a restored accumulator simply re-warms (bit-identically) as it runs.
+type AccumulatorState struct {
+	// Prev is the word currently held on the bus (width-masked).
+	Prev uint64
+	// First marks that no word has been transmitted yet.
+	First bool
+	// Cycles and IdleCycles are the window's cycle counters.
+	Cycles, IdleCycles uint64
+	// Total is the accumulated bus-wide energy of the window.
+	Total LineEnergy
+	// Lines is the accumulated per-line energy of the window (length N).
+	Lines []LineEnergy
+}
+
+// State returns a deep copy of the accumulator's serializable state.
+func (a *Accumulator) State() AccumulatorState {
+	lines := make([]LineEnergy, len(a.lines))
+	copy(lines, a.lines)
+	return AccumulatorState{
+		Prev:       a.prev,
+		First:      a.first,
+		Cycles:     a.cycles,
+		IdleCycles: a.idleCycles,
+		Total:      a.total,
+		Lines:      lines,
+	}
+}
+
+// SetState overwrites the accumulator's state from a snapshot taken by
+// State on an accumulator over the same model. The memo (and its hit/miss
+// counters) are kept as-is: cached transition energies depend only on the
+// model, so a warm memo replays restored traffic bit-identically.
+func (a *Accumulator) SetState(st AccumulatorState) error {
+	if len(st.Lines) != len(a.lines) {
+		return fmt.Errorf("energy: state has %d lines, accumulator has %d", len(st.Lines), len(a.lines))
+	}
+	a.prev = st.Prev & mask(a.model.n)
+	a.first = st.First
+	a.cycles = st.Cycles
+	a.idleCycles = st.IdleCycles
+	a.total = st.Total
+	copy(a.lines, st.Lines)
+	return nil
+}

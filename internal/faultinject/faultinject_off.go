@@ -1,0 +1,43 @@
+//go:build nanobus_nofault
+
+// Build-tag gate: with -tags nanobus_nofault every failpoint site compiles
+// down to a constant no-op, so deployments can prove the chaos machinery
+// is physically absent from the binary.
+package faultinject
+
+import "errors"
+
+// EnvVar and EnvSeed mirror the active build's names (ignored here).
+const (
+	EnvVar  = "NANOBUS_FAILPOINTS"
+	EnvSeed = "NANOBUS_FAILPOINT_SEED"
+)
+
+// ErrInjected is never returned in this build.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// Active always reports false: nothing can be armed.
+func Active() bool { return false }
+
+// SetAll rejects arming: the machinery is compiled out.
+func SetAll(string) error { return errors.New("faultinject: disabled by nanobus_nofault build tag") }
+
+// Set rejects arming: the machinery is compiled out.
+func Set(string, string) error {
+	return errors.New("faultinject: disabled by nanobus_nofault build tag")
+}
+
+// Clear is a no-op.
+func Clear(string) {}
+
+// Reset is a no-op.
+func Reset() {}
+
+// Hits always reports zero.
+func Hits(string) uint64 { return 0 }
+
+// Hit never injects.
+func Hit(string) error { return nil }
+
+// Truncate never truncates.
+func Truncate(_ string, b []byte) []byte { return b }

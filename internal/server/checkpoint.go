@@ -1,0 +1,520 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nanobus/internal/core"
+	"nanobus/internal/faultinject"
+)
+
+// ErrNoCheckpoint is returned by CheckpointStore.Load when the store holds
+// no checkpoint for the id.
+var ErrNoCheckpoint = errors.New("server: no checkpoint for session")
+
+// CheckpointStore persists session checkpoint envelopes by session id.
+// Implementations must be safe for concurrent use; Save must be atomic
+// (a crashed Save leaves either the old envelope or the new one, never a
+// torn mix) so restores after a kill -9 read a consistent blob.
+type CheckpointStore interface {
+	Save(id string, data []byte) error
+	Load(id string) ([]byte, error)
+	Delete(id string) error
+}
+
+// MemStore is an in-process CheckpointStore for tests and single-process
+// durability (surviving session poisoning, not process death).
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemStore builds an empty MemStore.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Save stores a copy of data under id.
+func (s *MemStore) Save(id string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[id] = bytes.Clone(data)
+	return nil
+}
+
+// Load returns a copy of the envelope stored under id.
+func (s *MemStore) Load(id string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, id)
+	}
+	return bytes.Clone(data), nil
+}
+
+// Delete removes the envelope stored under id (a no-op when absent).
+func (s *MemStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, id)
+	return nil
+}
+
+// FSStore persists checkpoint envelopes as files under a directory, one
+// per session id. Writes go through a temp file + rename so a crash never
+// leaves a torn envelope, and ids are restricted to the server's own
+// lowercase-hex alphabet so a hostile id cannot escape the directory.
+type FSStore struct {
+	dir string
+}
+
+// NewFSStore builds an FSStore rooted at dir, creating it if needed.
+func NewFSStore(dir string) (*FSStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: checkpoint dir: %w", err)
+	}
+	return &FSStore{dir: dir}, nil
+}
+
+// path maps a session id onto its envelope file, rejecting ids outside
+// the 1-64 char lowercase-hex alphabet (path traversal defence).
+func (s *FSStore) path(id string) (string, error) {
+	if len(id) == 0 || len(id) > 64 {
+		return "", fmt.Errorf("server: invalid session id %q", id)
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("server: invalid session id %q", id)
+		}
+	}
+	return filepath.Join(s.dir, id+".nbse"), nil
+}
+
+// Save atomically writes the envelope for id.
+func (s *FSStore) Save(id string, data []byte) error {
+	p, err := s.path(id)
+	if err != nil {
+		return err
+	}
+	// Chaos harnesses arm these: "store.fs.save" injects slowness or
+	// errors, "store.fs.truncate" cuts the blob to simulate a torn write
+	// that slipped past the rename barrier (e.g. a dying disk).
+	if err := faultinject.Hit("store.fs.save"); err != nil {
+		return fmt.Errorf("server: save checkpoint: %w", err)
+	}
+	data = faultinject.Truncate("store.fs.truncate", data)
+	tmp, err := os.CreateTemp(s.dir, "."+id+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("server: save checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		//nanolint:ignore droppederr the write error is reported; close/remove are best-effort cleanup
+		_ = tmp.Close()
+		//nanolint:ignore droppederr the write error is reported; close/remove are best-effort cleanup
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("server: save checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		//nanolint:ignore droppederr the close error is reported; remove is best-effort cleanup
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("server: save checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		//nanolint:ignore droppederr the rename error is reported; remove is best-effort cleanup
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("server: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads the envelope for id.
+func (s *FSStore) Load(id string) ([]byte, error) {
+	p, err := s.path(id)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, id)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: load checkpoint: %w", err)
+	}
+	return data, nil
+}
+
+// Delete removes the envelope for id (a no-op when absent).
+func (s *FSStore) Delete(id string) error {
+	p, err := s.path(id)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("server: delete checkpoint: %w", err)
+	}
+	return nil
+}
+
+// --- Envelope codec ---------------------------------------------------------
+
+// The server checkpoint envelope wraps a core.Simulator checkpoint blob
+// with everything the service layer needs to resurrect the session in a
+// fresh process: the write-ahead sequence number, the words/idle
+// counters, and the normalized CreateSessionRequest JSON. Layout (all
+// little-endian): magic "NBSE", version u16, seq u64, words u64, idle
+// u64, cfg (u32 length + JSON bytes), core blob (u32 length + bytes),
+// CRC-32 (IEEE) of every preceding byte.
+const (
+	envelopeMagic   = "NBSE"
+	envelopeVersion = 1
+	// maxEnvelopeBytes bounds inline restore bodies and decoded section
+	// lengths; a session with millions of retained samples should use
+	// DropSamples, not a multi-GB checkpoint.
+	maxEnvelopeBytes = 64 << 20
+	maxCfgBytes      = 1 << 20
+)
+
+type envelope struct {
+	Seq   uint64
+	Words uint64
+	Idle  uint64
+	Cfg   []byte // normalized CreateSessionRequest JSON
+	Core  []byte // core.Simulator checkpoint blob
+}
+
+func (e *envelope) encode() []byte {
+	n := len(envelopeMagic) + 2 + 3*8 + 4 + len(e.Cfg) + 4 + len(e.Core) + 4
+	b := make([]byte, 0, n)
+	b = append(b, envelopeMagic...)
+	b = binary.LittleEndian.AppendUint16(b, envelopeVersion)
+	b = binary.LittleEndian.AppendUint64(b, e.Seq)
+	b = binary.LittleEndian.AppendUint64(b, e.Words)
+	b = binary.LittleEndian.AppendUint64(b, e.Idle)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(e.Cfg)))
+	b = append(b, e.Cfg...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(e.Core)))
+	b = append(b, e.Core...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	return b
+}
+
+// decodeEnvelope validates and splits an envelope. Structural damage is
+// reported as core.ErrCheckpointCorrupt so it maps onto the same wire
+// code as a damaged core blob.
+func decodeEnvelope(data []byte) (*envelope, error) {
+	corrupt := func(what string) (*envelope, error) {
+		return nil, fmt.Errorf("%w: envelope %s", core.ErrCheckpointCorrupt, what)
+	}
+	const trailerLen = 4
+	minLen := len(envelopeMagic) + 2 + 3*8 + 4 + 4 + trailerLen
+	if len(data) < minLen {
+		return corrupt("truncated")
+	}
+	if string(data[:len(envelopeMagic)]) != envelopeMagic {
+		return corrupt("has bad magic")
+	}
+	body, tail := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return corrupt("checksum mismatch")
+	}
+	off := len(envelopeMagic)
+	if v := binary.LittleEndian.Uint16(body[off:]); v != envelopeVersion {
+		return nil, fmt.Errorf("%w: envelope version %d (want %d)",
+			core.ErrCheckpointCorrupt, v, envelopeVersion)
+	}
+	off += 2
+	e := &envelope{}
+	e.Seq = binary.LittleEndian.Uint64(body[off:])
+	e.Words = binary.LittleEndian.Uint64(body[off+8:])
+	e.Idle = binary.LittleEndian.Uint64(body[off+16:])
+	off += 24
+	cfgLen := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if cfgLen > maxCfgBytes || off+cfgLen+4 > len(body) {
+		return corrupt("config section overruns")
+	}
+	e.Cfg = body[off : off+cfgLen]
+	off += cfgLen
+	coreLen := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if coreLen != len(body)-off {
+		return corrupt("core section length mismatch")
+	}
+	e.Core = body[off:]
+	return e, nil
+}
+
+// --- POST /v1/sessions/{id}/checkpoint --------------------------------------
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	download := r.URL.Query().Get("download") == "1"
+	if s.cfg.Store == nil && !download {
+		writeError(w, http.StatusNotImplemented, CodeNoStore,
+			"no checkpoint store configured; use ?download=1 to fetch the envelope inline")
+		return
+	}
+	sess, sh, ok := s.find(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		return
+	}
+	sh.queue.Add(1)
+	defer sh.queue.Add(-1)
+	if err := s.acquireSession(r.Context(), sess); err != nil {
+		writeError(w, http.StatusConflict, CodeSessionBusy, "session busy: "+err.Error())
+		return
+	}
+	defer sess.release()
+	if sess.closed {
+		writeError(w, http.StatusNotFound, CodeNotFound, "session closed")
+		return
+	}
+	if sess.dirtySeq {
+		writeError(w, http.StatusConflict, CodeSeqConflict,
+			"a sequenced batch failed mid-apply; restore from a checkpoint first")
+		return
+	}
+	info, data, err := s.checkpointLocked(sess)
+	if err != nil {
+		he := asHTTPErr(err)
+		writeError(w, he.status, he.code, he.msg)
+		return
+	}
+	if download {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Nanobus-Checkpoint-Sha256", info.SHA256)
+		if _, err := w.Write(data); err != nil {
+			// Client went away mid-download; the store copy (if any) stands.
+			return
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// checkpointLocked snapshots the session into an envelope and saves it to
+// the store (when configured). The caller must hold the session.
+func (s *Server) checkpointLocked(sess *session) (CheckpointInfo, []byte, error) {
+	blob, err := sess.sim.Snapshot()
+	if err != nil {
+		return CheckpointInfo{}, nil, err
+	}
+	env := envelope{
+		Seq:   sess.lastSeq.Load(),
+		Words: sess.words.Load(),
+		Idle:  sess.idle.Load(),
+		Cfg:   sess.reqJSON,
+		Core:  blob,
+	}
+	data := env.encode()
+	stored := false
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Save(sess.id, data); err != nil {
+			return CheckpointInfo{}, nil, err
+		}
+		stored = true
+	}
+	sess.ckptCycles = sess.sim.Cycles()
+	s.checkpointsTotal.Add(1)
+	sum := sha256.Sum256(data)
+	return CheckpointInfo{
+		ID:     sess.id,
+		Seq:    env.Seq,
+		Cycles: sess.sim.Cycles(),
+		Bytes:  len(data),
+		SHA256: hex.EncodeToString(sum[:]),
+		Stored: stored,
+	}, data, nil
+}
+
+// maybeAutoCheckpoint persists the session once it has simulated
+// AutoCheckpointCycles cycles past its last checkpoint. Failures are
+// counted, not fatal: the stream keeps flowing and the next interval
+// retries. The caller must hold the session.
+func (s *Server) maybeAutoCheckpoint(sess *session) {
+	if s.cfg.Store == nil || s.cfg.AutoCheckpointCycles == 0 || sess.dirtySeq {
+		return
+	}
+	if sess.sim.Err() != nil {
+		return
+	}
+	if sess.sim.Cycles()-sess.ckptCycles < s.cfg.AutoCheckpointCycles {
+		return
+	}
+	if _, _, err := s.checkpointLocked(sess); err != nil {
+		s.checkpointFailedTotal.Add(1)
+	}
+}
+
+// --- PUT /v1/sessions/{id}/restore ------------------------------------------
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// An inline octet-stream body overrides the store: it is the
+	// ?download=1 envelope coming back.
+	var data []byte
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		b, err := io.ReadAll(io.LimitReader(r.Body, maxEnvelopeBytes+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "read envelope: "+err.Error())
+			return
+		}
+		if len(b) > maxEnvelopeBytes {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeBatchTooLarge,
+				fmt.Sprintf("envelope exceeds %d bytes", maxEnvelopeBytes))
+			return
+		}
+		data = b
+	}
+	if len(data) == 0 {
+		if s.cfg.Store == nil {
+			writeError(w, http.StatusNotImplemented, CodeNoStore,
+				"no checkpoint store configured and no inline envelope sent")
+			return
+		}
+		b, err := s.cfg.Store.Load(id)
+		if errors.Is(err, ErrNoCheckpoint) {
+			writeError(w, http.StatusNotFound, CodeNoCheckpoint, err.Error())
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+			return
+		}
+		data = b
+	}
+	env, err := decodeEnvelope(data)
+	if err != nil {
+		he := asHTTPErr(err)
+		writeError(w, he.status, he.code, he.msg)
+		return
+	}
+
+	if sess, sh, ok := s.find(id); ok {
+		s.restoreInPlace(w, r, sess, sh, env)
+		return
+	}
+	s.resurrect(w, id, env)
+}
+
+// restoreInPlace rewinds a live session to the envelope's state. This is
+// the recovery path for poisoned simulators and failed ?seq= batches: the
+// core Restore clears the poison and the seq counters rewind with it.
+func (s *Server) restoreInPlace(w http.ResponseWriter, r *http.Request, sess *session, sh *shard, env *envelope) {
+	sh.queue.Add(1)
+	defer sh.queue.Add(-1)
+	if err := s.acquireSession(r.Context(), sess); err != nil {
+		writeError(w, http.StatusConflict, CodeSessionBusy, "session busy: "+err.Error())
+		return
+	}
+	defer sess.release()
+	if sess.closed {
+		writeError(w, http.StatusNotFound, CodeNotFound, "session closed")
+		return
+	}
+	if !bytes.Equal(env.Cfg, sess.reqJSON) {
+		writeError(w, http.StatusConflict, CodeCheckpointMismatch,
+			"checkpoint configuration does not match the session")
+		return
+	}
+	if err := sess.sim.Restore(env.Core); err != nil {
+		he := asHTTPErr(err)
+		writeError(w, he.status, he.code, he.msg)
+		return
+	}
+	s.applyEnvelopeState(sess, env)
+	s.restoresTotal.Add(1)
+	writeJSON(w, http.StatusOK, RestoreResponse{
+		ID:         sess.id,
+		Seq:        env.Seq,
+		Cycles:     sess.sim.Cycles(),
+		Words:      env.Words,
+		IdleCycles: env.Idle,
+	})
+}
+
+// resurrect rebuilds a session that no longer exists — a poisoned pod
+// that dropped it, or a process restart — from the envelope's embedded
+// configuration and core blob, registering it under its original id so
+// clients resume against the same URL.
+func (s *Server) resurrect(w http.ResponseWriter, id string, env *envelope) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	if s.active.Add(1) > int64(s.cfg.MaxSessions) {
+		s.active.Add(-1)
+		writeError(w, http.StatusServiceUnavailable, CodeServerFull,
+			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions))
+		return
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			s.active.Add(-1)
+		}
+	}()
+
+	var req CreateSessionRequest
+	if err := json.Unmarshal(env.Cfg, &req); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, CodeCheckpointCorrupt,
+			"envelope config: "+err.Error())
+		return
+	}
+	sess, he := s.buildSession(req)
+	if he != nil {
+		writeError(w, he.status, he.code, he.msg)
+		return
+	}
+	if err := sess.sim.Restore(env.Core); err != nil {
+		// A failed Restore leaves the simulator untouched; recycle it.
+		s.pool.put(sess.key, sess.sim)
+		he := asHTTPErr(err)
+		writeError(w, he.status, he.code, he.msg)
+		return
+	}
+	// All session state is set before registration makes it reachable.
+	s.applyEnvelopeState(sess, env)
+	if !s.registerSession(sess, id) {
+		s.pool.put(sess.key, sess.sim)
+		writeError(w, http.StatusConflict, CodeSessionBusy,
+			"session reappeared during restore; retry")
+		return
+	}
+	ok = true
+	s.restoresTotal.Add(1)
+	s.resurrectedTotal.Add(1)
+	writeJSON(w, http.StatusOK, RestoreResponse{
+		ID:          id,
+		Seq:         env.Seq,
+		Cycles:      sess.sim.Cycles(),
+		Words:       env.Words,
+		IdleCycles:  env.Idle,
+		Resurrected: true,
+	})
+}
+
+// applyEnvelopeState installs the envelope's service-layer counters on a
+// session whose simulator has just been restored. The caller must hold
+// the session (or own it exclusively pre-registration).
+func (s *Server) applyEnvelopeState(sess *session, env *envelope) {
+	sess.words.Store(env.Words)
+	sess.idle.Store(env.Idle)
+	sess.lastSeq.Store(env.Seq)
+	sess.dirtySeq = false
+	// A retried duplicate of the checkpointed batch gets an idempotent
+	// ack with the restored cumulative counters.
+	sess.lastSum = StepSummary{Cycles: env.Words + env.Idle}
+	sess.ckptCycles = sess.sim.Cycles()
+	sess.lastMemo = sess.sim.MemoStats()
+}

@@ -62,6 +62,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("nanobusd_words_per_second", "Word throughput since the previous scrape.",
 		fmt.Sprintf("%.3f", s.rate.sample(time.Now(), words)))
 
+	counter("nanobusd_checkpoints_total", "Checkpoints taken (manual and automatic).", s.checkpointsTotal.Load())
+	counter("nanobusd_checkpoint_failures_total", "Automatic checkpoints that failed to persist.", s.checkpointFailedTotal.Load())
+	counter("nanobusd_restores_total", "Session restores (in-place and resurrection).", s.restoresTotal.Load())
+	counter("nanobusd_sessions_resurrected_total", "Sessions rebuilt from stored checkpoints after loss.", s.resurrectedTotal.Load())
+	counter("nanobusd_seq_duplicates_total", "Sequenced batches acknowledged idempotently without re-stepping.", s.seqDuplicatesTotal.Load())
+
 	hits, misses := s.memoHits.Load(), s.memoMisses.Load()
 	counter("nanobusd_memo_hits_total", "Transition-memo hits (harvested per request).", hits)
 	counter("nanobusd_memo_misses_total", "Transition-memo misses (harvested per request).", misses)

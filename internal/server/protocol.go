@@ -61,6 +61,9 @@ type SessionInfo struct {
 	// Words and IdleCycles are live cumulative counters.
 	Words      uint64 `json:"words"`
 	IdleCycles uint64 `json:"idle_cycles"`
+	// LastSeq is the last acknowledged ?seq= batch (0 when the client
+	// has never sent sequenced steps).
+	LastSeq uint64 `json:"last_seq,omitempty"`
 }
 
 // StepLine is one NDJSON line of a step request body: a batch of data
@@ -80,6 +83,11 @@ type StepSummary struct {
 	Cycles uint64 `json:"cycles"`
 	// Samples is the number of sampling intervals closed by this request.
 	Samples uint64 `json:"samples"`
+	// Duplicate reports that a ?seq= batch was already applied and this
+	// response is an idempotent acknowledgement: nothing was re-stepped.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// Seq echoes the request's write-ahead sequence number, if any.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // Sample is the wire form of one sampling interval's record.
@@ -155,6 +163,40 @@ type CloseResponse struct {
 	Cycles uint64 `json:"cycles"`
 }
 
+// CheckpointInfo acknowledges POST /v1/sessions/{id}/checkpoint: the
+// durable snapshot's identity and integrity digest.
+type CheckpointInfo struct {
+	ID string `json:"id"`
+	// Seq is the last acknowledged write-ahead sequence number captured in
+	// the checkpoint (0 when the client never sent ?seq=).
+	Seq uint64 `json:"seq"`
+	// Cycles is the simulated cycle count captured in the checkpoint.
+	Cycles uint64 `json:"cycles"`
+	// Bytes is the encoded envelope size.
+	Bytes int `json:"bytes"`
+	// SHA256 is the hex digest of the envelope.
+	SHA256 string `json:"sha256"`
+	// Stored reports whether the envelope was written to the server's
+	// checkpoint store (false for ?download=1 on a store-less server).
+	Stored bool `json:"stored"`
+}
+
+// RestoreResponse acknowledges PUT /v1/sessions/{id}/restore: where the
+// session's state now stands, so clients resume from Seq+1.
+type RestoreResponse struct {
+	ID string `json:"id"`
+	// Seq is the last write-ahead sequence number the restored state has
+	// applied; batches up to and including it must NOT be replayed.
+	Seq uint64 `json:"seq"`
+	// Cycles, Words and IdleCycles are the restored cumulative counters.
+	Cycles     uint64 `json:"cycles"`
+	Words      uint64 `json:"words"`
+	IdleCycles uint64 `json:"idle_cycles"`
+	// Resurrected reports that the session did not exist (poisoned pod,
+	// process restart) and was rebuilt from the stored checkpoint.
+	Resurrected bool `json:"resurrected"`
+}
+
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
 	Status   string `json:"status"`
@@ -181,4 +223,22 @@ const (
 	CodePoisoned        = "poisoned"
 	CodeCanceled        = "canceled"
 	CodeInternal        = "internal"
+	// CodeSeqGap rejects a ?seq= batch that skips ahead of the session's
+	// last acknowledged sequence number (the client must rewind).
+	CodeSeqGap = "seq_gap"
+	// CodeSeqConflict rejects ?seq= traffic after a batch failed mid-apply:
+	// the state is past the last acknowledged sequence number, so dedup
+	// accounting is unsound until the client restores from a checkpoint.
+	CodeSeqConflict = "seq_conflict"
+	// CodeNoCheckpoint marks a restore with no stored checkpoint to load.
+	CodeNoCheckpoint = "no_checkpoint"
+	// CodeNoStore marks a checkpoint/restore on a server with no
+	// configured checkpoint store (and no inline blob to fall back on).
+	CodeNoStore = "no_store"
+	// CodeCheckpointCorrupt marks a checkpoint rejected for structural
+	// damage (truncation, checksum mismatch, bad magic/version).
+	CodeCheckpointCorrupt = "checkpoint_corrupt"
+	// CodeCheckpointMismatch marks a checkpoint whose configuration does
+	// not match the session it is being restored into.
+	CodeCheckpointMismatch = "checkpoint_mismatch"
 )

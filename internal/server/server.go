@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"nanobus/internal/core"
 	"nanobus/internal/encoding"
+	"nanobus/internal/faultinject"
 	"nanobus/internal/itrs"
 )
 
@@ -39,6 +41,14 @@ type Config struct {
 	// body has been read, so waiting on the client context alone could
 	// park the request forever.
 	AcquireTimeout time.Duration
+	// Store persists session checkpoints for PUT restore and resurrection
+	// after a process restart; nil disables server-side persistence
+	// (checkpoint?download=1 still works).
+	Store CheckpointStore
+	// AutoCheckpointCycles checkpoints each session to Store every N
+	// simulated cycles as step requests complete; 0 disables automatic
+	// checkpoints. Requires Store.
+	AutoCheckpointCycles uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +93,12 @@ type Server struct {
 	memoHits      atomic.Uint64
 	memoMisses    atomic.Uint64
 
+	checkpointsTotal      atomic.Uint64
+	checkpointFailedTotal atomic.Uint64
+	restoresTotal         atomic.Uint64
+	resurrectedTotal      atomic.Uint64
+	seqDuplicatesTotal    atomic.Uint64
+
 	start time.Time
 	rate  rateWindow
 }
@@ -107,6 +123,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("PUT /v1/sessions/{id}/restore", s.handleRestore)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -157,6 +175,10 @@ func asHTTPErr(err error) *httpErr {
 		return he
 	case errors.Is(err, core.ErrPoisoned):
 		return &httpErr{http.StatusInternalServerError, CodePoisoned, err.Error()}
+	case errors.Is(err, core.ErrCheckpointCorrupt):
+		return &httpErr{http.StatusUnprocessableEntity, CodeCheckpointCorrupt, err.Error()}
+	case errors.Is(err, core.ErrCheckpointMismatch):
+		return &httpErr{http.StatusConflict, CodeCheckpointMismatch, err.Error()}
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return &httpErr{http.StatusRequestTimeout, CodeCanceled, err.Error()}
 	default:
@@ -208,10 +230,34 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "decode request: "+err.Error())
 		return
 	}
+	sess, he := s.buildSession(req)
+	if he != nil {
+		writeError(w, he.status, he.code, he.msg)
+		return
+	}
+	for {
+		id, err := newSessionID()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+			return
+		}
+		if s.registerSession(sess, id) {
+			break
+		}
+	}
+	ok = true
+	s.createdTotal.Add(1)
+	writeJSON(w, http.StatusCreated, sess.info)
+}
+
+// buildSession validates req, builds (or recycles) its simulator, and
+// returns an unregistered session carrying the normalized request JSON
+// (the resurrection config embedded in checkpoint envelopes). The caller
+// owns registration and the active-session counter.
+func (s *Server) buildSession(req CreateSessionRequest) (*session, *httpErr) {
 	node, err := itrs.Resolve(req.Node)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeUnknownNode, err.Error())
-		return
+		return nil, &httpErr{http.StatusBadRequest, CodeUnknownNode, err.Error()}
 	}
 	encName := req.Encoding
 	if encName == "" {
@@ -219,17 +265,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	enc, err := encoding.New(encName)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeUnknownEncoding, err.Error())
-		return
+		return nil, &httpErr{http.StatusBadRequest, CodeUnknownEncoding, err.Error()}
 	}
 	if req.LengthM < 0 {
-		writeError(w, http.StatusBadRequest, CodeBadRequest,
-			fmt.Sprintf("negative bus length %g", req.LengthM))
-		return
+		return nil, &httpErr{http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("negative bus length %g", req.LengthM)}
 	}
 
-	// Normalise to the effective configuration so pool keys and
-	// SessionInfo reflect what actually runs.
+	// Normalise to the effective configuration so pool keys, SessionInfo
+	// and the envelope config reflect what actually runs.
 	length := req.LengthM
 	if length == 0 { //nanolint:ignore floateq zero means the field was absent
 		length = core.DefaultLength
@@ -241,6 +285,20 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	depth := -1
 	if req.CouplingDepth != nil {
 		depth = *req.CouplingDepth
+	}
+	norm := CreateSessionRequest{
+		Node:           node.Name,
+		Encoding:       encName,
+		LengthM:        length,
+		IntervalCycles: interval,
+		CouplingDepth:  &depth,
+		TrackWireTemps: req.TrackWireTemps,
+		MemoSizeLog2:   req.MemoSizeLog2,
+		DropSamples:    req.DropSamples,
+	}
+	reqJSON, err := json.Marshal(norm)
+	if err != nil {
+		return nil, &httpErr{http.StatusInternalServerError, CodeInternal, err.Error()}
 	}
 	key := poolKey{
 		node:     node.Name,
@@ -265,51 +323,44 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			DropSamples:    req.DropSamples,
 		})
 		if err != nil {
-			writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
-			return
+			return nil, &httpErr{http.StatusBadRequest, CodeBadRequest, err.Error()}
 		}
 	} else {
 		s.recycledTotal.Add(1)
 	}
-
-	sess := &session{
+	return &session{
 		key:      key,
 		sim:      sim,
 		sem:      make(chan struct{}, 1),
 		lastMemo: sim.MemoStats(),
-	}
-	for {
-		id, err := newSessionID()
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
-			return
-		}
-		idx := shardOf(id, len(s.shards))
-		sh := s.shards[idx]
-		sh.mu.Lock()
-		if _, exists := sh.sessions[id]; exists {
-			sh.mu.Unlock()
-			continue
-		}
-		sess.id = id
-		sess.info = SessionInfo{
-			ID:             id,
+		reqJSON:  reqJSON,
+		info: SessionInfo{
 			Node:           node.Name,
 			Encoding:       encName,
 			Width:          sim.Width(),
 			LengthM:        length,
 			IntervalCycles: interval,
 			CouplingDepth:  depth,
-			Shard:          idx,
 			Recycled:       recycled,
-		}
-		sh.sessions[id] = sess
-		sh.mu.Unlock()
-		break
+		},
+	}, nil
+}
+
+// registerSession claims id for sess, filling the id-dependent info
+// fields; it reports false when the id is already taken.
+func (s *Server) registerSession(sess *session, id string) bool {
+	idx := shardOf(id, len(s.shards))
+	sh := s.shards[idx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.sessions[id]; exists {
+		return false
 	}
-	ok = true
-	s.createdTotal.Add(1)
-	writeJSON(w, http.StatusCreated, sess.info)
+	sess.id = id
+	sess.info.ID = id
+	sess.info.Shard = idx
+	sh.sessions[id] = sess
+	return true
 }
 
 // --- GET /v1/sessions/{id} --------------------------------------------------
@@ -323,6 +374,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	info := sess.info
 	info.Words = sess.words.Load()
 	info.IdleCycles = sess.idle.Load()
+	info.LastSeq = sess.lastSeq.Load()
 	writeJSON(w, http.StatusOK, info)
 }
 
@@ -349,6 +401,26 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
 		return
 	}
+	q := r.URL.Query()
+	streaming := q.Get("stream") == "samples"
+	var (
+		seq    uint64
+		hasSeq bool
+	)
+	if v := q.Get("seq"); v != "" {
+		if streaming {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				"seq cannot be combined with stream=samples")
+			return
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				"seq must be a positive integer")
+			return
+		}
+		seq, hasSeq = n, true
+	}
 	ctx := r.Context()
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -368,7 +440,43 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.harvestMemo(sess)
 
-	streaming := r.URL.Query().Get("stream") == "samples"
+	if hasSeq {
+		if sess.dirtySeq {
+			writeError(w, http.StatusConflict, CodeSeqConflict,
+				"a sequenced batch failed mid-apply; restore from a checkpoint before retrying")
+			return
+		}
+		last := sess.lastSeq.Load()
+		switch {
+		case seq <= last:
+			// Already applied: drain the body so the connection stays
+			// reusable and acknowledge idempotently — nothing re-steps, so
+			// a retried batch can never double-count energy.
+			//nanolint:ignore droppederr draining a duplicate body is best-effort
+			_, _ = io.Copy(io.Discard, r.Body)
+			sum := sess.lastSum
+			if seq != last {
+				sum = StepSummary{}
+			}
+			sum.Seq = seq
+			sum.Duplicate = true
+			sum.Cycles = sess.words.Load() + sess.idle.Load()
+			s.seqDuplicatesTotal.Add(1)
+			writeJSON(w, http.StatusOK, sum)
+			return
+		case seq > last+1:
+			writeError(w, http.StatusConflict, CodeSeqGap,
+				fmt.Sprintf("seq %d skips ahead; expected %d", seq, last+1))
+			return
+		}
+		// seq == last+1: mark the write-ahead intent before any word
+		// reaches the simulator. If the batch dies mid-apply the flag
+		// stays set and all seq traffic gets 409/seq_conflict until a
+		// restore rewinds the state — the partial application can never
+		// be silently replayed.
+		sess.dirtySeq = true
+	}
+
 	var (
 		sum       StepSummary
 		jsonOut   = json.NewEncoder(w)
@@ -405,6 +513,15 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	stepErr := s.consumeBody(ctx, r, sess, &sum)
 	sum.Cycles = sess.words.Load() + sess.idle.Load()
 
+	if stepErr == nil {
+		if hasSeq {
+			sess.dirtySeq = false
+			sess.lastSeq.Store(seq)
+			sum.Seq = seq
+			sess.lastSum = sum
+		}
+		s.maybeAutoCheckpoint(sess)
+	}
 	if stepErr != nil {
 		he := asHTTPErr(stepErr)
 		if streaming {
@@ -462,6 +579,11 @@ func (s *Server) consumeBinary(ctx context.Context, body io.Reader, sess *sessio
 				return &httpErr{http.StatusBadRequest, CodeBadRequest,
 					fmt.Sprintf("binary body length is not a multiple of 4 (%d trailing bytes)", n%4)}
 			}
+			// Chaos harnesses arm this to fail an ingest chunk mid-batch.
+			if ferr := faultinject.Hit("server.ingest.decode"); ferr != nil {
+				return &httpErr{http.StatusBadRequest, CodeBadRequest,
+					"decode binary batch: " + ferr.Error()}
+			}
 			if err := s.stepWords(ctx, sess, decodeWords(f.words, f.buf[:n]), sum); err != nil {
 				return err
 			}
@@ -489,6 +611,11 @@ func (s *Server) consumeNDJSON(ctx context.Context, body io.Reader, sess *sessio
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
+		}
+		// Chaos harnesses arm this to fail an ingest line mid-batch.
+		if ferr := faultinject.Hit("server.ingest.decode"); ferr != nil {
+			return &httpErr{http.StatusBadRequest, CodeBadRequest,
+				"decode step line: " + ferr.Error()}
 		}
 		var sl StepLine
 		if err := json.Unmarshal(line, &sl); err != nil {
@@ -613,6 +740,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	sh.mu.Lock()
 	delete(sh.sessions, id)
 	sh.mu.Unlock()
+	if s.cfg.Store != nil {
+		// A deleted session must not be resurrectable.
+		//nanolint:ignore droppederr best-effort cleanup; a stale envelope only wastes store space
+		_ = s.cfg.Store.Delete(id)
+	}
 	s.pool.put(sess.key, sess.sim)
 	s.active.Add(-1)
 	s.closedTotal.Add(1)

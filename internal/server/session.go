@@ -92,6 +92,25 @@ type session struct {
 	// by sem): one buffer per session instead of an allocation per
 	// streamed sample.
 	encBuf []byte
+	// reqJSON is the normalized CreateSessionRequest (deterministic
+	// field order), embedded in checkpoint envelopes so a fresh process
+	// can rebuild the simulator from the envelope alone.
+	reqJSON []byte
+	// lastSeq is the last acknowledged ?seq= batch (written under sem;
+	// atomic so session-info reads skip the sem).
+	lastSeq atomic.Uint64
+	// lastSum caches the lastSeq batch's summary for duplicate acks
+	// (guarded by sem).
+	lastSum StepSummary
+	// dirtySeq marks a sequenced batch that began mutating the simulator
+	// but never acknowledged: the state is ahead of lastSeq, so seq
+	// accounting is unsound until a restore rewinds it (guarded by sem,
+	// deliberately also across a mid-batch handler panic — the deferred
+	// release runs but the flag stays set).
+	dirtySeq bool
+	// ckptCycles is the simulator cycle count at the last checkpoint,
+	// the auto-checkpoint pacing reference (guarded by sem).
+	ckptCycles uint64
 }
 
 // acquire takes the session's simulator, failing when ctx ends first.

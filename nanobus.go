@@ -83,6 +83,13 @@ var (
 	// ErrSimulatorPoisoned marks a Bus whose interval flush failed; see
 	// Bus.Err.
 	ErrSimulatorPoisoned = core.ErrPoisoned
+	// ErrCheckpointCorrupt marks a Bus.Restore blob rejected for
+	// structural damage: truncation, bad magic, unsupported version, or
+	// checksum mismatch.
+	ErrCheckpointCorrupt = core.ErrCheckpointCorrupt
+	// ErrCheckpointMismatch marks a structurally valid checkpoint taken
+	// under a different bus configuration than the Restore target's.
+	ErrCheckpointMismatch = core.ErrCheckpointMismatch
 )
 
 // --- Bus simulation (the paper's unified model) ----------------------------

@@ -1,0 +1,332 @@
+// Command chaos is the durability gate for nanobusd: it proves that a
+// kill -9 mid-stream loses no accounting. It execs a built nanobusd with
+// a filesystem checkpoint store and periodic auto-checkpoints, streams
+// sequenced batches at it, SIGKILLs the daemon, restarts a second one on
+// the same checkpoint directory — this time with an ingest failpoint
+// armed through NANOBUS_FAILPOINTS — resurrects the session, replays
+// every batch past the last checkpoint, and requires the final energy
+// and thermal figures to be bit-for-bit identical to an uninterrupted
+// in-process library run of the same schedule.
+//
+//	go build -o /tmp/nanobusd ./cmd/nanobusd
+//	go run ./scripts/chaos -bin /tmp/nanobusd
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"nanobus"
+	"nanobus/client"
+)
+
+const (
+	nodeName   = "90nm"
+	scheme     = "BI"
+	interval   = 100
+	batchWords = 150
+	nBatches   = 12
+	ckptEvery  = "300"
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to the built nanobusd binary")
+	timeout := flag.Duration("timeout", 120*time.Second, "overall chaos deadline")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "chaos: -bin is required")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := run(ctx, *bin); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("chaos: PASS")
+}
+
+// batch regenerates the word batch for a sequence number from the number
+// alone. This is the resume contract: a client that can rebuild batch N
+// on demand can replay everything past the last checkpoint, so an ack
+// lost to a kill -9 costs retransmission, never correctness.
+func batch(seq uint64) []uint32 {
+	words := make([]uint32, batchWords)
+	x := uint32(seq)*2654435761 + 1
+	for i := range words {
+		x = x*1664525 + 1013904223
+		words[i] = x
+	}
+	return words
+}
+
+// reference runs the full schedule through the in-process library.
+func reference(ctx context.Context) (*nanobus.Bus, error) {
+	node, err := nanobus.ResolveNode(nodeName)
+	if err != nil {
+		return nil, err
+	}
+	bus, err := nanobus.New(node, nanobus.WithEncoding(scheme), nanobus.WithInterval(interval))
+	if err != nil {
+		return nil, err
+	}
+	for seq := uint64(1); seq <= nBatches; seq++ {
+		if _, err := bus.StepBatch(ctx, batch(seq)); err != nil {
+			return nil, err
+		}
+	}
+	if err := bus.Finish(); err != nil {
+		return nil, err
+	}
+	return bus, nil
+}
+
+// daemon is one exec'd nanobusd instance.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+	rest chan string
+}
+
+// startDaemon execs bin with the shared checkpoint directory and waits
+// for its listening line. extraEnv entries are appended to the process
+// environment (the failpoint arming channel).
+func startDaemon(bin, ckptDir string, extraEnv []string) (*daemon, error) {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0",
+		"-checkpoint-dir", ckptDir, "-checkpoint-every", ckptEvery)
+	cmd.Env = append(os.Environ(), extraEnv...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", bin, err)
+	}
+	sc := bufio.NewScanner(stdout)
+	const prefix = "nanobusd: listening on "
+	if !sc.Scan() {
+		_ = cmd.Process.Kill() //nanolint:ignore droppederr best-effort cleanup of a daemon that produced no output
+		_ = cmd.Wait()         //nanolint:ignore droppederr best-effort cleanup of a daemon that produced no output
+		return nil, fmt.Errorf("nanobusd produced no output: %v", sc.Err())
+	}
+	line := sc.Text()
+	if !strings.HasPrefix(line, prefix) {
+		_ = cmd.Process.Kill() //nanolint:ignore droppederr best-effort cleanup after an unexpected banner
+		_ = cmd.Wait()         //nanolint:ignore droppederr best-effort cleanup after an unexpected banner
+		return nil, fmt.Errorf("unexpected first line %q", line)
+	}
+	d := &daemon{cmd: cmd, addr: strings.TrimPrefix(line, prefix), rest: make(chan string, 1)}
+	go func() {
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		d.rest <- strings.Join(lines, "\n")
+	}()
+	return d, nil
+}
+
+func (d *daemon) url() string { return "http://" + d.addr }
+
+// kill simulates a crash: SIGKILL, no drain, no goodbye.
+func (d *daemon) kill() {
+	_ = d.cmd.Process.Kill() //nanolint:ignore droppederr SIGKILL on a live child cannot meaningfully fail
+	_ = d.cmd.Wait()         //nanolint:ignore droppederr the child was SIGKILLed; a non-zero exit is the point
+}
+
+// drain SIGTERMs the daemon and requires a clean exit. The stdout tail
+// must be collected to EOF BEFORE cmd.Wait(): Wait closes the pipe the
+// moment the process exits, which can cut off the reader goroutine
+// before it has consumed the buffered "drained cleanly" line.
+func (d *daemon) drain(ctx context.Context) error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("SIGTERM: %w", err)
+	}
+	var tail string
+	select {
+	case tail = <-d.rest:
+		// Pipe EOF: the daemon has closed stdout, i.e. it has exited.
+	case <-ctx.Done():
+		return fmt.Errorf("nanobusd did not exit after SIGTERM: %w", ctx.Err())
+	}
+	if err := d.cmd.Wait(); err != nil {
+		return fmt.Errorf("nanobusd exited uncleanly after SIGTERM: %w", err)
+	}
+	if !strings.Contains(tail, "drained cleanly") {
+		return fmt.Errorf("missing drain message in output:\n%s", tail)
+	}
+	return nil
+}
+
+// replay sends batches from..nBatches, recovering from any mid-stream
+// failure (injected ingest faults, seq conflicts) by restoring the last
+// checkpoint and resuming from its acknowledged sequence number. It
+// returns how many recoveries were needed.
+func replay(ctx context.Context, sess *client.Session, from uint64) (int, error) {
+	recoveries := 0
+	for seq := from; seq <= nBatches; {
+		sum, err := sess.StepBinarySeq(ctx, seq, batch(seq))
+		if err == nil {
+			if sum.Duplicate {
+				fmt.Printf("chaos: seq %d absorbed as duplicate\n", seq)
+			}
+			seq++
+			continue
+		}
+		if recoveries++; recoveries > 5 {
+			return recoveries, fmt.Errorf("giving up after %d recoveries; last: %w", recoveries-1, err)
+		}
+		fmt.Printf("chaos: seq %d failed (%v); restoring\n", seq, err)
+		res, rerr := sess.Restore(ctx)
+		if rerr != nil {
+			return recoveries, fmt.Errorf("restore after failed seq %d: %w", seq, rerr)
+		}
+		fmt.Printf("chaos: rewound to seq %d (cycle %d)\n", res.Seq, res.Cycles)
+		seq = res.Seq + 1
+	}
+	return recoveries, nil
+}
+
+func run(ctx context.Context, bin string) error {
+	ref, err := reference(ctx)
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+
+	ckptDir, err := os.MkdirTemp("", "nanobus-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//nanolint:ignore droppederr best-effort temp-dir cleanup on exit
+		_ = os.RemoveAll(ckptDir)
+	}()
+
+	// Daemon #1: stream seq 1..7 (auto-checkpoints land every 2 batches
+	// at 150 words each), then die without warning. Seq 7 is past the
+	// last checkpoint: its ack will be lost and the batch replayed.
+	d1, err := startDaemon(bin, ckptDir, nil)
+	if err != nil {
+		return err
+	}
+	retry := client.WithRetry(client.RetryPolicy{MaxAttempts: 5, BaseDelay: 50 * time.Millisecond})
+	c1 := client.New(d1.url(), retry)
+	if err := c1.Healthz(ctx); err != nil {
+		d1.kill()
+		return fmt.Errorf("healthz: %w", err)
+	}
+	sess1, err := c1.CreateSession(ctx, client.SessionConfig{
+		Node: nodeName, Encoding: scheme, IntervalCycles: interval,
+	})
+	if err != nil {
+		d1.kill()
+		return fmt.Errorf("create session: %w", err)
+	}
+	for seq := uint64(1); seq <= 7; seq++ {
+		if _, err := sess1.StepBinarySeq(ctx, seq, batch(seq)); err != nil {
+			d1.kill()
+			return fmt.Errorf("seq %d on daemon 1: %w", seq, err)
+		}
+	}
+	id := sess1.Info.ID
+	fmt.Printf("chaos: killing nanobusd (pid %d) with 7/%d batches acknowledged\n",
+		d1.cmd.Process.Pid, nBatches)
+	d1.kill()
+
+	// Daemon #2 shares only the checkpoint directory — and runs with an
+	// ingest failpoint armed, so one of the replayed batches dies
+	// mid-request and the client must restore a second time.
+	d2, err := startDaemon(bin, ckptDir, []string{
+		"NANOBUS_FAILPOINTS=server.ingest.decode=error,nth=3",
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if d2.cmd.ProcessState == nil {
+			d2.kill()
+		}
+	}()
+	c2 := client.New(d2.url(), retry)
+	sess2 := c2.Session(id)
+	res, err := sess2.Restore(ctx)
+	if err != nil {
+		return fmt.Errorf("resurrect: %w", err)
+	}
+	if !res.Resurrected {
+		return fmt.Errorf("restore did not resurrect: %+v", res)
+	}
+	fmt.Printf("chaos: resurrected %s at seq %d (cycle %d)\n", id, res.Seq, res.Cycles)
+	if res.Seq >= 7 {
+		return fmt.Errorf("checkpoint claims seq %d, but only 6 could have been checkpointed", res.Seq)
+	}
+	// A duplicate of the last checkpointed batch must be absorbed, not
+	// double-counted.
+	dup, err := sess2.StepBinarySeq(ctx, res.Seq, batch(res.Seq))
+	if err != nil || !dup.Duplicate {
+		return fmt.Errorf("duplicate of seq %d: sum=%+v err=%v", res.Seq, dup, err)
+	}
+	recoveries, err := replay(ctx, sess2, res.Seq+1)
+	if err != nil {
+		return err
+	}
+	if recoveries == 0 {
+		return fmt.Errorf("ingest failpoint never fired: the chaos run did not exercise the recovery path")
+	}
+
+	final, err := sess2.Result(ctx, true)
+	if err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	tot := ref.TotalEnergy()
+	maxT, _ := ref.Network().MaxTemp()
+	checks := []struct {
+		name     string
+		svc, lib float64
+	}{
+		{"total energy", final.Total.TotalJ, tot.Total()},
+		{"self energy", final.Total.SelfJ, tot.Self},
+		{"adjacent coupling", final.Total.CoupAdjJ, tot.CoupAdj},
+		{"non-adjacent coupling", final.Total.CoupNonAdjJ, tot.CoupNonAdj},
+		{"avg temp", final.AvgTempK, ref.Network().AvgTemp()},
+		{"max temp", final.MaxTempK, maxT},
+	}
+	for _, ck := range checks {
+		if math.Float64bits(ck.svc) != math.Float64bits(ck.lib) {
+			return fmt.Errorf("%s differs after chaos: service %.17g, library %.17g",
+				ck.name, ck.svc, ck.lib)
+		}
+	}
+	if final.Cycles != ref.Cycles() {
+		return fmt.Errorf("cycles differ: service %d, library %d", final.Cycles, ref.Cycles())
+	}
+	libSamples := ref.Samples()
+	if len(final.Samples) != len(libSamples) {
+		return fmt.Errorf("sample count differs: service %d, library %d",
+			len(final.Samples), len(libSamples))
+	}
+	for i, ls := range libSamples {
+		ss := final.Samples[i]
+		if ss.EndCycle != ls.EndCycle ||
+			math.Float64bits(ss.EnergyJ) != math.Float64bits(ls.Energy) ||
+			math.Float64bits(ss.MaxTempK) != math.Float64bits(ls.MaxTemp) {
+			return fmt.Errorf("sample %d differs: service %+v, library %+v", i, ss, ls)
+		}
+	}
+	fmt.Printf("chaos: %d batches survived kill -9 + injected ingest fault; %d samples bit-identical (total %.4g J)\n",
+		nBatches, len(final.Samples), tot.Total())
+
+	if err := sess2.Close(ctx); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	return d2.drain(ctx)
+}

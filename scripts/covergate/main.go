@@ -1,0 +1,134 @@
+// Command covergate enforces a ratcheted minimum on total statement
+// coverage. It parses a go test -coverprofile file directly (any mode:
+// set, count, or atomic), computes covered/total statements, and exits
+// non-zero when the percentage is below -min — the CI coverage job's
+// failure condition. Packages matching -exclude (default: script mains,
+// examples, and the nanobusd main, which only run exec'd as
+// subprocesses under the smoke/chaos gates) are left out of the
+// denominator so they cannot dilute the ratchet.
+//
+//	go test -coverprofile=coverage.out ./...
+//	go run ./scripts/covergate -profile coverage.out -min 85.0
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	profile := flag.String("profile", "coverage.out", "go test -coverprofile output to check")
+	minPct := flag.Float64("min", 0, "fail when total statement coverage is below this percentage")
+	exclude := flag.String("exclude", "/scripts/,/examples/,cmd/nanobusd", "substring of file paths excluded from the total (comma-separated)")
+	perPkg := flag.Bool("v", false, "also print per-package coverage")
+	flag.Parse()
+	if err := run(*profile, *minPct, *exclude, *perPkg); err != nil {
+		fmt.Fprintf(os.Stderr, "covergate: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type tally struct{ covered, total int64 }
+
+func run(profile string, minPct float64, exclude string, perPkg bool) error {
+	f, err := os.Open(profile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//nanolint:ignore droppederr the profile was only read; nothing to recover from a close failure
+		_ = f.Close()
+	}()
+
+	var excludes []string
+	for _, e := range strings.Split(exclude, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			excludes = append(excludes, e)
+		}
+	}
+	skip := func(path string) bool {
+		for _, e := range excludes {
+			if strings.Contains(path, e) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Profile lines: file.go:startL.startC,endL.endC numStmts hitCount
+	pkgs := map[string]*tally{}
+	var all tally
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return fmt.Errorf("%s:%d: malformed profile line %q", profile, lineNo, line)
+		}
+		file, _, ok := strings.Cut(fields[0], ":")
+		if !ok {
+			return fmt.Errorf("%s:%d: malformed position %q", profile, lineNo, fields[0])
+		}
+		if skip(file) {
+			continue
+		}
+		stmts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("%s:%d: statement count: %w", profile, lineNo, err)
+		}
+		hits, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("%s:%d: hit count: %w", profile, lineNo, err)
+		}
+		pkg := file
+		if i := strings.LastIndexByte(file, '/'); i >= 0 {
+			pkg = file[:i]
+		}
+		t := pkgs[pkg]
+		if t == nil {
+			t = &tally{}
+			pkgs[pkg] = t
+		}
+		t.total += stmts
+		all.total += stmts
+		if hits > 0 {
+			t.covered += stmts
+			all.covered += stmts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if all.total == 0 {
+		return fmt.Errorf("no statements in %s (empty or fully excluded profile)", profile)
+	}
+
+	if perPkg {
+		names := make([]string, 0, len(pkgs))
+		for name := range pkgs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			t := pkgs[name]
+			fmt.Printf("covergate: %6.1f%%  %s\n", 100*float64(t.covered)/float64(t.total), name)
+		}
+	}
+	pct := 100 * float64(all.covered) / float64(all.total)
+	fmt.Printf("covergate: total statement coverage %.1f%% (%d/%d statements), minimum %.1f%%\n",
+		pct, all.covered, all.total, minPct)
+	if pct < minPct {
+		return fmt.Errorf("coverage %.1f%% is below the ratcheted minimum %.1f%%", pct, minPct)
+	}
+	return nil
+}

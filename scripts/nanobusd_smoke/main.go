@@ -82,17 +82,19 @@ func run(ctx context.Context, bin string) error {
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return fmt.Errorf("SIGTERM: %w", err)
 	}
-	waitErr := make(chan error, 1)
-	go func() { waitErr <- cmd.Wait() }()
+	// Collect the stdout tail to EOF BEFORE cmd.Wait(): Wait closes the
+	// pipe the moment the process exits, which can cut off the reader
+	// goroutine before it has consumed the buffered drain message.
+	var tail string
 	select {
-	case err := <-waitErr:
-		if err != nil {
-			return fmt.Errorf("nanobusd exited uncleanly after SIGTERM: %w", err)
-		}
+	case tail = <-rest:
+		// Pipe EOF: the daemon has closed stdout, i.e. it has exited.
 	case <-ctx.Done():
 		return fmt.Errorf("nanobusd did not exit after SIGTERM: %w", ctx.Err())
 	}
-	tail := <-rest
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("nanobusd exited uncleanly after SIGTERM: %w", err)
+	}
 	if !strings.Contains(tail, "drained cleanly") {
 		return fmt.Errorf("missing drain message in output:\n%s", tail)
 	}

@@ -1,36 +1,65 @@
 #!/bin/sh
-# Full local gate: build, vet, nanolint, race-enabled tests (which include
-# the AllocsPerRun zero-alloc gates in core, energy, server and expt), and
-# a benchmark smoke gated against the recorded baseline: benchgate fails
-# the run when any kernel is more than 2x slower than BENCH_hotpath.json.
+# Full local/CI gate: build, vet, nanolint, race-enabled tests (which
+# include the AllocsPerRun zero-alloc gates in core, energy, server and
+# expt), the ratcheted coverage minimum, a benchmark smoke gated against
+# the recorded baseline (benchgate fails the run when any kernel is more
+# than 2x slower than BENCH_hotpath.json), the nanobusd end-to-end smoke,
+# and the kill -9 durability chaos gate.
+#
+# CI-safe by construction: no interactive input, no TTY assumptions, and
+# every stage's exit status stops the run. Benchmark output goes through
+# a temp file instead of a pipeline because POSIX sh `set -e` does not
+# propagate the left side of a pipe — `go test | benchgate` would report
+# only benchgate's status and silently swallow a test failure.
 # Usage: scripts/verify.sh  (from anywhere inside the repo)
-set -eux
+set -eu
 cd "$(dirname "$0")/.."
 
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+echo "==> build"
 go build ./...
+echo "==> build (nanobus_nofault)"
+go build -tags nanobus_nofault ./...
+echo "==> vet"
 go vet ./...
+echo "==> nanolint"
 go run ./cmd/nanolint ./...
+echo "==> race tests"
 go test -race ./...
 
+echo "==> coverage gate"
+go test -count=1 -coverprofile "$tmp/coverage.out" ./...
+go run ./scripts/covergate -profile "$tmp/coverage.out" -min 82.0
+
+echo "==> benchmark gates"
 # Fast kernels: 100 iterations, min of 3 runs to damp scheduler noise.
 go test -run NONE \
     -bench 'BenchmarkThermalAdvance|BenchmarkBinaryIngest|BenchmarkStreamSampleEncode' \
-    -benchmem -benchtime 100x -count 3 . ./internal/server |
-    go run ./scripts/benchgate -baseline BENCH_hotpath.json
+    -benchmem -benchtime 100x -count 3 . ./internal/server > "$tmp/bench_fast.txt"
+go run ./scripts/benchgate -baseline BENCH_hotpath.json < "$tmp/bench_fast.txt"
 # Memo-warmed kernels need enough iterations to reach their steady-state
 # hit rate (the baseline regime); 100x would gate against a cold cache.
 go test -run NONE \
     -bench 'BenchmarkTransition|BenchmarkRunPair|BenchmarkStepBatch' \
-    -benchmem -benchtime 100000x -count 3 . |
-    go run ./scripts/benchgate -baseline BENCH_hotpath.json
+    -benchmem -benchtime 100000x -count 3 . > "$tmp/bench_warm.txt"
+go run ./scripts/benchgate -baseline BENCH_hotpath.json < "$tmp/bench_warm.txt"
 # Whole-sweep benchmarks run ~0.5 s/op, so one iteration is already stable.
-go test -run NONE -bench 'BenchmarkSweepWorkers' -benchmem -benchtime 1x . |
-    go run ./scripts/benchgate -baseline BENCH_hotpath.json
+go test -run NONE -bench 'BenchmarkSweepWorkers' -benchmem -benchtime 1x . > "$tmp/bench_sweep.txt"
+go run ./scripts/benchgate -baseline BENCH_hotpath.json < "$tmp/bench_sweep.txt"
 
-# nanobusd end-to-end smoke: exec the real daemon on an ephemeral port,
-# drive one session through the client, require bit-identical results vs
-# the in-process library, then SIGTERM and require a clean drain.
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
+echo "==> nanobusd smoke"
+# End-to-end: exec the real daemon on an ephemeral port, drive one
+# session through the client, require bit-identical results vs the
+# in-process library, then SIGTERM and require a clean drain.
 go build -o "$tmp/nanobusd" ./cmd/nanobusd
 go run ./scripts/nanobusd_smoke -bin "$tmp/nanobusd"
+
+echo "==> durability chaos"
+# kill -9 mid-stream, restart on the shared checkpoint directory with an
+# ingest failpoint armed, resurrect, replay, and require bit-identical
+# final figures vs an uninterrupted library run.
+go run ./scripts/chaos -bin "$tmp/nanobusd"
+
+echo "verify: PASS"
