@@ -3,18 +3,37 @@
 //
 //	go run ./cmd/nanolint ./...
 //	go run ./cmd/nanolint -rules magicconst,floateq ./internal/thermal
+//	go run ./cmd/nanolint -baseline .nanolint-baseline.json -ratchet -sarif out.sarif ./...
 //
 // Patterns follow the go tool: "dir/..." walks recursively (skipping
-// testdata), a plain pattern names one package directory. Findings print as
-// "file:line:col: [rule] message"; the process exits 1 if any unsuppressed
-// finding remains, 2 on usage or load errors.
+// testdata), a plain pattern names one package directory. Packages are
+// analyzed in parallel with deterministic output order. Findings print as
+// "file:line:col: [rule] message"; the process exits 1 if any fresh
+// unsuppressed finding remains (or, under -ratchet, if the baseline has
+// gone slack), 2 on usage or load errors.
+//
+// Nine rules ship: magicconst, droppederr, floateq, libpanic (AST/call-graph
+// hygiene) and hotalloc, maporder, wallclock, unsafeaudit, ctxpoll
+// (dataflow-aware determinism and hot-path invariants). Run -list for the
+// one-line summaries.
 //
 // A finding is suppressed by the directive
 //
-//	//nanolint:ignore <rule> <reason>
+//	//nanolint:ignore <rule>[,<rule>...] <reason>
 //
 // at the end of the offending line or on its own line directly above it.
-// The reason is mandatory; directives without one are themselves findings.
+// The reason is mandatory; directives without one are themselves findings,
+// as are directives that no longer suppress anything (unused-suppression).
+//
+// CI integration:
+//
+//	-sarif FILE       write a SARIF 2.1.0 log for code-scanning upload
+//	-baseline FILE    tolerate findings recorded in the baseline (absent
+//	                  file = empty baseline)
+//	-write-baseline   regenerate the baseline from this run and exit 0
+//	-ratchet          additionally fail when the baseline allows more than
+//	                  the run found, forcing the recorded debt to shrink
+//	                  with every fix (the ratchet never loosens)
 package main
 
 import (
@@ -37,6 +56,11 @@ func run(args []string) int {
 	rules := fs.String("rules", "", "comma-separated rule subset to run (default: all rules)")
 	showSuppressed := fs.Bool("show-suppressed", false, "also print suppressed findings with their justification")
 	list := fs.Bool("list", false, "list the available rules and exit")
+	sarifPath := fs.String("sarif", "", "write a SARIF 2.1.0 log to this file")
+	baselinePath := fs.String("baseline", "", "tolerate findings recorded in this baseline file")
+	writeBaseline := fs.Bool("write-baseline", false, "regenerate the -baseline file from this run and exit")
+	ratchet := fs.Bool("ratchet", false, "fail when the baseline allows more findings than the run produced")
+	workers := fs.Int("workers", 0, "package-analysis parallelism (0 = GOMAXPROCS)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nanolint [flags] [packages]\n")
 		fs.PrintDefaults()
@@ -49,6 +73,10 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stdout, "%-12s %s\n", az.Name, az.Doc)
 		}
 		return 0
+	}
+	if (*writeBaseline || *ratchet) && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "nanolint: -write-baseline and -ratchet require -baseline FILE")
+		return 2
 	}
 
 	azs := analysis.All()
@@ -96,24 +124,70 @@ func run(args []string) int {
 		pkgs = append(pkgs, pkg)
 	}
 
-	findings, err := analysis.Run(pkgs, azs)
+	findings, err := analysis.RunParallel(pkgs, azs, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	bad := 0
-	for _, f := range findings {
-		if f.Suppressed {
-			if *showSuppressed {
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		werr := analysis.WriteSARIF(f, findings, azs, root)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "nanolint: writing %s: %v\n", *sarifPath, werr)
+			return 2
+		}
+	}
+
+	if *writeBaseline {
+		b := analysis.NewBaseline(findings, root)
+		if err := b.Save(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stdout, "nanolint: wrote baseline %s (%d tolerated finding(s))\n",
+			*baselinePath, len(analysis.Unsuppressed(findings)))
+		return 0
+	}
+
+	fresh := findings
+	var slack []string
+	if *baselinePath != "" {
+		b, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fresh = b.Apply(findings, root)
+		if *ratchet {
+			slack = b.Slack(findings, root)
+		}
+	} else {
+		fresh = analysis.Unsuppressed(findings)
+	}
+
+	if *showSuppressed {
+		for _, f := range findings {
+			if f.Suppressed {
 				fmt.Fprintf(os.Stdout, "%s (suppressed: %s)\n", finding(root, f), f.SuppressReason)
 			}
-			continue
 		}
-		bad++
+	}
+	for _, f := range fresh {
 		fmt.Fprintln(os.Stdout, finding(root, f))
 	}
-	if bad > 0 {
-		fmt.Fprintf(os.Stdout, "nanolint: %d finding(s) in %d package(s)\n", bad, len(pkgs))
+	for _, s := range slack {
+		fmt.Fprintf(os.Stdout, "nanolint: ratchet slack: %s (tighten with -write-baseline)\n", s)
+	}
+	if len(fresh) > 0 || len(slack) > 0 {
+		fmt.Fprintf(os.Stdout, "nanolint: %d finding(s) in %d package(s)\n", len(fresh), len(pkgs))
 		return 1
 	}
 	return 0

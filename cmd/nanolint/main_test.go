@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunExitCodes(t *testing.T) {
 	cases := []struct {
@@ -13,10 +18,15 @@ func TestRunExitCodes(t *testing.T) {
 		// binary's working directory sits inside the module.
 		{"fixture findings", []string{"internal/analysis/testdata/src/droppederr"}, 1},
 		{"fixture magicconst", []string{"-rules", "magicconst", "internal/analysis/testdata/src/energy"}, 1},
+		{"fixture ctxpoll", []string{"-rules", "ctxpoll", "internal/analysis/testdata/src/core"}, 1},
+		{"fixture unsafeaudit", []string{"-rules", "unsafeaudit", "internal/analysis/testdata/src/unsafeaudit"}, 1},
 		{"clean package", []string{"internal/units"}, 0},
 		{"list rules", []string{"-list"}, 0},
 		{"unknown rule", []string{"-rules", "nosuchrule", "internal/units"}, 2},
 		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"ratchet without baseline", []string{"-ratchet", "internal/units"}, 2},
+		{"write-baseline without baseline", []string{"-write-baseline", "internal/units"}, 2},
+		{"no go files", []string{"internal/analysis/testdata"}, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -24,5 +34,67 @@ func TestRunExitCodes(t *testing.T) {
 				t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.want)
 			}
 		})
+	}
+}
+
+// TestSarifOutput runs the driver with -sarif on a fixture with known
+// findings and checks a parseable 2.1.0 document lands on disk even when
+// the run exits nonzero.
+func TestSarifOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.sarif")
+	fixture := "internal/analysis/testdata/src/droppederr"
+	if got := run([]string{"-sarif", path, fixture}); got != 1 {
+		t.Fatalf("run = %d, want 1", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("SARIF file not written: %v", err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("SARIF does not parse: %v", err)
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("version = %q", doc.Version)
+	}
+	if len(doc.Runs) != 1 || len(doc.Runs[0].Results) == 0 {
+		t.Errorf("SARIF has no results for a fixture with findings")
+	}
+}
+
+// TestBaselineRatchetFlow walks the adoption workflow end to end:
+// -write-baseline records the debt and exits 0; a -baseline run tolerates
+// exactly that debt; -ratchet passes at the recorded counts and fails —
+// the ratchet never loosens — once the baseline allows more than the run
+// finds.
+func TestBaselineRatchetFlow(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base.json")
+	fixture := "internal/analysis/testdata/src/droppederr"
+
+	if got := run([]string{"-baseline", base, "-write-baseline", fixture}); got != 0 {
+		t.Fatalf("write-baseline = %d, want 0", got)
+	}
+	if _, err := os.Stat(base); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	if got := run([]string{"-baseline", base, fixture}); got != 0 {
+		t.Errorf("run with matching baseline = %d, want 0 (debt tolerated)", got)
+	}
+	if got := run([]string{"-baseline", base, "-ratchet", fixture}); got != 0 {
+		t.Errorf("ratchet at exact counts = %d, want 0", got)
+	}
+	// A clean package against the debt-carrying baseline: every entry is
+	// slack, so the ratchet fails until the baseline is tightened.
+	if got := run([]string{"-baseline", base, "-ratchet", "internal/units"}); got != 1 {
+		t.Errorf("ratchet with slack = %d, want 1", got)
+	}
+	// Without -ratchet the same slack passes (plain tolerance mode).
+	if got := run([]string{"-baseline", base, "internal/units"}); got != 0 {
+		t.Errorf("tolerance run on clean package = %d, want 0", got)
 	}
 }

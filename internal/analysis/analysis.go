@@ -3,10 +3,14 @@
 // the repository stays dependency-free and buildable offline.
 //
 // The framework loads and type-checks packages of this module (Loader),
-// runs a set of rules (Analyzer) over each package (Pass), and applies
+// runs a set of rules (Analyzer) over each package (Pass) — in parallel
+// across packages, with deterministic output — and applies
 // `//nanolint:ignore <rule> <reason>` suppression directives to the
-// resulting findings. The shipped rules guard the conventions the model's
-// fidelity to the paper rests on:
+// resulting findings. Directives that suppress nothing are themselves
+// reported (rule "unused-suppression"), so stale ignores cannot outlive
+// the code they excused. The shipped rules guard the conventions the
+// model's fidelity to the paper — and the repo's replay-determinism and
+// zero-alloc contracts — rest on:
 //
 //   - magicconst: float literals in the model packages that duplicate a
 //     named constant exported from internal/units or internal/itrs.
@@ -14,14 +18,31 @@
 //   - floateq: direct ==/!= between floating-point expressions.
 //   - libpanic: panic(...) reachable from exported library APIs in
 //     internal/ packages, which should return errors instead.
+//   - hotalloc: heap allocations (make/new, closures, escaping composite
+//     literals, string concatenation) inside functions annotated
+//     //nanolint:hotpath — the compile-time complement to the
+//     AllocsPerRun benchmark gates.
+//   - maporder: range over a map feeding output, serialization, or float
+//     accumulation in the replay-deterministic packages.
+//   - wallclock: time.Now, the unseeded global math/rand source, and
+//     multi-way select in the replay-deterministic packages.
+//   - unsafeaudit: unsafe confined to allowlisted files, with unsafe.Slice
+//     views guarded by an alignment check and loop fallback.
+//   - ctxpoll: exported core run loops bounded by caller input must poll
+//     (or forward) a context, per the PR 3 cancellation contract.
 //
-// See cmd/nanolint for the command-line driver.
+// Reachability-based passes share one cached per-package call graph
+// (Package.CallGraph). See cmd/nanolint for the command-line driver,
+// WriteSARIF for code-scanning output, and Baseline for ratcheted
+// adoption.
 package analysis
 
 import (
 	"fmt"
 	"go/token"
 	"sort"
+
+	"nanobus/internal/parallel"
 )
 
 // Finding is one rule violation at a source position.
@@ -72,7 +93,10 @@ type Analyzer struct {
 
 // All returns the full nanolint rule set.
 func All() []*Analyzer {
-	return []*Analyzer{MagicConst(), DroppedErr(), FloatEq(), LibPanic()}
+	return []*Analyzer{
+		MagicConst(), DroppedErr(), FloatEq(), LibPanic(),
+		HotAlloc(), MapOrder(), WallClock(), UnsafeAudit(), CtxPoll(),
+	}
 }
 
 // ByName selects analyzers from All by name.
@@ -92,31 +116,42 @@ func ByName(names []string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Run runs the analyzers over the packages, applies suppression directives,
-// and returns the findings (suppressed ones included, marked) sorted by
-// position. Malformed directives are themselves reported under the
-// "nanolint" rule.
+// Run runs the analyzers over the packages with default parallelism
+// (GOMAXPROCS); see RunParallel.
 func Run(pkgs []*Package, azs []*Analyzer) ([]Finding, error) {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg)
-		findings = append(findings, sup.malformed...)
-		for _, az := range azs {
-			pass := &Pass{
-				Pkg:  pkg,
-				rule: az.Name,
-				report: func(f Finding) {
-					if reason, ok := sup.match(f); ok {
-						f.Suppressed = true
-						f.SuppressReason = reason
-					}
-					findings = append(findings, f)
-				},
-			}
-			if err := az.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", az.Name, pkg.ImportPath, err)
-			}
+	return RunParallel(pkgs, azs, 0)
+}
+
+// RunParallel runs the analyzers over the packages on up to
+// parallel.Workers(workers) goroutines — one package per job, since the
+// type-checker's per-package Info maps are not shared — applies
+// suppression directives, reports stale directives as unused-suppression
+// findings, and returns the findings (suppressed ones included, marked)
+// sorted by (file, line, column, rule). The result is identical for every
+// worker count: findings land in a per-package slab and are merged in
+// package order before the final sort, and the shared token.FileSet is
+// safe for concurrent position lookups. Malformed directives are reported
+// under the "nanolint" rule.
+func RunParallel(pkgs []*Package, azs []*Analyzer, workers int) ([]Finding, error) {
+	ranSet := make(map[string]bool, len(azs))
+	for _, az := range azs {
+		ranSet[az.Name] = true
+	}
+	perPkg := make([][]Finding, len(pkgs))
+	err := parallel.ForEach(workers, len(pkgs), func(i int) error {
+		fs, err := runPackage(pkgs[i], azs, ranSet)
+		if err != nil {
+			return err
 		}
+		perPkg[i] = fs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, fs := range perPkg {
+		findings = append(findings, fs...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -132,6 +167,30 @@ func Run(pkgs []*Package, azs []*Analyzer) ([]Finding, error) {
 		return a.Rule < b.Rule
 	})
 	return findings, nil
+}
+
+// runPackage applies every analyzer to one package and resolves its
+// suppressions, including the stale-directive check.
+func runPackage(pkg *Package, azs []*Analyzer, ranSet map[string]bool) ([]Finding, error) {
+	sup := collectSuppressions(pkg)
+	findings := append([]Finding(nil), sup.malformed...)
+	for _, az := range azs {
+		pass := &Pass{
+			Pkg:  pkg,
+			rule: az.Name,
+			report: func(f Finding) {
+				if reason, ok := sup.match(f); ok {
+					f.Suppressed = true
+					f.SuppressReason = reason
+				}
+				findings = append(findings, f)
+			},
+		}
+		if err := az.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", az.Name, pkg.ImportPath, err)
+		}
+	}
+	return append(findings, sup.unused(ranSet)...), nil
 }
 
 // Unsuppressed filters findings down to the ones not covered by a

@@ -110,7 +110,10 @@ func diffKeys(t *testing.T, got, want map[string]bool) {
 // package and compares the unsuppressed findings against the fixture's
 // "// want" markers.
 func TestAnalyzersOnFixtures(t *testing.T) {
-	for _, name := range []string{"energy", "droppederr", "floateq", "libpanic"} {
+	for _, name := range []string{
+		"energy", "droppederr", "floateq", "libpanic",
+		"hotalloc", "maporder", "wallclock", "unsafeaudit", "core",
+	} {
 		t.Run(name, func(t *testing.T) {
 			pkg := loadFixture(t, name)
 			findings, err := Run([]*Package{pkg}, All())
@@ -123,9 +126,11 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 }
 
 // TestSuppressionDirectives exercises the directive fixture: same-line and
-// line-above placement suppress with their reason; malformed directives are
-// findings themselves and suppress nothing; a directive naming the wrong
-// rule suppresses nothing.
+// line-above placement suppress with their reason; one comma-separated
+// directive covers two rules on a line; malformed directives (missing
+// reason, wrong verb, unknown rule) are findings themselves and suppress
+// nothing; well-formed directives that match nothing are reported as
+// unused-suppression.
 func TestSuppressionDirectives(t *testing.T) {
 	pkg := loadFixture(t, "suppress")
 	findings, err := Run([]*Package{pkg}, All())
@@ -133,21 +138,29 @@ func TestSuppressionDirectives(t *testing.T) {
 		t.Fatal(err)
 	}
 	var suppressedReasons []string
-	var unsuppressedDropped, malformed int
+	var suppressedFloat, unsuppressedDropped, malformed, unused int
 	for _, f := range findings {
 		switch {
 		case f.Rule == "droppederr" && f.Suppressed:
 			suppressedReasons = append(suppressedReasons, f.SuppressReason)
+		case f.Rule == "floateq" && f.Suppressed:
+			suppressedFloat++
 		case f.Rule == "droppederr":
 			unsuppressedDropped++
 		case f.Rule == "nanolint":
 			malformed++
+		case f.Rule == "unused-suppression":
+			unused++
 		default:
 			t.Errorf("unexpected finding: %s", f)
 		}
 	}
 	sort.Strings(suppressedReasons)
-	wantReasons := []string{"line-above fixture justification", "same-line fixture justification"}
+	wantReasons := []string{
+		"line-above fixture justification",
+		"multi-rule fixture justification",
+		"same-line fixture justification",
+	}
 	if len(suppressedReasons) != len(wantReasons) {
 		t.Fatalf("suppressed reasons = %q, want %q", suppressedReasons, wantReasons)
 	}
@@ -156,14 +169,71 @@ func TestSuppressionDirectives(t *testing.T) {
 			t.Errorf("suppressed reason %d = %q, want %q", i, suppressedReasons[i], want)
 		}
 	}
-	// MissingReason, WrongVerb, and WrongRule all leave their droppederr
-	// finding standing.
-	if unsuppressedDropped != 3 {
-		t.Errorf("unsuppressed droppederr findings = %d, want 3", unsuppressedDropped)
+	// The MultiRule directive also covers the floateq finding on its line.
+	if suppressedFloat != 1 {
+		t.Errorf("suppressed floateq findings = %d, want 1", suppressedFloat)
 	}
-	// The missing-reason and wrong-verb directives are malformed.
-	if malformed != 2 {
-		t.Errorf("malformed directive findings = %d, want 2", malformed)
+	// MissingReason, WrongVerb, WrongRule, UnknownRule, and StaleIgnore all
+	// leave their droppederr finding standing.
+	if unsuppressedDropped != 5 {
+		t.Errorf("unsuppressed droppederr findings = %d, want 5", unsuppressedDropped)
+	}
+	// The missing-reason, wrong-verb, and unknown-rule directives are
+	// malformed.
+	if malformed != 3 {
+		t.Errorf("malformed directive findings = %d, want 3", malformed)
+	}
+	// WrongRule's floateq directive and the stale directive above the var
+	// suppress nothing.
+	if unused != 2 {
+		t.Errorf("unused-suppression findings = %d, want 2", unused)
+	}
+}
+
+// TestRunParallelDeterministic runs the full rule set over every fixture
+// package at several worker counts and requires byte-identical findings:
+// the parallel driver must not let scheduling order leak into output.
+func TestRunParallelDeterministic(t *testing.T) {
+	names := []string{
+		"energy", "droppederr", "floateq", "libpanic", "suppress",
+		"hotalloc", "maporder", "wallclock", "unsafeaudit", "core",
+	}
+	var pkgs []*Package
+	for _, name := range names {
+		pkgs = append(pkgs, loadFixture(t, name))
+	}
+	render := func(fs []Finding) string {
+		var b strings.Builder
+		for _, f := range fs {
+			fmt.Fprintf(&b, "%s suppressed=%v\n", f, f.Suppressed)
+		}
+		return b.String()
+	}
+	sequential, err := RunParallel(pkgs, All(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(sequential)
+	if want == "" {
+		t.Fatal("fixtures produced no findings; determinism check is vacuous")
+	}
+	for _, workers := range []int{0, 2, 7} {
+		got, err := RunParallel(pkgs, All(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if render(got) != want {
+			t.Errorf("workers=%d findings differ from sequential run", workers)
+		}
+	}
+	// Sort contract: (file, line, column, rule), non-decreasing.
+	for i := 1; i < len(sequential); i++ {
+		a, b := sequential[i-1], sequential[i]
+		ka := fmt.Sprintf("%s\x00%08d\x00%08d\x00%s", a.Pos.Filename, a.Pos.Line, a.Pos.Column, a.Rule)
+		kb := fmt.Sprintf("%s\x00%08d\x00%08d\x00%s", b.Pos.Filename, b.Pos.Line, b.Pos.Column, b.Rule)
+		if ka > kb {
+			t.Fatalf("findings out of order at %d: %s before %s", i, a, b)
+		}
 	}
 }
 

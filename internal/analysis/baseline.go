@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline records the accepted debt at a point in time: how many
+// unsuppressed findings of each rule each file is allowed to carry. The
+// gate is a ratchet — a run may have fewer findings than the baseline
+// (and should then tighten it with -write-baseline), but never more, and
+// -ratchet additionally fails when the baseline has gone slack so the
+// recorded debt can only shrink.
+//
+// Keys are "<module-relative path>:<rule>" rather than positions, so
+// unrelated edits that shift line numbers do not churn the baseline.
+type Baseline struct {
+	Version  int            `json:"version"`
+	Findings map[string]int `json:"findings"`
+}
+
+// baselineVersion guards the file format.
+const baselineVersion = 1
+
+// NewBaseline builds a baseline covering the given findings (suppressed
+// ones excluded — they are already justified in source).
+func NewBaseline(findings []Finding, srcRoot string) *Baseline {
+	b := &Baseline{Version: baselineVersion, Findings: map[string]int{}}
+	for _, f := range Unsuppressed(findings) {
+		b.Findings[baselineKey(f, srcRoot)]++
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline, so a fresh checkout with no recorded debt needs no file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: baselineVersion, Findings: map[string]int{}}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline %s: version %d, want %d (regenerate with -write-baseline)",
+			path, b.Version, baselineVersion)
+	}
+	if b.Findings == nil {
+		b.Findings = map[string]int{}
+	}
+	return &b, nil
+}
+
+// Save writes the baseline with sorted keys so regeneration is
+// reproducible and diffs are readable.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply filters out findings covered by the baseline: for each
+// "<path>:<rule>" key, up to the recorded count of unsuppressed findings
+// pass through as tolerated debt (in sorted order, so the tolerated
+// subset is deterministic). Returns the findings still considered fresh.
+// Suppressed findings are never baseline-tolerated; they are already
+// accounted for in source.
+func (b *Baseline) Apply(findings []Finding, srcRoot string) []Finding {
+	remaining := make(map[string]int, len(b.Findings))
+	for k, v := range b.Findings {
+		remaining[k] = v
+	}
+	var fresh []Finding
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		key := baselineKey(f, srcRoot)
+		if remaining[key] > 0 {
+			remaining[key]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh
+}
+
+// Slack compares the baseline against the current findings and returns a
+// sorted description of every entry with more recorded debt than the run
+// produced. A non-empty result under -ratchet fails the gate: the
+// baseline must be regenerated downward whenever a finding is fixed, so
+// fixed debt cannot silently come back.
+func (b *Baseline) Slack(findings []Finding, srcRoot string) []string {
+	counts := map[string]int{}
+	for _, f := range Unsuppressed(findings) {
+		counts[baselineKey(f, srcRoot)]++
+	}
+	var slack []string
+	for key, allowed := range b.Findings {
+		if got := counts[key]; got < allowed {
+			slack = append(slack, fmt.Sprintf("%s: baseline allows %d, found %d", key, allowed, got))
+		}
+	}
+	sort.Strings(slack)
+	return slack
+}
+
+// baselineKey is the module-relative path and rule of a finding.
+func baselineKey(f Finding, srcRoot string) string {
+	path := f.Pos.Filename
+	if srcRoot != "" {
+		if rel, err := filepath.Rel(srcRoot, path); err == nil && !strings.HasPrefix(rel, "..") {
+			path = rel
+		}
+	}
+	return filepath.ToSlash(path) + ":" + f.Rule
+}

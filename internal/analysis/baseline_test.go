@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bf(file string, line int, rule string, suppressed bool) Finding {
+	return Finding{
+		Pos:        token.Position{Filename: file, Line: line, Column: 1},
+		Rule:       rule,
+		Message:    "fixture finding",
+		Suppressed: suppressed,
+	}
+}
+
+func TestNewBaselineCountsUnsuppressed(t *testing.T) {
+	findings := []Finding{
+		bf("/mod/a.go", 1, "floateq", false),
+		bf("/mod/a.go", 9, "floateq", false),
+		bf("/mod/b.go", 2, "maporder", false),
+		bf("/mod/b.go", 3, "maporder", true), // justified in source: not debt
+	}
+	b := NewBaseline(findings, "/mod")
+	if got := b.Findings["a.go:floateq"]; got != 2 {
+		t.Errorf("a.go:floateq = %d, want 2", got)
+	}
+	if got := b.Findings["b.go:maporder"]; got != 1 {
+		t.Errorf("b.go:maporder = %d, want 1", got)
+	}
+	if len(b.Findings) != 2 {
+		t.Errorf("baseline has %d keys, want 2: %v", len(b.Findings), b.Findings)
+	}
+}
+
+func TestBaselineSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	b := NewBaseline([]Finding{bf("/mod/a.go", 1, "floateq", false)}, "/mod")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != baselineVersion || got.Findings["a.go:floateq"] != 1 {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestLoadBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("missing baseline has %d findings", len(b.Findings))
+	}
+}
+
+func TestLoadBaselineVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(`{"version":99,"findings":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Errorf("version mismatch error = %v", err)
+	}
+}
+
+func TestBaselineApplyToleratesUpToCount(t *testing.T) {
+	b := &Baseline{Version: baselineVersion, Findings: map[string]int{"a.go:floateq": 1}}
+	findings := []Finding{
+		bf("/mod/a.go", 1, "floateq", false),  // tolerated (first of 1)
+		bf("/mod/a.go", 9, "floateq", false),  // fresh: over the count
+		bf("/mod/a.go", 5, "floateq", true),   // suppressed: never consumes
+		bf("/mod/b.go", 2, "maporder", false), // fresh: no baseline entry
+	}
+	fresh := b.Apply(findings, "/mod")
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %v, want 2 findings", fresh)
+	}
+	if fresh[0].Pos.Line != 9 || fresh[1].Rule != "maporder" {
+		t.Errorf("fresh = %v", fresh)
+	}
+}
+
+func TestBaselineSlackIsTheRatchet(t *testing.T) {
+	b := &Baseline{Version: baselineVersion, Findings: map[string]int{
+		"a.go:floateq":  2,
+		"b.go:maporder": 1,
+	}}
+	// One floateq was fixed since the baseline was written.
+	findings := []Finding{
+		bf("/mod/a.go", 1, "floateq", false),
+		bf("/mod/b.go", 2, "maporder", false),
+	}
+	slack := b.Slack(findings, "/mod")
+	if len(slack) != 1 || !strings.Contains(slack[0], "a.go:floateq") {
+		t.Errorf("slack = %v, want one a.go:floateq entry", slack)
+	}
+	// Exactly at the baseline: no slack.
+	findings = append(findings, bf("/mod/a.go", 9, "floateq", false))
+	if slack := b.Slack(findings, "/mod"); len(slack) != 0 {
+		t.Errorf("slack at exact counts = %v, want none", slack)
+	}
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is a conservative intra-package call graph, built once per
+// package and shared by every pass that needs reachability (libpanic,
+// ctxpoll). "Conservative" means any use of a package function inside
+// another function's body — a direct call or a function value — is an
+// edge, so reachability over-approximates: a function counted reachable
+// may in truth never be called, but an unreachable one definitely is not.
+//
+// Everything is ordered by source position, never by map iteration, so
+// entry labels and traversal results are deterministic run to run.
+type CallGraph struct {
+	// Funcs maps each declared function or method with a body to its
+	// declaration.
+	Funcs map[*types.Func]*ast.FuncDecl
+	// Edges lists, in source order, the package-local functions each
+	// function references in its body.
+	Edges map[*types.Func][]*types.Func
+	// Entries are the externally triggerable roots, in source order:
+	// exported functions and methods, init functions, and functions
+	// referenced from package-level variable initializers (those run on
+	// import, before any caller could recover a panic).
+	Entries []CallGraphEntry
+
+	// declOrder lists Funcs keys in source order for deterministic
+	// iteration.
+	declOrder []*types.Func
+
+	reachable map[*types.Func]string
+}
+
+// CallGraphEntry is one reachability root with a human-readable label
+// describing why it is externally triggerable.
+type CallGraphEntry struct {
+	Fn    *types.Func
+	Label string
+}
+
+// CallGraph returns the package's call graph, building it on first use
+// and caching it for every subsequent pass.
+func (p *Package) CallGraph() *CallGraph {
+	p.cgOnce.Do(func() { p.cg = buildCallGraph(p) })
+	return p.cg
+}
+
+// FuncsInOrder returns the declared functions in source order.
+func (g *CallGraph) FuncsInOrder() []*types.Func { return g.declOrder }
+
+// Reachable maps every function reachable from an entry to the label of
+// the first entry (in Entries order) that reaches it. Functions absent
+// from the map are unreachable from any root. The result is computed once
+// and cached.
+func (g *CallGraph) Reachable() map[*types.Func]string {
+	if g.reachable != nil {
+		return g.reachable
+	}
+	reached := make(map[*types.Func]string, len(g.Funcs))
+	var queue []*types.Func
+	for _, e := range g.Entries {
+		if _, ok := reached[e.Fn]; !ok {
+			reached[e.Fn] = e.Label
+			queue = append(queue, e.Fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range g.Edges[fn] {
+			if _, ok := reached[callee]; !ok {
+				reached[callee] = reached[fn]
+				queue = append(queue, callee)
+			}
+		}
+	}
+	g.reachable = reached
+	return reached
+}
+
+func buildCallGraph(pkg *Package) *CallGraph {
+	info := pkg.Info
+	g := &CallGraph{
+		Funcs: map[*types.Func]*ast.FuncDecl{},
+		Edges: map[*types.Func][]*types.Func{},
+	}
+
+	// Declarations, in file/decl order.
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				g.Funcs[fn] = fd
+				g.declOrder = append(g.declOrder, fn)
+			}
+		}
+	}
+
+	// Edges: every reference to a package-local function inside a body.
+	for _, fn := range g.declOrder {
+		fd := g.Funcs[fn]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if callee, ok := info.Uses[id].(*types.Func); ok {
+				if _, local := g.Funcs[callee]; local {
+					g.Edges[fn] = append(g.Edges[fn], callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// Entries: exported declarations and init functions first, then
+	// functions referenced from package-level variable initializers.
+	for _, fn := range g.declOrder {
+		fd := g.Funcs[fn]
+		if fd.Name.IsExported() {
+			g.Entries = append(g.Entries, CallGraphEntry{fn, "exported " + fn.Name()})
+		} else if fd.Name.Name == "init" && fd.Recv == nil {
+			g.Entries = append(g.Entries, CallGraphEntry{fn, "package init"})
+		}
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					ast.Inspect(val, func(n ast.Node) bool {
+						id, ok := n.(*ast.Ident)
+						if !ok {
+							return true
+						}
+						if fn, ok := info.Uses[id].(*types.Func); ok {
+							if _, local := g.Funcs[fn]; local {
+								g.Entries = append(g.Entries, CallGraphEntry{fn, "package variable initialisation"})
+							}
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+// cgFixture loads the libpanic fixture's call graph, whose shape the
+// fixture documents: Exported and Public are exported entries, helper is
+// reached through Public, buildTable runs from a package variable
+// initializer, orphan is unreachable, MustPositive is exported.
+func cgFixture(t *testing.T) *CallGraph {
+	t.Helper()
+	return loadFixture(t, "libpanic").CallGraph()
+}
+
+func cgLookup(g *CallGraph, name string) *types.Func {
+	for _, fn := range g.FuncsInOrder() {
+		if fn.Name() == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+func TestCallGraphDeclOrder(t *testing.T) {
+	g := cgFixture(t)
+	want := []string{"Exported", "Public", "helper", "buildTable", "orphan", "MustPositive"}
+	got := g.FuncsInOrder()
+	if len(got) != len(want) {
+		t.Fatalf("FuncsInOrder len = %d, want %d", len(got), len(want))
+	}
+	for i, fn := range got {
+		if fn.Name() != want[i] {
+			t.Errorf("FuncsInOrder[%d] = %s, want %s", i, fn.Name(), want[i])
+		}
+	}
+}
+
+func TestCallGraphEntries(t *testing.T) {
+	g := cgFixture(t)
+	labels := map[string]string{}
+	for _, e := range g.Entries {
+		if _, dup := labels[e.Fn.Name()]; !dup {
+			labels[e.Fn.Name()] = e.Label
+		}
+	}
+	for name, want := range map[string]string{
+		"Exported":     "exported Exported",
+		"Public":       "exported Public",
+		"MustPositive": "exported MustPositive",
+		"buildTable":   "package variable initialisation",
+	} {
+		if labels[name] != want {
+			t.Errorf("entry label for %s = %q, want %q", name, labels[name], want)
+		}
+	}
+	if _, ok := labels["orphan"]; ok {
+		t.Error("orphan listed as an entry")
+	}
+	if _, ok := labels["helper"]; ok {
+		t.Error("unexported helper listed as an entry")
+	}
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	g := cgFixture(t)
+	reached := g.Reachable()
+	helper := cgLookup(g, "helper")
+	if helper == nil {
+		t.Fatal("helper not in call graph")
+	}
+	if via, ok := reached[helper]; !ok || via != "exported Public" {
+		t.Errorf("helper reached via %q, %v; want \"exported Public\", true", via, ok)
+	}
+	orphan := cgLookup(g, "orphan")
+	if _, ok := reached[orphan]; ok {
+		t.Error("orphan reported reachable")
+	}
+	// The result is cached: a second call returns identical contents.
+	again := g.Reachable()
+	if len(again) != len(reached) {
+		t.Errorf("second Reachable() differs: %d vs %d entries", len(again), len(reached))
+	}
+}
+
+// TestCallGraphCached checks the per-package sync.Once cache: repeated
+// CallGraph() calls hand back the identical graph.
+func TestCallGraphCached(t *testing.T) {
+	pkg := loadFixture(t, "libpanic")
+	if pkg.CallGraph() != pkg.CallGraph() {
+		t.Error("CallGraph() built two graphs for one package")
+	}
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPoll returns the ctxpoll analyzer, enforcing the PR 3 cancellation
+// contract on the core package: every exported function whose loop is
+// bounded by caller input (a slice of words, a cycle count, a tape) must
+// poll its context — directly via ctx.Err(), or by forwarding ctx to a
+// callee that does — so a cancelled request stops within one sampling
+// interval instead of running an arbitrarily long batch to completion.
+//
+// A loop is "bounded by caller input" when its range expression or
+// condition references a parameter of the function; loops over receiver
+// state (Snapshot serialising s.samples, Reset clearing buffers) are
+// outside the contract. The call graph supplies the function inventory so
+// the pass shares work with libpanic.
+func CtxPoll() *Analyzer {
+	return &Analyzer{
+		Name: "ctxpoll",
+		Doc: "flags exported core functions with caller-bounded loops that " +
+			"never poll or forward a context (PR 3 cancellation contract)",
+		Run: runCtxPoll,
+	}
+}
+
+func runCtxPoll(pass *Pass) error {
+	if pass.Pkg.PathTail() != "core" {
+		return nil
+	}
+	info := pass.Pkg.Info
+	cg := pass.Pkg.CallGraph()
+	for _, fn := range cg.FuncsInOrder() {
+		fd := cg.Funcs[fn]
+		if !fd.Name.IsExported() {
+			continue
+		}
+		params, ctxObj := paramObjects(info, fd)
+		if len(params) == 0 {
+			continue
+		}
+		var loops []ast.Node
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				if loop.Cond != nil && referencesAny(info, loop.Cond, params) {
+					loops = append(loops, loop)
+				}
+			case *ast.RangeStmt:
+				if referencesAny(info, loop.X, params) {
+					loops = append(loops, loop)
+				}
+			}
+			return true
+		})
+		if len(loops) == 0 {
+			continue
+		}
+		if ctxObj == nil {
+			pass.Reportf(loops[0].Pos(),
+				"exported %s loops over caller input but takes no context.Context; "+
+					"core run loops must be cancellable (PR 3 contract)", fn.Name())
+			continue
+		}
+		if !pollsOrForwards(info, fd.Body, ctxObj) {
+			pass.Reportf(loops[0].Pos(),
+				"exported %s takes a context but never polls ctx.Err() or forwards ctx; "+
+					"poll once per sampling interval (PR 3 contract)", fn.Name())
+		}
+	}
+	return nil
+}
+
+// paramObjects collects the declared objects of the function's parameters
+// and identifies the context.Context parameter, if any.
+func paramObjects(info *types.Info, fd *ast.FuncDecl) (map[types.Object]bool, types.Object) {
+	params := map[types.Object]bool{}
+	var ctxObj types.Object
+	if fd.Type.Params == nil {
+		return params, nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			params[obj] = true
+			if isContextType(obj.Type()) {
+				ctxObj = obj
+			}
+		}
+	}
+	return params, ctxObj
+}
+
+// isContextType reports whether t is exactly context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// referencesAny reports whether the expression mentions any of the given
+// objects, directly or through a selector (t.runs references t).
+func referencesAny(info *types.Info, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// pollsOrForwards reports whether the body calls Err() on the context
+// parameter or passes it as an argument to any call (delegating the
+// polling obligation to the callee, as PlayTape does through StepBatch).
+func pollsOrForwards(info *types.Info, body *ast.BlockStmt, ctxObj types.Object) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return !ok
+		}
+		if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel && sel.Sel.Name == "Err" {
+			if id, isID := ast.Unparen(sel.X).(*ast.Ident); isID && info.Uses[id] == ctxObj {
+				ok = true
+			}
+		}
+		for _, arg := range call.Args {
+			if id, isID := ast.Unparen(arg).(*ast.Ident); isID && info.Uses[id] == ctxObj {
+				ok = true
+			}
+		}
+		return !ok
+	})
+	return ok
+}

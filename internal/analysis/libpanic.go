@@ -25,118 +25,26 @@ func runLibPanic(pass *Pass) error {
 		return nil
 	}
 	info := pass.Pkg.Info
+	cg := pass.Pkg.CallGraph()
+	reachedVia := cg.Reachable()
 
-	// Collect function declarations, panic sites, and a conservative
-	// intra-package call graph: any use of a package function inside
-	// another's body (call or function value) is an edge.
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, file := range pass.Pkg.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
-			}
-		}
-	}
-	panics := map[*types.Func][]ast.Node{}
-	edges := map[*types.Func][]*types.Func{}
-	for fn, fd := range decls {
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			switch obj := info.Uses[id].(type) {
-			case *types.Builtin:
-				if obj.Name() == "panic" {
-					panics[fn] = append(panics[fn], id)
-				}
-			case *types.Func:
-				if _, local := decls[obj]; local {
-					edges[fn] = append(edges[fn], obj)
-				}
-			}
-			return true
-		})
-	}
-
-	// Entry points: exported functions and methods, init functions, and
-	// functions referenced from package-level variable initializers (those
-	// run on import, before any caller can recover).
-	type entry struct {
-		fn    *types.Func
-		label string
-	}
-	var entries []entry
-	for fn, fd := range decls {
-		if fd.Name.IsExported() {
-			entries = append(entries, entry{fn, "exported " + fn.Name()})
-		} else if fd.Name.Name == "init" && fd.Recv == nil {
-			entries = append(entries, entry{fn, "package init"})
-		}
-	}
-	for _, file := range pass.Pkg.Files {
-		for _, decl := range file.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok {
-					continue
-				}
-				for _, val := range vs.Values {
-					ast.Inspect(val, func(n ast.Node) bool {
-						id, ok := n.(*ast.Ident)
-						if !ok {
-							return true
-						}
-						if fn, ok := info.Uses[id].(*types.Func); ok {
-							if _, local := decls[fn]; local {
-								entries = append(entries, entry{fn, "package variable initialisation"})
-							}
-						}
-						return true
-					})
-				}
-			}
-		}
-	}
-
-	// BFS, remembering which entry first reaches each function.
-	reachedVia := map[*types.Func]string{}
-	var queue []*types.Func
-	for _, e := range entries {
-		if _, ok := reachedVia[e.fn]; !ok {
-			reachedVia[e.fn] = e.label
-			queue = append(queue, e.fn)
-		}
-	}
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		for _, callee := range edges[fn] {
-			if _, ok := reachedVia[callee]; !ok {
-				reachedVia[callee] = reachedVia[fn]
-				queue = append(queue, callee)
-			}
-		}
-	}
-
-	for fn, sites := range panics {
+	for _, fn := range cg.FuncsInOrder() {
 		label, reachable := reachedVia[fn]
 		if !reachable || isMustHelper(fn.Name()) {
 			continue
 		}
-		for _, site := range sites {
-			pass.Reportf(site.Pos(),
-				"panic in %s is reachable from %s; library code should return an error",
-				fn.Name(), label)
-		}
+		ast.Inspect(cg.Funcs[fn].Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				pass.Reportf(id.Pos(),
+					"panic in %s is reachable from %s; library code should return an error",
+					fn.Name(), label)
+			}
+			return true
+		})
 	}
 	return nil
 }

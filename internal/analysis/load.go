@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/build/constraint"
@@ -15,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package, the unit handed to
@@ -34,6 +36,11 @@ type Package struct {
 	Types *types.Package
 	// Info carries the type-checker's resolution results.
 	Info *types.Info
+
+	// cg is the lazily built, cached intra-package call graph shared by
+	// reachability-based passes; see Package.CallGraph.
+	cgOnce sync.Once
+	cg     *CallGraph
 }
 
 // PathTail returns the last element of the package's import path.
@@ -153,7 +160,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		return nil, err
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+		return nil, &NoGoFilesError{Dir: dir, ImportPath: path}
 	}
 	files := make([]*ast.File, 0, len(names))
 	for _, name := range names {
@@ -208,6 +215,33 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	}
 	return l.std.Import(path)
 }
+
+// ErrNoGoFiles marks a directory that contains no analyzable Go sources.
+// Wrap-test with errors.Is; the concrete *NoGoFilesError carries the
+// directory and import path.
+var ErrNoGoFiles = errors.New("no Go files")
+
+// NoGoFilesError reports a package directory with zero non-test Go files
+// under the default build configuration. It is returned by LoadDir (and
+// the importer) instead of a bare parse error so drivers can tell "you
+// named an empty directory" apart from genuinely broken source: test
+// files, hidden files, and files excluded by //go:build constraints do
+// not count.
+type NoGoFilesError struct {
+	// Dir is the absolute directory that was loaded.
+	Dir string
+	// ImportPath is the import path the directory resolves to.
+	ImportPath string
+}
+
+func (e *NoGoFilesError) Error() string {
+	return fmt.Sprintf("analysis: package %s (%s) has no non-test Go files under the default build configuration; "+
+		"nanolint analyzes library and command sources only — name a directory containing at least one non-test .go file",
+		e.ImportPath, e.Dir)
+}
+
+// Unwrap lets errors.Is(err, ErrNoGoFiles) identify the condition.
+func (e *NoGoFilesError) Unwrap() error { return ErrNoGoFiles }
 
 // goFilesIn lists the non-test Go files of dir that are included under
 // the default build configuration, sorted. Files excluded by a

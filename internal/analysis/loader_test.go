@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"errors"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -81,6 +83,34 @@ func TestExpandPatterns(t *testing.T) {
 	dirs, err = l.ExpandPatterns([]string{"internal/units"})
 	if err != nil || len(dirs) != 1 {
 		t.Fatalf("ExpandPatterns(internal/units) = %v, %v", dirs, err)
+	}
+}
+
+// TestLoadDirNoGoFiles checks the typed error for directories with zero
+// non-test Go files: errors.Is-identifiable, and the message says what to
+// do about it.
+func TestLoadDirNoGoFiles(t *testing.T) {
+	l := testLoader(t)
+	// testdata itself holds only the src/ fixture tree, no Go files.
+	_, err := l.LoadDir("internal/analysis/testdata")
+	if err == nil {
+		t.Fatal("LoadDir on a no-Go-files directory returned nil error")
+	}
+	if !errors.Is(err, ErrNoGoFiles) {
+		t.Errorf("error does not unwrap to ErrNoGoFiles: %v", err)
+	}
+	var ngf *NoGoFilesError
+	if !errors.As(err, &ngf) {
+		t.Fatalf("error is not *NoGoFilesError: %v", err)
+	}
+	if ngf.ImportPath != "nanobus/internal/analysis/testdata" {
+		t.Errorf("ImportPath = %q", ngf.ImportPath)
+	}
+	if ngf.Dir != filepath.Join(l.ModuleDir(), "internal", "analysis", "testdata") {
+		t.Errorf("Dir = %q", ngf.Dir)
+	}
+	if !strings.Contains(err.Error(), "non-test .go file") {
+		t.Errorf("message is not actionable: %q", err)
 	}
 }
 

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// deterministicPkgs are the replay-deterministic packages (by final
+// import-path element): their outputs are pinned bit-for-bit by the
+// checkpoint/resume and sweep-cache tests, so any map-iteration-order
+// dependence is a latent nondeterminism bug. Files named checkpoint.go
+// are held to the same standard in every package (the NBCP/NBSE encode
+// paths live there).
+var deterministicPkgs = map[string]bool{
+	"core":    true,
+	"energy":  true,
+	"thermal": true,
+	"expt":    true,
+}
+
+// deterministicFile reports whether the file at pos is subject to the
+// determinism passes (maporder, wallclock).
+func deterministicFile(pass *Pass, filename string) bool {
+	return deterministicPkgs[pass.Pkg.PathTail()] ||
+		filepath.Base(filename) == "checkpoint.go"
+}
+
+// MapOrder returns the maporder analyzer: range statements over maps in
+// the replay-deterministic packages whose body feeds an order-sensitive
+// sink — output, serialization, or float accumulation. Go randomizes map
+// iteration order per run, so such a loop breaks bit-identical replay.
+// The fix is to collect the keys, sort them, and range over the sorted
+// slice; the pass recognises that pattern (a loop whose only effect is
+// appending the key) and does not flag it.
+func MapOrder() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc: "flags range-over-map feeding output, serialization, or float " +
+			"accumulation in replay-deterministic packages (core, energy, " +
+			"thermal, expt, checkpoint.go files); sort the keys first",
+		Run: runMapOrder,
+	}
+}
+
+func runMapOrder(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		filename := pass.Pkg.Fset.Position(file.Pos()).Filename
+		if !deterministicFile(pass, filename) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			keyObj := rangeVarObj(info, rng.Key)
+			if sink := findOrderSink(info, rng.Body, keyObj); sink != "" {
+				pass.Reportf(rng.Pos(),
+					"range over map feeds %s in iteration order; iterate sorted keys instead (replay-determinism contract)",
+					sink)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rangeVarObj resolves the object of a range key/value variable.
+func rangeVarObj(info *types.Info, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// findOrderSink scans a range body for an order-sensitive sink and
+// describes the first one found. Order-insensitive bodies — building a
+// set or another map, counting, deleting, and the canonical
+// key-collection append `keys = append(keys, k)` — return "".
+func findOrderSink(info *types.Info, body *ast.BlockStmt, keyObj types.Object) string {
+	sink := ""
+	found := func(s string) { sink = s }
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(node.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" {
+					if !isKeyCollection(info, node, keyObj) {
+						found("an append")
+					}
+				}
+			case *ast.SelectorExpr:
+				if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+					if f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+						found("formatted output (" + f.FullName() + ")")
+						break
+					}
+				}
+				switch fun.Sel.Name {
+				case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "WriteTo":
+					found("a writer (" + fun.Sel.Name + ")")
+				}
+			}
+		case *ast.AssignStmt:
+			switch node.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range node.Lhs {
+					if tv, ok := info.Types[lhs]; ok && isFloat(tv.Type) {
+						found("float accumulation")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			found("a channel send")
+		}
+		return sink == ""
+	})
+	return sink
+}
+
+// isKeyCollection recognises `keys = append(keys, k)` where k is the
+// range key: the standard first half of the sort-the-keys fix.
+func isKeyCollection(info *types.Info, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	return ok && info.Uses[id] == keyObj
+}

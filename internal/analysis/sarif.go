@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 document model — just the subset GitHub code scanning
+// consumes. Field order follows the spec's reading order so the emitted
+// JSON diffs cleanly between runs.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool               sarifTool           `json:"tool"`
+	Results            []sarifResult       `json:"results"`
+	OriginalURIBaseIDs map[string]sarifURI `json:"originalUriBaseIds,omitempty"`
+	ColumnKind         string              `json:"columnKind"`
+}
+
+type sarifURI struct {
+	URI string `json:"uri"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Version        string      `json:"version"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string          `json:"id"`
+	ShortDescription sarifMessage    `json:"shortDescription"`
+	DefaultConfig    sarifRuleConfig `json:"defaultConfiguration"`
+}
+
+type sarifRuleConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// nanolintVersion is stamped into the SARIF tool descriptor. Bump when a
+// rule's semantics change enough that old baselines stop being comparable.
+const nanolintVersion = "2.0.0"
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log suitable for GitHub
+// code scanning upload. srcRoot is the module root used to relativise
+// file paths; findings outside it keep their absolute path. The rules
+// array covers every analyzer plus any pseudo-rules ("nanolint",
+// "unused-suppression") that actually appear in the findings, so every
+// result's ruleId resolves to a ruleIndex.
+func WriteSARIF(w io.Writer, findings []Finding, azs []*Analyzer, srcRoot string) error {
+	rules := make([]sarifRule, 0, len(azs)+2)
+	index := map[string]int{}
+	addRule := func(id, doc string) {
+		if _, ok := index[id]; ok {
+			return
+		}
+		index[id] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: doc},
+			DefaultConfig:    sarifRuleConfig{Level: "error"},
+		})
+	}
+	for _, az := range azs {
+		addRule(az.Name, az.Doc)
+	}
+	for _, f := range findings {
+		switch f.Rule {
+		case "nanolint":
+			addRule("nanolint", "malformed //nanolint directive")
+		case "unused-suppression":
+			addRule("unused-suppression", "suppression directive that no finding matched; delete it or fix the rule list")
+		default:
+			// Defensive: an unknown rule still gets an entry rather than a
+			// dangling ruleIndex.
+			addRule(f.Rule, f.Rule)
+		}
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri := f.Pos.Filename
+		baseID := ""
+		if srcRoot != "" {
+			if rel, err := filepath.Rel(srcRoot, uri); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = rel
+				baseID = "%SRCROOT%"
+			}
+		}
+		level := "error"
+		if f.Rule == "unused-suppression" {
+			level = "note"
+		}
+		res := sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: index[f.Rule],
+			Level:     level,
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       filepath.ToSlash(uri),
+						URIBaseID: baseID,
+					},
+					Region: sarifRegion{
+						StartLine:   f.Pos.Line,
+						StartColumn: f.Pos.Column,
+					},
+				},
+			}},
+		}
+		if f.Suppressed {
+			res.Suppressions = []sarifSuppression{{
+				Kind:          "inSource",
+				Justification: f.SuppressReason,
+			}}
+		}
+		results = append(results, res)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:    "nanolint",
+				Version: nanolintVersion,
+				Rules:   rules,
+			}},
+			Results:    results,
+			ColumnKind: "utf16CodeUnits",
+		}},
+	}
+	if srcRoot != "" {
+		log.Runs[0].OriginalURIBaseIDs = map[string]sarifURI{
+			"%SRCROOT%": {URI: "file://" + filepath.ToSlash(srcRoot) + "/"},
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

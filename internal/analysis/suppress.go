@@ -2,28 +2,51 @@ package analysis
 
 import (
 	"go/token"
+	"strconv"
 	"strings"
 )
 
-// directivePrefix introduces a suppression comment. The full form is
+// directivePrefix introduces a nanolint directive comment. Two verbs are
+// recognised:
 //
-//	//nanolint:ignore <rule> <reason...>
+//	//nanolint:ignore <rule>[,<rule>...] <reason...>
+//	//nanolint:hotpath [note...]
 //
-// placed either at the end of the offending line or on its own line
-// directly above it. The reason is mandatory: a suppression without a
-// justification is itself reported.
+// An ignore directive suppresses the named rule(s), placed either at the
+// end of the offending line or on its own line directly above it. The
+// reason is mandatory: a suppression without a justification is itself
+// reported. Rule names must exist; a directive naming an unknown rule is
+// malformed (it could never suppress anything). A hotpath directive in a
+// function's doc comment opts that function into the hotalloc pass; it is
+// consumed by that pass, not here.
 const directivePrefix = "//nanolint:"
+
+// hotpathVerb is the non-suppression directive verb handled by hotalloc.
+const hotpathVerb = "hotpath"
+
+// directive is one parsed //nanolint:ignore comment.
+type directive struct {
+	pos    token.Position
+	rules  []string
+	reason string
+	// used is set when any finding is suppressed by this directive; a
+	// directive that suppresses nothing is reported as stale.
+	used bool
+}
 
 // suppressionSet indexes a package's directives by file and line.
 type suppressionSet struct {
-	// byLine maps filename -> line -> rule -> reason. A directive on line
-	// L covers findings on L (trailing comment) and L+1 (comment above).
-	byLine    map[string]map[int]map[string]string
-	malformed []Finding
+	// byLine maps filename -> line -> rule -> directive. A directive on
+	// line L covers findings on L (trailing comment) and L+1 (comment
+	// above).
+	byLine     map[string]map[int]map[string]*directive
+	directives []*directive
+	malformed  []Finding
 }
 
 func collectSuppressions(pkg *Package) *suppressionSet {
-	s := &suppressionSet{byLine: map[string]map[int]map[string]string{}}
+	s := &suppressionSet{byLine: map[string]map[int]map[string]*directive{}}
+	known := knownRules()
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -32,14 +55,26 @@ func collectSuppressions(pkg *Package) *suppressionSet {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				s.add(pos, rest)
+				s.add(pos, rest, known)
 			}
 		}
 	}
 	return s
 }
 
-func (s *suppressionSet) add(pos token.Position, rest string) {
+// knownRules returns the valid suppression targets: every shipped rule
+// name. The driver pseudo-rules ("nanolint" for malformed directives,
+// "unused-suppression" for stale ones) are deliberately absent — their
+// findings demand fixing the directive, not suppressing the report.
+func knownRules() map[string]bool {
+	rules := map[string]bool{}
+	for _, az := range All() {
+		rules[az.Name] = true
+	}
+	return rules
+}
+
+func (s *suppressionSet) add(pos token.Position, rest string, known map[string]bool) {
 	fields := strings.Fields(rest)
 	bad := func(msg string) {
 		s.malformed = append(s.malformed, Finding{
@@ -47,6 +82,10 @@ func (s *suppressionSet) add(pos token.Position, rest string) {
 			Rule:    "nanolint",
 			Message: msg,
 		})
+	}
+	if len(fields) > 0 && fields[0] == hotpathVerb {
+		// Valid annotation, consumed by the hotalloc pass.
+		return
 	}
 	if len(fields) == 0 || fields[0] != "ignore" {
 		bad("malformed nanolint directive: expected //nanolint:ignore <rule> <reason>")
@@ -60,32 +99,77 @@ func (s *suppressionSet) add(pos token.Position, rest string) {
 		bad("nanolint:ignore directive needs a justification: //nanolint:ignore " + fields[1] + " <reason>")
 		return
 	}
-	rule := fields[1]
-	reason := strings.Join(fields[2:], " ")
+	rules := strings.Split(fields[1], ",")
+	for _, rule := range rules {
+		if !known[rule] {
+			bad("nanolint:ignore names unknown rule " + strconv.Quote(rule) + "; run nanolint -list for the rule set")
+			return
+		}
+	}
+	d := &directive{
+		pos:    pos,
+		rules:  rules,
+		reason: strings.Join(fields[2:], " "),
+	}
+	s.directives = append(s.directives, d)
 	lines := s.byLine[pos.Filename]
 	if lines == nil {
-		lines = map[int]map[string]string{}
+		lines = map[int]map[string]*directive{}
 		s.byLine[pos.Filename] = lines
 	}
-	rules := lines[pos.Line]
-	if rules == nil {
-		rules = map[string]string{}
-		lines[pos.Line] = rules
+	byRule := lines[pos.Line]
+	if byRule == nil {
+		byRule = map[string]*directive{}
+		lines[pos.Line] = byRule
 	}
-	rules[rule] = reason
+	for _, rule := range rules {
+		byRule[rule] = d
+	}
 }
 
 // match reports whether a directive covers the finding, returning its
-// reason.
+// reason and marking the directive used.
 func (s *suppressionSet) match(f Finding) (string, bool) {
 	lines := s.byLine[f.Pos.Filename]
 	if lines == nil {
 		return "", false
 	}
 	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
-		if reason, ok := lines[line][f.Rule]; ok {
-			return reason, true
+		if d, ok := lines[line][f.Rule]; ok {
+			d.used = true
+			return d.reason, true
 		}
 	}
 	return "", false
+}
+
+// unused reports every directive that suppressed nothing as an
+// unused-suppression finding, so stale ignores cannot be carried forever.
+// A directive is only judged when every rule it names was actually run
+// (ranSet): under a -rules subset, a directive for an un-run rule might
+// still be load-bearing.
+func (s *suppressionSet) unused(ranSet map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range s.directives {
+		if d.used {
+			continue
+		}
+		all := true
+		for _, rule := range d.rules {
+			if !ranSet[rule] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:  d.pos,
+			Rule: "unused-suppression",
+			Message: "nanolint:ignore " + strings.Join(d.rules, ",") +
+				" suppresses no findings; delete the stale directive",
+		})
+	}
+	return out
 }

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// at builds a position on a given file/line for directive-placement tests.
+func at(file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: 1}
+}
+
+// addDirective parses one directive body (the text after "//nanolint:")
+// into a fresh set and reports the resulting counts.
+func addDirective(rest string, pos token.Position) *suppressionSet {
+	s := &suppressionSet{byLine: map[string]map[int]map[string]*directive{}}
+	s.add(pos, rest, knownRules())
+	return s
+}
+
+func TestSuppressAddForms(t *testing.T) {
+	cases := []struct {
+		name           string
+		rest           string
+		directives     int
+		malformed      int
+		wantMalformMsg string
+	}{
+		{"well-formed", "ignore droppederr deliberate fixture reason", 1, 0, ""},
+		{"multi-rule", "ignore droppederr,floateq covers both on this line", 1, 0, ""},
+		{"hotpath annotation", "hotpath consumed by the hotalloc pass", 0, 0, ""},
+		{"missing reason", "ignore droppederr", 0, 1, "justification"},
+		{"missing rule", "ignore", 0, 1, "rule name"},
+		{"wrong verb", "fixme droppederr some reason", 0, 1, "expected //nanolint:ignore"},
+		{"unknown rule", "ignore nosuchrule grand plans", 0, 1, `unknown rule "nosuchrule"`},
+		{"unknown rule in list", "ignore droppederr,nosuchrule mixed list", 0, 1, `unknown rule "nosuchrule"`},
+		{"empty", "", 0, 1, "expected //nanolint:ignore"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := addDirective(tc.rest, at("a.go", 10))
+			if len(s.directives) != tc.directives {
+				t.Errorf("directives = %d, want %d", len(s.directives), tc.directives)
+			}
+			if len(s.malformed) != tc.malformed {
+				t.Fatalf("malformed = %d, want %d", len(s.malformed), tc.malformed)
+			}
+			if tc.malformed == 1 {
+				f := s.malformed[0]
+				if f.Rule != "nanolint" {
+					t.Errorf("malformed rule = %q, want nanolint", f.Rule)
+				}
+				if !strings.Contains(f.Message, tc.wantMalformMsg) {
+					t.Errorf("malformed message %q does not mention %q", f.Message, tc.wantMalformMsg)
+				}
+			}
+		})
+	}
+}
+
+func TestSuppressMatchPlacement(t *testing.T) {
+	finding := func(file string, line int, rule string) Finding {
+		return Finding{Pos: at(file, line), Rule: rule, Message: "x"}
+	}
+	cases := []struct {
+		name    string
+		finding Finding
+		want    bool
+	}{
+		{"same line", finding("a.go", 10, "droppederr"), true},
+		{"line below (directive above)", finding("a.go", 11, "droppederr"), true},
+		{"two lines below", finding("a.go", 12, "droppederr"), false},
+		{"line above the directive", finding("a.go", 9, "droppederr"), false},
+		{"other file", finding("b.go", 10, "droppederr"), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := addDirective("ignore droppederr placement fixture reason", at("a.go", 10))
+			reason, ok := s.match(tc.finding)
+			if ok != tc.want {
+				t.Fatalf("match = %v, want %v", ok, tc.want)
+			}
+			if ok && reason != "placement fixture reason" {
+				t.Errorf("reason = %q", reason)
+			}
+			if s.directives[0].used != tc.want {
+				t.Errorf("directive.used = %v, want %v", s.directives[0].used, tc.want)
+			}
+		})
+	}
+
+	t.Run("wrong rule", func(t *testing.T) {
+		s := addDirective("ignore floateq misdirected reason", at("a.go", 10))
+		if _, ok := s.match(finding("a.go", 10, "droppederr")); ok {
+			t.Error("directive for floateq matched a droppederr finding")
+		}
+	})
+
+	t.Run("multi-rule covers each named rule", func(t *testing.T) {
+		s := addDirective("ignore droppederr,floateq shared justification", at("a.go", 10))
+		for _, rule := range []string{"droppederr", "floateq"} {
+			if _, ok := s.match(finding("a.go", 10, rule)); !ok {
+				t.Errorf("multi-rule directive did not match %s", rule)
+			}
+		}
+		if _, ok := s.match(finding("a.go", 10, "maporder")); ok {
+			t.Error("multi-rule directive matched a rule it does not name")
+		}
+	})
+}
+
+func TestSuppressUnused(t *testing.T) {
+	allRan := map[string]bool{}
+	for _, az := range All() {
+		allRan[az.Name] = true
+	}
+
+	t.Run("unmatched directive is reported", func(t *testing.T) {
+		s := addDirective("ignore droppederr stale reason", at("a.go", 10))
+		out := s.unused(allRan)
+		if len(out) != 1 || out[0].Rule != "unused-suppression" {
+			t.Fatalf("unused = %v", out)
+		}
+		if out[0].Pos != at("a.go", 10) {
+			t.Errorf("unused finding at %v, want directive position", out[0].Pos)
+		}
+	})
+
+	t.Run("matched directive is not reported", func(t *testing.T) {
+		s := addDirective("ignore droppederr live reason", at("a.go", 10))
+		if _, ok := s.match(Finding{Pos: at("a.go", 10), Rule: "droppederr"}); !ok {
+			t.Fatal("setup: match failed")
+		}
+		if out := s.unused(allRan); len(out) != 0 {
+			t.Errorf("unused = %v, want none", out)
+		}
+	})
+
+	t.Run("not judged when a named rule did not run", func(t *testing.T) {
+		s := addDirective("ignore droppederr,floateq subset reason", at("a.go", 10))
+		ranSet := map[string]bool{"droppederr": true} // floateq skipped via -rules
+		if out := s.unused(ranSet); len(out) != 0 {
+			t.Errorf("unused under a rule subset = %v, want none", out)
+		}
+		if out := s.unused(allRan); len(out) != 1 {
+			t.Errorf("unused under the full set = %v, want one", out)
+		}
+	})
+}

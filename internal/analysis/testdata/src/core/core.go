@@ -1,0 +1,74 @@
+// Package core is a nanolint test fixture for the ctxpoll rule: the
+// directory name makes the import-path tail "core", so the PR 3
+// cancellation contract applies to its exported functions. Trailing
+// "// want <rule>" markers are the expected unsuppressed findings.
+package core
+
+import "context"
+
+// RunWords loops over caller input with no way to cancel.
+func RunWords(words []uint32) uint32 {
+	var acc uint32
+	for _, w := range words { // want ctxpoll
+		acc += w
+	}
+	return acc
+}
+
+// RunIgnoresCtx takes a context but neither polls nor forwards it.
+func RunIgnoresCtx(ctx context.Context, words []uint32) uint32 {
+	var acc uint32
+	for _, w := range words { // want ctxpoll
+		acc += w
+	}
+	return acc
+}
+
+// RunPolled polls ctx.Err() inside the loop: the contract satisfied
+// directly.
+func RunPolled(ctx context.Context, words []uint32) (uint32, error) {
+	var acc uint32
+	for _, w := range words {
+		if err := ctx.Err(); err != nil {
+			return acc, err
+		}
+		acc += w
+	}
+	return acc, nil
+}
+
+// RunChunks loops over caller input but forwards ctx to a callee that
+// polls, delegating the obligation.
+func RunChunks(ctx context.Context, words []uint32) (uint32, error) {
+	var acc uint32
+	for len(words) > 0 {
+		n, err := RunPolled(ctx, words[:1])
+		if err != nil {
+			return acc, err
+		}
+		acc += n
+		words = words[1:]
+	}
+	return acc, nil
+}
+
+type tape struct{ samples []uint32 }
+
+// Snapshot loops over receiver state, not caller input; serialisation of
+// owned buffers is outside the contract.
+func (t *tape) Snapshot() uint32 {
+	var acc uint32
+	for _, s := range t.samples {
+		acc += s
+	}
+	return acc
+}
+
+// sum is unexported; the contract binds the exported API only.
+func sum(words []uint32) uint32 {
+	var acc uint32
+	for _, w := range words {
+		acc += w
+	}
+	return acc
+}

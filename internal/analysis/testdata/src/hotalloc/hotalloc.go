@@ -1,0 +1,70 @@
+// Package hotalloc is a nanolint test fixture for the hotalloc rule:
+// allocation sites inside functions annotated //nanolint:hotpath are
+// findings; unannotated functions allocate freely. Trailing
+// "// want <rule>" markers are the expected unsuppressed findings.
+package hotalloc
+
+type sample struct{ t, v float64 }
+
+type ring struct {
+	buf  []sample
+	next int
+}
+
+// Step is a hot kernel: the make and the closure both allocate per call.
+//
+//nanolint:hotpath
+func (r *ring) Step(words []uint32) {
+	scratch := make([]float64, len(words)) // want hotalloc
+	for i, w := range words {
+		scratch[i] = float64(w)
+	}
+	f := func() float64 { return scratch[0] } // want hotalloc
+	r.buf[r.next] = sample{t: f(), v: scratch[0]}
+	r.next++
+}
+
+// Emit returns a pointer to a fresh composite: one heap object per call.
+//
+//nanolint:hotpath
+func (r *ring) Emit() *sample {
+	return &sample{} // want hotalloc
+}
+
+// Push hands a composite literal to a callee.
+//
+//nanolint:hotpath
+func (r *ring) Push(v float64) {
+	r.record(sample{v: v}) // want hotalloc
+}
+
+func (r *ring) record(s sample) {
+	r.buf[r.next] = s
+}
+
+// Label concatenates strings at runtime.
+//
+//nanolint:hotpath
+func Label(name string) string {
+	return name + ":" + name // want hotalloc
+}
+
+// constLabel folds at compile time: no runtime concatenation, no finding.
+//
+//nanolint:hotpath
+func constLabel() string {
+	return "nano" + "bus"
+}
+
+// grow is not annotated, so its allocations are outside the rule.
+func grow(n int) []sample {
+	return make([]sample, n)
+}
+
+// Stamp writes into preallocated state: the clean hot-path shape.
+//
+//nanolint:hotpath
+func (r *ring) Stamp(t, v float64) {
+	r.buf[r.next] = sample{t: t, v: v}
+	r.next = (r.next + 1) % len(r.buf)
+}

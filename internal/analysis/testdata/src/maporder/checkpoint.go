@@ -1,0 +1,69 @@
+// Package maporder is a nanolint test fixture for the maporder rule. This
+// file is named checkpoint.go, so the determinism passes apply even though
+// the package is outside core/energy/thermal/expt; other.go in the same
+// package shows the rule staying quiet elsewhere. Trailing
+// "// want <rule>" markers are the expected unsuppressed findings.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EncodeBad serialises map entries in iteration order.
+func EncodeBad(w *strings.Builder, m map[string]float64) {
+	for k, v := range m { // want maporder
+		fmt.Fprintf(w, "%s=%g;", k, v)
+	}
+}
+
+// SumBad accumulates floats in iteration order; float addition is not
+// associative, so the total differs run to run.
+func SumBad(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want maporder
+		total += v
+	}
+	return total
+}
+
+// AppendBad collects values (not keys) in iteration order.
+func AppendBad(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want maporder
+		out = append(out, v)
+	}
+	return out
+}
+
+// SortedEncode is the fix: collect the keys, sort, then iterate the slice.
+// The key-collection append is recognised and not flagged.
+func SortedEncode(w *strings.Builder, m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%g;", k, m[k])
+	}
+}
+
+// CountNeg only counts; integer accumulation is order-independent.
+func CountNeg(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// InvertNeg builds another map: insertion order does not matter.
+func InvertNeg(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

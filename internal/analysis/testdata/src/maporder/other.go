@@ -1,0 +1,14 @@
+// other.go is the negative half of the maporder fixture: same package,
+// but the file is not checkpoint.go and the package is not a
+// replay-deterministic one, so order-dependent map iteration is allowed.
+package maporder
+
+import "fmt"
+
+// PrintAnywhere feeds output from a map range, but outside the
+// determinism scope.
+func PrintAnywhere(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -31,7 +31,32 @@ func WrongVerb() {
 }
 
 // WrongRule suppresses a rule that did not fire here; the droppederr
-// finding stays unsuppressed.
+// finding stays unsuppressed and the directive itself is reported as
+// unused-suppression.
 func WrongRule() {
 	fail() //nanolint:ignore floateq misdirected justification
 }
+
+// MultiRule suppresses two rules firing on one line with a single
+// comma-separated directive.
+func MultiRule(a, b float64) bool {
+	//nanolint:ignore droppederr,floateq multi-rule fixture justification
+	_, eq := fail(), a == b
+	return eq
+}
+
+// UnknownRule names a rule that does not exist; the directive is
+// malformed (it could never suppress anything) and the finding stays.
+func UnknownRule() {
+	fail() //nanolint:ignore nosuchrule imaginative justification
+}
+
+// StaleIgnore has an unsuppressed finding and, below, a well-formed
+// directive that matches nothing: the directive is reported as
+// unused-suppression.
+func StaleIgnore() {
+	fail()
+}
+
+//nanolint:ignore floateq stale fixture justification
+var stale = 1.5

@@ -1,0 +1,13 @@
+// Package unsafeaudit is a nanolint test fixture for the unsafeaudit
+// rule. This file is NOT on the allowlist, so its unsafe import is a
+// finding regardless of how carefully it is used; guarded.go is
+// allowlisted and exercises the unsafe.Slice guard checks. Trailing
+// "// want <rule>" markers are the expected unsuppressed findings.
+package unsafeaudit
+
+import "unsafe" // want unsafeaudit
+
+// WordSize uses unsafe outside the audited allowlist.
+func WordSize() uintptr {
+	return unsafe.Sizeof(uint64(0))
+}

@@ -1,0 +1,48 @@
+// Package wallclock is a nanolint test fixture for the wallclock rule.
+// This file is named checkpoint.go, so the determinism passes apply even
+// though the package is outside core/energy/thermal/expt; other.go shows
+// the rule staying quiet elsewhere. Trailing "// want <rule>" markers are
+// the expected unsuppressed findings.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock, which never replays.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want wallclock
+}
+
+// Jitter draws from the shared time-seeded global source.
+func Jitter() float64 {
+	return rand.Float64() // want wallclock
+}
+
+// Seeded uses a private, explicitly seeded source: the sanctioned form.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Merge races two channels; the runtime picks pseudo-randomly when both
+// are ready.
+func Merge(a, b <-chan int) int {
+	select { // want wallclock
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Drain has one channel case plus default: no race to resolve.
+func Drain(a <-chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,11 @@
+// other.go is the negative half of the wallclock fixture: same package,
+// but the file is not checkpoint.go, so wall-clock reads are allowed
+// (CLI progress reporting, benchmarks, and the like live here).
+package wallclock
+
+import "time"
+
+// Elapsed measures wall time outside the determinism scope.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockFuncs are the wall-clock reads forbidden in deterministic
+// code: the same inputs must produce the same outputs across a
+// checkpoint/restore boundary, and the clock never replays.
+var wallclockFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+// randConstructors are the package-level math/rand functions that build
+// an explicitly seeded private source — the sanctioned escape hatch
+// (internal/trace.Synth seeds one from its config).
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// WallClock returns the wallclock analyzer: nondeterminism sources in the
+// replay-deterministic packages (core, energy, thermal, expt, and
+// checkpoint.go files anywhere). Three classes are flagged:
+//
+//   - wall-clock reads (time.Now/Since/Until)
+//   - package-level math/rand calls, which draw from the shared,
+//     time-seeded global source; rand.New(rand.NewSource(seed)) with a
+//     config-carried seed is the sanctioned form
+//   - select over two or more channel cases, which the runtime resolves
+//     pseudo-randomly when several are ready
+func WallClock() *Analyzer {
+	return &Analyzer{
+		Name: "wallclock",
+		Doc: "flags time.Now, unseeded global math/rand, and multi-way select " +
+			"in replay-deterministic packages (core, energy, thermal, expt, " +
+			"checkpoint.go files)",
+		Run: runWallClock,
+	}
+}
+
+func runWallClock(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		filename := pass.Pkg.Fset.Position(file.Pos()).Filename
+		if !deterministicFile(pass, filename) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(info, node)
+				if fn == nil {
+					return true
+				}
+				if wallclockFuncs[fn.FullName()] {
+					pass.Reportf(node.Pos(),
+						"%s reads the wall clock in a replay-deterministic package; "+
+							"derive timing from cycle counts or carry it in the config", fn.FullName())
+					return true
+				}
+				if pkg := fn.Pkg(); pkg != nil && fn.Type().(*types.Signature).Recv() == nil &&
+					(pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2") &&
+					!randConstructors[fn.Name()] {
+					pass.Reportf(node.Pos(),
+						"%s draws from the global math/rand source in a replay-deterministic package; "+
+							"use rand.New(rand.NewSource(seed)) with a config-carried seed", fn.FullName())
+				}
+			case *ast.SelectStmt:
+				comm := 0
+				for _, clause := range node.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					pass.Reportf(node.Pos(),
+						"select over %d channels resolves pseudo-randomly when several are ready; "+
+							"deterministic code needs a fixed service order", comm)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -32,6 +32,8 @@ const batchChunk = 4096
 // consumed-word counts on every error path are identical to the per-word
 // loop — and so are the energies, bit for bit. The steady state allocates
 // nothing.
+//
+//nanolint:hotpath zero-alloc steady state pinned by BenchmarkStepBatch AllocsPerRun gates
 func (s *Simulator) StepBatch(ctx context.Context, words []uint32) (int, error) {
 	if s.err != nil {
 		return 0, s.err
@@ -72,6 +74,8 @@ func (s *Simulator) StepBatch(ctx context.Context, words []uint32) (int, error) 
 // StepBatch. Idle cycles dissipate nothing, so a run of idles inside one
 // interval is two counter additions: the cost is O(intervals closed), not
 // O(n).
+//
+//nanolint:hotpath idle fast path shares StepBatch's zero-alloc contract
 func (s *Simulator) StepIdleBatch(ctx context.Context, n uint64) (uint64, error) {
 	if s.err != nil {
 		return 0, s.err

@@ -48,6 +48,7 @@ func CompileTape(src trace.Source, kind string, maxCycles uint64) (*Tape, error)
 			run = tapeRun{}
 		}
 	}
+	//nanolint:ignore ctxpoll one-shot bounded compile step, not a run loop; PlayTape carries the cancellable replay
 	for t.cycles < maxCycles {
 		c, ok := src.Next()
 		if !ok {

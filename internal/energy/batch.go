@@ -13,6 +13,8 @@ import "math/bits"
 // StepBatch transmits every word in words, one per cycle, exactly like
 // calling Step(word) for each: same state updates, same accumulation
 // order, bit-identical energies. It allocates nothing.
+//
+//nanolint:hotpath per-chunk kernel under Simulator.StepBatch; allocates nothing
 func (a *Accumulator) StepBatch(words []uint64) {
 	a.cycles += uint64(len(words))
 	if len(words) == 0 {

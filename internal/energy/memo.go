@@ -109,6 +109,8 @@ func memoHash(diff, rising uint64) uint64 {
 // and an alternate slot (high hash bits), so two keys colliding on one
 // index no longer evict each other every round trip through a working
 // set. The returned entry is valid until the next lookup.
+//
+//nanolint:hotpath probed once per switching transition; hits must not allocate
 func (c *Memo) lookup(diff, rising uint64) *memoEntry {
 	h := memoHash(diff, rising)
 	e := &c.table[h&c.mask]
@@ -132,7 +134,7 @@ func (c *Memo) lookup(diff, rising uint64) *memoEntry {
 	}
 	s := bits.OnesCount64(diff)
 	if cap(e.lines) < s {
-		e.lines = make([]LineEnergy, s)
+		e.lines = make([]LineEnergy, s) //nanolint:ignore hotalloc amortized miss-path install; hits reuse the stored slice
 	}
 	e.lines = e.lines[:s]
 	e.total = c.model.transitionSparse(diff, rising, c.idx[:s], e.lines)

@@ -18,6 +18,8 @@ var hostLittleEndian = func() bool {
 // aligned buffer the returned slice aliases src — a zero-copy
 // reinterpretation; callers must be done with the words before reusing
 // src. Elsewhere it decodes into dst and returns dst[:len(src)/4].
+//
+//nanolint:hotpath zero-copy ingest path; the view must not allocate
 func decodeWords(dst []uint32, src []byte) []uint32 {
 	n := len(src) / 4
 	if n == 0 {

@@ -176,4 +176,3 @@ func BenchmarkStreamSampleEncode(b *testing.B) {
 		b.Fatal("empty encode")
 	}
 }
-

@@ -16,6 +16,8 @@ import (
 // or at least 1e21, which use 'e' with any zero-padded exponent stripped
 // (1e-07 → 1e-7). f must be finite — encoding/json rejects NaN and ±Inf,
 // and the sampler never produces them.
+//
+//nanolint:hotpath runs once per streamed sample field into a reused buffer
 func appendJSONFloat(b []byte, f float64) []byte {
 	abs := math.Abs(f)
 	format := byte('f')
@@ -35,6 +37,8 @@ func appendJSONFloat(b []byte, f float64) []byte {
 
 // appendStreamSample appends one complete ?stream=samples NDJSON line —
 // {"sample":{...}} plus the trailing newline — for ws.
+//
+//nanolint:hotpath per-sample NDJSON encoder; append into the reused stream buffer only
 func appendStreamSample(b []byte, ws Sample) []byte {
 	b = append(b, `{"sample":{"end_cycle":`...)
 	b = strconv.AppendUint(b, ws.EndCycle, 10)

@@ -487,10 +487,8 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		// Samples flow back while the body is still being read; HTTP/1
 		// needs explicit full-duplex (a no-op elsewhere, so the error is
 		// advisory).
-		if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
-			//nanolint:ignore droppederr HTTP/2 and h2c are full-duplex already; nothing to enable
-			_ = err
-		}
+		//nanolint:ignore droppederr HTTP/2 and h2c are full-duplex already; nothing to enable
+		_ = http.NewResponseController(w).EnableFullDuplex()
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		flusher, _ = w.(http.Flusher)
 		w.WriteHeader(http.StatusOK)

@@ -24,8 +24,13 @@ echo "==> build (nanobus_nofault)"
 go build -tags nanobus_nofault ./...
 echo "==> vet"
 go vet ./...
-echo "==> nanolint"
-go run ./cmd/nanolint ./...
+echo "==> nanolint (ratcheted)"
+# The baseline records tolerated debt per file+rule; -ratchet fails the
+# run if the repo has MORE findings than recorded (a regression) or FEWER
+# (the baseline went slack — tighten it with -write-baseline so fixed
+# debt cannot silently come back). The SARIF log is CI's code-scanning
+# upload; locally it lands in the temp dir and is discarded.
+go run ./cmd/nanolint -baseline .nanolint-baseline.json -ratchet -sarif "$tmp/nanolint.sarif" ./...
 echo "==> race tests"
 go test -race ./...
 
