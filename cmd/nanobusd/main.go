@@ -36,6 +36,7 @@ func main() {
 func realMain() int {
 	fs := flag.NewFlagSet("nanobusd", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	nbwpAddr := fs.String("nbwp-addr", "", "NBWP binary-protocol listen address (empty = disabled)")
 	shards := fs.Int("shards", 0, "session-table shards (0 = default 8)")
 	maxSessions := fs.Int("max-sessions", 0, "max concurrently open sessions (0 = default 1024)")
 	maxBatch := fs.Int("max-batch", 0, "max words per batch (0 = default 65536)")
@@ -100,6 +101,7 @@ func realMain() int {
 		return 1
 	}
 	// The smoke harness and operators parse this line for the bound port.
+	// The NBWP banner, when enabled, must come after it.
 	fmt.Printf("nanobusd: listening on %s\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -107,6 +109,20 @@ func realMain() int {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+
+	if *nbwpAddr != "" {
+		nln, err := net.Listen("tcp", *nbwpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nanobusd: nbwp listen: %v\n", err)
+			return 1
+		}
+		fmt.Printf("nanobusd: nbwp on %s\n", nln.Addr())
+		go func() {
+			if err := srv.ServeNBWP(nln); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "nanobusd: nbwp serve: %v\n", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-serveErr:
@@ -122,6 +138,15 @@ func realMain() int {
 	srv.Drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if err := srv.ShutdownNBWP(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "nanobusd: nbwp drain timed out: %v\n", err)
+		// Fall through: HTTP shutdown still gets its chance within the
+		// same deadline, and we report the partial drain via exit code.
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "nanobusd: drain timed out: %v\n", err)
+		}
+		return 1
+	}
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "nanobusd: drain timed out: %v\n", err)
 		if err := hs.Close(); err != nil {

@@ -13,10 +13,13 @@ import (
 //   - internal/server/decode.go: the zero-copy little-endian word view on
 //     the binary ingest path (PR 4), guarded by the alignment check with
 //     loop fallback this pass also enforces.
+//   - internal/nbwp/words.go: the same reinterpretation for NBWP STEP
+//     frame payloads (PR 7), same alignment-check-plus-fallback idiom.
 //   - internal/analysis/testdata/src/unsafeaudit/guarded.go: the golden
 //     fixture exercising the guard detector itself.
 var unsafeAllowlist = []string{
 	"internal/server/decode.go",
+	"internal/nbwp/words.go",
 	"internal/analysis/testdata/src/unsafeaudit/guarded.go",
 }
 

@@ -1,0 +1,320 @@
+package nbwp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// PutHeader encodes h into buf. Len must be at most MaxPayload.
+func PutHeader(buf *[HeaderLen]byte, h Header) error {
+	if h.Len > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, h.Len)
+	}
+	copy(buf[:4], Magic)
+	buf[4] = Version
+	buf[5] = byte(h.Type)
+	buf[6] = h.Flags
+	buf[7] = h.Slot
+	binary.LittleEndian.PutUint32(buf[8:12], h.Seq)
+	buf[12] = byte(h.Len)
+	buf[13] = byte(h.Len >> 8)
+	buf[14] = byte(h.Len >> 16)
+	buf[15] = byte(crc32.ChecksumIEEE(buf[:15]))
+	return nil
+}
+
+// ParseHeader decodes and validates a fixed frame header into h.
+//
+//nanolint:hotpath one ParseHeader per frame on the STEP path; must not allocate
+func ParseHeader(buf *[HeaderLen]byte, h *Header) error {
+	if string(buf[:4]) != Magic {
+		return ErrBadMagic
+	}
+	if byte(crc32.ChecksumIEEE(buf[:15])) != buf[15] {
+		return ErrBadHeaderCRC
+	}
+	if buf[4] != Version {
+		return fmt.Errorf("%w: %d (want %d)", ErrBadVersion, buf[4], Version)
+	}
+	h.Type = Type(buf[5])
+	h.Flags = buf[6]
+	h.Slot = buf[7]
+	h.Seq = binary.LittleEndian.Uint32(buf[8:12])
+	h.Len = uint32(buf[12]) | uint32(buf[13])<<8 | uint32(buf[14])<<16
+	return nil
+}
+
+// FrameReader reads frames from an underlying stream, owning the header
+// scratch and a payload buffer that grows to the connection's high-water
+// frame size — steady-state reads allocate nothing. Create one per
+// connection; it is not safe for concurrent use.
+type FrameReader struct {
+	// R is the underlying stream (wrap it in a bufio.Reader).
+	R io.Reader
+	// Max bounds the declared payload length before any payload byte is
+	// read, so a hostile peer cannot force a MaxPayload allocation;
+	// frames beyond it get ErrFrameTooLarge. Negative means MaxPayload.
+	Max int
+
+	hdr [HeaderLen]byte
+	buf []byte
+}
+
+// ReadFrame reads one frame: the header into h, the payload into the
+// reader's reused buffer. The returned slice is valid until the next
+// call. Damaged input yields the package's typed errors — never a panic;
+// a clean EOF before any header byte is io.EOF.
+//
+//nanolint:hotpath one ReadFrame per STEP frame; zero allocs once buf has grown
+func (fr *FrameReader) ReadFrame(h *Header) ([]byte, error) {
+	if _, err := io.ReadFull(fr.R, fr.hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: header", ErrTruncated)
+		}
+		return nil, err
+	}
+	var parsed Header
+	if err := ParseHeader(&fr.hdr, &parsed); err != nil {
+		return nil, err
+	}
+	limit := fr.Max
+	if limit < 0 {
+		limit = MaxPayload
+	}
+	if parsed.Len > uint32(limit) {
+		return nil, fmt.Errorf("%w: %d bytes (bound %d)", ErrFrameTooLarge, parsed.Len, limit)
+	}
+	n := int(parsed.Len)
+	if cap(fr.buf) < n {
+		//nanolint:ignore hotalloc one-time growth to the connection's high-water payload size; steady state reuses buf
+		fr.buf = make([]byte, n)
+	}
+	buf := fr.buf[:n]
+	if n > 0 {
+		if _, err := io.ReadFull(fr.R, buf); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("%w: payload (want %d bytes)", ErrTruncated, n)
+			}
+			return nil, err
+		}
+	}
+	*h = parsed
+	return buf, nil
+}
+
+// FrameWriter writes frames to an underlying stream, owning the header
+// scratch so the hot path allocates nothing. Create one per connection;
+// callers serialize access (it is not safe for concurrent use).
+type FrameWriter struct {
+	// W is the underlying stream (wrap it in a bufio.Writer and flush
+	// once per pipelined burst).
+	W io.Writer
+
+	hdr [HeaderLen]byte
+}
+
+// WriteFrame writes one frame — header then payload. h.Len is derived
+// from the payload; the field's value on entry is ignored.
+//
+//nanolint:hotpath one WriteFrame per STEP/ACK; must not allocate
+func (fw *FrameWriter) WriteFrame(h Header, payload []byte) error {
+	h.Len = uint32(len(payload))
+	if err := PutHeader(&fw.hdr, h); err != nil {
+		return err
+	}
+	if _, err := fw.W.Write(fw.hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := fw.W.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- STEP acknowledgement payload -------------------------------------------
+
+// StepAckLen is the fixed ACK payload length for STEP/STEP_IDLE frames.
+const StepAckLen = 32
+
+// StepAck is the binary ACK payload of a STEP or STEP_IDLE frame: what
+// the batch consumed and where the session's cumulative counters stand.
+// Seq and Duplicate ride in the ack frame's header (Seq echo, FlagDuplicate).
+type StepAck struct {
+	// Words and Idle are the cycles consumed by the acknowledged frame.
+	Words uint64
+	Idle  uint64
+	// Cycles is the session's cumulative cycle count afterwards.
+	Cycles uint64
+	// Samples is the number of sampling intervals the frame closed.
+	Samples uint64
+}
+
+// PutStepAck encodes a into buf.
+//
+//nanolint:hotpath one encode per STEP ack; must not allocate
+func PutStepAck(buf *[StepAckLen]byte, a StepAck) {
+	binary.LittleEndian.PutUint64(buf[0:8], a.Words)
+	binary.LittleEndian.PutUint64(buf[8:16], a.Idle)
+	binary.LittleEndian.PutUint64(buf[16:24], a.Cycles)
+	binary.LittleEndian.PutUint64(buf[24:32], a.Samples)
+}
+
+// ParseStepAck decodes a STEP ack payload into a.
+//
+//nanolint:hotpath one decode per STEP ack; must not allocate
+func ParseStepAck(p []byte, a *StepAck) error {
+	if len(p) != StepAckLen {
+		return fmt.Errorf("%w: step ack is %d bytes (want %d)", ErrBadPayload, len(p), StepAckLen)
+	}
+	a.Words = binary.LittleEndian.Uint64(p[0:8])
+	a.Idle = binary.LittleEndian.Uint64(p[8:16])
+	a.Cycles = binary.LittleEndian.Uint64(p[16:24])
+	a.Samples = binary.LittleEndian.Uint64(p[24:32])
+	return nil
+}
+
+// --- SAMPLE payload ----------------------------------------------------------
+
+// sampleFixedLen is the SAMPLE payload length before optional wire
+// temperatures: end cycle, six float64 figures, max wire, temp count.
+const sampleFixedLen = 8 + 6*8 + 4 + 4
+
+// Sample is the binary wire form of one closed sampling interval. The
+// float64 fields travel as IEEE-754 bit patterns, so a streamed sample
+// is bit-identical to the library's.
+type Sample struct {
+	EndCycle    uint64
+	EnergyJ     float64
+	SelfJ       float64
+	CoupAdjJ    float64
+	CoupNonAdjJ float64
+	AvgTempK    float64
+	MaxTempK    float64
+	MaxWire     int32
+	// WireTempsK is present only for sessions created with
+	// track_wire_temps.
+	WireTempsK []float64
+}
+
+// AppendSample appends the wire encoding of s to dst.
+//
+//nanolint:hotpath one encode per streamed sample; appends into the caller's reused buffer
+func AppendSample(dst []byte, s Sample) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, s.EndCycle)
+	for _, f := range [...]float64{s.EnergyJ, s.SelfJ, s.CoupAdjJ, s.CoupNonAdjJ, s.AvgTempK, s.MaxTempK} {
+		dst = binary.LittleEndian.AppendUint64(dst, floatBits(f))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.MaxWire))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.WireTempsK)))
+	for _, t := range s.WireTempsK {
+		dst = binary.LittleEndian.AppendUint64(dst, floatBits(t))
+	}
+	return dst
+}
+
+// ParseSample decodes a SAMPLE payload. temps, when non-nil, is reused
+// for the wire temperatures to keep the streaming path allocation-free.
+func ParseSample(p []byte, temps []float64) (Sample, error) {
+	if len(p) < sampleFixedLen {
+		return Sample{}, fmt.Errorf("%w: sample is %d bytes (min %d)", ErrBadPayload, len(p), sampleFixedLen)
+	}
+	var s Sample
+	s.EndCycle = binary.LittleEndian.Uint64(p[0:8])
+	s.EnergyJ = floatFrom(binary.LittleEndian.Uint64(p[8:16]))
+	s.SelfJ = floatFrom(binary.LittleEndian.Uint64(p[16:24]))
+	s.CoupAdjJ = floatFrom(binary.LittleEndian.Uint64(p[24:32]))
+	s.CoupNonAdjJ = floatFrom(binary.LittleEndian.Uint64(p[32:40]))
+	s.AvgTempK = floatFrom(binary.LittleEndian.Uint64(p[40:48]))
+	s.MaxTempK = floatFrom(binary.LittleEndian.Uint64(p[48:56]))
+	s.MaxWire = int32(binary.LittleEndian.Uint32(p[56:60]))
+	n := int(binary.LittleEndian.Uint32(p[60:64]))
+	if rest := len(p) - sampleFixedLen; rest != 8*n {
+		return Sample{}, fmt.Errorf("%w: sample declares %d wire temps but carries %d bytes", ErrBadPayload, n, rest)
+	}
+	if n > 0 {
+		if cap(temps) < n {
+			temps = make([]float64, n)
+		}
+		temps = temps[:n]
+		for i := 0; i < n; i++ {
+			temps[i] = floatFrom(binary.LittleEndian.Uint64(p[sampleFixedLen+8*i:]))
+		}
+		s.WireTempsK = temps
+	}
+	return s, nil
+}
+
+// --- ERROR payload -----------------------------------------------------------
+
+// errorFixedLen is the ERROR payload length before the code and message
+// strings: HTTP-equivalent status (u16) and code length (u16).
+const errorFixedLen = 4
+
+// AppendError appends the wire encoding of an error to dst: the
+// HTTP-equivalent status (so clients map NBWP failures onto the exact
+// semantics of the v1 surface), the machine-readable code, and the
+// human-readable message.
+func AppendError(dst []byte, status int, code, msg string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(status))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(code)))
+	dst = append(dst, code...)
+	dst = append(dst, msg...)
+	return dst
+}
+
+// ParseError decodes an ERROR payload.
+func ParseError(p []byte) (status int, code, msg string, err error) {
+	if len(p) < errorFixedLen {
+		return 0, "", "", fmt.Errorf("%w: error frame is %d bytes (min %d)", ErrBadPayload, len(p), errorFixedLen)
+	}
+	status = int(binary.LittleEndian.Uint16(p[0:2]))
+	n := int(binary.LittleEndian.Uint16(p[2:4]))
+	if errorFixedLen+n > len(p) {
+		return 0, "", "", fmt.Errorf("%w: error code overruns the frame", ErrBadPayload)
+	}
+	return status, string(p[errorFixedLen : errorFixedLen+n]), string(p[errorFixedLen+n:]), nil
+}
+
+// --- RESTORE payload ---------------------------------------------------------
+
+// AppendRestore appends the wire encoding of a RESTORE request to dst: a
+// session id (u16 length prefix; empty targets the slot's bound session)
+// followed by an optional checkpoint envelope (empty loads from the
+// server store). Carrying the id in the payload is what makes
+// resurrection work over a fresh connection: the session is gone, so
+// there is no live slot binding to name it.
+func AppendRestore(dst []byte, id string, envelope []byte) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(id)))
+	dst = append(dst, id...)
+	dst = append(dst, envelope...)
+	return dst
+}
+
+// ParseRestore decodes a RESTORE payload.
+func ParseRestore(p []byte) (id string, envelope []byte, err error) {
+	if len(p) < 2 {
+		return "", nil, fmt.Errorf("%w: restore payload is %d bytes (min 2)", ErrBadPayload, len(p))
+	}
+	n := int(binary.LittleEndian.Uint16(p[0:2]))
+	if 2+n > len(p) {
+		return "", nil, fmt.Errorf("%w: restore session id overruns the frame", ErrBadPayload)
+	}
+	return string(p[2 : 2+n]), p[2+n:], nil
+}
+
+// --- STEP_IDLE payload -------------------------------------------------------
+
+// PutIdle encodes a STEP_IDLE payload (the idle cycle count).
+func PutIdle(buf *[8]byte, n uint64) { binary.LittleEndian.PutUint64(buf[:], n) }
+
+// ParseIdle decodes a STEP_IDLE payload.
+func ParseIdle(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: idle payload is %d bytes (want 8)", ErrBadPayload, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}

@@ -1,0 +1,299 @@
+package nbwp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustFrame(t *testing.T, h Header, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw := FrameWriter{W: &buf}
+	if err := fw.WriteFrame(h, payload); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		name    string
+		h       Header
+		payload []byte
+	}{
+		{"empty", Header{Type: TypeHello}, nil},
+		{"step", Header{Type: TypeStep, Flags: FlagSeq, Slot: 7, Seq: 42}, []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{"max slot", Header{Type: TypeGoodbye, Slot: 255, Seq: math.MaxUint32}, []byte("bye")},
+		{"big", Header{Type: TypeRestore, Slot: 1}, bytes.Repeat([]byte{0xAB}, 100_000)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := mustFrame(t, tc.h, tc.payload)
+			var got Header
+			fr := FrameReader{R: bytes.NewReader(raw), Max: MaxPayload}
+			payload, err := fr.ReadFrame(&got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tc.h
+			want.Len = uint32(len(tc.payload))
+			if got != want {
+				t.Fatalf("header = %+v, want %+v", got, want)
+			}
+			if !bytes.Equal(payload, tc.payload) {
+				t.Fatalf("payload mismatch: %d vs %d bytes", len(payload), len(tc.payload))
+			}
+		})
+	}
+}
+
+func TestReadFrameTypedErrors(t *testing.T) {
+	good := mustFrame(t, Header{Type: TypeStep, Slot: 1, Seq: 9}, []byte("abcdefgh"))
+
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := bytes.Clone(good)
+		mutate(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"empty", nil, io.EOF},
+		{"cut header", good[:7], ErrTruncated},
+		{"cut payload", good[:HeaderLen+3], ErrTruncated},
+		{"bad magic", corrupt(func(b []byte) { b[0] = 'X' }), ErrBadMagic},
+		{"bad version", corrupt(func(b []byte) {
+			b[4] = 99
+			b[15] = byte(headerCRC(b))
+		}), ErrBadVersion},
+		{"bad crc", corrupt(func(b []byte) { b[15] ^= 0xFF }), ErrBadHeaderCRC},
+		{"oversized", corrupt(func(b []byte) {
+			b[12], b[13], b[14] = 0xFF, 0xFF, 0x00 // declare 64 KiB
+			b[15] = byte(headerCRC(b))
+		}), ErrFrameTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Header
+			fr := FrameReader{R: bytes.NewReader(tc.raw), Max: 1024}
+			_, err := fr.ReadFrame(&h)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPutHeaderRejectsOversizedPayload(t *testing.T) {
+	var buf [HeaderLen]byte
+	if err := PutHeader(&buf, Header{Type: TypeStep, Len: MaxPayload + 1}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	var w strings.Builder
+	fw := FrameWriter{W: &w}
+	if err := fw.WriteFrame(Header{Type: TypeStep}, make([]byte, MaxPayload+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("WriteFrame err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestStepAckRoundTrip(t *testing.T) {
+	a := StepAck{Words: 16384, Idle: 77, Cycles: 1 << 40, Samples: 12}
+	var buf [StepAckLen]byte
+	PutStepAck(&buf, a)
+	var got StepAck
+	if err := ParseStepAck(buf[:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("round trip = %+v, want %+v", got, a)
+	}
+	if err := ParseStepAck(buf[:StepAckLen-1], &got); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("short ack err = %v, want ErrBadPayload", err)
+	}
+}
+
+func TestSampleRoundTrip(t *testing.T) {
+	cases := []Sample{
+		{},
+		{EndCycle: 100000, EnergyJ: 1.2345e-9, SelfJ: 9.87e-10, CoupAdjJ: 2e-10,
+			CoupNonAdjJ: 4.75e-11, AvgTempK: 312.0625, MaxTempK: 319.5, MaxWire: 17},
+		{EndCycle: math.MaxUint64, EnergyJ: -1.5e-7, MaxTempK: math.Inf(1), MaxWire: -1,
+			WireTempsK: []float64{300, 5e-324, math.MaxFloat64, -0.25}},
+	}
+	for i, s := range cases {
+		raw := AppendSample(nil, s)
+		got, err := ParseSample(raw, nil)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if got.EndCycle != s.EndCycle || got.MaxWire != s.MaxWire ||
+			math.Float64bits(got.EnergyJ) != math.Float64bits(s.EnergyJ) ||
+			math.Float64bits(got.MaxTempK) != math.Float64bits(s.MaxTempK) {
+			t.Fatalf("sample %d round trip = %+v, want %+v", i, got, s)
+		}
+		if len(got.WireTempsK) != len(s.WireTempsK) {
+			t.Fatalf("sample %d temps = %d, want %d", i, len(got.WireTempsK), len(s.WireTempsK))
+		}
+		for j := range s.WireTempsK {
+			if math.Float64bits(got.WireTempsK[j]) != math.Float64bits(s.WireTempsK[j]) {
+				t.Fatalf("sample %d temp %d differs", i, j)
+			}
+		}
+	}
+
+	// Structural damage is a typed error, not a panic or a giant alloc.
+	raw := AppendSample(nil, cases[1])
+	if _, err := ParseSample(raw[:sampleFixedLen-1], nil); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("short sample err = %v", err)
+	}
+	lying := bytes.Clone(raw)
+	binary.LittleEndian.PutUint32(lying[60:64], 1<<30) // declare 2^30 temps
+	if _, err := ParseSample(lying, nil); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("lying temp count err = %v", err)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	raw := AppendError(nil, 409, "seq_gap", "seq 9 skips ahead; expected 4")
+	status, code, msg, err := ParseError(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 409 || code != "seq_gap" || msg != "seq 9 skips ahead; expected 4" {
+		t.Fatalf("round trip = %d %q %q", status, code, msg)
+	}
+	if _, _, _, err := ParseError(raw[:2]); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("short error err = %v", err)
+	}
+	lying := bytes.Clone(raw)
+	binary.LittleEndian.PutUint16(lying[2:4], math.MaxUint16)
+	if _, _, _, err := ParseError(lying); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("lying code length err = %v", err)
+	}
+}
+
+func TestRestoreRoundTrip(t *testing.T) {
+	env := bytes.Repeat([]byte{0xCD}, 100)
+	raw := AppendRestore(nil, "deadbeefcafef00d", env)
+	id, gotEnv, err := ParseRestore(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "deadbeefcafef00d" || !bytes.Equal(gotEnv, env) {
+		t.Fatalf("round trip = %q, %d envelope bytes", id, len(gotEnv))
+	}
+	if _, _, err := ParseRestore(raw[:1]); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("short restore err = %v", err)
+	}
+	lying := bytes.Clone(raw)
+	binary.LittleEndian.PutUint16(lying[0:2], math.MaxUint16)
+	if _, _, err := ParseRestore(lying); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("lying id length err = %v", err)
+	}
+}
+
+func TestIdleRoundTrip(t *testing.T) {
+	var buf [8]byte
+	PutIdle(&buf, 123456789)
+	n, err := ParseIdle(buf[:])
+	if err != nil || n != 123456789 {
+		t.Fatalf("ParseIdle = %d, %v", n, err)
+	}
+	if _, err := ParseIdle(buf[:5]); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("short idle err = %v", err)
+	}
+}
+
+func TestWords(t *testing.T) {
+	want := make([]uint32, 1027)
+	raw := make([]byte, 4*len(want))
+	x := uint32(5)
+	for i := range want {
+		x = x*1664525 + 1013904223
+		want[i] = x
+		binary.LittleEndian.PutUint32(raw[4*i:], x)
+	}
+	check := func(name string, got []uint32) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d words, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: word %d = %#x, want %#x", name, i, got[i], want[i])
+			}
+		}
+	}
+	dst := make([]uint32, len(want))
+	check("aligned", Words(dst, raw))
+	shifted := make([]byte, len(raw)+1)
+	copy(shifted[1:], raw)
+	check("unaligned", Words(dst, shifted[1:]))
+	if got := Words(dst, nil); len(got) != 0 {
+		t.Fatalf("empty source decoded %d words", len(got))
+	}
+	if got := AppendWords(nil, want); !bytes.Equal(got, raw) {
+		t.Fatal("AppendWords does not invert Words")
+	}
+}
+
+// TestFrameCodecAllocs pins the STEP hot path at zero allocations per
+// frame: once the payload buffer has grown to the connection's
+// high-water mark, reading and writing frames costs nothing on the heap.
+func TestFrameCodecAllocs(t *testing.T) {
+	payload := make([]byte, 16384*4)
+	raw := mustFrame(t, Header{Type: TypeStep, Flags: FlagSeq, Slot: 3, Seq: 1}, payload)
+	rd := bytes.NewReader(raw)
+	var h Header
+	fr := &FrameReader{R: rd, Max: MaxPayload}
+	if got := testing.AllocsPerRun(100, func() {
+		rd.Reset(raw)
+		if _, err := fr.ReadFrame(&h); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("ReadFrame allocates %v per frame, want 0", got)
+	}
+
+	fw := &FrameWriter{W: &countingDiscard{}}
+	if got := testing.AllocsPerRun(100, func() {
+		if err := fw.WriteFrame(h, payload); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("WriteFrame allocates %v per frame, want 0", got)
+	}
+
+	var ackBuf [StepAckLen]byte
+	ack := StepAck{Words: 16384, Cycles: 1 << 20}
+	var back StepAck
+	if got := testing.AllocsPerRun(100, func() {
+		PutStepAck(&ackBuf, ack)
+		if err := ParseStepAck(ackBuf[:], &back); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("step ack codec allocates %v per ack, want 0", got)
+	}
+}
+
+// countingDiscard is io.Discard without the interface-dispatch
+// ReadFrom fast path, so WriteFrame's own writes are what is measured.
+type countingDiscard struct{ n int }
+
+func (c *countingDiscard) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return len(p), nil
+}
+
+func headerCRC(b []byte) uint32 {
+	return crc32.ChecksumIEEE(b[:15])
+}

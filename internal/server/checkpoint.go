@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -400,63 +401,67 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if sess, sh, ok := s.find(id); ok {
-		s.restoreInPlace(w, r, sess, sh, env)
-		return
-	}
-	s.resurrect(w, id, env)
-}
-
-// restoreInPlace rewinds a live session to the envelope's state. This is
-// the recovery path for poisoned simulators and failed ?seq= batches: the
-// core Restore clears the poison and the seq counters rewind with it.
-func (s *Server) restoreInPlace(w http.ResponseWriter, r *http.Request, sess *session, sh *shard, env *envelope) {
-	sh.queue.Add(1)
-	defer sh.queue.Add(-1)
-	if err := s.acquireSession(r.Context(), sess); err != nil {
-		writeError(w, http.StatusConflict, CodeSessionBusy, "session busy: "+err.Error())
-		return
-	}
-	defer sess.release()
-	if sess.closed {
-		writeError(w, http.StatusNotFound, CodeNotFound, "session closed")
-		return
-	}
-	if !bytes.Equal(env.Cfg, sess.reqJSON) {
-		writeError(w, http.StatusConflict, CodeCheckpointMismatch,
-			"checkpoint configuration does not match the session")
-		return
-	}
-	if err := sess.sim.Restore(env.Core); err != nil {
-		he := asHTTPErr(err)
+	resp, he := s.restoreSession(r.Context(), id, env)
+	if he != nil {
 		writeError(w, he.status, he.code, he.msg)
 		return
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// restoreSession is the transport-neutral restore: a live session is
+// rewound in place, a missing one resurrected from the envelope. Both
+// PUT .../restore and the NBWP RESTORE frame reduce to it.
+func (s *Server) restoreSession(ctx context.Context, id string, env *envelope) (RestoreResponse, *httpErr) {
+	if sess, sh, ok := s.find(id); ok {
+		return s.restoreLive(ctx, sess, sh, env)
+	}
+	return s.resurrectFrom(id, env)
+}
+
+// restoreLive rewinds a live session to the envelope's state. This is
+// the recovery path for poisoned simulators and failed ?seq= batches: the
+// core Restore clears the poison and the seq counters rewind with it.
+func (s *Server) restoreLive(ctx context.Context, sess *session, sh *shard, env *envelope) (RestoreResponse, *httpErr) {
+	sh.queue.Add(1)
+	defer sh.queue.Add(-1)
+	if err := s.acquireSession(ctx, sess); err != nil {
+		return RestoreResponse{}, &httpErr{http.StatusConflict, CodeSessionBusy, "session busy: " + err.Error()}
+	}
+	defer sess.release()
+	if sess.closed {
+		return RestoreResponse{}, &httpErr{http.StatusNotFound, CodeNotFound, "session closed"}
+	}
+	if !bytes.Equal(env.Cfg, sess.reqJSON) {
+		return RestoreResponse{}, &httpErr{http.StatusConflict, CodeCheckpointMismatch,
+			"checkpoint configuration does not match the session"}
+	}
+	if err := sess.sim.Restore(env.Core); err != nil {
+		return RestoreResponse{}, asHTTPErr(err)
+	}
 	s.applyEnvelopeState(sess, env)
 	s.restoresTotal.Add(1)
-	writeJSON(w, http.StatusOK, RestoreResponse{
+	return RestoreResponse{
 		ID:         sess.id,
 		Seq:        env.Seq,
 		Cycles:     sess.sim.Cycles(),
 		Words:      env.Words,
 		IdleCycles: env.Idle,
-	})
+	}, nil
 }
 
-// resurrect rebuilds a session that no longer exists — a poisoned pod
+// resurrectFrom rebuilds a session that no longer exists — a poisoned pod
 // that dropped it, or a process restart — from the envelope's embedded
 // configuration and core blob, registering it under its original id so
-// clients resume against the same URL.
-func (s *Server) resurrect(w http.ResponseWriter, id string, env *envelope) {
+// clients resume against the same URL (or NBWP slot).
+func (s *Server) resurrectFrom(id string, env *envelope) (RestoreResponse, *httpErr) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
-		return
+		return RestoreResponse{}, &httpErr{http.StatusServiceUnavailable, CodeDraining, "server is draining"}
 	}
 	if s.active.Add(1) > int64(s.cfg.MaxSessions) {
 		s.active.Add(-1)
-		writeError(w, http.StatusServiceUnavailable, CodeServerFull,
-			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions))
-		return
+		return RestoreResponse{}, &httpErr{http.StatusServiceUnavailable, CodeServerFull,
+			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions)}
 	}
 	ok := false
 	defer func() {
@@ -467,41 +472,36 @@ func (s *Server) resurrect(w http.ResponseWriter, id string, env *envelope) {
 
 	var req CreateSessionRequest
 	if err := json.Unmarshal(env.Cfg, &req); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, CodeCheckpointCorrupt,
-			"envelope config: "+err.Error())
-		return
+		return RestoreResponse{}, &httpErr{http.StatusUnprocessableEntity, CodeCheckpointCorrupt,
+			"envelope config: " + err.Error()}
 	}
 	sess, he := s.buildSession(req)
 	if he != nil {
-		writeError(w, he.status, he.code, he.msg)
-		return
+		return RestoreResponse{}, he
 	}
 	if err := sess.sim.Restore(env.Core); err != nil {
 		// A failed Restore leaves the simulator untouched; recycle it.
 		s.pool.put(sess.key, sess.sim)
-		he := asHTTPErr(err)
-		writeError(w, he.status, he.code, he.msg)
-		return
+		return RestoreResponse{}, asHTTPErr(err)
 	}
 	// All session state is set before registration makes it reachable.
 	s.applyEnvelopeState(sess, env)
 	if !s.registerSession(sess, id) {
 		s.pool.put(sess.key, sess.sim)
-		writeError(w, http.StatusConflict, CodeSessionBusy,
-			"session reappeared during restore; retry")
-		return
+		return RestoreResponse{}, &httpErr{http.StatusConflict, CodeSessionBusy,
+			"session reappeared during restore; retry"}
 	}
 	ok = true
 	s.restoresTotal.Add(1)
 	s.resurrectedTotal.Add(1)
-	writeJSON(w, http.StatusOK, RestoreResponse{
+	return RestoreResponse{
 		ID:          id,
 		Seq:         env.Seq,
 		Cycles:      sess.sim.Cycles(),
 		Words:       env.Words,
 		IdleCycles:  env.Idle,
 		Resurrected: true,
-	})
+	}, nil
 }
 
 // applyEnvelopeState installs the envelope's service-layer counters on a

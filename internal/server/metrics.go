@@ -68,6 +68,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("nanobusd_sessions_resurrected_total", "Sessions rebuilt from stored checkpoints after loss.", s.resurrectedTotal.Load())
 	counter("nanobusd_seq_duplicates_total", "Sequenced batches acknowledged idempotently without re-stepping.", s.seqDuplicatesTotal.Load())
 
+	s.nbwpMu.Lock()
+	nbwpActive := len(s.nbwpConns)
+	s.nbwpMu.Unlock()
+	gauge("nanobusd_nbwp_connections_active", "Open NBWP connections.", nbwpActive)
+	counter("nanobusd_nbwp_connections_total", "NBWP connections ever accepted.", s.nbwpConnsTotal.Load())
+	counter("nanobusd_nbwp_frames_in_total", "NBWP frames received.", s.nbwpFramesIn.Load())
+	counter("nanobusd_nbwp_frames_out_total", "NBWP frames sent (acks, samples, errors, drains).", s.nbwpFramesOut.Load())
+	counter("nanobusd_nbwp_step_frames_total", "NBWP STEP/STEP_IDLE frames applied.", s.nbwpStepFrames.Load())
+	counter("nanobusd_nbwp_errors_total", "NBWP frames answered with an ERROR frame.", s.nbwpErrorsTotal.Load())
+
 	hits, misses := s.memoHits.Load(), s.memoMisses.Load()
 	counter("nanobusd_memo_hits_total", "Transition-memo hits (harvested per request).", hits)
 	counter("nanobusd_memo_misses_total", "Transition-memo misses (harvested per request).", misses)

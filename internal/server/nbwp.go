@@ -1,0 +1,640 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"nanobus/internal/core"
+	"nanobus/internal/faultinject"
+	"nanobus/internal/nbwp"
+)
+
+// This file is the NBWP transport: the same session machinery as the v1
+// HTTP surface — shards, per-session semaphores, ?seq= write-ahead
+// idempotency, checkpoint stores, the simulator pool — behind persistent
+// framed TCP instead of per-batch requests. One goroutine serves each
+// connection, processing frames strictly in arrival order and answering
+// every client frame with exactly one ACK or ERROR frame, so pipelined
+// clients correlate responses by FIFO position. Throughput comes from
+// pipelining: the client streams STEP frames without waiting, acks
+// accumulate in the connection's buffered writer, and the writer is
+// flushed only when the read side would block — a full round-trip per
+// batch becomes one syscall per burst in each direction.
+
+// nbwpBufSize sizes each connection's buffered reader and writer.
+const nbwpBufSize = 64 << 10
+
+// ServeNBWP accepts NBWP connections on lis until the listener closes;
+// it always returns a non-nil error (net.ErrClosed after Drain). Run it
+// on its own goroutine beside http.Server.Serve; both surfaces share one
+// session table, so a session created over HTTP can be attached over
+// NBWP and vice versa.
+func (s *Server) ServeNBWP(lis net.Listener) error {
+	s.nbwpMu.Lock()
+	if s.draining.Load() {
+		s.nbwpMu.Unlock()
+		//nanolint:ignore droppederr the listener is being refused, not used; close is best-effort
+		_ = lis.Close()
+		return net.ErrClosed
+	}
+	s.nbwpLis = append(s.nbwpLis, lis)
+	s.nbwpMu.Unlock()
+	for {
+		c, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		if s.draining.Load() {
+			// Drain closed the listener, but a connection already in the
+			// accept queue can slip through; refuse it.
+			//nanolint:ignore droppederr refused connection; nothing to report to
+			_ = c.Close()
+			continue
+		}
+		s.nbwpWG.Add(1)
+		go s.serveNBWPConn(c)
+	}
+}
+
+// ShutdownNBWP waits for every NBWP connection to finish its in-flight
+// pipelined work and close — call Drain first so clients get DRAIN
+// frames and stop sending. When ctx expires the remaining connections
+// are force-closed and their contexts canceled; ShutdownNBWP still waits
+// for the goroutines to unwind before returning ctx's error.
+func (s *Server) ShutdownNBWP(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.nbwpWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	s.nbwpMu.Lock()
+	for nc := range s.nbwpConns {
+		nc.cancel()
+		//nanolint:ignore droppederr force-close on shutdown deadline; the error has nowhere to go
+		_ = nc.c.Close()
+	}
+	s.nbwpMu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// drainNBWP stops the accept loops and tells every live connection to
+// wind down. Called by Drain.
+func (s *Server) drainNBWP() {
+	s.nbwpMu.Lock()
+	lis := s.nbwpLis
+	s.nbwpLis = nil
+	conns := make([]*nbwpConn, 0, len(s.nbwpConns))
+	for nc := range s.nbwpConns {
+		conns = append(conns, nc)
+	}
+	s.nbwpMu.Unlock()
+	for _, l := range lis {
+		//nanolint:ignore droppederr closing a listener during drain; the accept loop reports the exit
+		_ = l.Close()
+	}
+	for _, nc := range conns {
+		nc.sendDrain()
+	}
+}
+
+// nbwpConn is one NBWP connection: up to 255 sessions multiplexed over
+// persistent TCP, served by a single goroutine in frame order.
+type nbwpConn struct {
+	s      *Server
+	c      net.Conn
+	ctx    context.Context
+	cancel context.CancelFunc
+	br     *bufio.Reader
+	fr     nbwp.FrameReader
+
+	// wmu serializes frame writes and flushes between the connection
+	// goroutine (acks, samples) and Drain's broadcast goroutine.
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	fw  nbwp.FrameWriter
+
+	// slots maps the header slot byte onto bound sessions; stream marks
+	// slots opened with FlagStream (SAMPLE frames wanted).
+	slots  [256]*session
+	stream [256]bool
+
+	// payload is the reused control-plane response buffer; ackBuf is the
+	// fixed STEP ack scratch (a struct field so the hot path stays off
+	// the heap); words is the lazily-grown fallback for the rare
+	// unaligned STEP payload nbwp.Words cannot view in place.
+	payload []byte
+	ackBuf  [nbwp.StepAckLen]byte
+	words   []uint32
+
+	drained atomic.Bool
+}
+
+func (s *Server) serveNBWPConn(c net.Conn) {
+	defer s.nbwpWG.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	nc := &nbwpConn{
+		s:      s,
+		c:      c,
+		ctx:    ctx,
+		cancel: cancel,
+		br:     bufio.NewReaderSize(c, nbwpBufSize),
+		bw:     bufio.NewWriterSize(c, nbwpBufSize),
+	}
+	nc.fr = nbwp.FrameReader{R: nc.br, Max: nbwp.MaxPayload}
+	nc.fw = nbwp.FrameWriter{W: nc.bw}
+
+	s.nbwpMu.Lock()
+	s.nbwpConns[nc] = struct{}{}
+	draining := s.draining.Load()
+	s.nbwpMu.Unlock()
+	s.nbwpConnsTotal.Add(1)
+	defer func() {
+		cancel()
+		s.nbwpMu.Lock()
+		delete(s.nbwpConns, nc)
+		s.nbwpMu.Unlock()
+		//nanolint:ignore droppederr the connection is ending either way; close is best-effort
+		_ = c.Close()
+	}()
+	if draining {
+		// The connection raced Drain's broadcast; tell it directly.
+		nc.sendDrain()
+	}
+	nc.serve()
+}
+
+// serve is the connection loop: flush pending acks when the next read
+// would block, read one frame, dispatch it. Dispatch reporting false
+// (GOODBYE, write failure) ends the connection; the final flush pushes
+// out whatever the last burst produced.
+func (nc *nbwpConn) serve() {
+	defer nc.flush()
+	var h nbwp.Header
+	for {
+		if nc.br.Buffered() == 0 {
+			// The pipelined burst is consumed; push its acks before
+			// blocking so a waiting client always makes progress.
+			if !nc.flush() {
+				return
+			}
+		}
+		payload, err := nc.fr.ReadFrame(&h)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				// Framing is unrecoverable after a damaged header; report
+				// once and hang up.
+				nc.reply(nbwp.Header{}, http.StatusBadRequest, CodeBadRequest, err.Error())
+			}
+			return
+		}
+		nc.s.nbwpFramesIn.Add(1)
+		if !nc.dispatch(h, payload) {
+			return
+		}
+	}
+}
+
+func (nc *nbwpConn) flush() bool {
+	nc.wmu.Lock()
+	err := nc.bw.Flush()
+	nc.wmu.Unlock()
+	return err == nil
+}
+
+func (nc *nbwpConn) dispatch(h nbwp.Header, payload []byte) bool {
+	switch h.Type {
+	case nbwp.TypeHello:
+		// Version agreement is implicit: a mismatched header already
+		// failed the frame codec.
+		return nc.ack(h, 0, nil)
+	case nbwp.TypeOpen:
+		return nc.handleOpen(h, payload)
+	case nbwp.TypeStep, nbwp.TypeStepIdle:
+		return nc.handleStep(h, payload)
+	case nbwp.TypeResult:
+		return nc.handleResult(h)
+	case nbwp.TypeCheckpoint:
+		return nc.handleCheckpoint(h)
+	case nbwp.TypeRestore:
+		return nc.handleRestore(h, payload)
+	case nbwp.TypeGoodbye:
+		return nc.handleGoodbye(h)
+	default:
+		return nc.reply(h, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("unknown frame type %#x", uint8(h.Type)))
+	}
+}
+
+// --- Frame write helpers -----------------------------------------------------
+
+// writeFrame writes one frame into the buffered writer under wmu; false
+// means the connection is broken and the caller should unwind.
+func (nc *nbwpConn) writeFrame(h nbwp.Header, payload []byte) bool {
+	nc.wmu.Lock()
+	err := nc.fw.WriteFrame(h, payload)
+	nc.wmu.Unlock()
+	if err != nil {
+		return false
+	}
+	nc.s.nbwpFramesOut.Add(1)
+	return true
+}
+
+// ack answers the frame req with an ACK echoing its slot and seq.
+func (nc *nbwpConn) ack(req nbwp.Header, flags uint8, payload []byte) bool {
+	return nc.writeFrame(nbwp.Header{Type: nbwp.TypeAck, Flags: flags, Slot: req.Slot, Seq: req.Seq}, payload)
+}
+
+// ackJSON acks req with a JSON document payload — the same encoding/json
+// serialization as the HTTP surface, so control-plane documents are
+// identical across transports.
+func (nc *nbwpConn) ackJSON(req nbwp.Header, v any) bool {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nc.reply(req, http.StatusInternalServerError, CodeInternal, err.Error())
+	}
+	return nc.ack(req, 0, data)
+}
+
+// reply answers req with an ERROR frame carrying the v1 status and code.
+func (nc *nbwpConn) reply(req nbwp.Header, status int, code, msg string) bool {
+	nc.s.nbwpErrorsTotal.Add(1)
+	nc.payload = nbwp.AppendError(nc.payload[:0], status, code, msg)
+	return nc.writeFrame(nbwp.Header{Type: nbwp.TypeError, Slot: req.Slot, Seq: req.Seq}, nc.payload)
+}
+
+func (nc *nbwpConn) replyErr(req nbwp.Header, he *httpErr) bool {
+	return nc.reply(req, he.status, he.code, he.msg)
+}
+
+// sendDrain broadcasts the unsolicited DRAIN frame once, flushing so it
+// reaches the client even mid-burst.
+func (nc *nbwpConn) sendDrain() {
+	if !nc.drained.CompareAndSwap(false, true) {
+		return
+	}
+	nc.wmu.Lock()
+	//nanolint:ignore droppederr drain notice is best-effort; a dead connection drains itself
+	_ = nc.fw.WriteFrame(nbwp.Header{Type: nbwp.TypeDrain}, nil)
+	//nanolint:ignore droppederr drain notice is best-effort; a dead connection drains itself
+	_ = nc.bw.Flush()
+	nc.wmu.Unlock()
+}
+
+// --- Slot helpers ------------------------------------------------------------
+
+// slotSession resolves the frame's slot to its bound session.
+func (nc *nbwpConn) slotSession(h nbwp.Header) (*session, *httpErr) {
+	if h.Slot == 0 {
+		return nil, &httpErr{http.StatusBadRequest, CodeBadRequest, "frame needs a session slot (1-255)"}
+	}
+	sess := nc.slots[h.Slot]
+	if sess == nil {
+		return nil, &httpErr{http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("slot %d is not bound; OPEN it first", h.Slot)}
+	}
+	return sess, nil
+}
+
+// reqCtx bounds one frame's work like the HTTP RequestTimeout does; the
+// returned cancel must run before the next frame.
+func (nc *nbwpConn) reqCtx() (context.Context, context.CancelFunc) {
+	if nc.s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(nc.ctx, nc.s.cfg.RequestTimeout)
+	}
+	return nc.ctx, func() {}
+}
+
+// --- OPEN --------------------------------------------------------------------
+
+func (nc *nbwpConn) handleOpen(h nbwp.Header, payload []byte) bool {
+	if h.Slot == 0 {
+		return nc.reply(h, http.StatusBadRequest, CodeBadRequest, "OPEN needs a session slot (1-255)")
+	}
+	if nc.slots[h.Slot] != nil {
+		return nc.reply(h, http.StatusConflict, CodeBadRequest,
+			fmt.Sprintf("slot %d is already bound", h.Slot))
+	}
+	var sess *session
+	if h.Flags&nbwp.FlagAttach != 0 {
+		existing, _, ok := nc.s.find(string(payload))
+		if !ok {
+			return nc.reply(h, http.StatusNotFound, CodeNotFound, "unknown session")
+		}
+		sess = existing
+	} else {
+		var req CreateSessionRequest
+		dec := json.NewDecoder(bytes.NewReader(payload))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nc.reply(h, http.StatusBadRequest, CodeBadRequest, "decode request: "+err.Error())
+		}
+		var he *httpErr
+		sess, he = nc.s.openSession(req)
+		if he != nil {
+			return nc.replyErr(h, he)
+		}
+	}
+	nc.slots[h.Slot] = sess
+	nc.stream[h.Slot] = h.Flags&nbwp.FlagStream != 0
+	info := sess.info
+	info.Words = sess.words.Load()
+	info.IdleCycles = sess.idle.Load()
+	info.LastSeq = sess.lastSeq.Load()
+	return nc.ackJSON(h, info)
+}
+
+// --- STEP / STEP_IDLE --------------------------------------------------------
+
+// handleStep is the hot path: feed one pipelined batch to the slot's
+// simulator and ack it. The ?seq= write-ahead machinery is byte-for-byte
+// the HTTP handler's — same dirty flag, same duplicate ack, same gap
+// conflict — so a client may interleave transports mid-stream and the
+// exactly-once guarantee holds.
+func (nc *nbwpConn) handleStep(h nbwp.Header, payload []byte) bool {
+	sess, he := nc.slotSession(h)
+	if he != nil {
+		return nc.replyErr(h, he)
+	}
+	hasSeq := h.Flags&nbwp.FlagSeq != 0
+	seq := uint64(h.Seq)
+	if hasSeq && seq == 0 {
+		return nc.reply(h, http.StatusBadRequest, CodeBadRequest, "seq must be a positive integer")
+	}
+	if h.Type == nbwp.TypeStep {
+		if len(payload)%4 != 0 {
+			return nc.reply(h, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("binary body length is not a multiple of 4 (%d trailing bytes)", len(payload)%4))
+		}
+		if len(payload)/4 > nc.s.cfg.MaxBatchWords {
+			return nc.reply(h, http.StatusRequestEntityTooLarge, CodeBatchTooLarge,
+				fmt.Sprintf("batch of %d words exceeds the %d-word limit", len(payload)/4, nc.s.cfg.MaxBatchWords))
+		}
+	}
+	ctx, cancel := nc.reqCtx()
+	defer cancel()
+	if err := nc.s.acquireSession(ctx, sess); err != nil {
+		return nc.reply(h, http.StatusConflict, CodeSessionBusy, "session busy: "+err.Error())
+	}
+	defer sess.release()
+	if sess.closed {
+		return nc.reply(h, http.StatusNotFound, CodeNotFound, "session closed")
+	}
+	defer nc.s.harvestMemo(sess)
+
+	if hasSeq {
+		if sess.dirtySeq {
+			return nc.reply(h, http.StatusConflict, CodeSeqConflict,
+				"a sequenced batch failed mid-apply; restore from a checkpoint before retrying")
+		}
+		last := sess.lastSeq.Load()
+		switch {
+		case seq <= last:
+			// Already applied: acknowledge idempotently — nothing
+			// re-steps, so a replayed batch can never double-count energy.
+			sum := sess.lastSum
+			if seq != last {
+				sum = StepSummary{}
+			}
+			sum.Cycles = sess.words.Load() + sess.idle.Load()
+			nc.s.seqDuplicatesTotal.Add(1)
+			nbwp.PutStepAck(&nc.ackBuf, nbwp.StepAck{
+				Words: sum.Words, Idle: sum.Idle, Cycles: sum.Cycles, Samples: sum.Samples,
+			})
+			return nc.ack(h, nbwp.FlagDuplicate, nc.ackBuf[:])
+		case seq > last+1:
+			return nc.reply(h, http.StatusConflict, CodeSeqGap,
+				fmt.Sprintf("seq %d skips ahead; expected %d", seq, last+1))
+		}
+		// seq == last+1: write-ahead intent before any word reaches the
+		// simulator; a mid-apply death leaves the flag set and all seq
+		// traffic conflicts until a restore rewinds the state.
+		sess.dirtySeq = true
+	}
+
+	var sum StepSummary
+	streaming := nc.stream[h.Slot]
+	writeOK := true
+	sess.sim.SetOnSample(func(cs core.Sample) {
+		sum.Samples++
+		nc.s.samplesTotal.Add(1)
+		if streaming && writeOK {
+			// Samples interleave ahead of the batch's ack, append-encoded
+			// into the connection's reused buffer.
+			nc.payload = appendNBWPSample(nc.payload[:0], fromCoreSample(cs))
+			writeOK = nc.writeFrame(nbwp.Header{Type: nbwp.TypeSample, Slot: h.Slot}, nc.payload)
+		}
+	})
+	defer sess.sim.SetOnSample(nil)
+
+	var stepErr error
+	if h.Type == nbwp.TypeStep {
+		// Chaos harnesses arm this to fail an ingest batch mid-stream —
+		// the same failpoint as the HTTP binary path.
+		if ferr := faultinject.Hit("server.ingest.decode"); ferr != nil {
+			stepErr = &httpErr{http.StatusBadRequest, CodeBadRequest, "decode binary batch: " + ferr.Error()}
+		} else if len(payload) > 0 {
+			if need := len(payload) / 4; cap(nc.words) < need {
+				nc.words = make([]uint32, need)
+			}
+			stepErr = nc.s.stepWords(ctx, sess, nbwp.Words(nc.words, payload), &sum)
+		}
+	} else {
+		idle, perr := nbwp.ParseIdle(payload)
+		if perr != nil {
+			stepErr = &httpErr{http.StatusBadRequest, CodeBadRequest, perr.Error()}
+		} else if idle > 0 {
+			stepErr = nc.s.stepIdle(ctx, sess, idle, &sum)
+		}
+	}
+	sum.Cycles = sess.words.Load() + sess.idle.Load()
+
+	if stepErr != nil {
+		return nc.replyErr(h, asHTTPErr(stepErr))
+	}
+	if hasSeq {
+		sess.dirtySeq = false
+		sess.lastSeq.Store(seq)
+		sum.Seq = seq
+		sess.lastSum = sum
+	}
+	nc.s.maybeAutoCheckpoint(sess)
+	nc.s.nbwpStepFrames.Add(1)
+	nbwp.PutStepAck(&nc.ackBuf, nbwp.StepAck{
+		Words: sum.Words, Idle: sum.Idle, Cycles: sum.Cycles, Samples: sum.Samples,
+	})
+	return nc.ack(h, 0, nc.ackBuf[:])
+}
+
+// appendNBWPSample encodes a wire Sample into the NBWP binary layout.
+func appendNBWPSample(dst []byte, s Sample) []byte {
+	return nbwp.AppendSample(dst, nbwp.Sample{
+		EndCycle:    s.EndCycle,
+		EnergyJ:     s.EnergyJ,
+		SelfJ:       s.SelfJ,
+		CoupAdjJ:    s.CoupAdjJ,
+		CoupNonAdjJ: s.CoupNonAdjJ,
+		AvgTempK:    s.AvgTempK,
+		MaxTempK:    s.MaxTempK,
+		MaxWire:     int32(s.MaxWire),
+		WireTempsK:  s.WireTempsK,
+	})
+}
+
+// --- RESULT ------------------------------------------------------------------
+
+func (nc *nbwpConn) handleResult(h nbwp.Header) bool {
+	sess, he := nc.slotSession(h)
+	if he != nil {
+		return nc.replyErr(h, he)
+	}
+	ctx, cancel := nc.reqCtx()
+	defer cancel()
+	if err := nc.s.acquireSession(ctx, sess); err != nil {
+		return nc.reply(h, http.StatusConflict, CodeSessionBusy, "session busy: "+err.Error())
+	}
+	defer sess.release()
+	if sess.closed {
+		return nc.reply(h, http.StatusNotFound, CodeNotFound, "session closed")
+	}
+	defer nc.s.harvestMemo(sess)
+	res, rhe := nc.s.resultLocked(sess, h.Flags&nbwp.FlagNoFinish == 0)
+	if rhe != nil {
+		return nc.replyErr(h, rhe)
+	}
+	return nc.ackJSON(h, res)
+}
+
+// --- CHECKPOINT --------------------------------------------------------------
+
+func (nc *nbwpConn) handleCheckpoint(h nbwp.Header) bool {
+	download := h.Flags&nbwp.FlagDownload != 0
+	if nc.s.cfg.Store == nil && !download {
+		return nc.reply(h, http.StatusNotImplemented, CodeNoStore,
+			"no checkpoint store configured; use FlagDownload to fetch the envelope inline")
+	}
+	sess, he := nc.slotSession(h)
+	if he != nil {
+		return nc.replyErr(h, he)
+	}
+	ctx, cancel := nc.reqCtx()
+	defer cancel()
+	if err := nc.s.acquireSession(ctx, sess); err != nil {
+		return nc.reply(h, http.StatusConflict, CodeSessionBusy, "session busy: "+err.Error())
+	}
+	defer sess.release()
+	if sess.closed {
+		return nc.reply(h, http.StatusNotFound, CodeNotFound, "session closed")
+	}
+	if sess.dirtySeq {
+		return nc.reply(h, http.StatusConflict, CodeSeqConflict,
+			"a sequenced batch failed mid-apply; restore from a checkpoint first")
+	}
+	info, data, err := nc.s.checkpointLocked(sess)
+	if err != nil {
+		return nc.replyErr(h, asHTTPErr(err))
+	}
+	if download {
+		return nc.ack(h, nbwp.FlagDownload, data)
+	}
+	return nc.ackJSON(h, info)
+}
+
+// --- RESTORE -----------------------------------------------------------------
+
+func (nc *nbwpConn) handleRestore(h nbwp.Header, payload []byte) bool {
+	if h.Slot == 0 {
+		return nc.reply(h, http.StatusBadRequest, CodeBadRequest, "RESTORE needs a session slot (1-255)")
+	}
+	id, envData, perr := nbwp.ParseRestore(payload)
+	if perr != nil {
+		return nc.reply(h, http.StatusBadRequest, CodeBadRequest, perr.Error())
+	}
+	if id == "" {
+		bound := nc.slots[h.Slot]
+		if bound == nil {
+			return nc.reply(h, http.StatusNotFound, CodeNotFound,
+				fmt.Sprintf("slot %d is not bound and the RESTORE names no session", h.Slot))
+		}
+		id = bound.id
+	}
+	if len(envData) == 0 {
+		if nc.s.cfg.Store == nil {
+			return nc.reply(h, http.StatusNotImplemented, CodeNoStore,
+				"no checkpoint store configured and no inline envelope sent")
+		}
+		b, err := nc.s.cfg.Store.Load(id)
+		if errors.Is(err, ErrNoCheckpoint) {
+			return nc.reply(h, http.StatusNotFound, CodeNoCheckpoint, err.Error())
+		}
+		if err != nil {
+			return nc.reply(h, http.StatusInternalServerError, CodeInternal, err.Error())
+		}
+		envData = b
+	} else if len(envData) > maxEnvelopeBytes {
+		return nc.reply(h, http.StatusRequestEntityTooLarge, CodeBatchTooLarge,
+			fmt.Sprintf("envelope exceeds %d bytes", maxEnvelopeBytes))
+	}
+	env, err := decodeEnvelope(envData)
+	if err != nil {
+		return nc.replyErr(h, asHTTPErr(err))
+	}
+	ctx, cancel := nc.reqCtx()
+	defer cancel()
+	resp, rhe := nc.s.restoreSession(ctx, id, env)
+	if rhe != nil {
+		return nc.replyErr(h, rhe)
+	}
+	// Bind (or rebind) the slot to the restored session so the stream
+	// resumes on this connection without a separate OPEN.
+	if sess, _, ok := nc.s.find(id); ok {
+		nc.slots[h.Slot] = sess
+	}
+	return nc.ackJSON(h, resp)
+}
+
+// --- GOODBYE -----------------------------------------------------------------
+
+func (nc *nbwpConn) handleGoodbye(h nbwp.Header) bool {
+	if h.Slot == 0 {
+		// Connection goodbye: ack, then hang up. Bound sessions stay
+		// registered — like an HTTP client going away, they remain
+		// addressable for reattach.
+		nc.ack(h, 0, nil)
+		return false
+	}
+	sess, he := nc.slotSession(h)
+	if he != nil {
+		return nc.replyErr(h, he)
+	}
+	ctx, cancel := nc.reqCtx()
+	defer cancel()
+	if err := nc.s.acquireSession(ctx, sess); err != nil {
+		return nc.reply(h, http.StatusConflict, CodeSessionBusy, "session busy: "+err.Error())
+	}
+	defer sess.release()
+	if sess.closed {
+		nc.slots[h.Slot] = nil
+		nc.stream[h.Slot] = false
+		return nc.reply(h, http.StatusNotFound, CodeNotFound, "session closed")
+	}
+	resp := nc.s.closeLocked(sess, nc.s.shards[shardOf(sess.id, len(nc.s.shards))])
+	nc.slots[h.Slot] = nil
+	nc.stream[h.Slot] = false
+	return nc.ackJSON(h, resp)
+}

@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -99,6 +101,20 @@ type Server struct {
 	resurrectedTotal      atomic.Uint64
 	seqDuplicatesTotal    atomic.Uint64
 
+	// NBWP transport state: registered listeners (closed by Drain), live
+	// connections (for the DRAIN broadcast and shutdown force-close), and
+	// the wait group ShutdownNBWP blocks on.
+	nbwpMu    sync.Mutex
+	nbwpLis   []net.Listener
+	nbwpConns map[*nbwpConn]struct{}
+	nbwpWG    sync.WaitGroup
+
+	nbwpConnsTotal  atomic.Uint64
+	nbwpFramesIn    atomic.Uint64
+	nbwpFramesOut   atomic.Uint64
+	nbwpStepFrames  atomic.Uint64
+	nbwpErrorsTotal atomic.Uint64
+
 	start time.Time
 	rate  rateWindow
 }
@@ -107,13 +123,14 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		shards: make([]*shard, cfg.Shards),
-		pool:   newPool(cfg.MaxPoolPerKey),
-		frames: newFramePool(cfg.MaxBatchWords),
-		scans:  newScanBufPool(64 * 1024),
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
+		cfg:       cfg,
+		shards:    make([]*shard, cfg.Shards),
+		pool:      newPool(cfg.MaxPoolPerKey),
+		frames:    newFramePool(cfg.MaxBatchWords),
+		scans:     newScanBufPool(64 * 1024),
+		mux:       http.NewServeMux(),
+		nbwpConns: make(map[*nbwpConn]struct{}),
+		start:     time.Now(),
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{sessions: make(map[string]*session)}
@@ -134,9 +151,13 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Drain stops session creation (new creates get 503/draining) while
-// existing sessions keep serving; pair it with http.Server.Shutdown,
-// which waits for in-flight requests.
-func (s *Server) Drain() { s.draining.Store(true) }
+// existing sessions keep serving, stops accepting NBWP connections, and
+// broadcasts DRAIN frames so pipelined clients wind down. Pair it with
+// http.Server.Shutdown and ShutdownNBWP, which wait for in-flight work.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.drainNBWP()
+}
 
 // Draining reports whether Drain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -235,19 +256,51 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, he.status, he.code, he.msg)
 		return
 	}
+	if he := s.registerFresh(sess); he != nil {
+		writeError(w, he.status, he.code, he.msg)
+		return
+	}
+	ok = true
+	writeJSON(w, http.StatusCreated, sess.info)
+}
+
+// openSession is the transport-neutral session open: the draining and
+// capacity gates, the simulator build (or pool recycle), and
+// registration under a fresh id. Both POST /v1/sessions and the NBWP
+// OPEN frame reduce to it.
+func (s *Server) openSession(req CreateSessionRequest) (*session, *httpErr) {
+	if s.draining.Load() {
+		return nil, &httpErr{http.StatusServiceUnavailable, CodeDraining, "server is draining"}
+	}
+	if s.active.Add(1) > int64(s.cfg.MaxSessions) {
+		s.active.Add(-1)
+		return nil, &httpErr{http.StatusServiceUnavailable, CodeServerFull,
+			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions)}
+	}
+	sess, he := s.buildSession(req)
+	if he == nil {
+		he = s.registerFresh(sess)
+	}
+	if he != nil {
+		s.active.Add(-1)
+		return nil, he
+	}
+	return sess, nil
+}
+
+// registerFresh registers sess under a newly minted id, retrying the
+// (vanishingly unlikely) id collision.
+func (s *Server) registerFresh(sess *session) *httpErr {
 	for {
 		id, err := newSessionID()
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
-			return
+			return &httpErr{http.StatusInternalServerError, CodeInternal, err.Error()}
 		}
 		if s.registerSession(sess, id) {
-			break
+			s.createdTotal.Add(1)
+			return nil
 		}
 	}
-	ok = true
-	s.createdTotal.Add(1)
-	writeJSON(w, http.StatusCreated, sess.info)
 }
 
 // buildSession validates req, builds (or recycles) its simulator, and
@@ -671,16 +724,26 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.harvestMemo(sess)
 
-	if r.URL.Query().Get("finish") != "0" {
-		if err := sess.sim.Finish(); err != nil {
-			he := asHTTPErr(err)
-			writeError(w, he.status, he.code, he.msg)
-			return
-		}
-	} else if err := sess.sim.Err(); err != nil {
-		he := asHTTPErr(err)
+	res, he := s.resultLocked(sess, r.URL.Query().Get("finish") != "0")
+	if he != nil {
 		writeError(w, he.status, he.code, he.msg)
 		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// resultLocked finishes the session (unless finish is false, which only
+// checks for poisoning) and assembles its Result document — the single
+// source both GET .../result and the NBWP RESULT frame serialize, which
+// is what keeps figures bit-identical across transports. The caller must
+// hold the session.
+func (s *Server) resultLocked(sess *session, finish bool) (Result, *httpErr) {
+	if finish {
+		if err := sess.sim.Finish(); err != nil {
+			return Result{}, asHTTPErr(err)
+		}
+	} else if err := sess.sim.Err(); err != nil {
+		return Result{}, asHTTPErr(err)
 	}
 
 	sim := sess.sim
@@ -692,7 +755,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		samples[i] = fromCoreSample(cs)
 	}
 	st := sim.MemoStats()
-	writeJSON(w, http.StatusOK, Result{
+	return Result{
 		ID:     sess.id,
 		Cycles: sim.Cycles(),
 		Width:  sim.Width(),
@@ -708,7 +771,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		TempsK:   sim.Temps(),
 		Samples:  samples,
 		Memo:     MemoStats{Hits: st.Hits, Misses: st.Misses, HitRate: st.HitRate()},
-	})
+	}, nil
 }
 
 // --- DELETE /v1/sessions/{id} -----------------------------------------------
@@ -731,22 +794,30 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, "session closed")
 		return
 	}
+	writeJSON(w, http.StatusOK, s.closeLocked(sess, sh))
+}
+
+// closeLocked tears a session down: deregisters it, drops its stored
+// checkpoint, and recycles the simulator. Both DELETE and the NBWP
+// GOODBYE frame reduce to it. The caller must hold the session and have
+// verified it is not already closed.
+func (s *Server) closeLocked(sess *session, sh *shard) CloseResponse {
 	sess.closed = true
 	s.harvestMemo(sess)
 	cycles := sess.words.Load() + sess.idle.Load()
 
 	sh.mu.Lock()
-	delete(sh.sessions, id)
+	delete(sh.sessions, sess.id)
 	sh.mu.Unlock()
 	if s.cfg.Store != nil {
 		// A deleted session must not be resurrectable.
 		//nanolint:ignore droppederr best-effort cleanup; a stale envelope only wastes store space
-		_ = s.cfg.Store.Delete(id)
+		_ = s.cfg.Store.Delete(sess.id)
 	}
 	s.pool.put(sess.key, sess.sim)
 	s.active.Add(-1)
 	s.closedTotal.Add(1)
-	writeJSON(w, http.StatusOK, CloseResponse{ID: id, Cycles: cycles})
+	return CloseResponse{ID: sess.id, Cycles: cycles}
 }
 
 // --- GET /healthz -----------------------------------------------------------

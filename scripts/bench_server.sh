@@ -1,6 +1,6 @@
 #!/bin/sh
-# Service throughput benchmark: measures the binary ingest path at two
-# levels and records both in BENCH_server.json at the repo root.
+# Service throughput benchmark: measures the binary ingest path at three
+# levels and records all of them in BENCH_server.json at the repo root.
 #
 #  - ingest_handler: BenchmarkBinaryIngest, the in-process handler cost
 #    from request body to simulator (no sockets, no client). This is the
@@ -11,8 +11,19 @@
 #    (ingest-stress), address (bus regime) and random (memo-hostile)
 #    patterns. End-to-end numbers include client CPU and the network
 #    stack, which share one core with the daemon on small machines.
+#  - nbwp_gate + benchmarks: the PR 7 transport gate. The same daemon
+#    serves NBWP on a second port; loadgen drives the seq pattern over
+#    both transports at 8 and 64 sessions (1 KiB batches, the
+#    small-batch regime where HTTP's per-request overhead dominates).
+#    The 64-session pair is the acceptance gate: NBWP must deliver
+#    > 2x HTTP words/sec with step p99 < 1 ms. Each gate leg runs
+#    GATE_REPS times and the least-noisy rep (max words/sec, min p99)
+#    is what the gate judges, matching benchgate's min-ns/op fold.
+#    The bench-format lines land in the "benchmarks" array so nightly
+#    CI can re-run loadgen -bench-out and gate ratios via
+#    scripts/benchgate -baseline BENCH_server.json.
 #
-# Usage: scripts/bench_server.sh [extra loadgen args, e.g. -sessions 4]
+# Usage: scripts/bench_server.sh [extra loadgen args, e.g. -interval 512]
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,6 +31,16 @@ OUT=BENCH_server.json
 SESSIONS=8
 BATCHES=24
 WORDS=16384
+
+# NBWP gate workload: many sessions, small batches, deep pipeline.
+GATE_SESSIONS=64
+GATE_BATCHES=128
+GATE_WORDS=1024
+GATE_WINDOW=16
+GATE_CONNS=1
+GATE_REPS=3
+SWEEP_SESSIONS=8
+SWEEP_BATCHES=1024
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"; [ -n "${DPID:-}" ] && kill "$DPID" 2>/dev/null || true' EXIT
@@ -34,7 +55,9 @@ INGEST_NS=$(awk '/^BenchmarkBinaryIngest/ { if (best == "" || $3 < best) best = 
 INGEST_WPS=$(awk -v ns="$INGEST_NS" -v w="$WORDS" 'BEGIN { printf "%.0f", w / (ns / 1e9) }')
 
 RUNS="$tmp/runs.ndjson"
+BENCH="$tmp/bench.txt"
 : > "$RUNS"
+: > "$BENCH"
 
 for pattern in seq address random; do
     "$tmp/loadgen" -inproc -pattern "$pattern" \
@@ -42,17 +65,23 @@ for pattern in seq address random; do
         -json "$RUNS" "$@"
 done
 
-# Real daemon on an ephemeral port; the bound address is printed on the
-# first stdout line ("nanobusd: listening on 127.0.0.1:PORT").
-"$tmp/nanobusd" -addr 127.0.0.1:0 > "$tmp/nanobusd.out" 2>&1 &
+# Real daemon on ephemeral ports; the bound addresses are printed on the
+# first two stdout lines ("nanobusd: listening on HOST:PORT", then
+# "nanobusd: nbwp on HOST:PORT").
+"$tmp/nanobusd" -addr 127.0.0.1:0 -nbwp-addr 127.0.0.1:0 > "$tmp/nanobusd.out" 2>&1 &
 DPID=$!
 ADDR=""
+NADDR=""
 for _ in $(seq 1 50); do
     ADDR=$(awk '/^nanobusd: listening on /{print $4; exit}' "$tmp/nanobusd.out")
-    [ -n "$ADDR" ] && break
+    NADDR=$(awk '/^nanobusd: nbwp on /{print $4; exit}' "$tmp/nanobusd.out")
+    [ -n "$ADDR" ] && [ -n "$NADDR" ] && break
     sleep 0.1
 done
-[ -n "$ADDR" ] || { echo "bench_server: daemon never reported an address" >&2; exit 1; }
+[ -n "$ADDR" ] && [ -n "$NADDR" ] || {
+    echo "bench_server: daemon never reported its addresses" >&2
+    exit 1
+}
 
 for pattern in seq address random; do
     "$tmp/loadgen" -addr "http://$ADDR" -pattern "$pattern" \
@@ -60,9 +89,51 @@ for pattern in seq address random; do
         -json "$RUNS" "$@"
 done
 
+# Transport gate + sweep: seq pattern, 1 KiB batches, both transports.
+rep=0
+while [ "$rep" -lt "$GATE_REPS" ]; do
+    "$tmp/loadgen" -addr "http://$ADDR" -transport http -pattern seq \
+        -sessions "$GATE_SESSIONS" -batches "$GATE_BATCHES" -batch-words "$GATE_WORDS" \
+        -json "$RUNS" -bench-out "$BENCH" "$@"
+    "$tmp/loadgen" -addr "http://$ADDR" -transport nbwp -nbwp-addr "$NADDR" -pattern seq \
+        -sessions "$GATE_SESSIONS" -batches "$GATE_BATCHES" -batch-words "$GATE_WORDS" \
+        -window "$GATE_WINDOW" -conns "$GATE_CONNS" \
+        -json "$RUNS" -bench-out "$BENCH" "$@"
+    rep=$((rep + 1))
+done
+"$tmp/loadgen" -addr "http://$ADDR" -transport http -pattern seq \
+    -sessions "$SWEEP_SESSIONS" -batches "$SWEEP_BATCHES" -batch-words "$GATE_WORDS" \
+    -json "$RUNS" -bench-out "$BENCH" "$@"
+"$tmp/loadgen" -addr "http://$ADDR" -transport nbwp -nbwp-addr "$NADDR" -pattern seq \
+    -sessions "$SWEEP_SESSIONS" -batches "$SWEEP_BATCHES" -batch-words "$GATE_WORDS" \
+    -window "$GATE_WINDOW" -conns "$GATE_CONNS" \
+    -json "$RUNS" -bench-out "$BENCH" "$@"
+
 kill "$DPID"
 wait "$DPID" || true
 DPID=""
+
+# Fold the gate legs: best rep per transport (max words/sec, min p99).
+# Bench line: Name<TAB>words<TAB>NS ns/op<TAB>WPS words/s<TAB>P99 p99-ms
+GATE=$(awk -v s="$GATE_SESSIONS" '
+    $1 == "BenchmarkLoadgen/http_nbwp_seq_s" s "-1" {
+        if ($5 > nwps) nwps = $5
+        if (np99 == "" || $7 < np99) np99 = $7
+    }
+    $1 == "BenchmarkLoadgen/http_http_seq_s" s "-1" {
+        if ($5 > hwps) hwps = $5
+        if (hp99 == "" || $7 < hp99) hp99 = $7
+    }
+    END {
+        if (nwps == "" || hwps == "") { print "MISSING"; exit }
+        printf "%.0f %.0f %.2f %s %s", nwps, hwps, nwps / hwps, np99, hp99
+    }' "$BENCH")
+[ "$GATE" != "MISSING" ] || { echo "bench_server: gate legs missing from $BENCH" >&2; exit 1; }
+NBWP_WPS=$(echo "$GATE" | cut -d' ' -f1)
+HTTP_WPS=$(echo "$GATE" | cut -d' ' -f2)
+RATIO=$(echo "$GATE" | cut -d' ' -f3)
+NBWP_P99=$(echo "$GATE" | cut -d' ' -f4)
+HTTP_P99=$(echo "$GATE" | cut -d' ' -f5)
 
 # Assemble. The baseline block is a fixed record: the same benchmark and
 # loadgen workload run at the commit before the batch/pooling work
@@ -82,6 +153,34 @@ DPID=""
     printf '    ]\n  },\n'
     printf '  "ingest_handler": {"bench": "BenchmarkBinaryIngest", "words_per_request": %s, "ns_per_op": %s, "words_per_sec": %s, "bytes_per_op": 0, "allocs_per_op": 0},\n' \
         "$WORDS" "$INGEST_NS" "$INGEST_WPS"
+    printf '  "nbwp_gate": {"pattern": "seq", "sessions": %s, "batches": %s, "batch_words": %s, "window": %s, "conns": %s, "nbwp_words_per_sec": %s, "http_words_per_sec": %s, "ratio": %s, "nbwp_step_p99_ms": %s, "http_step_p99_ms": %s},\n' \
+        "$GATE_SESSIONS" "$GATE_BATCHES" "$GATE_WORDS" "$GATE_WINDOW" "$GATE_CONNS" \
+        "$NBWP_WPS" "$HTTP_WPS" "$RATIO" "$NBWP_P99" "$HTTP_P99"
+    printf '  "benchmarks": [\n'
+    awk '
+        /^BenchmarkLoadgen\// {
+            name = $1
+            procs = 1
+            if (match(name, /-[0-9]+$/)) {
+                procs = substr(name, RSTART + 1)
+                name = substr(name, 1, RSTART - 1)
+            }
+            key = name "-" procs
+            if (!(key in best) || $3 + 0 < best[key]) {
+                best[key] = $3 + 0
+                bname[key] = name
+                bprocs[key] = procs
+                if (!(key in seen)) { order[++n] = key; seen[key] = 1 }
+            }
+        }
+        END {
+            for (i = 1; i <= n; i++) {
+                k = order[i]
+                printf "    {\"name\": \"%s\", \"gomaxprocs\": %s, \"ns_per_op\": %s}%s\n",
+                    bname[k], bprocs[k], best[k], (i < n ? "," : "")
+            }
+        }' "$BENCH"
+    printf '  ],\n'
     printf '  "runs": [\n'
     sed 's/^/    /; $ !s/$/,/' "$RUNS"
     printf '  ]\n}\n'
@@ -89,3 +188,9 @@ DPID=""
 
 echo "wrote $OUT"
 awk -v post="$INGEST_WPS" 'BEGIN { printf "binary ingest: %.0f words/sec vs 25846751 pre-pipeline (%.2fx)\n", post, post / 25846751 }'
+echo "nbwp gate (seq, $GATE_SESSIONS sessions): $NBWP_WPS words/s vs http $HTTP_WPS (${RATIO}x), step p99 ${NBWP_P99}ms vs http ${HTTP_P99}ms"
+awk -v r="$RATIO" -v p="$NBWP_P99" 'BEGIN {
+    if (r < 2.0) { print "bench_server: FAIL: nbwp/http ratio " r " < 2.0" > "/dev/stderr"; exit 1 }
+    if (p >= 1.0) { print "bench_server: FAIL: nbwp step p99 " p "ms >= 1ms" > "/dev/stderr"; exit 1 }
+    print "bench_server: nbwp gate ok (>2x http, p99 <1ms)"
+}'

@@ -6,7 +6,11 @@
 // armed through NANOBUS_FAILPOINTS — resurrects the session, replays
 // every batch past the last checkpoint, and requires the final energy
 // and thermal figures to be bit-for-bit identical to an uninterrupted
-// in-process library run of the same schedule.
+// in-process library run of the same schedule. The scenario runs twice:
+// once over the HTTP surface and once over the NBWP binary protocol,
+// where the kill lands mid-pipeline with unacknowledged STEP frames in
+// flight and recovery goes through a RESTORE frame on a fresh
+// connection.
 //
 //	go build -o /tmp/nanobusd ./cmd/nanobusd
 //	go run ./scripts/chaos -bin /tmp/nanobusd
@@ -91,16 +95,17 @@ func reference(ctx context.Context) (*nanobus.Bus, error) {
 
 // daemon is one exec'd nanobusd instance.
 type daemon struct {
-	cmd  *exec.Cmd
-	addr string
-	rest chan string
+	cmd      *exec.Cmd
+	addr     string
+	nbwpAddr string
+	rest     chan string
 }
 
-// startDaemon execs bin with the shared checkpoint directory and waits
-// for its listening line. extraEnv entries are appended to the process
-// environment (the failpoint arming channel).
+// startDaemon execs bin with the shared checkpoint directory (NBWP
+// enabled) and waits for its listening lines. extraEnv entries are
+// appended to the process environment (the failpoint arming channel).
 func startDaemon(bin, ckptDir string, extraEnv []string) (*daemon, error) {
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0",
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-nbwp-addr", "127.0.0.1:0",
 		"-checkpoint-dir", ckptDir, "-checkpoint-every", ckptEvery)
 	cmd.Env = append(os.Environ(), extraEnv...)
 	stdout, err := cmd.StdoutPipe()
@@ -112,19 +117,31 @@ func startDaemon(bin, ckptDir string, extraEnv []string) (*daemon, error) {
 		return nil, fmt.Errorf("start %s: %w", bin, err)
 	}
 	sc := bufio.NewScanner(stdout)
-	const prefix = "nanobusd: listening on "
-	if !sc.Scan() {
-		_ = cmd.Process.Kill() //nanolint:ignore droppederr best-effort cleanup of a daemon that produced no output
-		_ = cmd.Wait()         //nanolint:ignore droppederr best-effort cleanup of a daemon that produced no output
-		return nil, fmt.Errorf("nanobusd produced no output: %v", sc.Err())
+	kill := func() {
+		_ = cmd.Process.Kill() //nanolint:ignore droppederr best-effort cleanup of a daemon that misbehaved at startup
+		_ = cmd.Wait()         //nanolint:ignore droppederr best-effort cleanup of a daemon that misbehaved at startup
 	}
-	line := sc.Text()
-	if !strings.HasPrefix(line, prefix) {
-		_ = cmd.Process.Kill() //nanolint:ignore droppederr best-effort cleanup after an unexpected banner
-		_ = cmd.Wait()         //nanolint:ignore droppederr best-effort cleanup after an unexpected banner
-		return nil, fmt.Errorf("unexpected first line %q", line)
+	banner := func(prefix string) (string, error) {
+		if !sc.Scan() {
+			kill()
+			return "", fmt.Errorf("nanobusd stdout ended before %q: %v", prefix, sc.Err())
+		}
+		line := sc.Text()
+		if !strings.HasPrefix(line, prefix) {
+			kill()
+			return "", fmt.Errorf("unexpected line %q (want %q prefix)", line, prefix)
+		}
+		return strings.TrimPrefix(line, prefix), nil
 	}
-	d := &daemon{cmd: cmd, addr: strings.TrimPrefix(line, prefix), rest: make(chan string, 1)}
+	addr, err := banner("nanobusd: listening on ")
+	if err != nil {
+		return nil, err
+	}
+	nbwpAddr, err := banner("nanobusd: nbwp on ")
+	if err != nil {
+		return nil, err
+	}
+	d := &daemon{cmd: cmd, addr: addr, nbwpAddr: nbwpAddr, rest: make(chan string, 1)}
 	go func() {
 		var lines []string
 		for sc.Scan() {
@@ -201,7 +218,17 @@ func run(ctx context.Context, bin string) error {
 	if err != nil {
 		return fmt.Errorf("reference run: %w", err)
 	}
+	if err := httpLeg(ctx, bin, ref); err != nil {
+		return fmt.Errorf("http leg: %w", err)
+	}
+	if err := nbwpLeg(ctx, bin, ref); err != nil {
+		return fmt.Errorf("nbwp leg: %w", err)
+	}
+	return nil
+}
 
+// httpLeg is the original chaos scenario over the HTTP surface.
+func httpLeg(ctx context.Context, bin string, ref *nanobus.Bus) error {
 	ckptDir, err := os.MkdirTemp("", "nanobus-chaos-*")
 	if err != nil {
 		return err
@@ -287,6 +314,21 @@ func run(ctx context.Context, bin string) error {
 	if err != nil {
 		return fmt.Errorf("result: %w", err)
 	}
+	if err := compareFinal(ref, final); err != nil {
+		return err
+	}
+	fmt.Printf("chaos: http: %d batches survived kill -9 + injected ingest fault; %d samples bit-identical (total %.4g J)\n",
+		nBatches, len(final.Samples), final.Total.TotalJ)
+
+	if err := sess2.Close(ctx); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	return d2.drain(ctx)
+}
+
+// compareFinal requires every service figure to match the uninterrupted
+// library run bit for bit.
+func compareFinal(ref *nanobus.Bus, final *client.Result) error {
 	tot := ref.TotalEnergy()
 	maxT, _ := ref.Network().MaxTemp()
 	checks := []struct {
@@ -322,11 +364,156 @@ func run(ctx context.Context, bin string) error {
 			return fmt.Errorf("sample %d differs: service %+v, library %+v", i, ss, ls)
 		}
 	}
-	fmt.Printf("chaos: %d batches survived kill -9 + injected ingest fault; %d samples bit-identical (total %.4g J)\n",
-		nBatches, len(final.Samples), tot.Total())
+	return nil
+}
+
+// replayNBWP is replay over the binary protocol: blocking sequenced
+// steps from..nBatches with restore-and-resume recovery.
+func replayNBWP(ctx context.Context, sess *client.NBWPSession, from uint64) (int, error) {
+	recoveries := 0
+	for seq := from; seq <= nBatches; {
+		sum, err := sess.StepBinarySeq(ctx, seq, batch(seq))
+		if err == nil {
+			if sum.Duplicate {
+				fmt.Printf("chaos: nbwp seq %d absorbed as duplicate\n", seq)
+			}
+			seq++
+			continue
+		}
+		if recoveries++; recoveries > 5 {
+			return recoveries, fmt.Errorf("giving up after %d recoveries; last: %w", recoveries-1, err)
+		}
+		fmt.Printf("chaos: nbwp seq %d failed (%v); restoring\n", seq, err)
+		res, rerr := sess.Restore(ctx)
+		if rerr != nil {
+			return recoveries, fmt.Errorf("restore after failed seq %d: %w", seq, rerr)
+		}
+		fmt.Printf("chaos: nbwp rewound to seq %d (cycle %d)\n", res.Seq, res.Cycles)
+		seq = res.Seq + 1
+	}
+	return recoveries, nil
+}
+
+// nbwpLeg reruns the crash scenario over the binary protocol: a window
+// of pipelined sequenced STEP frames is in flight when the daemon is
+// SIGKILLed, so the tail acks are lost with the connection. A second
+// daemon (ingest failpoint armed) resurrects the session from the
+// checkpoint store via a RESTORE frame on a fresh connection, absorbs a
+// duplicate of the checkpointed frontier, replays the rest through the
+// injected fault, and must land on the same bits as the uninterrupted
+// library run.
+func nbwpLeg(ctx context.Context, bin string, ref *nanobus.Bus) error {
+	ckptDir, err := os.MkdirTemp("", "nanobus-chaos-nbwp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//nanolint:ignore droppederr best-effort temp-dir cleanup on exit
+		_ = os.RemoveAll(ckptDir)
+	}()
+
+	d1, err := startDaemon(bin, ckptDir, nil)
+	if err != nil {
+		return err
+	}
+	nc1, err := client.DialNBWP(ctx, d1.nbwpAddr)
+	if err != nil {
+		d1.kill()
+		return fmt.Errorf("dial: %w", err)
+	}
+	sess1, err := nc1.Open(ctx, client.SessionConfig{
+		Node: nodeName, Encoding: scheme, IntervalCycles: interval,
+	}, nil)
+	if err != nil {
+		d1.kill()
+		return fmt.Errorf("open: %w", err)
+	}
+	id := sess1.Info.ID
+	// Pipeline seq 1..7 without waiting, then settle only the first
+	// five acks before the kill: the tail of the pipeline is in flight
+	// when the process dies, exactly the window a crash would eat.
+	pend := make([]*client.StepPending, 0, 7)
+	for seq := uint64(1); seq <= 7; seq++ {
+		sp, serr := sess1.SendStepSeq(seq, batch(seq))
+		if serr != nil {
+			d1.kill()
+			return fmt.Errorf("send seq %d: %w", seq, serr)
+		}
+		pend = append(pend, sp)
+	}
+	for i := 0; i < 5; i++ {
+		if _, werr := pend[i].Wait(ctx); werr != nil {
+			d1.kill()
+			return fmt.Errorf("ack seq %d: %w", i+1, werr)
+		}
+	}
+	fmt.Printf("chaos: nbwp: killing nanobusd (pid %d) with 5/7 pipelined batches acked\n",
+		d1.cmd.Process.Pid)
+	d1.kill()
+	for _, sp := range pend[5:] {
+		//nanolint:ignore droppederr the lost tail acks are the scenario; only the FIFO must drain
+		_, _ = sp.Wait(ctx)
+	}
+	//nanolint:ignore droppederr the connection died with the daemon
+	_ = nc1.Close()
+
+	d2, err := startDaemon(bin, ckptDir, []string{
+		"NANOBUS_FAILPOINTS=server.ingest.decode=error,nth=3",
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if d2.cmd.ProcessState == nil {
+			d2.kill()
+		}
+	}()
+	nc2, err := client.DialNBWP(ctx, d2.nbwpAddr)
+	if err != nil {
+		return fmt.Errorf("redial: %w", err)
+	}
+	defer func() {
+		//nanolint:ignore droppederr best-effort close; the leg already reported its outcome
+		_ = nc2.Close()
+	}()
+	sess2, res, err := nc2.RestoreSession(ctx, id, nil)
+	if err != nil {
+		return fmt.Errorf("resurrect: %w", err)
+	}
+	if !res.Resurrected {
+		return fmt.Errorf("restore did not resurrect: %+v", res)
+	}
+	fmt.Printf("chaos: nbwp: resurrected %s at seq %d (cycle %d)\n", id, res.Seq, res.Cycles)
+	if res.Seq >= 7 {
+		return fmt.Errorf("checkpoint claims seq %d, but only 6 could have been checkpointed", res.Seq)
+	}
+	dup, err := sess2.StepBinarySeq(ctx, res.Seq, batch(res.Seq))
+	if err != nil || !dup.Duplicate {
+		return fmt.Errorf("duplicate of seq %d: sum=%+v err=%v", res.Seq, dup, err)
+	}
+	recoveries, err := replayNBWP(ctx, sess2, res.Seq+1)
+	if err != nil {
+		return err
+	}
+	if recoveries == 0 {
+		return fmt.Errorf("ingest failpoint never fired: the nbwp leg did not exercise the recovery path")
+	}
+
+	final, err := sess2.Result(ctx, true)
+	if err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	if err := compareFinal(ref, final); err != nil {
+		return err
+	}
+	fmt.Printf("chaos: nbwp: %d batches survived kill -9 mid-pipeline + injected ingest fault; %d samples bit-identical (total %.4g J)\n",
+		nBatches, len(final.Samples), final.Total.TotalJ)
 
 	if err := sess2.Close(ctx); err != nil {
 		return fmt.Errorf("close: %w", err)
+	}
+	if err := nc2.Goodbye(ctx); err != nil {
+		return fmt.Errorf("goodbye: %w", err)
 	}
 	return d2.drain(ctx)
 }

@@ -12,6 +12,20 @@
 // isolates the ingest-path cost from kernel socket overhead. With -json
 // the run's summary is appended as one JSON object to the given file.
 // Any failed request makes the process exit non-zero.
+//
+// -transport nbwp drives the same workload over the persistent framed
+// binary protocol (internal/nbwp): sessions are multiplexed over a small
+// pool of TCP connections (-conns) and each session keeps -window
+// sequenced STEP frames in flight before waiting on the oldest ack, so
+// the ingest path never stalls on a per-request round trip:
+//
+//	nanobusd -addr 127.0.0.1:8080 -nbwp-addr 127.0.0.1:8081 &
+//	go run ./scripts/loadgen -transport nbwp -nbwp-addr 127.0.0.1:8081 \
+//	    -sessions 64 -pattern seq
+//
+// -bench-out appends one `go test -bench`-format line per run
+// (ns/op = wall nanoseconds per simulated word), which is what
+// scripts/benchgate consumes to gate throughput regressions in CI.
 package main
 
 import (
@@ -19,6 +33,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http/httptest"
 	"os"
 	"runtime"
@@ -34,9 +50,12 @@ import (
 
 // result is the machine-readable summary written by -json.
 type result struct {
-	Mode        string  `json:"mode"` // "http" or "inproc"
+	Mode        string  `json:"mode"`      // "http" or "inproc"
+	Transport   string  `json:"transport"` // "http" or "nbwp"
 	Pattern     string  `json:"pattern"`
 	Sessions    int     `json:"sessions"`
+	Conns       int     `json:"conns,omitempty"`  // NBWP connections (nbwp only)
+	Window      int     `json:"window,omitempty"` // pipelined frames per session (nbwp only)
 	Batches     int     `json:"batches"`
 	BatchWords  int     `json:"batch_words"`
 	Node        string  `json:"node"`
@@ -55,6 +74,10 @@ type result struct {
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "nanobusd base URL")
+	transport := flag.String("transport", "http", "wire transport: http (v1 REST) or nbwp (persistent framed binary)")
+	nbwpAddr := flag.String("nbwp-addr", "127.0.0.1:8081", "nanobusd NBWP address (host:port) for -transport nbwp")
+	conns := flag.Int("conns", 0, "NBWP connections to multiplex sessions over (0 = one per 8 sessions)")
+	window := flag.Int("window", 8, "pipelined STEP frames in flight per NBWP session")
 	inproc := flag.Bool("inproc", false, "serve in-process on an httptest listener instead of dialing -addr")
 	sessions := flag.Int("sessions", 16, "concurrent sessions")
 	batches := flag.Int("batches", 16, "binary batches per session")
@@ -65,10 +88,19 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
 	pattern := flag.String("pattern", "address", "word pattern: address (sequential runs with jumps and holds, the bus regime), seq (pure sequential, ingest-path stress) or random")
 	jsonOut := flag.String("json", "", "append the run summary as one JSON object to this file")
+	benchOut := flag.String("bench-out", "", "append a `go test -bench`-format line (ns/op per word) to this file for scripts/benchgate")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
 	if *pattern != "address" && *pattern != "seq" && *pattern != "random" {
 		fmt.Fprintf(os.Stderr, "loadgen: unknown -pattern %q (want address, seq or random)\n", *pattern)
+		os.Exit(2)
+	}
+	if *transport != "http" && *transport != "nbwp" {
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -transport %q (want http or nbwp)\n", *transport)
+		os.Exit(2)
+	}
+	if *window < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -window must be >= 1")
 		os.Exit(2)
 	}
 	if *cpuProfile != "" {
@@ -89,16 +121,58 @@ func main() {
 
 	mode := "http"
 	base := *addr
+	nbwpTarget := *nbwpAddr
 	if *inproc {
 		mode = "inproc"
-		ts := httptest.NewServer(server.New(server.Config{}).Handler())
+		srv := server.New(server.Config{})
+		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
 		base = ts.URL
+		if *transport == "nbwp" {
+			nln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: nbwp listen: %v\n", err)
+				os.Exit(1)
+			}
+			go func() {
+				//nanolint:ignore droppederr the accept loop ends when the process exits
+				_ = srv.ServeNBWP(nln)
+			}()
+			nbwpTarget = nln.Addr().String()
+		}
 	}
+
+	// One NBWP connection per 8 sessions by default: enough parallelism
+	// to spread the per-connection serve goroutine across cores while
+	// still exercising slot multiplexing.
+	var pool []*client.NBWPConn
+	if *transport == "nbwp" {
+		n := *conns
+		if n <= 0 {
+			n = (*sessions + 7) / 8
+		}
+		if n > *sessions {
+			n = *sessions
+		}
+		for i := 0; i < n; i++ {
+			nc, err := client.DialNBWP(ctx, nbwpTarget)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: dial nbwp %s: %v\n", nbwpTarget, err)
+				os.Exit(1)
+			}
+			defer nc.Close()
+			pool = append(pool, nc)
+		}
+	} else {
+		*window, *conns = 0, 0
+	}
+
 	c := client.New(base)
-	if err := c.Healthz(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "loadgen: service not healthy at %s: %v\n", base, err)
-		os.Exit(1)
+	if *transport == "http" {
+		if err := c.Healthz(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: service not healthy at %s: %v\n", base, err)
+			os.Exit(1)
+		}
 	}
 
 	var (
@@ -107,36 +181,62 @@ func main() {
 		samples    atomic.Uint64
 		failures   atomic.Uint64
 	)
-	// Per-session step latencies, merged after the run (each slice is
-	// owned by one goroutine, so no locking on the hot path).
-	perSession := make([][]time.Duration, *sessions)
+	// Per-driver step latencies, merged after the run (each slice is
+	// owned by one goroutine, so no locking on the hot path). HTTP is a
+	// synchronous protocol, so it takes one goroutine per session;
+	// NBWP pipelines, so one driver per connection carries its whole
+	// session group.
+	var perDriver [][]time.Duration
 	start := time.Now()
-	for i := 0; i < *sessions; i++ {
-		wg.Add(1)
-		go func(idx int) {
-			defer wg.Done()
-			lat, err := drive(ctx, c, uint32(idx+1), *node, *scheme, *pattern, *interval, *batches, *batchWords,
-				&totalWords, &samples)
-			perSession[idx] = lat
-			if err != nil {
-				failures.Add(1)
-				fmt.Fprintf(os.Stderr, "loadgen: session %d: %v\n", idx+1, err)
-			}
-		}(i)
+	if *transport == "nbwp" {
+		perDriver = make([][]time.Duration, len(pool))
+		next := 0
+		for d := range pool {
+			group := (*sessions - next) / (len(pool) - d)
+			first := next
+			next += group
+			wg.Add(1)
+			go func(d, first, group int) {
+				defer wg.Done()
+				lat, err := driveNBWPGroup(ctx, pool[d], uint32(first+1), group, *node, *scheme, *pattern,
+					*interval, *batches, *batchWords, *window, &totalWords, &samples)
+				perDriver[d] = lat
+				if err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: conn %d: %v\n", d, err)
+				}
+			}(d, first, group)
+		}
+	} else {
+		perDriver = make([][]time.Duration, *sessions)
+		for i := 0; i < *sessions; i++ {
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				lat, err := drive(ctx, c, uint32(idx+1), *node, *scheme, *pattern, *interval, *batches, *batchWords,
+					&totalWords, &samples)
+				perDriver[idx] = lat
+				if err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: session %d: %v\n", idx+1, err)
+				}
+			}(i)
+		}
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	var all []time.Duration
-	for _, lat := range perSession {
+	for _, lat := range perDriver {
 		all = append(all, lat...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 
 	words := totalWords.Load()
 	res := result{
-		Mode: mode, Pattern: *pattern,
-		Sessions: *sessions, Batches: *batches, BatchWords: *batchWords,
+		Mode: mode, Transport: *transport, Pattern: *pattern,
+		Sessions: *sessions, Conns: len(pool), Window: *window,
+		Batches: *batches, BatchWords: *batchWords,
 		Node: *node, Encoding: *scheme, Interval: *interval,
 		Words: words, Samples: samples.Load(),
 		ElapsedSec:  elapsed.Seconds(),
@@ -147,8 +247,8 @@ func main() {
 		Failures:    failures.Load(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 	}
-	fmt.Printf("loadgen: %s: %d sessions x %d batches x %d words in %v\n",
-		mode, *sessions, *batches, *batchWords, elapsed.Round(time.Millisecond))
+	fmt.Printf("loadgen: %s/%s: %d sessions x %d batches x %d words in %v\n",
+		mode, *transport, *sessions, *batches, *batchWords, elapsed.Round(time.Millisecond))
 	fmt.Printf("loadgen: %d words total, %.0f words/sec, %d samples, %d failed sessions\n",
 		words, res.WordsPerSec, res.Samples, res.Failures)
 	fmt.Printf("loadgen: step latency p50 %.3fms p95 %.3fms p99 %.3fms over %d requests\n",
@@ -159,9 +259,41 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *benchOut != "" {
+		if err := appendBenchLine(*benchOut, res, elapsed); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: write %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+	}
 	if res.Failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// appendBenchLine writes the run as one `go test -bench`-format line so
+// scripts/benchgate can compare it against a recorded baseline. The op
+// is one simulated word: ns/op = wall time / words, which makes the
+// gate a direct throughput ratio.
+func appendBenchLine(path string, res result, elapsed time.Duration) error {
+	name := fmt.Sprintf("BenchmarkLoadgen/%s_%s_%s_s%d-%d",
+		res.Mode, res.Transport, res.Pattern, res.Sessions, res.GoMaxProcs)
+	if res.Words == 0 {
+		return fmt.Errorf("no words simulated")
+	}
+	nsPerWord := float64(elapsed.Nanoseconds()) / float64(res.Words)
+	line := fmt.Sprintf("%s\t%d\t%.2f ns/op\t%.0f words/s\t%.3f p99-ms\n",
+		name, res.Words, nsPerWord, res.WordsPerSec, res.P99Ms)
+	fmt.Print(line)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//nanolint:ignore droppederr close after append; the write error below is the signal
+		_ = f.Close()
+	}()
+	_, err = io.WriteString(f, line)
+	return err
 }
 
 // percentileMs returns the p-quantile of the sorted durations in
@@ -260,6 +392,104 @@ func drive(ctx context.Context, c *client.Client, seed uint32, node, scheme, pat
 	}
 	if _, err := sess.Result(ctx, true); err != nil {
 		return lat, fmt.Errorf("result: %w", err)
+	}
+	return lat, nil
+}
+
+// driveNBWPGroup drives a group of sessions multiplexed over one NBWP
+// connection from a single goroutine — the pipelined-ack pattern the
+// protocol exists for. Sequenced STEP frames interleave round-robin
+// across the group's sessions with up to window frames in flight; when
+// the window is full the oldest ack is settled before the next send.
+// One driver goroutine per connection (instead of one blocked goroutine
+// per session, as the synchronous HTTP path needs) keeps the
+// runnable-goroutine count flat, so measured latency is protocol and
+// service time rather than scheduler queueing. Latency is send-to-ack
+// per frame and includes waiting behind the up-to-window-1 frames ahead
+// of it in the pipe.
+func driveNBWPGroup(ctx context.Context, nc *client.NBWPConn, firstSeed uint32, group int,
+	node, scheme, pattern string, interval uint64, batches, batchWords, window int,
+	totalWords, samples *atomic.Uint64) ([]time.Duration, error) {
+	cfg := client.SessionConfig{
+		Node:           node,
+		Encoding:       scheme,
+		IntervalCycles: interval,
+		DropSamples:    true,
+	}
+	sess := make([]*client.NBWPSession, group)
+	for i := range sess {
+		s, err := nc.Open(ctx, cfg, nil)
+		if err != nil {
+			return nil, fmt.Errorf("open %d: %w", i, err)
+		}
+		defer func() {
+			//nanolint:ignore droppederr best-effort cleanup; the run already reported its outcome
+			_ = s.Close(context.WithoutCancel(ctx))
+		}()
+		sess[i] = s
+	}
+
+	type inflight struct {
+		sp *client.StepPending
+		t0 time.Time
+	}
+	lat := make([]time.Duration, 0, group*batches)
+	// Sliding window of in-flight frames (circular FIFO: acks arrive in
+	// send order). Settling the oldest flushes the writer, so the pipe
+	// always carries up to window frames.
+	ring := make([]inflight, window)
+	head, count := 0, 0
+	settle := func() error {
+		f := ring[head]
+		head = (head + 1) % window
+		count--
+		sum, err := f.sp.Wait(ctx)
+		lat = append(lat, time.Since(f.t0))
+		if err != nil {
+			return err
+		}
+		totalWords.Add(sum.Words)
+		samples.Add(sum.Samples)
+		return nil
+	}
+
+	// Per-session generator state so each session's word stream matches
+	// what the one-goroutine-per-session HTTP driver would produce.
+	words := make([]uint32, batchWords)
+	x := make([]uint32, group)
+	addr := make([]uint32, group)
+	for i := range x {
+		x[i], addr[i] = firstSeed+uint32(i), 0x4000_1000
+	}
+	// Frames interleave round-robin across the group's sessions, so the
+	// window bounds outstanding work per connection, not per session.
+	for b := 0; b < batches; b++ {
+		for i, s := range sess {
+			if count == window {
+				if err := settle(); err != nil {
+					return lat, fmt.Errorf("batch %d: %w", b, err)
+				}
+			}
+			// SendStepSeq encodes words into the frame before returning,
+			// so the buffer is free for the next fill immediately.
+			x[i], addr[i] = fillWords(words, pattern, x[i], addr[i])
+			sp, err := s.SendStepSeq(uint64(b+1), words)
+			if err != nil {
+				return lat, fmt.Errorf("session %d batch %d send: %w", i, b, err)
+			}
+			ring[(head+count)%window] = inflight{sp: sp, t0: time.Now()}
+			count++
+		}
+	}
+	for count > 0 {
+		if err := settle(); err != nil {
+			return lat, err
+		}
+	}
+	for i, s := range sess {
+		if _, err := s.Result(ctx, true); err != nil {
+			return lat, fmt.Errorf("session %d result: %w", i, err)
+		}
 	}
 	return lat, nil
 }

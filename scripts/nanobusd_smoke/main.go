@@ -1,8 +1,10 @@
 // Command nanobusd_smoke is the end-to-end gate for the service: it execs
-// a built nanobusd binary on an ephemeral port, drives one session through
-// the Go client, requires the result to be bit-for-bit identical to an
-// in-process library run of the same schedule, then SIGTERMs the daemon
-// and requires a clean drain (exit 0, "drained cleanly" on stdout).
+// a built nanobusd binary on an ephemeral port (HTTP and NBWP), drives
+// the same session schedule through the Go client over both transports,
+// requires each result to be bit-for-bit identical to an in-process
+// library run — including the SAMPLE frames streamed live over NBWP —
+// then SIGTERMs the daemon and requires a clean drain (exit 0, "drained
+// cleanly" on stdout).
 //
 //	go build -o /tmp/nanobusd ./cmd/nanobusd
 //	go run ./scripts/nanobusd_smoke -bin /tmp/nanobusd
@@ -42,7 +44,7 @@ func main() {
 }
 
 func run(ctx context.Context, bin string) error {
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-nbwp-addr", "127.0.0.1:0")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		return err
@@ -59,10 +61,15 @@ func run(ctx context.Context, bin string) error {
 		}
 	}()
 
-	// The first stdout line announces the bound address; later lines are
-	// collected so the drain message can be checked after shutdown.
+	// The first stdout line announces the bound HTTP address, the second
+	// the NBWP one; later lines are collected so the drain message can be
+	// checked after shutdown.
 	sc := bufio.NewScanner(stdout)
 	addr, err := awaitListening(sc)
+	if err != nil {
+		return err
+	}
+	nbwpAddr, err := awaitNBWP(sc)
 	if err != nil {
 		return err
 	}
@@ -76,6 +83,9 @@ func run(ctx context.Context, bin string) error {
 	}()
 
 	if err := driveSession(ctx, "http://"+addr); err != nil {
+		return err
+	}
+	if err := driveSessionNBWP(ctx, nbwpAddr); err != nil {
 		return err
 	}
 
@@ -113,22 +123,42 @@ func awaitListening(sc *bufio.Scanner) (string, error) {
 	return strings.TrimPrefix(line, prefix), nil
 }
 
-// driveSession runs one schedule through the service and the in-process
-// library and compares bit for bit.
-func driveSession(ctx context.Context, baseURL string) error {
-	const (
-		nodeName = "90nm"
-		scheme   = "BI"
-		interval = 256
-		nWords   = 1000
-		nIdle    = 500
-	)
+func awaitNBWP(sc *bufio.Scanner) (string, error) {
+	const prefix = "nanobusd: nbwp on "
+	if !sc.Scan() {
+		return "", fmt.Errorf("nanobusd produced no nbwp banner: %v", sc.Err())
+	}
+	line := sc.Text()
+	if !strings.HasPrefix(line, prefix) {
+		return "", fmt.Errorf("unexpected second line %q", line)
+	}
+	return strings.TrimPrefix(line, prefix), nil
+}
+
+const (
+	nodeName = "90nm"
+	scheme   = "BI"
+	interval = 256
+	nWords   = 1000
+	nIdle    = 500
+)
+
+// schedule builds the deterministic word stream both transports and the
+// library reference all run.
+func schedule() []uint32 {
 	data := make([]uint32, nWords)
 	x := uint32(42)
 	for i := range data {
 		x = x*1664525 + 1013904223
 		data[i] = x
 	}
+	return data
+}
+
+// driveSession runs one schedule through the service and the in-process
+// library and compares bit for bit.
+func driveSession(ctx context.Context, baseURL string) error {
+	data := schedule()
 
 	c := client.New(baseURL)
 	if err := c.Healthz(ctx); err != nil {
@@ -153,7 +183,77 @@ func driveSession(ctx context.Context, baseURL string) error {
 	if err := sess.Close(ctx); err != nil {
 		return fmt.Errorf("close: %w", err)
 	}
+	if err := compareToLibrary(ctx, res, data); err != nil {
+		return err
+	}
+	fmt.Printf("nanobusd_smoke: http: %d words + %d idle cycles bit-identical across %d samples (total %.4g J)\n",
+		nWords, nIdle, len(res.Samples), res.Total.TotalJ)
+	return nil
+}
 
+// driveSessionNBWP runs the same schedule over the binary protocol with
+// live sample streaming and requires both the final result and the
+// streamed SAMPLE frames to be bit-identical to the library run.
+func driveSessionNBWP(ctx context.Context, addr string) error {
+	data := schedule()
+
+	nc, err := client.DialNBWP(ctx, addr)
+	if err != nil {
+		return fmt.Errorf("dial nbwp: %w", err)
+	}
+	defer func() {
+		//nanolint:ignore droppederr best-effort close; the run already reported its outcome
+		_ = nc.Close()
+	}()
+	var streamed []client.Sample
+	sess, err := nc.Open(ctx, client.SessionConfig{
+		Node: nodeName, Encoding: scheme, IntervalCycles: interval,
+	}, func(s client.Sample) { streamed = append(streamed, s) })
+	if err != nil {
+		return fmt.Errorf("nbwp open: %w", err)
+	}
+	if _, err := sess.StepBinary(ctx, data); err != nil {
+		return fmt.Errorf("nbwp step: %w", err)
+	}
+	if _, err := sess.StepIdle(ctx, nIdle); err != nil {
+		return fmt.Errorf("nbwp idle: %w", err)
+	}
+	res, err := sess.Result(ctx, true)
+	if err != nil {
+		return fmt.Errorf("nbwp result: %w", err)
+	}
+	if err := sess.Close(ctx); err != nil {
+		return fmt.Errorf("nbwp close: %w", err)
+	}
+	if err := nc.Goodbye(ctx); err != nil {
+		return fmt.Errorf("nbwp goodbye: %w", err)
+	}
+	if err := compareToLibrary(ctx, res, data); err != nil {
+		return fmt.Errorf("nbwp: %w", err)
+	}
+	// Streamed SAMPLE frames carry the same IEEE-754 bit patterns as the
+	// result document (the callback fires before the triggering step is
+	// acked, so everything streamed is visible here). The final partial
+	// interval is closed by Result, not streamed.
+	if len(streamed) > len(res.Samples) {
+		return fmt.Errorf("nbwp streamed %d samples, result has %d", len(streamed), len(res.Samples))
+	}
+	for i, ws := range streamed {
+		rs := res.Samples[i]
+		if ws.EndCycle != rs.EndCycle ||
+			math.Float64bits(ws.EnergyJ) != math.Float64bits(rs.EnergyJ) ||
+			math.Float64bits(ws.MaxTempK) != math.Float64bits(rs.MaxTempK) {
+			return fmt.Errorf("nbwp streamed sample %d differs: stream %+v, result %+v", i, ws, rs)
+		}
+	}
+	fmt.Printf("nanobusd_smoke: nbwp: %d words + %d idle cycles bit-identical; %d/%d samples streamed live (total %.4g J)\n",
+		nWords, nIdle, len(streamed), len(res.Samples), res.Total.TotalJ)
+	return nil
+}
+
+// compareToLibrary replays the schedule through the in-process library
+// and compares every figure bit for bit.
+func compareToLibrary(ctx context.Context, res *client.Result, data []uint32) error {
 	node, err := nanobus.ResolveNode(nodeName)
 	if err != nil {
 		return err
@@ -204,7 +304,5 @@ func driveSession(ctx context.Context, baseURL string) error {
 			return fmt.Errorf("sample %d differs: service %+v, library %+v", i, ss, ls)
 		}
 	}
-	fmt.Printf("nanobusd_smoke: %d words + %d idle cycles bit-identical across %d samples (total %.4g J)\n",
-		nWords, nIdle, len(res.Samples), tot.Total())
 	return nil
 }
