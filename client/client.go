@@ -37,6 +37,12 @@ type (
 	Sample = server.Sample
 	// Result is a session's outcome.
 	Result = server.Result
+	// OwnerInfo names the cluster node that owns a session; it rides on
+	// not_owner/moved redirects.
+	OwnerInfo = server.OwnerInfo
+	// ClusterStatus is a node's identity and static membership (GET
+	// /v1/cluster).
+	ClusterStatus = server.ClusterStatus
 )
 
 // APIError is a non-2xx response from the service. Unwrap maps the wire
@@ -45,6 +51,9 @@ type APIError struct {
 	StatusCode int
 	Code       string
 	Message    string
+	// Owner names the cluster node that serves the session, set only on
+	// not_owner/moved redirects from a clustered server.
+	Owner *OwnerInfo
 }
 
 func (e *APIError) Error() string {
@@ -125,7 +134,8 @@ func decodeAPIError(resp *http.Response) error {
 	var er server.ErrorResponse
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	if err == nil && json.Unmarshal(body, &er) == nil && er.Code != "" {
-		return &APIError{StatusCode: resp.StatusCode, Code: er.Code, Message: er.Error}
+		return &APIError{StatusCode: resp.StatusCode, Code: er.Code, Message: er.Error,
+			Owner: er.Owner}
 	}
 	return &APIError{StatusCode: resp.StatusCode, Code: server.CodeInternal,
 		Message: strings.TrimSpace(string(body))}
@@ -136,7 +146,7 @@ func (c *Client) newRequest(ctx context.Context, method, path string, body io.Re
 }
 
 // CreateSession opens a session on the service.
-func (c *Client) CreateSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
+func (c *Client) CreateSession(ctx context.Context, cfg SessionConfig) (*HTTPSession, error) {
 	payload, err := json.Marshal(cfg)
 	if err != nil {
 		return nil, err
@@ -150,7 +160,7 @@ func (c *Client) CreateSession(ctx context.Context, cfg SessionConfig) (*Session
 	if err := c.do(req, &info); err != nil {
 		return nil, err
 	}
-	return &Session{c: c, Info: info}, nil
+	return &HTTPSession{c: c, Info: info}, nil
 }
 
 // Healthz checks the service's health endpoint.
@@ -160,6 +170,21 @@ func (c *Client) Healthz(ctx context.Context) error {
 		return err
 	}
 	return c.do(req, nil)
+}
+
+// Cluster fetches the node's identity and static membership (GET
+// /v1/cluster) — the bootstrap for a Router. Single-node servers answer
+// with an empty Self and no members.
+func (c *Client) Cluster(ctx context.Context) (ClusterStatus, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/cluster", nil)
+	if err != nil {
+		return ClusterStatus{}, err
+	}
+	var st ClusterStatus
+	if err := c.do(req, &st); err != nil {
+		return ClusterStatus{}, err
+	}
+	return st, nil
 }
 
 // Metrics fetches the Prometheus text exposition.
@@ -180,23 +205,27 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return string(body), err
 }
 
-// Session is a handle on one service-side simulation stream.
-type Session struct {
+// HTTPSession is a handle on one service-side simulation stream over the
+// HTTP transport. It implements Session; NBWPSession is its binary twin.
+type HTTPSession struct {
 	c    *Client
 	Info SessionInfo
 }
 
-func (s *Session) path(suffix string) string {
+// ID returns the session id.
+func (s *HTTPSession) ID() string { return s.Info.ID }
+
+func (s *HTTPSession) path(suffix string) string {
 	return "/v1/sessions/" + s.Info.ID + suffix
 }
 
 // Step streams one batch of data words as NDJSON.
-func (s *Session) Step(ctx context.Context, words []uint32) (StepSummary, error) {
+func (s *HTTPSession) Step(ctx context.Context, words []uint32) (StepSummary, error) {
 	return s.StepLines(ctx, []StepLine{{Words: words}})
 }
 
 // StepIdle advances the session n idle cycles.
-func (s *Session) StepIdle(ctx context.Context, n uint64) (StepSummary, error) {
+func (s *HTTPSession) StepIdle(ctx context.Context, n uint64) (StepSummary, error) {
 	return s.StepLines(ctx, []StepLine{{Idle: n}})
 }
 
@@ -213,7 +242,7 @@ func encodeLines(lines []StepLine) ([]byte, error) {
 }
 
 // StepLines streams a sequence of word/idle batches as one NDJSON request.
-func (s *Session) StepLines(ctx context.Context, lines []StepLine) (StepSummary, error) {
+func (s *HTTPSession) StepLines(ctx context.Context, lines []StepLine) (StepSummary, error) {
 	body, err := encodeLines(lines)
 	if err != nil {
 		return StepSummary{}, err
@@ -236,7 +265,7 @@ var binBufPool sync.Pool
 
 // StepBinary streams words in the binary format (little-endian uint32),
 // the lowest-overhead path for bulk traces.
-func (s *Session) StepBinary(ctx context.Context, words []uint32) (StepSummary, error) {
+func (s *HTTPSession) StepBinary(ctx context.Context, words []uint32) (StepSummary, error) {
 	bp, _ := binBufPool.Get().(*[]byte)
 	if bp == nil {
 		bp = new([]byte)
@@ -267,7 +296,7 @@ func (s *Session) StepBinary(ctx context.Context, words []uint32) (StepSummary, 
 // interval incrementally through onSample, and returns the final summary.
 // body provides the NDJSON request body (use BodyFromLines for a fixed
 // batch list, or an io.Pipe for an unbounded stream).
-func (s *Session) StepStream(ctx context.Context, body io.Reader, onSample func(Sample)) (StepSummary, error) {
+func (s *HTTPSession) StepStream(ctx context.Context, body io.Reader, onSample func(Sample)) (StepSummary, error) {
 	req, err := s.c.newRequest(ctx, http.MethodPost, s.path("/step?stream=samples"), body)
 	if err != nil {
 		return StepSummary{}, err
@@ -324,7 +353,7 @@ func BodyFromLines(lines []StepLine) (io.Reader, error) {
 
 // Status fetches the session's live counters (retried under WithRetry:
 // a status read is always idempotent).
-func (s *Session) Status(ctx context.Context) (SessionInfo, error) {
+func (s *HTTPSession) Status(ctx context.Context) (SessionInfo, error) {
 	build := func() (*http.Request, error) {
 		return s.c.newRequest(ctx, http.MethodGet, s.path(""), nil)
 	}
@@ -337,7 +366,7 @@ func (s *Session) Status(ctx context.Context) (SessionInfo, error) {
 
 // Result fetches the session outcome, closing the partial sampling
 // interval first (like Bus.Finish) unless finish is false.
-func (s *Session) Result(ctx context.Context, finish bool) (*Result, error) {
+func (s *HTTPSession) Result(ctx context.Context, finish bool) (*Result, error) {
 	path := s.path("/result")
 	if !finish {
 		path += "?finish=0"
@@ -355,7 +384,7 @@ func (s *Session) Result(ctx context.Context, finish bool) (*Result, error) {
 
 // Close deletes the session, releasing its simulator back to the
 // service's pool.
-func (s *Session) Close(ctx context.Context) error {
+func (s *HTTPSession) Close(ctx context.Context) error {
 	req, err := s.c.newRequest(ctx, http.MethodDelete, s.path(""), nil)
 	if err != nil {
 		return err

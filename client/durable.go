@@ -85,6 +85,12 @@ func WithRetry(p RetryPolicy) Option {
 func retriable(err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
+		// Cluster redirects are not retriable in place: replaying the
+		// same request at the same node can only yield the same
+		// redirect. The Router follows the Owner contact instead.
+		if ae.Code == server.CodeNotOwner || ae.Code == server.CodeMoved {
+			return false
+		}
 		switch ae.StatusCode {
 		case http.StatusRequestTimeout, http.StatusBadGateway,
 			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
@@ -138,13 +144,13 @@ func (c *Client) doRetriable(ctx context.Context, build func() (*http.Request, e
 // Session reattaches to an existing session by id — after a process
 // restart, or on a client that did not create the session. Info carries
 // only the id until Status refreshes it.
-func (c *Client) Session(id string) *Session {
-	return &Session{c: c, Info: SessionInfo{ID: id}}
+func (c *Client) Session(id string) *HTTPSession {
+	return &HTTPSession{c: c, Info: SessionInfo{ID: id}}
 }
 
 // Checkpoint snapshots the session into the server's checkpoint store
 // and returns the envelope's identity.
-func (s *Session) Checkpoint(ctx context.Context) (CheckpointInfo, error) {
+func (s *HTTPSession) Checkpoint(ctx context.Context) (CheckpointInfo, error) {
 	build := func() (*http.Request, error) {
 		return s.c.newRequest(ctx, http.MethodPost, s.path("/checkpoint"), nil)
 	}
@@ -158,7 +164,7 @@ func (s *Session) Checkpoint(ctx context.Context) (CheckpointInfo, error) {
 // CheckpointDownload snapshots the session and returns the raw envelope
 // (works even on servers with no checkpoint store); feed it back through
 // RestoreFrom.
-func (s *Session) CheckpointDownload(ctx context.Context) ([]byte, error) {
+func (s *HTTPSession) CheckpointDownload(ctx context.Context) ([]byte, error) {
 	req, err := s.c.newRequest(ctx, http.MethodPost, s.path("/checkpoint?download=1"), nil)
 	if err != nil {
 		return nil, err
@@ -177,7 +183,7 @@ func (s *Session) CheckpointDownload(ctx context.Context) ([]byte, error) {
 // Restore rewinds the session to its stored checkpoint — or resurrects
 // it from the store when the server no longer knows the id (poisoned
 // simulator, process restart). Resume sequenced steps from Seq+1.
-func (s *Session) Restore(ctx context.Context) (RestoreResponse, error) {
+func (s *HTTPSession) Restore(ctx context.Context) (RestoreResponse, error) {
 	build := func() (*http.Request, error) {
 		return s.c.newRequest(ctx, http.MethodPut, s.path("/restore"), nil)
 	}
@@ -190,7 +196,7 @@ func (s *Session) Restore(ctx context.Context) (RestoreResponse, error) {
 
 // RestoreFrom restores the session from an envelope previously fetched
 // with CheckpointDownload, bypassing the server's store.
-func (s *Session) RestoreFrom(ctx context.Context, envelope []byte) (RestoreResponse, error) {
+func (s *HTTPSession) RestoreFrom(ctx context.Context, envelope []byte) (RestoreResponse, error) {
 	build := func() (*http.Request, error) {
 		req, err := s.c.newRequest(ctx, http.MethodPut, s.path("/restore"), bytes.NewReader(envelope))
 		if err != nil {
@@ -211,7 +217,7 @@ func (s *Session) RestoreFrom(ctx context.Context, envelope []byte) (RestoreResp
 // server applies each seq exactly once, so this call is safe to retry:
 // a replayed batch is acknowledged (Duplicate=true) without re-stepping,
 // and energy is never double-counted.
-func (s *Session) StepBinarySeq(ctx context.Context, seq uint64, words []uint32) (StepSummary, error) {
+func (s *HTTPSession) StepBinarySeq(ctx context.Context, seq uint64, words []uint32) (StepSummary, error) {
 	buf := make([]byte, 4*len(words))
 	for i, w := range words {
 		binary.LittleEndian.PutUint32(buf[4*i:], w)
@@ -234,7 +240,7 @@ func (s *Session) StepBinarySeq(ctx context.Context, seq uint64, words []uint32)
 // StepLinesSeq streams word/idle batches as one NDJSON request under
 // write-ahead sequence number seq; see StepBinarySeq for the replay
 // semantics.
-func (s *Session) StepLinesSeq(ctx context.Context, seq uint64, lines []StepLine) (StepSummary, error) {
+func (s *HTTPSession) StepLinesSeq(ctx context.Context, seq uint64, lines []StepLine) (StepSummary, error) {
 	body, err := encodeLines(lines)
 	if err != nil {
 		return StepSummary{}, err
@@ -254,6 +260,6 @@ func (s *Session) StepLinesSeq(ctx context.Context, seq uint64, lines []StepLine
 	return sum, nil
 }
 
-func (s *Session) seqPath(seq uint64) string {
+func (s *HTTPSession) seqPath(seq uint64) string {
 	return s.path("/step?seq=" + strconv.FormatUint(seq, 10))
 }

@@ -114,6 +114,15 @@ func (nc *NBWPConn) Goodbye(ctx context.Context) error {
 // in-flight work, collect results, and say goodbye.
 func (nc *NBWPConn) Draining() bool { return nc.draining.Load() }
 
+// Broken reports whether the connection has hit its terminal error (peer
+// went away, protocol violation, Close). A broken connection fails every
+// operation; dial a fresh one and reattach.
+func (nc *NBWPConn) Broken() bool {
+	nc.pmu.Lock()
+	defer nc.pmu.Unlock()
+	return nc.readErr != nil
+}
+
 // SetOnDrain installs a callback invoked (once, from the reader
 // goroutine) when the server announces a drain.
 func (nc *NBWPConn) SetOnDrain(fn func()) { nc.onDrain.Store(&fn) }
@@ -182,12 +191,21 @@ func (nc *NBWPConn) readLoop() {
 			}
 			p.done <- derr
 		case nbwp.TypeError:
-			status, code, msg, perr := nbwp.ParseError(payload)
+			we, perr := nbwp.ParseError(payload)
 			if perr != nil {
 				nc.fail(perr)
 				return
 			}
-			p.done <- &APIError{StatusCode: status, Code: code, Message: msg}
+			ae := &APIError{StatusCode: we.Status, Code: we.Code, Message: we.Msg}
+			if we.Owner != "" {
+				// The owner rides as JSON inside the ERROR frame; a
+				// malformed blob degrades to a redirect without contacts.
+				var oi OwnerInfo
+				if json.Unmarshal([]byte(we.Owner), &oi) == nil {
+					ae.Owner = &oi
+				}
+			}
+			p.done <- ae
 		default:
 			nc.fail(fmt.Errorf("nanobus: unexpected %#x frame in ack position", uint8(h.Type)))
 			return
@@ -308,6 +326,9 @@ type NBWPSession struct {
 	slot uint8
 	Info SessionInfo
 }
+
+// ID returns the session id.
+func (s *NBWPSession) ID() string { return s.Info.ID }
 
 // allocSlot claims a free slot byte.
 func (nc *NBWPConn) allocSlot() (uint8, error) {

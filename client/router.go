@@ -1,0 +1,525 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"nanobus/internal/cluster"
+	"nanobus/internal/server"
+)
+
+// This file is the client side of cluster mode. A Router holds the
+// static membership (bootstrapped from any node's GET /v1/cluster) and
+// the same consistent-hash ring the servers route by, so it sends each
+// session's traffic straight to the owning node. When a request comes
+// back redirected (not_owner/moved), the RoutedSession re-binds to the
+// node named in the error's Owner contact and replays the call — a
+// migration is invisible to the caller beyond one extra round trip. When
+// the owning node dies outright, Recover resurrects the session from its
+// replicated checkpoint on a ring successor; the caller replays
+// sequenced batches from the returned Seq+1.
+
+// ErrNoNodes marks a Router operation with no reachable membership.
+var ErrNoNodes = errors.New("nanobus: no reachable cluster nodes")
+
+// Router routes sessions to the owning node of a static nanobusd
+// cluster. Safe for concurrent use; the RoutedSessions it returns are
+// not (drive each from one goroutine, like any Session).
+type Router struct {
+	hc      *http.Client
+	useNBWP bool
+	retry   *RetryPolicy
+
+	mu      sync.Mutex
+	self    string // bootstrap node's name, "" on single-node servers
+	nodes   []cluster.Node
+	ring    *cluster.Ring
+	moved   map[string]string // learned session id -> owning node name
+	clients map[string]*Client
+	conns   map[string]*NBWPConn
+	nextRR  int
+}
+
+// RouterOption configures a Router.
+type RouterOption func(*Router)
+
+// WithRouterHTTPClient substitutes the *http.Client used for every HTTP
+// transport the Router builds.
+func WithRouterHTTPClient(hc *http.Client) RouterOption {
+	return func(r *Router) { r.hc = hc }
+}
+
+// WithRouterNBWP makes the Router carry session traffic over NBWP for
+// nodes that advertise a binary listener (falling back to HTTP for nodes
+// that do not).
+func WithRouterNBWP() RouterOption {
+	return func(r *Router) { r.useNBWP = true }
+}
+
+// WithRouterRetry applies a retry policy to the HTTP transports the
+// Router builds; see WithRetry for what is (and is not) retried.
+func WithRouterRetry(p RetryPolicy) RouterOption {
+	return func(r *Router) { p = p.withDefaults(); r.retry = &p }
+}
+
+// NewRouter bootstraps a Router from seed v1 base URLs: the first
+// reachable seed's GET /v1/cluster supplies the membership. Against a
+// single-node server the Router degrades gracefully — every session
+// routes to the seed and redirects never fire.
+func NewRouter(ctx context.Context, seeds []string, opts ...RouterOption) (*Router, error) {
+	r := &Router{
+		hc:      http.DefaultClient,
+		moved:   map[string]string{},
+		clients: map[string]*Client{},
+		conns:   map[string]*NBWPConn{},
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	var lastErr error
+	for _, seed := range seeds {
+		st, err := New(seed, WithHTTPClient(r.hc)).Cluster(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r.install(seed, st)
+		return r, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoNodes
+	}
+	return nil, fmt.Errorf("nanobus: cluster bootstrap failed: %w", lastErr)
+}
+
+// install replaces the membership with st, synthesizing a single member
+// around the seed URL when the server is not in cluster mode.
+func (r *Router) install(seed string, st ClusterStatus) {
+	nodes := st.Nodes
+	if len(nodes) == 0 {
+		nodes = []cluster.Node{{Name: "default", HTTP: seed}}
+	}
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		names[i] = n.Name
+	}
+	r.mu.Lock()
+	r.self = st.Self
+	r.nodes = nodes
+	r.ring = cluster.NewRing(names)
+	r.mu.Unlock()
+}
+
+// Refresh re-reads the membership from the current nodes. Static
+// clusters rarely need it; it exists so a long-lived Router survives a
+// coordinated config change.
+func (r *Router) Refresh(ctx context.Context) error {
+	r.mu.Lock()
+	nodes := append([]cluster.Node(nil), r.nodes...)
+	r.mu.Unlock()
+	var lastErr error
+	for _, n := range nodes {
+		st, err := New(n.HTTP, WithHTTPClient(r.hc)).Cluster(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r.install(n.HTTP, st)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoNodes
+	}
+	return lastErr
+}
+
+// Nodes returns the current membership.
+func (r *Router) Nodes() []cluster.Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]cluster.Node(nil), r.nodes...)
+}
+
+// OwnerOf names the node this Router would route session id to: a
+// learned migration target if one is recorded, else the ring owner.
+func (r *Router) OwnerOf(id string) (cluster.Node, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ownerLocked(id)
+}
+
+func (r *Router) ownerLocked(id string) (cluster.Node, bool) {
+	if name, ok := r.moved[id]; ok {
+		if n, found := cluster.FindNode(r.nodes, name); found {
+			return n, true
+		}
+	}
+	if r.ring == nil {
+		return cluster.Node{}, false
+	}
+	return cluster.FindNode(r.nodes, r.ring.Owner(id))
+}
+
+// learn records that session id is served by node name.
+func (r *Router) learn(id, name string) {
+	r.mu.Lock()
+	r.moved[id] = name
+	r.mu.Unlock()
+}
+
+// forget drops the learned owner for id (session closed).
+func (r *Router) forget(id string) {
+	r.mu.Lock()
+	delete(r.moved, id)
+	r.mu.Unlock()
+}
+
+// httpClient returns (building if needed) the HTTP transport for a node.
+func (r *Router) httpClient(n cluster.Node) *Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.clients[n.Name]; ok {
+		return c
+	}
+	opts := []Option{WithHTTPClient(r.hc)}
+	if r.retry != nil {
+		opts = append(opts, WithRetry(*r.retry))
+	}
+	c := New(n.HTTP, opts...)
+	r.clients[n.Name] = c
+	return c
+}
+
+// transport returns the Transport for a node: a pooled NBWP connection
+// when the Router prefers NBWP and the node advertises a listener
+// (redialing a broken one), otherwise the node's HTTP client.
+func (r *Router) transport(ctx context.Context, n cluster.Node) (Transport, error) {
+	if r.useNBWP && n.NBWP != "" {
+		r.mu.Lock()
+		nc := r.conns[n.Name]
+		r.mu.Unlock()
+		if nc != nil && !nc.Broken() {
+			return nc, nil
+		}
+		nc, err := DialNBWP(ctx, n.NBWP)
+		if err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		r.conns[n.Name] = nc
+		r.mu.Unlock()
+		return nc, nil
+	}
+	return r.httpClient(n), nil
+}
+
+// Close tears down the Router's pooled NBWP connections. HTTP transports
+// hold no per-node state beyond the shared *http.Client.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	conns := r.conns
+	r.conns = map[string]*NBWPConn{}
+	r.mu.Unlock()
+	var err error
+	for _, nc := range conns {
+		if cerr := nc.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Open creates a session on the cluster. Nodes mint ids they own, so any
+// node can take the create; the Router round-robins across members and
+// falls through to the next on a connect failure.
+func (r *Router) Open(ctx context.Context, cfg SessionConfig) (*RoutedSession, error) {
+	r.mu.Lock()
+	nodes := append([]cluster.Node(nil), r.nodes...)
+	start := r.nextRR
+	r.nextRR++
+	r.mu.Unlock()
+	if len(nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	var lastErr error
+	for i := 0; i < len(nodes); i++ {
+		n := nodes[(start+i)%len(nodes)]
+		t, err := r.transport(ctx, n)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		inner, err := t.OpenSession(ctx, cfg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r.learn(inner.ID(), n.Name)
+		return &RoutedSession{r: r, id: inner.ID(), node: n.Name, inner: inner}, nil
+	}
+	return nil, fmt.Errorf("nanobus: open failed on all %d nodes: %w", len(nodes), lastErr)
+}
+
+// Attach binds an existing session, following redirects to wherever it
+// lives now.
+func (r *Router) Attach(ctx context.Context, id string) (*RoutedSession, error) {
+	rs := &RoutedSession{r: r, id: id}
+	if err := rs.rebind(ctx, nil); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// RoutedSession is a Session handle that follows the cluster: redirects
+// re-bind it to the owning node transparently, and Recover fails it over
+// to a checkpoint replica when the owner dies. Not safe for concurrent
+// use.
+type RoutedSession struct {
+	r     *Router
+	id    string
+	node  string
+	inner Session
+}
+
+// ID returns the session id.
+func (rs *RoutedSession) ID() string { return rs.id }
+
+// Node names the cluster member currently serving this session.
+func (rs *RoutedSession) Node() string { return rs.node }
+
+// Unwrap returns the transport-level Session currently underneath —
+// type-assert to PipelinedSession for NBWP pipelining. The handle is
+// invalidated by the next rebind (redirect or Recover).
+func (rs *RoutedSession) Unwrap() Session { return rs.inner }
+
+// redirectOwner extracts the Owner contact from a cluster redirect, or
+// ok=false when err is anything else.
+func redirectOwner(err error) (*OwnerInfo, bool) {
+	var ae *APIError
+	if errors.As(err, &ae) && (ae.Code == server.CodeNotOwner || ae.Code == server.CodeMoved) {
+		return ae.Owner, true
+	}
+	return nil, false
+}
+
+// rebind points the session at the node named by owner (or, when owner
+// is nil, whatever the ring and learned moves resolve to) and attaches
+// there.
+func (rs *RoutedSession) rebind(ctx context.Context, owner *OwnerInfo) error {
+	var n cluster.Node
+	var found bool
+	if owner != nil {
+		n, found = cluster.FindNode(rs.r.Nodes(), owner.Node)
+		if !found && owner.URL != "" {
+			// A contact outside the known membership still names a real
+			// server; trust it rather than fail the call.
+			n, found = cluster.Node{Name: owner.Node, HTTP: owner.URL, NBWP: owner.NBWP}, true
+		}
+	} else {
+		n, found = rs.r.OwnerOf(rs.id)
+	}
+	if !found {
+		return fmt.Errorf("nanobus: cannot resolve owner of session %s: %w", rs.id, ErrNoNodes)
+	}
+	t, err := rs.r.transport(ctx, n)
+	if err != nil {
+		return err
+	}
+	inner, err := t.AttachSession(ctx, rs.id)
+	if err != nil {
+		return err
+	}
+	rs.node, rs.inner = n.Name, inner
+	rs.r.learn(rs.id, n.Name)
+	return nil
+}
+
+// do runs op against the current inner session, following cluster
+// redirects. maxHops bounds pathological ping-pong (a moved chain longer
+// than the member count cannot be making progress).
+func (rs *RoutedSession) do(ctx context.Context, op func(Session) error) error {
+	const maxHops = 4
+	if rs.inner == nil {
+		if err := rs.rebind(ctx, nil); err != nil {
+			return err
+		}
+	}
+	var err error
+	for hop := 0; hop < maxHops; hop++ {
+		err = op(rs.inner)
+		owner, redirected := redirectOwner(err)
+		if !redirected {
+			return err
+		}
+		if rerr := rs.rebind(ctx, owner); rerr != nil {
+			return fmt.Errorf("nanobus: redirected but rebind failed: %w", errors.Join(err, rerr))
+		}
+	}
+	return err
+}
+
+// Recover fails the session over after its node died: it walks the
+// owner-of-record and then the ring successors, resurrecting the session
+// from the replicated checkpoint store on the first node that can, and
+// re-binds the handle there. The caller must replay sequenced batches
+// from the returned Seq+1 (replays up to the checkpoint are absorbed as
+// duplicates, so recovery never double-counts).
+func (rs *RoutedSession) Recover(ctx context.Context) (RestoreResponse, error) {
+	candidates := rs.r.recoveryCandidates(rs.id)
+	if len(candidates) == 0 {
+		return RestoreResponse{}, ErrNoNodes
+	}
+	var lastErr error
+	for _, n := range candidates {
+		t, err := rs.r.transport(ctx, n)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		inner, resp, err := t.Resurrect(ctx, rs.id, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rs.node, rs.inner = n.Name, inner
+		rs.r.learn(rs.id, n.Name)
+		return resp, nil
+	}
+	return RestoreResponse{}, fmt.Errorf("nanobus: recovery of session %s failed on all %d candidates: %w",
+		rs.id, len(candidates), lastErr)
+}
+
+// recoveryCandidates orders the nodes worth trying a resurrect on: the
+// owner of record first (it may only have restarted), then the ring
+// successors holding checkpoint replicas, then everything else.
+func (r *Router) recoveryCandidates(id string) []cluster.Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := map[string]bool{}
+	var out []cluster.Node
+	add := func(name string) {
+		if seen[name] {
+			return
+		}
+		if n, ok := cluster.FindNode(r.nodes, name); ok {
+			seen[name] = true
+			out = append(out, n)
+		}
+	}
+	if owner, ok := r.ownerLocked(id); ok {
+		add(owner.Name)
+	}
+	if r.ring != nil {
+		for _, name := range r.ring.Successors(id, len(r.nodes)) {
+			add(name)
+		}
+	}
+	for _, n := range r.nodes {
+		add(n.Name)
+	}
+	return out
+}
+
+// --- Session via the router ---------------------------------------------------
+
+// StepBinary implements Session.
+func (rs *RoutedSession) StepBinary(ctx context.Context, words []uint32) (StepSummary, error) {
+	var sum StepSummary
+	err := rs.do(ctx, func(s Session) error {
+		var e error
+		sum, e = s.StepBinary(ctx, words)
+		return e
+	})
+	return sum, err
+}
+
+// StepBinarySeq implements Session.
+func (rs *RoutedSession) StepBinarySeq(ctx context.Context, seq uint64, words []uint32) (StepSummary, error) {
+	var sum StepSummary
+	err := rs.do(ctx, func(s Session) error {
+		var e error
+		sum, e = s.StepBinarySeq(ctx, seq, words)
+		return e
+	})
+	return sum, err
+}
+
+// StepIdle implements Session.
+func (rs *RoutedSession) StepIdle(ctx context.Context, n uint64) (StepSummary, error) {
+	var sum StepSummary
+	err := rs.do(ctx, func(s Session) error {
+		var e error
+		sum, e = s.StepIdle(ctx, n)
+		return e
+	})
+	return sum, err
+}
+
+// Result implements Session.
+func (rs *RoutedSession) Result(ctx context.Context, finish bool) (*Result, error) {
+	var res *Result
+	err := rs.do(ctx, func(s Session) error {
+		var e error
+		res, e = s.Result(ctx, finish)
+		return e
+	})
+	return res, err
+}
+
+// Checkpoint implements Session.
+func (rs *RoutedSession) Checkpoint(ctx context.Context) (CheckpointInfo, error) {
+	var info CheckpointInfo
+	err := rs.do(ctx, func(s Session) error {
+		var e error
+		info, e = s.Checkpoint(ctx)
+		return e
+	})
+	return info, err
+}
+
+// CheckpointDownload implements Session.
+func (rs *RoutedSession) CheckpointDownload(ctx context.Context) ([]byte, error) {
+	var env []byte
+	err := rs.do(ctx, func(s Session) error {
+		var e error
+		env, e = s.CheckpointDownload(ctx)
+		return e
+	})
+	return env, err
+}
+
+// Restore implements Session.
+func (rs *RoutedSession) Restore(ctx context.Context) (RestoreResponse, error) {
+	var resp RestoreResponse
+	err := rs.do(ctx, func(s Session) error {
+		var e error
+		resp, e = s.Restore(ctx)
+		return e
+	})
+	return resp, err
+}
+
+// RestoreFrom implements Session.
+func (rs *RoutedSession) RestoreFrom(ctx context.Context, envelope []byte) (RestoreResponse, error) {
+	var resp RestoreResponse
+	err := rs.do(ctx, func(s Session) error {
+		var e error
+		resp, e = s.RestoreFrom(ctx, envelope)
+		return e
+	})
+	return resp, err
+}
+
+// Close implements Session.
+func (rs *RoutedSession) Close(ctx context.Context) error {
+	err := rs.do(ctx, func(s Session) error { return s.Close(ctx) })
+	if err == nil {
+		rs.r.forget(rs.id)
+	}
+	return err
+}
+
+var _ Session = (*RoutedSession)(nil)

@@ -23,14 +23,58 @@ import (
 	_ "net/http/pprof" // registered on the default mux, served only with -pprof
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
 	"syscall"
 	"time"
 
+	"nanobus/internal/blob"
+	"nanobus/internal/cluster"
 	"nanobus/internal/server"
 )
 
 func main() {
 	os.Exit(realMain())
+}
+
+// envOr reads an environment fallback for a flag default.
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// envIntOr is envOr for integer-valued variables; malformed values fall
+// back to def rather than failing startup.
+func envIntOr(key string, def int) int {
+	if v := os.Getenv(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// replicationPeers picks the k members cyclically following self in name
+// order — the deterministic fan-out set for checkpoint replication.
+func replicationPeers(nodes []cluster.Node, self string, k int) []cluster.Node {
+	others := make([]cluster.Node, 0, len(nodes))
+	selfIdx := -1
+	sorted := append([]cluster.Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for i, n := range sorted {
+		if n.Name == self {
+			selfIdx = i
+		}
+	}
+	if selfIdx < 0 {
+		return nil
+	}
+	for i := 1; i < len(sorted) && len(others) < k; i++ {
+		others = append(others, sorted[(selfIdx+i)%len(sorted)])
+	}
+	return others
 }
 
 func realMain() int {
@@ -47,6 +91,9 @@ func realMain() int {
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
 	ckptDir := fs.String("checkpoint-dir", "", "directory for durable session checkpoints (empty = no store; checkpoint?download=1 still works)")
 	ckptEvery := fs.Uint64("checkpoint-every", 0, "auto-checkpoint each session every N simulated cycles (0 = manual only; requires -checkpoint-dir)")
+	clusterSelf := fs.String("cluster-self", envOr("NANOBUS_CLUSTER_SELF", ""), "this node's name in -cluster-members (empty = single-node mode)")
+	clusterMembers := fs.String("cluster-members", envOr("NANOBUS_CLUSTER_MEMBERS", ""), "static membership, name=http://host:port[+nbwphost:port],... (requires -cluster-self)")
+	clusterReplicas := fs.Int("cluster-replicas", envIntOr("NANOBUS_CLUSTER_REPLICAS", 2), "total checkpoint copies per session, local included (cluster mode)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
 	}
@@ -67,17 +114,49 @@ func realMain() int {
 		}()
 	}
 
-	var store server.CheckpointStore
+	var store server.BlobStore
+	var local server.BlobStore
 	if *ckptDir != "" {
 		st, err := server.NewFSStore(*ckptDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nanobusd: checkpoint store: %v\n", err)
 			return 1
 		}
-		store = st
+		store, local = st, st
 	} else if *ckptEvery > 0 {
 		fmt.Fprintln(os.Stderr, "nanobusd: -checkpoint-every requires -checkpoint-dir")
 		return 2
+	}
+
+	var clusterCfg server.ClusterConfig
+	if *clusterSelf != "" || *clusterMembers != "" {
+		if *clusterSelf == "" || *clusterMembers == "" {
+			fmt.Fprintln(os.Stderr, "nanobusd: -cluster-self and -cluster-members must be set together")
+			return 2
+		}
+		nodes, err := cluster.ParseMembers(*clusterMembers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nanobusd: -cluster-members: %v\n", err)
+			return 2
+		}
+		self, ok := cluster.FindNode(nodes, *clusterSelf)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nanobusd: -cluster-self %q is not in -cluster-members\n", *clusterSelf)
+			return 2
+		}
+		if local == nil {
+			fmt.Fprintln(os.Stderr, "nanobusd: cluster mode requires -checkpoint-dir (checkpoints are the migration and failover medium)")
+			return 2
+		}
+		clusterCfg = server.ClusterConfig{Self: self.Name, Nodes: nodes, Replicas: *clusterReplicas}
+		// Checkpoints replicate to the replicas-1 members that follow this
+		// node in name order (a cyclic, deterministic choice every member
+		// agrees on), so any single node death leaves a surviving copy.
+		var peers []blob.Store
+		for _, n := range replicationPeers(nodes, self.Name, *clusterReplicas-1) {
+			peers = append(peers, blob.NewHTTPStore(n.HTTP, nil))
+		}
+		store = blob.NewReplicated(local, peers, blob.WithValidator(server.ValidateEnvelope))
 	}
 
 	srv := server.New(server.Config{
@@ -88,6 +167,8 @@ func realMain() int {
 		RequestTimeout:       *reqTimeout,
 		AcquireTimeout:       *acqTimeout,
 		Store:                store,
+		PeerStore:            local,
+		Cluster:              clusterCfg,
 		AutoCheckpointCycles: *ckptEvery,
 	})
 	hs := &http.Server{

@@ -1,0 +1,240 @@
+// Package blob is the checkpoint blob store behind nanobusd durability
+// and cluster replication. A Store keyed by session id holds opaque NBSE
+// envelopes; the server writes every (auto-)checkpoint through one, and
+// restore/resurrection reads them back — possibly on a different node
+// than the one that wrote them.
+//
+// The interface is context-aware because cluster stores cross the
+// network: a replication fan-out or a peer fetch must respect request
+// deadlines. Implementations must be safe for concurrent use, and Put
+// must be atomic per id (a crashed Put leaves either the old blob or the
+// new one, never a torn mix) so restores after a kill -9 read a
+// consistent envelope.
+package blob
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"nanobus/internal/faultinject"
+)
+
+// ErrNotFound is returned by Store.Get when no blob exists under the id.
+var ErrNotFound = errors.New("blob: not found")
+
+// Store persists checkpoint envelopes by session id.
+type Store interface {
+	// Put atomically stores data under id, replacing any previous blob.
+	Put(ctx context.Context, id string, data []byte) error
+	// Get returns the blob stored under id, or an error wrapping
+	// ErrNotFound.
+	Get(ctx context.Context, id string) ([]byte, error)
+	// List returns the stored ids in sorted order.
+	List(ctx context.Context) ([]string, error)
+	// Delete removes the blob under id (a no-op when absent).
+	Delete(ctx context.Context, id string) error
+}
+
+// ValidID reports whether id fits the server's 1-64 char lowercase-hex
+// session-id alphabet. Every Store implementation rejects other ids: the
+// FS store because a hostile id could escape its directory, the rest for
+// uniformity, so an id that works against one store works against all.
+func ValidID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func checkID(id string) error {
+	if !ValidID(id) {
+		return fmt.Errorf("blob: invalid session id %q", id)
+	}
+	return nil
+}
+
+// --- MemStore ----------------------------------------------------------------
+
+// MemStore is an in-process Store for tests and single-process
+// durability (surviving session poisoning, not process death).
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemStore builds an empty MemStore.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Put stores a copy of data under id.
+func (s *MemStore) Put(_ context.Context, id string, data []byte) error {
+	if err := checkID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[id] = bytes.Clone(data)
+	return nil
+}
+
+// Get returns a copy of the blob stored under id.
+func (s *MemStore) Get(_ context.Context, id string) ([]byte, error) {
+	if err := checkID(id); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return bytes.Clone(data), nil
+}
+
+// List returns the stored ids, sorted.
+func (s *MemStore) List(_ context.Context) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.m))
+	for id := range s.m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Delete removes the blob stored under id (a no-op when absent).
+func (s *MemStore) Delete(_ context.Context, id string) error {
+	if err := checkID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, id)
+	return nil
+}
+
+// --- FSStore -----------------------------------------------------------------
+
+// blobSuffix is the on-disk envelope file extension. It predates this
+// package (PR 5's FSStore used the same layout), so upgraded nodes keep
+// reading the checkpoints they wrote before the cluster work.
+const blobSuffix = ".nbse"
+
+// FSStore persists blobs as files under a directory, one per session
+// id. Writes go through a temp file + rename so a crash never leaves a
+// torn envelope, and ids are restricted to the lowercase-hex alphabet so
+// a hostile id cannot escape the directory.
+type FSStore struct {
+	dir string
+}
+
+// NewFSStore builds an FSStore rooted at dir, creating it if needed.
+func NewFSStore(dir string) (*FSStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blob: store dir: %w", err)
+	}
+	return &FSStore{dir: dir}, nil
+}
+
+// path maps a session id onto its blob file.
+func (s *FSStore) path(id string) (string, error) {
+	if err := checkID(id); err != nil {
+		return "", err
+	}
+	return filepath.Join(s.dir, id+blobSuffix), nil
+}
+
+// Put atomically writes the blob for id.
+func (s *FSStore) Put(_ context.Context, id string, data []byte) error {
+	p, err := s.path(id)
+	if err != nil {
+		return err
+	}
+	// Chaos harnesses arm these: "store.fs.save" injects slowness or
+	// errors, "store.fs.truncate" cuts the blob to simulate a torn write
+	// that slipped past the rename barrier (e.g. a dying disk).
+	if err := faultinject.Hit("store.fs.save"); err != nil {
+		return fmt.Errorf("blob: save: %w", err)
+	}
+	data = faultinject.Truncate("store.fs.truncate", data)
+	tmp, err := os.CreateTemp(s.dir, "."+id+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("blob: save: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		//nanolint:ignore droppederr the write error is reported; close/remove are best-effort cleanup
+		_ = tmp.Close()
+		//nanolint:ignore droppederr the write error is reported; close/remove are best-effort cleanup
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("blob: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		//nanolint:ignore droppederr the close error is reported; remove is best-effort cleanup
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("blob: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		//nanolint:ignore droppederr the rename error is reported; remove is best-effort cleanup
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("blob: save: %w", err)
+	}
+	return nil
+}
+
+// Get reads the blob for id.
+func (s *FSStore) Get(_ context.Context, id string) ([]byte, error) {
+	p, err := s.path(id)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("blob: load: %w", err)
+	}
+	return data, nil
+}
+
+// List returns the stored ids, sorted.
+func (s *FSStore) List(_ context.Context) ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("blob: list: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		id, found := strings.CutSuffix(e.Name(), blobSuffix)
+		if e.IsDir() || !found || !ValidID(id) {
+			continue // temp files, foreign droppings
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Delete removes the blob for id (a no-op when absent).
+func (s *FSStore) Delete(_ context.Context, id string) error {
+	p, err := s.path(id)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("blob: delete: %w", err)
+	}
+	return nil
+}

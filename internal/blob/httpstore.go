@@ -1,0 +1,156 @@
+package blob
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// maxPeerBlobBytes bounds one peer blob transfer; it matches the
+// server's envelope ceiling (a session with millions of retained samples
+// should use DropSamples, not a multi-GB checkpoint).
+const maxPeerBlobBytes = 64 << 20
+
+// HTTPStore speaks the peer-replication endpoints a clustered nanobusd
+// mounts (PUT/GET/DELETE /v1/cluster/blobs/{id}, GET /v1/cluster/blobs)
+// against one remote node. It is the transport leg under Replicated:
+// every method is one request against the peer's *local* store, so
+// replication never cascades.
+type HTTPStore struct {
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPStore builds a peer store for the node at baseURL (e.g.
+// "http://10.0.0.2:8080"). hc nil uses http.DefaultClient; callers
+// replicating on a hot path should pass a client with a timeout so a
+// hung peer cannot stall checkpoints past the request deadline.
+func NewHTTPStore(baseURL string, hc *http.Client) *HTTPStore {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &HTTPStore{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+func (s *HTTPStore) url(id string) string { return s.base + "/v1/cluster/blobs/" + id }
+
+func (s *HTTPStore) do(req *http.Request) (*http.Response, error) {
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		//nanolint:ignore droppederr the 404 is the result; body close is best-effort
+		_ = resp.Body.Close()
+		return nil, fmt.Errorf("%w: peer %s", ErrNotFound, s.base)
+	}
+	if resp.StatusCode/100 != 2 {
+		//nanolint:ignore droppederr the status error is reported either way; the body snippet is best-effort color
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		//nanolint:ignore droppederr the status error is reported; body close is best-effort
+		_ = resp.Body.Close()
+		return nil, fmt.Errorf("blob: peer %s: HTTP %d: %s", s.base, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return resp, nil
+}
+
+// Put replicates the blob to the peer.
+func (s *HTTPStore) Put(ctx context.Context, id string, data []byte) error {
+	if err := checkID(id); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, s.url(id), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.do(req)
+	if err != nil {
+		return err
+	}
+	//nanolint:ignore droppederr the 2xx status is the result; body drain/close is connection reuse hygiene
+	_, _ = io.Copy(io.Discard, resp.Body)
+	//nanolint:ignore droppederr the 2xx status is the result; body drain/close is connection reuse hygiene
+	_ = resp.Body.Close()
+	return nil
+}
+
+// Get fetches the blob from the peer.
+func (s *HTTPStore) Get(ctx context.Context, id string) ([]byte, error) {
+	if err := checkID(id); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		//nanolint:ignore droppederr the payload is already read; close is best-effort
+		_ = resp.Body.Close()
+	}()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBlobBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("blob: peer %s: read: %w", s.base, err)
+	}
+	if len(data) > maxPeerBlobBytes {
+		return nil, fmt.Errorf("blob: peer %s: blob exceeds %d bytes", s.base, maxPeerBlobBytes)
+	}
+	return data, nil
+}
+
+// List fetches the peer's stored ids.
+func (s *HTTPStore) List(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/v1/cluster/blobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		//nanolint:ignore droppederr the payload is already read; close is best-effort
+		_ = resp.Body.Close()
+	}()
+	var ids []string
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxPeerBlobBytes)).Decode(&ids); err != nil {
+		return nil, fmt.Errorf("blob: peer %s: decode list: %w", s.base, err)
+	}
+	return ids, nil
+}
+
+// Delete removes the blob on the peer.
+func (s *HTTPStore) Delete(ctx context.Context, id string) error {
+	if err := checkID(id); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, s.url(id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.do(req)
+	if err != nil {
+		return err
+	}
+	//nanolint:ignore droppederr the 2xx status is the result; body drain/close is connection reuse hygiene
+	_, _ = io.Copy(io.Discard, resp.Body)
+	//nanolint:ignore droppederr the 2xx status is the result; body drain/close is connection reuse hygiene
+	_ = resp.Body.Close()
+	return nil
+}
+
+// Interface conformance.
+var (
+	_ Store = (*MemStore)(nil)
+	_ Store = (*FSStore)(nil)
+	_ Store = (*Replicated)(nil)
+	_ Store = (*HTTPStore)(nil)
+)

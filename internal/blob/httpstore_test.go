@@ -1,0 +1,83 @@
+package blob
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// peerHandler mimics the /v1/cluster/blobs surface a clustered nanobusd
+// mounts, backed by a MemStore. (The real handlers are wired in
+// internal/server; their integration is covered there. This double keeps
+// the transport test free of an import cycle.)
+func peerHandler(st *MemStore) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/cluster/blobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := st.Put(r.Context(), r.PathValue("id"), data); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/cluster/blobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		data, err := st.Get(r.Context(), r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		//nanolint:ignore droppederr a failed test-server write surfaces as a client-side read error
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("DELETE /v1/cluster/blobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := st.Delete(r.Context(), r.PathValue("id")); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/cluster/blobs", func(w http.ResponseWriter, r *http.Request) {
+		ids, err := st.List(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		body := []byte("[")
+		for i, id := range ids {
+			if i > 0 {
+				body = append(body, ',')
+			}
+			body = append(body, '"')
+			body = append(body, id...)
+			body = append(body, '"')
+		}
+		body = append(body, ']')
+		//nanolint:ignore droppederr a failed test-server write surfaces as a client-side read error
+		_, _ = w.Write(body)
+	})
+	return mux
+}
+
+func TestHTTPStoreConformance(t *testing.T) {
+	srv := httptest.NewServer(peerHandler(NewMemStore()))
+	defer srv.Close()
+	storeConformance(t, NewHTTPStore(srv.URL, srv.Client()))
+}
+
+func TestHTTPStoreDeadPeer(t *testing.T) {
+	srv := httptest.NewServer(peerHandler(NewMemStore()))
+	srv.Close() // the peer is gone before the first request
+	st := NewHTTPStore(srv.URL, nil)
+	if err := st.Put(t.Context(), "deadbeef", []byte("x")); err == nil {
+		t.Fatal("Put against a dead peer succeeded")
+	}
+	if _, err := st.Get(t.Context(), "deadbeef"); err == nil {
+		t.Fatal("Get against a dead peer succeeded")
+	}
+}

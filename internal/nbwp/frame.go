@@ -250,33 +250,58 @@ func ParseSample(p []byte, temps []float64) (Sample, error) {
 
 // --- ERROR payload -----------------------------------------------------------
 
-// errorFixedLen is the ERROR payload length before the code and message
-// strings: HTTP-equivalent status (u16) and code length (u16).
+// errorFixedLen is the ERROR payload length before the code string:
+// HTTP-equivalent status (u16) and code length (u16).
 const errorFixedLen = 4
 
-// AppendError appends the wire encoding of an error to dst: the
-// HTTP-equivalent status (so clients map NBWP failures onto the exact
-// semantics of the v1 surface), the machine-readable code, and the
-// human-readable message.
-func AppendError(dst []byte, status int, code, msg string) []byte {
-	dst = binary.LittleEndian.AppendUint16(dst, uint16(status))
-	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(code)))
-	dst = append(dst, code...)
-	dst = append(dst, msg...)
+// WireError is the decoded form of an ERROR payload. Status carries the
+// HTTP-equivalent status so clients map NBWP failures onto the exact
+// semantics of the v1 surface; Code is the machine-readable v1 error
+// code; Owner is the owning-node hint a clustered server attaches to
+// not_owner/moved redirects (a JSON OwnerInfo document, empty
+// otherwise); Msg is the human-readable message.
+type WireError struct {
+	Status int
+	Code   string
+	Owner  string
+	Msg    string
+}
+
+// AppendError appends the wire encoding of an ERROR payload to dst:
+// status u16, code (u16 length prefix), owner (u16 length prefix, zero
+// when absent), then the message as the remainder of the frame.
+func AppendError(dst []byte, e WireError) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(e.Status))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(e.Code)))
+	dst = append(dst, e.Code...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(e.Owner)))
+	dst = append(dst, e.Owner...)
+	dst = append(dst, e.Msg...)
 	return dst
 }
 
 // ParseError decodes an ERROR payload.
-func ParseError(p []byte) (status int, code, msg string, err error) {
-	if len(p) < errorFixedLen {
-		return 0, "", "", fmt.Errorf("%w: error frame is %d bytes (min %d)", ErrBadPayload, len(p), errorFixedLen)
+func ParseError(p []byte) (WireError, error) {
+	if len(p) < errorFixedLen+2 {
+		return WireError{}, fmt.Errorf("%w: error frame is %d bytes (min %d)", ErrBadPayload, len(p), errorFixedLen+2)
 	}
-	status = int(binary.LittleEndian.Uint16(p[0:2]))
+	var e WireError
+	e.Status = int(binary.LittleEndian.Uint16(p[0:2]))
 	n := int(binary.LittleEndian.Uint16(p[2:4]))
-	if errorFixedLen+n > len(p) {
-		return 0, "", "", fmt.Errorf("%w: error code overruns the frame", ErrBadPayload)
+	off := errorFixedLen
+	if off+n+2 > len(p) {
+		return WireError{}, fmt.Errorf("%w: error code overruns the frame", ErrBadPayload)
 	}
-	return status, string(p[errorFixedLen : errorFixedLen+n]), string(p[errorFixedLen+n:]), nil
+	e.Code = string(p[off : off+n])
+	off += n
+	on := int(binary.LittleEndian.Uint16(p[off : off+2]))
+	off += 2
+	if off+on > len(p) {
+		return WireError{}, fmt.Errorf("%w: error owner overruns the frame", ErrBadPayload)
+	}
+	e.Owner = string(p[off : off+on])
+	e.Msg = string(p[off+on:])
+	return e, nil
 }
 
 // --- RESTORE payload ---------------------------------------------------------

@@ -162,21 +162,47 @@ func TestSampleRoundTrip(t *testing.T) {
 }
 
 func TestErrorRoundTrip(t *testing.T) {
-	raw := AppendError(nil, 409, "seq_gap", "seq 9 skips ahead; expected 4")
-	status, code, msg, err := ParseError(raw)
+	in := WireError{Status: 409, Code: "seq_gap", Msg: "seq 9 skips ahead; expected 4"}
+	raw := AppendError(nil, in)
+	got, err := ParseError(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if status != 409 || code != "seq_gap" || msg != "seq 9 skips ahead; expected 4" {
-		t.Fatalf("round trip = %d %q %q", status, code, msg)
+	if got != in {
+		t.Fatalf("round trip = %+v, want %+v", got, in)
 	}
-	if _, _, _, err := ParseError(raw[:2]); !errors.Is(err, ErrBadPayload) {
+	if _, err := ParseError(raw[:2]); !errors.Is(err, ErrBadPayload) {
 		t.Fatalf("short error err = %v", err)
 	}
 	lying := bytes.Clone(raw)
 	binary.LittleEndian.PutUint16(lying[2:4], math.MaxUint16)
-	if _, _, _, err := ParseError(lying); !errors.Is(err, ErrBadPayload) {
+	if _, err := ParseError(lying); !errors.Is(err, ErrBadPayload) {
 		t.Fatalf("lying code length err = %v", err)
+	}
+}
+
+func TestErrorRoundTripOwner(t *testing.T) {
+	in := WireError{
+		Status: 421,
+		Code:   "not_owner",
+		Owner:  `{"node":"n2","url":"http://10.0.0.2:8080","nbwp":"10.0.0.2:9080"}`,
+		Msg:    "session belongs to n2",
+	}
+	raw := AppendError(nil, in)
+	got, err := ParseError(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != in {
+		t.Fatalf("round trip = %+v, want %+v", got, in)
+	}
+	// An owner length that points past the frame must be rejected, not
+	// read out of bounds.
+	ownerLenOff := errorFixedLen + len(in.Code)
+	lying := bytes.Clone(raw)
+	binary.LittleEndian.PutUint16(lying[ownerLenOff:ownerLenOff+2], math.MaxUint16)
+	if _, err := ParseError(lying); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("lying owner length err = %v", err)
 	}
 }
 

@@ -30,7 +30,8 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(seed(Header{Type: TypeStepIdle, Slot: 1}, []byte{64, 0, 0, 0, 0, 0, 0, 0}))
 	f.Add(seed(Header{Type: TypeAck, Slot: 1, Seq: 7}, make([]byte, StepAckLen)))
 	f.Add(seed(Header{Type: TypeSample, Slot: 1}, AppendSample(nil, Sample{EndCycle: 100, MaxWire: 3})))
-	f.Add(seed(Header{Type: TypeError, Slot: 1}, AppendError(nil, 409, "seq_gap", "gap")))
+	f.Add(seed(Header{Type: TypeError, Slot: 1}, AppendError(nil, WireError{Status: 409, Code: "seq_gap", Msg: "gap"})))
+	f.Add(seed(Header{Type: TypeError, Slot: 2}, AppendError(nil, WireError{Status: 421, Code: "not_owner", Owner: `{"node":"n2"}`, Msg: "moved"})))
 	f.Add(seed(Header{Type: TypeGoodbye}, nil))
 	f.Add(seed(Header{Type: TypeDrain}, nil))
 	cut := seed(Header{Type: TypeStep, Slot: 2}, bytes.Repeat([]byte{7}, 64))
@@ -81,7 +82,7 @@ func FuzzReadFrame(f *testing.F) {
 			case TypeSample:
 				_, _ = ParseSample(buf, nil)
 			case TypeError:
-				_, _, _, _ = ParseError(buf)
+				_, _ = ParseError(buf)
 			case TypeStepIdle:
 				_, _ = ParseIdle(buf)
 			case TypeRestore:

@@ -12,158 +12,80 @@ import (
 	"hash/crc32"
 	"io"
 	"net/http"
-	"os"
-	"path/filepath"
-	"sync"
 
+	"nanobus/internal/blob"
 	"nanobus/internal/core"
-	"nanobus/internal/faultinject"
 )
 
-// ErrNoCheckpoint is returned by CheckpointStore.Load when the store holds
-// no checkpoint for the id.
+// BlobStore persists checkpoint envelopes by session id: context-aware
+// Put/Get/List/Delete (see nanobus/internal/blob). In cluster mode the
+// configured store is a blob.Replicated fanning out to peer nodes, which
+// is how sessions survive the death of the node that wrote them.
+type BlobStore = blob.Store
+
+// ErrNoCheckpoint is the sentinel for "the store holds no checkpoint for
+// the id". The blob package reports the same condition as
+// blob.ErrNotFound; the server accepts either and maps both onto
+// CodeNoCheckpoint.
 var ErrNoCheckpoint = errors.New("server: no checkpoint for session")
 
-// CheckpointStore persists session checkpoint envelopes by session id.
-// Implementations must be safe for concurrent use; Save must be atomic
-// (a crashed Save leaves either the old envelope or the new one, never a
-// torn mix) so restores after a kill -9 read a consistent blob.
+// noCheckpoint reports whether err means the store holds no envelope.
+func noCheckpoint(err error) bool {
+	return errors.Is(err, ErrNoCheckpoint) || errors.Is(err, blob.ErrNotFound)
+}
+
+// CheckpointStore is the pre-cluster store interface (Save/Load/Delete,
+// no context, no enumeration).
+//
+// Deprecated: implement blob.Store instead; it adds context propagation
+// (replicated stores cross the network) and List (replication GC). Wrap
+// a legacy implementation with AdaptCheckpointStore during migration.
 type CheckpointStore interface {
 	Save(id string, data []byte) error
 	Load(id string) ([]byte, error)
 	Delete(id string) error
 }
 
-// MemStore is an in-process CheckpointStore for tests and single-process
-// durability (surviving session poisoning, not process death).
-type MemStore struct {
-	mu sync.Mutex
-	m  map[string][]byte
+// legacyStore adapts a CheckpointStore to the BlobStore interface.
+type legacyStore struct{ s CheckpointStore }
+
+func (l legacyStore) Put(_ context.Context, id string, data []byte) error { return l.s.Save(id, data) }
+
+func (l legacyStore) Get(_ context.Context, id string) ([]byte, error) {
+	data, err := l.s.Load(id)
+	if err != nil && noCheckpoint(err) {
+		return nil, fmt.Errorf("%w: %s", blob.ErrNotFound, id)
+	}
+	return data, err
 }
 
-// NewMemStore builds an empty MemStore.
-func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+// List is empty: legacy stores cannot enumerate, which only costs
+// replication GC coverage, never a restore.
+func (l legacyStore) List(context.Context) ([]string, error) { return nil, nil }
 
-// Save stores a copy of data under id.
-func (s *MemStore) Save(id string, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.m[id] = bytes.Clone(data)
-	return nil
-}
+func (l legacyStore) Delete(_ context.Context, id string) error { return l.s.Delete(id) }
 
-// Load returns a copy of the envelope stored under id.
-func (s *MemStore) Load(id string) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	data, ok := s.m[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, id)
-	}
-	return bytes.Clone(data), nil
-}
+// AdaptCheckpointStore wraps a legacy CheckpointStore as a BlobStore so
+// pre-cluster store implementations keep working for one release while
+// they migrate to blob.Store.
+func AdaptCheckpointStore(s CheckpointStore) BlobStore { return legacyStore{s} }
 
-// Delete removes the envelope stored under id (a no-op when absent).
-func (s *MemStore) Delete(id string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.m, id)
-	return nil
-}
+// NewMemStore builds an empty in-memory store. Kept as an alias for
+// blob.NewMemStore so pre-cluster callers compile unchanged.
+func NewMemStore() *blob.MemStore { return blob.NewMemStore() }
 
-// FSStore persists checkpoint envelopes as files under a directory, one
-// per session id. Writes go through a temp file + rename so a crash never
-// leaves a torn envelope, and ids are restricted to the server's own
-// lowercase-hex alphabet so a hostile id cannot escape the directory.
-type FSStore struct {
-	dir string
-}
+// NewFSStore builds a filesystem store rooted at dir. Kept as an alias
+// for blob.NewFSStore so pre-cluster callers compile unchanged; the
+// on-disk layout (one <id>.nbse per session) is identical.
+func NewFSStore(dir string) (*blob.FSStore, error) { return blob.NewFSStore(dir) }
 
-// NewFSStore builds an FSStore rooted at dir, creating it if needed.
-func NewFSStore(dir string) (*FSStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("server: checkpoint dir: %w", err)
-	}
-	return &FSStore{dir: dir}, nil
-}
-
-// path maps a session id onto its envelope file, rejecting ids outside
-// the 1-64 char lowercase-hex alphabet (path traversal defence).
-func (s *FSStore) path(id string) (string, error) {
-	if len(id) == 0 || len(id) > 64 {
-		return "", fmt.Errorf("server: invalid session id %q", id)
-	}
-	for _, c := range id {
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return "", fmt.Errorf("server: invalid session id %q", id)
-		}
-	}
-	return filepath.Join(s.dir, id+".nbse"), nil
-}
-
-// Save atomically writes the envelope for id.
-func (s *FSStore) Save(id string, data []byte) error {
-	p, err := s.path(id)
-	if err != nil {
-		return err
-	}
-	// Chaos harnesses arm these: "store.fs.save" injects slowness or
-	// errors, "store.fs.truncate" cuts the blob to simulate a torn write
-	// that slipped past the rename barrier (e.g. a dying disk).
-	if err := faultinject.Hit("store.fs.save"); err != nil {
-		return fmt.Errorf("server: save checkpoint: %w", err)
-	}
-	data = faultinject.Truncate("store.fs.truncate", data)
-	tmp, err := os.CreateTemp(s.dir, "."+id+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("server: save checkpoint: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		//nanolint:ignore droppederr the write error is reported; close/remove are best-effort cleanup
-		_ = tmp.Close()
-		//nanolint:ignore droppederr the write error is reported; close/remove are best-effort cleanup
-		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("server: save checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		//nanolint:ignore droppederr the close error is reported; remove is best-effort cleanup
-		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("server: save checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		//nanolint:ignore droppederr the rename error is reported; remove is best-effort cleanup
-		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("server: save checkpoint: %w", err)
-	}
-	return nil
-}
-
-// Load reads the envelope for id.
-func (s *FSStore) Load(id string) ([]byte, error) {
-	p, err := s.path(id)
-	if err != nil {
-		return nil, err
-	}
-	data, err := os.ReadFile(p)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, id)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("server: load checkpoint: %w", err)
-	}
-	return data, nil
-}
-
-// Delete removes the envelope for id (a no-op when absent).
-func (s *FSStore) Delete(id string) error {
-	p, err := s.path(id)
-	if err != nil {
-		return err
-	}
-	if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
-		return fmt.Errorf("server: delete checkpoint: %w", err)
-	}
-	return nil
+// ValidateEnvelope reports whether data parses as a structurally sound
+// NBSE checkpoint envelope (magic, version, section lengths, CRC). It is
+// the integrity check a replicated blob store runs before trusting a
+// copy — a torn replica is skipped, not restored.
+func ValidateEnvelope(data []byte) error {
+	_, err := decodeEnvelope(data)
+	return err
 }
 
 // --- Envelope codec ---------------------------------------------------------
@@ -266,7 +188,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, sh, ok := s.find(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		writeHTTPErr(w, s.notFoundErr(r.PathValue("id")))
 		return
 	}
 	sh.queue.Add(1)
@@ -277,7 +199,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sess.release()
 	if sess.closed {
-		writeError(w, http.StatusNotFound, CodeNotFound, "session closed")
+		writeHTTPErr(w, s.closedErr(sess.id))
 		return
 	}
 	if sess.dirtySeq {
@@ -285,7 +207,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 			"a sequenced batch failed mid-apply; restore from a checkpoint first")
 		return
 	}
-	info, data, err := s.checkpointLocked(sess)
+	info, data, err := s.checkpointLocked(r.Context(), sess)
 	if err != nil {
 		he := asHTTPErr(err)
 		writeError(w, he.status, he.code, he.msg)
@@ -305,7 +227,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 
 // checkpointLocked snapshots the session into an envelope and saves it to
 // the store (when configured). The caller must hold the session.
-func (s *Server) checkpointLocked(sess *session) (CheckpointInfo, []byte, error) {
+func (s *Server) checkpointLocked(ctx context.Context, sess *session) (CheckpointInfo, []byte, error) {
 	blob, err := sess.sim.Snapshot()
 	if err != nil {
 		return CheckpointInfo{}, nil, err
@@ -320,7 +242,7 @@ func (s *Server) checkpointLocked(sess *session) (CheckpointInfo, []byte, error)
 	data := env.encode()
 	stored := false
 	if s.cfg.Store != nil {
-		if err := s.cfg.Store.Save(sess.id, data); err != nil {
+		if err := s.cfg.Store.Put(ctx, sess.id, data); err != nil {
 			return CheckpointInfo{}, nil, err
 		}
 		stored = true
@@ -342,7 +264,7 @@ func (s *Server) checkpointLocked(sess *session) (CheckpointInfo, []byte, error)
 // AutoCheckpointCycles cycles past its last checkpoint. Failures are
 // counted, not fatal: the stream keeps flowing and the next interval
 // retries. The caller must hold the session.
-func (s *Server) maybeAutoCheckpoint(sess *session) {
+func (s *Server) maybeAutoCheckpoint(ctx context.Context, sess *session) {
 	if s.cfg.Store == nil || s.cfg.AutoCheckpointCycles == 0 || sess.dirtySeq {
 		return
 	}
@@ -352,7 +274,7 @@ func (s *Server) maybeAutoCheckpoint(sess *session) {
 	if sess.sim.Cycles()-sess.ckptCycles < s.cfg.AutoCheckpointCycles {
 		return
 	}
-	if _, _, err := s.checkpointLocked(sess); err != nil {
+	if _, _, err := s.checkpointLocked(ctx, sess); err != nil {
 		s.checkpointFailedTotal.Add(1)
 	}
 }
@@ -383,8 +305,8 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 				"no checkpoint store configured and no inline envelope sent")
 			return
 		}
-		b, err := s.cfg.Store.Load(id)
-		if errors.Is(err, ErrNoCheckpoint) {
+		b, err := s.cfg.Store.Get(r.Context(), id)
+		if noCheckpoint(err) {
 			writeError(w, http.StatusNotFound, CodeNoCheckpoint, err.Error())
 			return
 		}
@@ -426,15 +348,15 @@ func (s *Server) restoreLive(ctx context.Context, sess *session, sh *shard, env 
 	sh.queue.Add(1)
 	defer sh.queue.Add(-1)
 	if err := s.acquireSession(ctx, sess); err != nil {
-		return RestoreResponse{}, &httpErr{http.StatusConflict, CodeSessionBusy, "session busy: " + err.Error()}
+		return RestoreResponse{}, herr(http.StatusConflict, CodeSessionBusy, "session busy: "+err.Error())
 	}
 	defer sess.release()
 	if sess.closed {
-		return RestoreResponse{}, &httpErr{http.StatusNotFound, CodeNotFound, "session closed"}
+		return RestoreResponse{}, herr(http.StatusNotFound, CodeNotFound, "session closed")
 	}
 	if !bytes.Equal(env.Cfg, sess.reqJSON) {
-		return RestoreResponse{}, &httpErr{http.StatusConflict, CodeCheckpointMismatch,
-			"checkpoint configuration does not match the session"}
+		return RestoreResponse{}, herr(http.StatusConflict, CodeCheckpointMismatch,
+			"checkpoint configuration does not match the session")
 	}
 	if err := sess.sim.Restore(env.Core); err != nil {
 		return RestoreResponse{}, asHTTPErr(err)
@@ -456,12 +378,12 @@ func (s *Server) restoreLive(ctx context.Context, sess *session, sh *shard, env 
 // clients resume against the same URL (or NBWP slot).
 func (s *Server) resurrectFrom(id string, env *envelope) (RestoreResponse, *httpErr) {
 	if s.draining.Load() {
-		return RestoreResponse{}, &httpErr{http.StatusServiceUnavailable, CodeDraining, "server is draining"}
+		return RestoreResponse{}, herr(http.StatusServiceUnavailable, CodeDraining, "server is draining")
 	}
 	if s.active.Add(1) > int64(s.cfg.MaxSessions) {
 		s.active.Add(-1)
-		return RestoreResponse{}, &httpErr{http.StatusServiceUnavailable, CodeServerFull,
-			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions)}
+		return RestoreResponse{}, herr(http.StatusServiceUnavailable, CodeServerFull,
+			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions))
 	}
 	ok := false
 	defer func() {
@@ -472,8 +394,8 @@ func (s *Server) resurrectFrom(id string, env *envelope) (RestoreResponse, *http
 
 	var req CreateSessionRequest
 	if err := json.Unmarshal(env.Cfg, &req); err != nil {
-		return RestoreResponse{}, &httpErr{http.StatusUnprocessableEntity, CodeCheckpointCorrupt,
-			"envelope config: " + err.Error()}
+		return RestoreResponse{}, herr(http.StatusUnprocessableEntity, CodeCheckpointCorrupt,
+			"envelope config: "+err.Error())
 	}
 	sess, he := s.buildSession(req)
 	if he != nil {
@@ -488,8 +410,8 @@ func (s *Server) resurrectFrom(id string, env *envelope) (RestoreResponse, *http
 	s.applyEnvelopeState(sess, env)
 	if !s.registerSession(sess, id) {
 		s.pool.put(sess.key, sess.sim)
-		return RestoreResponse{}, &httpErr{http.StatusConflict, CodeSessionBusy,
-			"session reappeared during restore; retry"}
+		return RestoreResponse{}, herr(http.StatusConflict, CodeSessionBusy,
+			"session reappeared during restore; retry")
 	}
 	ok = true
 	s.restoresTotal.Add(1)

@@ -34,7 +34,7 @@ func seqBatch(seq uint64) []uint32 {
 }
 
 // runSeq replays batches first..last (inclusive) in order.
-func runSeq(t *testing.T, sess *client.Session, first, last uint64) client.StepSummary {
+func runSeq(t *testing.T, sess client.Session, first, last uint64) client.StepSummary {
 	t.Helper()
 	var sum client.StepSummary
 	for seq := first; seq <= last; seq++ {
@@ -542,11 +542,11 @@ func TestFSStoreRejectsHostileIDs(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"", "../escape", "a/b", "UPPER", strings.Repeat("a", 65)} {
-		if err := store.Save(id, []byte("x")); err == nil {
-			t.Errorf("Save(%q) accepted a hostile id", id)
+		if err := store.Put(context.Background(), id, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted a hostile id", id)
 		}
-		if _, err := store.Load(id); err == nil {
-			t.Errorf("Load(%q) accepted a hostile id", id)
+		if _, err := store.Get(context.Background(), id); err == nil {
+			t.Errorf("Get(%q) accepted a hostile id", id)
 		}
 	}
 }

@@ -1,0 +1,544 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"nanobus/client"
+	"nanobus/internal/blob"
+	"nanobus/internal/cluster"
+	"nanobus/internal/server"
+)
+
+// testCluster is an in-process multi-node nanobusd: every node gets its
+// own listener, FSStore, and replication fan-out over the real peer blob
+// endpoints, exactly like three nanobusd processes wired by
+// -cluster-members — minus the process boundary.
+type testCluster struct {
+	t       *testing.T
+	nodes   []cluster.Node
+	servers []*server.Server
+	https   []*http.Server
+	dirs    []string
+	clients []*client.Client
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		t:       t,
+		nodes:   make([]cluster.Node, n),
+		servers: make([]*server.Server, n),
+		https:   make([]*http.Server, n),
+		dirs:    make([]string, n),
+		clients: make([]*client.Client, n),
+	}
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		tc.nodes[i] = cluster.Node{
+			Name: fmt.Sprintf("n%d", i+1),
+			HTTP: "http://" + ln.Addr().String(),
+		}
+	}
+	for i := range lns {
+		tc.dirs[i] = filepath.Join(t.TempDir(), tc.nodes[i].Name)
+		local, err := blob.NewFSStore(tc.dirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var peers []blob.Store
+		for j := range tc.nodes {
+			if j != i {
+				peers = append(peers, blob.NewHTTPStore(tc.nodes[j].HTTP, nil))
+			}
+		}
+		store := blob.NewReplicated(local, peers, blob.WithValidator(server.ValidateEnvelope))
+		tc.servers[i] = server.New(server.Config{
+			Store:     store,
+			PeerStore: local,
+			Cluster:   server.ClusterConfig{Self: tc.nodes[i].Name, Nodes: tc.nodes, Replicas: n},
+		})
+		tc.https[i] = &http.Server{Handler: tc.servers[i].Handler()}
+		go func(hs *http.Server, ln net.Listener) {
+			//nanolint:ignore droppederr the serve loop exits with ErrServerClosed on cleanup
+			_ = hs.Serve(ln)
+		}(tc.https[i], lns[i])
+		tc.clients[i] = client.New(tc.nodes[i].HTTP)
+	}
+	t.Cleanup(func() {
+		for _, hs := range tc.https {
+			//nanolint:ignore droppederr test cleanup; the server may already be killed
+			_ = hs.Close()
+		}
+	})
+	return tc
+}
+
+// kill hard-stops node i: in-flight connections drop, no drain.
+func (tc *testCluster) kill(i int) {
+	//nanolint:ignore droppederr a kill is abrupt by design; the close error is noise
+	_ = tc.https[i].Close()
+}
+
+// nodeIdx maps a member name back to its index.
+func (tc *testCluster) nodeIdx(name string) int {
+	for i, n := range tc.nodes {
+		if n.Name == name {
+			return i
+		}
+	}
+	tc.t.Fatalf("unknown node %q", name)
+	return -1
+}
+
+// migrate drives POST /v1/cluster/sessions/{id}/migrate on node from.
+func (tc *testCluster) migrate(from int, id, target string) (server.MigrateResponse, error) {
+	body, err := json.Marshal(server.MigrateRequest{Target: target})
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	resp, err := http.Post(tc.nodes[from].HTTP+"/v1/cluster/sessions/"+id+"/migrate",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return server.MigrateResponse{}, err
+	}
+	defer func() {
+		//nanolint:ignore droppederr test helper; the decoded body is the result
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var er server.ErrorResponse
+		//nanolint:ignore droppederr a malformed error body still fails the call with the status
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return server.MigrateResponse{}, &client.APIError{
+			StatusCode: resp.StatusCode, Code: er.Code, Message: er.Error, Owner: er.Owner}
+	}
+	var mr server.MigrateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return server.MigrateResponse{}, err
+	}
+	return mr, nil
+}
+
+// referenceResult replays seq batches 1..last on a fresh single-node
+// service and returns the result — the bit-exactness oracle for every
+// migration and failover test.
+func referenceResult(t *testing.T, last uint64) *client.Result {
+	t.Helper()
+	_, c := newTestService(t, server.Config{})
+	sess, err := c.CreateSession(context.Background(), ckptConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSeq(t, sess, 1, last)
+	res, err := sess.Result(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestClusterStatusSingleNode(t *testing.T) {
+	_, c := newTestService(t, server.Config{})
+	st, err := c.Cluster(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Self != "" || len(st.Nodes) != 0 {
+		t.Fatalf("single-node cluster status = %+v, want empty", st)
+	}
+}
+
+func TestClusterStatusAndSelfOwnedMinting(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	ctx := context.Background()
+
+	st, err := tc.clients[1].Cluster(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Self != "n2" || len(st.Nodes) != 3 || st.Replicas != 3 {
+		t.Fatalf("cluster status = %+v", st)
+	}
+
+	// Every node mints ids its own ring assignment owns, so a fresh
+	// session never starts life redirected.
+	ring := cluster.NewRing(cluster.Names(tc.nodes))
+	for i, c := range tc.clients {
+		sess, err := c.CreateSession(ctx, ckptConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner := ring.Owner(sess.ID()); owner != tc.nodes[i].Name {
+			t.Errorf("node %s minted id %s owned by %s", tc.nodes[i].Name, sess.ID(), owner)
+		}
+	}
+}
+
+func TestClusterNotOwnerRedirect(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	ctx := context.Background()
+	sess, err := tc.clients[0].CreateSession(ctx, ckptConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same id addressed at the wrong node comes back 421 with the
+	// owner's contacts, on both a step and a status read.
+	wrong := tc.clients[1].Session(sess.ID())
+	_, err = wrong.StepBinary(ctx, testWords(1, 32))
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusMisdirectedRequest ||
+		ae.Code != server.CodeNotOwner {
+		t.Fatalf("step at wrong node = %v, want 421 not_owner", err)
+	}
+	if ae.Owner == nil || ae.Owner.Node != "n1" || ae.Owner.URL != tc.nodes[0].HTTP {
+		t.Fatalf("redirect owner = %+v, want n1 at %s", ae.Owner, tc.nodes[0].HTTP)
+	}
+	if _, err := wrong.Status(ctx); !errors.As(err, &ae) || ae.Code != server.CodeNotOwner {
+		t.Fatalf("status at wrong node = %v, want not_owner", err)
+	}
+}
+
+// TestClusterMigrateBitIdentical moves a session mid-stream and requires
+// the final result to match an uninterrupted single-node run bit for
+// bit; the source must answer stragglers with a moved redirect.
+func TestClusterMigrateBitIdentical(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	ctx := context.Background()
+	sess, err := tc.clients[0].CreateSession(ctx, ckptConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sess.ID()
+	runSeq(t, sess, 1, 6)
+
+	mr, err := tc.migrate(0, id, "n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Target != "n3" || mr.Seq != 6 {
+		t.Fatalf("migrate response = %+v, want target n3 seq 6", mr)
+	}
+
+	// Stragglers hitting the source get the moved redirect.
+	var ae *client.APIError
+	if _, err := sess.StepBinarySeq(ctx, 7, seqBatch(7)); !errors.As(err, &ae) ||
+		ae.Code != server.CodeMoved || ae.Owner == nil || ae.Owner.Node != "n3" {
+		t.Fatalf("step at source after migrate = %v, want moved->n3", err)
+	}
+	// An unrelated node redirects to the ring owner, which redirects on:
+	// the chain converges on the target.
+	if _, err := tc.clients[1].Session(id).StepBinarySeq(ctx, 7, seqBatch(7)); !errors.As(err, &ae) ||
+		(ae.Code != server.CodeNotOwner && ae.Code != server.CodeMoved) {
+		t.Fatalf("step at third node after migrate = %v, want a redirect", err)
+	}
+
+	moved := tc.clients[tc.nodeIdx("n3")].Session(id)
+	runSeq(t, moved, 7, 10)
+	res, err := moved.Result(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, res, referenceResult(t, 10))
+}
+
+// TestClusterMigrateRacingStep races a sequenced batch against the
+// migration. Whatever interleaving the scheduler picks, replaying the
+// batch on the target must leave the stream applied exactly once —
+// verified bit for bit against the oracle.
+func TestClusterMigrateRacingStep(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	ctx := context.Background()
+	sess, err := tc.clients[0].CreateSession(ctx, ckptConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sess.ID()
+	runSeq(t, sess, 1, 5)
+
+	raceErr := make(chan error, 1)
+	go func() {
+		_, err := sess.StepBinarySeq(ctx, 6, seqBatch(6))
+		raceErr <- err
+	}()
+	if _, err := tc.migrate(0, id, "n2"); err != nil {
+		t.Fatal(err)
+	}
+	// The racer either applied before the checkpoint (nil), chased the
+	// move (421), or lost the acquire race (409 busy). Anything else is a
+	// correctness hole.
+	if err := <-raceErr; err != nil {
+		var ae *client.APIError
+		if !errors.As(err, &ae) ||
+			(ae.Code != server.CodeMoved && ae.Code != server.CodeNotOwner &&
+				ae.Code != server.CodeSessionBusy) {
+			t.Fatalf("racing step = %v, want nil, moved, or busy", err)
+		}
+	}
+
+	moved := tc.clients[tc.nodeIdx("n2")].Session(id)
+	// Replay 6 (a duplicate when the racer won) and continue to 10.
+	runSeq(t, moved, 6, 10)
+	res, err := moved.Result(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, res, referenceResult(t, 10))
+}
+
+// TestClusterFailoverResurrect kills the owning node and resurrects the
+// session from its replicated checkpoint on a survivor, replaying the
+// unacknowledged tail — the client-driven failover path the chaos gate
+// exercises at process scale. The survivor's local replica is corrupted
+// first, so the restore must fall through to the second surviving copy.
+func TestClusterFailoverResurrect(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	ctx := context.Background()
+	sess, err := tc.clients[0].CreateSession(ctx, ckptConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sess.ID()
+	runSeq(t, sess, 1, 6)
+	if _, err := sess.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	runSeq(t, sess, 7, 8) // unacknowledged tail past the checkpoint
+
+	// Corrupt n2's replica: truncate the envelope mid-blob. The validator
+	// must reject it and fall back to n3's copy.
+	n2blob := filepath.Join(tc.dirs[1], id+".nbse")
+	data, err := os.ReadFile(n2blob)
+	if err != nil {
+		t.Fatalf("replica missing on n2: %v", err)
+	}
+	if err := os.WriteFile(n2blob, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tc.kill(0)
+
+	revived := tc.clients[1].Session(id)
+	resp, err := revived.Restore(ctx)
+	if err != nil {
+		t.Fatalf("resurrect on survivor: %v", err)
+	}
+	if !resp.Resurrected || resp.Seq != 6 {
+		t.Fatalf("resurrect = %+v, want resurrected at seq 6", resp)
+	}
+	runSeq(t, revived, resp.Seq+1, 10)
+	res, err := revived.Result(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, res, referenceResult(t, 10))
+}
+
+func TestClusterPeerBlobEndpoints(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ctx := context.Background()
+	st := blob.NewHTTPStore(tc.nodes[0].HTTP, nil)
+
+	// A torn envelope is rejected at the door: replication must never
+	// seed a peer with a blob that cannot restore.
+	if err := st.Put(ctx, "deadbeef", []byte("not an NBSE envelope")); err == nil {
+		t.Fatal("peer accepted a torn envelope")
+	}
+	if _, err := st.Get(ctx, "deadbeef"); !errors.Is(err, blob.ErrNotFound) {
+		t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+	}
+
+	// A real envelope (made by checkpointing a session) round-trips.
+	sess, err := tc.clients[0].CreateSession(ctx, ckptConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSeq(t, sess, 1, 2)
+	env, err := sess.CheckpointDownload(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(ctx, "deadbeef", env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(ctx, "deadbeef")
+	if err != nil || !bytes.Equal(got, env) {
+		t.Fatalf("peer round-trip: %v (len %d vs %d)", err, len(got), len(env))
+	}
+	ids, err := st.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, lid := range ids {
+		found = found || lid == "deadbeef"
+	}
+	if !found {
+		t.Fatalf("List = %v, missing deadbeef", ids)
+	}
+	if err := st.Delete(ctx, "deadbeef"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(ctx, "deadbeef"); !errors.Is(err, blob.ErrNotFound) {
+		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
+	}
+}
+
+// TestRouterFollowsMigration drives a RoutedSession across a live
+// migration: the handle re-binds to the target transparently and the
+// stream stays exactly-once.
+func TestRouterFollowsMigration(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	ctx := context.Background()
+	r, err := client.NewRouter(ctx, []string{tc.nodes[0].HTTP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		//nanolint:ignore droppederr test cleanup
+		_ = r.Close()
+	}()
+
+	rs, err := r.Open(ctx, ckptConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSeq(t, rs, 1, 5)
+
+	src := rs.Node()
+	var target string
+	for _, n := range tc.nodes {
+		if n.Name != src {
+			target = n.Name
+			break
+		}
+	}
+	if _, err := tc.migrate(tc.nodeIdx(src), rs.ID(), target); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next calls hit the old node, get the moved redirect, and follow
+	// it without surfacing an error.
+	runSeq(t, rs, 6, 10)
+	if rs.Node() != target {
+		t.Fatalf("routed session still pinned to %s, want %s", rs.Node(), target)
+	}
+	res, err := rs.Result(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, res, referenceResult(t, 10))
+}
+
+// TestRouterRecoverAfterNodeDeath is the router-level failover: the
+// owning node dies, Recover resurrects the session from a replica on a
+// survivor, and the caller replays the tail from the returned frontier.
+func TestRouterRecoverAfterNodeDeath(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	ctx := context.Background()
+	r, err := client.NewRouter(ctx, []string{tc.nodes[2].HTTP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		//nanolint:ignore droppederr test cleanup
+		_ = r.Close()
+	}()
+
+	rs, err := r.Open(ctx, ckptConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSeq(t, rs, 1, 6)
+	if _, err := rs.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	runSeq(t, rs, 7, 9)
+
+	tc.kill(tc.nodeIdx(rs.Node()))
+
+	resp, err := rs.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != 6 {
+		t.Fatalf("recovered at seq %d, want 6", resp.Seq)
+	}
+	runSeq(t, rs, resp.Seq+1, 12) // 7..9 replayed, 10..12 fresh
+	res, err := rs.Result(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, res, referenceResult(t, 12))
+}
+
+// TestClusterConcurrentSessions is the in-process 3-node soak: many
+// routed sessions streaming sequenced batches concurrently (run under
+// -race in CI). Cheap per-session checks — exact cycle accounting —
+// catch cross-session or cross-node state bleed.
+func TestClusterConcurrentSessions(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	ctx := context.Background()
+	const sessions, batches, wordsPer = 12, 5, 100
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := client.NewRouter(ctx, []string{tc.nodes[i%3].HTTP})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer func() {
+				//nanolint:ignore droppederr test cleanup
+				_ = r.Close()
+			}()
+			rs, err := r.Open(ctx, ckptConfig())
+			if err != nil {
+				errs <- err
+				return
+			}
+			for seq := uint64(1); seq <= batches; seq++ {
+				if _, err := rs.StepBinarySeq(ctx, seq, testWords(uint32(i)<<8|uint32(seq), wordsPer)); err != nil {
+					errs <- fmt.Errorf("session %d seq %d: %w", i, seq, err)
+					return
+				}
+			}
+			res, err := rs.Result(ctx, true)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Cycles != batches*wordsPer {
+				errs <- fmt.Errorf("session %d cycles = %d, want %d", i, res.Cycles, batches*wordsPer)
+				return
+			}
+			errs <- rs.Close(ctx)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}

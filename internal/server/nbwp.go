@@ -273,13 +273,26 @@ func (nc *nbwpConn) ackJSON(req nbwp.Header, v any) bool {
 
 // reply answers req with an ERROR frame carrying the v1 status and code.
 func (nc *nbwpConn) reply(req nbwp.Header, status int, code, msg string) bool {
-	nc.s.nbwpErrorsTotal.Add(1)
-	nc.payload = nbwp.AppendError(nc.payload[:0], status, code, msg)
-	return nc.writeFrame(nbwp.Header{Type: nbwp.TypeError, Slot: req.Slot, Seq: req.Seq}, nc.payload)
+	return nc.replyWire(req, nbwp.WireError{Status: status, Code: code, Msg: msg})
 }
 
+// replyErr answers req with he, carrying the owner hint (as the same
+// JSON OwnerInfo document the HTTP surface embeds) when a cluster
+// redirect set one.
 func (nc *nbwpConn) replyErr(req nbwp.Header, he *httpErr) bool {
-	return nc.reply(req, he.status, he.code, he.msg)
+	we := nbwp.WireError{Status: he.status, Code: he.code, Msg: he.msg}
+	if he.owner != nil {
+		if b, err := json.Marshal(he.owner); err == nil {
+			we.Owner = string(b)
+		}
+	}
+	return nc.replyWire(req, we)
+}
+
+func (nc *nbwpConn) replyWire(req nbwp.Header, we nbwp.WireError) bool {
+	nc.s.nbwpErrorsTotal.Add(1)
+	nc.payload = nbwp.AppendError(nc.payload[:0], we)
+	return nc.writeFrame(nbwp.Header{Type: nbwp.TypeError, Slot: req.Slot, Seq: req.Seq}, nc.payload)
 }
 
 // sendDrain broadcasts the unsolicited DRAIN frame once, flushing so it
@@ -301,12 +314,12 @@ func (nc *nbwpConn) sendDrain() {
 // slotSession resolves the frame's slot to its bound session.
 func (nc *nbwpConn) slotSession(h nbwp.Header) (*session, *httpErr) {
 	if h.Slot == 0 {
-		return nil, &httpErr{http.StatusBadRequest, CodeBadRequest, "frame needs a session slot (1-255)"}
+		return nil, herr(http.StatusBadRequest, CodeBadRequest, "frame needs a session slot (1-255)")
 	}
 	sess := nc.slots[h.Slot]
 	if sess == nil {
-		return nil, &httpErr{http.StatusNotFound, CodeNotFound,
-			fmt.Sprintf("slot %d is not bound; OPEN it first", h.Slot)}
+		return nil, herr(http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("slot %d is not bound; OPEN it first", h.Slot))
 	}
 	return sess, nil
 }
@@ -334,7 +347,7 @@ func (nc *nbwpConn) handleOpen(h nbwp.Header, payload []byte) bool {
 	if h.Flags&nbwp.FlagAttach != 0 {
 		existing, _, ok := nc.s.find(string(payload))
 		if !ok {
-			return nc.reply(h, http.StatusNotFound, CodeNotFound, "unknown session")
+			return nc.replyErr(h, nc.s.notFoundErr(string(payload)))
 		}
 		sess = existing
 	} else {
@@ -393,7 +406,7 @@ func (nc *nbwpConn) handleStep(h nbwp.Header, payload []byte) bool {
 	}
 	defer sess.release()
 	if sess.closed {
-		return nc.reply(h, http.StatusNotFound, CodeNotFound, "session closed")
+		return nc.replyErr(h, nc.s.closedErr(sess.id))
 	}
 	defer nc.s.harvestMemo(sess)
 
@@ -447,7 +460,7 @@ func (nc *nbwpConn) handleStep(h nbwp.Header, payload []byte) bool {
 		// Chaos harnesses arm this to fail an ingest batch mid-stream —
 		// the same failpoint as the HTTP binary path.
 		if ferr := faultinject.Hit("server.ingest.decode"); ferr != nil {
-			stepErr = &httpErr{http.StatusBadRequest, CodeBadRequest, "decode binary batch: " + ferr.Error()}
+			stepErr = herr(http.StatusBadRequest, CodeBadRequest, "decode binary batch: "+ferr.Error())
 		} else if len(payload) > 0 {
 			if need := len(payload) / 4; cap(nc.words) < need {
 				nc.words = make([]uint32, need)
@@ -457,7 +470,7 @@ func (nc *nbwpConn) handleStep(h nbwp.Header, payload []byte) bool {
 	} else {
 		idle, perr := nbwp.ParseIdle(payload)
 		if perr != nil {
-			stepErr = &httpErr{http.StatusBadRequest, CodeBadRequest, perr.Error()}
+			stepErr = herr(http.StatusBadRequest, CodeBadRequest, perr.Error())
 		} else if idle > 0 {
 			stepErr = nc.s.stepIdle(ctx, sess, idle, &sum)
 		}
@@ -473,7 +486,7 @@ func (nc *nbwpConn) handleStep(h nbwp.Header, payload []byte) bool {
 		sum.Seq = seq
 		sess.lastSum = sum
 	}
-	nc.s.maybeAutoCheckpoint(sess)
+	nc.s.maybeAutoCheckpoint(ctx, sess)
 	nc.s.nbwpStepFrames.Add(1)
 	nbwp.PutStepAck(&nc.ackBuf, nbwp.StepAck{
 		Words: sum.Words, Idle: sum.Idle, Cycles: sum.Cycles, Samples: sum.Samples,
@@ -510,7 +523,7 @@ func (nc *nbwpConn) handleResult(h nbwp.Header) bool {
 	}
 	defer sess.release()
 	if sess.closed {
-		return nc.reply(h, http.StatusNotFound, CodeNotFound, "session closed")
+		return nc.replyErr(h, nc.s.closedErr(sess.id))
 	}
 	defer nc.s.harvestMemo(sess)
 	res, rhe := nc.s.resultLocked(sess, h.Flags&nbwp.FlagNoFinish == 0)
@@ -539,13 +552,13 @@ func (nc *nbwpConn) handleCheckpoint(h nbwp.Header) bool {
 	}
 	defer sess.release()
 	if sess.closed {
-		return nc.reply(h, http.StatusNotFound, CodeNotFound, "session closed")
+		return nc.replyErr(h, nc.s.closedErr(sess.id))
 	}
 	if sess.dirtySeq {
 		return nc.reply(h, http.StatusConflict, CodeSeqConflict,
 			"a sequenced batch failed mid-apply; restore from a checkpoint first")
 	}
-	info, data, err := nc.s.checkpointLocked(sess)
+	info, data, err := nc.s.checkpointLocked(ctx, sess)
 	if err != nil {
 		return nc.replyErr(h, asHTTPErr(err))
 	}
@@ -573,13 +586,15 @@ func (nc *nbwpConn) handleRestore(h nbwp.Header, payload []byte) bool {
 		}
 		id = bound.id
 	}
+	ctx, cancel := nc.reqCtx()
+	defer cancel()
 	if len(envData) == 0 {
 		if nc.s.cfg.Store == nil {
 			return nc.reply(h, http.StatusNotImplemented, CodeNoStore,
 				"no checkpoint store configured and no inline envelope sent")
 		}
-		b, err := nc.s.cfg.Store.Load(id)
-		if errors.Is(err, ErrNoCheckpoint) {
+		b, err := nc.s.cfg.Store.Get(ctx, id)
+		if noCheckpoint(err) {
 			return nc.reply(h, http.StatusNotFound, CodeNoCheckpoint, err.Error())
 		}
 		if err != nil {
@@ -594,8 +609,6 @@ func (nc *nbwpConn) handleRestore(h nbwp.Header, payload []byte) bool {
 	if err != nil {
 		return nc.replyErr(h, asHTTPErr(err))
 	}
-	ctx, cancel := nc.reqCtx()
-	defer cancel()
 	resp, rhe := nc.s.restoreSession(ctx, id, env)
 	if rhe != nil {
 		return nc.replyErr(h, rhe)
@@ -631,9 +644,9 @@ func (nc *nbwpConn) handleGoodbye(h nbwp.Header) bool {
 	if sess.closed {
 		nc.slots[h.Slot] = nil
 		nc.stream[h.Slot] = false
-		return nc.reply(h, http.StatusNotFound, CodeNotFound, "session closed")
+		return nc.replyErr(h, nc.s.closedErr(sess.id))
 	}
-	resp := nc.s.closeLocked(sess, nc.s.shards[shardOf(sess.id, len(nc.s.shards))])
+	resp := nc.s.closeLocked(ctx, sess, nc.s.shards[shardOf(sess.id, len(nc.s.shards))])
 	nc.slots[h.Slot] = nil
 	nc.stream[h.Slot] = false
 	return nc.ackJSON(h, resp)

@@ -92,12 +92,12 @@ func (r *rawNBWP) expectError(req nbwp.Header, wantStatus int, wantCode string) 
 	if h.Type != nbwp.TypeError || h.Slot != req.Slot || h.Seq != req.Seq {
 		r.t.Fatalf("got %+v, want ERROR echoing slot %d seq %d", h, req.Slot, req.Seq)
 	}
-	status, code, msg, err := nbwp.ParseError(p)
+	we, err := nbwp.ParseError(p)
 	if err != nil {
 		r.t.Fatal(err)
 	}
-	if status != wantStatus || code != wantCode {
-		r.t.Fatalf("error = %d %q (%s), want %d %q", status, code, msg, wantStatus, wantCode)
+	if we.Status != wantStatus || we.Code != wantCode {
+		r.t.Fatalf("error = %d %q (%s), want %d %q", we.Status, we.Code, we.Msg, wantStatus, wantCode)
 	}
 }
 
@@ -222,9 +222,9 @@ func TestNBWPDamagedFramingHangsUp(t *testing.T) {
 	if h.Type != nbwp.TypeError {
 		t.Fatalf("got %+v, want ERROR", h)
 	}
-	status, code, _, err := nbwp.ParseError(p)
-	if err != nil || status != http.StatusBadRequest || code != server.CodeBadRequest {
-		t.Fatalf("framing error = %d %q (%v)", status, code, err)
+	we, err := nbwp.ParseError(p)
+	if err != nil || we.Status != http.StatusBadRequest || we.Code != server.CodeBadRequest {
+		t.Fatalf("framing error = %d %q (%v)", we.Status, we.Code, err)
 	}
 	if _, err := r.fr.ReadFrame(&h); !errors.Is(err, io.EOF) {
 		t.Fatalf("after damaged framing read = %v, want EOF", err)

@@ -204,10 +204,26 @@ type HealthResponse struct {
 	Sessions int64  `json:"sessions"`
 }
 
+// OwnerInfo names the cluster node a redirected request should go to.
+// It rides on not_owner/moved errors so clients re-route without a
+// second lookup; single-node servers never emit it.
+type OwnerInfo struct {
+	// Node is the owning member's stable cluster name.
+	Node string `json:"node"`
+	// URL is the owner's v1 API base URL.
+	URL string `json:"url"`
+	// NBWP is the owner's NBWP host:port, when it serves the binary
+	// protocol.
+	NBWP string `json:"nbwp,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code"`
+	// Owner points at the cluster node that owns the session, set only
+	// with CodeNotOwner and CodeMoved.
+	Owner *OwnerInfo `json:"owner,omitempty"`
 }
 
 // Machine-readable error codes of the v1 API.
@@ -241,4 +257,11 @@ const (
 	// CodeCheckpointMismatch marks a checkpoint whose configuration does
 	// not match the session it is being restored into.
 	CodeCheckpointMismatch = "checkpoint_mismatch"
+	// CodeNotOwner rejects (421) a session request on a cluster node the
+	// hash ring does not assign the id to; the Owner field names the node
+	// that serves it.
+	CodeNotOwner = "not_owner"
+	// CodeMoved rejects a request for a session this node migrated away;
+	// the Owner field names the node it moved to.
+	CodeMoved = "moved"
 )

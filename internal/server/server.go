@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nanobus/internal/cluster"
 	"nanobus/internal/core"
 	"nanobus/internal/encoding"
 	"nanobus/internal/faultinject"
@@ -45,13 +46,37 @@ type Config struct {
 	AcquireTimeout time.Duration
 	// Store persists session checkpoints for PUT restore and resurrection
 	// after a process restart; nil disables server-side persistence
-	// (checkpoint?download=1 still works).
-	Store CheckpointStore
+	// (checkpoint?download=1 still works). In cluster mode this is the
+	// replicated store (blob.NewReplicated) so checkpoints survive the
+	// node that wrote them.
+	Store BlobStore
+	// PeerStore backs the /v1/cluster/blobs peer-replication endpoints.
+	// It must be the node's *local* store — serving the replicated Store
+	// there would cascade fan-outs between peers. Nil falls back to Store
+	// (correct for single-store deployments).
+	PeerStore BlobStore
 	// AutoCheckpointCycles checkpoints each session to Store every N
 	// simulated cycles as step requests complete; 0 disables automatic
 	// checkpoints. Requires Store.
 	AutoCheckpointCycles uint64
+	// Cluster configures multi-node mode; the zero value (empty Self)
+	// runs the server single-node with every cluster endpoint inert.
+	Cluster ClusterConfig
 }
+
+// ClusterConfig names this node and its peers for multi-node mode.
+type ClusterConfig struct {
+	// Self is this node's member name; it must appear in Nodes.
+	Self string
+	// Nodes is the full static membership, including self.
+	Nodes []cluster.Node
+	// Replicas is the number of peer copies each checkpoint is fanned
+	// out to (informational here; cmd/nanobusd builds the replicated
+	// store). Reported by GET /v1/cluster.
+	Replicas int
+}
+
+func (c ClusterConfig) enabled() bool { return c.Self != "" && len(c.Nodes) > 0 }
 
 func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
@@ -85,6 +110,18 @@ type Server struct {
 
 	draining atomic.Bool
 	active   atomic.Int64
+
+	// Cluster state: the ownership ring (nil single-node) and the moved
+	// table recording sessions this node migrated away, so late traffic
+	// is redirected at the node that now serves them.
+	ring    *cluster.Ring
+	movedMu sync.Mutex
+	moved   map[string]string
+	peerHC  *http.Client
+
+	migratedTotal atomic.Uint64
+	notOwnerTotal atomic.Uint64
+	movedTotal    atomic.Uint64
 
 	createdTotal  atomic.Uint64
 	recycledTotal atomic.Uint64
@@ -135,6 +172,11 @@ func New(cfg Config) *Server {
 	for i := range s.shards {
 		s.shards[i] = &shard{sessions: make(map[string]*session)}
 	}
+	if cfg.Cluster.enabled() {
+		s.ring = cluster.NewRing(cluster.Names(cfg.Cluster.Nodes))
+		s.moved = make(map[string]string)
+		s.peerHC = &http.Client{Timeout: 30 * time.Second}
+	}
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSession)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
@@ -144,6 +186,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("PUT /v1/sessions/{id}/restore", s.handleRestore)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleClusterStatus)
+	s.mux.HandleFunc("POST /v1/cluster/sessions/{id}/migrate", s.handleMigrate)
+	s.mux.HandleFunc("PUT /v1/cluster/blobs/{id}", s.handleBlobPut)
+	s.mux.HandleFunc("GET /v1/cluster/blobs/{id}", s.handleBlobGet)
+	s.mux.HandleFunc("DELETE /v1/cluster/blobs/{id}", s.handleBlobDelete)
+	s.mux.HandleFunc("GET /v1/cluster/blobs", s.handleBlobList)
 	return s
 }
 
@@ -178,12 +226,23 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
 }
 
+// writeHTTPErr writes he as the response, owner hint included.
+func writeHTTPErr(w http.ResponseWriter, he *httpErr) {
+	writeJSON(w, he.status, ErrorResponse{Error: he.msg, Code: he.code, Owner: he.owner})
+}
+
 // httpErr carries an error with its v1 status and code through the body
-// consumers.
+// consumers; owner rides along on cluster redirects.
 type httpErr struct {
 	status int
 	code   string
 	msg    string
+	owner  *OwnerInfo
+}
+
+// herr builds an ownerless httpErr (the common case).
+func herr(status int, code, msg string) *httpErr {
+	return &httpErr{status: status, code: code, msg: msg}
 }
 
 func (e *httpErr) Error() string { return e.msg }
@@ -195,15 +254,15 @@ func asHTTPErr(err error) *httpErr {
 	case errors.As(err, &he):
 		return he
 	case errors.Is(err, core.ErrPoisoned):
-		return &httpErr{http.StatusInternalServerError, CodePoisoned, err.Error()}
+		return herr(http.StatusInternalServerError, CodePoisoned, err.Error())
 	case errors.Is(err, core.ErrCheckpointCorrupt):
-		return &httpErr{http.StatusUnprocessableEntity, CodeCheckpointCorrupt, err.Error()}
+		return herr(http.StatusUnprocessableEntity, CodeCheckpointCorrupt, err.Error())
 	case errors.Is(err, core.ErrCheckpointMismatch):
-		return &httpErr{http.StatusConflict, CodeCheckpointMismatch, err.Error()}
+		return herr(http.StatusConflict, CodeCheckpointMismatch, err.Error())
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return &httpErr{http.StatusRequestTimeout, CodeCanceled, err.Error()}
+		return herr(http.StatusRequestTimeout, CodeCanceled, err.Error())
 	default:
-		return &httpErr{http.StatusInternalServerError, CodeInternal, err.Error()}
+		return herr(http.StatusInternalServerError, CodeInternal, err.Error())
 	}
 }
 
@@ -270,12 +329,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 // OPEN frame reduce to it.
 func (s *Server) openSession(req CreateSessionRequest) (*session, *httpErr) {
 	if s.draining.Load() {
-		return nil, &httpErr{http.StatusServiceUnavailable, CodeDraining, "server is draining"}
+		return nil, herr(http.StatusServiceUnavailable, CodeDraining, "server is draining")
 	}
 	if s.active.Add(1) > int64(s.cfg.MaxSessions) {
 		s.active.Add(-1)
-		return nil, &httpErr{http.StatusServiceUnavailable, CodeServerFull,
-			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions)}
+		return nil, herr(http.StatusServiceUnavailable, CodeServerFull,
+			fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions))
 	}
 	sess, he := s.buildSession(req)
 	if he == nil {
@@ -289,12 +348,25 @@ func (s *Server) openSession(req CreateSessionRequest) (*session, *httpErr) {
 }
 
 // registerFresh registers sess under a newly minted id, retrying the
-// (vanishingly unlikely) id collision.
+// (vanishingly unlikely) id collision. In cluster mode it also mints
+// until the ring assigns the id to this node, so a freshly created
+// session is always owned where it lives — clients can route any later
+// request by hashing the id, with no ownership table to consult.
 func (s *Server) registerFresh(sess *session) *httpErr {
-	for {
+	// With N nodes an id lands on self with probability ~1/N; 4096 tries
+	// failing means the ring or the RNG is broken, not bad luck.
+	const maxMintTries = 4096
+	for tries := 0; ; tries++ {
 		id, err := newSessionID()
 		if err != nil {
-			return &httpErr{http.StatusInternalServerError, CodeInternal, err.Error()}
+			return herr(http.StatusInternalServerError, CodeInternal, err.Error())
+		}
+		if s.ring != nil && s.ring.Owner(id) != s.cfg.Cluster.Self {
+			if tries >= maxMintTries {
+				return herr(http.StatusInternalServerError, CodeInternal,
+					fmt.Sprintf("could not mint a self-owned session id in %d tries", maxMintTries))
+			}
+			continue
 		}
 		if s.registerSession(sess, id) {
 			s.createdTotal.Add(1)
@@ -310,7 +382,7 @@ func (s *Server) registerFresh(sess *session) *httpErr {
 func (s *Server) buildSession(req CreateSessionRequest) (*session, *httpErr) {
 	node, err := itrs.Resolve(req.Node)
 	if err != nil {
-		return nil, &httpErr{http.StatusBadRequest, CodeUnknownNode, err.Error()}
+		return nil, herr(http.StatusBadRequest, CodeUnknownNode, err.Error())
 	}
 	encName := req.Encoding
 	if encName == "" {
@@ -318,11 +390,11 @@ func (s *Server) buildSession(req CreateSessionRequest) (*session, *httpErr) {
 	}
 	enc, err := encoding.New(encName)
 	if err != nil {
-		return nil, &httpErr{http.StatusBadRequest, CodeUnknownEncoding, err.Error()}
+		return nil, herr(http.StatusBadRequest, CodeUnknownEncoding, err.Error())
 	}
 	if req.LengthM < 0 {
-		return nil, &httpErr{http.StatusBadRequest, CodeBadRequest,
-			fmt.Sprintf("negative bus length %g", req.LengthM)}
+		return nil, herr(http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("negative bus length %g", req.LengthM))
 	}
 
 	// Normalise to the effective configuration so pool keys, SessionInfo
@@ -351,7 +423,7 @@ func (s *Server) buildSession(req CreateSessionRequest) (*session, *httpErr) {
 	}
 	reqJSON, err := json.Marshal(norm)
 	if err != nil {
-		return nil, &httpErr{http.StatusInternalServerError, CodeInternal, err.Error()}
+		return nil, herr(http.StatusInternalServerError, CodeInternal, err.Error())
 	}
 	key := poolKey{
 		node:     node.Name,
@@ -376,7 +448,7 @@ func (s *Server) buildSession(req CreateSessionRequest) (*session, *httpErr) {
 			DropSamples:    req.DropSamples,
 		})
 		if err != nil {
-			return nil, &httpErr{http.StatusBadRequest, CodeBadRequest, err.Error()}
+			return nil, herr(http.StatusBadRequest, CodeBadRequest, err.Error())
 		}
 	} else {
 		s.recycledTotal.Add(1)
@@ -413,6 +485,13 @@ func (s *Server) registerSession(sess *session, id string) bool {
 	sess.info.ID = id
 	sess.info.Shard = idx
 	sh.sessions[id] = sess
+	// A session registering here supersedes any moved-away record (it
+	// migrated back, or was resurrected locally after a failover).
+	if s.moved != nil {
+		s.movedMu.Lock()
+		delete(s.moved, id)
+		s.movedMu.Unlock()
+	}
 	return true
 }
 
@@ -421,7 +500,7 @@ func (s *Server) registerSession(sess *session, id string) bool {
 func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	sess, _, ok := s.find(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		writeHTTPErr(w, s.notFoundErr(r.PathValue("id")))
 		return
 	}
 	info := sess.info
@@ -451,7 +530,7 @@ func (s *Server) acquireSession(ctx context.Context, sess *session) error {
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	sess, sh, ok := s.find(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		writeHTTPErr(w, s.notFoundErr(r.PathValue("id")))
 		return
 	}
 	q := r.URL.Query()
@@ -488,7 +567,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sess.release()
 	if sess.closed {
-		writeError(w, http.StatusNotFound, CodeNotFound, "session closed")
+		writeHTTPErr(w, s.closedErr(sess.id))
 		return
 	}
 	defer s.harvestMemo(sess)
@@ -571,7 +650,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 			sum.Seq = seq
 			sess.lastSum = sum
 		}
-		s.maybeAutoCheckpoint(sess)
+		s.maybeAutoCheckpoint(ctx, sess)
 	}
 	if stepErr != nil {
 		he := asHTTPErr(stepErr)
@@ -627,13 +706,13 @@ func (s *Server) consumeBinary(ctx context.Context, body io.Reader, sess *sessio
 		n, err := io.ReadFull(body, f.buf)
 		if n > 0 {
 			if n%4 != 0 {
-				return &httpErr{http.StatusBadRequest, CodeBadRequest,
-					fmt.Sprintf("binary body length is not a multiple of 4 (%d trailing bytes)", n%4)}
+				return herr(http.StatusBadRequest, CodeBadRequest,
+					fmt.Sprintf("binary body length is not a multiple of 4 (%d trailing bytes)", n%4))
 			}
 			// Chaos harnesses arm this to fail an ingest chunk mid-batch.
 			if ferr := faultinject.Hit("server.ingest.decode"); ferr != nil {
-				return &httpErr{http.StatusBadRequest, CodeBadRequest,
-					"decode binary batch: " + ferr.Error()}
+				return herr(http.StatusBadRequest, CodeBadRequest,
+					"decode binary batch: "+ferr.Error())
 			}
 			if err := s.stepWords(ctx, sess, decodeWords(f.words, f.buf[:n]), sum); err != nil {
 				return err
@@ -665,16 +744,16 @@ func (s *Server) consumeNDJSON(ctx context.Context, body io.Reader, sess *sessio
 		}
 		// Chaos harnesses arm this to fail an ingest line mid-batch.
 		if ferr := faultinject.Hit("server.ingest.decode"); ferr != nil {
-			return &httpErr{http.StatusBadRequest, CodeBadRequest,
-				"decode step line: " + ferr.Error()}
+			return herr(http.StatusBadRequest, CodeBadRequest,
+				"decode step line: "+ferr.Error())
 		}
 		var sl StepLine
 		if err := json.Unmarshal(line, &sl); err != nil {
-			return &httpErr{http.StatusBadRequest, CodeBadRequest, "decode step line: " + err.Error()}
+			return herr(http.StatusBadRequest, CodeBadRequest, "decode step line: "+err.Error())
 		}
 		if len(sl.Words) > s.cfg.MaxBatchWords {
-			return &httpErr{http.StatusRequestEntityTooLarge, CodeBatchTooLarge,
-				fmt.Sprintf("batch of %d words exceeds the %d-word limit", len(sl.Words), s.cfg.MaxBatchWords)}
+			return herr(http.StatusRequestEntityTooLarge, CodeBatchTooLarge,
+				fmt.Sprintf("batch of %d words exceeds the %d-word limit", len(sl.Words), s.cfg.MaxBatchWords))
 		}
 		if len(sl.Words) > 0 {
 			if err := s.stepWords(ctx, sess, sl.Words, sum); err != nil {
@@ -689,8 +768,8 @@ func (s *Server) consumeNDJSON(ctx context.Context, body io.Reader, sess *sessio
 	}
 	if err := sc.Err(); err != nil {
 		if errors.Is(err, bufio.ErrTooLong) {
-			return &httpErr{http.StatusRequestEntityTooLarge, CodeBatchTooLarge,
-				fmt.Sprintf("step line exceeds %d bytes", maxLine)}
+			return herr(http.StatusRequestEntityTooLarge, CodeBatchTooLarge,
+				fmt.Sprintf("step line exceeds %d bytes", maxLine))
 		}
 		return fmt.Errorf("read body: %w: %w", context.Canceled, err)
 	}
@@ -702,7 +781,7 @@ func (s *Server) consumeNDJSON(ctx context.Context, body io.Reader, sess *sessio
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	sess, sh, ok := s.find(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		writeHTTPErr(w, s.notFoundErr(r.PathValue("id")))
 		return
 	}
 	ctx := r.Context()
@@ -719,7 +798,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sess.release()
 	if sess.closed {
-		writeError(w, http.StatusNotFound, CodeNotFound, "session closed")
+		writeHTTPErr(w, s.closedErr(sess.id))
 		return
 	}
 	defer s.harvestMemo(sess)
@@ -780,7 +859,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sess, sh, ok := s.find(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		writeHTTPErr(w, s.notFoundErr(id))
 		return
 	}
 	sh.queue.Add(1)
@@ -791,17 +870,30 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sess.release()
 	if sess.closed {
-		writeError(w, http.StatusNotFound, CodeNotFound, "session closed")
+		writeHTTPErr(w, s.closedErr(sess.id))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.closeLocked(sess, sh))
+	writeJSON(w, http.StatusOK, s.closeLocked(r.Context(), sess, sh))
 }
 
 // closeLocked tears a session down: deregisters it, drops its stored
 // checkpoint, and recycles the simulator. Both DELETE and the NBWP
 // GOODBYE frame reduce to it. The caller must hold the session and have
 // verified it is not already closed.
-func (s *Server) closeLocked(sess *session, sh *shard) CloseResponse {
+func (s *Server) closeLocked(ctx context.Context, sess *session, sh *shard) CloseResponse {
+	resp := s.deregister(sess, sh)
+	if s.cfg.Store != nil {
+		// A deleted session must not be resurrectable.
+		//nanolint:ignore droppederr best-effort cleanup; a stale envelope only wastes store space
+		_ = s.cfg.Store.Delete(ctx, sess.id)
+	}
+	return resp
+}
+
+// deregister removes sess from the table and recycles its simulator,
+// leaving any stored checkpoint alone (migration keeps the envelope —
+// it now belongs to the target node). The caller must hold the session.
+func (s *Server) deregister(sess *session, sh *shard) CloseResponse {
 	sess.closed = true
 	s.harvestMemo(sess)
 	cycles := sess.words.Load() + sess.idle.Load()
@@ -809,11 +901,6 @@ func (s *Server) closeLocked(sess *session, sh *shard) CloseResponse {
 	sh.mu.Lock()
 	delete(sh.sessions, sess.id)
 	sh.mu.Unlock()
-	if s.cfg.Store != nil {
-		// A deleted session must not be resurrectable.
-		//nanolint:ignore droppederr best-effort cleanup; a stale envelope only wastes store space
-		_ = s.cfg.Store.Delete(sess.id)
-	}
 	s.pool.put(sess.key, sess.sim)
 	s.active.Add(-1)
 	s.closedTotal.Add(1)

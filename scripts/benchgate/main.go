@@ -10,6 +10,15 @@
 // machine. Benchmarks absent from the baseline are reported and skipped,
 // so adding a benchmark never breaks the gate before the baseline is
 // regenerated (scripts/bench.sh).
+//
+// With -cluster-gate the tool instead judges the baseline's recorded
+// cluster_gate block (written by scripts/bench_server.sh): aggregate
+// 3-node words/s must be at least -cluster-min times the single-node
+// rate. The scaling target only means something when the machine can
+// actually run the fleet in parallel, so on boxes with fewer than 4
+// cores the gate degrades to a sanity floor — clustering on a
+// timeshared core must not collapse aggregate throughput below half the
+// single-node rate. No stdin is read in this mode.
 package main
 
 import (
@@ -24,14 +33,26 @@ import (
 )
 
 type baselineFile struct {
-	Benchmarks []baselineEntry `json:"benchmarks"`
-	CPU        string          `json:"cpu"`
+	Benchmarks  []baselineEntry `json:"benchmarks"`
+	CPU         string          `json:"cpu"`
+	ClusterGate *clusterGate    `json:"cluster_gate"`
 }
 
 type baselineEntry struct {
 	Name       string  `json:"name"`
 	GoMaxProcs int     `json:"gomaxprocs"`
 	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// clusterGate is the 3-node throughput record scripts/bench_server.sh
+// writes into BENCH_server.json.
+type clusterGate struct {
+	Nodes              int     `json:"nodes"`
+	SessionsPerNode    int     `json:"sessions_per_node"`
+	Cores              int     `json:"cores"`
+	ClusterWordsPerSec float64 `json:"cluster_words_per_sec"`
+	SingleWordsPerSec  float64 `json:"single_words_per_sec"`
+	Ratio              float64 `json:"ratio"`
 }
 
 // benchLine matches e.g. "BenchmarkRunPair/optimized-4  1000  43.17 ns/op ...".
@@ -45,6 +66,8 @@ func realMain() int {
 	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
 	baselinePath := fs.String("baseline", "BENCH_hotpath.json", "baseline JSON written by scripts/bench.sh")
 	maxRatio := fs.Float64("max-ratio", 2.0, "fail when measured ns/op exceeds baseline by this factor")
+	cluster := fs.Bool("cluster-gate", false, "judge the baseline's cluster_gate block instead of stdin bench lines")
+	clusterMin := fs.Float64("cluster-min", 2.5, "with -cluster-gate: minimum aggregate/single words-per-sec ratio on machines with >= 4 cores")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
 	}
@@ -58,6 +81,9 @@ func realMain() int {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: parse %s: %v\n", *baselinePath, err)
 		return 2
+	}
+	if *cluster {
+		return clusterGateMain(base.ClusterGate, *clusterMin)
 	}
 	// Baseline lookup is (name, gomaxprocs): the same kernel legitimately
 	// differs across parallelism levels, so entries never cross-match.
@@ -135,5 +161,31 @@ func realMain() int {
 		return 1
 	}
 	fmt.Printf("benchgate: all %d gated benchmark(s) within %.2fx of baseline\n", gated, *maxRatio)
+	return 0
+}
+
+// clusterGateMain judges the recorded 3-node scaling ratio. The full
+// target applies only when the recording machine could host the fleet in
+// parallel (>= 4 cores: three nodes plus the drivers); below that the
+// nodes timeshare one core and the only meaningful check is that
+// clustering does not collapse throughput.
+func clusterGateMain(g *clusterGate, minRatio float64) int {
+	if g == nil {
+		fmt.Fprintln(os.Stderr, "benchgate: baseline has no cluster_gate block (rerun scripts/bench_server.sh)")
+		return 2
+	}
+	required := minRatio
+	mode := "scaling"
+	if g.Cores < 4 {
+		required = 0.5
+		mode = fmt.Sprintf("timeshared (%d cores)", g.Cores)
+	}
+	fmt.Printf("benchgate: cluster_gate [%s]: %d nodes x %d sessions: %.0f words/s aggregate vs %.0f single (%.2fx, need >= %.2fx)\n",
+		mode, g.Nodes, g.SessionsPerNode, g.ClusterWordsPerSec, g.SingleWordsPerSec, g.Ratio, required)
+	if g.Ratio < required {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: cluster ratio %.2fx below %.2fx\n", g.Ratio, required)
+		return 1
+	}
+	fmt.Println("benchgate: cluster gate ok")
 	return 0
 }

@@ -10,7 +10,10 @@
 // once over the HTTP surface and once over the NBWP binary protocol,
 // where the kill lands mid-pipeline with unacknowledged STEP frames in
 // flight and recovery goes through a RESTORE frame on a fresh
-// connection.
+// connection. The whole recovery path — resurrect, duplicate absorption,
+// replay through an injected fault, final comparison — is written once
+// against the transport-agnostic client.Transport/client.Session
+// interface and shared by both legs.
 //
 //	go build -o /tmp/nanobusd ./cmd/nanobusd
 //	go run ./scripts/chaos -bin /tmp/nanobusd
@@ -184,11 +187,12 @@ func (d *daemon) drain(ctx context.Context) error {
 	return nil
 }
 
-// replay sends batches from..nBatches, recovering from any mid-stream
-// failure (injected ingest faults, seq conflicts) by restoring the last
-// checkpoint and resuming from its acknowledged sequence number. It
-// returns how many recoveries were needed.
-func replay(ctx context.Context, sess *client.Session, from uint64) (int, error) {
+// replay sends batches from..nBatches through the transport-agnostic
+// Session interface, recovering from any mid-stream failure (injected
+// ingest faults, seq conflicts) by restoring the last checkpoint and
+// resuming from its acknowledged sequence number. It returns how many
+// recoveries were needed.
+func replay(ctx context.Context, sess client.Session, from uint64) (int, error) {
 	recoveries := 0
 	for seq := from; seq <= nBatches; {
 		sum, err := sess.StepBinarySeq(ctx, seq, batch(seq))
@@ -211,6 +215,49 @@ func replay(ctx context.Context, sess *client.Session, from uint64) (int, error)
 		seq = res.Seq + 1
 	}
 	return recoveries, nil
+}
+
+// resume is the shared recovery half of both legs: resurrect id from the
+// checkpoint store through tr, require a rewind to a checkpointed
+// frontier, absorb a duplicate of that frontier, replay the tail through
+// the armed ingest failpoint, and require the final figures to match the
+// uninterrupted library run bit for bit. It returns the live handle so
+// the caller can close it over its own transport.
+func resume(ctx context.Context, tr client.Transport, ref *nanobus.Bus, id, label string) (client.Session, error) {
+	sess, res, err := tr.Resurrect(ctx, id, nil)
+	if err != nil {
+		return nil, fmt.Errorf("resurrect: %w", err)
+	}
+	if !res.Resurrected {
+		return nil, fmt.Errorf("restore did not resurrect: %+v", res)
+	}
+	fmt.Printf("chaos: %s: resurrected %s at seq %d (cycle %d)\n", label, id, res.Seq, res.Cycles)
+	if res.Seq >= 7 {
+		return nil, fmt.Errorf("checkpoint claims seq %d, but only 6 could have been checkpointed", res.Seq)
+	}
+	// A duplicate of the last checkpointed batch must be absorbed, not
+	// double-counted.
+	dup, err := sess.StepBinarySeq(ctx, res.Seq, batch(res.Seq))
+	if err != nil || !dup.Duplicate {
+		return nil, fmt.Errorf("duplicate of seq %d: sum=%+v err=%v", res.Seq, dup, err)
+	}
+	recoveries, err := replay(ctx, sess, res.Seq+1)
+	if err != nil {
+		return nil, err
+	}
+	if recoveries == 0 {
+		return nil, fmt.Errorf("ingest failpoint never fired: the %s leg did not exercise the recovery path", label)
+	}
+	final, err := sess.Result(ctx, true)
+	if err != nil {
+		return nil, fmt.Errorf("result: %w", err)
+	}
+	if err := compareFinal(ref, final); err != nil {
+		return nil, err
+	}
+	fmt.Printf("chaos: %s: %d batches survived kill -9 + injected ingest fault; %d samples bit-identical (total %.4g J)\n",
+		label, nBatches, len(final.Samples), final.Total.TotalJ)
+	return sess, nil
 }
 
 func run(ctx context.Context, bin string) error {
@@ -251,7 +298,7 @@ func httpLeg(ctx context.Context, bin string, ref *nanobus.Bus) error {
 		d1.kill()
 		return fmt.Errorf("healthz: %w", err)
 	}
-	sess1, err := c1.CreateSession(ctx, client.SessionConfig{
+	sess1, err := c1.OpenSession(ctx, client.SessionConfig{
 		Node: nodeName, Encoding: scheme, IntervalCycles: interval,
 	})
 	if err != nil {
@@ -264,7 +311,7 @@ func httpLeg(ctx context.Context, bin string, ref *nanobus.Bus) error {
 			return fmt.Errorf("seq %d on daemon 1: %w", seq, err)
 		}
 	}
-	id := sess1.Info.ID
+	id := sess1.ID()
 	fmt.Printf("chaos: killing nanobusd (pid %d) with 7/%d batches acknowledged\n",
 		d1.cmd.Process.Pid, nBatches)
 	d1.kill()
@@ -283,43 +330,10 @@ func httpLeg(ctx context.Context, bin string, ref *nanobus.Bus) error {
 			d2.kill()
 		}
 	}()
-	c2 := client.New(d2.url(), retry)
-	sess2 := c2.Session(id)
-	res, err := sess2.Restore(ctx)
-	if err != nil {
-		return fmt.Errorf("resurrect: %w", err)
-	}
-	if !res.Resurrected {
-		return fmt.Errorf("restore did not resurrect: %+v", res)
-	}
-	fmt.Printf("chaos: resurrected %s at seq %d (cycle %d)\n", id, res.Seq, res.Cycles)
-	if res.Seq >= 7 {
-		return fmt.Errorf("checkpoint claims seq %d, but only 6 could have been checkpointed", res.Seq)
-	}
-	// A duplicate of the last checkpointed batch must be absorbed, not
-	// double-counted.
-	dup, err := sess2.StepBinarySeq(ctx, res.Seq, batch(res.Seq))
-	if err != nil || !dup.Duplicate {
-		return fmt.Errorf("duplicate of seq %d: sum=%+v err=%v", res.Seq, dup, err)
-	}
-	recoveries, err := replay(ctx, sess2, res.Seq+1)
+	sess2, err := resume(ctx, client.New(d2.url(), retry), ref, id, "http")
 	if err != nil {
 		return err
 	}
-	if recoveries == 0 {
-		return fmt.Errorf("ingest failpoint never fired: the chaos run did not exercise the recovery path")
-	}
-
-	final, err := sess2.Result(ctx, true)
-	if err != nil {
-		return fmt.Errorf("result: %w", err)
-	}
-	if err := compareFinal(ref, final); err != nil {
-		return err
-	}
-	fmt.Printf("chaos: http: %d batches survived kill -9 + injected ingest fault; %d samples bit-identical (total %.4g J)\n",
-		nBatches, len(final.Samples), final.Total.TotalJ)
-
 	if err := sess2.Close(ctx); err != nil {
 		return fmt.Errorf("close: %w", err)
 	}
@@ -367,33 +381,6 @@ func compareFinal(ref *nanobus.Bus, final *client.Result) error {
 	return nil
 }
 
-// replayNBWP is replay over the binary protocol: blocking sequenced
-// steps from..nBatches with restore-and-resume recovery.
-func replayNBWP(ctx context.Context, sess *client.NBWPSession, from uint64) (int, error) {
-	recoveries := 0
-	for seq := from; seq <= nBatches; {
-		sum, err := sess.StepBinarySeq(ctx, seq, batch(seq))
-		if err == nil {
-			if sum.Duplicate {
-				fmt.Printf("chaos: nbwp seq %d absorbed as duplicate\n", seq)
-			}
-			seq++
-			continue
-		}
-		if recoveries++; recoveries > 5 {
-			return recoveries, fmt.Errorf("giving up after %d recoveries; last: %w", recoveries-1, err)
-		}
-		fmt.Printf("chaos: nbwp seq %d failed (%v); restoring\n", seq, err)
-		res, rerr := sess.Restore(ctx)
-		if rerr != nil {
-			return recoveries, fmt.Errorf("restore after failed seq %d: %w", seq, rerr)
-		}
-		fmt.Printf("chaos: nbwp rewound to seq %d (cycle %d)\n", res.Seq, res.Cycles)
-		seq = res.Seq + 1
-	}
-	return recoveries, nil
-}
-
 // nbwpLeg reruns the crash scenario over the binary protocol: a window
 // of pipelined sequenced STEP frames is in flight when the daemon is
 // SIGKILLed, so the tail acks are lost with the connection. A second
@@ -421,14 +408,21 @@ func nbwpLeg(ctx context.Context, bin string, ref *nanobus.Bus) error {
 		d1.kill()
 		return fmt.Errorf("dial: %w", err)
 	}
-	sess1, err := nc1.Open(ctx, client.SessionConfig{
+	opened, err := nc1.OpenSession(ctx, client.SessionConfig{
 		Node: nodeName, Encoding: scheme, IntervalCycles: interval,
-	}, nil)
+	})
 	if err != nil {
 		d1.kill()
 		return fmt.Errorf("open: %w", err)
 	}
-	id := sess1.Info.ID
+	// Pipelining is the optional transport capability, reached through
+	// the capability assertion rather than the concrete type.
+	sess1, ok := opened.(client.PipelinedSession)
+	if !ok {
+		d1.kill()
+		return fmt.Errorf("nbwp session does not pipeline (%T)", opened)
+	}
+	id := sess1.ID()
 	// Pipeline seq 1..7 without waiting, then settle only the first
 	// five acks before the kill: the tail of the pipeline is in flight
 	// when the process dies, exactly the window a crash would eat.
@@ -476,39 +470,10 @@ func nbwpLeg(ctx context.Context, bin string, ref *nanobus.Bus) error {
 		//nanolint:ignore droppederr best-effort close; the leg already reported its outcome
 		_ = nc2.Close()
 	}()
-	sess2, res, err := nc2.RestoreSession(ctx, id, nil)
-	if err != nil {
-		return fmt.Errorf("resurrect: %w", err)
-	}
-	if !res.Resurrected {
-		return fmt.Errorf("restore did not resurrect: %+v", res)
-	}
-	fmt.Printf("chaos: nbwp: resurrected %s at seq %d (cycle %d)\n", id, res.Seq, res.Cycles)
-	if res.Seq >= 7 {
-		return fmt.Errorf("checkpoint claims seq %d, but only 6 could have been checkpointed", res.Seq)
-	}
-	dup, err := sess2.StepBinarySeq(ctx, res.Seq, batch(res.Seq))
-	if err != nil || !dup.Duplicate {
-		return fmt.Errorf("duplicate of seq %d: sum=%+v err=%v", res.Seq, dup, err)
-	}
-	recoveries, err := replayNBWP(ctx, sess2, res.Seq+1)
+	sess2, err := resume(ctx, nc2, ref, id, "nbwp")
 	if err != nil {
 		return err
 	}
-	if recoveries == 0 {
-		return fmt.Errorf("ingest failpoint never fired: the nbwp leg did not exercise the recovery path")
-	}
-
-	final, err := sess2.Result(ctx, true)
-	if err != nil {
-		return fmt.Errorf("result: %w", err)
-	}
-	if err := compareFinal(ref, final); err != nil {
-		return err
-	}
-	fmt.Printf("chaos: nbwp: %d batches survived kill -9 mid-pipeline + injected ingest fault; %d samples bit-identical (total %.4g J)\n",
-		nBatches, len(final.Samples), final.Total.TotalJ)
-
 	if err := sess2.Close(ctx); err != nil {
 		return fmt.Errorf("close: %w", err)
 	}

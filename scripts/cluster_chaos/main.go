@@ -1,0 +1,482 @@
+// Command cluster_chaos is the acceptance gate for cluster mode: it boots
+// a three-node nanobusd cluster (static membership, per-node checkpoint
+// directories, replication factor 2), opens 64 sessions through the
+// client Router, streams sequenced batches at all of them concurrently,
+// then kill -9s the node hosting the most sessions while STEP traffic is
+// in flight. Every orphaned session must fail over — Recover resurrects
+// it from a replicated checkpoint on a survivor, the driver replays the
+// tail, duplicates are absorbed — and every session's final energy and
+// thermal figures must be bit-for-bit identical to an uninterrupted
+// in-process library run of the same schedule. The two survivors must
+// then drain cleanly.
+//
+//	go build -o /tmp/nanobusd ./cmd/nanobusd
+//	go run ./scripts/cluster_chaos -bin /tmp/nanobusd
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"nanobus"
+	"nanobus/client"
+)
+
+const (
+	nodeName   = "90nm"
+	scheme     = "BI"
+	interval   = 100
+	batchWords = 150
+	nBatches   = 12
+	ckptEvery  = "300" // cycles: one auto-checkpoint every two batches
+	nNodes     = 3
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to the built nanobusd binary")
+	sessions := flag.Int("sessions", 64, "concurrent sessions across the cluster")
+	timeout := flag.Duration("timeout", 150*time.Second, "overall chaos deadline")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "cluster_chaos: -bin is required")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := run(ctx, *bin, *sessions); err != nil {
+		fmt.Fprintf(os.Stderr, "cluster_chaos: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("cluster_chaos: PASS")
+}
+
+// batch regenerates session sid's word batch for sequence number seq from
+// (sid, seq) alone — the resume contract: any batch past the last
+// checkpoint can be rebuilt on demand and replayed after a failover.
+func batch(sid int, seq uint64) []uint32 {
+	words := make([]uint32, batchWords)
+	x := uint32(sid)*0x9E3779B9 + uint32(seq)*2654435761 + 1
+	for i := range words {
+		x = x*1664525 + 1013904223
+		words[i] = x
+	}
+	return words
+}
+
+// reference runs session sid's full schedule through the in-process
+// library, uninterrupted.
+func reference(ctx context.Context, sid int) (*nanobus.Bus, error) {
+	node, err := nanobus.ResolveNode(nodeName)
+	if err != nil {
+		return nil, err
+	}
+	bus, err := nanobus.New(node, nanobus.WithEncoding(scheme), nanobus.WithInterval(interval))
+	if err != nil {
+		return nil, err
+	}
+	for seq := uint64(1); seq <= nBatches; seq++ {
+		if _, err := bus.StepBatch(ctx, batch(sid, seq)); err != nil {
+			return nil, err
+		}
+	}
+	if err := bus.Finish(); err != nil {
+		return nil, err
+	}
+	return bus, nil
+}
+
+// freeAddrs reserves n distinct loopback ports by binding and releasing
+// them. The tiny race between release and the daemon's bind is accepted:
+// the members list must name every node's address before any node starts.
+func freeAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		if err := ln.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return addrs, nil
+}
+
+// member is one exec'd cluster node.
+type member struct {
+	name     string
+	httpAddr string
+	nbwpAddr string
+	cmd      *exec.Cmd
+	rest     chan string
+}
+
+func (m *member) url() string { return "http://" + m.httpAddr }
+
+// start execs one nanobusd cluster node and waits for its banners.
+func (m *member) start(bin, dir, members string) error {
+	m.cmd = exec.Command(bin,
+		"-addr", m.httpAddr, "-nbwp-addr", m.nbwpAddr,
+		"-checkpoint-dir", dir, "-checkpoint-every", ckptEvery,
+		"-cluster-self", m.name, "-cluster-members", members, "-cluster-replicas", "2")
+	stdout, err := m.cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	m.cmd.Stderr = os.Stderr
+	if err := m.cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", m.name, err)
+	}
+	sc := bufio.NewScanner(stdout)
+	for _, prefix := range []string{"nanobusd: listening on ", "nanobusd: nbwp on "} {
+		if !sc.Scan() {
+			m.kill()
+			return fmt.Errorf("%s: stdout ended before %q: %v", m.name, prefix, sc.Err())
+		}
+		if line := sc.Text(); !strings.HasPrefix(line, prefix) {
+			m.kill()
+			return fmt.Errorf("%s: unexpected line %q (want %q prefix)", m.name, line, prefix)
+		}
+	}
+	m.rest = make(chan string, 1)
+	go func() {
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		m.rest <- strings.Join(lines, "\n")
+	}()
+	return nil
+}
+
+// kill simulates a node crash: SIGKILL, no drain, no goodbye.
+func (m *member) kill() {
+	_ = m.cmd.Process.Kill() //nanolint:ignore droppederr SIGKILL on a live child cannot meaningfully fail
+	_ = m.cmd.Wait()         //nanolint:ignore droppederr the child was SIGKILLed; a non-zero exit is the point
+}
+
+// drain SIGTERMs the node and requires a clean exit with the drain
+// message (stdout tail collected before Wait; see scripts/nanobusd_smoke).
+func (m *member) drain(ctx context.Context) error {
+	if err := m.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("%s: SIGTERM: %w", m.name, err)
+	}
+	var tail string
+	select {
+	case tail = <-m.rest:
+	case <-ctx.Done():
+		return fmt.Errorf("%s did not exit after SIGTERM: %w", m.name, ctx.Err())
+	}
+	if err := m.cmd.Wait(); err != nil {
+		return fmt.Errorf("%s exited uncleanly after SIGTERM: %w", m.name, err)
+	}
+	if !strings.Contains(tail, "drained cleanly") {
+		return fmt.Errorf("%s: missing drain message in output:\n%s", m.name, tail)
+	}
+	return nil
+}
+
+// driver streams one session's schedule through a RoutedSession,
+// recovering from node death by resurrecting on a survivor and replaying.
+type driver struct {
+	sid        int
+	rs         *client.RoutedSession
+	openedOn   string
+	recoveries int
+}
+
+// steps sends sequenced batches first..last (pacing each ack by pace, so
+// the kill window has traffic in flight); any failure triggers a Recover
+// (resurrect from the replicated checkpoint store on whichever candidate
+// can) and a replay from the restored frontier. A rewind may land below
+// first; replays at or below the frontier come back Duplicate and are
+// never double-counted.
+func (d *driver) steps(ctx context.Context, first, last uint64, pace time.Duration) error {
+	for seq := first; seq <= last; {
+		_, err := d.rs.StepBinarySeq(ctx, seq, batch(d.sid, seq))
+		if err == nil {
+			seq++
+			if pace > 0 {
+				time.Sleep(pace)
+			}
+			continue
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		res, rerr := d.recover(ctx, fmt.Sprintf("seq %d: %v", seq, err))
+		if rerr != nil {
+			return rerr
+		}
+		seq = res.Seq + 1
+	}
+	return nil
+}
+
+// run drives the whole schedule: stream to seq 5, check in at the
+// barrier, then race the tail against the kill and fetch the result.
+func (d *driver) run(ctx context.Context, ready *sync.WaitGroup, goCh <-chan struct{}) (*client.Result, error) {
+	err := d.steps(ctx, 1, 5, 0)
+	ready.Done()
+	if err != nil {
+		return nil, fmt.Errorf("session %d warmup: %w", d.sid, err)
+	}
+	<-goCh
+	if err := d.steps(ctx, 6, nBatches, 10*time.Millisecond); err != nil {
+		return nil, fmt.Errorf("session %d tail: %w", d.sid, err)
+	}
+	return d.finish(ctx)
+}
+
+// recover fails the session over with a bounded number of attempts. A
+// short backoff covers the window where the killed process's ports are
+// still settling.
+func (d *driver) recover(ctx context.Context, cause string) (client.RestoreResponse, error) {
+	for {
+		if d.recoveries++; d.recoveries > 8 {
+			return client.RestoreResponse{}, fmt.Errorf("session %d: giving up after %d recoveries (%s)",
+				d.sid, d.recoveries-1, cause)
+		}
+		res, err := d.rs.Recover(ctx)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return client.RestoreResponse{}, err
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// finish fetches the final result, recovering and replaying if the node
+// died between the last ack and the result fetch.
+func (d *driver) finish(ctx context.Context) (*client.Result, error) {
+	for attempt := 0; ; attempt++ {
+		res, err := d.rs.Result(ctx, true)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil || attempt >= 3 {
+			return nil, fmt.Errorf("session %d result: %w", d.sid, err)
+		}
+		rr, rerr := d.recover(ctx, fmt.Sprintf("result: %v", err))
+		if rerr != nil {
+			return nil, rerr
+		}
+		if serr := d.steps(ctx, rr.Seq+1, nBatches, 0); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// compareFinal requires every service figure to match the uninterrupted
+// library run bit for bit.
+func compareFinal(sid int, ref *nanobus.Bus, final *client.Result) error {
+	tot := ref.TotalEnergy()
+	maxT, _ := ref.Network().MaxTemp()
+	checks := []struct {
+		name     string
+		svc, lib float64
+	}{
+		{"total energy", final.Total.TotalJ, tot.Total()},
+		{"self energy", final.Total.SelfJ, tot.Self},
+		{"adjacent coupling", final.Total.CoupAdjJ, tot.CoupAdj},
+		{"non-adjacent coupling", final.Total.CoupNonAdjJ, tot.CoupNonAdj},
+		{"avg temp", final.AvgTempK, ref.Network().AvgTemp()},
+		{"max temp", final.MaxTempK, maxT},
+	}
+	for _, ck := range checks {
+		if math.Float64bits(ck.svc) != math.Float64bits(ck.lib) {
+			return fmt.Errorf("session %d: %s differs after failover: service %.17g, library %.17g",
+				sid, ck.name, ck.svc, ck.lib)
+		}
+	}
+	if final.Cycles != ref.Cycles() {
+		return fmt.Errorf("session %d: cycles differ: service %d, library %d", sid, final.Cycles, ref.Cycles())
+	}
+	libSamples := ref.Samples()
+	if len(final.Samples) != len(libSamples) {
+		return fmt.Errorf("session %d: sample count differs: service %d, library %d",
+			sid, len(final.Samples), len(libSamples))
+	}
+	for i, ls := range libSamples {
+		ss := final.Samples[i]
+		if ss.EndCycle != ls.EndCycle ||
+			math.Float64bits(ss.EnergyJ) != math.Float64bits(ls.Energy) ||
+			math.Float64bits(ss.MaxTempK) != math.Float64bits(ls.MaxTemp) {
+			return fmt.Errorf("session %d: sample %d differs: service %+v, library %+v", sid, i, ss, ls)
+		}
+	}
+	return nil
+}
+
+func run(ctx context.Context, bin string, sessions int) error {
+	root, err := os.MkdirTemp("", "nanobus-cluster-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//nanolint:ignore droppederr best-effort temp-dir cleanup on exit
+		_ = os.RemoveAll(root)
+	}()
+
+	// Boot the three-node cluster on pre-reserved ports (the membership
+	// list has to name every address before the first node starts).
+	addrs, err := freeAddrs(2 * nNodes)
+	if err != nil {
+		return err
+	}
+	members := make([]*member, nNodes)
+	var specs []string
+	for i := range members {
+		members[i] = &member{
+			name:     fmt.Sprintf("n%d", i+1),
+			httpAddr: addrs[2*i],
+			nbwpAddr: addrs[2*i+1],
+		}
+		specs = append(specs, fmt.Sprintf("%s=http://%s+%s", members[i].name, members[i].httpAddr, members[i].nbwpAddr))
+	}
+	spec := strings.Join(specs, ",")
+	for i, m := range members {
+		dir := fmt.Sprintf("%s/%s", root, m.name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		if err := m.start(bin, dir, spec); err != nil {
+			return err
+		}
+		defer func(m *member) {
+			if m.cmd.ProcessState == nil {
+				m.kill()
+			}
+		}(members[i])
+	}
+	fmt.Printf("cluster_chaos: 3 nodes up (%s)\n", spec)
+
+	router, err := client.NewRouter(ctx, []string{members[0].url()}, client.WithRouterNBWP())
+	if err != nil {
+		return fmt.Errorf("router bootstrap: %w", err)
+	}
+	defer func() {
+		//nanolint:ignore droppederr best-effort close; the run already reported its outcome
+		_ = router.Close()
+	}()
+
+	// Open every session up front so the victim — the node hosting the
+	// most sessions — can be picked before traffic starts. Nodes mint ids
+	// they own, so placement is decided by the ring at create time.
+	drivers := make([]*driver, sessions)
+	hosted := map[string]int{}
+	cfg := client.SessionConfig{Node: nodeName, Encoding: scheme, IntervalCycles: interval}
+	for i := range drivers {
+		rs, err := router.Open(ctx, cfg)
+		if err != nil {
+			return fmt.Errorf("open session %d: %w", i+1, err)
+		}
+		drivers[i] = &driver{sid: i + 1, rs: rs, openedOn: rs.Node()}
+		hosted[rs.Node()]++
+	}
+	victim := members[0]
+	for _, m := range members {
+		if hosted[m.name] > hosted[victim.name] {
+			victim = m
+		}
+	}
+	if hosted[victim.name] == 0 {
+		return fmt.Errorf("no node hosts any sessions (placement: %v)", hosted)
+	}
+	fmt.Printf("cluster_chaos: %d sessions placed %v; victim is %s with %d\n",
+		sessions, hosted, victim.name, hosted[victim.name])
+
+	// Phase 1: every session streams to seq 5 (so at least two
+	// auto-checkpoints per session have been taken and replicated), then
+	// all drivers are released into the paced tail together and the
+	// victim is SIGKILLed while their STEP traffic is in flight.
+	var (
+		wg, ready sync.WaitGroup
+		goCh      = make(chan struct{})
+	)
+	errs := make([]error, len(drivers))
+	finals := make([]*client.Result, len(drivers))
+	ready.Add(len(drivers))
+	wg.Add(len(drivers))
+	for i, d := range drivers {
+		go func(i int, d *driver) {
+			defer wg.Done()
+			finals[i], errs[i] = d.run(ctx, &ready, goCh)
+		}(i, d)
+	}
+	ready.Wait()
+	close(goCh)
+	time.Sleep(30 * time.Millisecond)
+	fmt.Printf("cluster_chaos: kill -9 %s (pid %d) with all %d sessions streaming\n",
+		victim.name, victim.cmd.Process.Pid, sessions)
+	victim.kill()
+	wg.Wait()
+
+	// Every session — including every one orphaned by the kill — must
+	// have completed its schedule and must match the uninterrupted
+	// library run bit for bit.
+	recovered := 0
+	for i, d := range drivers {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		ref, err := reference(ctx, d.sid)
+		if err != nil {
+			return fmt.Errorf("reference run %d: %w", d.sid, err)
+		}
+		if err := compareFinal(d.sid, ref, finals[i]); err != nil {
+			return err
+		}
+		if d.recoveries > 0 {
+			recovered++
+		}
+		if d.openedOn == victim.name {
+			if d.recoveries == 0 {
+				return fmt.Errorf("session %d was hosted on the victim but never failed over", d.sid)
+			}
+			if d.rs.Node() == victim.name {
+				return fmt.Errorf("session %d still routed to the dead node %s", d.sid, victim.name)
+			}
+		}
+		if err := d.rs.Close(ctx); err != nil {
+			return fmt.Errorf("close session %d: %w", d.sid, err)
+		}
+	}
+	if recovered < hosted[victim.name] {
+		return fmt.Errorf("only %d sessions recovered; the victim hosted %d", recovered, hosted[victim.name])
+	}
+	fmt.Printf("cluster_chaos: all %d sessions bit-identical; %d failed over from %s to survivors\n",
+		sessions, recovered, victim.name)
+
+	// The survivors must still drain cleanly — after the Router's pooled
+	// NBWP connections are gone, since the drain waits them out.
+	if err := router.Close(); err != nil {
+		return fmt.Errorf("router close: %w", err)
+	}
+	for _, m := range members {
+		if m == victim {
+			continue
+		}
+		if err := m.drain(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -358,11 +358,12 @@ func fillWords(words []uint32, pattern string, x, addr uint32) (uint32, uint32) 
 	return x, addr
 }
 
-// drive runs one session: create, stream binary batches, fetch the result,
-// close. It returns the per-request step latencies (one per batch).
-func drive(ctx context.Context, c *client.Client, seed uint32, node, scheme, pattern string,
+// drive runs one session through the transport-agnostic interface:
+// create, stream binary batches, fetch the result, close. It returns the
+// per-request step latencies (one per batch).
+func drive(ctx context.Context, tr client.Transport, seed uint32, node, scheme, pattern string,
 	interval uint64, batches, batchWords int, totalWords, samples *atomic.Uint64) ([]time.Duration, error) {
-	sess, err := c.CreateSession(ctx, client.SessionConfig{
+	sess, err := tr.OpenSession(ctx, client.SessionConfig{
 		Node:           node,
 		Encoding:       scheme,
 		IntervalCycles: interval,
@@ -406,8 +407,10 @@ func drive(ctx context.Context, c *client.Client, seed uint32, node, scheme, pat
 // runnable-goroutine count flat, so measured latency is protocol and
 // service time rather than scheduler queueing. Latency is send-to-ack
 // per frame and includes waiting behind the up-to-window-1 frames ahead
-// of it in the pipe.
-func driveNBWPGroup(ctx context.Context, nc *client.NBWPConn, firstSeed uint32, group int,
+// of it in the pipe. Sessions come from the Transport interface and the
+// pipelined sends go through the PipelinedSession capability assertion,
+// so this driver works on any transport that can pipeline.
+func driveNBWPGroup(ctx context.Context, tr client.Transport, firstSeed uint32, group int,
 	node, scheme, pattern string, interval uint64, batches, batchWords, window int,
 	totalWords, samples *atomic.Uint64) ([]time.Duration, error) {
 	cfg := client.SessionConfig{
@@ -416,9 +419,9 @@ func driveNBWPGroup(ctx context.Context, nc *client.NBWPConn, firstSeed uint32, 
 		IntervalCycles: interval,
 		DropSamples:    true,
 	}
-	sess := make([]*client.NBWPSession, group)
+	sess := make([]client.PipelinedSession, group)
 	for i := range sess {
-		s, err := nc.Open(ctx, cfg, nil)
+		s, err := tr.OpenSession(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("open %d: %w", i, err)
 		}
@@ -426,7 +429,11 @@ func driveNBWPGroup(ctx context.Context, nc *client.NBWPConn, firstSeed uint32, 
 			//nanolint:ignore droppederr best-effort cleanup; the run already reported its outcome
 			_ = s.Close(context.WithoutCancel(ctx))
 		}()
-		sess[i] = s
+		ps, ok := s.(client.PipelinedSession)
+		if !ok {
+			return nil, fmt.Errorf("session %d: transport %T cannot pipeline", i, tr)
+		}
+		sess[i] = ps
 	}
 
 	type inflight struct {

@@ -1,10 +1,10 @@
 // Command nanobusd_smoke is the end-to-end gate for the service: it execs
 // a built nanobusd binary on an ephemeral port (HTTP and NBWP), drives
-// the same session schedule through the Go client over both transports,
-// requires each result to be bit-for-bit identical to an in-process
-// library run — including the SAMPLE frames streamed live over NBWP —
-// then SIGTERMs the daemon and requires a clean drain (exit 0, "drained
-// cleanly" on stdout).
+// the same session schedule through the transport-agnostic client.Session
+// interface over both transports, requires each result to be bit-for-bit
+// identical to an in-process library run — including the SAMPLE frames
+// streamed live over NBWP — then SIGTERMs the daemon and requires a clean
+// drain (exit 0, "drained cleanly" on stdout).
 //
 //	go build -o /tmp/nanobusd ./cmd/nanobusd
 //	go run ./scripts/nanobusd_smoke -bin /tmp/nanobusd
@@ -155,35 +155,45 @@ func schedule() []uint32 {
 	return data
 }
 
-// driveSession runs one schedule through the service and the in-process
-// library and compares bit for bit.
-func driveSession(ctx context.Context, baseURL string) error {
+// runSchedule drives the shared schedule through one session handle via
+// the transport-agnostic interface and compares the result against the
+// in-process library bit for bit. Both wire protocols go through this
+// exact code path; anything transport-specific stays in the legs.
+func runSchedule(ctx context.Context, sess client.Session) (*client.Result, error) {
 	data := schedule()
+	if _, err := sess.StepBinary(ctx, data); err != nil {
+		return nil, fmt.Errorf("step: %w", err)
+	}
+	if _, err := sess.StepIdle(ctx, nIdle); err != nil {
+		return nil, fmt.Errorf("idle: %w", err)
+	}
+	res, err := sess.Result(ctx, true)
+	if err != nil {
+		return nil, fmt.Errorf("result: %w", err)
+	}
+	if err := sess.Close(ctx); err != nil {
+		return nil, fmt.Errorf("close: %w", err)
+	}
+	if err := compareToLibrary(ctx, res, data); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
 
+// driveSession runs one schedule over the HTTP transport.
+func driveSession(ctx context.Context, baseURL string) error {
 	c := client.New(baseURL)
 	if err := c.Healthz(ctx); err != nil {
 		return fmt.Errorf("healthz: %w", err)
 	}
-	sess, err := c.CreateSession(ctx, client.SessionConfig{
+	sess, err := c.OpenSession(ctx, client.SessionConfig{
 		Node: nodeName, Encoding: scheme, IntervalCycles: interval,
 	})
 	if err != nil {
 		return fmt.Errorf("create session: %w", err)
 	}
-	if _, err := sess.StepBinary(ctx, data); err != nil {
-		return fmt.Errorf("step: %w", err)
-	}
-	if _, err := sess.StepIdle(ctx, nIdle); err != nil {
-		return fmt.Errorf("idle: %w", err)
-	}
-	res, err := sess.Result(ctx, true)
+	res, err := runSchedule(ctx, sess)
 	if err != nil {
-		return fmt.Errorf("result: %w", err)
-	}
-	if err := sess.Close(ctx); err != nil {
-		return fmt.Errorf("close: %w", err)
-	}
-	if err := compareToLibrary(ctx, res, data); err != nil {
 		return err
 	}
 	fmt.Printf("nanobusd_smoke: http: %d words + %d idle cycles bit-identical across %d samples (total %.4g J)\n",
@@ -191,12 +201,13 @@ func driveSession(ctx context.Context, baseURL string) error {
 	return nil
 }
 
-// driveSessionNBWP runs the same schedule over the binary protocol with
-// live sample streaming and requires both the final result and the
-// streamed SAMPLE frames to be bit-identical to the library run.
+// driveSessionNBWP runs the same schedule over the binary protocol. The
+// session is opened with the concrete NBWP constructor — live sample
+// streaming is a transport-specific extra outside the Session interface —
+// but the schedule itself runs through the same runSchedule path as HTTP,
+// and the streamed SAMPLE frames must carry the same IEEE-754 bit
+// patterns as the result document.
 func driveSessionNBWP(ctx context.Context, addr string) error {
-	data := schedule()
-
 	nc, err := client.DialNBWP(ctx, addr)
 	if err != nil {
 		return fmt.Errorf("dial nbwp: %w", err)
@@ -212,29 +223,16 @@ func driveSessionNBWP(ctx context.Context, addr string) error {
 	if err != nil {
 		return fmt.Errorf("nbwp open: %w", err)
 	}
-	if _, err := sess.StepBinary(ctx, data); err != nil {
-		return fmt.Errorf("nbwp step: %w", err)
-	}
-	if _, err := sess.StepIdle(ctx, nIdle); err != nil {
-		return fmt.Errorf("nbwp idle: %w", err)
-	}
-	res, err := sess.Result(ctx, true)
+	res, err := runSchedule(ctx, sess)
 	if err != nil {
-		return fmt.Errorf("nbwp result: %w", err)
-	}
-	if err := sess.Close(ctx); err != nil {
-		return fmt.Errorf("nbwp close: %w", err)
+		return fmt.Errorf("nbwp: %w", err)
 	}
 	if err := nc.Goodbye(ctx); err != nil {
 		return fmt.Errorf("nbwp goodbye: %w", err)
 	}
-	if err := compareToLibrary(ctx, res, data); err != nil {
-		return fmt.Errorf("nbwp: %w", err)
-	}
-	// Streamed SAMPLE frames carry the same IEEE-754 bit patterns as the
-	// result document (the callback fires before the triggering step is
-	// acked, so everything streamed is visible here). The final partial
-	// interval is closed by Result, not streamed.
+	// The sample callback fires before the triggering step is acked, so
+	// everything streamed is visible here. The final partial interval is
+	// closed by Result, not streamed.
 	if len(streamed) > len(res.Samples) {
 		return fmt.Errorf("nbwp streamed %d samples, result has %d", len(streamed), len(res.Samples))
 	}
