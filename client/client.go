@@ -37,6 +37,8 @@ type (
 	Sample = server.Sample
 	// Result is a session's outcome.
 	Result = server.Result
+	// BusResult is one bus's slice of a multi-bus Result.
+	BusResult = server.BusResult
 	// OwnerInfo names the cluster node that owns a session; it rides on
 	// not_owner/moved redirects.
 	OwnerInfo = server.OwnerInfo

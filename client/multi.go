@@ -1,0 +1,51 @@
+package client
+
+import "fmt"
+
+// Multi-bus helpers. A session created with SessionConfig.Buses = K > 1
+// steps K buses in lockstep: every batch interleaves one word per bus
+// per cycle, cycle-major (cycle r's words for buses 0..K-1 are adjacent).
+// Per-bus traces are usually generated independently, so PackInterleaved
+// does the transpose once on the client before StepBinary/SendStep.
+
+// PackInterleaved transposes per-bus word columns into the interleaved
+// cycle-major batch layout a multi-bus session steps: the returned slice
+// holds cols[0][r], cols[1][r], ... cols[K-1][r] for each cycle r. All
+// columns must have equal length. dst is reused when it has capacity.
+func PackInterleaved(dst []uint32, cols ...[]uint32) ([]uint32, error) {
+	k := len(cols)
+	if k == 0 {
+		return dst[:0], nil
+	}
+	rows := len(cols[0])
+	for i, c := range cols {
+		if len(c) != rows {
+			return nil, fmt.Errorf("nanobus: bus column %d has %d words, bus 0 has %d (lockstep batches need equal lengths)", i, len(c), rows)
+		}
+	}
+	n := k * rows
+	if cap(dst) < n {
+		dst = make([]uint32, n)
+	}
+	dst = dst[:n]
+	for r := 0; r < rows; r++ {
+		base := r * k
+		for i, c := range cols {
+			dst[base+i] = c[r]
+		}
+	}
+	return dst, nil
+}
+
+// BusSamples splits a bus-tagged sample stream (the onSample callback of
+// a multi-bus session) back into per-bus order: it returns samples whose
+// Bus field equals bus. The slice shares backing arrays with in.
+func BusSamples(in []Sample, bus int) []Sample {
+	var out []Sample
+	for _, s := range in {
+		if s.Bus == bus {
+			out = append(out, s)
+		}
+	}
+	return out
+}

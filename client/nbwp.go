@@ -220,11 +220,21 @@ func (nc *NBWPConn) dispatchSample(h nbwp.Header, payload []byte) {
 	if fn == nil {
 		return
 	}
-	ws, err := nbwp.ParseSample(payload, nil)
+	// Multi-bus sessions prefix the sample with its bus index
+	// (FlagMultiSample); scalar sessions stay on the plain layout.
+	var bus uint32
+	var ws nbwp.Sample
+	var err error
+	if h.Flags&nbwp.FlagMultiSample != 0 {
+		bus, ws, err = nbwp.ParseBusSample(payload, nil)
+	} else {
+		ws, err = nbwp.ParseSample(payload, nil)
+	}
 	if err != nil {
 		return
 	}
 	fn(Sample{
+		Bus:         int(bus),
 		EndCycle:    ws.EndCycle,
 		EnergyJ:     ws.EnergyJ,
 		SelfJ:       ws.SelfJ,

@@ -119,6 +119,8 @@ func realMain() int {
 		err = cmdValidate(args)
 	case "repsweep":
 		err = cmdRepSweep(args)
+	case "socmap":
+		err = cmdSoCMap(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -156,6 +158,7 @@ extension studies (beyond the paper's figures):
   encstats    invert-decision rates of the BI-family schemes on a trace
   validate    lumped RC network vs 2-D finite-difference field solution
   repsweep    repeater-count energy-delay tradeoff sweep
+  socmap      whole-SoC multi-bus thermal map, streamed from nanobusd
 
 run 'nanobus <command> -h' for per-command flags`)
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"nanobus/client"
+	"nanobus/internal/expt"
+	"nanobus/internal/itrs"
+)
+
+// cmdSoCMap runs the whole-SoC interconnect thermal-map scenario against
+// a running nanobusd: four floorplan buses in one multi-bus session,
+// thermally coupled on the metal layer, with per-interval temperature
+// frames streamed back over the chosen transport.
+func cmdSoCMap(args []string) error {
+	fs := flag.NewFlagSet("socmap", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "nanobusd base URL (HTTP transport)")
+	nbwpAddr := fs.String("nbwp", "", "nanobusd NBWP host:port (overrides -addr)")
+	cycles := fs.Uint64("cycles", 200_000, "lockstep cycles")
+	interval := fs.Uint64("interval", 0, "sampling interval cycles (0 = cycles/10)")
+	node := fs.String("node", "130nm", "technology node")
+	bench := fs.String("bench", "swim", "benchmark")
+	gap := fs.Float64("gap", 0, "lateral bus gap in wire pitches (0 = default)")
+	nocouple := fs.Bool("nocouple", false, "sever lateral thermal coupling (isolation baseline)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	n, ok := itrs.ByName(*node)
+	if !ok {
+		return fmt.Errorf("unknown node %q", *node)
+	}
+	ctx := context.Background()
+	var open expt.MapOpener
+	if *nbwpAddr != "" {
+		nc, err := client.DialNBWP(ctx, *nbwpAddr)
+		if err != nil {
+			return err
+		}
+		defer nc.Close()
+		open = expt.NBWPMapOpener(ctx, nc)
+	} else {
+		open = expt.HTTPMapOpener(ctx, client.New(*addr))
+	}
+	res, err := expt.SoCMap(ctx, expt.SoCMapOptions{
+		Benchmark:          *bench,
+		Node:               n,
+		Cycles:             *cycles,
+		IntervalCycles:     *interval,
+		GapPitches:         *gap,
+		DisableBusCoupling: *nocouple,
+	}, open)
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "SoC map: %s @ %s, %d cycles, total %.4g J (hottest: bus %s wire %d, %.2f K)\n",
+		res.Benchmark, res.Node, res.Cycles, res.TotalEnergyJ, res.Buses[res.MaxBus], res.MaxWire, res.MaxTempK)
+	fmt.Fprintln(tw, "bus\tduty\tenergy J\tfinal max K")
+	for i, label := range res.Buses {
+		maxT := 0.0
+		for _, t := range res.TempsK[i] {
+			if t > maxT {
+				maxT = t
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.4g\t%.3f\n", label, res.Duty[i], res.PerBusEnergyJ[i], maxT)
+	}
+	fmt.Fprintln(tw, "\nframe end_cycle\tper-bus max K")
+	for _, f := range res.Frames {
+		fmt.Fprintf(tw, "%d", f.EndCycle)
+		for _, temps := range f.TempsK {
+			maxT := 0.0
+			for _, t := range temps {
+				if t > maxT {
+					maxT = t
+				}
+			}
+			fmt.Fprintf(tw, "\t%.3f", maxT)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"nanobus/internal/encoding"
+	"nanobus/internal/energy"
+)
+
+// Multi-bus checkpoint format (version 2). Same envelope and plumbing as
+// version 1 (magic "NBCP", little-endian fields, crc32 trailer,
+// validate-before-mutate restore), extended with a bus count and per-bus
+// state blocks:
+//
+//	magic "NBCP" | version=2 u16 | flags u16
+//	config fingerprint: node, encoder, width, interval, length, depth,
+//	    repeater flag (as v1) | buses u32 | bus-coupling-disabled flag |
+//	    bus gap pitches f64
+//	shared state: cycle count, interval phase, grid ambient, K*W wire
+//	    temperatures (bus-major)
+//	per bus k: cumulative energy total, W per-line totals, accumulator
+//	    window (as v1), encoder state, retained samples (as v1)
+//	crc32 (IEEE) over everything above
+//
+// A K == 1 MultiSim snapshots through the scalar pipeline unchanged, so
+// its blobs are byte-identical version-1 checkpoints, interchangeable
+// with Simulator.Snapshot/Restore. For K > 1, Snapshot drains the shared
+// memo's pending transition counts into the window first, and the
+// snapshot/restore round trip itself is bit-exact (restore then
+// re-snapshot reproduces the blob byte for byte). Continued runs agree to
+// rounding rather than bit-exactly: the memo is never serialized, so the
+// restored simulator re-warms from a cold table whose eviction schedule
+// differs from the source's warm one, and the count-aggregation drains
+// then associate float additions differently (~1e-12 relative — the same
+// bound as the K>1 kernel against K scalar simulators). K == 1 restores
+// continue bit-identically, exactly like Simulator.Restore.
+const checkpointVersionMulti = 2
+
+// Snapshot serializes the multi-bus simulator (see Simulator.Snapshot for
+// the contract; K == 1 produces a version-1 blob).
+func (m *MultiSim) Snapshot() ([]byte, error) {
+	if m.single != nil {
+		return m.single.Snapshot()
+	}
+	if m.err != nil {
+		return nil, fmt.Errorf("snapshot: %w", m.err)
+	}
+	m.acc.Drain()
+
+	w := ckptWriter{}
+	w.raw([]byte(checkpointMagic))
+	w.u16(checkpointVersionMulti)
+	w.u16(0) // flags, reserved
+
+	// Config fingerprint: v1 fields, then the multi extension.
+	w.str(m.cfg.Node.Name)
+	w.str(m.encs[0].Name())
+	w.u32(uint32(m.width))
+	w.u64(m.interval)
+	w.f64(m.length)
+	w.i64(int64(normalizedDepth(m.cfg.CouplingDepth)))
+	w.bool(m.cfg.NoRepeaters)
+	w.u32(uint32(m.buses))
+	w.bool(m.cfg.DisableBusCoupling)
+	w.f64(m.cfg.BusGapPitches)
+
+	// Shared counters and grid state.
+	w.u64(m.cycles)
+	w.u64(m.cycleInInterval)
+	w.f64(m.grid.Ambient())
+	for _, t := range m.grid.Temps(nil) {
+		w.f64(t)
+	}
+
+	// Per-bus blocks.
+	for k := 0; k < m.buses; k++ {
+		w.lineEnergy(m.totalEnergy[k])
+		for _, le := range m.lineTotals[k*m.width : (k+1)*m.width] {
+			w.lineEnergy(le)
+		}
+		ast := m.acc.BusState(k)
+		w.u64(ast.Prev)
+		w.bool(ast.First)
+		w.u64(ast.Cycles)
+		w.u64(ast.IdleCycles)
+		w.lineEnergy(ast.Total)
+		for _, le := range ast.Lines {
+			w.lineEnergy(le)
+		}
+		var est encoding.State
+		if se, ok := m.encs[k].(encoding.Stateful); ok {
+			est = se.State()
+		}
+		w.u64(est.Prev)
+		w.u32(est.Last)
+		w.bool(est.First)
+		w.u32(uint32(len(m.samples[k])))
+		for _, sm := range m.samples[k] {
+			w.u64(sm.EndCycle)
+			w.f64(sm.Energy)
+			w.f64(sm.Self)
+			w.f64(sm.CoupAdj)
+			w.f64(sm.CoupNonAdj)
+			w.f64(sm.AvgTemp)
+			w.f64(sm.MaxTemp)
+			w.i64(int64(sm.MaxWire))
+			w.u32(uint32(len(sm.WireTemps)))
+			for _, t := range sm.WireTemps {
+				w.f64(t)
+			}
+		}
+	}
+
+	w.u32(crc32.ChecksumIEEE(w.buf))
+	return w.buf, nil
+}
+
+// Restore overwrites the multi-bus simulator's state from a Snapshot blob
+// (see Simulator.Restore for the validation contract; K == 1 accepts
+// version-1 blobs).
+func (m *MultiSim) Restore(data []byte) error {
+	if m.single != nil {
+		return m.single.Restore(data)
+	}
+	r := &ckptReader{buf: data}
+	const trailerLen = 4
+	if len(data) < len(checkpointMagic)+2+2+trailerLen {
+		return fmt.Errorf("%w: %d bytes is shorter than any checkpoint", ErrCheckpointCorrupt, len(data))
+	}
+	if string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrCheckpointCorrupt, data[:len(checkpointMagic)])
+	}
+	body, tail := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCheckpointCorrupt, want, got)
+	}
+	r.buf = body
+	r.off = len(checkpointMagic)
+	if v := r.u16(); v != checkpointVersionMulti {
+		return fmt.Errorf("%w: unsupported version %d (want %d for a multi-bus target)", ErrCheckpointCorrupt, v, checkpointVersionMulti)
+	}
+	r.u16() // flags, reserved
+
+	nodeName := r.str()
+	encName := r.str()
+	width := int(r.u32())
+	interval := r.u64()
+	length := r.f64()
+	depth := int(r.i64())
+	noRep := r.bool()
+	buses := int(r.u32())
+	noCoupling := r.bool()
+	gapPitches := r.f64()
+	if r.err != nil {
+		return r.wrapErr()
+	}
+	mismatch := func(field string, got, want any) error {
+		return fmt.Errorf("%w: %s is %v in the checkpoint, %v in the target", ErrCheckpointMismatch, field, got, want)
+	}
+	switch {
+	case nodeName != m.cfg.Node.Name:
+		return mismatch("node", nodeName, m.cfg.Node.Name)
+	case encName != m.encs[0].Name():
+		return mismatch("encoding", encName, m.encs[0].Name())
+	case width != m.width:
+		return mismatch("width", width, m.width)
+	case interval != m.interval:
+		return mismatch("interval_cycles", interval, m.interval)
+	case math.Float64bits(length) != math.Float64bits(m.length):
+		return mismatch("length_m", length, m.length)
+	case depth != normalizedDepth(m.cfg.CouplingDepth):
+		return mismatch("coupling_depth", depth, normalizedDepth(m.cfg.CouplingDepth))
+	case noRep != m.cfg.NoRepeaters:
+		return mismatch("no_repeaters", noRep, m.cfg.NoRepeaters)
+	case buses != m.buses:
+		return mismatch("buses", buses, m.buses)
+	case noCoupling != m.cfg.DisableBusCoupling:
+		return mismatch("bus_coupling_disabled", noCoupling, m.cfg.DisableBusCoupling)
+	case math.Float64bits(gapPitches) != math.Float64bits(m.cfg.BusGapPitches):
+		return mismatch("bus_gap_pitches", gapPitches, m.cfg.BusGapPitches)
+	}
+
+	// Decode everything into temporaries before mutating the simulator.
+	cycles := r.u64()
+	cycleInInterval := r.u64()
+	ambient := r.f64()
+	temps := make([]float64, buses*width)
+	for i := range temps {
+		temps[i] = r.f64()
+	}
+	totalEnergy := make([]energy.LineEnergy, buses)
+	lineTotals := make([]energy.LineEnergy, buses*width)
+	asts := make([]energy.AccumulatorState, buses)
+	ests := make([]encoding.State, buses)
+	samples := make([][]Sample, buses)
+	for k := 0; k < buses && r.err == nil; k++ {
+		totalEnergy[k] = r.lineEnergy()
+		for i := 0; i < width; i++ {
+			lineTotals[k*width+i] = r.lineEnergy()
+		}
+		ast := energy.AccumulatorState{Lines: make([]energy.LineEnergy, width)}
+		ast.Prev = r.u64()
+		ast.First = r.bool()
+		ast.Cycles = r.u64()
+		ast.IdleCycles = r.u64()
+		ast.Total = r.lineEnergy()
+		for i := range ast.Lines {
+			ast.Lines[i] = r.lineEnergy()
+		}
+		asts[k] = ast
+		ests[k].Prev = r.u64()
+		ests[k].Last = r.u32()
+		ests[k].First = r.bool()
+		nSamples := int(r.u32())
+		if r.err == nil && nSamples > r.remaining()/sampleMinBytes {
+			r.err = fmt.Errorf("bus %d sample count %d exceeds the remaining payload", k, nSamples)
+		}
+		if r.err == nil && nSamples > 0 {
+			samples[k] = make([]Sample, nSamples)
+			for i := range samples[k] {
+				sm := &samples[k][i]
+				sm.EndCycle = r.u64()
+				sm.Energy = r.f64()
+				sm.Self = r.f64()
+				sm.CoupAdj = r.f64()
+				sm.CoupNonAdj = r.f64()
+				sm.AvgTemp = r.f64()
+				sm.MaxTemp = r.f64()
+				sm.MaxWire = int(r.i64())
+				if nwt := int(r.u32()); r.err == nil && nwt > 0 {
+					if nwt > r.remaining()/8 {
+						r.err = fmt.Errorf("wire-temp count %d exceeds the remaining payload", nwt)
+						break
+					}
+					sm.WireTemps = make([]float64, nwt)
+					for j := range sm.WireTemps {
+						sm.WireTemps[j] = r.f64()
+					}
+				}
+			}
+		}
+	}
+	if r.err != nil {
+		return r.wrapErr()
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes after the payload", ErrCheckpointCorrupt, len(r.buf)-r.off)
+	}
+
+	// Everything validated; apply. Drop pending counts from the current
+	// run first so they cannot leak into the restored window.
+	m.acc.ResetAll()
+	for k := 0; k < buses; k++ {
+		if err := m.acc.SetBusState(k, asts[k]); err != nil {
+			return err
+		}
+		if se, ok := m.encs[k].(encoding.Stateful); ok {
+			se.SetState(ests[k])
+		}
+	}
+	if err := m.grid.SetAmbient(ambient); err != nil {
+		return err
+	}
+	if err := m.grid.SetTemps(temps); err != nil {
+		return err
+	}
+	m.cycles = cycles
+	m.cycleInInterval = cycleInInterval
+	copy(m.totalEnergy, totalEnergy)
+	copy(m.lineTotals, lineTotals)
+	m.samples = samples
+	m.err = nil
+	return nil
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"nanobus/internal/encoding"
+	"nanobus/internal/itrs"
+)
+
+func newMultiForCkpt(t *testing.T, buses int) *MultiSim {
+	t.Helper()
+	enc, err := encoding.New("BI")
+	if err != nil {
+		t.Fatalf("encoding.New: %v", err)
+	}
+	m, err := NewMulti(MultiConfig{
+		Config: Config{
+			Node:           itrs.N90,
+			Encoder:        enc,
+			CouplingDepth:  -1,
+			IntervalCycles: 1000,
+			TrackWireTemps: true,
+		},
+		Buses: buses,
+	})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	return m
+}
+
+// TestMultiSnapshotRestoreRoundTrip snapshots a K-bus simulator mid-run
+// (mid-interval, stateful encoder, samples retained), restores into a
+// fresh simulator, and requires both to continue bit-identically.
+func TestMultiSnapshotRestoreRoundTrip(t *testing.T) {
+	const buses = 4
+	src := newMultiForCkpt(t, buses)
+	ctx := context.Background()
+
+	rng := rand.New(rand.NewSource(3))
+	mkSlab := func(rows int) []uint32 {
+		s := make([]uint32, rows*buses)
+		for i := range s {
+			s[i] = rng.Uint32()
+		}
+		return s
+	}
+	// 2.3 intervals in: retained samples plus a partially filled window.
+	if _, err := src.StepBatch(ctx, mkSlab(2300)); err != nil {
+		t.Fatalf("StepBatch: %v", err)
+	}
+
+	blob, err := src.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	dst := newMultiForCkpt(t, buses)
+	if err := dst.Restore(blob); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	// The restored simulator must also re-snapshot to the same bytes.
+	blob2, err := dst.Snapshot()
+	if err != nil {
+		t.Fatalf("re-Snapshot: %v", err)
+	}
+	if len(blob) != len(blob2) {
+		t.Fatalf("re-snapshot length %d != %d", len(blob2), len(blob))
+	}
+	for i := range blob {
+		if blob[i] != blob2[i] {
+			t.Fatalf("re-snapshot differs at byte %d", i)
+		}
+	}
+
+	tail := mkSlab(1700)
+	if _, err := src.StepBatch(ctx, tail); err != nil {
+		t.Fatalf("src tail: %v", err)
+	}
+	if _, err := dst.StepBatch(ctx, tail); err != nil {
+		t.Fatalf("dst tail: %v", err)
+	}
+	if err := src.Finish(); err != nil {
+		t.Fatalf("src Finish: %v", err)
+	}
+	if err := dst.Finish(); err != nil {
+		t.Fatalf("dst Finish: %v", err)
+	}
+
+	if src.Cycles() != dst.Cycles() {
+		t.Fatalf("cycles: %d vs %d", src.Cycles(), dst.Cycles())
+	}
+	// The snapshot state round-trips bit-exactly (checked byte-for-byte
+	// above). The continued runs agree to rounding, not bit-exactly: the
+	// restored simulator's cold memo evicts on a different schedule than
+	// the source's warm one, so the K>1 count-aggregation drains associate
+	// float additions differently (see the format comment).
+	relClose := func(a, b float64) bool {
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		if scale == 0 {
+			return a == b
+		}
+		return math.Abs(a-b) <= 1e-12*scale
+	}
+	for k := 0; k < buses; k++ {
+		ss, ds := src.Samples(k), dst.Samples(k)
+		if len(ss) != len(ds) {
+			t.Fatalf("bus %d sample counts: %d vs %d", k, len(ss), len(ds))
+		}
+		for i := range ss {
+			if ss[i].EndCycle != ds[i].EndCycle ||
+				!relClose(ss[i].Energy, ds[i].Energy) ||
+				!relClose(ss[i].MaxTemp, ds[i].MaxTemp) {
+				t.Fatalf("bus %d sample %d: %+v vs %+v", k, i, ss[i], ds[i])
+			}
+		}
+		a, b := src.TotalEnergy(k), dst.TotalEnergy(k)
+		if !relClose(a.Self, b.Self) || !relClose(a.CoupAdj, b.CoupAdj) || !relClose(a.CoupNonAdj, b.CoupNonAdj) {
+			t.Fatalf("bus %d total energy: %+v vs %+v", k, a, b)
+		}
+		at, bt := src.BusTemps(k), dst.BusTemps(k)
+		for j := range at {
+			if !relClose(at[j], bt[j]) {
+				t.Fatalf("bus %d wire %d temp: %v vs %v", k, j, at[j], bt[j])
+			}
+		}
+	}
+}
+
+// TestMultiSnapshotK1IsV1 checks the K == 1 pass-through: a K=1 MultiSim
+// snapshot restores into a plain Simulator and vice versa.
+func TestMultiSnapshotK1IsV1(t *testing.T) {
+	enc1, _ := encoding.New("CBI")
+	enc2, _ := encoding.New("CBI")
+	cfg := Config{Node: itrs.N130, Encoder: enc1, CouplingDepth: -1, IntervalCycles: 500}
+	msim, err := NewMulti(MultiConfig{Config: cfg, Buses: 1})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	cfg.Encoder = enc2
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	words := make([]uint32, 750)
+	rng := rand.New(rand.NewSource(5))
+	for i := range words {
+		words[i] = rng.Uint32()
+	}
+	if _, err := msim.StepBatch(context.Background(), words); err != nil {
+		t.Fatalf("StepBatch: %v", err)
+	}
+	blob, err := msim.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := sim.Restore(blob); err != nil {
+		t.Fatalf("scalar Restore of K=1 multi snapshot: %v", err)
+	}
+	if sim.Cycles() != msim.Cycles() {
+		t.Fatalf("cycles: %d vs %d", sim.Cycles(), msim.Cycles())
+	}
+}
+
+// TestMultiRestoreRejections covers corrupt and mismatched blobs.
+func TestMultiRestoreRejections(t *testing.T) {
+	m := newMultiForCkpt(t, 3)
+	if _, err := m.StepBatch(context.Background(), make([]uint32, 300)); err != nil {
+		t.Fatalf("StepBatch: %v", err)
+	}
+	blob, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	if err := m.Restore(blob[:10]); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("short blob: %v", err)
+	}
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)/2] ^= 0xff
+	if err := m.Restore(bad); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("bit rot: %v", err)
+	}
+	other := newMultiForCkpt(t, 2)
+	if err := other.Restore(blob); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("bus-count mismatch: %v", err)
+	}
+	// A v1 blob must be rejected by a K>1 target (version gate).
+	sim, err := New(Config{Node: itrs.N90, IntervalCycles: 1000})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	v1, err := sim.Snapshot()
+	if err != nil {
+		t.Fatalf("scalar Snapshot: %v", err)
+	}
+	if err := m.Restore(v1); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("v1 blob into multi target: %v", err)
+	}
+}

@@ -1,0 +1,576 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"nanobus/internal/encoding"
+	"nanobus/internal/energy"
+	"nanobus/internal/itrs"
+)
+
+// interleave packs per-bus word streams (cols[k][r]) into the cycle-major
+// slab MultiSim.StepBatch consumes.
+func interleave(cols [][]uint32) []uint32 {
+	buses := len(cols)
+	rows := len(cols[0])
+	out := make([]uint32, rows*buses)
+	for r := 0; r < rows; r++ {
+		for k := 0; k < buses; k++ {
+			out[r*buses+k] = cols[k][r]
+		}
+	}
+	return out
+}
+
+// TestMultiSimK1BitIdentical is the tentpole identity gate: for every
+// encoder scheme and node, a K=1 MultiSim must produce bit-identical
+// (Float64bits) samples, totals and temperatures to the scalar Simulator
+// over the same stream.
+func TestMultiSimK1BitIdentical(t *testing.T) {
+	nodes := []itrs.Node{itrs.N130, itrs.N90}
+	for _, node := range nodes {
+		for _, scheme := range encoding.AllSchemes() {
+			enc1, err := encoding.New(scheme)
+			if err != nil {
+				t.Fatalf("encoding.New(%s): %v", scheme, err)
+			}
+			enc2, err := encoding.New(scheme)
+			if err != nil {
+				t.Fatalf("encoding.New(%s): %v", scheme, err)
+			}
+			cfg := Config{
+				Node:           node,
+				Encoder:        enc1,
+				CouplingDepth:  -1,
+				IntervalCycles: 1000,
+				TrackWireTemps: true,
+			}
+			sim, err := New(cfg)
+			if err != nil {
+				t.Fatalf("New(%s/%s): %v", node.Name, scheme, err)
+			}
+			mcfg := cfg
+			mcfg.Encoder = enc2
+			msim, err := NewMulti(MultiConfig{Config: mcfg, Buses: 1})
+			if err != nil {
+				t.Fatalf("NewMulti(%s/%s): %v", node.Name, scheme, err)
+			}
+
+			rng := rand.New(rand.NewSource(11))
+			words := make([]uint32, 3500) // 3.5 intervals: exercises the partial flush
+			for i := range words {
+				if rng.Intn(2) == 0 {
+					words[i] = rng.Uint32()
+				} else {
+					words[i] = uint32(i) * 4
+				}
+			}
+			ctx := context.Background()
+			if _, err := sim.StepBatch(ctx, words); err != nil {
+				t.Fatalf("scalar StepBatch: %v", err)
+			}
+			if _, err := msim.StepBatch(ctx, words); err != nil {
+				t.Fatalf("multi StepBatch: %v", err)
+			}
+			if _, err := sim.StepIdleBatch(ctx, 700); err != nil {
+				t.Fatalf("scalar StepIdleBatch: %v", err)
+			}
+			if _, err := msim.StepIdleBatch(ctx, 700); err != nil {
+				t.Fatalf("multi StepIdleBatch: %v", err)
+			}
+			if err := sim.Finish(); err != nil {
+				t.Fatalf("scalar Finish: %v", err)
+			}
+			if err := msim.Finish(); err != nil {
+				t.Fatalf("multi Finish: %v", err)
+			}
+
+			label := node.Name + "/" + scheme
+			sameSamples(t, label, sim.Samples(), msim.Samples(0))
+			st, mt := sim.TotalEnergy(), msim.TotalEnergy(0)
+			if math.Float64bits(st.Self) != math.Float64bits(mt.Self) ||
+				math.Float64bits(st.CoupAdj) != math.Float64bits(mt.CoupAdj) ||
+				math.Float64bits(st.CoupNonAdj) != math.Float64bits(mt.CoupNonAdj) {
+				t.Fatalf("%s: total energy differs: %+v vs %+v", label, st, mt)
+			}
+			stemps, mtemps := sim.Temps(), msim.BusTemps(0)
+			for i := range stemps {
+				if math.Float64bits(stemps[i]) != math.Float64bits(mtemps[i]) {
+					t.Fatalf("%s: wire %d temp differs: %v vs %v", label, i, stemps[i], mtemps[i])
+				}
+			}
+			if sim.Cycles() != msim.Cycles() {
+				t.Fatalf("%s: cycles differ: %d vs %d", label, sim.Cycles(), msim.Cycles())
+			}
+		}
+	}
+}
+
+// TestMultiSimMatchesIndependentSims checks the K>1 struct-of-arrays path
+// against K independent scalar simulators with inter-bus coupling
+// disabled: energies agree to rounding and temperatures to the thermal
+// solver's tolerance.
+func TestMultiSimMatchesIndependentSims(t *testing.T) {
+	const buses = 4
+	const rows = 2600
+	const intervalCycles = 1000
+
+	makeCfg := func() Config {
+		enc, err := encoding.New("BI")
+		if err != nil {
+			t.Fatalf("encoding.New: %v", err)
+		}
+		return Config{
+			Node:           itrs.N90,
+			Encoder:        enc,
+			CouplingDepth:  -1,
+			IntervalCycles: intervalCycles,
+		}
+	}
+
+	msim, err := NewMulti(MultiConfig{Config: makeCfg(), Buses: buses, DisableBusCoupling: true})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	sims := make([]*Simulator, buses)
+	for k := range sims {
+		if sims[k], err = New(makeCfg()); err != nil {
+			t.Fatalf("New: %v", err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	cols := make([][]uint32, buses)
+	for k := range cols {
+		cols[k] = make([]uint32, rows)
+		for r := range cols[k] {
+			if rng.Intn(3) == 0 {
+				cols[k][r] = rng.Uint32()
+			} else {
+				cols[k][r] = uint32(r*8 + k)
+			}
+		}
+	}
+
+	ctx := context.Background()
+	if _, err := msim.StepBatch(ctx, interleave(cols)); err != nil {
+		t.Fatalf("multi StepBatch: %v", err)
+	}
+	if err := msim.Finish(); err != nil {
+		t.Fatalf("multi Finish: %v", err)
+	}
+	for k := range sims {
+		if _, err := sims[k].StepBatch(ctx, cols[k]); err != nil {
+			t.Fatalf("scalar StepBatch: %v", err)
+		}
+		if err := sims[k].Finish(); err != nil {
+			t.Fatalf("scalar Finish: %v", err)
+		}
+	}
+
+	relClose := func(a, b, tol float64) bool {
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		if scale == 0 {
+			return a == b
+		}
+		return math.Abs(a-b) <= tol*scale
+	}
+	for k := 0; k < buses; k++ {
+		mt, st := msim.TotalEnergy(k), sims[k].TotalEnergy()
+		if !relClose(mt.Total(), st.Total(), 1e-9) {
+			t.Fatalf("bus %d total energy: multi %g scalar %g", k, mt.Total(), st.Total())
+		}
+		ms, ss := msim.Samples(k), sims[k].Samples()
+		if len(ms) != len(ss) {
+			t.Fatalf("bus %d sample counts: %d vs %d", k, len(ms), len(ss))
+		}
+		for i := range ms {
+			if ms[i].EndCycle != ss[i].EndCycle {
+				t.Fatalf("bus %d sample %d end cycle: %d vs %d", k, i, ms[i].EndCycle, ss[i].EndCycle)
+			}
+			if !relClose(ms[i].Energy, ss[i].Energy, 1e-9) {
+				t.Fatalf("bus %d sample %d energy: %g vs %g", k, i, ms[i].Energy, ss[i].Energy)
+			}
+			// The decoupled grid and the per-bus network integrate the same
+			// system with the same spectral method; temperatures should agree
+			// far beyond thermal-model accuracy.
+			if !relClose(ms[i].MaxTemp, ss[i].MaxTemp, 1e-9) {
+				t.Fatalf("bus %d sample %d max temp: %v vs %v", k, i, ms[i].MaxTemp, ss[i].MaxTemp)
+			}
+		}
+		mtemp, stemp := msim.BusTemps(k), sims[k].Temps()
+		for j := range stemp {
+			if !relClose(mtemp[j], stemp[j], 1e-9) {
+				t.Fatalf("bus %d wire %d temp: %v vs %v", k, j, mtemp[j], stemp[j])
+			}
+		}
+	}
+
+	// With coupling enabled, a hot bus must warm its quiet neighbour above
+	// the neighbour's uncoupled temperature.
+	coupled, err := NewMulti(MultiConfig{Config: makeCfg(), Buses: 2})
+	if err != nil {
+		t.Fatalf("NewMulti coupled: %v", err)
+	}
+	uncoupled, err := NewMulti(MultiConfig{Config: makeCfg(), Buses: 2, DisableBusCoupling: true})
+	if err != nil {
+		t.Fatalf("NewMulti uncoupled: %v", err)
+	}
+	hot := make([][]uint32, 2)
+	hot[0] = make([]uint32, rows)
+	hot[1] = make([]uint32, rows) // quiet: all zeros
+	for r := range hot[0] {
+		hot[0][r] = rng.Uint32()
+	}
+	slab := interleave(hot)
+	if _, err := coupled.StepBatch(ctx, slab); err != nil {
+		t.Fatalf("coupled StepBatch: %v", err)
+	}
+	if _, err := uncoupled.StepBatch(ctx, slab); err != nil {
+		t.Fatalf("uncoupled StepBatch: %v", err)
+	}
+	if err := coupled.Finish(); err != nil {
+		t.Fatalf("coupled Finish: %v", err)
+	}
+	if err := uncoupled.Finish(); err != nil {
+		t.Fatalf("uncoupled Finish: %v", err)
+	}
+	cq := coupled.Grid().BusAvgTemp(1)
+	uq := uncoupled.Grid().BusAvgTemp(1)
+	if cq <= uq {
+		t.Fatalf("coupled quiet bus %v K not warmer than uncoupled %v K", cq, uq)
+	}
+}
+
+// TestMultiSimValidation covers constructor and stepping error paths.
+func TestMultiSimValidation(t *testing.T) {
+	if _, err := NewMulti(MultiConfig{Config: Config{Node: itrs.N130}, Buses: 0}); err == nil {
+		t.Fatal("zero buses accepted")
+	}
+	m, err := NewMulti(MultiConfig{Config: Config{Node: itrs.N130, IntervalCycles: 100}, Buses: 3})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	if _, err := m.StepBatch(context.Background(), make([]uint32, 7)); err == nil {
+		t.Fatal("non-multiple batch accepted")
+	}
+	if m.Buses() != 3 || m.Width() != 32 || m.Grid() == nil || m.Single() != nil {
+		t.Fatalf("accessors: buses=%d width=%d", m.Buses(), m.Width())
+	}
+}
+
+// TestMultiStepBatchAllocs is the multi-bus twin of TestStepBatchAllocs:
+// once the shared memo is warm, the K-bus batch kernel — transpose,
+// encode, count-aggregation, interval flushes and banded grid advances
+// included — must not allocate.
+func TestMultiStepBatchAllocs(t *testing.T) {
+	// Address-like traffic (mostly strides, occasional jumps), phase-shifted
+	// per bus: the same bounded transition diversity batchWords gives the
+	// scalar gate, so the memo reaches a true steady state. Unbounded
+	// random streams keep missing forever and each miss may regrow a memo
+	// slot's line buffer.
+	const buses, rows = 8, 4096
+	cols := make([][]uint32, buses)
+	for k := range cols {
+		col := make([]uint32, rows)
+		w, rng := uint32(0x4000_1000)+uint32(k)*0x100, uint32(7+k)
+		for i := range col {
+			rng = rng*1664525 + 1013904223
+			switch rng % 8 {
+			case 0:
+				w = rng
+			case 1: // hold
+			default:
+				w += 4
+			}
+			col[i] = w
+		}
+		cols[k] = col
+	}
+	slab := interleave(cols)
+	m, err := NewMulti(MultiConfig{
+		Config: Config{
+			Node:           itrs.N130,
+			CouplingDepth:  -1,
+			IntervalCycles: 1000, // several flushes per measured run
+			DropSamples:    true,
+		},
+		Buses: buses,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := m.StepBatch(ctx, slab); err != nil { // warm memo and dt cache
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := m.StepBatch(ctx, slab); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.StepIdleBatch(ctx, 3000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("multi StepBatch+StepIdleBatch allocate %v/op in steady state, want 0", allocs)
+	}
+}
+
+// multiRun is one bus's figures captured after a MultiSim run, for
+// replay comparisons.
+type multiRun struct {
+	total   energy.LineEnergy
+	lines   []energy.LineEnergy
+	temps   []float64
+	samples []Sample
+}
+
+// relCloseMulti mirrors the K > 1 replay contract (see MultiSim.Snapshot):
+// a warm-memo replay re-associates the count-aggregation drains, so
+// energies agree to ~1e-12 relative, not bit for bit.
+func relCloseMulti(a, b float64) bool {
+	d := math.Abs(a - b)
+	if b == 0 {
+		return d == 0
+	}
+	return d <= 1e-11*math.Abs(b)
+}
+
+// TestMultiSimResetReplay pins Reset's contract at K > 1: the simulator
+// returns to its post-NewMulti state (cycles, samples, totals, grid
+// temperatures) while keeping the warm shared memo, so an identical
+// replay reproduces the first run to rounding and hits the memo where
+// the first run missed. It also exercises the streaming callback,
+// LineEnergies, MemoStats, Err and IntervalCycles on the K > 1 path.
+func TestMultiSimResetReplay(t *testing.T) {
+	const buses, rows, idle, interval = 4, 2300, 400, 1000
+	enc, err := encoding.New("BI")
+	if err != nil {
+		t.Fatalf("encoding.New: %v", err)
+	}
+	msim, err := NewMulti(MultiConfig{
+		Config: Config{Node: itrs.N130, Encoder: enc, CouplingDepth: -1, IntervalCycles: interval},
+		Buses:  buses,
+	})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	if msim.IntervalCycles() != interval {
+		t.Fatalf("IntervalCycles = %d, want %d", msim.IntervalCycles(), interval)
+	}
+
+	type tagged struct {
+		bus int
+		s   Sample
+	}
+	var streamed []tagged
+	msim.SetOnBusSample(func(bus int, s Sample) { streamed = append(streamed, tagged{bus, s}) })
+
+	rng := rand.New(rand.NewSource(97))
+	cols := make([][]uint32, buses)
+	for k := range cols {
+		cols[k] = make([]uint32, rows)
+		for r := range cols[k] {
+			if rng.Intn(4) == 0 {
+				cols[k][r] = rng.Uint32()
+			} else {
+				cols[k][r] = uint32(r*4 + k*64)
+			}
+		}
+	}
+	slab := interleave(cols)
+	ctx := context.Background()
+
+	run := func() []multiRun {
+		if _, err := msim.StepBatch(ctx, slab); err != nil {
+			t.Fatalf("StepBatch: %v", err)
+		}
+		if _, err := msim.StepIdleBatch(ctx, idle); err != nil {
+			t.Fatalf("StepIdleBatch: %v", err)
+		}
+		if err := msim.Finish(); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		out := make([]multiRun, buses)
+		for k := range out {
+			lines := make([]energy.LineEnergy, msim.Width())
+			msim.LineEnergies(k, lines)
+			out[k] = multiRun{
+				total:   msim.TotalEnergy(k),
+				lines:   lines,
+				temps:   msim.BusTemps(k),
+				samples: append([]Sample(nil), msim.Samples(k)...),
+			}
+		}
+		return out
+	}
+
+	first := run()
+	if msim.Err() != nil {
+		t.Fatalf("Err after clean run: %v", msim.Err())
+	}
+	st1 := msim.MemoStats()
+	if st1.Hits == 0 || st1.Misses == 0 || st1.Entries == 0 {
+		t.Fatalf("memo never exercised: %+v", st1)
+	}
+	firstStreamed := append([]tagged(nil), streamed...)
+	streamed = streamed[:0]
+
+	msim.Reset()
+	if msim.Cycles() != 0 {
+		t.Fatalf("cycles after Reset = %d", msim.Cycles())
+	}
+	for k := 0; k < buses; k++ {
+		if len(msim.Samples(k)) != 0 {
+			t.Fatalf("bus %d keeps %d samples after Reset", k, len(msim.Samples(k)))
+		}
+		if tot := msim.TotalEnergy(k); tot != (energy.LineEnergy{}) {
+			t.Fatalf("bus %d keeps energy after Reset: %+v", k, tot)
+		}
+	}
+
+	second := run()
+	if msim.Cycles() != rows+idle {
+		t.Fatalf("cycles after replay = %d, want %d", msim.Cycles(), rows+idle)
+	}
+	st2 := msim.MemoStats()
+	if st2.Hits <= st1.Hits {
+		t.Fatalf("warm replay gained no memo hits: %+v -> %+v", st1, st2)
+	}
+
+	for k := range first {
+		f, s := first[k], second[k]
+		if !relCloseMulti(s.total.Self, f.total.Self) ||
+			!relCloseMulti(s.total.CoupAdj, f.total.CoupAdj) ||
+			!relCloseMulti(s.total.CoupNonAdj, f.total.CoupNonAdj) {
+			t.Fatalf("bus %d replay totals drifted: %+v vs %+v", k, s.total, f.total)
+		}
+		for j := range f.lines {
+			if !relCloseMulti(s.lines[j].Self, f.lines[j].Self) {
+				t.Fatalf("bus %d line %d replay energy drifted", k, j)
+			}
+		}
+		for j := range f.temps {
+			if !relCloseMulti(s.temps[j], f.temps[j]) {
+				t.Fatalf("bus %d wire %d replay temp drifted: %v vs %v", k, j, s.temps[j], f.temps[j])
+			}
+		}
+		if len(s.samples) != len(f.samples) {
+			t.Fatalf("bus %d sample counts differ: %d vs %d", k, len(s.samples), len(f.samples))
+		}
+		for i := range f.samples {
+			if s.samples[i].EndCycle != f.samples[i].EndCycle {
+				t.Fatalf("bus %d sample %d EndCycle %d vs %d",
+					k, i, s.samples[i].EndCycle, f.samples[i].EndCycle)
+			}
+			if !relCloseMulti(s.samples[i].Energy, f.samples[i].Energy) {
+				t.Fatalf("bus %d sample %d replay energy drifted", k, i)
+			}
+		}
+	}
+
+	// Streaming: every flush fires one callback per bus in bus order, and
+	// the streamed samples are exactly the retained ones.
+	for runIdx, got := range [][]tagged{firstStreamed, streamed} {
+		want := 0
+		for k := 0; k < buses; k++ {
+			want += len(second[k].samples)
+		}
+		if len(got) != want {
+			t.Fatalf("run %d streamed %d samples, retained %d", runIdx, len(got), want)
+		}
+		perBus := make([]int, buses)
+		for i, g := range got {
+			if g.bus != i%buses {
+				t.Fatalf("run %d callback %d tagged bus %d, want %d", runIdx, i, g.bus, i%buses)
+			}
+			ref := second[g.bus].samples[perBus[g.bus]]
+			if g.s.EndCycle != ref.EndCycle || !relCloseMulti(g.s.Energy, ref.Energy) {
+				t.Fatalf("run %d bus %d streamed sample %d differs from retained",
+					runIdx, g.bus, perBus[g.bus])
+			}
+			perBus[g.bus]++
+		}
+	}
+}
+
+// TestMultiSimK1Delegation covers the K == 1 delegation of the
+// accessors Reset, Err, IntervalCycles, LineEnergies, MemoStats and
+// SetOnBusSample: every call must land on the inner scalar simulator,
+// and a replay after Reset is bit-identical (the scalar accumulator has
+// no drain-order sensitivity).
+func TestMultiSimK1Delegation(t *testing.T) {
+	msim, err := NewMulti(MultiConfig{
+		Config: Config{Node: itrs.N130, CouplingDepth: -1, IntervalCycles: 500},
+		Buses:  1,
+	})
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	if msim.Single() == nil {
+		t.Fatal("K=1 has no inner simulator")
+	}
+	if msim.IntervalCycles() != 500 {
+		t.Fatalf("IntervalCycles = %d", msim.IntervalCycles())
+	}
+	var buses []int
+	msim.SetOnBusSample(func(bus int, s Sample) { buses = append(buses, bus) })
+
+	words := make([]uint32, 1300)
+	for i := range words {
+		words[i] = uint32(i * 4)
+	}
+	ctx := context.Background()
+	run := func() (energy.LineEnergy, []energy.LineEnergy) {
+		if _, err := msim.StepBatch(ctx, words); err != nil {
+			t.Fatalf("StepBatch: %v", err)
+		}
+		if err := msim.Finish(); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		lines := make([]energy.LineEnergy, msim.Width())
+		msim.LineEnergies(0, lines)
+		return msim.TotalEnergy(0), lines
+	}
+
+	tot1, lines1 := run()
+	if msim.Err() != nil {
+		t.Fatalf("Err: %v", msim.Err())
+	}
+	if msim.MemoStats() != msim.Single().MemoStats() {
+		t.Fatal("MemoStats does not delegate")
+	}
+	if len(buses) == 0 {
+		t.Fatal("K=1 streaming callback never fired")
+	}
+	for _, b := range buses {
+		if b != 0 {
+			t.Fatalf("K=1 sample tagged bus %d", b)
+		}
+	}
+
+	msim.SetOnBusSample(nil)
+	msim.Reset()
+	if msim.Cycles() != 0 {
+		t.Fatalf("cycles after Reset = %d", msim.Cycles())
+	}
+	callbacks := len(buses)
+	tot2, lines2 := run()
+	if len(buses) != callbacks {
+		t.Fatal("cleared callback still fires")
+	}
+	if math.Float64bits(tot1.Self) != math.Float64bits(tot2.Self) ||
+		math.Float64bits(tot1.CoupAdj) != math.Float64bits(tot2.CoupAdj) ||
+		math.Float64bits(tot1.CoupNonAdj) != math.Float64bits(tot2.CoupNonAdj) {
+		t.Fatalf("K=1 replay after Reset not bit-identical: %+v vs %+v", tot1, tot2)
+	}
+	for j := range lines1 {
+		if math.Float64bits(lines1[j].Self) != math.Float64bits(lines2[j].Self) {
+			t.Fatalf("K=1 line %d replay differs", j)
+		}
+	}
+}

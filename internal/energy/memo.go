@@ -32,12 +32,23 @@ type memoEntry struct {
 	lines        []LineEnergy
 }
 
+// memoKey mirrors the (diff, rising) key of the entry in the same slot.
+// The parallel key array exists purely for probe locality: four keys share
+// one cache line where the 64-byte entries take a line each, so the hit
+// path of a probe touches a quarter of the cache footprint. installSlot
+// keeps keys and table in sync; everything else treats the entry as
+// authoritative.
+type memoKey struct {
+	diff, rising uint64
+}
+
 // Memo is a direct-mapped transition-energy cache over one Model. It is not
 // safe for concurrent use; give each goroutine's Accumulator its own Memo
 // (the sweep runner does).
 type Memo struct {
 	model *Model
 	mask  uint64
+	keys  []memoKey
 	table []memoEntry
 
 	hits, misses uint64
@@ -80,6 +91,7 @@ func NewMemo(m *Model, sizeLog2 int) (*Memo, error) {
 	return &Memo{
 		model: m,
 		mask:  size - 1,
+		keys:  make([]memoKey, size),
 		table: make([]memoEntry, size),
 	}, nil
 }
@@ -113,33 +125,70 @@ func memoHash(diff, rising uint64) uint64 {
 //nanolint:hotpath probed once per switching transition; hits must not allocate
 func (c *Memo) lookup(diff, rising uint64) *memoEntry {
 	h := memoHash(diff, rising)
-	e := &c.table[h&c.mask]
-	if e.diff == diff && e.rising == rising {
+	pi := int(h & c.mask)
+	if k := c.keys[pi]; k.diff == diff && k.rising == rising {
 		c.hits++
-		return e
+		return &c.table[pi]
 	}
-	alt := &c.table[(h>>32)&c.mask]
-	if alt.diff == diff && alt.rising == rising {
+	ai := int((h >> 32) & c.mask)
+	if k := c.keys[ai]; k.diff == diff && k.rising == rising {
 		c.hits++
-		return alt
+		return &c.table[ai]
 	}
+	return &c.table[c.installSlot(diff, rising, h, nil)]
+}
+
+// lookupSlot is lookup for aggregating callers: it returns the table
+// index of the entry for (diff, rising), installing it on a miss with the
+// same probe and eviction policy as lookup, so a mixed workload of both
+// entry points sees one coherent cache. When installing would evict a
+// live entry, onEvict runs first with the old entry still in place — the
+// multi-bus accumulator drains its per-slot transition counts there
+// before the slot's energies change. The index stays valid (same entry,
+// same energies) until a lookup or lookupSlot misses into it.
+//
+//nanolint:hotpath probed once per switching transition on the multi-bus path; hits must not allocate
+func (c *Memo) lookupSlot(diff, rising uint64, onEvict func(int)) int {
+	h := memoHash(diff, rising)
+	pi := int(h & c.mask)
+	if k := c.keys[pi]; k.diff == diff && k.rising == rising {
+		c.hits++
+		return pi
+	}
+	ai := int((h >> 32) & c.mask)
+	if k := c.keys[ai]; k.diff == diff && k.rising == rising {
+		c.hits++
+		return ai
+	}
+	return c.installSlot(diff, rising, h, onEvict)
+}
+
+// installSlot is the shared miss path behind lookupSlot and the multi-bus
+// accumulator's inlined probe: pick the victim slot for (diff, rising)
+// under the standard eviction policy, run onEvict if a live entry is
+// displaced, compute and install the transition energies, and return the
+// slot index. h must be memoHash(diff, rising).
+func (c *Memo) installSlot(diff, rising, h uint64, onEvict func(int)) int {
 	c.misses++
-	// Install into an empty slot when one exists; otherwise evict the
-	// primary occupant.
-	if e.diff != 0 && alt.diff == 0 {
-		e = alt
+	idx := int(h & c.mask)
+	if ai := int((h >> 32) & c.mask); c.keys[idx].diff != 0 && c.keys[ai].diff == 0 {
+		idx = ai
 	}
+	e := &c.table[idx]
 	if e.diff == 0 {
 		c.used++
+	} else if onEvict != nil {
+		onEvict(idx)
 	}
 	s := bits.OnesCount64(diff)
 	if cap(e.lines) < s {
-		e.lines = make([]LineEnergy, s) //nanolint:ignore hotalloc amortized miss-path install; hits reuse the stored slice
+		e.lines = make([]LineEnergy, s)
 	}
 	e.lines = e.lines[:s]
 	e.total = c.model.transitionSparse(diff, rising, c.idx[:s], e.lines)
 	e.diff, e.rising = diff, rising
-	return e
+	c.keys[idx] = memoKey{diff: diff, rising: rising}
+	return idx
 }
 
 // Transition is the memoized equivalent of Model.Transition: identical

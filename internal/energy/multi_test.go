@@ -1,0 +1,167 @@
+package energy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nanobus/internal/itrs"
+)
+
+// relCloseScaled reports |a-b| <= tol * max(|a|,|b|) — a genuinely
+// relative comparison (the shared relClose helper's +1 floor would make
+// any tolerance absolute against ~1e-12 J energies).
+func relCloseScaled(a, b, tol float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// TestMultiAccumulatorMatchesScalar drives K buses through a
+// MultiAccumulator and the same word streams through K independent scalar
+// Accumulators, in several rounds with drains in between, and checks the
+// window energies agree to rounding.
+func TestMultiAccumulatorMatchesScalar(t *testing.T) {
+	const width, buses = 16, 5
+	m := testModel(t, width, itrs.N90)
+
+	multi, err := NewMultiAccumulator(m, buses)
+	if err != nil {
+		t.Fatalf("NewMultiAccumulator: %v", err)
+	}
+	if err := multi.EnableMemo(6); err != nil { // tiny table to force evictions
+		t.Fatalf("EnableMemo: %v", err)
+	}
+
+	scalars := make([]*Accumulator, buses)
+	for k := range scalars {
+		scalars[k] = NewAccumulator(m)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	const rounds, perRound = 6, 400
+	words := make([]uint64, perRound)
+	lineBuf := make([]LineEnergy, width)
+	scalarLines := make([]LineEnergy, width)
+	for r := 0; r < rounds; r++ {
+		for k := 0; k < buses; k++ {
+			for i := range words {
+				// Mix of sequential and random patterns so some
+				// transitions repeat (memo hits) and some do not.
+				if rng.Intn(3) == 0 {
+					words[i] = rng.Uint64()
+				} else {
+					words[i] = uint64(r*perRound+i) + uint64(k)<<8
+				}
+			}
+			multi.StepBus(k, words)
+			scalars[k].StepBatch(words)
+		}
+		multi.AddCycles(perRound)
+
+		multi.Drain()
+		for k := 0; k < buses; k++ {
+			multi.BusLines(k, lineBuf)
+			scalars[k].Lines(scalarLines)
+			for j := range lineBuf {
+				if !relCloseScaled(lineBuf[j].Total(), scalarLines[j].Total(), 1e-9) {
+					t.Fatalf("round %d bus %d line %d: multi %g scalar %g",
+						r, k, j, lineBuf[j].Total(), scalarLines[j].Total())
+				}
+			}
+			if !relCloseScaled(multi.BusTotal(k).Total(), scalars[k].Total().Total(), 1e-9) {
+				t.Fatalf("round %d bus %d total: multi %g scalar %g",
+					r, k, multi.BusTotal(k).Total(), scalars[k].Total().Total())
+			}
+		}
+		if multi.Cycles() != scalars[0].Cycles() {
+			t.Fatalf("round %d cycles: multi %d scalar %d", r, multi.Cycles(), scalars[0].Cycles())
+		}
+		// Reset windows on both sides (held words persist), as flush does.
+		multi.Reset()
+		for k := range scalars {
+			scalars[k].Reset()
+		}
+	}
+}
+
+// TestMultiAccumulatorIdleAndState exercises IdleN, the BusState/
+// SetBusState round trip, and ResetAll.
+func TestMultiAccumulatorIdleAndState(t *testing.T) {
+	const width, buses = 8, 3
+	m := testModel(t, width, itrs.N130)
+	a, err := NewMultiAccumulator(m, buses)
+	if err != nil {
+		t.Fatalf("NewMultiAccumulator: %v", err)
+	}
+	if err := a.EnableMemo(0); err != nil {
+		t.Fatalf("EnableMemo: %v", err)
+	}
+	words := []uint64{0x1, 0x3, 0x7, 0xf, 0x1f}
+	for k := 0; k < buses; k++ {
+		a.StepBus(k, words)
+	}
+	a.AddCycles(uint64(len(words)))
+	a.IdleN(10)
+	if a.Cycles() != 15 || a.IdleCycles() != 10 {
+		t.Fatalf("cycles=%d idle=%d, want 15/10", a.Cycles(), a.IdleCycles())
+	}
+
+	a.Drain()
+	st := a.BusState(1)
+	if st.Prev != 0x1f || st.First {
+		t.Fatalf("bus state prev=%#x first=%v", st.Prev, st.First)
+	}
+
+	b, err := NewMultiAccumulator(m, buses)
+	if err != nil {
+		t.Fatalf("NewMultiAccumulator: %v", err)
+	}
+	if err := b.SetBusState(1, st); err != nil {
+		t.Fatalf("SetBusState: %v", err)
+	}
+	got := b.BusState(1)
+	if got.Prev != st.Prev || got.Total != st.Total || got.Cycles != st.Cycles {
+		t.Fatalf("state round trip mismatch: %+v vs %+v", got, st)
+	}
+	if err := b.SetBusState(0, AccumulatorState{Lines: make([]LineEnergy, width+1)}); err == nil {
+		t.Fatal("SetBusState accepted wrong line count")
+	}
+
+	a.ResetAll()
+	if a.Cycles() != 0 || a.BusTotal(0) != (LineEnergy{}) {
+		t.Fatal("ResetAll left window state")
+	}
+	if st := a.BusState(0); !st.First {
+		t.Fatal("ResetAll kept held word")
+	}
+}
+
+// TestMultiAccumulatorValidation covers constructor error paths.
+func TestMultiAccumulatorValidation(t *testing.T) {
+	m := testModel(t, 4, itrs.N130)
+	if _, err := NewMultiAccumulator(nil, 2); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := NewMultiAccumulator(m, 0); err == nil {
+		t.Fatal("zero buses accepted")
+	}
+	a, err := NewMultiAccumulator(m, 2)
+	if err != nil {
+		t.Fatalf("NewMultiAccumulator: %v", err)
+	}
+	if err := a.EnableMemo(99); err == nil {
+		t.Fatal("oversized memo accepted")
+	}
+	if a.Buses() != 2 || a.Width() != 4 {
+		t.Fatalf("accessors: buses=%d width=%d, want 2/4", a.Buses(), a.Width())
+	}
+	if a.Memo() != nil {
+		t.Fatal("memo present before a successful EnableMemo")
+	}
+	if err := a.EnableMemo(0); err != nil {
+		t.Fatalf("EnableMemo(0): %v", err)
+	}
+	if a.Memo() == nil || a.Memo().Stats().Capacity != 1<<DefaultMemoSizeLog2 {
+		t.Fatal("default-sized memo absent after EnableMemo(0)")
+	}
+}

@@ -21,9 +21,10 @@ import (
 // options means a private per-call cache, which still deduplicates work
 // inside the call. All methods are safe for concurrent use.
 type SweepCache struct {
-	mu    sync.Mutex
-	sims  map[simKey][]*core.Simulator
-	tapes map[tapeKey]*core.Tape
+	mu      sync.Mutex
+	sims    map[simKey][]*core.Simulator
+	tapes   map[tapeKey]*core.Tape
+	windows [][]trace.Cycle
 }
 
 // simKey is the pooling identity of a sweep simulator: every field that
@@ -39,6 +40,13 @@ type simKey struct {
 	memoLog2 int
 	track    bool
 	drop     bool
+	// scope never reaches core.Config; it partitions otherwise identical
+	// configurations by the traffic they replay (Fig3 keys on the bus,
+	// Fig4 on the pair role). Without it, concurrent same-config jobs
+	// swap simulators between sweep calls and each swap retrains the
+	// transition memo — thousands of entry-slab allocations per call
+	// that scale with the worker count instead of staying flat.
+	scope string
 }
 
 // tapeKey identifies one compiled single-bus trace window.
@@ -99,6 +107,32 @@ func (c *SweepCache) release(k simKey, sim *core.Simulator) {
 	}
 	c.mu.Lock()
 	c.sims[k] = append(c.sims[k], sim)
+	c.mu.Unlock()
+}
+
+// window pops a pooled capture buffer (nil when the pool is empty — the
+// capture path grows it to size). Buffers return through putWindow, so a
+// shared cache amortises the 12-bytes/cycle capture slabs across both
+// workers and sweep invocations instead of allocating one per worker per
+// call.
+func (c *SweepCache) window() []trace.Cycle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.windows); n > 0 {
+		w := c.windows[n-1]
+		c.windows = c.windows[:n-1]
+		return w
+	}
+	return nil
+}
+
+// putWindow shelves a capture buffer for reuse.
+func (c *SweepCache) putWindow(w []trace.Cycle) {
+	if cap(w) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.windows = append(c.windows, w[:0])
 	c.mu.Unlock()
 }
 

@@ -102,3 +102,34 @@ func TestFig3WarmCacheAllocs(t *testing.T) {
 		t.Errorf("warm-cache Fig3 sweep allocates %v objects, want <= 500", allocs)
 	}
 }
+
+// TestFig3WarmCacheAllocsFlatAcrossWorkers pins the scoped sim pools: a
+// warm parallel sweep must not allocate much more than the serial one.
+// Before scoping, concurrent same-config jobs swapped simulators between
+// calls and every swap retrained a transition memo, so warm allocs grew
+// roughly 10x from one worker to four.
+func TestFig3WarmCacheAllocsFlatAcrossWorkers(t *testing.T) {
+	measure := func(workers int) float64 {
+		opts := Fig3Options{
+			Cycles:     20_000,
+			Benchmarks: []string{"eon", "swim"},
+			Nodes:      []itrs.Node{itrs.N130},
+			Workers:    workers,
+			Cache:      NewSweepCache(),
+		}
+		if _, err := Fig3(opts); err != nil { // warm the cache
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Fig3(opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	serial, parallel4 := measure(1), measure(4)
+	// Goroutine spin-up costs a handful of allocations per worker; memo
+	// retraining costs thousands. The bound separates the two regimes.
+	if parallel4 > 2*serial+300 {
+		t.Errorf("warm Fig3 sweep allocates %v objects at 4 workers vs %v serial; want flat", parallel4, serial)
+	}
+}

@@ -124,11 +124,15 @@ func Fig3(opts Fig3Options) ([]Fig3Cell, error) {
 
 	// Phase 1: capture and compile every benchmark's tapes. The capture
 	// window (12 bytes/cycle) lives only inside this phase, one buffer
-	// per worker, reused across that worker's benchmarks.
+	// per worker, drawn from (and returned to) the cache's window pool so
+	// repeated sweeps reuse the slabs instead of reallocating per call.
 	type tapes struct{ ia, da *core.Tape }
 	benchTapes := make([]tapes, len(benches))
 	windows := make([][]trace.Cycle, parallel.Workers(opts.Workers))
-	if err := parallel.ForEachWorker(opts.Workers, len(benches), func(worker, bi int) error {
+	phaseErr := parallel.ForEachWorker(opts.Workers, len(benches), func(worker, bi int) error {
+		if windows[worker] == nil {
+			windows[worker] = cache.window()
+		}
 		ia, da, buf, err := cache.tapePair(benches[bi], cycles, windows[worker])
 		windows[worker] = buf
 		if err != nil {
@@ -136,8 +140,12 @@ func Fig3(opts Fig3Options) ([]Fig3Cell, error) {
 		}
 		benchTapes[bi] = tapes{ia, da}
 		return nil
-	}); err != nil {
-		return nil, fmt.Errorf("expt: fig3 capture: %w", err)
+	})
+	for _, w := range windows {
+		cache.putWindow(w)
+	}
+	if phaseErr != nil {
+		return nil, fmt.Errorf("expt: fig3 capture: %w", phaseErr)
 	}
 
 	// Phase 2: config-major replay. Each job writes its benchmark row of
@@ -146,7 +154,10 @@ func Fig3(opts Fig3Options) ([]Fig3Cell, error) {
 	ctx := context.Background()
 	err := parallel.ForEach(opts.Workers, len(jobs), func(ji int) error {
 		jb := jobs[ji]
-		k := simKey{node: jb.node.Name, scheme: jb.scheme, depth: -1, drop: true}
+		// scope pins each bus's jobs to simulators trained on that bus's
+		// traffic, so warm-cache memo hit rates stay high at any worker
+		// count (see simKey.scope).
+		k := simKey{node: jb.node.Name, scheme: jb.scheme, depth: -1, drop: true, scope: jb.bus}
 		sim, err := cache.sim(k)
 		if err != nil {
 			return err

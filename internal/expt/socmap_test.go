@@ -1,0 +1,140 @@
+package expt_test
+
+import (
+	"context"
+	"math"
+	"net"
+	"net/http/httptest"
+	"testing"
+
+	"nanobus/client"
+	"nanobus/internal/expt"
+	"nanobus/internal/server"
+)
+
+// socService stands up one in-process nanobusd with both transports.
+func socService(t *testing.T) (*client.Client, string) {
+	t.Helper()
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		//nanolint:ignore droppederr the accept loop exits with net.ErrClosed on cleanup
+		_ = srv.ServeNBWP(lis)
+	}()
+	t.Cleanup(func() {
+		//nanolint:ignore droppederr test cleanup; the listener may already be closed
+		_ = lis.Close()
+	})
+	return client.New(ts.URL, client.WithHTTPClient(ts.Client())), lis.Addr().String()
+}
+
+// TestSoCMapTransportsAgree runs the whole-SoC scenario over HTTP and
+// NBWP against one server and requires bit-identical figures and frames.
+func TestSoCMapTransportsAgree(t *testing.T) {
+	hc, addr := socService(t)
+	ctx := context.Background()
+	opts := expt.SoCMapOptions{Cycles: 20_000, IntervalCycles: 5_000, Benchmark: "swim"}
+
+	httpRes, err := expt.SoCMap(ctx, opts, expt.HTTPMapOpener(ctx, hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := client.DialNBWP(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nbwpRes, err := expt.SoCMap(ctx, opts, expt.NBWPMapOpener(ctx, nc))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, res := range []*expt.SoCMapResult{httpRes, nbwpRes} {
+		if res.Cycles != opts.Cycles {
+			t.Fatalf("ran %d cycles, want %d", res.Cycles, opts.Cycles)
+		}
+		if len(res.Buses) != 4 || len(res.PerBusEnergyJ) != 4 || len(res.TempsK) != 4 {
+			t.Fatalf("result is not 4-bus: %+v", res.Buses)
+		}
+		// 4 closed intervals stream while words flow; the finish interval
+		// is retained in the result, not streamed.
+		if len(res.Frames) != 4 {
+			t.Fatalf("%d frames, want 4", len(res.Frames))
+		}
+		for i, f := range res.Frames {
+			if f.EndCycle != uint64(i+1)*opts.IntervalCycles {
+				t.Fatalf("frame %d ends at %d", i, f.EndCycle)
+			}
+			for k, temps := range f.TempsK {
+				if len(temps) == 0 {
+					t.Fatalf("frame %d bus %d has no wire temps", i, k)
+				}
+			}
+			if f.MaxTempK <= 0 {
+				t.Fatalf("frame %d max temp %g", i, f.MaxTempK)
+			}
+		}
+		if res.TotalEnergyJ <= 0 || res.MaxTempK <= res.AvgTempK-1e-9 {
+			t.Fatalf("implausible summary: %+v", res)
+		}
+		// The IA bus fetches nearly every cycle; the L2 buses are sparse.
+		if res.Duty[0] < res.Duty[2] || res.Duty[0] < res.Duty[3] {
+			t.Fatalf("duty ordering implausible: %v", res.Duty)
+		}
+	}
+
+	if math.Float64bits(httpRes.TotalEnergyJ) != math.Float64bits(nbwpRes.TotalEnergyJ) ||
+		math.Float64bits(httpRes.MaxTempK) != math.Float64bits(nbwpRes.MaxTempK) {
+		t.Fatalf("transports disagree: http %g/%g nbwp %g/%g",
+			httpRes.TotalEnergyJ, httpRes.MaxTempK, nbwpRes.TotalEnergyJ, nbwpRes.MaxTempK)
+	}
+	for i := range httpRes.Frames {
+		hf, nf := httpRes.Frames[i], nbwpRes.Frames[i]
+		for k := range hf.TempsK {
+			for j := range hf.TempsK[k] {
+				if math.Float64bits(hf.TempsK[k][j]) != math.Float64bits(nf.TempsK[k][j]) {
+					t.Fatalf("frame %d bus %d wire %d differs across transports", i, k, j)
+				}
+			}
+		}
+	}
+}
+
+// TestSoCMapCouplingMatters pins the banded thermal network end to end:
+// severing the lateral resistance must change the map (an isolated bus
+// cannot heat its neighbor), and the coupled interior buses must end no
+// cooler than their isolated twins.
+func TestSoCMapCouplingMatters(t *testing.T) {
+	hc, _ := socService(t)
+	ctx := context.Background()
+	opts := expt.SoCMapOptions{Cycles: 20_000, IntervalCycles: 10_000, Benchmark: "swim"}
+
+	coupled, err := expt.SoCMap(ctx, opts, expt.HTTPMapOpener(ctx, hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.DisableBusCoupling = true
+	isolated, err := expt.SoCMap(ctx, opts, expt.HTTPMapOpener(ctx, hc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(coupled.TotalEnergyJ) != math.Float64bits(isolated.TotalEnergyJ) {
+		t.Fatalf("thermal coupling changed energy: %g vs %g", coupled.TotalEnergyJ, isolated.TotalEnergyJ)
+	}
+	diff := false
+	for k := range coupled.TempsK {
+		for j := range coupled.TempsK[k] {
+			if coupled.TempsK[k][j] != isolated.TempsK[k][j] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("disable_bus_coupling left the temperature map unchanged")
+	}
+}

@@ -248,6 +248,27 @@ func ParseSample(p []byte, temps []float64) (Sample, error) {
 	return s, nil
 }
 
+// AppendBusSample appends a multi-bus SAMPLE payload to dst: the uint32
+// bus index, then the standard Sample layout. Frames carrying this
+// layout set FlagMultiSample.
+//
+//nanolint:hotpath one encode per streamed multi-bus sample; appends into the caller's reused buffer
+func AppendBusSample(dst []byte, bus uint32, s Sample) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, bus)
+	return AppendSample(dst, s)
+}
+
+// ParseBusSample decodes a FlagMultiSample SAMPLE payload; temps is the
+// optional reuse buffer ParseSample documents.
+func ParseBusSample(p []byte, temps []float64) (uint32, Sample, error) {
+	if len(p) < 4 {
+		return 0, Sample{}, fmt.Errorf("%w: multi-bus sample is %d bytes (min %d)", ErrBadPayload, len(p), 4+sampleFixedLen)
+	}
+	bus := binary.LittleEndian.Uint32(p[0:4])
+	s, err := ParseSample(p[4:], temps)
+	return bus, s, err
+}
+
 // --- ERROR payload -----------------------------------------------------------
 
 // errorFixedLen is the ERROR payload length before the code string:

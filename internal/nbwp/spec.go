@@ -124,6 +124,11 @@ const (
 	// FlagDownload marks a CHECKPOINT whose ack payload is the raw
 	// envelope instead of CheckpointInfo (the HTTP ?download=1).
 	FlagDownload uint8 = 1 << 5
+	// FlagMultiSample marks a SAMPLE from a multi-bus session: the
+	// payload is a uint32 LE bus index followed by the standard Sample
+	// layout (see AppendBusSample/ParseBusSample). Scalar sessions never
+	// set it, so existing clients keep decoding plain Sample payloads.
+	FlagMultiSample uint8 = 1 << 6
 )
 
 // Typed frame-codec errors. Readers must get exactly these (wrapped) for

@@ -228,7 +228,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // checkpointLocked snapshots the session into an envelope and saves it to
 // the store (when configured). The caller must hold the session.
 func (s *Server) checkpointLocked(ctx context.Context, sess *session) (CheckpointInfo, []byte, error) {
-	blob, err := sess.sim.Snapshot()
+	blob, err := sess.snapshot()
 	if err != nil {
 		return CheckpointInfo{}, nil, err
 	}
@@ -247,13 +247,13 @@ func (s *Server) checkpointLocked(ctx context.Context, sess *session) (Checkpoin
 		}
 		stored = true
 	}
-	sess.ckptCycles = sess.sim.Cycles()
+	sess.ckptCycles = sess.simCycles()
 	s.checkpointsTotal.Add(1)
 	sum := sha256.Sum256(data)
 	return CheckpointInfo{
 		ID:     sess.id,
 		Seq:    env.Seq,
-		Cycles: sess.sim.Cycles(),
+		Cycles: sess.ckptCycles,
 		Bytes:  len(data),
 		SHA256: hex.EncodeToString(sum[:]),
 		Stored: stored,
@@ -268,10 +268,10 @@ func (s *Server) maybeAutoCheckpoint(ctx context.Context, sess *session) {
 	if s.cfg.Store == nil || s.cfg.AutoCheckpointCycles == 0 || sess.dirtySeq {
 		return
 	}
-	if sess.sim.Err() != nil {
+	if sess.simErr() != nil {
 		return
 	}
-	if sess.sim.Cycles()-sess.ckptCycles < s.cfg.AutoCheckpointCycles {
+	if sess.simCycles()-sess.ckptCycles < s.cfg.AutoCheckpointCycles {
 		return
 	}
 	if _, _, err := s.checkpointLocked(ctx, sess); err != nil {
@@ -358,7 +358,7 @@ func (s *Server) restoreLive(ctx context.Context, sess *session, sh *shard, env 
 		return RestoreResponse{}, herr(http.StatusConflict, CodeCheckpointMismatch,
 			"checkpoint configuration does not match the session")
 	}
-	if err := sess.sim.Restore(env.Core); err != nil {
+	if err := sess.restoreBlob(env.Core); err != nil {
 		return RestoreResponse{}, asHTTPErr(err)
 	}
 	s.applyEnvelopeState(sess, env)
@@ -366,7 +366,7 @@ func (s *Server) restoreLive(ctx context.Context, sess *session, sh *shard, env 
 	return RestoreResponse{
 		ID:         sess.id,
 		Seq:        env.Seq,
-		Cycles:     sess.sim.Cycles(),
+		Cycles:     sess.simCycles(),
 		Words:      env.Words,
 		IdleCycles: env.Idle,
 	}, nil
@@ -401,15 +401,19 @@ func (s *Server) resurrectFrom(id string, env *envelope) (RestoreResponse, *http
 	if he != nil {
 		return RestoreResponse{}, he
 	}
-	if err := sess.sim.Restore(env.Core); err != nil {
+	if err := sess.restoreBlob(env.Core); err != nil {
 		// A failed Restore leaves the simulator untouched; recycle it.
-		s.pool.put(sess.key, sess.sim)
+		if sess.sim != nil {
+			s.pool.put(sess.key, sess.sim)
+		}
 		return RestoreResponse{}, asHTTPErr(err)
 	}
 	// All session state is set before registration makes it reachable.
 	s.applyEnvelopeState(sess, env)
 	if !s.registerSession(sess, id) {
-		s.pool.put(sess.key, sess.sim)
+		if sess.sim != nil {
+			s.pool.put(sess.key, sess.sim)
+		}
 		return RestoreResponse{}, herr(http.StatusConflict, CodeSessionBusy,
 			"session reappeared during restore; retry")
 	}
@@ -419,7 +423,7 @@ func (s *Server) resurrectFrom(id string, env *envelope) (RestoreResponse, *http
 	return RestoreResponse{
 		ID:          id,
 		Seq:         env.Seq,
-		Cycles:      sess.sim.Cycles(),
+		Cycles:      sess.simCycles(),
 		Words:       env.Words,
 		IdleCycles:  env.Idle,
 		Resurrected: true,
@@ -436,7 +440,7 @@ func (s *Server) applyEnvelopeState(sess *session, env *envelope) {
 	sess.dirtySeq = false
 	// A retried duplicate of the checkpointed batch gets an idempotent
 	// ack with the restored cumulative counters.
-	sess.lastSum = StepSummary{Cycles: env.Words + env.Idle}
-	sess.ckptCycles = sess.sim.Cycles()
-	sess.lastMemo = sess.sim.MemoStats()
+	sess.lastSum = StepSummary{Cycles: env.Words/uint64(sess.buses) + env.Idle}
+	sess.ckptCycles = sess.simCycles()
+	sess.lastMemo = sess.memoStats()
 }

@@ -1,0 +1,178 @@
+package server_test
+
+import (
+	"context"
+	"testing"
+
+	"nanobus/client"
+	"nanobus/internal/core"
+	"nanobus/internal/encoding"
+	"nanobus/internal/itrs"
+	"nanobus/internal/server"
+)
+
+// TestMultiBusResultMatchesLibrary drives a 4-bus session over HTTP and
+// checks the assembled multi Result — grid-wide aggregates plus every
+// per-bus block — bit-identically against an in-process core.MultiSim
+// replay of the same schedule. The transport-level comparisons live in
+// the client package; this test pins the server's own Result assembly
+// (multiResultLocked) against the kernel it wraps.
+func TestMultiBusResultMatchesLibrary(t *testing.T) {
+	_, c := newTestService(t, server.Config{})
+	ctx := context.Background()
+
+	const buses, rows, idle, interval = 4, 1300, 200, 512
+	cols := make([][]uint32, buses)
+	for k := range cols {
+		cols[k] = testWords(uint32(31+k), rows)
+	}
+	slab, err := client.PackInterleaved(nil, cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := c.CreateSession(ctx, client.SessionConfig{
+		Node: "130nm", Buses: buses, IntervalCycles: interval, TrackWireTemps: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Info.Buses != buses {
+		t.Fatalf("session info buses = %d, want %d", sess.Info.Buses, buses)
+	}
+	if _, err := sess.StepBinary(ctx, slab); err != nil {
+		t.Fatal(err)
+	}
+	// finish=0 first: a multi Result over flushed intervals only, without
+	// closing out the partial one.
+	keep, err := sess.Result(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keep.Buses != buses || len(keep.PerBus) != buses {
+		t.Fatalf("keep result buses = %d (per_bus %d), want %d", keep.Buses, len(keep.PerBus), buses)
+	}
+	if keep.Cycles != rows {
+		t.Fatalf("keep result cycles = %d, want %d", keep.Cycles, rows)
+	}
+	if _, err := sess.StepIdle(ctx, idle); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Result(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same schedule through the library kernel, using the server's
+	// session defaults (Unencoded, full coupling depth, default length).
+	node, err := itrs.Resolve("130nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := encoding.New("Unencoded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msim, err := core.NewMulti(core.MultiConfig{
+		Config: core.Config{
+			Node:           node,
+			Encoder:        enc,
+			CouplingDepth:  -1,
+			IntervalCycles: interval,
+			TrackWireTemps: true,
+		},
+		Buses: buses,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := msim.StepBatch(ctx, slab); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := msim.StepIdleBatch(ctx, idle); err != nil {
+		t.Fatal(err)
+	}
+	if err := msim.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	grid := msim.Grid()
+
+	if res.Cycles != msim.Cycles() || res.Buses != buses || res.Width != msim.Width() {
+		t.Fatalf("shape: cycles=%d buses=%d width=%d, library cycles=%d width=%d",
+			res.Cycles, res.Buses, res.Width, msim.Cycles(), msim.Width())
+	}
+	if len(res.Samples) != 0 {
+		t.Fatalf("multi result carries %d flat samples, want 0 (per-bus only)", len(res.Samples))
+	}
+	maxT, maxBus, maxW := grid.MaxTemp()
+	if !bitsEq(res.MaxTempK, maxT) || res.MaxBus != maxBus || res.MaxWire != maxW {
+		t.Fatalf("hottest node: server (%g, bus %d, wire %d), library (%g, bus %d, wire %d)",
+			res.MaxTempK, res.MaxBus, res.MaxWire, maxT, maxBus, maxW)
+	}
+	temps := grid.Temps(nil)
+	if len(res.TempsK) != len(temps) {
+		t.Fatalf("temps slab length %d, want %d", len(res.TempsK), len(temps))
+	}
+	avg := 0.0
+	for i, tk := range temps {
+		if !bitsEq(res.TempsK[i], tk) {
+			t.Fatalf("temp slab node %d differs: %g vs %g", i, res.TempsK[i], tk)
+		}
+		avg += tk
+	}
+	if !bitsEq(res.AvgTempK, avg/float64(len(temps))) {
+		t.Fatalf("avg temp %g, library %g", res.AvgTempK, avg/float64(len(temps)))
+	}
+	st := msim.MemoStats()
+	if res.Memo.Hits != st.Hits || res.Memo.Misses != st.Misses {
+		t.Fatalf("memo counters: server %+v, library %+v", res.Memo, st)
+	}
+
+	var sum server.EnergySplit
+	for k, pb := range res.PerBus {
+		if pb.Bus != k {
+			t.Fatalf("per_bus[%d] tagged bus %d", k, pb.Bus)
+		}
+		tot := msim.TotalEnergy(k)
+		if !bitsEq(pb.Total.TotalJ, tot.Total()) || !bitsEq(pb.Total.SelfJ, tot.Self) ||
+			!bitsEq(pb.Total.CoupAdjJ, tot.CoupAdj) || !bitsEq(pb.Total.CoupNonAdjJ, tot.CoupNonAdj) {
+			t.Fatalf("bus %d energy: server %+v, library %+v", k, pb.Total, tot)
+		}
+		bMaxT, bMaxW := grid.BusMaxTemp(k)
+		if !bitsEq(pb.MaxTempK, bMaxT) || pb.MaxWire != bMaxW || !bitsEq(pb.AvgTempK, grid.BusAvgTemp(k)) {
+			t.Fatalf("bus %d temps: server (%g, wire %d, avg %g), library (%g, wire %d, avg %g)",
+				k, pb.MaxTempK, pb.MaxWire, pb.AvgTempK, bMaxT, bMaxW, grid.BusAvgTemp(k))
+		}
+		bTemps := grid.BusTemps(k, nil)
+		if len(pb.TempsK) != len(bTemps) {
+			t.Fatalf("bus %d temps length %d, want %d", k, len(pb.TempsK), len(bTemps))
+		}
+		for j := range bTemps {
+			if !bitsEq(pb.TempsK[j], bTemps[j]) {
+				t.Fatalf("bus %d wire %d temp differs", k, j)
+			}
+		}
+		libSamples := msim.Samples(k)
+		if len(pb.Samples) != len(libSamples) {
+			t.Fatalf("bus %d samples: server %d, library %d", k, len(pb.Samples), len(libSamples))
+		}
+		for i, ss := range pb.Samples {
+			ls := libSamples[i]
+			if ss.Bus != k || ss.EndCycle != ls.EndCycle || !bitsEq(ss.EnergyJ, ls.Energy) ||
+				!bitsEq(ss.MaxTempK, ls.MaxTemp) {
+				t.Fatalf("bus %d sample %d differs: server %+v, library %+v", k, i, ss, ls)
+			}
+		}
+		sum.TotalJ += pb.Total.TotalJ
+		sum.SelfJ += pb.Total.SelfJ
+		sum.CoupAdjJ += pb.Total.CoupAdjJ
+		sum.CoupNonAdjJ += pb.Total.CoupNonAdjJ
+	}
+	if !bitsEq(res.Total.TotalJ, sum.TotalJ) || !bitsEq(res.Total.SelfJ, sum.SelfJ) ||
+		!bitsEq(res.Total.CoupAdjJ, sum.CoupAdjJ) || !bitsEq(res.Total.CoupNonAdjJ, sum.CoupNonAdjJ) {
+		t.Fatalf("grand total %+v is not the per-bus sum %+v", res.Total, sum)
+	}
+}

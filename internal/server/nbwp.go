@@ -398,6 +398,12 @@ func (nc *nbwpConn) handleStep(h nbwp.Header, payload []byte) bool {
 			return nc.reply(h, http.StatusRequestEntityTooLarge, CodeBatchTooLarge,
 				fmt.Sprintf("batch of %d words exceeds the %d-word limit", len(payload)/4, nc.s.cfg.MaxBatchWords))
 		}
+		if sess.buses > 1 && (len(payload)/4)%sess.buses != 0 {
+			// Unlike the chunked HTTP body, a STEP frame is one complete
+			// batch, so row alignment is checked up front.
+			return nc.reply(h, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("batch of %d words is not a multiple of the session's %d buses", len(payload)/4, sess.buses))
+		}
 	}
 	ctx, cancel := nc.reqCtx()
 	defer cancel()
@@ -424,7 +430,7 @@ func (nc *nbwpConn) handleStep(h nbwp.Header, payload []byte) bool {
 			if seq != last {
 				sum = StepSummary{}
 			}
-			sum.Cycles = sess.words.Load() + sess.idle.Load()
+			sum.Cycles = sess.cycleCount()
 			nc.s.seqDuplicatesTotal.Add(1)
 			nbwp.PutStepAck(&nc.ackBuf, nbwp.StepAck{
 				Words: sum.Words, Idle: sum.Idle, Cycles: sum.Cycles, Samples: sum.Samples,
@@ -442,18 +448,26 @@ func (nc *nbwpConn) handleStep(h nbwp.Header, payload []byte) bool {
 
 	var sum StepSummary
 	streaming := nc.stream[h.Slot]
+	multi := sess.buses > 1
 	writeOK := true
-	sess.sim.SetOnSample(func(cs core.Sample) {
+	sess.setOnSample(func(bus int, cs core.Sample) {
 		sum.Samples++
 		nc.s.samplesTotal.Add(1)
 		if streaming && writeOK {
 			// Samples interleave ahead of the batch's ack, append-encoded
-			// into the connection's reused buffer.
-			nc.payload = appendNBWPSample(nc.payload[:0], fromCoreSample(cs))
-			writeOK = nc.writeFrame(nbwp.Header{Type: nbwp.TypeSample, Slot: h.Slot}, nc.payload)
+			// into the connection's reused buffer. Multi-bus sessions
+			// prefix the bus index and flag the layout.
+			var flags uint8
+			if multi {
+				flags = nbwp.FlagMultiSample
+				nc.payload = nbwp.AppendBusSample(nc.payload[:0], uint32(bus), toNBWPSample(fromCoreSample(cs)))
+			} else {
+				nc.payload = appendNBWPSample(nc.payload[:0], fromCoreSample(cs))
+			}
+			writeOK = nc.writeFrame(nbwp.Header{Type: nbwp.TypeSample, Flags: flags, Slot: h.Slot}, nc.payload)
 		}
 	})
-	defer sess.sim.SetOnSample(nil)
+	defer sess.setOnSample(nil)
 
 	var stepErr error
 	if h.Type == nbwp.TypeStep {
@@ -475,7 +489,7 @@ func (nc *nbwpConn) handleStep(h nbwp.Header, payload []byte) bool {
 			stepErr = nc.s.stepIdle(ctx, sess, idle, &sum)
 		}
 	}
-	sum.Cycles = sess.words.Load() + sess.idle.Load()
+	sum.Cycles = sess.cycleCount()
 
 	if stepErr != nil {
 		return nc.replyErr(h, asHTTPErr(stepErr))
@@ -494,9 +508,10 @@ func (nc *nbwpConn) handleStep(h nbwp.Header, payload []byte) bool {
 	return nc.ack(h, 0, nc.ackBuf[:])
 }
 
-// appendNBWPSample encodes a wire Sample into the NBWP binary layout.
-func appendNBWPSample(dst []byte, s Sample) []byte {
-	return nbwp.AppendSample(dst, nbwp.Sample{
+// toNBWPSample converts a wire Sample to the NBWP binary form (the bus
+// tag travels in the frame layout, not the sample body).
+func toNBWPSample(s Sample) nbwp.Sample {
+	return nbwp.Sample{
 		EndCycle:    s.EndCycle,
 		EnergyJ:     s.EnergyJ,
 		SelfJ:       s.SelfJ,
@@ -506,7 +521,12 @@ func appendNBWPSample(dst []byte, s Sample) []byte {
 		MaxTempK:    s.MaxTempK,
 		MaxWire:     int32(s.MaxWire),
 		WireTempsK:  s.WireTempsK,
-	})
+	}
+}
+
+// appendNBWPSample encodes a wire Sample into the NBWP binary layout.
+func appendNBWPSample(dst []byte, s Sample) []byte {
+	return nbwp.AppendSample(dst, toNBWPSample(s))
 }
 
 // --- RESULT ------------------------------------------------------------------

@@ -55,7 +55,7 @@ func perfSession(t testing.TB, maxBatch int) (*Server, *session) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s, &session{sim: sim, sem: make(chan struct{}, 1)}
+	return s, &session{sim: sim, buses: 1, sem: make(chan struct{}, 1)}
 }
 
 // binaryBody serialises an address-like word stream to the wire format.

@@ -42,6 +42,18 @@ type CreateSessionRequest struct {
 	// DropSamples disables in-memory sample retention; combine with
 	// ?stream=samples step requests for unbounded sessions.
 	DropSamples bool `json:"drop_samples,omitempty"`
+	// Buses opens a multi-bus session: K identical buses stepped in
+	// lockstep with lateral inter-bus thermal coupling. Zero or one means
+	// a scalar session. Multi-bus step bodies interleave words cycle-major
+	// (words[r*K+k] is bus k's word on relative cycle r), samples carry a
+	// bus index, and the result gains per-bus blocks.
+	Buses int `json:"buses,omitempty"`
+	// BusGapPitches is the edge-to-edge gap between adjacent buses in
+	// wire pitches (multi-bus only); zero selects the service default.
+	BusGapPitches float64 `json:"bus_gap_pitches,omitempty"`
+	// DisableBusCoupling severs the lateral inter-bus conductance so the
+	// K buses evolve as independent thermal strips (multi-bus only).
+	DisableBusCoupling bool `json:"disable_bus_coupling,omitempty"`
 }
 
 // SessionInfo describes a session (201 of POST /v1/sessions, and GET
@@ -64,6 +76,9 @@ type SessionInfo struct {
 	// LastSeq is the last acknowledged ?seq= batch (0 when the client
 	// has never sent sequenced steps).
 	LastSeq uint64 `json:"last_seq,omitempty"`
+	// Buses is the bus count K of a multi-bus session (absent for
+	// scalar sessions).
+	Buses int `json:"buses,omitempty"`
 }
 
 // StepLine is one NDJSON line of a step request body: a batch of data
@@ -101,6 +116,9 @@ type Sample struct {
 	MaxTempK    float64   `json:"max_temp_k"`
 	MaxWire     int       `json:"max_wire"`
 	WireTempsK  []float64 `json:"wire_temps_k,omitempty"`
+	// Bus tags which bus of a multi-bus session the sample belongs to
+	// (absent both for scalar sessions and for bus 0).
+	Bus int `json:"bus,omitempty"`
 }
 
 func fromCoreSample(s core.Sample) Sample {
@@ -115,6 +133,13 @@ func fromCoreSample(s core.Sample) Sample {
 		MaxWire:     s.MaxWire,
 		WireTempsK:  s.WireTemps,
 	}
+}
+
+// fromCoreBusSample is fromCoreSample with the multi-bus tag applied.
+func fromCoreBusSample(bus int, s core.Sample) Sample {
+	ws := fromCoreSample(s)
+	ws.Bus = bus
+	return ws
 }
 
 // StreamLine is one NDJSON line of a ?stream=samples step response:
@@ -143,7 +168,11 @@ type MemoStats struct {
 
 // Result is the session outcome (GET /v1/sessions/{id}/result). Unless
 // ?finish=0, the server first closes the session's partial sampling
-// interval, exactly like Bus.Finish.
+// interval, exactly like Bus.Finish. For a multi-bus session the
+// top-level Total sums every bus, the temperature aggregates span the
+// whole K×W grid (TempsK is the bus-major slab, MaxBus/MaxWire locate
+// the hottest wire), Samples is empty, and PerBus carries each bus's
+// own totals and samples.
 type Result struct {
 	ID       string      `json:"id"`
 	Cycles   uint64      `json:"cycles"`
@@ -155,6 +184,22 @@ type Result struct {
 	TempsK   []float64   `json:"temps_k"`
 	Samples  []Sample    `json:"samples"`
 	Memo     MemoStats   `json:"memo"`
+	// Buses, MaxBus and PerBus are set only for multi-bus sessions.
+	Buses  int         `json:"buses,omitempty"`
+	MaxBus int         `json:"max_bus,omitempty"`
+	PerBus []BusResult `json:"per_bus,omitempty"`
+}
+
+// BusResult is one bus's slice of a multi-bus Result: the same totals,
+// temperature aggregates and samples a scalar session would report.
+type BusResult struct {
+	Bus      int         `json:"bus"`
+	Total    EnergySplit `json:"total"`
+	AvgTempK float64     `json:"avg_temp_k"`
+	MaxTempK float64     `json:"max_temp_k"`
+	MaxWire  int         `json:"max_wire"`
+	TempsK   []float64   `json:"temps_k"`
+	Samples  []Sample    `json:"samples"`
 }
 
 // CloseResponse acknowledges DELETE /v1/sessions/{id}.

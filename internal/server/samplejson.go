@@ -66,6 +66,10 @@ func appendStreamSample(b []byte, ws Sample) []byte {
 		}
 		b = append(b, ']')
 	}
+	if ws.Bus != 0 {
+		b = append(b, `,"bus":`...)
+		b = strconv.AppendInt(b, int64(ws.Bus), 10)
+	}
 	b = append(b, '}', '}', '\n')
 	return b
 }

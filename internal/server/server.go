@@ -21,6 +21,10 @@ import (
 	"nanobus/internal/itrs"
 )
 
+// maxBuses caps the bus count of one multi-bus session; a full-chip
+// thermal map beyond it should shard across sessions.
+const maxBuses = 256
+
 // Config tunes a Server. Zero values take the defaults noted per field.
 type Config struct {
 	// Shards is the number of session-table lock domains (default 8).
@@ -277,7 +281,7 @@ func (s *Server) find(id string) (*session, *shard, bool) {
 // harvestMemo folds the session's memo counters since the last harvest
 // into the server totals; the caller must hold the session.
 func (s *Server) harvestMemo(sess *session) {
-	st := sess.sim.MemoStats()
+	st := sess.memoStats()
 	s.memoHits.Add(st.Hits - sess.lastMemo.Hits)
 	s.memoMisses.Add(st.Misses - sess.lastMemo.Misses)
 	sess.lastMemo = st
@@ -396,6 +400,25 @@ func (s *Server) buildSession(req CreateSessionRequest) (*session, *httpErr) {
 		return nil, herr(http.StatusBadRequest, CodeBadRequest,
 			fmt.Sprintf("negative bus length %g", req.LengthM))
 	}
+	buses := req.Buses
+	if buses == 0 {
+		buses = 1
+	}
+	switch {
+	case buses < 1 || buses > maxBuses:
+		return nil, herr(http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("buses %d outside [1, %d]", req.Buses, maxBuses))
+	case buses > s.cfg.MaxBatchWords:
+		// The binary ingest chunk must hold at least one interleaved row.
+		return nil, herr(http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("buses %d exceeds the %d-word batch limit", buses, s.cfg.MaxBatchWords))
+	case buses == 1 && (req.BusGapPitches != 0 || req.DisableBusCoupling): //nanolint:ignore floateq zero means the field was absent
+		return nil, herr(http.StatusBadRequest, CodeBadRequest,
+			"bus_gap_pitches and disable_bus_coupling require buses > 1")
+	case req.BusGapPitches < 0:
+		return nil, herr(http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("negative bus gap %g", req.BusGapPitches))
+	}
 
 	// Normalise to the effective configuration so pool keys, SessionInfo
 	// and the envelope config reflect what actually runs.
@@ -421,9 +444,58 @@ func (s *Server) buildSession(req CreateSessionRequest) (*session, *httpErr) {
 		MemoSizeLog2:   req.MemoSizeLog2,
 		DropSamples:    req.DropSamples,
 	}
+	if buses > 1 {
+		// The multi fields are zero for scalar sessions, so their
+		// normalized JSON — and with it every v1 checkpoint envelope —
+		// stays byte-identical to the single-bus wire format.
+		norm.Buses = buses
+		norm.BusGapPitches = req.BusGapPitches
+		norm.DisableBusCoupling = req.DisableBusCoupling
+	}
 	reqJSON, err := json.Marshal(norm)
 	if err != nil {
 		return nil, herr(http.StatusInternalServerError, CodeInternal, err.Error())
+	}
+	cfg := core.Config{
+		Node:           node,
+		Length:         length,
+		Encoder:        enc,
+		CouplingDepth:  depth,
+		IntervalCycles: interval,
+		TrackWireTemps: req.TrackWireTemps,
+		MemoSizeLog2:   req.MemoSizeLog2,
+		DropSamples:    req.DropSamples,
+	}
+	info := SessionInfo{
+		Node:           node.Name,
+		Encoding:       encName,
+		LengthM:        length,
+		IntervalCycles: interval,
+		CouplingDepth:  depth,
+	}
+	if buses > 1 {
+		// Multi-bus sessions skip the pool: the eigendecomposition and
+		// memo cost scale with K, so cross-session reuse matters less and
+		// keying the pool on bus geometry would fragment it.
+		msim, err := core.NewMulti(core.MultiConfig{
+			Config:             cfg,
+			Buses:              buses,
+			BusGapPitches:      req.BusGapPitches,
+			DisableBusCoupling: req.DisableBusCoupling,
+		})
+		if err != nil {
+			return nil, herr(http.StatusBadRequest, CodeBadRequest, err.Error())
+		}
+		info.Width = msim.Width()
+		info.Buses = buses
+		return &session{
+			msim:     msim,
+			buses:    buses,
+			sem:      make(chan struct{}, 1),
+			lastMemo: msim.MemoStats(),
+			reqJSON:  reqJSON,
+			info:     info,
+		}, nil
 	}
 	key := poolKey{
 		node:     node.Name,
@@ -437,37 +509,23 @@ func (s *Server) buildSession(req CreateSessionRequest) (*session, *httpErr) {
 	}
 	sim, recycled := s.pool.get(key)
 	if !recycled {
-		sim, err = core.New(core.Config{
-			Node:           node,
-			Length:         length,
-			Encoder:        enc,
-			CouplingDepth:  depth,
-			IntervalCycles: interval,
-			TrackWireTemps: req.TrackWireTemps,
-			MemoSizeLog2:   req.MemoSizeLog2,
-			DropSamples:    req.DropSamples,
-		})
+		sim, err = core.New(cfg)
 		if err != nil {
 			return nil, herr(http.StatusBadRequest, CodeBadRequest, err.Error())
 		}
 	} else {
 		s.recycledTotal.Add(1)
 	}
+	info.Width = sim.Width()
+	info.Recycled = recycled
 	return &session{
 		key:      key,
 		sim:      sim,
+		buses:    1,
 		sem:      make(chan struct{}, 1),
 		lastMemo: sim.MemoStats(),
 		reqJSON:  reqJSON,
-		info: SessionInfo{
-			Node:           node.Name,
-			Encoding:       encName,
-			Width:          sim.Width(),
-			LengthM:        length,
-			IntervalCycles: interval,
-			CouplingDepth:  depth,
-			Recycled:       recycled,
-		},
+		info:     info,
 	}, nil
 }
 
@@ -592,7 +650,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 			}
 			sum.Seq = seq
 			sum.Duplicate = true
-			sum.Cycles = sess.words.Load() + sess.idle.Load()
+			sum.Cycles = sess.cycleCount()
 			s.seqDuplicatesTotal.Add(1)
 			writeJSON(w, http.StatusOK, sum)
 			return
@@ -625,23 +683,23 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		flusher, _ = w.(http.Flusher)
 		w.WriteHeader(http.StatusOK)
 	}
-	sess.sim.SetOnSample(func(cs core.Sample) {
+	sess.setOnSample(func(bus int, cs core.Sample) {
 		sum.Samples++
 		s.samplesTotal.Add(1)
 		if streaming && streamErr == nil {
 			// Append-encoded into the session's reused buffer;
 			// byte-identical to jsonOut.Encode(StreamLine{Sample: &ws}).
-			sess.encBuf = appendStreamSample(sess.encBuf[:0], fromCoreSample(cs))
+			sess.encBuf = appendStreamSample(sess.encBuf[:0], fromCoreBusSample(bus, cs))
 			_, streamErr = w.Write(sess.encBuf)
 			if streamErr == nil && flusher != nil {
 				flusher.Flush()
 			}
 		}
 	})
-	defer sess.sim.SetOnSample(nil)
+	defer sess.setOnSample(nil)
 
 	stepErr := s.consumeBody(ctx, r, sess, &sum)
-	sum.Cycles = sess.words.Load() + sess.idle.Load()
+	sum.Cycles = sess.cycleCount()
 
 	if stepErr == nil {
 		if hasSeq {
@@ -684,15 +742,19 @@ func (s *Server) consumeBody(ctx context.Context, r *http.Request, sess *session
 }
 
 func (s *Server) stepWords(ctx context.Context, sess *session, words []uint32, sum *StepSummary) error {
-	n, err := sess.sim.StepBatch(ctx, words)
-	sum.Words += uint64(n)
-	sess.words.Add(uint64(n))
-	s.wordsTotal.Add(uint64(n))
+	if sess.buses > 1 && len(words)%sess.buses != 0 {
+		return herr(http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("batch of %d words is not a multiple of the session's %d buses", len(words), sess.buses))
+	}
+	n, err := sess.stepBatch(ctx, words)
+	sum.Words += n
+	sess.words.Add(n)
+	s.wordsTotal.Add(n)
 	return err
 }
 
 func (s *Server) stepIdle(ctx context.Context, sess *session, idle uint64, sum *StepSummary) error {
-	n, err := sess.sim.StepIdleBatch(ctx, idle)
+	n, err := sess.stepIdleBatch(ctx, idle)
 	sum.Idle += n
 	sess.idle.Add(n)
 	s.idleTotal.Add(n)
@@ -702,26 +764,47 @@ func (s *Server) stepIdle(ctx context.Context, sess *session, idle uint64, sum *
 func (s *Server) consumeBinary(ctx context.Context, body io.Reader, sess *session, sum *StepSummary) error {
 	f := s.frames.get()
 	defer s.frames.put(f)
+	// A multi-bus session steps whole interleaved K-word rows, and a
+	// chunked read can split one; the tail bytes carry over to the front
+	// of the next chunk, so clients need no row-level framing. buildSession
+	// guarantees one row fits the chunk buffer (buses <= MaxBatchWords).
+	rowBytes := 4 * sess.buses
+	carry := 0
 	for {
-		n, err := io.ReadFull(body, f.buf)
+		n, err := io.ReadFull(body, f.buf[carry:])
+		n += carry
+		carry = 0
+		eof := errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 		if n > 0 {
-			if n%4 != 0 {
+			if eof && n%4 != 0 {
 				return herr(http.StatusBadRequest, CodeBadRequest,
 					fmt.Sprintf("binary body length is not a multiple of 4 (%d trailing bytes)", n%4))
 			}
-			// Chaos harnesses arm this to fail an ingest chunk mid-batch.
-			if ferr := faultinject.Hit("server.ingest.decode"); ferr != nil {
+			if eof && n%rowBytes != 0 {
 				return herr(http.StatusBadRequest, CodeBadRequest,
-					"decode binary batch: "+ferr.Error())
+					fmt.Sprintf("binary body ends mid-row (%d trailing words; a %d-bus batch interleaves in multiples of %d)",
+						(n%rowBytes)/4, sess.buses, sess.buses))
 			}
-			if err := s.stepWords(ctx, sess, decodeWords(f.words, f.buf[:n]), sum); err != nil {
-				return err
+			use := n - n%rowBytes
+			if use > 0 {
+				// Chaos harnesses arm this to fail an ingest chunk mid-batch.
+				if ferr := faultinject.Hit("server.ingest.decode"); ferr != nil {
+					return herr(http.StatusBadRequest, CodeBadRequest,
+						"decode binary batch: "+ferr.Error())
+				}
+				if serr := s.stepWords(ctx, sess, decodeWords(f.words, f.buf[:use]), sum); serr != nil {
+					return serr
+				}
+			}
+			if rest := n - use; rest > 0 {
+				copy(f.buf, f.buf[use:n])
+				carry = rest
 			}
 		}
 		switch {
 		case err == nil:
 			continue
-		case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		case eof:
 			return nil
 		default:
 			// The client went away mid-body.
@@ -818,11 +901,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // hold the session.
 func (s *Server) resultLocked(sess *session, finish bool) (Result, *httpErr) {
 	if finish {
-		if err := sess.sim.Finish(); err != nil {
+		if err := sess.finish(); err != nil {
 			return Result{}, asHTTPErr(err)
 		}
-	} else if err := sess.sim.Err(); err != nil {
+	} else if err := sess.simErr(); err != nil {
 		return Result{}, asHTTPErr(err)
+	}
+	if sess.msim != nil {
+		return s.multiResultLocked(sess), nil
 	}
 
 	sim := sess.sim
@@ -851,6 +937,67 @@ func (s *Server) resultLocked(sess *session, finish bool) (Result, *httpErr) {
 		Samples:  samples,
 		Memo:     MemoStats{Hits: st.Hits, Misses: st.Misses, HitRate: st.HitRate()},
 	}, nil
+}
+
+// multiResultLocked assembles a multi-bus Result: one BusResult per bus
+// (each the same shape a scalar session reports) under grid-wide
+// aggregates. The caller must hold the session and have finished (or
+// error-checked) the simulator.
+func (s *Server) multiResultLocked(sess *session) Result {
+	m := sess.msim
+	grid := m.Grid()
+	var total EnergySplit
+	per := make([]BusResult, m.Buses())
+	for k := range per {
+		tot := m.TotalEnergy(k)
+		maxT, maxW := grid.BusMaxTemp(k)
+		coreSamples := m.Samples(k)
+		samples := make([]Sample, len(coreSamples))
+		for i, cs := range coreSamples {
+			samples[i] = fromCoreBusSample(k, cs)
+		}
+		per[k] = BusResult{
+			Bus: k,
+			Total: EnergySplit{
+				TotalJ:      tot.Total(),
+				SelfJ:       tot.Self,
+				CoupAdjJ:    tot.CoupAdj,
+				CoupNonAdjJ: tot.CoupNonAdj,
+			},
+			AvgTempK: grid.BusAvgTemp(k),
+			MaxTempK: maxT,
+			MaxWire:  maxW,
+			TempsK:   grid.BusTemps(k, nil),
+			Samples:  samples,
+		}
+		total.TotalJ += tot.Total()
+		total.SelfJ += tot.Self
+		total.CoupAdjJ += tot.CoupAdj
+		total.CoupNonAdjJ += tot.CoupNonAdj
+	}
+	temps := grid.Temps(nil)
+	avg := 0.0
+	for _, t := range temps {
+		avg += t
+	}
+	avg /= float64(len(temps))
+	maxT, maxBus, maxW := grid.MaxTemp()
+	st := m.MemoStats()
+	return Result{
+		ID:       sess.id,
+		Cycles:   m.Cycles(),
+		Width:    m.Width(),
+		Total:    total,
+		AvgTempK: avg,
+		MaxTempK: maxT,
+		MaxWire:  maxW,
+		TempsK:   temps,
+		Samples:  []Sample{},
+		Memo:     MemoStats{Hits: st.Hits, Misses: st.Misses, HitRate: st.HitRate()},
+		Buses:    m.Buses(),
+		MaxBus:   maxBus,
+		PerBus:   per,
+	}
 }
 
 // --- DELETE /v1/sessions/{id} -----------------------------------------------
@@ -896,12 +1043,15 @@ func (s *Server) closeLocked(ctx context.Context, sess *session, sh *shard) Clos
 func (s *Server) deregister(sess *session, sh *shard) CloseResponse {
 	sess.closed = true
 	s.harvestMemo(sess)
-	cycles := sess.words.Load() + sess.idle.Load()
+	cycles := sess.cycleCount()
 
 	sh.mu.Lock()
 	delete(sh.sessions, sess.id)
 	sh.mu.Unlock()
-	s.pool.put(sess.key, sess.sim)
+	if sess.sim != nil {
+		// Multi-bus simulators are never pooled; scalar ones recycle.
+		s.pool.put(sess.key, sess.sim)
+	}
 	s.active.Add(-1)
 	s.closedTotal.Add(1)
 	return CloseResponse{ID: sess.id, Cycles: cycles}

@@ -76,10 +76,17 @@ func (p *pool) put(k poolKey, sim *core.Simulator) {
 // on it, so the core never sees concurrent access. words/idle are atomics
 // so status and metrics reads never touch the simulator.
 type session struct {
-	id    string
-	key   poolKey
-	info  SessionInfo // static fields; live counters come from the atomics
+	id   string
+	key  poolKey
+	info SessionInfo // static fields; live counters come from the atomics
+	// Exactly one of sim and msim is non-nil: sim is a scalar session's
+	// simulator, msim a multi-bus session's (buses > 1). Handlers go
+	// through the dispatch helpers below so the branch lives in one place;
+	// only the pool (scalar-only) and the interleaved step layout look
+	// behind them.
 	sim   *core.Simulator
+	msim  *core.MultiSim
+	buses int // 1 for scalar sessions
 	sem   chan struct{}
 	words atomic.Uint64
 	idle  atomic.Uint64
@@ -129,6 +136,96 @@ func (s *session) acquire(ctx context.Context) error {
 }
 
 func (s *session) release() { <-s.sem }
+
+// --- Simulator dispatch ------------------------------------------------------
+
+// stepBatch feeds one word batch to the session's simulator and returns
+// the number of words consumed. Multi-bus batches are interleaved
+// cycle-major, so K words advance one lockstep cycle.
+func (s *session) stepBatch(ctx context.Context, words []uint32) (uint64, error) {
+	if s.msim != nil {
+		rows, err := s.msim.StepBatch(ctx, words)
+		return uint64(rows) * uint64(s.buses), err
+	}
+	n, err := s.sim.StepBatch(ctx, words)
+	return uint64(n), err
+}
+
+// stepIdleBatch advances n idle cycles (on every bus, for multi).
+func (s *session) stepIdleBatch(ctx context.Context, n uint64) (uint64, error) {
+	if s.msim != nil {
+		return s.msim.StepIdleBatch(ctx, n)
+	}
+	return s.sim.StepIdleBatch(ctx, n)
+}
+
+// setOnSample installs fn as the per-interval sample callback; scalar
+// sessions always report bus 0.
+func (s *session) setOnSample(fn func(bus int, cs core.Sample)) {
+	if s.msim != nil {
+		s.msim.SetOnBusSample(fn)
+		return
+	}
+	if fn == nil {
+		s.sim.SetOnSample(nil)
+		return
+	}
+	s.sim.SetOnSample(func(cs core.Sample) { fn(0, cs) })
+}
+
+// finish closes any partial sampling interval.
+func (s *session) finish() error {
+	if s.msim != nil {
+		return s.msim.Finish()
+	}
+	return s.sim.Finish()
+}
+
+// simErr returns the simulator's sticky error, or nil.
+func (s *session) simErr() error {
+	if s.msim != nil {
+		return s.msim.Err()
+	}
+	return s.sim.Err()
+}
+
+// snapshot serializes the simulator (NBCP v1 for scalar, v2 for multi).
+func (s *session) snapshot() ([]byte, error) {
+	if s.msim != nil {
+		return s.msim.Snapshot()
+	}
+	return s.sim.Snapshot()
+}
+
+// restoreBlob overwrites the simulator's state from a snapshot blob.
+func (s *session) restoreBlob(data []byte) error {
+	if s.msim != nil {
+		return s.msim.Restore(data)
+	}
+	return s.sim.Restore(data)
+}
+
+// simCycles returns the simulated (lockstep) cycle count.
+func (s *session) simCycles() uint64 {
+	if s.msim != nil {
+		return s.msim.Cycles()
+	}
+	return s.sim.Cycles()
+}
+
+// memoStats returns the transition-memo counters.
+func (s *session) memoStats() energy.MemoStats {
+	if s.msim != nil {
+		return s.msim.MemoStats()
+	}
+	return s.sim.MemoStats()
+}
+
+// cycleCount converts the live word/idle counters into lockstep cycles:
+// a multi-bus session consumes K words per cycle.
+func (s *session) cycleCount() uint64 {
+	return s.words.Load()/uint64(s.buses) + s.idle.Load()
+}
 
 // shard is one lock domain of the session table.
 type shard struct {

@@ -11,10 +11,19 @@
 //	dx/dt = -S x,   S = C^{-1/2} G C^{-1/2}  (symmetric tridiagonal)
 //
 // whose exact solution is x(dt) = Q e^{-Λ dt} Q^T x(0) with S = Q Λ Q^T.
-// The eigendecomposition is computed once per network; each Advance is then
-// a tridiagonal steady-state solve plus two dense matvecs — machine-
-// precision exact for any dt, replacing the sub-stepped RK4 integration
-// (which remains available behind NodeOptions.UseRK4 for validation).
+// The eigendecomposition is computed once per network. Because interval
+// lengths repeat (every full sampling interval shares one dt; only the
+// final partial interval differs), the whole affine step for the cached dt
+// is collapsed into one dense matrix
+//
+//	M(dt) = C^{-1/2} Q e^{-Λ dt} Q^T C^{1/2}
+//
+// so each Advance is a tridiagonal steady-state solve plus a single dense
+// matvec θ(dt) = θ* + M (θ(0) - θ*) — machine-precision exact for any dt,
+// and cheaper per call than the sub-stepped RK4 integration it replaces
+// (which remains available behind NodeOptions.UseRK4 for validation). The
+// O(n^3) M rebuild runs only when dt changes, i.e. once per run plus once
+// for the final partial interval.
 package thermal
 
 import (
@@ -32,10 +41,11 @@ type propagator struct {
 	n               int
 	sqrtC, invSqrtC []float64
 	lambda          []float64      // eigenvalues of S, ascending, all > 0
-	q, qt           *linalg.Matrix // eigenvectors of S and their transpose
+	q               *linalg.Matrix // eigenvectors of S (columns)
 
 	lastDt float64
-	expL   []float64 // exp(-lambda*dt) for lastDt
+	expL   []float64      // exp(-lambda*dt) for lastDt
+	m      *linalg.Matrix // dense affine step C^{-1/2} Q e^{-Λ dt} Q^T C^{1/2} for lastDt
 
 	// Per-advance scratch, so the hot path allocates nothing.
 	star, rhs, cp, dp, v, w []float64
@@ -64,8 +74,8 @@ func newPropagator(nw *Network) (*propagator, error) {
 		invSqrtC: make([]float64, n),
 		lambda:   lambda,
 		q:        q,
-		qt:       q.Transpose(),
 		expL:     make([]float64, n),
+		m:        linalg.NewSquare(n),
 		star:     make([]float64, n),
 		rhs:      make([]float64, n),
 		cp:       make([]float64, n),
@@ -80,33 +90,52 @@ func newPropagator(nw *Network) (*propagator, error) {
 	return p, nil
 }
 
+// rebuildM recomputes the cached dense affine-step matrix
+// M = C^{-1/2} Q e^{-Λ dt} Q^T C^{1/2} for a new dt. O(n^3), but dt only
+// changes once per run plus once for the final partial interval, so the
+// cost amortizes to nothing against the per-interval advance.
+func (p *propagator) rebuildM(dt float64) {
+	for i, l := range p.lambda {
+		p.expL[i] = math.Exp(-l * dt)
+	}
+	for i := 0; i < p.n; i++ {
+		qi := p.q.Row(i)
+		for k := 0; k < p.n; k++ {
+			p.w[k] = qi[k] * p.expL[k]
+		}
+		scale := p.invSqrtC[i]
+		for j := 0; j < p.n; j++ {
+			qj := p.q.Row(j)
+			s := 0.0
+			for k := 0; k < p.n; k++ {
+				s += p.w[k] * qj[k]
+			}
+			p.m.Set(i, j, scale*s*p.sqrtC[j])
+		}
+	}
+	p.lastDt = dt
+}
+
 // advance moves the network temperatures exactly dt seconds forward under
-// the network's current dynPower: θ(dt) = θ* + C^{-1/2} Q e^{-Λdt} Q^T
-// C^{1/2} (θ(0) - θ*).
+// the network's current dynPower: θ(dt) = θ* + M (θ(0) - θ*) with the
+// cached M = C^{-1/2} Q e^{-Λdt} Q^T C^{1/2}.
+//
+//nanolint:hotpath one call per sampling interval; steady state, one matvec, no allocations
 func (p *propagator) advance(nw *Network, dt float64) error {
 	if dt != p.lastDt { //nanolint:ignore floateq dt is the exact cache key; intervals repeat bit-identical lengths
-		for i, l := range p.lambda {
-			p.expL[i] = math.Exp(-l * dt)
-		}
-		p.lastDt = dt
+		p.rebuildM(dt)
 	}
 	if err := nw.steadyInto(nw.dynPower, p.rhs, p.cp, p.dp, p.star); err != nil {
 		return err
 	}
 	for i := 0; i < p.n; i++ {
-		p.v[i] = p.sqrtC[i] * (nw.temps[i] - p.star[i])
+		p.v[i] = nw.temps[i] - p.star[i]
 	}
-	if err := p.qt.MulVecInto(p.v, p.w); err != nil {
-		return err
-	}
-	for i := range p.w {
-		p.w[i] *= p.expL[i]
-	}
-	if err := p.q.MulVecInto(p.w, p.v); err != nil {
+	if err := p.m.MulVecInto(p.v, p.w); err != nil {
 		return err
 	}
 	for i := 0; i < p.n; i++ {
-		nw.temps[i] = p.star[i] + p.invSqrtC[i]*p.v[i]
+		nw.temps[i] = p.star[i] + p.w[i]
 	}
 	return nil
 }

@@ -19,6 +19,14 @@
 // cores the gate degrades to a sanity floor — clustering on a
 // timeshared core must not collapse aggregate throughput below half the
 // single-node rate. No stdin is read in this mode.
+//
+// With -multi-gate the tool judges the per-bus scaling record instead:
+// the baseline's BenchmarkMultiStep/K16vsK1 entries carry a speedup_x
+// metric — the paired, drift-immune ratio of the scalar kernel's ns/word
+// to the K=16 batch kernel's ns/word/bus — and the best recorded value
+// must reach -multi-min. Like min-ns/op folding, the best (maximum)
+// speedup across records is the least-noisy estimate on a shared
+// machine. No stdin is read in this mode either.
 package main
 
 import (
@@ -42,7 +50,13 @@ type baselineEntry struct {
 	Name       string  `json:"name"`
 	GoMaxProcs int     `json:"gomaxprocs"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// SpeedupX is the paired per-bus speedup metric reported by
+	// BenchmarkMultiStep/K16vsK1 (zero for every other benchmark).
+	SpeedupX float64 `json:"speedup_x"`
 }
+
+// multiGateBench is the baseline entry -multi-gate judges.
+const multiGateBench = "BenchmarkMultiStep/K16vsK1"
 
 // clusterGate is the 3-node throughput record scripts/bench_server.sh
 // writes into BENCH_server.json.
@@ -68,6 +82,8 @@ func realMain() int {
 	maxRatio := fs.Float64("max-ratio", 2.0, "fail when measured ns/op exceeds baseline by this factor")
 	cluster := fs.Bool("cluster-gate", false, "judge the baseline's cluster_gate block instead of stdin bench lines")
 	clusterMin := fs.Float64("cluster-min", 2.5, "with -cluster-gate: minimum aggregate/single words-per-sec ratio on machines with >= 4 cores")
+	multi := fs.Bool("multi-gate", false, "judge the baseline's "+multiGateBench+" speedup_x instead of stdin bench lines")
+	multiMin := fs.Float64("multi-min", 2.0, "with -multi-gate: minimum paired K16-vs-K1 per-bus speedup")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
 	}
@@ -84,6 +100,9 @@ func realMain() int {
 	}
 	if *cluster {
 		return clusterGateMain(base.ClusterGate, *clusterMin)
+	}
+	if *multi {
+		return multiGateMain(base.Benchmarks, *multiMin)
 	}
 	// Baseline lookup is (name, gomaxprocs): the same kernel legitimately
 	// differs across parallelism levels, so entries never cross-match.
@@ -187,5 +206,35 @@ func clusterGateMain(g *clusterGate, minRatio float64) int {
 		return 1
 	}
 	fmt.Println("benchgate: cluster gate ok")
+	return 0
+}
+
+// multiGateMain judges the recorded K16-vs-K1 per-bus speedup. The metric
+// is paired inside one timing window, so unlike raw ns/op it is immune to
+// CPU frequency drift between records; the gate direction is inverted
+// relative to the ns/op gate — speedup is higher-is-better, so records
+// fold by maximum and the best one must clear the floor.
+func multiGateMain(entries []baselineEntry, minSpeedup float64) int {
+	best, found := 0.0, 0
+	for _, e := range entries {
+		if e.Name != multiGateBench || e.SpeedupX <= 0 {
+			continue
+		}
+		found++
+		fmt.Printf("benchgate: multi_gate: %s (gomaxprocs %d): %.2fx per-bus speedup\n",
+			e.Name, e.GoMaxProcs, e.SpeedupX)
+		if e.SpeedupX > best {
+			best = e.SpeedupX
+		}
+	}
+	if found == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline has no %s speedup_x records (rerun scripts/bench.sh)\n", multiGateBench)
+		return 2
+	}
+	if best < minSpeedup {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: best multi-bus speedup %.2fx below %.2fx\n", best, minSpeedup)
+		return 1
+	}
+	fmt.Printf("benchgate: multi gate ok (best %.2fx >= %.2fx)\n", best, minSpeedup)
 	return 0
 }

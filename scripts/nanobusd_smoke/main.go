@@ -6,6 +6,13 @@
 // streamed live over NBWP — then SIGTERMs the daemon and requires a clean
 // drain (exit 0, "drained cleanly" on stdout).
 //
+// A third leg drives a 4-bus interleaved session over both transports —
+// including a checkpoint-envelope download and an inline resurrect-and-
+// replay, which must work even against this store-less daemon — and
+// requires every figure, per-bus blocks included, to be bit-identical
+// across HTTP and NBWP; the replayed tail must agree to rounding (a K>1
+// restore re-warms the memo cold, see MultiSim.Snapshot).
+//
 //	go build -o /tmp/nanobusd ./cmd/nanobusd
 //	go run ./scripts/nanobusd_smoke -bin /tmp/nanobusd
 package main
@@ -86,6 +93,9 @@ func run(ctx context.Context, bin string) error {
 		return err
 	}
 	if err := driveSessionNBWP(ctx, nbwpAddr); err != nil {
+		return err
+	}
+	if err := driveMulti(ctx, "http://"+addr, nbwpAddr); err != nil {
 		return err
 	}
 
@@ -302,5 +312,179 @@ func compareToLibrary(ctx context.Context, res *client.Result, data []uint32) er
 			return fmt.Errorf("sample %d differs: service %+v, library %+v", i, ss, ls)
 		}
 	}
+	return nil
+}
+
+const (
+	mBuses    = 4
+	mHeadRows = 600
+	mTailRows = 400
+	mIdle     = 300
+)
+
+// multiSlab builds a deterministic cycle-major interleaved slab: one LCG
+// stream per bus, transposed by PackInterleaved.
+func multiSlab(seed uint32, rows int) ([]uint32, error) {
+	cols := make([][]uint32, mBuses)
+	for k := range cols {
+		col := make([]uint32, rows)
+		x := seed + uint32(k)*2654435761
+		for i := range col {
+			x = x*1664525 + 1013904223
+			col[i] = x
+		}
+		cols[k] = col
+	}
+	return client.PackInterleaved(nil, cols...)
+}
+
+func feq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// relClose is the rounding-level comparison for post-restore replays: a
+// K>1 restore re-warms the shared memo from a cold table and re-associates
+// the count-aggregation sums, so continued runs agree to ~1e-12 relative
+// rather than bit-exactly (see MultiSim.Snapshot).
+func relClose(a, b float64) bool {
+	d, m := math.Abs(a-b), math.Abs(b)
+	if m == 0 {
+		return d == 0
+	}
+	return d/m <= 1e-11
+}
+
+// runMultiSchedule drives the 4-bus schedule through one transport:
+// head slab, checkpoint-envelope download, tail slab plus idle, result —
+// then resurrects the closed session from the envelope on the same
+// transport, replays the tail, and requires bit-identical figures. The
+// daemon runs without -checkpoint-dir, so this also pins the store-less
+// ?download=1 / inline-resurrect path.
+func runMultiSchedule(ctx context.Context, tr client.Transport, head, tail []uint32) (*client.Result, error) {
+	sess, err := tr.OpenSession(ctx, client.SessionConfig{
+		Node: nodeName, Encoding: scheme, IntervalCycles: interval, Buses: mBuses,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("open multi: %w", err)
+	}
+	sum, err := sess.StepBinary(ctx, head)
+	if err != nil {
+		return nil, fmt.Errorf("multi head: %w", err)
+	}
+	if sum.Cycles != mHeadRows {
+		return nil, fmt.Errorf("multi head: %d cycles after %d interleaved rows", sum.Cycles, mHeadRows)
+	}
+	env, err := sess.CheckpointDownload(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("multi checkpoint download: %w", err)
+	}
+	if _, err := sess.StepBinary(ctx, tail); err != nil {
+		return nil, fmt.Errorf("multi tail: %w", err)
+	}
+	if _, err := sess.StepIdle(ctx, mIdle); err != nil {
+		return nil, fmt.Errorf("multi idle: %w", err)
+	}
+	ref, err := sess.Result(ctx, true)
+	if err != nil {
+		return nil, fmt.Errorf("multi result: %w", err)
+	}
+	if err := sess.Close(ctx); err != nil {
+		return nil, fmt.Errorf("multi close: %w", err)
+	}
+
+	res2, resp, err := tr.Resurrect(ctx, sess.ID(), env)
+	if err != nil {
+		return nil, fmt.Errorf("multi resurrect: %w", err)
+	}
+	if resp.Cycles != mHeadRows {
+		return nil, fmt.Errorf("multi resurrect landed on cycle %d, want %d", resp.Cycles, mHeadRows)
+	}
+	if _, err := res2.StepBinary(ctx, tail); err != nil {
+		return nil, fmt.Errorf("multi replay tail: %w", err)
+	}
+	if _, err := res2.StepIdle(ctx, mIdle); err != nil {
+		return nil, fmt.Errorf("multi replay idle: %w", err)
+	}
+	replay, err := res2.Result(ctx, true)
+	if err != nil {
+		return nil, fmt.Errorf("multi replay result: %w", err)
+	}
+	if err := res2.Close(ctx); err != nil {
+		return nil, fmt.Errorf("multi replay close: %w", err)
+	}
+	if err := compareMulti("resurrect replay", replay, ref, relClose); err != nil {
+		return nil, err
+	}
+	return ref, nil
+}
+
+// compareMulti requires two multi-bus results to agree on every figure,
+// per-bus blocks included, under the given float comparison (feq for
+// bit-exact transport comparisons, relClose for post-restore replays).
+func compareMulti(what string, got, want *client.Result, eq func(a, b float64) bool) error {
+	if got.Cycles != want.Cycles || got.Buses != want.Buses ||
+		got.MaxBus != want.MaxBus || got.MaxWire != want.MaxWire {
+		return fmt.Errorf("%s: shape differs: %d cycles/%d buses/max %d:%d vs %d/%d/%d:%d", what,
+			got.Cycles, got.Buses, got.MaxBus, got.MaxWire,
+			want.Cycles, want.Buses, want.MaxBus, want.MaxWire)
+	}
+	if !eq(got.Total.TotalJ, want.Total.TotalJ) || !eq(got.Total.SelfJ, want.Total.SelfJ) ||
+		!eq(got.Total.CoupAdjJ, want.Total.CoupAdjJ) || !eq(got.Total.CoupNonAdjJ, want.Total.CoupNonAdjJ) ||
+		!eq(got.AvgTempK, want.AvgTempK) || !eq(got.MaxTempK, want.MaxTempK) {
+		return fmt.Errorf("%s: totals differ: %+v vs %+v", what, got.Total, want.Total)
+	}
+	if len(got.PerBus) != mBuses || len(want.PerBus) != mBuses {
+		return fmt.Errorf("%s: per_bus lengths %d/%d, want %d", what, len(got.PerBus), len(want.PerBus), mBuses)
+	}
+	for k := range want.PerBus {
+		g, w := got.PerBus[k], want.PerBus[k]
+		if !eq(g.Total.TotalJ, w.Total.TotalJ) || !eq(g.MaxTempK, w.MaxTempK) ||
+			len(g.Samples) != len(w.Samples) {
+			return fmt.Errorf("%s: bus %d differs: %.17g J/%.17g K/%d samples vs %.17g J/%.17g K/%d samples",
+				what, k, g.Total.TotalJ, g.MaxTempK, len(g.Samples), w.Total.TotalJ, w.MaxTempK, len(w.Samples))
+		}
+		for i := range w.Samples {
+			if g.Samples[i].EndCycle != w.Samples[i].EndCycle ||
+				!eq(g.Samples[i].EnergyJ, w.Samples[i].EnergyJ) {
+				return fmt.Errorf("%s: bus %d sample %d differs", what, k, i)
+			}
+		}
+	}
+	return nil
+}
+
+// driveMulti runs the 4-bus leg on each transport and requires the two
+// results to be bit-identical to each other.
+func driveMulti(ctx context.Context, baseURL, nbwpAddr string) error {
+	head, err := multiSlab(7, mHeadRows)
+	if err != nil {
+		return err
+	}
+	tail, err := multiSlab(1009, mTailRows)
+	if err != nil {
+		return err
+	}
+	httpRes, err := runMultiSchedule(ctx, client.New(baseURL), head, tail)
+	if err != nil {
+		return fmt.Errorf("multi http: %w", err)
+	}
+	nc, err := client.DialNBWP(ctx, nbwpAddr)
+	if err != nil {
+		return fmt.Errorf("multi dial nbwp: %w", err)
+	}
+	defer func() {
+		//nanolint:ignore droppederr best-effort close; the run already reported its outcome
+		_ = nc.Close()
+	}()
+	nbwpRes, err := runMultiSchedule(ctx, nc, head, tail)
+	if err != nil {
+		return fmt.Errorf("multi nbwp: %w", err)
+	}
+	if err := nc.Goodbye(ctx); err != nil {
+		return fmt.Errorf("multi nbwp goodbye: %w", err)
+	}
+	if err := compareMulti("http vs nbwp", nbwpRes, httpRes, feq); err != nil {
+		return err
+	}
+	fmt.Printf("nanobusd_smoke: multi: %d buses x %d rows + %d idle bit-identical across transports, checkpoint replay agrees (total %.4g J, hottest bus %d)\n",
+		mBuses, mHeadRows+mTailRows, mIdle, httpRes.Total.TotalJ, httpRes.MaxBus)
 	return nil
 }

@@ -47,12 +47,15 @@ go run ./scripts/benchgate -baseline BENCH_hotpath.json < "$tmp/bench_fast.txt"
 # Memo-warmed kernels need enough iterations to reach their steady-state
 # hit rate (the baseline regime); 100x would gate against a cold cache.
 go test -run NONE \
-    -bench 'BenchmarkTransition|BenchmarkRunPair|BenchmarkStepBatch' \
+    -bench 'BenchmarkTransition|BenchmarkRunPair|BenchmarkStepBatch|BenchmarkMultiStep' \
     -benchmem -benchtime 100000x -count 3 . > "$tmp/bench_warm.txt"
 go run ./scripts/benchgate -baseline BENCH_hotpath.json < "$tmp/bench_warm.txt"
 # Whole-sweep benchmarks run ~0.5 s/op, so one iteration is already stable.
 go test -run NONE -bench 'BenchmarkSweepWorkers' -benchmem -benchtime 1x . > "$tmp/bench_sweep.txt"
 go run ./scripts/benchgate -baseline BENCH_hotpath.json < "$tmp/bench_sweep.txt"
+# Per-bus scaling gate: the committed baseline's paired K16-vs-K1 record
+# must show the batch kernel at >= 2x per-bus throughput over scalar.
+go run ./scripts/benchgate -baseline BENCH_hotpath.json -multi-gate
 
 echo "==> nanobusd smoke"
 # End-to-end: exec the real daemon on an ephemeral port, drive one
