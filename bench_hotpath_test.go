@@ -12,6 +12,7 @@ import (
 
 	"nanobus/internal/capmodel"
 	"nanobus/internal/core"
+	"nanobus/internal/encoding"
 	"nanobus/internal/energy"
 	"nanobus/internal/expt"
 	"nanobus/internal/itrs"
@@ -391,4 +392,65 @@ func BenchmarkSweepWorkers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCoolingStep measures the adaptive encoding controller's cost
+// on the per-word hot path. "static" is the plain BI reference; "base"
+// runs the controller with an unreachable ceiling (pure controller
+// overhead: the padded encoder plus the per-interval decision); "cool"
+// pins the ceiling at the floor so the controller flips to CoolSpread at
+// the first interval boundary and stays there (the spreading encoder's
+// steady-state cost). The interval is shortened so the decision path
+// actually runs during the benchtime window.
+func BenchmarkCoolingStep(b *testing.B) {
+	words := make([]uint32, 1<<14)
+	for i, w := range addressWords(len(words)) {
+		words[i] = uint32(w)
+	}
+	const interval = 4096
+	run := func(b *testing.B, cfg core.Config) {
+		b.Helper()
+		cfg.Node = itrs.N130
+		cfg.CouplingDepth = -1
+		cfg.DropSamples = true
+		cfg.IntervalCycles = interval
+		sim, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		if _, err := sim.StepBatch(ctx, words); err != nil { // warm the memo
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		done := 0
+		for done < b.N {
+			n := len(words)
+			if left := b.N - done; n > left {
+				n = left
+			}
+			if _, err := sim.StepBatch(ctx, words[:n]); err != nil {
+				b.Fatal(err)
+			}
+			done += n
+		}
+	}
+	b.Run("static", func(b *testing.B) {
+		enc, err := encoding.New("BI")
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, core.Config{Encoder: enc})
+	})
+	b.Run("base", func(b *testing.B) {
+		run(b, core.Config{Adaptive: &core.AdaptiveConfig{
+			Base: "BI", Cool: "CoolSpread", CeilingK: 1e6, HysteresisK: 0.001,
+		}})
+	})
+	b.Run("cool", func(b *testing.B) {
+		run(b, core.Config{Adaptive: &core.AdaptiveConfig{
+			Base: "BI", Cool: "CoolSpread", CeilingK: 1, HysteresisK: 0.001,
+		}})
+	})
 }

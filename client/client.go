@@ -39,6 +39,11 @@ type (
 	Result = server.Result
 	// BusResult is one bus's slice of a multi-bus Result.
 	BusResult = server.BusResult
+	// AdaptiveSpec configures the adaptive encoding controller on
+	// SessionConfig.Adaptive.
+	AdaptiveSpec = server.AdaptiveSpec
+	// AdaptiveResult summarizes an adaptive session's switches.
+	AdaptiveResult = server.AdaptiveResult
 	// OwnerInfo names the cluster node that owns a session; it rides on
 	// not_owner/moved redirects.
 	OwnerInfo = server.OwnerInfo

@@ -221,13 +221,20 @@ func (nc *NBWPConn) dispatchSample(h nbwp.Header, payload []byte) {
 		return
 	}
 	// Multi-bus sessions prefix the sample with its bus index
-	// (FlagMultiSample); scalar sessions stay on the plain layout.
+	// (FlagMultiSample); adaptive sessions append the encoder tail
+	// (FlagAdaptiveSample); scalar static sessions stay on the plain
+	// layout.
 	var bus uint32
 	var ws nbwp.Sample
+	var encoder string
+	var switched bool
 	var err error
-	if h.Flags&nbwp.FlagMultiSample != 0 {
+	switch {
+	case h.Flags&nbwp.FlagMultiSample != 0:
 		bus, ws, err = nbwp.ParseBusSample(payload, nil)
-	} else {
+	case h.Flags&nbwp.FlagAdaptiveSample != 0:
+		ws, encoder, switched, err = nbwp.ParseAdaptiveSample(payload, nil)
+	default:
 		ws, err = nbwp.ParseSample(payload, nil)
 	}
 	if err != nil {
@@ -244,6 +251,8 @@ func (nc *NBWPConn) dispatchSample(h nbwp.Header, payload []byte) {
 		MaxTempK:    ws.MaxTempK,
 		MaxWire:     int(ws.MaxWire),
 		WireTempsK:  ws.WireTempsK,
+		Encoder:     encoder,
+		Switched:    switched,
 	})
 }
 

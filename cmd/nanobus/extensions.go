@@ -88,6 +88,63 @@ func cmdSubstrate(args []string) error {
 	return nil
 }
 
+// cmdCooling runs the adaptive cooling-code study: per (node, benchmark)
+// cell, the self-calibrated controller's defended ceiling versus the
+// static base encoder's peak, with switch points and bandwidth overhead.
+func cmdCooling(args []string) error {
+	fs := flag.NewFlagSet("cooling", flag.ExitOnError)
+	cycles := fs.Uint64("cycles", 20_000_000, "simulated cycles per run")
+	interval := fs.Uint64("interval", 100_000, "sampling interval (controller decision cadence)")
+	nodeSpec := fs.String("nodes", "all", "comma-separated node list, or 'all'")
+	bench := fs.String("bench", "", "comma-separated benchmark list ('' = mcf,art,equake)")
+	base := fs.String("base", "BI", "base (performance) encoding scheme")
+	cool := fs.String("cool", "CoolSpread", "cool (thermal-relief) encoding scheme")
+	buses := fs.Int("buses", 0, "add a K-bus static comparison leg (0 = scalar only)")
+	workers := fs.Int("workers", 0, "cell concurrency (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nodes, err := parseNodes(*nodeSpec)
+	if err != nil {
+		return err
+	}
+	cells, err := expt.Cooling(expt.CoolingOptions{
+		Cycles:         *cycles,
+		IntervalCycles: *interval,
+		Nodes:          nodes,
+		Benchmarks:     benchList(*bench),
+		Base:           *base,
+		Cool:           *cool,
+		Buses:          *buses,
+		Workers:        *workers,
+	})
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "node\tbenchmark\tceiling K\tpeak adaptive K\tpeak base K\tpeak cool K\tswitches\tdefended\toverhead %")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%s\t%s\t%.6f\t%.6f\t%.6f\t%.6f\t%d\t%v\t%.1f\n",
+			c.Node, c.Benchmark, c.CeilingK, c.PeakAdaptiveK, c.PeakBaseK, c.PeakCoolK,
+			len(c.Switches), c.Defended && c.BaseExceeds, c.OverheadPct)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		for _, sw := range c.Switches {
+			fmt.Printf("  %s/%s: cycle %d %s -> %s at %.6f K\n",
+				c.Node, c.Benchmark, sw.Cycle, sw.From, sw.To, sw.TempK)
+		}
+		if c.MultiBus != nil {
+			fmt.Printf("  %s/%s: %d-bus grid peak %s %.6f K, %s %.6f K\n",
+				c.Node, c.Benchmark, c.MultiBus.Buses,
+				c.Base, c.MultiBus.PeakBaseK, c.Cool, c.MultiBus.PeakCoolK)
+		}
+	}
+	return nil
+}
+
 // cmdReliability grades electromigration lifetime from a workload's
 // steady-state wire temperatures and currents.
 func cmdReliability(args []string) error {

@@ -121,6 +121,8 @@ func realMain() int {
 		err = cmdRepSweep(args)
 	case "socmap":
 		err = cmdSoCMap(args)
+	case "cooling":
+		err = cmdCooling(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -159,6 +161,7 @@ extension studies (beyond the paper's figures):
   validate    lumped RC network vs 2-D finite-difference field solution
   repsweep    repeater-count energy-delay tradeoff sweep
   socmap      whole-SoC multi-bus thermal map, streamed from nanobusd
+  cooling     adaptive cooling-code controller: peak temp vs bandwidth overhead
 
 run 'nanobus <command> -h' for per-command flags`)
 }

@@ -56,6 +56,9 @@ func (s *Simulator) Snapshot() ([]byte, error) {
 	if s.err != nil {
 		return nil, fmt.Errorf("snapshot: %w", s.err)
 	}
+	if s.ad != nil {
+		return s.snapshotAdaptive()
+	}
 	w := ckptWriter{}
 	w.raw([]byte(checkpointMagic))
 	w.u16(checkpointVersion)
@@ -160,8 +163,16 @@ func (s *Simulator) Restore(data []byte) error {
 	}
 	r.buf = body
 	r.off = len(checkpointMagic)
-	if v := r.u16(); v != checkpointVersion {
-		return fmt.Errorf("%w: unsupported version %d (want %d)", ErrCheckpointCorrupt, v, checkpointVersion)
+	switch v := r.u16(); {
+	case v == checkpointVersion && s.ad != nil:
+		return fmt.Errorf("%w: v1 (static-encoder) checkpoint, but the target runs the adaptive controller", ErrCheckpointMismatch)
+	case v == checkpointVersionAdaptive && s.ad == nil:
+		return fmt.Errorf("%w: v3 (adaptive) checkpoint, but the target has a static encoder", ErrCheckpointMismatch)
+	case v == checkpointVersionAdaptive:
+		r.u16() // flags, reserved
+		return s.restoreAdaptive(r)
+	case v != checkpointVersion:
+		return fmt.Errorf("%w: unsupported version %d (want %d or %d)", ErrCheckpointCorrupt, v, checkpointVersion, checkpointVersionAdaptive)
 	}
 	r.u16() // flags, reserved
 

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"nanobus/internal/encoding"
+	"nanobus/internal/energy"
+)
+
+// Checkpoint format version 3: adaptive scalar simulators. The layout
+// extends v1 so a restored controller replays the rest of the trace
+// bit-identically, switch points included:
+//
+//	magic "NBCP" | version=3 u16 | flags u16
+//	config fingerprint: node name, base scheme, cool scheme, ceiling,
+//	    guard and hysteresis bit patterns, width, interval cycles,
+//	    length bits, coupling depth, repeater flag
+//	state: cycle count, interval phase, cumulative energy totals,
+//	    per-line totals, accumulator window (as v1)
+//	adaptive state: active mode, per-mode occupancy, BOTH encoders'
+//	    states (the inactive one holds private history — e.g.
+//	    CoolSpread's rotation counter — that the next switch resumes),
+//	    recorded switch events
+//	thermal ambient + per-wire temperatures (as v1)
+//	retained samples: the v1 sample layout plus a mode byte and a
+//	    switched byte per sample
+//	crc32 (IEEE) over everything above
+//
+// v1 blobs and static simulators are unchanged byte for byte; a v1 blob
+// restored into an adaptive simulator (or vice versa) is rejected with
+// ErrCheckpointMismatch before any state is touched.
+
+// checkpointVersionAdaptive is the NBCP version for adaptive scalar
+// checkpoints (v2 is the multi-bus format).
+const checkpointVersionAdaptive = 3
+
+// sampleMinBytesAdaptive is the v3 per-sample floor: the v1 layout plus
+// the mode and switched bytes.
+const sampleMinBytesAdaptive = sampleMinBytes + 2
+
+func encoderState(e encoding.Encoder) encoding.State {
+	if se, ok := e.(encoding.Stateful); ok {
+		return se.State()
+	}
+	return encoding.State{}
+}
+
+// snapshotAdaptive is Snapshot for simulators running the adaptive
+// controller.
+func (s *Simulator) snapshotAdaptive() ([]byte, error) {
+	a := s.ad
+	w := ckptWriter{}
+	w.raw([]byte(checkpointMagic))
+	w.u16(checkpointVersionAdaptive)
+	w.u16(0) // flags, reserved
+
+	// Config fingerprint: the adaptive identity replaces the single
+	// encoder name, and the control-law thresholds are pinned bit-exact —
+	// a restore into a differently tuned controller would diverge at the
+	// next decision, so it is a mismatch, not a resume.
+	w.str(s.cfg.Node.Name)
+	w.str(a.names[modeBase])
+	w.str(a.names[modeCool])
+	w.f64(a.cfg.CeilingK)
+	w.f64(a.cfg.GuardK)
+	w.f64(a.cfg.HysteresisK)
+	w.u32(uint32(s.enc.Width()))
+	w.u64(s.interval)
+	w.f64(s.length)
+	w.i64(int64(normalizedDepth(s.cfg.CouplingDepth)))
+	w.bool(s.cfg.NoRepeaters)
+
+	// Simulator counters and cumulative totals (v1 layout).
+	w.u64(s.cycles)
+	w.u64(s.cycleInInterval)
+	w.lineEnergy(s.totalEnergy)
+	for _, le := range s.lineTotals {
+		w.lineEnergy(le)
+	}
+
+	// Accumulator window (v1 layout).
+	ast := s.acc.State()
+	w.u64(ast.Prev)
+	w.bool(ast.First)
+	w.u64(ast.Cycles)
+	w.u64(ast.IdleCycles)
+	w.lineEnergy(ast.Total)
+	for _, le := range ast.Lines {
+		w.lineEnergy(le)
+	}
+
+	// Controller state: mode, occupancy, both encoder states, events.
+	w.u16(uint16(a.mode))
+	w.bool(a.justSwitch)
+	w.u64(a.occupancy[modeBase])
+	w.u64(a.occupancy[modeCool])
+	for _, enc := range a.encs {
+		est := encoderState(enc)
+		w.u64(est.Prev)
+		w.u32(est.Last)
+		w.bool(est.First)
+	}
+	w.u32(uint32(len(a.events)))
+	for _, ev := range a.events {
+		w.u64(ev.Cycle)
+		if ev.To == a.names[modeCool] {
+			w.u16(modeCool)
+		} else {
+			w.u16(modeBase)
+		}
+		w.f64(ev.TempK)
+	}
+
+	// Thermal state (v1 layout).
+	w.f64(s.net.Ambient())
+	for _, t := range s.net.Temps(nil) {
+		w.f64(t)
+	}
+
+	// Retained samples: v1 layout + adaptive tags.
+	w.u32(uint32(len(s.samples)))
+	for _, sm := range s.samples {
+		w.u64(sm.EndCycle)
+		w.f64(sm.Energy)
+		w.f64(sm.Self)
+		w.f64(sm.CoupAdj)
+		w.f64(sm.CoupNonAdj)
+		w.f64(sm.AvgTemp)
+		w.f64(sm.MaxTemp)
+		w.i64(int64(sm.MaxWire))
+		w.u32(uint32(len(sm.WireTemps)))
+		for _, t := range sm.WireTemps {
+			w.f64(t)
+		}
+		if sm.Encoder == a.names[modeCool] {
+			w.bool(true)
+		} else {
+			w.bool(false)
+		}
+		w.bool(sm.Switched)
+	}
+
+	w.u32(crc32.ChecksumIEEE(w.buf))
+	return w.buf, nil
+}
+
+// restoreAdaptive decodes a v3 payload (r is positioned just past the
+// version and flags words) and applies it all-or-nothing.
+func (s *Simulator) restoreAdaptive(r *ckptReader) error {
+	a := s.ad
+
+	// Config fingerprint.
+	nodeName := r.str()
+	baseName := r.str()
+	coolName := r.str()
+	ceiling := r.f64()
+	guard := r.f64()
+	hyst := r.f64()
+	width := int(r.u32())
+	interval := r.u64()
+	length := r.f64()
+	depth := int(r.i64())
+	noRep := r.bool()
+	if r.err != nil {
+		return r.wrapErr()
+	}
+	mismatch := func(field string, got, want any) error {
+		return fmt.Errorf("%w: %s is %v in the checkpoint, %v in the target", ErrCheckpointMismatch, field, got, want)
+	}
+	switch {
+	case nodeName != s.cfg.Node.Name:
+		return mismatch("node", nodeName, s.cfg.Node.Name)
+	case baseName != a.names[modeBase]:
+		return mismatch("adaptive_base", baseName, a.names[modeBase])
+	case coolName != a.names[modeCool]:
+		return mismatch("adaptive_cool", coolName, a.names[modeCool])
+	case math.Float64bits(ceiling) != math.Float64bits(a.cfg.CeilingK):
+		return mismatch("ceiling_k", ceiling, a.cfg.CeilingK)
+	case math.Float64bits(guard) != math.Float64bits(a.cfg.GuardK):
+		return mismatch("guard_k", guard, a.cfg.GuardK)
+	case math.Float64bits(hyst) != math.Float64bits(a.cfg.HysteresisK):
+		return mismatch("hysteresis_k", hyst, a.cfg.HysteresisK)
+	case width != s.enc.Width():
+		return mismatch("width", width, s.enc.Width())
+	case interval != s.interval:
+		return mismatch("interval_cycles", interval, s.interval)
+	case math.Float64bits(length) != math.Float64bits(s.length):
+		return mismatch("length_m", length, s.length)
+	case depth != normalizedDepth(s.cfg.CouplingDepth):
+		return mismatch("coupling_depth", depth, normalizedDepth(s.cfg.CouplingDepth))
+	case noRep != s.cfg.NoRepeaters:
+		return mismatch("no_repeaters", noRep, s.cfg.NoRepeaters)
+	}
+
+	// Decode everything into temporaries before mutating the simulator.
+	cycles := r.u64()
+	cycleInInterval := r.u64()
+	totalEnergy := r.lineEnergy()
+	lineTotals := make([]energy.LineEnergy, width)
+	for i := range lineTotals {
+		lineTotals[i] = r.lineEnergy()
+	}
+	ast := energy.AccumulatorState{Lines: make([]energy.LineEnergy, width)}
+	ast.Prev = r.u64()
+	ast.First = r.bool()
+	ast.Cycles = r.u64()
+	ast.IdleCycles = r.u64()
+	ast.Total = r.lineEnergy()
+	for i := range ast.Lines {
+		ast.Lines[i] = r.lineEnergy()
+	}
+
+	mode := int(r.u16())
+	if r.err == nil && mode != modeBase && mode != modeCool {
+		r.err = fmt.Errorf("adaptive mode %d out of range", mode)
+	}
+	justSwitch := r.bool()
+	var occupancy [2]uint64
+	occupancy[modeBase] = r.u64()
+	occupancy[modeCool] = r.u64()
+	var encStates [2]encoding.State
+	for i := range encStates {
+		encStates[i].Prev = r.u64()
+		encStates[i].Last = r.u32()
+		encStates[i].First = r.bool()
+	}
+	nEvents := int(r.u32())
+	const eventBytes = 8 + 2 + 8
+	if r.err == nil && nEvents > r.remaining()/eventBytes {
+		r.err = fmt.Errorf("event count %d exceeds the remaining payload", nEvents)
+	}
+	var events []SwitchEvent
+	if r.err == nil && nEvents > 0 {
+		events = make([]SwitchEvent, nEvents)
+		for i := range events {
+			events[i].Cycle = r.u64()
+			to := int(r.u16())
+			if r.err == nil && to != modeBase && to != modeCool {
+				r.err = fmt.Errorf("event %d target mode %d out of range", i, to)
+				break
+			}
+			events[i].To = a.names[to]
+			events[i].From = a.names[1-to]
+			events[i].TempK = r.f64()
+		}
+	}
+
+	ambient := r.f64()
+	temps := make([]float64, width)
+	for i := range temps {
+		temps[i] = r.f64()
+	}
+	nSamples := int(r.u32())
+	if r.err == nil && nSamples > r.remaining()/sampleMinBytesAdaptive {
+		r.err = fmt.Errorf("sample count %d exceeds the remaining payload", nSamples)
+	}
+	var samples []Sample
+	if r.err == nil && nSamples > 0 {
+		samples = make([]Sample, nSamples)
+		for i := range samples {
+			sm := &samples[i]
+			sm.EndCycle = r.u64()
+			sm.Energy = r.f64()
+			sm.Self = r.f64()
+			sm.CoupAdj = r.f64()
+			sm.CoupNonAdj = r.f64()
+			sm.AvgTemp = r.f64()
+			sm.MaxTemp = r.f64()
+			sm.MaxWire = int(r.i64())
+			if nwt := int(r.u32()); r.err == nil && nwt > 0 {
+				if nwt > r.remaining()/8 {
+					r.err = fmt.Errorf("wire-temp count %d exceeds the remaining payload", nwt)
+					break
+				}
+				sm.WireTemps = make([]float64, nwt)
+				for j := range sm.WireTemps {
+					sm.WireTemps[j] = r.f64()
+				}
+			}
+			if r.bool() {
+				sm.Encoder = a.names[modeCool]
+			} else {
+				sm.Encoder = a.names[modeBase]
+			}
+			sm.Switched = r.bool()
+		}
+	}
+	if r.err != nil {
+		return r.wrapErr()
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes after the payload", ErrCheckpointCorrupt, len(r.buf)-r.off)
+	}
+
+	// Everything validated; apply.
+	if err := s.acc.SetState(ast); err != nil {
+		return err
+	}
+	for i, enc := range a.encs {
+		if se, ok := enc.(encoding.Stateful); ok {
+			se.SetState(encStates[i])
+		}
+	}
+	if err := s.net.SetAmbient(ambient); err != nil {
+		return err
+	}
+	if err := s.net.SetTemps(temps); err != nil {
+		return err
+	}
+	a.mode = mode
+	a.justSwitch = justSwitch
+	a.occupancy = occupancy
+	a.events = events
+	s.enc = a.encs[mode]
+	s.cycles = cycles
+	s.cycleInInterval = cycleInInterval
+	s.totalEnergy = totalEnergy
+	copy(s.lineTotals, lineTotals)
+	s.samples = samples
+	s.err = nil
+	return nil
+}

@@ -49,8 +49,14 @@ type Config struct {
 	// Length is the bus length in meters; zero means DefaultLength.
 	Length float64
 	// Encoder transforms data words to physical bus words; nil means
-	// unencoded.
+	// unencoded. Mutually exclusive with Adaptive.
 	Encoder encoding.Encoder
+	// Adaptive, when non-nil, enables the closed-loop thermal encoding
+	// controller: the simulator starts on Adaptive.Base and switches
+	// encoders at sampling-interval boundaries to defend the configured
+	// temperature ceiling (see AdaptiveConfig). Mutually exclusive with
+	// Encoder.
+	Adaptive *AdaptiveConfig
 	// CouplingDepth truncates the coupling matrix: 0 keeps self
 	// capacitance only, 1 nearest-neighbour, negative or large keeps all
 	// pairs. Use a negative value for the paper's full ("All") model.
@@ -99,12 +105,21 @@ type Sample struct {
 	// WireTemps is the full per-wire temperature vector at interval end;
 	// nil unless Config.TrackWireTemps is set.
 	WireTemps []float64
+	// Encoder names the scheme that drove the bus during this interval.
+	// Empty unless the adaptive controller is enabled.
+	Encoder string
+	// Switched marks that the adaptive controller changed encoders when
+	// this interval closed (the next interval runs the other encoder).
+	Switched bool
 }
 
 // Simulator drives one address bus.
 type Simulator struct {
-	cfg      Config
-	enc      encoding.Encoder
+	cfg Config
+	enc encoding.Encoder
+	// ad is the adaptive encoding controller; nil for static encoders.
+	// When set, enc always aliases ad's active encoder.
+	ad       *adaptiveState
 	acc      *energy.Accumulator
 	net      *thermal.Network
 	interval uint64
@@ -135,6 +150,17 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	enc := cfg.Encoder
+	var ad *adaptiveState
+	if cfg.Adaptive != nil {
+		if enc != nil {
+			return nil, fmt.Errorf("core: Encoder and Adaptive are mutually exclusive")
+		}
+		var err error
+		if ad, err = newAdaptive(*cfg.Adaptive); err != nil {
+			return nil, err
+		}
+		enc = ad.active()
+	}
 	if enc == nil {
 		enc = encoding.NewUnencoded()
 	}
@@ -194,6 +220,7 @@ func New(cfg Config) (*Simulator, error) {
 	return &Simulator{
 		cfg:        cfg,
 		enc:        enc,
+		ad:         ad,
 		acc:        acc,
 		net:        net,
 		interval:   interval,
@@ -294,6 +321,16 @@ func (s *Simulator) flush(n uint64) {
 	if s.cfg.TrackWireTemps {
 		sample.WireTemps = s.net.Temps(nil)
 	}
+	if s.ad != nil {
+		// The controller runs at interval boundaries: attribute the closed
+		// interval's cycles to the encoder that drove it, then let the
+		// control law pick the encoder for the next interval. The switch
+		// decision is a pure function of (cycle, MaxTemp, config), so the
+		// recorded switch points replay bit-identically from checkpoints.
+		sample.Encoder = s.ad.names[s.ad.mode]
+		s.ad.occupancy[s.ad.mode] += n
+		s.enc, sample.Switched = s.ad.decide(s.cycles, maxT)
+	}
 	if s.cfg.OnSample != nil {
 		s.cfg.OnSample(sample)
 	}
@@ -338,6 +375,10 @@ func (s *Simulator) Reset() {
 	s.acc.ResetAll()
 	s.net.Reset()
 	s.enc.Reset()
+	if s.ad != nil {
+		s.ad.reset()
+		s.enc = s.ad.active()
+	}
 	s.cycleInInterval = 0
 	s.cycles = 0
 	s.samples = nil

@@ -103,6 +103,14 @@ func NewMulti(cfg MultiConfig) (*MultiSim, error) {
 		return m, nil
 	}
 
+	if cfg.Adaptive != nil {
+		// The SoA kernel drives per-bus registry encoders; threading the
+		// controller's padded pair and per-bus decisions through it is
+		// future work. Without this guard the probe below would silently
+		// flatten the controller onto its base scheme.
+		return nil, fmt.Errorf("core: multi-sim does not support the adaptive controller; run scalar sessions")
+	}
+
 	// Probe the shared configuration through the scalar constructor once,
 	// then rebuild the pieces in struct-of-arrays form. The probe also
 	// hands us resolved defaults (length, interval) and the energy model.

@@ -409,7 +409,7 @@ func (d *T0Decoder) Reset() { d.last, d.first = 0, true }
 var ErrUnknownScheme = errors.New("encoding: unknown scheme")
 
 // New returns a fresh encoder by name. Recognised names: "Unencoded", "BI",
-// "OEBI", "CBI", "Gray", "T0".
+// "OEBI", "CBI", "Gray", "T0", "CoolSpread", "CoolCap".
 func New(name string) (Encoder, error) {
 	switch name {
 	case "Unencoded", "unencoded", "none":
@@ -424,6 +424,10 @@ func New(name string) (Encoder, error) {
 		return NewGray(), nil
 	case "T0", "t0":
 		return NewT0(4), nil
+	case "CoolSpread", "coolspread":
+		return NewCoolSpread(), nil
+	case "CoolCap", "coolcap":
+		return NewCoolCap(), nil
 	default:
 		return nil, fmt.Errorf("%w %q", ErrUnknownScheme, name)
 	}
@@ -444,6 +448,10 @@ func NewDecoder(name string) (Decoder, error) {
 		return &GrayDecoder{}, nil
 	case "T0", "t0":
 		return NewT0Decoder(4), nil
+	case "CoolSpread", "coolspread":
+		return NewCoolSpreadDecoder(), nil
+	case "CoolCap", "coolcap":
+		return &CoolCapDecoder{}, nil
 	default:
 		return nil, fmt.Errorf("%w %q", ErrUnknownScheme, name)
 	}
@@ -455,5 +463,5 @@ func PaperSchemes() []string { return []string{"BI", "OEBI", "CBI", "Unencoded"}
 
 // AllSchemes lists every implemented scheme including extensions.
 func AllSchemes() []string {
-	return []string{"Unencoded", "BI", "OEBI", "CBI", "Gray", "T0"}
+	return []string{"Unencoded", "BI", "OEBI", "CBI", "Gray", "T0", "CoolSpread", "CoolCap"}
 }

@@ -7,7 +7,8 @@ package encoding
 type State struct {
 	// Prev is the physical word currently driven on the bus.
 	Prev uint64
-	// Last is scheme-private history (T0: the last data word seen).
+	// Last is scheme-private history (T0: the last data word seen;
+	// CoolSpread: the transmitted-word counter driving the rotation).
 	Last uint32
 	// First marks that no word has been transmitted yet.
 	First bool

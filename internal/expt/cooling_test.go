@@ -1,0 +1,95 @@
+package expt
+
+import (
+	"math"
+	"testing"
+
+	"nanobus/internal/itrs"
+)
+
+// TestCoolingCellDefendsCeiling runs one self-calibrated cell and checks
+// the headline claims: the derived ceiling is defended by the controller,
+// exceeded by the static base encoder, reached through at least one
+// switch, and paid for with at most 15% bandwidth overhead.
+func TestCoolingCellDefendsCeiling(t *testing.T) {
+	opts := CoolingOptions{
+		Cycles:         2_000_000,
+		IntervalCycles: 100_000,
+		Nodes:          []itrs.Node{itrs.N45},
+		Benchmarks:     []string{"mcf"},
+	}
+	cells, err := Cooling(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+	c := cells[0]
+	if !c.Defended {
+		t.Errorf("ceiling %.6f K not defended: adaptive peak %.6f K", c.CeilingK, c.PeakAdaptiveK)
+	}
+	if !c.BaseExceeds {
+		t.Errorf("static %s peak %.6f K does not exceed the ceiling %.6f K", c.Base, c.PeakBaseK, c.CeilingK)
+	}
+	if len(c.Switches) == 0 {
+		t.Error("no encoder switch recorded")
+	}
+	if c.OverheadPct > 15 {
+		t.Errorf("bandwidth overhead %.1f%% > 15%%", c.OverheadPct)
+	}
+	var occ uint64
+	for _, o := range c.Occupancy {
+		occ += o.Cycles
+	}
+	if occ != opts.Cycles {
+		t.Errorf("occupancy covers %d cycles, want %d", occ, opts.Cycles)
+	}
+
+	// The derivation is deterministic: a second run agrees bit for bit.
+	again, err := Cooling(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := again[0]
+	if math.Float64bits(c2.CeilingK) != math.Float64bits(c.CeilingK) ||
+		math.Float64bits(c2.PeakAdaptiveK) != math.Float64bits(c.PeakAdaptiveK) {
+		t.Errorf("re-run derived a different cell: %.17g/%.17g vs %.17g/%.17g",
+			c2.CeilingK, c2.PeakAdaptiveK, c.CeilingK, c.PeakAdaptiveK)
+	}
+	if len(c2.Switches) != len(c.Switches) {
+		t.Fatalf("re-run switch count %d, want %d", len(c2.Switches), len(c.Switches))
+	}
+	for i := range c.Switches {
+		a, b := c.Switches[i], c2.Switches[i]
+		if a.Cycle != b.Cycle || a.From != b.From || a.To != b.To ||
+			math.Float64bits(a.TempK) != math.Float64bits(b.TempK) {
+			t.Errorf("switch %d differs across runs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestCoolingMultiBusLeg exercises the K-bus static comparison: the cool
+// scheme's grid peak must not exceed the base scheme's.
+func TestCoolingMultiBusLeg(t *testing.T) {
+	cells, err := Cooling(CoolingOptions{
+		Cycles:         600_000,
+		IntervalCycles: 100_000,
+		Nodes:          []itrs.Node{itrs.N45},
+		Benchmarks:     []string{"mcf"},
+		Buses:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leg := cells[0].MultiBus
+	if leg == nil || leg.Buses != 3 {
+		t.Fatalf("multi-bus leg missing: %+v", leg)
+	}
+	if leg.PeakBaseK <= 0 || leg.PeakCoolK <= 0 {
+		t.Fatalf("degenerate grid peaks: %+v", leg)
+	}
+	if leg.PeakCoolK > leg.PeakBaseK {
+		t.Errorf("cool scheme grid peak %.6f K above base %.6f K", leg.PeakCoolK, leg.PeakBaseK)
+	}
+}

@@ -269,6 +269,61 @@ func ParseBusSample(p []byte, temps []float64) (uint32, Sample, error) {
 	return bus, s, err
 }
 
+// adaptiveTailLen is the fixed part of the adaptive sample tail: the
+// switched byte and the encoder-name length byte.
+const adaptiveTailLen = 2
+
+// AppendAdaptiveSample appends an adaptive SAMPLE payload to dst: the
+// standard Sample layout, then a switched byte (0/1), the active
+// encoder's name length (u8), and the name bytes. Frames carrying this
+// layout set FlagAdaptiveSample. Encoder names longer than 255 bytes do
+// not exist in the scheme registry and are truncated defensively.
+//
+//nanolint:hotpath one encode per streamed adaptive sample; appends into the caller's reused buffer
+func AppendAdaptiveSample(dst []byte, s Sample, encoder string, switched bool) []byte {
+	dst = AppendSample(dst, s)
+	if switched {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	if len(encoder) > 255 {
+		encoder = encoder[:255]
+	}
+	dst = append(dst, uint8(len(encoder)))
+	return append(dst, encoder...)
+}
+
+// ParseAdaptiveSample decodes a FlagAdaptiveSample SAMPLE payload; temps
+// is the optional reuse buffer ParseSample documents.
+func ParseAdaptiveSample(p []byte, temps []float64) (s Sample, encoder string, switched bool, err error) {
+	if len(p) < sampleFixedLen+adaptiveTailLen {
+		return Sample{}, "", false, fmt.Errorf("%w: adaptive sample is %d bytes (min %d)",
+			ErrBadPayload, len(p), sampleFixedLen+adaptiveTailLen)
+	}
+	// The tail offset depends on the embedded wire-temp count, so locate
+	// it before delegating the fixed layout to ParseSample.
+	n := int(binary.LittleEndian.Uint32(p[60:64]))
+	base := sampleFixedLen + 8*n
+	if base+adaptiveTailLen > len(p) {
+		return Sample{}, "", false, fmt.Errorf("%w: adaptive sample declares %d wire temps but carries %d bytes",
+			ErrBadPayload, n, len(p)-sampleFixedLen)
+	}
+	nameLen := int(p[base+1])
+	if len(p) != base+adaptiveTailLen+nameLen {
+		return Sample{}, "", false, fmt.Errorf("%w: adaptive sample declares a %d-byte encoder name but carries %d bytes",
+			ErrBadPayload, nameLen, len(p)-base-adaptiveTailLen)
+	}
+	if p[base] > 1 {
+		return Sample{}, "", false, fmt.Errorf("%w: adaptive sample switched byte is %d", ErrBadPayload, p[base])
+	}
+	s, err = ParseSample(p[:base], temps)
+	if err != nil {
+		return Sample{}, "", false, err
+	}
+	return s, string(p[base+adaptiveTailLen:]), p[base] == 1, nil
+}
+
 // --- ERROR payload -----------------------------------------------------------
 
 // errorFixedLen is the ERROR payload length before the code string:

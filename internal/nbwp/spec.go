@@ -129,6 +129,12 @@ const (
 	// layout (see AppendBusSample/ParseBusSample). Scalar sessions never
 	// set it, so existing clients keep decoding plain Sample payloads.
 	FlagMultiSample uint8 = 1 << 6
+	// FlagAdaptiveSample marks a SAMPLE from an adaptive session: the
+	// standard Sample layout followed by a switched byte, the active
+	// encoder's name length, and the name bytes (see
+	// AppendAdaptiveSample/ParseAdaptiveSample). Static sessions never
+	// set it.
+	FlagAdaptiveSample uint8 = 1 << 7
 )
 
 // Typed frame-codec errors. Readers must get exactly these (wrapped) for

@@ -449,6 +449,7 @@ func (nc *nbwpConn) handleStep(h nbwp.Header, payload []byte) bool {
 	var sum StepSummary
 	streaming := nc.stream[h.Slot]
 	multi := sess.buses > 1
+	adaptive := sess.sim != nil && sess.sim.Adaptive()
 	writeOK := true
 	sess.setOnSample(func(bus int, cs core.Sample) {
 		sum.Samples++
@@ -456,12 +457,17 @@ func (nc *nbwpConn) handleStep(h nbwp.Header, payload []byte) bool {
 		if streaming && writeOK {
 			// Samples interleave ahead of the batch's ack, append-encoded
 			// into the connection's reused buffer. Multi-bus sessions
-			// prefix the bus index and flag the layout.
+			// prefix the bus index; adaptive sessions append the encoder
+			// tail; each flags its layout.
 			var flags uint8
-			if multi {
+			switch {
+			case multi:
 				flags = nbwp.FlagMultiSample
 				nc.payload = nbwp.AppendBusSample(nc.payload[:0], uint32(bus), toNBWPSample(fromCoreSample(cs)))
-			} else {
+			case adaptive:
+				flags = nbwp.FlagAdaptiveSample
+				nc.payload = nbwp.AppendAdaptiveSample(nc.payload[:0], toNBWPSample(fromCoreSample(cs)), cs.Encoder, cs.Switched)
+			default:
 				nc.payload = appendNBWPSample(nc.payload[:0], fromCoreSample(cs))
 			}
 			writeOK = nc.writeFrame(nbwp.Header{Type: nbwp.TypeSample, Flags: flags, Slot: h.Slot}, nc.payload)

@@ -28,6 +28,11 @@ func TestAppendStreamSampleParity(t *testing.T) {
 		{EndCycle: 7, AvgTempK: 310.123456789, MaxTempK: 310.2,
 			WireTempsK: []float64{300, 1e-9, 3.5e22, -0.25}},
 		{WireTempsK: []float64{1e-6, 1e-7, 123456789.123}},
+		{EndCycle: 200000, EnergyJ: 3.25e-9, AvgTempK: 311, MaxTempK: 318.75,
+			Encoder: "BI"},
+		{EndCycle: 300000, MaxTempK: 321.5, Encoder: "CoolSpread", Switched: true,
+			Bus: 2, WireTempsK: []float64{305.5, 1e-8}},
+		{Switched: true},
 	}
 	for i, ws := range samples {
 		var want bytes.Buffer

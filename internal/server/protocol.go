@@ -54,6 +54,30 @@ type CreateSessionRequest struct {
 	// DisableBusCoupling severs the lateral inter-bus conductance so the
 	// K buses evolve as independent thermal strips (multi-bus only).
 	DisableBusCoupling bool `json:"disable_bus_coupling,omitempty"`
+	// Adaptive enables the adaptive encoding controller: the session
+	// starts on Adaptive.Base and switches to Adaptive.Cool (and back)
+	// at sampling-interval boundaries driven by the peak wire
+	// temperature. Mutually exclusive with Encoding and with multi-bus
+	// sessions. Samples gain encoder/switched tags and the result an
+	// adaptive block.
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
+}
+
+// AdaptiveSpec is the wire form of core.AdaptiveConfig: the encoder pair
+// and the control-law thresholds of an adaptive session.
+type AdaptiveSpec struct {
+	// Base and Cool name the performance and the thermally relieving
+	// encoding scheme; they must differ and both must resolve.
+	Base string `json:"base"`
+	Cool string `json:"cool"`
+	// CeilingK is the peak-wire-temperature ceiling in kelvin the
+	// controller defends.
+	CeilingK float64 `json:"ceiling_k"`
+	// GuardK lowers the switch-to-cool trigger below the ceiling.
+	GuardK float64 `json:"guard_k,omitempty"`
+	// HysteresisK sets the release band: the controller returns to Base
+	// only once the peak temperature falls HysteresisK below the trigger.
+	HysteresisK float64 `json:"hysteresis_k,omitempty"`
 }
 
 // SessionInfo describes a session (201 of POST /v1/sessions, and GET
@@ -79,6 +103,8 @@ type SessionInfo struct {
 	// Buses is the bus count K of a multi-bus session (absent for
 	// scalar sessions).
 	Buses int `json:"buses,omitempty"`
+	// Adaptive echoes the controller spec of an adaptive session.
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
 }
 
 // StepLine is one NDJSON line of a step request body: a batch of data
@@ -119,6 +145,12 @@ type Sample struct {
 	// Bus tags which bus of a multi-bus session the sample belongs to
 	// (absent both for scalar sessions and for bus 0).
 	Bus int `json:"bus,omitempty"`
+	// Encoder names the scheme that was active during this interval
+	// (adaptive sessions only).
+	Encoder string `json:"encoder,omitempty"`
+	// Switched marks an interval whose closing decision changed the
+	// active encoder: the NEXT interval runs the other scheme.
+	Switched bool `json:"switched,omitempty"`
 }
 
 func fromCoreSample(s core.Sample) Sample {
@@ -132,6 +164,8 @@ func fromCoreSample(s core.Sample) Sample {
 		MaxTempK:    s.MaxTemp,
 		MaxWire:     s.MaxWire,
 		WireTempsK:  s.WireTemps,
+		Encoder:     s.Encoder,
+		Switched:    s.Switched,
 	}
 }
 
@@ -188,6 +222,22 @@ type Result struct {
 	Buses  int         `json:"buses,omitempty"`
 	MaxBus int         `json:"max_bus,omitempty"`
 	PerBus []BusResult `json:"per_bus,omitempty"`
+	// Adaptive is set only for adaptive sessions.
+	Adaptive *AdaptiveResult `json:"adaptive,omitempty"`
+}
+
+// AdaptiveResult summarizes an adaptive session's controller activity.
+type AdaptiveResult struct {
+	// Base, Cool and CeilingK echo the session's AdaptiveSpec.
+	Base     string  `json:"base"`
+	Cool     string  `json:"cool"`
+	CeilingK float64 `json:"ceiling_k"`
+	// Active names the scheme in effect when the result was taken.
+	Active string `json:"active"`
+	// Switches lists every encoder switch in cycle order.
+	Switches []core.SwitchEvent `json:"switches"`
+	// Occupancy reports the cycles spent under each scheme, base first.
+	Occupancy []core.EncoderCycles `json:"occupancy"`
 }
 
 // BusResult is one bus's slice of a multi-bus Result: the same totals,

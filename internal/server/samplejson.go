@@ -70,6 +70,16 @@ func appendStreamSample(b []byte, ws Sample) []byte {
 		b = append(b, `,"bus":`...)
 		b = strconv.AppendInt(b, int64(ws.Bus), 10)
 	}
+	if ws.Encoder != "" {
+		// Scheme names come from the encoding registry and contain only
+		// characters encoding/json passes through unescaped.
+		b = append(b, `,"encoder":"`...)
+		b = append(b, ws.Encoder...)
+		b = append(b, '"')
+	}
+	if ws.Switched {
+		b = append(b, `,"switched":true`...)
+	}
 	b = append(b, '}', '}', '\n')
 	return b
 }

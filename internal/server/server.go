@@ -388,13 +388,32 @@ func (s *Server) buildSession(req CreateSessionRequest) (*session, *httpErr) {
 	if err != nil {
 		return nil, herr(http.StatusBadRequest, CodeUnknownNode, err.Error())
 	}
+	if req.Adaptive != nil {
+		switch {
+		case req.Encoding != "":
+			return nil, herr(http.StatusBadRequest, CodeBadRequest,
+				"adaptive and encoding are mutually exclusive (the controller names its own schemes)")
+		case req.Buses > 1:
+			return nil, herr(http.StatusBadRequest, CodeBadRequest,
+				"adaptive requires a scalar session (buses <= 1)")
+		}
+		if _, err := encoding.New(req.Adaptive.Base); err != nil {
+			return nil, herr(http.StatusBadRequest, CodeUnknownEncoding, "adaptive base: "+err.Error())
+		}
+		if _, err := encoding.New(req.Adaptive.Cool); err != nil {
+			return nil, herr(http.StatusBadRequest, CodeUnknownEncoding, "adaptive cool: "+err.Error())
+		}
+	}
 	encName := req.Encoding
 	if encName == "" {
 		encName = "Unencoded"
 	}
-	enc, err := encoding.New(encName)
-	if err != nil {
-		return nil, herr(http.StatusBadRequest, CodeUnknownEncoding, err.Error())
+	var enc encoding.Encoder
+	if req.Adaptive == nil {
+		enc, err = encoding.New(encName)
+		if err != nil {
+			return nil, herr(http.StatusBadRequest, CodeUnknownEncoding, err.Error())
+		}
 	}
 	if req.LengthM < 0 {
 		return nil, herr(http.StatusBadRequest, CodeBadRequest,
@@ -444,6 +463,14 @@ func (s *Server) buildSession(req CreateSessionRequest) (*session, *httpErr) {
 		MemoSizeLog2:   req.MemoSizeLog2,
 		DropSamples:    req.DropSamples,
 	}
+	if req.Adaptive != nil {
+		// Adaptive sessions leave Encoding out of the normalized JSON —
+		// the controller spec names its schemes — so the envelope config
+		// round-trips through the mutual-exclusion check above.
+		norm.Encoding = ""
+		spec := *req.Adaptive
+		norm.Adaptive = &spec
+	}
 	if buses > 1 {
 		// The multi fields are zero for scalar sessions, so their
 		// normalized JSON — and with it every v1 checkpoint envelope —
@@ -472,6 +499,32 @@ func (s *Server) buildSession(req CreateSessionRequest) (*session, *httpErr) {
 		LengthM:        length,
 		IntervalCycles: interval,
 		CouplingDepth:  depth,
+	}
+	if req.Adaptive != nil {
+		cfg.Adaptive = &core.AdaptiveConfig{
+			Base:        req.Adaptive.Base,
+			Cool:        req.Adaptive.Cool,
+			CeilingK:    req.Adaptive.CeilingK,
+			GuardK:      req.Adaptive.GuardK,
+			HysteresisK: req.Adaptive.HysteresisK,
+		}
+		info.Encoding = "adaptive"
+		info.Adaptive = norm.Adaptive
+		// Adaptive sessions skip the pool (the key carries no controller
+		// tuning) and always build fresh.
+		sim, err := core.New(cfg)
+		if err != nil {
+			return nil, herr(http.StatusBadRequest, CodeBadRequest, err.Error())
+		}
+		info.Width = sim.Width()
+		return &session{
+			sim:      sim,
+			buses:    1,
+			sem:      make(chan struct{}, 1),
+			lastMemo: sim.MemoStats(),
+			reqJSON:  reqJSON,
+			info:     info,
+		}, nil
 	}
 	if buses > 1 {
 		// Multi-bus sessions skip the pool: the eigendecomposition and
@@ -920,7 +973,7 @@ func (s *Server) resultLocked(sess *session, finish bool) (Result, *httpErr) {
 		samples[i] = fromCoreSample(cs)
 	}
 	st := sim.MemoStats()
-	return Result{
+	res := Result{
 		ID:     sess.id,
 		Cycles: sim.Cycles(),
 		Width:  sim.Width(),
@@ -936,7 +989,23 @@ func (s *Server) resultLocked(sess *session, finish bool) (Result, *httpErr) {
 		TempsK:   sim.Temps(),
 		Samples:  samples,
 		Memo:     MemoStats{Hits: st.Hits, Misses: st.Misses, HitRate: st.HitRate()},
-	}, nil
+	}
+	if sim.Adaptive() {
+		spec := sess.info.Adaptive
+		switches := sim.SwitchEvents()
+		if switches == nil {
+			switches = []core.SwitchEvent{}
+		}
+		res.Adaptive = &AdaptiveResult{
+			Base:      spec.Base,
+			Cool:      spec.Cool,
+			CeilingK:  spec.CeilingK,
+			Active:    sim.ActiveEncoder(),
+			Switches:  switches,
+			Occupancy: sim.EncoderOccupancy(),
+		}
+	}
+	return res, nil
 }
 
 // multiResultLocked assembles a multi-bus Result: one BusResult per bus

@@ -56,9 +56,11 @@ func (p *pool) get(k poolKey) (*core.Simulator, bool) {
 }
 
 // put resets sim and shelves it for reuse; full shelves and poisoned
-// simulators are dropped.
+// simulators are dropped. Adaptive simulators are never pooled: the key
+// does not carry the controller tuning, so two adaptive sessions with
+// equal keys would not be interchangeable.
 func (p *pool) put(k poolKey, sim *core.Simulator) {
-	if sim.Err() != nil {
+	if sim.Err() != nil || sim.Adaptive() {
 		return
 	}
 	sim.SetOnSample(nil)

@@ -1,0 +1,385 @@
+// Command adaptive_gate is the CI gate for the adaptive cooling-code
+// controller. It pins the two properties the feature promises:
+//
+//  1. Library leg: the self-calibrating cooling experiment (expt.Cooling,
+//     45nm / mcf, small window) derives a ceiling the controller defends
+//     on every sample while the static base encoder exceeds it, with at
+//     most 15% bandwidth overhead — and a second run reproduces the
+//     ceiling, the peak and every switch point bit for bit.
+//
+//  2. Transport leg: against an exec'd nanobusd, a self-calibrated
+//     adaptive session is driven over HTTP (twice) and over NBWP; the
+//     switch schedule, occupancy split and per-sample encoder tags must
+//     be bit-identical across all three runs, every adaptive sample must
+//     stay at or under the derived ceiling, and the static base run must
+//     exceed it.
+//
+//     go build -o /tmp/nanobusd ./cmd/nanobusd
+//     go run ./scripts/adaptive_gate -bin /tmp/nanobusd
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"nanobus/client"
+	"nanobus/internal/expt"
+	"nanobus/internal/itrs"
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to the built nanobusd binary")
+	timeout := flag.Duration("timeout", 120*time.Second, "overall gate deadline")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "adaptive_gate: -bin is required")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := libraryLeg(); err != nil {
+		fmt.Fprintf(os.Stderr, "adaptive_gate: FAIL: library: %v\n", err)
+		os.Exit(1)
+	}
+	if err := transportLeg(ctx, *bin); err != nil {
+		fmt.Fprintf(os.Stderr, "adaptive_gate: FAIL: transport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("adaptive_gate: PASS")
+}
+
+// libraryLeg runs the cooling cell twice in process and pins the headline
+// claims plus bit-exact reproducibility of the derivation.
+func libraryLeg() error {
+	opts := expt.CoolingOptions{
+		Cycles:         2_000_000,
+		IntervalCycles: 100_000,
+		Nodes:          []itrs.Node{itrs.N45},
+		Benchmarks:     []string{"mcf"},
+	}
+	first, err := expt.Cooling(opts)
+	if err != nil {
+		return err
+	}
+	if len(first) != 1 {
+		return fmt.Errorf("got %d cells, want 1", len(first))
+	}
+	c := first[0]
+	if !c.Defended {
+		return fmt.Errorf("ceiling %.6f K not defended: adaptive peak %.6f K", c.CeilingK, c.PeakAdaptiveK)
+	}
+	if !c.BaseExceeds {
+		return fmt.Errorf("static %s peak %.6f K does not exceed the ceiling %.6f K", c.Base, c.PeakBaseK, c.CeilingK)
+	}
+	if len(c.Switches) == 0 {
+		return fmt.Errorf("no encoder switch recorded")
+	}
+	if c.OverheadPct > 15 {
+		return fmt.Errorf("bandwidth overhead %.1f%% > 15%%", c.OverheadPct)
+	}
+	for i, s := range c.Samples {
+		if s.MaxTemp > c.CeilingK {
+			return fmt.Errorf("sample %d exceeds the ceiling: %.6f K > %.6f K", i, s.MaxTemp, c.CeilingK)
+		}
+	}
+
+	second, err := expt.Cooling(opts)
+	if err != nil {
+		return err
+	}
+	c2 := second[0]
+	if math.Float64bits(c2.CeilingK) != math.Float64bits(c.CeilingK) ||
+		math.Float64bits(c2.PeakAdaptiveK) != math.Float64bits(c.PeakAdaptiveK) {
+		return fmt.Errorf("re-run derived a different cell: ceiling %.17g vs %.17g, peak %.17g vs %.17g",
+			c2.CeilingK, c.CeilingK, c2.PeakAdaptiveK, c.PeakAdaptiveK)
+	}
+	if len(c2.Switches) != len(c.Switches) {
+		return fmt.Errorf("re-run switch count %d, want %d", len(c2.Switches), len(c.Switches))
+	}
+	for i := range c.Switches {
+		a, b := c.Switches[i], c2.Switches[i]
+		if a.Cycle != b.Cycle || a.From != b.From || a.To != b.To ||
+			math.Float64bits(a.TempK) != math.Float64bits(b.TempK) {
+			return fmt.Errorf("switch %d differs across runs: %+v vs %+v", i, a, b)
+		}
+	}
+	fmt.Printf("adaptive_gate: library: %s/%s ceiling %.4f K defended (base peak %.4f K, %d switch(es), %.1f%% overhead), re-run bit-identical\n",
+		c.Node, c.Benchmark, c.CeilingK, c.PeakBaseK, len(c.Switches), c.OverheadPct)
+	return nil
+}
+
+const (
+	gateNode     = "45nm"
+	gateInterval = 1000
+	gateWords    = 8 * gateInterval
+)
+
+// hammerTrace concentrates all switching on the low half of the bus:
+// sixteen wires toggle every cycle while the rest idle, the hotspot
+// pattern the base encoder cannot level but the spreading code can.
+func hammerTrace() []uint32 {
+	out := make([]uint32, gateWords)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = 0x0000FFFF
+		}
+	}
+	return out
+}
+
+type gateRun struct {
+	res      *client.Result
+	streamed []client.Sample
+}
+
+// transportLeg self-calibrates an adaptive session against the daemon the
+// same way the cooling experiment does, then requires the switch schedule
+// to reproduce bit for bit over HTTP (twice) and NBWP (once, streamed).
+func transportLeg(ctx context.Context, bin string) error {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-nbwp-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", bin, err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill() //nanolint:ignore droppederr best-effort teardown of the gate daemon
+		_ = cmd.Wait()         //nanolint:ignore droppederr best-effort teardown of the gate daemon
+	}()
+	sc := bufio.NewScanner(stdout)
+	addr, err := awaitBanner(sc, "nanobusd: listening on ")
+	if err != nil {
+		return err
+	}
+	nbwpAddr, err := awaitBanner(sc, "nanobusd: nbwp on ")
+	if err != nil {
+		return err
+	}
+	go func() { // keep the pipe drained so the daemon never blocks on stdout
+		for sc.Scan() {
+		}
+	}()
+
+	hc := client.New("http://" + addr)
+	if err := hc.Healthz(ctx); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	trace := hammerTrace()
+
+	// Calibration, over the wire: static base trajectory -> trigger and
+	// peak; provisional adaptive at the trigger -> defended peak; final
+	// ceiling halfway between the two (the switch schedule only depends on
+	// trigger and release, so the final runs reproduce the provisional
+	// schedule exactly).
+	baseRes, err := runHTTP(ctx, hc, client.SessionConfig{
+		Node: gateNode, Encoding: "BI", IntervalCycles: gateInterval,
+	}, trace)
+	if err != nil {
+		return fmt.Errorf("static base run: %w", err)
+	}
+	if len(baseRes.Samples) < 4 {
+		return fmt.Errorf("static base run produced %d samples, need at least 4", len(baseRes.Samples))
+	}
+	peakBase := peakMaxTempK(baseRes.Samples)
+	trigger := baseRes.Samples[len(baseRes.Samples)/2].MaxTempK
+
+	provisional, err := runHTTP(ctx, hc, adaptiveCfg(trigger, 0), trace)
+	if err != nil {
+		return fmt.Errorf("provisional adaptive run: %w", err)
+	}
+	peakAd := peakMaxTempK(provisional.Samples)
+	if peakAd >= peakBase {
+		return fmt.Errorf("controller did not lower the peak: adaptive %.6f K, base %.6f K", peakAd, peakBase)
+	}
+	ceiling := (peakAd + peakBase) / 2
+	cfg := adaptiveCfg(ceiling, ceiling-trigger)
+
+	ref, err := runHTTP(ctx, hc, cfg, trace)
+	if err != nil {
+		return fmt.Errorf("http adaptive run: %w", err)
+	}
+	httpAgain, err := runHTTP(ctx, hc, cfg, trace)
+	if err != nil {
+		return fmt.Errorf("http adaptive re-run: %w", err)
+	}
+	nbwpRun, err := runNBWP(ctx, nbwpAddr, cfg, trace)
+	if err != nil {
+		return fmt.Errorf("nbwp adaptive run: %w", err)
+	}
+
+	runs := []struct {
+		name string
+		res  *client.Result
+	}{
+		{"http re-run", httpAgain},
+		{"nbwp", nbwpRun.res},
+	}
+	if ref.Adaptive == nil || len(ref.Adaptive.Switches) == 0 {
+		return fmt.Errorf("adaptive run recorded no switch; the gate would be vacuous")
+	}
+	for i, s := range ref.Samples {
+		if s.MaxTempK > ceiling {
+			return fmt.Errorf("adaptive sample %d exceeds the ceiling: %.6f K > %.6f K", i, s.MaxTempK, ceiling)
+		}
+	}
+	if peakBase <= ceiling {
+		return fmt.Errorf("static base peak %.6f K does not exceed the ceiling %.6f K", peakBase, ceiling)
+	}
+	for _, run := range runs {
+		if err := sameAdaptiveResult(ref, run.res); err != nil {
+			return fmt.Errorf("%s differs from http reference: %w", run.name, err)
+		}
+	}
+	// SAMPLE frames streamed live over NBWP carry the same tags as the
+	// retained result samples (the final partial interval is not streamed).
+	if len(nbwpRun.streamed) == 0 {
+		return fmt.Errorf("nbwp stream produced no samples")
+	}
+	for i, ss := range nbwpRun.streamed {
+		rs := nbwpRun.res.Samples[i]
+		if ss.Encoder != rs.Encoder || ss.Switched != rs.Switched ||
+			math.Float64bits(ss.MaxTempK) != math.Float64bits(rs.MaxTempK) {
+			return fmt.Errorf("nbwp streamed sample %d differs from result: %+v vs %+v", i, ss, rs)
+		}
+	}
+
+	fmt.Printf("adaptive_gate: transport: ceiling %.4f K defended over http+nbwp (base peak %.4f K, %d switch(es) bit-identical across 3 runs, %d/%d samples streamed)\n",
+		ceiling, peakBase, len(ref.Adaptive.Switches), len(nbwpRun.streamed), len(nbwpRun.res.Samples))
+	return nil
+}
+
+func adaptiveCfg(ceiling, guard float64) client.SessionConfig {
+	return client.SessionConfig{
+		Node:           gateNode,
+		IntervalCycles: gateInterval,
+		Adaptive: &client.AdaptiveSpec{
+			Base: "BI", Cool: "CoolSpread",
+			CeilingK: ceiling, GuardK: guard, HysteresisK: 0.001,
+		},
+	}
+}
+
+func runHTTP(ctx context.Context, hc *client.Client, cfg client.SessionConfig, trace []uint32) (*client.Result, error) {
+	sess, err := hc.OpenSession(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sess.StepBinary(ctx, trace); err != nil {
+		return nil, err
+	}
+	res, err := sess.Result(ctx, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Close(ctx); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runNBWP(ctx context.Context, addr string, cfg client.SessionConfig, trace []uint32) (gateRun, error) {
+	nc, err := client.DialNBWP(ctx, addr)
+	if err != nil {
+		return gateRun{}, err
+	}
+	defer func() {
+		_ = nc.Close() //nanolint:ignore droppederr best-effort close; the run already reported its outcome
+	}()
+	var streamed []client.Sample
+	sess, err := nc.Open(ctx, cfg, func(s client.Sample) { streamed = append(streamed, s) })
+	if err != nil {
+		return gateRun{}, err
+	}
+	if _, err := sess.StepBinary(ctx, trace); err != nil {
+		return gateRun{}, err
+	}
+	res, err := sess.Result(ctx, true)
+	if err != nil {
+		return gateRun{}, err
+	}
+	if err := sess.Close(ctx); err != nil {
+		return gateRun{}, err
+	}
+	if err := nc.Goodbye(ctx); err != nil {
+		return gateRun{}, err
+	}
+	return gateRun{res: res, streamed: streamed}, nil
+}
+
+// sameAdaptiveResult requires got's switch schedule, occupancy split,
+// per-sample encoder tags and figures to match want bit for bit.
+func sameAdaptiveResult(want, got *client.Result) error {
+	if got.Adaptive == nil {
+		return fmt.Errorf("adaptive result block missing")
+	}
+	if got.Adaptive.Active != want.Adaptive.Active {
+		return fmt.Errorf("active encoder %q, want %q", got.Adaptive.Active, want.Adaptive.Active)
+	}
+	if len(got.Adaptive.Switches) != len(want.Adaptive.Switches) {
+		return fmt.Errorf("switch count %d, want %d", len(got.Adaptive.Switches), len(want.Adaptive.Switches))
+	}
+	for i, w := range want.Adaptive.Switches {
+		g := got.Adaptive.Switches[i]
+		if g.Cycle != w.Cycle || g.From != w.From || g.To != w.To ||
+			math.Float64bits(g.TempK) != math.Float64bits(w.TempK) {
+			return fmt.Errorf("switch %d: %+v, want %+v", i, g, w)
+		}
+	}
+	if len(got.Adaptive.Occupancy) != len(want.Adaptive.Occupancy) {
+		return fmt.Errorf("occupancy length %d, want %d", len(got.Adaptive.Occupancy), len(want.Adaptive.Occupancy))
+	}
+	for i, w := range want.Adaptive.Occupancy {
+		if g := got.Adaptive.Occupancy[i]; g != w {
+			return fmt.Errorf("occupancy %d: %+v, want %+v", i, g, w)
+		}
+	}
+	if got.Cycles != want.Cycles ||
+		math.Float64bits(got.Total.TotalJ) != math.Float64bits(want.Total.TotalJ) ||
+		math.Float64bits(got.MaxTempK) != math.Float64bits(want.MaxTempK) {
+		return fmt.Errorf("figures differ: got %d cycles %.17g J %.17g K, want %d cycles %.17g J %.17g K",
+			got.Cycles, got.Total.TotalJ, got.MaxTempK, want.Cycles, want.Total.TotalJ, want.MaxTempK)
+	}
+	if len(got.Samples) != len(want.Samples) {
+		return fmt.Errorf("sample count %d, want %d", len(got.Samples), len(want.Samples))
+	}
+	for i, w := range want.Samples {
+		g := got.Samples[i]
+		if g.Encoder != w.Encoder || g.Switched != w.Switched ||
+			math.Float64bits(g.MaxTempK) != math.Float64bits(w.MaxTempK) ||
+			math.Float64bits(g.EnergyJ) != math.Float64bits(w.EnergyJ) {
+			return fmt.Errorf("sample %d: %+v, want %+v", i, g, w)
+		}
+	}
+	return nil
+}
+
+func peakMaxTempK(samples []client.Sample) float64 {
+	peak := 0.0
+	for _, s := range samples {
+		if s.MaxTempK > peak {
+			peak = s.MaxTempK
+		}
+	}
+	return peak
+}
+
+func awaitBanner(sc *bufio.Scanner, prefix string) (string, error) {
+	if !sc.Scan() {
+		return "", fmt.Errorf("nanobusd produced no %q banner: %v", prefix, sc.Err())
+	}
+	line := sc.Text()
+	if !strings.HasPrefix(line, prefix) {
+		return "", fmt.Errorf("unexpected line %q, want prefix %q", line, prefix)
+	}
+	return strings.TrimPrefix(line, prefix), nil
+}

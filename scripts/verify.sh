@@ -4,7 +4,7 @@
 # expt), the ratcheted coverage minimum, a benchmark smoke gated against
 # the recorded baseline (benchgate fails the run when any kernel is more
 # than 2x slower than BENCH_hotpath.json), the nanobusd end-to-end smoke,
-# and the kill -9 durability chaos gate.
+# the adaptive cooling-code gate, and the kill -9 durability chaos gate.
 #
 # CI-safe by construction: no interactive input, no TTY assumptions, and
 # every stage's exit status stops the run. Benchmark output goes through
@@ -36,7 +36,7 @@ go test -race ./...
 
 echo "==> coverage gate"
 go test -count=1 -coverprofile "$tmp/coverage.out" ./...
-go run ./scripts/covergate -profile "$tmp/coverage.out" -min 82.0
+go run ./scripts/covergate -profile "$tmp/coverage.out" -min 82.1
 
 echo "==> benchmark gates"
 # Fast kernels: 100 iterations, min of 3 runs to damp scheduler noise.
@@ -47,7 +47,7 @@ go run ./scripts/benchgate -baseline BENCH_hotpath.json < "$tmp/bench_fast.txt"
 # Memo-warmed kernels need enough iterations to reach their steady-state
 # hit rate (the baseline regime); 100x would gate against a cold cache.
 go test -run NONE \
-    -bench 'BenchmarkTransition|BenchmarkRunPair|BenchmarkStepBatch|BenchmarkMultiStep' \
+    -bench 'BenchmarkTransition|BenchmarkRunPair|BenchmarkStepBatch|BenchmarkMultiStep|BenchmarkCoolingStep' \
     -benchmem -benchtime 100000x -count 3 . > "$tmp/bench_warm.txt"
 go run ./scripts/benchgate -baseline BENCH_hotpath.json < "$tmp/bench_warm.txt"
 # Whole-sweep benchmarks run ~0.5 s/op, so one iteration is already stable.
@@ -63,6 +63,13 @@ echo "==> nanobusd smoke"
 # in-process library, then SIGTERM and require a clean drain.
 go build -o "$tmp/nanobusd" ./cmd/nanobusd
 go run ./scripts/nanobusd_smoke -bin "$tmp/nanobusd"
+
+echo "==> adaptive gate"
+# Cooling-code controller: the self-calibrated ceiling must be defended
+# on every sample (while static BI exceeds it) at <= 15% bandwidth
+# overhead, and the switch schedule must reproduce bit-identically across
+# re-runs and across HTTP and NBWP against the exec'd daemon.
+go run ./scripts/adaptive_gate -bin "$tmp/nanobusd"
 
 echo "==> durability chaos"
 # kill -9 mid-stream, restart on the shared checkpoint directory with an
